@@ -1,0 +1,513 @@
+//! [`TrackedHeap`]: the detector-facing allocator.
+//!
+//! Combines the layers of [`crate::layers`] into the paper's allocator
+//! (§2.3.2): per-thread heaps over disjoint segments (Hoard-style isolation),
+//! callsite interception on every allocation, a live-object registry for
+//! address→object attribution in reports, and the two reuse rules —
+//! metadata refresh on free and a quarantine for objects involved in false
+//! sharing, which "are never reused".
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use predator_sim::ThreadId;
+
+use crate::callsite::{Callsite, CallsiteId, CallsiteTable};
+use crate::layers::{SegmentChunks, SegmentSource, SizeClassLayer, MAX_SMALL};
+
+/// Metadata for one live (or just-freed) heap object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectInfo {
+    /// First simulated address of the object.
+    pub start: u64,
+    /// Requested size in bytes.
+    pub size: u64,
+    /// Actual (rounded-up) size handed out.
+    pub usable: u64,
+    /// Interned allocation callsite.
+    pub callsite: CallsiteId,
+    /// Thread that allocated the object.
+    pub owner: ThreadId,
+    /// Monotone allocation sequence number (for deterministic debugging).
+    pub seq: u64,
+}
+
+impl ObjectInfo {
+    /// One-past-the-last address of the object's usable range.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.start + self.usable
+    }
+
+    /// True if `addr` falls inside the object's usable range.
+    #[inline]
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+}
+
+/// Why an allocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The fixed-size simulated heap is exhausted.
+    OutOfMemory,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory => f.write_str("simulated heap exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Result of a successful `free`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreeOutcome {
+    /// The object that was freed (registry entry at free time).
+    pub info: ObjectInfo,
+    /// Whether the block was returned to a free list. Quarantined objects
+    /// (involved in false sharing) and large objects are never recycled.
+    pub recycled: bool,
+}
+
+/// Why a free failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreeError {
+    /// `addr` is not the start of any live object.
+    UnknownObject(u64),
+}
+
+impl std::fmt::Display for FreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FreeError::UnknownObject(a) => {
+                write!(f, "free of address {a:#x} which is not a live object start")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FreeError {}
+
+/// Default segment size carved per thread (64 KiB, line-multiple).
+pub const DEFAULT_SEGMENT: u64 = 64 << 10;
+
+/// Point-in-time allocator statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapStats {
+    /// Threads with a heap (registered via allocation).
+    pub threads: usize,
+    /// Currently live objects.
+    pub live_objects: usize,
+    /// Usable bytes currently live.
+    pub live_bytes: u64,
+    /// Total usable bytes ever handed out.
+    pub allocated_bytes: u64,
+    /// Quarantined (never-reusable) object starts.
+    pub quarantined: usize,
+    /// Blocks parked in per-thread free lists.
+    pub cached_blocks: usize,
+    /// Bytes of heap region not yet carved into segments.
+    pub uncarved_bytes: u64,
+}
+
+/// The per-thread-heap allocator with callsite tracking.
+pub struct TrackedHeap {
+    line_size: u64,
+    shared: Arc<StdMutex<SegmentSource>>,
+    /// Per-thread size-class heaps, indexed by `ThreadId`.
+    threads: RwLock<Vec<Arc<Mutex<SizeClassLayer<SegmentChunks>>>>>,
+    /// Live objects by start address.
+    live: Mutex<BTreeMap<u64, ObjectInfo>>,
+    /// Start addresses that must never be recycled (false sharing observed).
+    quarantine: Mutex<HashSet<u64>>,
+    callsites: CallsiteTable,
+    seq: AtomicU64,
+    allocated_bytes: AtomicU64,
+    freed_bytes: AtomicU64,
+}
+
+impl TrackedHeap {
+    /// Creates a heap over the simulated range `[base, base + size)`.
+    ///
+    /// `base` must be line-aligned; `segment` is the per-thread carve size.
+    pub fn new(base: u64, size: u64, line_size: u64, segment: u64) -> Self {
+        let shared =
+            Arc::new(StdMutex::new(SegmentSource::new(base, base + size, segment, line_size)));
+        TrackedHeap {
+            line_size,
+            shared,
+            threads: RwLock::new(Vec::new()),
+            live: Mutex::new(BTreeMap::new()),
+            quarantine: Mutex::new(HashSet::new()),
+            callsites: CallsiteTable::new(),
+            seq: AtomicU64::new(0),
+            allocated_bytes: AtomicU64::new(0),
+            freed_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache line size the heap isolates threads by.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// The callsite interner (shared with the reporter).
+    pub fn callsites(&self) -> &CallsiteTable {
+        &self.callsites
+    }
+
+    fn thread_heap(&self, tid: ThreadId) -> Arc<Mutex<SizeClassLayer<SegmentChunks>>> {
+        {
+            let threads = self.threads.read();
+            if let Some(h) = threads.get(tid.index()) {
+                return h.clone();
+            }
+        }
+        let mut threads = self.threads.write();
+        while threads.len() <= tid.index() {
+            let chunks = SegmentChunks::new(self.shared.clone());
+            threads.push(Arc::new(Mutex::new(SizeClassLayer::new(chunks, self.line_size))));
+        }
+        threads[tid.index()].clone()
+    }
+
+    /// Allocates `size` bytes on behalf of `tid`, recording `callsite`.
+    ///
+    /// Small requests (≤ 16 KiB) come from the thread's own segments; larger
+    /// ones take a dedicated line-aligned span.
+    pub fn malloc(
+        &self,
+        tid: ThreadId,
+        size: u64,
+        callsite: Callsite,
+    ) -> Result<ObjectInfo, AllocError> {
+        let cs = self.callsites.intern(callsite);
+        let (start, usable) = if size <= MAX_SMALL {
+            let heap = self.thread_heap(tid);
+            let mut heap = heap.lock();
+            let addr = heap.alloc(size.max(1)).ok_or(AllocError::OutOfMemory)?;
+            (addr, SizeClassLayer::<SegmentChunks>::usable_size(size.max(1)))
+        } else {
+            let (s, e) =
+                self.shared.lock().unwrap().take_span(size).ok_or(AllocError::OutOfMemory)?;
+            (s, e - s)
+        };
+        let info = ObjectInfo {
+            start,
+            size,
+            usable,
+            callsite: cs,
+            owner: tid,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+        };
+        self.live.lock().insert(start, info);
+        self.allocated_bytes.fetch_add(usable, Ordering::Relaxed);
+        Ok(info)
+    }
+
+    /// Frees the object starting at `addr`.
+    ///
+    /// The block is returned to the *owning* thread's free list (Hoard-style)
+    /// so recycling can never mix two threads' objects on one line —
+    /// regardless of which thread calls `free`. Quarantined and large objects
+    /// are not recycled.
+    pub fn free(&self, _tid: ThreadId, addr: u64) -> Result<FreeOutcome, FreeError> {
+        let info = self.live.lock().remove(&addr).ok_or(FreeError::UnknownObject(addr))?;
+        self.freed_bytes.fetch_add(info.usable, Ordering::Relaxed);
+        let quarantined = self.quarantine.lock().contains(&addr);
+        let recycled = !quarantined && info.size <= MAX_SMALL;
+        if recycled {
+            let heap = self.thread_heap(info.owner);
+            heap.lock().free(addr, info.size.max(1));
+        }
+        Ok(FreeOutcome { info, recycled })
+    }
+
+    /// Marks the object at `start` as involved in false sharing: it will
+    /// never be recycled (§2.3.2's pseudo-false-sharing rule).
+    pub fn mark_no_reuse(&self, start: u64) {
+        self.quarantine.lock().insert(start);
+    }
+
+    /// True if the object at `start` is quarantined.
+    pub fn is_quarantined(&self, start: u64) -> bool {
+        self.quarantine.lock().contains(&start)
+    }
+
+    /// Finds the live object containing `addr`, if any.
+    pub fn object_at(&self, addr: u64) -> Option<ObjectInfo> {
+        let live = self.live.lock();
+        let (_, info) = live.range(..=addr).next_back()?;
+        info.contains(addr).then_some(*info)
+    }
+
+    /// Snapshot of all live objects, in address order.
+    pub fn live_objects(&self) -> Vec<ObjectInfo> {
+        self.live.lock().values().copied().collect()
+    }
+
+    /// Total usable bytes handed out since creation.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Usable bytes currently live (allocated − freed).
+    pub fn live_bytes(&self) -> u64 {
+        self.allocated_bytes() - self.freed_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Resolves an interned callsite id.
+    pub fn resolve_callsite(&self, id: CallsiteId) -> Option<Callsite> {
+        self.callsites.resolve(id)
+    }
+
+    /// Point-in-time statistics (threads, live objects/bytes, quarantine,
+    /// free-list population, uncarved heap).
+    pub fn stats(&self) -> HeapStats {
+        let threads = self.threads.read();
+        let cached_blocks = threads.iter().map(|h| h.lock().cached_blocks()).sum();
+        HeapStats {
+            threads: threads.len(),
+            live_objects: self.live.lock().len(),
+            live_bytes: self.live_bytes(),
+            allocated_bytes: self.allocated_bytes(),
+            quarantined: self.quarantine.lock().len(),
+            cached_blocks,
+            uncarved_bytes: self.shared.lock().unwrap().remaining(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callsite::Frame;
+    use std::collections::HashSet as Set;
+
+    const BASE: u64 = 0x4000_0000;
+
+    fn heap() -> TrackedHeap {
+        TrackedHeap::new(BASE, 8 << 20, 64, DEFAULT_SEGMENT)
+    }
+
+    fn site(line: u32) -> Callsite {
+        Callsite::from_frames(vec![Frame::new("test.rs", line)])
+    }
+
+    #[test]
+    fn malloc_returns_distinct_objects() {
+        let h = heap();
+        let a = h.malloc(ThreadId(0), 64, site(1)).unwrap();
+        let b = h.malloc(ThreadId(0), 64, site(1)).unwrap();
+        assert_ne!(a.start, b.start);
+        assert!(a.start >= BASE);
+        assert_eq!(a.usable, 64);
+        assert_eq!(a.size, 64);
+    }
+
+    #[test]
+    fn different_threads_never_share_a_line() {
+        let h = heap();
+        let mut lines: Vec<Set<u64>> = vec![Set::new(); 4];
+        for round in 0..100 {
+            for t in 0..4u16 {
+                let size = 8 + (round % 7) * 8;
+                let o = h.malloc(ThreadId(t), size as u64, site(1)).unwrap();
+                for l in o.start / 64..=(o.end() - 1) / 64 {
+                    lines[t as usize].insert(l);
+                }
+            }
+        }
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!(
+                    lines[i].is_disjoint(&lines[j]),
+                    "threads {i} and {j} share a cache line"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn object_attribution_by_interior_address() {
+        let h = heap();
+        let o = h.malloc(ThreadId(1), 200, site(42)).unwrap();
+        let hit = h.object_at(o.start + 100).unwrap();
+        assert_eq!(hit.start, o.start);
+        let cs = h.resolve_callsite(hit.callsite).unwrap();
+        assert_eq!(cs.frames[0].line, 42);
+        // Just past the end: not attributed.
+        assert_ne!(h.object_at(o.end()).map(|i| i.start), Some(o.start));
+    }
+
+    #[test]
+    fn attribution_misses_below_first_object() {
+        let h = heap();
+        h.malloc(ThreadId(0), 64, site(1)).unwrap();
+        assert!(h.object_at(BASE - 1).is_none());
+    }
+
+    #[test]
+    fn free_recycles_to_owner_thread() {
+        let h = heap();
+        let o = h.malloc(ThreadId(0), 64, site(1)).unwrap();
+        // Thread 1 frees thread 0's object…
+        let out = h.free(ThreadId(1), o.start).unwrap();
+        assert!(out.recycled);
+        // …and the block returns to thread 0's free list, not thread 1's.
+        let again0 = h.malloc(ThreadId(0), 64, site(1)).unwrap();
+        assert_eq!(again0.start, o.start, "owner thread recycles the block");
+    }
+
+    #[test]
+    fn cross_thread_free_does_not_leak_line_to_other_thread() {
+        let h = heap();
+        let o = h.malloc(ThreadId(0), 64, site(1)).unwrap();
+        h.free(ThreadId(1), o.start).unwrap();
+        let other = h.malloc(ThreadId(1), 64, site(1)).unwrap();
+        assert_ne!(other.start / 64, o.start / 64);
+    }
+
+    #[test]
+    fn quarantined_objects_are_never_recycled() {
+        let h = heap();
+        let o = h.malloc(ThreadId(0), 64, site(1)).unwrap();
+        h.mark_no_reuse(o.start);
+        assert!(h.is_quarantined(o.start));
+        let out = h.free(ThreadId(0), o.start).unwrap();
+        assert!(!out.recycled);
+        let next = h.malloc(ThreadId(0), 64, site(1)).unwrap();
+        assert_ne!(next.start, o.start);
+    }
+
+    #[test]
+    fn double_free_is_reported() {
+        let h = heap();
+        let o = h.malloc(ThreadId(0), 64, site(1)).unwrap();
+        h.free(ThreadId(0), o.start).unwrap();
+        assert_eq!(h.free(ThreadId(0), o.start), Err(FreeError::UnknownObject(o.start)));
+    }
+
+    #[test]
+    fn unknown_free_is_reported() {
+        let h = heap();
+        assert_eq!(h.free(ThreadId(0), 0xdead), Err(FreeError::UnknownObject(0xdead)));
+    }
+
+    #[test]
+    fn large_objects_take_dedicated_spans() {
+        let h = heap();
+        let big = h.malloc(ThreadId(0), 100_000, site(1)).unwrap();
+        assert_eq!(big.start % 64, 0);
+        assert!(big.usable >= 100_000);
+        let small = h.malloc(ThreadId(0), 8, site(1)).unwrap();
+        assert!(!big.contains(small.start));
+        // Large objects are not recycled.
+        let out = h.free(ThreadId(0), big.start).unwrap();
+        assert!(!out.recycled);
+    }
+
+    #[test]
+    fn zero_size_allocation_gets_a_slot() {
+        let h = heap();
+        let o = h.malloc(ThreadId(0), 0, site(1)).unwrap();
+        assert_eq!(o.usable, 8);
+    }
+
+    #[test]
+    fn out_of_memory_small_path() {
+        // One segment total: thread 0 claims it; thread 1 has nowhere to go.
+        let h = TrackedHeap::new(BASE, 4096, 64, 4096);
+        h.malloc(ThreadId(0), 8, site(1)).unwrap();
+        assert_eq!(h.malloc(ThreadId(1), 8, site(1)).unwrap_err(), AllocError::OutOfMemory);
+    }
+
+    #[test]
+    fn out_of_memory_large_path() {
+        let h = TrackedHeap::new(BASE, 8192, 64, 8192);
+        let a = h.malloc(ThreadId(0), 100_000, site(1));
+        assert_eq!(a.unwrap_err(), AllocError::OutOfMemory);
+    }
+
+    #[test]
+    fn stats_snapshot_is_consistent() {
+        let h = heap();
+        let a = h.malloc(ThreadId(0), 64, site(1)).unwrap();
+        let _b = h.malloc(ThreadId(1), 128, site(2)).unwrap();
+        let s = h.stats();
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.live_objects, 2);
+        assert_eq!(s.live_bytes, 64 + 128);
+        assert_eq!(s.quarantined, 0);
+        assert_eq!(s.cached_blocks, 0);
+        h.mark_no_reuse(a.start);
+        h.free(ThreadId(0), a.start).unwrap();
+        let s = h.stats();
+        assert_eq!(s.live_objects, 1);
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.cached_blocks, 0, "quarantined blocks never hit free lists");
+        let c = h.malloc(ThreadId(1), 8, site(3)).unwrap();
+        h.free(ThreadId(1), c.start).unwrap();
+        assert_eq!(h.stats().cached_blocks, 1);
+        assert!(h.stats().uncarved_bytes < 8 << 20);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_live_bytes() {
+        let h = heap();
+        let o = h.malloc(ThreadId(0), 64, site(1)).unwrap();
+        assert_eq!(h.allocated_bytes(), 64);
+        assert_eq!(h.live_bytes(), 64);
+        h.free(ThreadId(0), o.start).unwrap();
+        assert_eq!(h.live_bytes(), 0);
+    }
+
+    #[test]
+    fn live_objects_snapshot_is_sorted() {
+        let h = heap();
+        for _ in 0..10 {
+            h.malloc(ThreadId(0), 32, site(1)).unwrap();
+        }
+        let objs = h.live_objects();
+        assert_eq!(objs.len(), 10);
+        assert!(objs.windows(2).all(|w| w[0].start < w[1].start));
+    }
+
+    #[test]
+    fn concurrent_mallocs_stay_isolated() {
+        let h = std::sync::Arc::new(heap());
+        let all: Vec<Vec<ObjectInfo>> = std::thread::scope(|s| {
+            (0..8u16)
+                .map(|t| {
+                    let h = h.clone();
+                    s.spawn(move || {
+                        (0..500)
+                            .map(|i| h.malloc(ThreadId(t), 8 + (i % 5) * 16, site(1)).unwrap())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|jh| jh.join().unwrap())
+                .collect()
+        });
+        // Pairwise line disjointness across threads.
+        let mut line_owner: std::collections::HashMap<u64, u16> = Default::default();
+        for (t, objs) in all.iter().enumerate() {
+            for o in objs {
+                for l in o.start / 64..=(o.end() - 1) / 64 {
+                    let prev = line_owner.insert(l, t as u16);
+                    assert!(prev.is_none() || prev == Some(t as u16), "line {l} shared");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # predator-alloc
+//!
+//! The custom memory allocator substrate of the PREDATOR false-sharing
+//! detector (§2.3.2, "Custom Memory Allocation" and "Callsite Tracking for
+//! Heap Objects").
+//!
+//! The paper builds its allocator with Heap Layers using a
+//! "per-thread-heap" mechanism similar to Hoard, with two properties the
+//! detector depends on:
+//!
+//! 1. **Isolation:** memory allocations from different threads never occupy
+//!    the same physical cache line, so the allocator itself cannot *create*
+//!    false sharing between objects — everything the detector flags comes
+//!    from the application's own layout.
+//! 2. **No pseudo false sharing from reuse:** detector metadata is refreshed
+//!    when an object is freed, and objects involved in false sharing are
+//!    never reused (quarantined), so accesses to two different logical
+//!    objects that happen to recycle the same address are never conflated.
+//!
+//! This crate reproduces that design over the simulated address space of
+//! `predator-shadow`:
+//!
+//! * [`layers`] — composable allocation layers in the Heap Layers spirit:
+//!   a line-aligned [`layers::BumpSource`], a segregated
+//!   [`layers::SizeClassLayer`], and the segment-carving
+//!   [`layers::SegmentSource`] that hands whole line-multiple segments to
+//!   per-thread heaps;
+//! * [`callsite`] — allocation call-stack capture and interning (the
+//!   `backtrace()` substitute), reported exactly like the paper's Figure 5;
+//! * [`heap`] — [`heap::TrackedHeap`], the user-facing allocator:
+//!   per-thread heaps, live-object registry for address→object attribution,
+//!   free-time notification for metadata refresh, and the no-reuse
+//!   quarantine.
+
+pub mod callsite;
+pub mod heap;
+pub mod layers;
+
+pub use callsite::{Callsite, CallsiteId, CallsiteTable, Frame};
+pub use heap::{AllocError, FreeError, FreeOutcome, HeapStats, ObjectInfo, TrackedHeap};

@@ -1,0 +1,185 @@
+//! Ablation benchmarks for the design choices §2.4 calls out:
+//!
+//! * **threshold-based tracking** — hot-path cost with the threshold
+//!   machinery vs. tracking everything from the first write;
+//! * **sampling rate** — tracked-line cost across 0.1% / 1% / 10% / 100%;
+//! * **selective instrumentation** — probes executed with and without the
+//!   per-block dedup of §2.4.2, measured through the IR interpreter;
+//! * **prediction on/off** — end-to-end cost of the §3 machinery on an
+//!   adjacent-line hot workload.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use predator_core::{DetectorConfig, Predator};
+use predator_instrument::{
+    instrument_module, FunctionBuilder, InstrumentOptions, Machine, Module, NullSink,
+    StepSchedule, ThreadSpec,
+};
+use predator_shadow::SimSpace;
+use predator_sim::{AccessKind, ThreadId};
+
+const BASE: u64 = 0x4000_0000;
+
+fn bench_thresholds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_tracking_threshold");
+    for threshold in [1u32, 128, 4096] {
+        let cfg = DetectorConfig { tracking_threshold: threshold, ..DetectorConfig::paper() };
+        let rt = Predator::new(cfg, BASE, 1 << 20);
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |b, _| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                // Two threads ping-pong one line: with threshold 1 every
+                // access pays tracking; with 4096 the counter path dominates.
+                rt.handle_access(
+                    ThreadId((i % 2) as u16),
+                    BASE + (i % 2) * 8,
+                    8,
+                    AccessKind::Write,
+                );
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sampling_rates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sampling_rate");
+    for rate in [0.001f64, 0.01, 0.1, 1.0] {
+        let cfg = DetectorConfig::paper().with_sampling_rate(rate);
+        let rt = Predator::new(cfg, BASE, 1 << 20);
+        // Push the line into tracked mode first.
+        for _ in 0..300 {
+            rt.handle_access(ThreadId(0), BASE, 8, AccessKind::Write);
+        }
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, _| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                rt.handle_access(
+                    ThreadId((i % 2) as u16),
+                    BASE + (i % 2) * 8,
+                    8,
+                    AccessKind::Write,
+                );
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A loop with redundant same-block accesses — where selective
+/// instrumentation pays off.
+fn redundant_access_module() -> Module {
+    let mut fb = FunctionBuilder::new("hot", 2);
+    let i = fb.reg();
+    fb.mov(i, 0i64);
+    let head = fb.new_block();
+    let body = fb.new_block();
+    let exit = fb.new_block();
+    fb.jmp(head);
+    fb.select_block(head);
+    let c = fb.bin(predator_instrument::BinOp::Lt, i, predator_instrument::Operand::Reg(1));
+    fb.br(c, body, exit);
+    fb.select_block(body);
+    // Four accesses to the same address expression in one block.
+    let v0 = fb.load(0u32, 0);
+    fb.store(0u32, 0, predator_instrument::Operand::Reg(v0));
+    let v1 = fb.load(0u32, 0);
+    fb.store(0u32, 0, predator_instrument::Operand::Reg(v1));
+    let i2 = fb.bin(predator_instrument::BinOp::Add, i, 1i64);
+    fb.mov(i, predator_instrument::Operand::Reg(i2));
+    fb.jmp(head);
+    fb.select_block(exit);
+    fb.ret(None);
+    Module { functions: vec![fb.finish().unwrap()] }
+}
+
+fn bench_selective_instrumentation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_selective_instrumentation");
+    for (label, no_selective) in [("selective", false), ("exhaustive", true)] {
+        let mut m = redundant_access_module();
+        instrument_module(&mut m, &InstrumentOptions { no_selective, ..Default::default() });
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let space = SimSpace::new(4096);
+                let cfg = DetectorConfig {
+                    tracking_threshold: 1,
+                    sampling: false,
+                    ..DetectorConfig::paper()
+                };
+                let rt = Predator::for_space(cfg, &space);
+                let machine = Machine::new(&m, &space, &rt).unwrap();
+                machine
+                    .run(
+                        &[ThreadSpec {
+                            tid: ThreadId(0),
+                            function: "hot".into(),
+                            args: vec![space.base() as i64, 500],
+                        }],
+                        StepSchedule::RoundRobin { quantum: 1 },
+                        1_000_000,
+                    )
+                    .unwrap();
+                black_box(rt.events())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_prediction_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_prediction");
+    for (label, prediction) in [("with_prediction", true), ("no_prediction", false)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = DetectorConfig {
+                    prediction,
+                    tracking_threshold: 8,
+                    prediction_threshold: 64,
+                    sampling: false,
+                    ..DetectorConfig::paper()
+                };
+                let rt = Predator::new(cfg, BASE, 1 << 20);
+                // Adjacent-line hot pattern (the linear_regression shape).
+                for _ in 0..2_000 {
+                    rt.handle_access(ThreadId(0), BASE + 56, 8, AccessKind::Write);
+                    rt.handle_access(ThreadId(1), BASE + 64, 8, AccessKind::Write);
+                }
+                black_box(rt.unit_snapshots().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_interpreter_baseline(c: &mut Criterion) {
+    // How much of the tracked-run cost is the interpreter itself vs the
+    // detector: instrumented module into NullSink.
+    let mut m = redundant_access_module();
+    instrument_module(&mut m, &InstrumentOptions::default());
+    c.bench_function("interpreter_null_sink", |b| {
+        b.iter(|| {
+            let space = SimSpace::new(4096);
+            let machine = Machine::new(&m, &space, &NullSink).unwrap();
+            machine
+                .run(
+                    &[ThreadSpec {
+                        tid: ThreadId(0),
+                        function: "hot".into(),
+                        args: vec![space.base() as i64, 500],
+                    }],
+                    StepSchedule::RoundRobin { quantum: 1 },
+                    1_000_000,
+                )
+                .unwrap();
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_thresholds, bench_sampling_rates, bench_selective_instrumentation, bench_prediction_cost, bench_interpreter_baseline
+);
+criterion_main!(benches);

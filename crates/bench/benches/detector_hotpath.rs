@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks for the detector hot path.
+//!
+//! These back the Figure 7 overhead discussion with controlled
+//! measurements of each pipeline stage: the untracked fast path (one atomic
+//! increment), the tracked path with and without sampling, the pure data
+//! structures (history table, word tracker, MESI ground truth), shadow
+//! lookup, and allocator operations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use predator_alloc::{Callsite, TrackedHeap};
+use predator_core::{DetectorConfig, Predator};
+use predator_sim::mesi::MesiSim;
+use predator_sim::{AccessKind, CacheGeometry, HistoryTable, ThreadId, WordTracker};
+
+const BASE: u64 = 0x4000_0000;
+
+fn bench_handle_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("handle_access");
+    g.throughput(Throughput::Elements(1));
+
+    // Fast path: line far below the tracking threshold (counter saturating
+    // writes would eventually cross; use reads which cost only the filter).
+    let rt = Predator::new(DetectorConfig::paper(), BASE, 1 << 20);
+    g.bench_function("untracked_read", |b| {
+        b.iter(|| rt.handle_access(ThreadId(0), black_box(BASE + 4096), 8, AccessKind::Read))
+    });
+
+    // Pre-threshold write path: single atomic increment. Rotate over many
+    // lines so none crosses the threshold during the measurement.
+    let rt = Predator::new(DetectorConfig::paper(), BASE, 64 << 20);
+    let mut i = 0u64;
+    let lines = (48 << 20) / 64;
+    g.bench_function("below_threshold_write", |b| {
+        b.iter(|| {
+            i = (i + 1) % lines;
+            rt.handle_access(ThreadId(0), BASE + i * 64, 8, AccessKind::Write);
+        })
+    });
+
+    // Tracked line, sampling ON at the paper's 1%: most accesses skip.
+    let rt = Predator::new(DetectorConfig::paper(), BASE, 1 << 20);
+    for _ in 0..200 {
+        rt.handle_access(ThreadId(0), BASE, 8, AccessKind::Write);
+    }
+    assert!(rt.tracked_lines() > 0);
+    g.bench_function("tracked_write_sampled_1pct", |b| {
+        b.iter(|| rt.handle_access(ThreadId(0), black_box(BASE), 8, AccessKind::Write))
+    });
+
+    // Tracked line, sampling OFF: every access records (lock + tables).
+    let cfg = DetectorConfig { sampling: false, ..DetectorConfig::paper() };
+    let rt = Predator::new(cfg, BASE, 1 << 20);
+    for _ in 0..200 {
+        rt.handle_access(ThreadId(0), BASE, 8, AccessKind::Write);
+    }
+    g.bench_function("tracked_write_unsampled", |b| {
+        b.iter(|| rt.handle_access(ThreadId(0), black_box(BASE), 8, AccessKind::Write))
+    });
+
+    // Detector disabled (the Figure 7 "Original" baseline).
+    let rt = Predator::new(DetectorConfig::disabled(), BASE, 1 << 20);
+    g.bench_function("disabled", |b| {
+        b.iter(|| rt.handle_access(ThreadId(0), black_box(BASE), 8, AccessKind::Write))
+    });
+
+    g.finish();
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("structures");
+    g.throughput(Throughput::Elements(1));
+
+    let mut table = HistoryTable::new();
+    let mut i = 0u16;
+    g.bench_function("history_table_record", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(table.record(ThreadId(i % 4), AccessKind::Write))
+        })
+    });
+
+    let geom = CacheGeometry::new(64);
+    let mut words = WordTracker::new(0, geom);
+    let mut j = 0u64;
+    g.bench_function("word_tracker_record", |b| {
+        b.iter(|| {
+            j = j.wrapping_add(1);
+            words.record(ThreadId((j % 4) as u16), (j % 8) * 8, 8, AccessKind::Write);
+        })
+    });
+
+    let mut mesi = MesiSim::new(4, geom);
+    let mut k = 0u64;
+    g.bench_function("mesi_access", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            mesi.access(ThreadId((k % 4) as u16), (k % 64) * 8, 8, AccessKind::Write);
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocator");
+    g.throughput(Throughput::Elements(1));
+
+    let heap = TrackedHeap::new(BASE, 256 << 20, 64, 64 << 10);
+    g.bench_function("malloc_free_64B", |b| {
+        b.iter(|| {
+            let o = heap.malloc(ThreadId(0), 64, Callsite::unknown()).unwrap();
+            heap.free(ThreadId(0), o.start).unwrap();
+        })
+    });
+
+    let heap2 = TrackedHeap::new(BASE, 256 << 20, 64, 64 << 10);
+    let objs: Vec<_> = (0..1024)
+        .map(|_| heap2.malloc(ThreadId(0), 64, Callsite::unknown()).unwrap())
+        .collect();
+    let mut n = 0usize;
+    g.bench_function("object_at_lookup", |b| {
+        b.iter(|| {
+            n = (n + 1) % objs.len();
+            black_box(heap2.object_at(objs[n].start + 13))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_handle_access, bench_structures, bench_allocator
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Figure 2 — object alignment sensitivity of `linear_regression`.
+//!
+//! Sweeps the starting offset of the `lreg_args` array relative to cache-line
+//! boundaries (0..56 bytes, step 8). The paper's shape: offsets 0 and 56 are
+//! fast (no false sharing), offset 24 is worst (~15× on their machine — the
+//! hot tail of each 64-byte element straddles a line and ping-pongs with
+//! both neighbors).
+//!
+//! Two sweeps are printed:
+//!
+//! 1. **Simulated** — the access pattern fed through the detector at each
+//!    offset; reports exact invalidation counts and a modeled runtime
+//!    (1 hit-unit per access + 100 per invalidation). Host-independent: this
+//!    reproduces the curve even on a single-core container, where real
+//!    threads never contend.
+//! 2. **Native** — real threads, real memory, wall clock. Meaningful only
+//!    with ≥2 physical cores (the paper's §5.2 notes that same-core threads
+//!    suffer no false-sharing penalty).
+//!
+//! ```text
+//! cargo run -p predator-bench --release --bin fig2_alignment
+//! PREDATOR_ITERS=5000000 cargo run -p predator-bench --release --bin fig2_alignment
+//! ```
+
+use predator_bench::{eval_reps, header, lreg_offset_invalidations, median_time, modeled_time, ratio};
+use predator_workloads::phoenix::linear_regression::LinearRegression;
+use predator_workloads::WorkloadConfig;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4);
+
+    header("Figure 2 (simulated): invalidations & modeled runtime vs. offset");
+    let sim_iters = 50_000u64;
+    println!("threads=4 iters={sim_iters} (deterministic interleaved schedule)\n");
+    println!(
+        "{:<12} {:>14} {:>16} {:>10}",
+        "offset (B)", "invalidations", "modeled time", "vs best"
+    );
+    let sims: Vec<(usize, u64, f64)> = (0..64)
+        .step_by(8)
+        .map(|off| {
+            let (acc, inv) = lreg_offset_invalidations(off as u64, 4, sim_iters);
+            (off, inv, modeled_time(acc, inv))
+        })
+        .collect();
+    let best = sims.iter().map(|s| s.2).fold(f64::INFINITY, f64::min);
+    for (off, inv, t) in &sims {
+        println!("{:<12} {:>14} {:>16.0} {:>9.2}x", off, inv, t, t / best);
+    }
+    let worst = sims.iter().map(|s| s.2).fold(0.0f64, f64::max);
+    let worst_offsets: Vec<String> = sims
+        .iter()
+        .filter(|s| s.2 >= worst * 0.99)
+        .map(|s| s.0.to_string())
+        .collect();
+    println!(
+        "\nsimulated worst offsets: {{{}}} bytes at {:.1}x over best.",
+        worst_offsets.join(", "),
+        worst / best
+    );
+    println!(
+        "paper: clean at 0 and 56, worst at 24 (~15x measured); the invalidation\n\
+         model yields a flat plateau wherever the hot field block straddles a\n\
+         line (offsets 8-32), at the same magnitude."
+    );
+
+    header("Figure 2 (native): wall time vs. offset");
+    let iters = std::env::var("PREDATOR_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000u64);
+    let cfg = WorkloadConfig { threads, iters, ..WorkloadConfig::default() };
+    let reps = eval_reps();
+    println!("threads={threads} iters/thread={iters} reps={reps} (median)");
+    if threads < 2 || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+        println!("WARNING: <2 cores available — false sharing cannot affect wall time here.\n");
+    } else {
+        println!();
+    }
+    println!("{:<12} {:>12} {:>10}", "offset (B)", "time (ms)", "vs best");
+    let results: Vec<_> = (0..64)
+        .step_by(8)
+        .map(|offset| {
+            (offset, median_time(reps, || LinearRegression.run_native_offset(&cfg, offset)))
+        })
+        .collect();
+    let best = results.iter().map(|(_, d)| *d).min().unwrap();
+    for (offset, d) in &results {
+        println!("{:<12} {:>12.3} {:>9.2}x", offset, d.as_secs_f64() * 1e3, ratio(*d, best));
+    }
+}

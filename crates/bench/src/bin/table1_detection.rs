@@ -1,0 +1,136 @@
+//! Table 1 — false sharing in the Phoenix and PARSEC suites.
+//!
+//! For every benchmark workload: run under the detector *without* prediction
+//! and *with* prediction (the table's two detection columns), and estimate
+//! the fix's benefit (the table's "Improvement" column).
+//!
+//! The improvement estimate is *modeled* from exact invalidation counts
+//! (`modeled_improvement`): every access costs one L1-hit unit, every
+//! coherence invalidation 100 units. On this container there is no
+//! alternative — with a single core, falsely-shared threads never run
+//! concurrently and native wall time shows nothing (§5.2's same-core
+//! caveat). Set `PREDATOR_NATIVE=1` on a multicore host to also print
+//! measured native broken-vs-fixed timings.
+//!
+//! Paper rows (expected detections):
+//!
+//! | benchmark          | source                          | new | w/o pred | w/ pred | improvement |
+//! |--------------------|---------------------------------|-----|----------|---------|-------------|
+//! | histogram          | histogram-pthread.c:213         | yes | yes      | yes     | 46.22%      |
+//! | linear_regression  | linear_regression-pthread.c:133 |     | -        | yes     | 1206.93%    |
+//! | reverse_index      | reverseindex-pthread.c:511      |     | yes      | yes     | 0.09%       |
+//! | word_count         | word_count-pthread.c:136        |     | yes      | yes     | 0.14%       |
+//! | streamcluster      | streamcluster.cpp:985           |     | yes      | yes     | 7.52%       |
+//! | streamcluster      | streamcluster.cpp:1907          | yes | yes      | yes     | 4.77%       |
+
+use predator_bench::{
+    eval_config, eval_iters, eval_reps, header, lreg_offset_invalidations, mark, median_time,
+    projected_improvement, INVALIDATION_SECONDS,
+};
+use predator_core::DetectorConfig;
+use predator_workloads::{by_name, run_and_report, Variant, WorkloadConfig};
+
+fn main() {
+    let iters = eval_iters();
+    let det = eval_config();
+    let np = DetectorConfig { prediction: false, ..det };
+    let native = std::env::var("PREDATOR_NATIVE").is_ok();
+
+    header("Table 1: false sharing problems in Phoenix and PARSEC");
+    println!(
+        "{:<20} {:<6} {:>10} {:>10} {:>16}",
+        "benchmark", "new", "w/o pred", "w/ pred", "improvement*"
+    );
+
+    let rows: &[(&str, bool)] = &[
+        ("histogram", true),
+        ("kmeans", false),
+        ("linear_regression", false),
+        ("matrix_multiply", false),
+        ("pca", false),
+        ("reverse_index", false),
+        ("string_match", false),
+        ("word_count", false),
+        ("blackscholes", false),
+        ("bodytrack", false),
+        ("dedup", false),
+        ("ferret", false),
+        ("fluidanimate", false),
+        ("streamcluster", true),
+        ("swaptions", false),
+    ];
+
+    for &(name, is_new) in rows {
+        let w = by_name(name).expect("workload");
+        let cfg = WorkloadConfig { iters, ..WorkloadConfig::default() };
+        let without = run_and_report(w.as_ref(), np, &cfg).has_observed_false_sharing();
+        let with_report = run_and_report(w.as_ref(), det, &cfg);
+        let with = with_report.has_false_sharing();
+
+        let native_iters = iters.max(200_000);
+        let improvement = if !(with || without) {
+            "-".to_string()
+        } else if name == "linear_regression" {
+            // The latent case: on the isolating allocator no physical
+            // invalidations occur, so the projection takes the invalidation
+            // rate of the *worst placement* (offset 24, Figure 2) — the
+            // scenario whose danger the prediction reports.
+            let model_iters = iters.min(20_000);
+            let (_, inv) = lreg_offset_invalidations(24, cfg.threads, model_iters);
+            let ncfg = cfg.with_iters(native_iters).with_variant(Variant::Fixed);
+            let t_fixed =
+                median_time(eval_reps(), || w.run_native(&ncfg)).as_secs_f64();
+            let scaled = inv as f64 * (native_iters as f64 / model_iters as f64);
+            format!(
+                "{:+.2}% (latent)",
+                scaled * INVALIDATION_SECONDS / t_fixed.max(1e-9) * 100.0
+            )
+        } else {
+            format!(
+                "{:+.2}%",
+                projected_improvement(w.as_ref(), &cfg, native_iters, eval_reps())
+            )
+        };
+
+        println!(
+            "{:<20} {:<6} {:>10} {:>10} {:>16}",
+            name,
+            mark(is_new && (with || without)),
+            mark(without),
+            mark(with),
+            improvement
+        );
+
+        // Per-site detail for the workloads the paper lists by source line.
+        for f in with_report.false_sharing() {
+            if let predator_core::SiteKind::Heap { callsite, .. } = &f.object.site {
+                if let Some(frame) = callsite.frames.first() {
+                    println!(
+                        "    {:<40} invalidations: {} ({})",
+                        frame.to_string(),
+                        f.invalidations,
+                        f.kind
+                    );
+                }
+            }
+        }
+
+        if native && (with || without) {
+            let reps = eval_reps();
+            let ncfg = WorkloadConfig { iters: iters.max(200_000), ..WorkloadConfig::default() };
+            let broken = median_time(reps, || w.run_native(&ncfg));
+            let fixed = median_time(reps, || w.run_native(&ncfg.with_variant(Variant::Fixed)));
+            println!(
+                "    native (this host): {:+.2}%",
+                (broken.as_secs_f64() / fixed.as_secs_f64() - 1.0) * 100.0
+            );
+        }
+    }
+
+    println!("\n* projected: exact invalidation rate (unsampled detector, adversarial");
+    println!("  interleaved schedule) x 100ns per invalidation, over the native fixed");
+    println!("  variant's wall time. Upper bounds — real schedules interleave less.");
+    println!("  Set PREDATOR_NATIVE=1 on a multicore host for measured numbers.");
+    println!("paper: histogram/reverse_index/word_count/streamcluster detected both ways;");
+    println!("       linear_regression detected ONLY with prediction; all others clean.");
+}

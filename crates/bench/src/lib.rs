@@ -1,0 +1,268 @@
+//! # predator-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! PREDATOR paper's evaluation (§4). One binary per experiment:
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Figure 2 — alignment sensitivity of linear_regression | `fig2_alignment` |
+//! | Figure 5 — example detector report | (`predator run linear_regression --sensitive` in the CLI crate) |
+//! | Table 1 — detection/prediction matrix + improvements | `table1_detection` |
+//! | §4.1.2 — real-application findings | `table_apps` |
+//! | Figure 7 — execution-time overhead | `fig7_overhead` |
+//! | Figures 8–9 — absolute/relative memory overhead | `fig8_9_memory` |
+//! | Figure 10 — sampling-rate sensitivity | `fig10_sampling` |
+//!
+//! Criterion micro-benchmarks for the detector hot path and design-choice
+//! ablations live in `benches/`.
+//!
+//! Absolute numbers differ from the paper (their substrate was an 8-core
+//! Xeon running instrumented native binaries; ours is a simulator), but the
+//! *shapes* — who is detected, who wins, where the knees are — are the
+//! reproduction targets. `EXPERIMENTS.md` records paper-vs-measured values.
+
+use std::time::Duration;
+
+use predator_core::{DetectorConfig, Report, Session};
+use predator_workloads::{Workload, WorkloadConfig};
+
+/// Median wall time of `reps` runs of `f` (discards min/max like the paper's
+/// "average of 10 runs, excluding the maximum and minimum").
+pub fn median_time(reps: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    assert!(reps >= 1);
+    let mut times: Vec<Duration> = (0..reps).map(|_| f()).collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Times a tracked run of `w` under `det` (the workload runs on its
+/// deterministic logical schedule; the detector does the real work).
+pub fn time_tracked(w: &dyn Workload, det: DetectorConfig, cfg: &WorkloadConfig) -> Duration {
+    let session = Session::with_config(det);
+    let start = std::time::Instant::now();
+    w.run_tracked(&session, cfg);
+    start.elapsed()
+}
+
+/// Runs tracked and also returns the report (for detection columns).
+pub fn run_tracked_with_report(
+    w: &dyn Workload,
+    det: DetectorConfig,
+    cfg: &WorkloadConfig,
+) -> (Duration, Report) {
+    let session = Session::with_config(det);
+    let start = std::time::Instant::now();
+    w.run_tracked(&session, cfg);
+    let elapsed = start.elapsed();
+    (elapsed, session.report())
+}
+
+/// Formats a duration ratio like the paper's normalized-runtime plots.
+pub fn ratio(num: Duration, den: Duration) -> f64 {
+    num.as_secs_f64() / den.as_secs_f64().max(1e-12)
+}
+
+/// A check mark or blank for detection-matrix tables.
+pub fn mark(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+/// The detector configuration used by the evaluation binaries: the paper's
+/// thresholds scaled to our (smaller) workload sizes. Sampling stays at the
+/// paper's 1%.
+pub fn eval_config() -> DetectorConfig {
+    DetectorConfig {
+        tracking_threshold: 64,
+        prediction_threshold: 256,
+        report_threshold: 200,
+        ..DetectorConfig::paper()
+    }
+}
+
+/// Default workload size for the evaluation binaries (overridable via the
+/// `PREDATOR_ITERS` environment variable).
+pub fn eval_iters() -> u64 {
+    std::env::var("PREDATOR_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(30_000)
+}
+
+/// Repetitions for native timing runs (`PREDATOR_REPS`, default 5).
+pub fn eval_reps() -> usize {
+    std::env::var("PREDATOR_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(5)
+}
+
+/// Cost of one coherence invalidation relative to an L1 hit, for the
+/// modeled-runtime estimates. ~100ns cross-core invalidation vs ~1ns hit is
+/// the usual order of magnitude; the paper's observed 15× for the worst
+/// linear_regression placement falls out of ratios in this range.
+pub const INVALIDATION_PENALTY: f64 = 100.0;
+
+/// Modeled execution time in L1-hit units: every access costs 1, every
+/// invalidation adds the penalty. This is the same coherence-traffic model
+/// the detector's ranking is built on (§2.1: invalidations are the root
+/// cause of the degradation).
+pub fn modeled_time(accesses: u64, invalidations: u64) -> f64 {
+    accesses as f64 + INVALIDATION_PENALTY * invalidations as f64
+}
+
+/// Detector configuration for modeled-improvement runs: everything counted
+/// (no sampling, tiny thresholds) so invalidation totals are exact.
+pub fn model_config() -> DetectorConfig {
+    DetectorConfig {
+        tracking_threshold: 1,
+        prediction_threshold: 1024,
+        report_threshold: 1,
+        sampling: false,
+        prediction: false,
+        ..DetectorConfig::paper()
+    }
+}
+
+/// Modeled improvement (%) of fixing a workload: run broken and fixed
+/// layouts through the unsampled detector under the deterministic
+/// interleaved schedule and compare modeled times. This substitutes for the
+/// paper's native Improvement column on hosts without multiple cores, where
+/// false sharing has no wall-clock effect (§5.2's same-core caveat).
+pub fn modeled_improvement(w: &dyn Workload, cfg: &WorkloadConfig) -> f64 {
+    let measure = |variant| {
+        let session = Session::with_config(model_config());
+        w.run_tracked(&session, &cfg.with_variant(variant));
+        let rt = session.runtime();
+        modeled_time(rt.events(), rt.total_invalidations())
+    };
+    let broken = measure(predator_workloads::Variant::Broken);
+    let fixed = measure(predator_workloads::Variant::Fixed);
+    (broken / fixed - 1.0) * 100.0
+}
+
+/// Wall-clock cost assumed per invalidation in [`projected_improvement`]
+/// (a cross-core coherence miss, ~100 ns).
+pub const INVALIDATION_SECONDS: f64 = 100e-9;
+
+/// Projected improvement (%) of fixing a workload, grounding the model in
+/// real work: the invalidation *rate* comes from the exact (unsampled,
+/// deterministic) detector run on the broken layout, the work baseline from
+/// the *native* fixed-variant wall time — which is meaningful even on one
+/// core, where it measures the serialized total work. The projection
+/// `invalidations × 100 ns / T_fixed` assumes the adversarial interleaving
+/// the detector assumes, so magnitudes are upper bounds; the paper's
+/// severity *ordering* (linear_regression ≫ histogram > streamcluster >
+/// word_count ≈ reverse_index) is the reproduction target.
+pub fn projected_improvement(
+    w: &dyn Workload,
+    cfg: &WorkloadConfig,
+    native_iters: u64,
+    reps: usize,
+) -> f64 {
+    let model_iters = cfg.iters.min(20_000);
+    let session = Session::with_config(model_config());
+    w.run_tracked(&session, &cfg.with_iters(model_iters));
+    let inv_model = session.runtime().total_invalidations() as f64;
+
+    let ncfg = cfg
+        .with_iters(native_iters)
+        .with_variant(predator_workloads::Variant::Fixed);
+    let t_fixed = median_time(reps, || w.run_native(&ncfg)).as_secs_f64();
+
+    let scaled_inv = inv_model * (native_iters as f64 / model_iters as f64);
+    scaled_inv * INVALIDATION_SECONDS / t_fixed.max(1e-9) * 100.0
+}
+
+/// Simulates the linear_regression access pattern with the `lreg_args`
+/// array placed `offset` bytes past a line boundary, and returns
+/// `(accesses, physical invalidations)` under the deterministic interleaved
+/// schedule. This is the simulation half of the Figure 2 sweep: it
+/// reproduces the alignment-sensitivity shape on any host, including
+/// single-core machines where the native timing sweep is flat.
+pub fn lreg_offset_invalidations(offset: u64, threads: usize, iters: u64) -> (u64, u64) {
+    assert!(offset.is_multiple_of(8) && offset < 64);
+    let rt = predator_core::Predator::new(model_config(), 0x4000_0000, 1 << 20);
+    let base = 0x4000_0400 + offset;
+    for _ in 0..iters {
+        for t in 0..threads as u64 {
+            let element = base + t * 64;
+            // The Figure 6 loop body: five hot read-modify-write fields at
+            // element offsets 24..64.
+            for w in 3..8u64 {
+                let addr = element + w * 8;
+                rt.handle_access(
+                    predator_sim::ThreadId(t as u16),
+                    addr,
+                    8,
+                    predator_sim::AccessKind::Read,
+                );
+                rt.handle_access(
+                    predator_sim::ThreadId(t as u16),
+                    addr,
+                    8,
+                    predator_sim::AccessKind::Write,
+                );
+            }
+        }
+    }
+    (rt.events(), rt.total_invalidations())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_time_is_order_insensitive() {
+        let mut samples =
+            vec![Duration::from_millis(5), Duration::from_millis(1), Duration::from_millis(3)]
+                .into_iter();
+        let m = median_time(3, || samples.next().unwrap());
+        assert_eq!(m, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn ratio_guards_against_zero() {
+        assert!(ratio(Duration::from_secs(1), Duration::ZERO) > 0.0);
+        assert!((ratio(Duration::from_secs(2), Duration::from_secs(1)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marks() {
+        assert_eq!(mark(true), "yes");
+        assert_eq!(mark(false), "-");
+    }
+
+    #[test]
+    fn eval_config_is_valid() {
+        eval_config().validate().unwrap();
+        assert!((eval_config().sampling_rate() - 0.01).abs() < 1e-9);
+        model_config().validate().unwrap();
+    }
+
+    #[test]
+    fn lreg_simulation_reproduces_figure2_shape() {
+        // Offsets 0 and 56 clean; 24 worst — the paper's exact curve.
+        let inv =
+            |off| lreg_offset_invalidations(off, 4, 200).1;
+        assert_eq!(inv(0), 0, "offset 0 has no sharing");
+        assert_eq!(inv(56), 0, "offset 56 has no sharing");
+        let worst = (0..8).map(|i| inv(i * 8)).max().unwrap();
+        assert!(inv(24) >= worst, "offset 24 must be (joint) worst");
+        assert!(inv(24) > 500);
+    }
+
+    #[test]
+    fn modeled_improvement_positive_for_broken_histogram() {
+        let w = predator_workloads::by_name("histogram").unwrap();
+        let cfg = WorkloadConfig { iters: 2_000, ..WorkloadConfig::quick() };
+        let imp = modeled_improvement(w.as_ref(), &cfg);
+        assert!(imp > 50.0, "histogram fix should be worth a lot, got {imp:.1}%");
+        let clean = predator_workloads::by_name("blackscholes").unwrap();
+        let imp = modeled_improvement(clean.as_ref(), &cfg);
+        assert!(imp.abs() < 5.0, "clean workload improvement ~0, got {imp:.1}%");
+    }
+}

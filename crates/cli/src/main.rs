@@ -1,0 +1,354 @@
+//! `predator` — run the evaluation workloads under the PREDATOR detector
+//! and print ranked false-sharing reports (the paper's Figure 5 format).
+//!
+//! ```text
+//! predator list
+//! predator run linear_regression
+//! predator run histogram --fixed --threads 8 --iters 50000
+//! predator run mysql --no-prediction --json
+//! predator native linear_regression --iters 2000000
+//! predator replay trace.jsonl
+//! ```
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use predator_core::{build_report, diff_reports, suggest_fixes, DetectorConfig, Predator, Report};
+use predator_instrument::{
+    instrument_module, load_jsonl, parse_module, replay, InstrumentOptions, Machine,
+    StepSchedule, ThreadSpec,
+};
+use predator_shadow::SimSpace;
+use predator_sim::ThreadId;
+use predator_workloads::{all, by_name, run_and_report, Variant, WorkloadConfig};
+
+const USAGE: &str = "\
+predator — predictive false sharing detection (PPoPP 2014 reproduction)
+
+USAGE:
+    predator list
+        List the evaluation workloads.
+
+    predator run <workload> [OPTIONS]
+        Run a workload under the detector and print the report.
+        --fixed             run the fixed (padded) variant
+        --no-prediction     disable virtual-line prediction (PREDATOR-NP)
+        --threads <N>       worker threads              [default: 4]
+        --iters <N>         per-thread work items       [default: 20000]
+        --seed <N>          input seed                  [default: 42]
+        --sampling <RATE>   sampling rate in (0,1]      [default: 0.01]
+        --sensitive         tiny thresholds (small runs / demos)
+        --json              machine-readable report
+
+    predator native <workload> [OPTIONS]
+        Run the uninstrumented native workload and print wall time.
+        (same --fixed/--threads/--iters/--seed options)
+
+    predator replay <trace.jsonl> [OPTIONS]
+        Replay a JSON-lines access trace into the detector.
+        --base <HEX>        space base address          [default: 0x40000000]
+        --size <N>          space size in bytes         [default: 64 MiB]
+        --sensitive / --no-prediction / --json as above
+
+    predator ir <program.pir> [OPTIONS]
+        Instrument a textual-IR program and execute it under the detector.
+        Runs the function named `worker` on each logical thread with
+        arguments (base + thread*stride, iters).
+        --threads <N>       logical threads             [default: 2]
+        --iters <N>         loop bound argument         [default: 10000]
+        --stride <N>        per-thread base offset      [default: 8]
+        --quantum <N>       instructions per turn       [default: 7]
+        --sensitive / --no-prediction / --json / --fixes as above
+
+    predator diff <old.json> <new.json>
+        Compare two JSON reports (from `run --json`); exits nonzero when the
+        new report introduces findings the old one lacked (a CI gate).
+
+    Common flags:
+        --fixes             also print prescriptive fix suggestions
+        --markdown          render the report as GitHub-flavoured markdown
+";
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<String>,
+    options: std::collections::HashMap<String, String>,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    const VALUED: &[&str] =
+        &["--threads", "--iters", "--seed", "--sampling", "--base", "--size", "--stride", "--quantum"];
+    let mut args =
+        Args { positional: Vec::new(), flags: Vec::new(), options: Default::default() };
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        if VALUED.contains(&a.as_str()) {
+            let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
+            args.options.insert(a.clone(), v.clone());
+        } else if a.starts_with("--") {
+            args.flags.push(a.clone());
+        } else {
+            args.positional.push(a.clone());
+        }
+    }
+    Ok(args)
+}
+
+fn num<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<T, String> {
+    match args.options.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for {key}: {v}")),
+    }
+}
+
+fn detector_config(args: &Args) -> Result<DetectorConfig, String> {
+    let mut det = if args.flags.iter().any(|f| f == "--sensitive") {
+        DetectorConfig::sensitive()
+    } else {
+        DetectorConfig::paper()
+    };
+    if args.flags.iter().any(|f| f == "--no-prediction") {
+        det.prediction = false;
+    }
+    let rate: f64 = num(args, "--sampling", det.sampling_rate())?;
+    if !(0.0..=1.0).contains(&rate) || rate == 0.0 {
+        return Err(format!("--sampling must be in (0, 1], got {rate}"));
+    }
+    Ok(det.with_sampling_rate(rate))
+}
+
+fn workload_config(args: &Args) -> Result<WorkloadConfig, String> {
+    Ok(WorkloadConfig {
+        threads: num(args, "--threads", 4usize)?,
+        iters: num(args, "--iters", 20_000u64)?,
+        seed: num(args, "--seed", 42u64)?,
+        variant: if args.flags.iter().any(|f| f == "--fixed") {
+            Variant::Fixed
+        } else {
+            Variant::Broken
+        },
+    })
+}
+
+fn cmd_list() {
+    println!("{:<20} {:<18} EXPECTED (broken variant)", "WORKLOAD", "SUITE");
+    for w in all() {
+        let exp = match w.expectation() {
+            predator_workloads::Expectation::Clean => "clean",
+            predator_workloads::Expectation::Observed => "false sharing (observed)",
+            predator_workloads::Expectation::PredictedOnly => "false sharing (prediction only)",
+        };
+        println!("{:<20} {:<18} {}", w.name(), w.suite().to_string(), exp);
+    }
+}
+
+fn emit_report(args: &Args, det: &DetectorConfig, report: &Report) {
+    if args.flags.iter().any(|f| f == "--json") {
+        println!("{}", report.to_json());
+    } else if args.flags.iter().any(|f| f == "--markdown") {
+        println!("{}", report.to_markdown());
+    } else {
+        println!("{report}");
+    }
+    if args.flags.iter().any(|f| f == "--fixes") {
+        let fixes = suggest_fixes(report, det.geometry);
+        if fixes.is_empty() {
+            println!("\nNo fixes to suggest.");
+        } else {
+            println!("\nSuggested fixes:");
+            for (idx, fix) in fixes {
+                println!("  [finding {idx}] {fix}");
+            }
+        }
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let name = args.positional.get(1).ok_or("run: missing workload name")?;
+    let w = by_name(name).ok_or_else(|| format!("unknown workload `{name}` (try `list`)"))?;
+    let det = detector_config(args)?;
+    let cfg = workload_config(args)?;
+    let report = run_and_report(w.as_ref(), det, &cfg);
+    emit_report(args, &det, &report);
+    Ok(())
+}
+
+fn cmd_ir(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("ir: missing program path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut module = parse_module(&text).map_err(|e| format!("parse error: {e}"))?;
+    let stats = instrument_module(&mut module, &InstrumentOptions::default());
+    eprintln!(
+        "instrumented: {} probes ({} accesses, {} deduped)",
+        stats.probes_inserted, stats.accesses_seen, stats.deduped
+    );
+
+    let threads: usize = num(args, "--threads", 2usize)?;
+    let iters: i64 = num(args, "--iters", 10_000i64)?;
+    let stride: u64 = num(args, "--stride", 8u64)?;
+    let quantum: u64 = num(args, "--quantum", 7u64)?;
+    let det = detector_config(args)?;
+
+    let space = SimSpace::new(1 << 20);
+    let rt = Predator::for_space(det, &space);
+    let machine = Machine::new(&module, &space, &rt).map_err(|e| e.to_string())?;
+    let specs: Vec<ThreadSpec> = (0..threads)
+        .map(|t| ThreadSpec {
+            tid: ThreadId(t as u16),
+            function: "worker".into(),
+            args: vec![(space.base() + t as u64 * stride) as i64, iters],
+        })
+        .collect();
+    machine
+        .run(&specs, StepSchedule::RoundRobin { quantum }, 1 << 32)
+        .map_err(|e| e.to_string())?;
+    let report = build_report(&rt, None);
+    emit_report(args, &det, &report);
+    Ok(())
+}
+
+fn cmd_native(args: &Args) -> Result<(), String> {
+    let name = args.positional.get(1).ok_or("native: missing workload name")?;
+    let w = by_name(name).ok_or_else(|| format!("unknown workload `{name}` (try `list`)"))?;
+    let cfg = workload_config(args)?;
+    let d = w.run_native(&cfg);
+    println!(
+        "{name} ({:?}, {} threads, {} iters): {:.3} ms",
+        cfg.variant,
+        cfg.threads,
+        cfg.iters,
+        d.as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("replay: missing trace path")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let events = load_jsonl(BufReader::new(file)).map_err(|e| format!("bad trace: {e}"))?;
+    let base = u64::from_str_radix(
+        args.options.get("--base").map(|s| s.trim_start_matches("0x")).unwrap_or("40000000"),
+        16,
+    )
+    .map_err(|e| format!("bad --base: {e}"))?;
+    let size: u64 = num(args, "--size", 64 << 20)?;
+    let det = detector_config(args)?;
+    let rt = Predator::new(det, base, size);
+    replay(&events, &rt);
+    let report = build_report(&rt, None);
+    if !args.flags.iter().any(|f| f == "--json") {
+        println!("replayed {} events", events.len());
+    }
+    emit_report(args, &det, &report);
+    Ok(())
+}
+
+fn cmd_diff(args: &Args) -> Result<(), String> {
+    let load = |idx: usize, what: &str| -> Result<Report, String> {
+        let path = args
+            .positional
+            .get(idx)
+            .ok_or_else(|| format!("diff: missing {what} report path"))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{path}: not a JSON report: {e}"))
+    };
+    let old = load(1, "old")?;
+    let new = load(2, "new")?;
+    let diff = diff_reports(&old, &new, 0.5);
+    print!("{diff}");
+    if diff.has_regressions() {
+        // Gate failure, not a usage error: no USAGE dump.
+        eprintln!(
+            "GATE: FAIL — {} new finding(s)",
+            diff.appeared.len()
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.positional.first().map(String::as_str) {
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
+        Some("run") => cmd_run(&args),
+        Some("native") => cmd_native(&args),
+        Some("replay") => cmd_replay(&args),
+        Some("ir") => cmd_ir(&args),
+        Some("diff") => cmd_diff(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Args {
+        parse_args(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_positionals_flags_and_options() {
+        let a = args(&["run", "histogram", "--fixed", "--threads", "8", "--json"]);
+        assert_eq!(a.positional, vec!["run", "histogram"]);
+        assert!(a.flags.contains(&"--fixed".to_string()));
+        assert_eq!(a.options.get("--threads"), Some(&"8".to_string()));
+    }
+
+    #[test]
+    fn missing_option_value_is_an_error() {
+        let raw: Vec<String> = vec!["run".into(), "--threads".into()];
+        assert!(parse_args(&raw).is_err());
+    }
+
+    #[test]
+    fn detector_config_applies_flags() {
+        let a = args(&["run", "x", "--no-prediction", "--sensitive"]);
+        let det = detector_config(&a).unwrap();
+        assert!(!det.prediction);
+        assert_eq!(det.report_threshold, 1);
+    }
+
+    #[test]
+    fn sampling_rate_validation() {
+        let a = args(&["run", "x", "--sampling", "0"]);
+        assert!(detector_config(&a).is_err());
+        let a = args(&["run", "x", "--sampling", "0.1"]);
+        assert!((detector_config(&a).unwrap().sampling_rate() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_config_defaults_and_overrides() {
+        let a = args(&["run", "x"]);
+        let cfg = workload_config(&a).unwrap();
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.variant, Variant::Broken);
+        let a = args(&["run", "x", "--fixed", "--iters", "99"]);
+        let cfg = workload_config(&a).unwrap();
+        assert_eq!(cfg.iters, 99);
+        assert_eq!(cfg.variant, Variant::Fixed);
+    }
+}

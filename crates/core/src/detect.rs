@@ -1,0 +1,214 @@
+//! False-vs-true sharing discrimination (§2.3.2).
+//!
+//! A line with many invalidations is only *false* sharing if distinct
+//! threads dominate *distinct* words (with at least one of them writing) —
+//! padding can then separate them. If the invalidations come from multiple
+//! threads hammering the *same* word (a word in the `Shared` origin state
+//! with writes), that is *true* sharing: a real communication pattern that
+//! padding cannot fix. Both can coexist on one line ([`SharingClass::Mixed`]).
+
+use serde::{Deserialize, Serialize};
+
+use predator_sim::{Owner, WordTracker};
+
+/// The kind of sharing a tracked line's word data reveals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SharingClass {
+    /// Distinct threads on distinct words; fixable by padding/alignment.
+    FalseSharing,
+    /// Multiple threads on the same word(s); inherent communication.
+    TrueSharing,
+    /// Both patterns present on the same line.
+    Mixed,
+}
+
+impl std::fmt::Display for SharingClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SharingClass::FalseSharing => f.write_str("FALSE SHARING"),
+            SharingClass::TrueSharing => f.write_str("TRUE SHARING"),
+            SharingClass::Mixed => f.write_str("MIXED FALSE/TRUE SHARING"),
+        }
+    }
+}
+
+/// Classifies one line's word-granularity data.
+///
+/// Returns `None` when the data shows no multi-thread interaction at all
+/// (single-thread lines can still accumulate invalidation-free tracking).
+pub fn classify(words: &WordTracker) -> Option<SharingClass> {
+    // False-sharing pattern: a word written *exclusively* by one thread,
+    // with a *different* word touched by someone who is provably not that
+    // thread — either a different exclusive owner, or a shared word (shared
+    // means ≥2 distinct threads, so at least one differs from any single
+    // writer). The exclusive-writer requirement keeps multi-writer records
+    // (e.g. a hash bucket whose count and payload are both updated by
+    // whichever thread inserts) classified as true sharing, matching the
+    // paper's word-origin scheme.
+    let mut false_pattern = false;
+    for (i, w1) in words.words().iter().enumerate() {
+        let Owner::Exclusive(t1) = w1.owner else { continue };
+        if w1.writes == 0 {
+            continue;
+        }
+        false_pattern = words.words().iter().enumerate().any(|(j, w2)| {
+            i != j
+                && w2.total() > 0
+                && match w2.owner {
+                    Owner::Exclusive(t2) => t2 != t1,
+                    Owner::Shared => true,
+                    Owner::Untouched => false,
+                }
+        });
+        if false_pattern {
+            break;
+        }
+    }
+
+    // True-sharing pattern: a word touched by several threads, written at
+    // least once.
+    let true_pattern =
+        words.words().iter().any(|w| w.owner == Owner::Shared && w.writes > 0);
+
+    match (false_pattern, true_pattern) {
+        (true, true) => Some(SharingClass::Mixed),
+        (true, false) => Some(SharingClass::FalseSharing),
+        (false, true) => Some(SharingClass::TrueSharing),
+        (false, false) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predator_sim::AccessKind::{Read, Write};
+    use predator_sim::{CacheGeometry, ThreadId};
+
+    fn tracker() -> WordTracker {
+        WordTracker::new(0, CacheGeometry::new(64))
+    }
+
+    #[test]
+    fn untouched_line_is_unclassified() {
+        assert_eq!(classify(&tracker()), None);
+    }
+
+    #[test]
+    fn single_thread_line_is_unclassified() {
+        let mut t = tracker();
+        for w in 0..8u64 {
+            t.record(ThreadId(0), w * 8, 8, Write);
+        }
+        assert_eq!(classify(&t), None);
+    }
+
+    #[test]
+    fn classic_false_sharing() {
+        let mut t = tracker();
+        t.record(ThreadId(0), 0, 8, Write);
+        t.record(ThreadId(1), 8, 8, Write);
+        assert_eq!(classify(&t), Some(SharingClass::FalseSharing));
+    }
+
+    #[test]
+    fn reader_writer_false_sharing() {
+        // One thread writes word 0; another only reads word 1. Still false
+        // sharing: the writes invalidate the reader's line.
+        let mut t = tracker();
+        t.record(ThreadId(0), 0, 8, Write);
+        t.record(ThreadId(1), 8, 8, Read);
+        assert_eq!(classify(&t), Some(SharingClass::FalseSharing));
+    }
+
+    #[test]
+    fn read_read_is_not_sharing() {
+        let mut t = tracker();
+        t.record(ThreadId(0), 0, 8, Read);
+        t.record(ThreadId(1), 8, 8, Read);
+        assert_eq!(classify(&t), None);
+    }
+
+    #[test]
+    fn shared_counter_is_true_sharing() {
+        let mut t = tracker();
+        t.record(ThreadId(0), 0, 8, Write);
+        t.record(ThreadId(1), 0, 8, Write);
+        assert_eq!(classify(&t), Some(SharingClass::TrueSharing));
+    }
+
+    #[test]
+    fn shared_read_only_word_is_not_true_sharing() {
+        // A word read by everyone but never written is harmless (S state).
+        let mut t = tracker();
+        t.record(ThreadId(0), 0, 8, Read);
+        t.record(ThreadId(1), 0, 8, Read);
+        assert_eq!(classify(&t), None);
+    }
+
+    #[test]
+    fn mixed_pattern_detected() {
+        let mut t = tracker();
+        // False sharing on words 0/1…
+        t.record(ThreadId(0), 0, 8, Write);
+        t.record(ThreadId(1), 8, 8, Write);
+        // …and a true-shared counter on word 7.
+        t.record(ThreadId(0), 56, 8, Write);
+        t.record(ThreadId(2), 56, 8, Write);
+        assert_eq!(classify(&t), Some(SharingClass::Mixed));
+    }
+
+    #[test]
+    fn shared_word_plus_lone_reader_is_true_sharing_only() {
+        // Word 0 truly shared (written); word 1 read by one of the same
+        // threads — no second exclusive thread writing elsewhere.
+        let mut t = tracker();
+        t.record(ThreadId(0), 0, 8, Write);
+        t.record(ThreadId(1), 0, 8, Write);
+        t.record(ThreadId(0), 8, 8, Read);
+        assert_eq!(classify(&t), Some(SharingClass::TrueSharing));
+    }
+
+    #[test]
+    fn exclusive_writer_plus_shared_word_is_mixed() {
+        // Word 0 written exclusively by t0; word 1 shared (written by
+        // t1/t2). The shared word is true sharing AND t0's writes falsely
+        // share with t1/t2's word — Mixed.
+        let mut t = tracker();
+        t.record(ThreadId(0), 0, 8, Write);
+        t.record(ThreadId(1), 8, 8, Write);
+        t.record(ThreadId(2), 8, 8, Write);
+        assert_eq!(classify(&t), Some(SharingClass::Mixed));
+    }
+
+    #[test]
+    fn exclusive_writer_plus_shared_readonly_word_is_false_sharing() {
+        // The reader-writer pattern: t0 writes word 0; t1 and t2 only read
+        // word 1. Every t0 write invalidates the readers' copies — false
+        // sharing, with no true sharing anywhere.
+        let mut t = tracker();
+        t.record(ThreadId(0), 0, 8, Write);
+        t.record(ThreadId(1), 8, 8, Read);
+        t.record(ThreadId(2), 8, 8, Read);
+        assert_eq!(classify(&t), Some(SharingClass::FalseSharing));
+    }
+
+    #[test]
+    fn multi_writer_record_stays_true_sharing() {
+        // A bucket record whose count (word 0) and payload (word 1) are both
+        // written by whichever thread inserts: both words Shared-written, no
+        // exclusive writer → true sharing, not false.
+        let mut t = tracker();
+        for tid in [0u16, 1, 2] {
+            t.record(ThreadId(tid), 0, 8, Write);
+            t.record(ThreadId(tid), 8, 8, Write);
+        }
+        assert_eq!(classify(&t), Some(SharingClass::TrueSharing));
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(SharingClass::FalseSharing.to_string(), "FALSE SHARING");
+        assert_eq!(SharingClass::TrueSharing.to_string(), "TRUE SHARING");
+        assert_eq!(SharingClass::Mixed.to_string(), "MIXED FALSE/TRUE SHARING");
+    }
+}

@@ -1,0 +1,266 @@
+//! Fix suggestions — the paper's §6 "Suggest Fixes" future work.
+//!
+//! "We believe that leveraging memory trace information will make it
+//! possible for PREDATOR to prescribe fixes to the programmer." This module
+//! does exactly that: it walks a [`Report`]'s findings and derives concrete,
+//! word-accurate prescriptions from the recorded access information —
+//! padding sizes computed from the actual per-thread word footprints,
+//! alignment advice for placement-sensitive objects, and honest "this is
+//! true sharing, padding will not help" calls.
+
+use serde::{Deserialize, Serialize};
+
+use predator_sim::{CacheGeometry, Owner, ThreadId};
+
+use crate::detect::SharingClass;
+use crate::report::{Finding, FindingKind, Report, WordReport};
+
+/// One prescription for one finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FixSuggestion {
+    /// Separate each thread's words onto private lines by padding the
+    /// per-thread regions of the object.
+    PadPerThread {
+        /// The victim object's start address.
+        object: u64,
+        /// Distinct threads whose words share lines.
+        threads: Vec<ThreadId>,
+        /// Bytes of separation required between any two threads' data so no
+        /// predicted scenario (shift, or line scaling up to the analyzed
+        /// factor) can re-merge them.
+        min_separation: u64,
+    },
+    /// The object is placement-sensitive: it is clean at the current
+    /// alignment but predicted to share under a shifted start. Pin its
+    /// alignment (e.g. `aligned_alloc`, `#[repr(align(N))]`).
+    AlignObject {
+        /// The victim object's start address.
+        object: u64,
+        /// Required alignment in bytes.
+        alignment: u64,
+    },
+    /// Multiple threads hammer the *same* word: true sharing. Padding will
+    /// not help; restructure (per-thread accumulation + reduction, striping,
+    /// or a different algorithm).
+    RestructureTrueSharing {
+        /// The contended word's address.
+        word: u64,
+    },
+}
+
+impl std::fmt::Display for FixSuggestion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FixSuggestion::PadPerThread { object, threads, min_separation } => write!(
+                f,
+                "pad object {object:#x}: keep each of {} threads' fields at least \
+                 {min_separation} bytes apart (one thread per {min_separation}-byte block)",
+                threads.len()
+            ),
+            FixSuggestion::AlignObject { object, alignment } => write!(
+                f,
+                "pin the alignment of object {object:#x} to {alignment} bytes \
+                 (current placement is safe only by accident)"
+            ),
+            FixSuggestion::RestructureTrueSharing { word } => write!(
+                f,
+                "word {word:#x} is truly shared by multiple threads; padding cannot \
+                 help — use per-thread accumulation with a reduction instead"
+            ),
+        }
+    }
+}
+
+/// Derives fix suggestions for every finding in `report`.
+///
+/// `geom` is the physical geometry the detector ran with; the suggested
+/// separation covers the largest scenario the finding was verified under
+/// (doubled/scaled lines need proportionally more padding).
+pub fn suggest_fixes(report: &Report, geom: CacheGeometry) -> Vec<(usize, FixSuggestion)> {
+    let mut out = Vec::new();
+    for (i, finding) in report.findings.iter().enumerate() {
+        out.extend(suggest_for(finding, geom).into_iter().map(|s| (i, s)));
+    }
+    out
+}
+
+fn involved_threads(words: &[WordReport]) -> Vec<ThreadId> {
+    let mut ts: Vec<ThreadId> = words
+        .iter()
+        .filter_map(|w| match w.owner {
+            Owner::Exclusive(t) if w.reads + w.writes > 0 => Some(t),
+            _ => None,
+        })
+        .collect();
+    ts.sort_unstable();
+    ts.dedup();
+    ts
+}
+
+fn suggest_for(finding: &Finding, geom: CacheGeometry) -> Vec<FixSuggestion> {
+    let mut out = Vec::new();
+    let object = finding.object.start;
+
+    match finding.class {
+        SharingClass::TrueSharing => {
+            // Point at the hottest shared word.
+            if let Some(w) = finding
+                .words
+                .iter()
+                .filter(|w| w.owner == Owner::Shared && w.writes > 0)
+                .max_by_key(|w| w.reads + w.writes)
+            {
+                out.push(FixSuggestion::RestructureTrueSharing { word: w.addr });
+            }
+            return out;
+        }
+        SharingClass::Mixed => {
+            if let Some(w) = finding
+                .words
+                .iter()
+                .filter(|w| w.owner == Owner::Shared && w.writes > 0)
+                .max_by_key(|w| w.reads + w.writes)
+            {
+                out.push(FixSuggestion::RestructureTrueSharing { word: w.addr });
+            }
+            // Fall through to the padding advice for the false half.
+        }
+        SharingClass::FalseSharing => {}
+    }
+
+    // The scenario determines the separation that makes the layout robust:
+    // a shifted placement needs a full line between threads; an N-times
+    // line needs N lines.
+    let min_separation = match finding.kind {
+        FindingKind::Observed => geom.line_size(),
+        FindingKind::PredictedRemap { .. } => geom.line_size() * 2,
+        FindingKind::PredictedDoubled => geom.line_size() * 2,
+        FindingKind::PredictedScaled { factor_log2 } => geom.line_size() << factor_log2,
+    };
+    let threads = involved_threads(&finding.words);
+    if threads.len() >= 2 {
+        out.push(FixSuggestion::PadPerThread { object, threads, min_separation });
+    }
+
+    // Placement-sensitive layouts additionally warrant pinning alignment.
+    if matches!(finding.kind, FindingKind::PredictedRemap { .. }) {
+        out.push(FixSuggestion::AlignObject { object, alignment: geom.line_size() });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Session;
+    use crate::config::DetectorConfig;
+    use crate::Callsite;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(64)
+    }
+
+    #[test]
+    fn observed_false_sharing_gets_padding_advice() {
+        let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
+        let t0 = s.register_thread();
+        let t1 = s.register_thread();
+        let obj = s.malloc(t0, 64, Callsite::here()).unwrap();
+        for i in 0..500u64 {
+            s.write::<u64>(t0, obj.start, i);
+            s.write::<u64>(t1, obj.start + 8, i);
+        }
+        let report = s.report();
+        let fixes = suggest_fixes(&report, geom());
+        assert!(!fixes.is_empty());
+        let (_, fix) = &fixes[0];
+        match fix {
+            FixSuggestion::PadPerThread { object, threads, min_separation } => {
+                assert_eq!(*object, obj.start);
+                assert_eq!(threads.len(), 2);
+                assert_eq!(*min_separation, 64);
+            }
+            other => panic!("expected padding advice, got {other:?}"),
+        }
+        assert!(fix.to_string().contains("pad object"));
+    }
+
+    #[test]
+    fn predicted_remap_also_suggests_alignment() {
+        let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
+        let t0 = s.register_thread();
+        let t1 = s.register_thread();
+        let obj = s.malloc(t0, 128, Callsite::here()).unwrap();
+        for _ in 0..600 {
+            s.write::<u64>(t0, obj.start + 56, 1);
+            s.write::<u64>(t1, obj.start + 64, 2);
+        }
+        let report = s.report();
+        let fixes = suggest_fixes(&report, geom());
+        assert!(
+            fixes.iter().any(|(_, f)| matches!(
+                f,
+                FixSuggestion::AlignObject { alignment: 64, .. }
+            )),
+            "{fixes:?}"
+        );
+        // The remap scenario needs 2-line separation to be robust.
+        assert!(fixes.iter().any(|(_, f)| matches!(
+            f,
+            FixSuggestion::PadPerThread { min_separation: 128, .. }
+        )));
+    }
+
+    #[test]
+    fn true_sharing_gets_restructuring_advice_not_padding() {
+        let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
+        let t0 = s.register_thread();
+        let t1 = s.register_thread();
+        let ctr = s.global("counter", 8);
+        for _ in 0..500 {
+            s.fetch_add(t0, ctr, 1);
+            s.fetch_add(t1, ctr, 1);
+        }
+        let report = s.report();
+        let fixes = suggest_fixes(&report, geom());
+        assert_eq!(fixes.len(), 1, "{fixes:?}");
+        match &fixes[0].1 {
+            FixSuggestion::RestructureTrueSharing { word } => assert_eq!(*word, ctr),
+            other => panic!("expected restructuring advice, got {other:?}"),
+        }
+        assert!(fixes[0].1.to_string().contains("truly shared"));
+    }
+
+    #[test]
+    fn clean_report_yields_no_fixes() {
+        let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
+        let t0 = s.register_thread();
+        let obj = s.malloc(t0, 64, Callsite::here()).unwrap();
+        for i in 0..500u64 {
+            s.write::<u64>(t0, obj.start, i);
+        }
+        let report = s.report();
+        assert!(suggest_fixes(&report, geom()).is_empty());
+    }
+
+    #[test]
+    fn suggestions_index_back_into_findings() {
+        let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
+        let t0 = s.register_thread();
+        let t1 = s.register_thread();
+        let a = s.malloc(t0, 64, Callsite::here()).unwrap();
+        let b = s.malloc(t0, 64, Callsite::here()).unwrap();
+        for i in 0..500u64 {
+            s.write::<u64>(t0, a.start, i);
+            s.write::<u64>(t1, a.start + 8, i);
+            s.write::<u64>(t0, b.start, i);
+            s.write::<u64>(t1, b.start + 8, i);
+        }
+        let report = s.report();
+        for (idx, fix) in suggest_fixes(&report, geom()) {
+            if let FixSuggestion::PadPerThread { object, .. } = fix {
+                assert_eq!(object, report.findings[idx].object.start);
+            }
+        }
+    }
+}

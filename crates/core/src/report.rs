@@ -1,0 +1,709 @@
+//! Report generation: ranked, source-attributed findings (§2.3, Figure 5).
+//!
+//! For each problem PREDATOR reports the victim object (heap callsite stack,
+//! or global name/address/size), aggregate access and invalidation counts,
+//! and word-granularity access information — "which threads accessed which
+//! words" — so the developer can see exactly where and how the sharing
+//! happens. Findings are ranked by invalidation count, the paper's proxy for
+//! projected performance impact.
+//!
+//! Observed (physical-line) and predicted (virtual-line) problems become
+//! separate [`Finding`]s with distinct [`FindingKind`]s; predicted findings
+//! carry the verified virtual-line invalidation counts of §3.4, never the
+//! raw estimates of §3.3.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use predator_alloc::{Callsite, TrackedHeap};
+use predator_sim::{Owner, ThreadId, VirtualRange};
+
+use crate::detect::{classify, SharingClass};
+use crate::predict::UnitKind;
+use crate::runtime::Predator;
+use crate::stats::RunStats;
+
+/// What the finding is anchored to in the source program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteKind {
+    /// A heap object, attributed by allocation callsite.
+    Heap {
+        /// Allocation call stack.
+        callsite: Callsite,
+        /// Allocating thread.
+        owner: ThreadId,
+    },
+    /// A registered global variable.
+    Global {
+        /// Variable name.
+        name: String,
+    },
+    /// Memory the runtime could not attribute (e.g. already freed).
+    Unknown,
+}
+
+/// The memory object a finding concerns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectReport {
+    /// First byte address.
+    pub start: u64,
+    /// One-past-the-end address.
+    pub end: u64,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Source attribution.
+    pub site: SiteKind,
+}
+
+/// Word-granularity access information (Figure 5's
+/// `Address 0x… (line N): reads R writes W by thread T`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WordReport {
+    /// Word start address.
+    pub addr: u64,
+    /// Global cache-line index of the word (the paper prints these raw:
+    /// `0x4000_0040 >> 6 = 16777217`).
+    pub line: u64,
+    /// Sampled reads.
+    pub reads: u64,
+    /// Sampled writes.
+    pub writes: u64,
+    /// Exclusive owner / shared marker.
+    pub owner: Owner,
+}
+
+/// How the problem was established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FindingKind {
+    /// Invalidations observed on physical cache lines in this run.
+    Observed,
+    /// Predicted for hardware with doubled cache-line size, verified on
+    /// doubled virtual lines (§3.3 scenario 1).
+    PredictedDoubled,
+    /// Extension: predicted for hardware with `2^factor_log2`-times larger
+    /// lines (beyond the paper's single doubling).
+    PredictedScaled {
+        /// log2 of the line-size multiple (≥ 2).
+        factor_log2: u32,
+    },
+    /// Predicted for a different object starting address, verified on
+    /// remapped virtual lines shifted by `delta` bytes (§3.3 scenario 2).
+    PredictedRemap {
+        /// Partition shift that exposes the sharing.
+        delta: u64,
+    },
+}
+
+impl std::fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FindingKind::Observed => f.write_str("observed"),
+            FindingKind::PredictedDoubled => f.write_str("predicted (doubled cache line size)"),
+            FindingKind::PredictedScaled { factor_log2 } => {
+                write!(f, "predicted ({}x cache line size)", 1u64 << factor_log2)
+            }
+            FindingKind::PredictedRemap { delta } => {
+                write!(f, "predicted (object start shifted, partition offset {delta} bytes)")
+            }
+        }
+    }
+}
+
+/// One reported problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Observed or predicted (and under which scenario).
+    pub kind: FindingKind,
+    /// False, true, or mixed sharing.
+    pub class: SharingClass,
+    /// The victim object.
+    pub object: ObjectReport,
+    /// Invalidations: observed on physical lines, or verified on virtual
+    /// lines for predictions. The ranking key.
+    pub invalidations: u64,
+    /// Sampled accesses on the involved lines.
+    pub accesses: u64,
+    /// Sampled writes on the involved lines.
+    pub writes: u64,
+    /// Word-granularity detail for the involved lines (only active words).
+    pub words: Vec<WordReport>,
+    /// Virtual-line ranges verified (empty for observed findings).
+    pub virtual_lines: Vec<VirtualRange>,
+}
+
+/// A complete detector report: ranked findings plus run statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Findings ranked by invalidation count, most severe first.
+    pub findings: Vec<Finding>,
+    /// Aggregate run statistics.
+    pub stats: RunStats,
+}
+
+impl Report {
+    /// Findings classified as false sharing (including mixed).
+    pub fn false_sharing(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| matches!(f.class, SharingClass::FalseSharing | SharingClass::Mixed))
+    }
+
+    /// True iff any false-sharing finding exists.
+    pub fn has_false_sharing(&self) -> bool {
+        self.false_sharing().next().is_some()
+    }
+
+    /// True iff any false-sharing finding was *observed* (no prediction
+    /// needed) — the paper's "Without Prediction" column.
+    pub fn has_observed_false_sharing(&self) -> bool {
+        self.false_sharing().any(|f| f.kind == FindingKind::Observed)
+    }
+
+    /// True iff any false-sharing finding is predicted-only (the
+    /// linear_regression case: caught only "With Prediction").
+    pub fn has_predicted_false_sharing(&self) -> bool {
+        self.false_sharing().any(|f| f.kind != FindingKind::Observed)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Renders a GitHub-flavoured-markdown report (for CI artifacts and
+    /// issue filing).
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("# PREDATOR report\n\n");
+        if self.findings.is_empty() {
+            out.push_str("No sharing problems found above the reporting threshold.\n\n");
+        } else {
+            out.push_str("| # | class | detection | object | size | invalidations | accesses |\n");
+            out.push_str("|---|---|---|---|---|---|---|\n");
+            for (i, f) in self.findings.iter().enumerate() {
+                let site = match &f.object.site {
+                    SiteKind::Heap { callsite, .. } => callsite
+                        .frames
+                        .first()
+                        .map(|fr| fr.to_string())
+                        .unwrap_or_else(|| format!("{:#x}", f.object.start)),
+                    SiteKind::Global { name } => name.clone(),
+                    SiteKind::Unknown => format!("{:#x}", f.object.start),
+                };
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | `{}` | {} | {} | {} |",
+                    i, f.class, f.kind, site, f.object.size, f.invalidations, f.accesses
+                );
+            }
+            out.push('\n');
+            for (i, f) in self.findings.iter().enumerate() {
+                let _ = writeln!(out, "## Finding {i}\n\n```text\n{f}```\n");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "_{} events; {}/{} lines tracked; {} prediction units; {} bytes metadata._",
+            self.stats.events,
+            self.stats.tracked_lines,
+            self.stats.total_lines,
+            self.stats.prediction_units,
+            self.stats.metadata_bytes
+        );
+        out
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.findings.is_empty() {
+            writeln!(f, "No sharing problems found above the reporting threshold.")?;
+        }
+        for (i, finding) in self.findings.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{finding}")?;
+        }
+        writeln!(
+            f,
+            "\n[stats] events: {}; tracked lines: {}/{}; prediction units: {}; metadata: {} bytes",
+            self.stats.events,
+            self.stats.tracked_lines,
+            self.stats.total_lines,
+            self.stats.prediction_units,
+            self.stats.metadata_bytes
+        )
+    }
+}
+
+impl std::fmt::Display for Finding {
+    /// Renders in the shape of the paper's Figure 5.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match &self.object.site {
+            SiteKind::Heap { .. } => "HEAP OBJECT",
+            SiteKind::Global { .. } => "GLOBAL VARIABLE",
+            SiteKind::Unknown => "MEMORY REGION",
+        };
+        writeln!(
+            f,
+            "{} {}: start {:#x} end {:#x} (with size {}).",
+            self.class, what, self.object.start, self.object.end, self.object.size
+        )?;
+        writeln!(
+            f,
+            "Number of accesses: {}; Number of invalidations: {}; Number of writes: {}.",
+            self.accesses, self.invalidations, self.writes
+        )?;
+        writeln!(f, "Detection: {}.", self.kind)?;
+        for vr in &self.virtual_lines {
+            writeln!(f, "Verified virtual line: {vr}")?;
+        }
+        match &self.object.site {
+            SiteKind::Heap { callsite, owner } => {
+                writeln!(f, "Allocated by {owner}. Callsite stack:")?;
+                write!(f, "{callsite}")?;
+            }
+            SiteKind::Global { name } => writeln!(f, "Global variable: {name}")?,
+            SiteKind::Unknown => writeln!(f, "(unattributed memory)")?,
+        }
+        writeln!(f, "\nWord level information:")?;
+        for w in &self.words {
+            let by = match w.owner {
+                Owner::Exclusive(t) => format!(" by {t}"),
+                Owner::Shared => " by multiple threads".to_string(),
+                Owner::Untouched => String::new(),
+            };
+            writeln!(
+                f,
+                "Address {:#x} (line {}): reads {} writes {}{}",
+                w.addr, w.line, w.reads, w.writes, by
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Internal grouping key: one finding per (object, scenario family).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum GroupKey {
+    Heap(u64),
+    Global(String),
+    Line(u64),
+}
+
+/// Builds the ranked report from the runtime's current state.
+///
+/// `heap` enables heap-object attribution and live-byte statistics; pass
+/// `None` for trace-replay sessions without a managed heap.
+pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
+    let cfg = *rt.config();
+    let geom = cfg.geometry;
+
+    let attribute = |addr: u64| -> (GroupKey, ObjectReport) {
+        // Explicitly registered globals take precedence: `Session::global`
+        // backs globals with heap storage, but they must be reported by name.
+        if let Some(g) = rt.global_at(addr) {
+            return (
+                GroupKey::Global(g.name.clone()),
+                ObjectReport {
+                    start: g.start,
+                    end: g.start + g.size,
+                    size: g.size,
+                    site: SiteKind::Global { name: g.name },
+                },
+            );
+        }
+        if let Some(obj) = heap.and_then(|h| h.object_at(addr)) {
+            let callsite = heap
+                .and_then(|h| h.resolve_callsite(obj.callsite))
+                .unwrap_or_else(Callsite::unknown);
+            return (
+                GroupKey::Heap(obj.start),
+                ObjectReport {
+                    start: obj.start,
+                    end: obj.start + obj.size,
+                    size: obj.size,
+                    site: SiteKind::Heap { callsite, owner: obj.owner },
+                },
+            );
+        }
+        let line = geom.line_index(addr);
+        (
+            GroupKey::Line(line),
+            ObjectReport {
+                start: geom.line_start(line),
+                end: geom.line_start(line) + geom.line_size(),
+                size: geom.line_size(),
+                site: SiteKind::Unknown,
+            },
+        )
+    };
+
+    // ---- Observed findings: group reportable physical lines by object. ----
+    struct ObsAgg {
+        object: ObjectReport,
+        class: SharingClass,
+        invalidations: u64,
+        accesses: u64,
+        writes: u64,
+        words: Vec<WordReport>,
+    }
+    let mut observed: BTreeMap<GroupKey, ObsAgg> = BTreeMap::new();
+
+    for (_, snap) in rt.tracked_snapshots() {
+        if snap.invalidations < cfg.report_threshold {
+            continue;
+        }
+        let Some(class) = classify(&snap.words) else { continue };
+        // Attribute by the line's hottest active word.
+        let hottest = snap
+            .words
+            .words()
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, w)| w.total())
+            .map(|(i, _)| snap.words.word_addr(i))
+            .unwrap_or(snap.line_start);
+        let (key, object) = attribute(hottest);
+        let words: Vec<WordReport> = snap
+            .words
+            .words()
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.total() > 0)
+            .map(|(i, w)| WordReport {
+                addr: snap.words.word_addr(i),
+                line: geom.line_index(snap.words.word_addr(i)),
+                reads: w.reads,
+                writes: w.writes,
+                owner: w.owner,
+            })
+            .collect();
+        let agg = observed.entry(key).or_insert_with(|| ObsAgg {
+            object,
+            class,
+            invalidations: 0,
+            accesses: 0,
+            writes: 0,
+            words: Vec::new(),
+        });
+        agg.invalidations += snap.invalidations;
+        agg.accesses += snap.reads + snap.writes;
+        agg.writes += snap.writes;
+        agg.words.extend(words);
+        // Escalate classification: Mixed dominates.
+        agg.class = match (agg.class, class) {
+            (a, b) if a == b => a,
+            _ => SharingClass::Mixed,
+        };
+    }
+
+    let mut findings: Vec<Finding> = observed
+        .into_values()
+        .map(|a| Finding {
+            kind: FindingKind::Observed,
+            class: a.class,
+            object: a.object,
+            invalidations: a.invalidations,
+            accesses: a.accesses,
+            writes: a.writes,
+            words: a.words,
+            virtual_lines: Vec::new(),
+        })
+        .collect();
+
+    // ---- Predicted findings: group verified units by (object, scenario). --
+    struct PredAgg {
+        object: ObjectReport,
+        invalidations: u64,
+        accesses: u64,
+        words: Vec<WordReport>,
+        vlines: Vec<VirtualRange>,
+    }
+    // Remap units are grouped per delta (different deltas are *alternative*
+    // what-if worlds); the per-object finding keeps the worst delta. Scaled
+    // units group per factor.
+    let mut doubled: BTreeMap<GroupKey, PredAgg> = BTreeMap::new();
+    let mut scaled: BTreeMap<(GroupKey, u32), PredAgg> = BTreeMap::new();
+    let mut remap: BTreeMap<(GroupKey, u64), PredAgg> = BTreeMap::new();
+
+    for unit in rt.unit_snapshots() {
+        if unit.invalidations < cfg.report_threshold {
+            continue;
+        }
+        let (key, object) = attribute(unit.origin.x.addr);
+        let words = vec![
+            WordReport {
+                addr: unit.origin.x.addr,
+                line: geom.line_index(unit.origin.x.addr),
+                reads: unit.origin.x.state.reads,
+                writes: unit.origin.x.state.writes,
+                owner: unit.origin.x.state.owner,
+            },
+            WordReport {
+                addr: unit.origin.y.addr,
+                line: geom.line_index(unit.origin.y.addr),
+                reads: unit.origin.y.state.reads,
+                writes: unit.origin.y.state.writes,
+                owner: unit.origin.y.state.owner,
+            },
+        ];
+        let fresh = || PredAgg {
+            object,
+            invalidations: 0,
+            accesses: 0,
+            words: Vec::new(),
+            vlines: Vec::new(),
+        };
+        let slot = match unit.key.kind {
+            UnitKind::Doubled => doubled.entry(key).or_insert_with(fresh),
+            UnitKind::Scaled { factor_log2 } => {
+                scaled.entry((key, factor_log2)).or_insert_with(fresh)
+            }
+            UnitKind::Remap { delta } => remap.entry((key, delta)).or_insert_with(fresh),
+        };
+        slot.invalidations += unit.invalidations;
+        slot.accesses += unit.accesses;
+        slot.words.extend(words);
+        slot.vlines.push(unit.range);
+    }
+
+    findings.extend(doubled.into_values().map(|a| Finding {
+        kind: FindingKind::PredictedDoubled,
+        class: SharingClass::FalseSharing,
+        object: a.object,
+        invalidations: a.invalidations,
+        accesses: a.accesses,
+        writes: a.words.iter().map(|w| w.writes).sum(),
+        words: a.words,
+        virtual_lines: a.vlines,
+    }));
+
+    findings.extend(scaled.into_iter().map(|((_, factor_log2), a)| Finding {
+        kind: FindingKind::PredictedScaled { factor_log2 },
+        class: SharingClass::FalseSharing,
+        object: a.object,
+        invalidations: a.invalidations,
+        accesses: a.accesses,
+        writes: a.words.iter().map(|w| w.writes).sum(),
+        words: a.words,
+        virtual_lines: a.vlines,
+    }));
+
+    // Worst delta per object.
+    let mut best_remap: BTreeMap<GroupKey, (u64, PredAgg)> = BTreeMap::new();
+    for ((key, delta), agg) in remap {
+        match best_remap.get(&key) {
+            Some((_, existing)) if existing.invalidations >= agg.invalidations => {}
+            _ => {
+                best_remap.insert(key, (delta, agg));
+            }
+        }
+    }
+    findings.extend(best_remap.into_values().map(|(delta, a)| Finding {
+        kind: FindingKind::PredictedRemap { delta },
+        class: SharingClass::FalseSharing,
+        object: a.object,
+        invalidations: a.invalidations,
+        accesses: a.accesses,
+        writes: a.words.iter().map(|w| w.writes).sum(),
+        words: a.words,
+        virtual_lines: a.vlines,
+    }));
+
+    // ---- Rank by projected impact. ----
+    findings.sort_by_key(|f| std::cmp::Reverse(f.invalidations));
+
+    let stats = RunStats {
+        events: rt.events(),
+        observed_invalidations: rt.total_invalidations(),
+        tracked_lines: rt.tracked_lines(),
+        total_lines: rt.layout().lines(),
+        prediction_units: rt.unit_snapshots().len(),
+        metadata_bytes: rt.metadata_bytes(),
+        app_live_bytes: heap.map(|h| h.live_bytes()).unwrap_or(0),
+    };
+
+    Report { findings, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectorConfig;
+    use predator_sim::AccessKind::Write;
+
+    const BASE: u64 = 0x4000_0000;
+
+    fn rt() -> Predator {
+        Predator::new(DetectorConfig::sensitive(), BASE, 1 << 20)
+    }
+
+    #[test]
+    fn empty_runtime_produces_empty_report() {
+        let rt = rt();
+        let r = build_report(&rt, None);
+        assert!(r.findings.is_empty());
+        assert!(!r.has_false_sharing());
+        assert_eq!(r.stats.total_lines, (1 << 20) / 64);
+        assert!(r.to_string().contains("No sharing problems"));
+    }
+
+    #[test]
+    fn observed_false_sharing_is_reported_and_ranked() {
+        let rt = rt();
+        // Severe ping-pong on line 0, milder on line 10.
+        for i in 0..400u64 {
+            rt.handle_access(ThreadId((i % 2) as u16), BASE + (i % 2) * 8, 8, Write);
+        }
+        for i in 0..60u64 {
+            rt.handle_access(ThreadId((i % 2) as u16), BASE + 640 + (i % 2) * 8, 8, Write);
+        }
+        let r = build_report(&rt, None);
+        assert!(r.has_observed_false_sharing());
+        assert!(r.findings.len() >= 2);
+        assert!(r.findings[0].invalidations >= r.findings[1].invalidations);
+        assert_eq!(r.findings[0].kind, FindingKind::Observed);
+        assert_eq!(r.findings[0].class, SharingClass::FalseSharing);
+        assert!(!r.findings[0].words.is_empty());
+    }
+
+    #[test]
+    fn true_sharing_is_not_reported_as_false_sharing() {
+        let rt = rt();
+        // All threads hammer the SAME word.
+        for i in 0..400u64 {
+            rt.handle_access(ThreadId((i % 4) as u16), BASE, 8, Write);
+        }
+        let r = build_report(&rt, None);
+        assert!(!r.has_false_sharing(), "true sharing must not be a false positive");
+        assert!(r.findings.iter().any(|f| f.class == SharingClass::TrueSharing));
+    }
+
+    #[test]
+    fn predicted_finding_reports_virtual_lines() {
+        let rt = rt();
+        for _ in 0..600 {
+            rt.handle_access(ThreadId(0), BASE + 56, 8, Write);
+            rt.handle_access(ThreadId(1), BASE + 64, 8, Write);
+        }
+        let r = build_report(&rt, None);
+        assert!(r.has_predicted_false_sharing());
+        assert!(!r.has_observed_false_sharing());
+        let pred = r
+            .findings
+            .iter()
+            .find(|f| f.kind == FindingKind::PredictedDoubled)
+            .expect("doubled prediction");
+        assert!(!pred.virtual_lines.is_empty());
+        assert!(pred.invalidations > 100);
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| matches!(f.kind, FindingKind::PredictedRemap { .. })));
+    }
+
+    #[test]
+    fn global_attribution_appears_in_report() {
+        let rt = rt();
+        rt.register_global("stats_array", BASE, 64);
+        for i in 0..400u64 {
+            rt.handle_access(ThreadId((i % 2) as u16), BASE + (i % 2) * 8, 8, Write);
+        }
+        let r = build_report(&rt, None);
+        let f = &r.findings[0];
+        assert_eq!(f.object.site, SiteKind::Global { name: "stats_array".into() });
+        let text = r.to_string();
+        assert!(text.contains("GLOBAL VARIABLE"), "{text}");
+        assert!(text.contains("stats_array"), "{text}");
+    }
+
+    #[test]
+    fn heap_attribution_uses_callsite() {
+        use predator_alloc::{Callsite, Frame};
+        let heap = TrackedHeap::new(BASE, 1 << 20, 64, 64 << 10);
+        let rt = rt();
+        let obj = heap
+            .malloc(
+                ThreadId(0),
+                200,
+                Callsite::from_frames(vec![Frame::new("./linear_regression-pthread.c", 133)]),
+            )
+            .unwrap();
+        for i in 0..400u64 {
+            rt.handle_access(ThreadId((i % 2) as u16), obj.start + (i % 2) * 8, 8, Write);
+        }
+        let r = build_report(&rt, Some(&heap));
+        let f = &r.findings[0];
+        assert_eq!(f.object.start, obj.start);
+        assert_eq!(f.object.size, 200);
+        let text = f.to_string();
+        assert!(text.contains("HEAP OBJECT"), "{text}");
+        assert!(text.contains("./linear_regression-pthread.c:133"), "{text}");
+        assert!(r.stats.app_live_bytes > 0);
+    }
+
+    #[test]
+    fn word_reports_carry_global_line_numbers() {
+        let rt = rt();
+        for i in 0..400u64 {
+            rt.handle_access(ThreadId((i % 2) as u16), BASE + 64 + (i % 2) * 8, 8, Write);
+        }
+        let r = build_report(&rt, None);
+        let f = &r.findings[0];
+        // Line 0x4000_0040 >> 6 = 16777217 — the paper's Figure 5 number.
+        assert!(f.words.iter().all(|w| w.line == 16_777_217));
+        assert!(f.to_string().contains("(line 16777217)"));
+    }
+
+    #[test]
+    fn markdown_rendering_includes_table_and_details() {
+        let rt = rt();
+        rt.register_global("victim", BASE, 64);
+        for i in 0..400u64 {
+            rt.handle_access(ThreadId((i % 2) as u16), BASE + (i % 2) * 8, 8, Write);
+        }
+        let r = build_report(&rt, None);
+        let md = r.to_markdown();
+        assert!(md.starts_with("# PREDATOR report"), "{md}");
+        assert!(md.contains("| # | class | detection |"), "{md}");
+        assert!(md.contains("`victim`"), "{md}");
+        assert!(md.contains("## Finding 0"), "{md}");
+        assert!(md.contains("FALSE SHARING GLOBAL VARIABLE"), "{md}");
+        assert!(md.contains("events;"), "{md}");
+    }
+
+    #[test]
+    fn markdown_for_empty_report() {
+        let rt = rt();
+        let md = build_report(&rt, None).to_markdown();
+        assert!(md.contains("No sharing problems"), "{md}");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rt = rt();
+        for i in 0..400u64 {
+            rt.handle_access(ThreadId((i % 2) as u16), BASE + (i % 2) * 8, 8, Write);
+        }
+        let r = build_report(&rt, None);
+        let json = r.to_json();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn below_threshold_lines_are_not_reported() {
+        let mut cfg = DetectorConfig::sensitive();
+        cfg.report_threshold = 1_000_000;
+        let rt = Predator::new(cfg, BASE, 1 << 20);
+        for i in 0..400u64 {
+            rt.handle_access(ThreadId((i % 2) as u16), BASE + (i % 2) * 8, 8, Write);
+        }
+        let r = build_report(&rt, None);
+        assert!(r.findings.is_empty());
+    }
+}

@@ -1,0 +1,365 @@
+//! Per-line detailed tracking state — the payload behind `CacheTracking`
+//! (§2.3.1, §2.4.3).
+//!
+//! A [`CacheTrack`] exists only for lines whose write count crossed the
+//! *TrackingThreshold*. It holds the two-entry history table, the
+//! word-granularity counters, and the sampling window; during prediction it
+//! also carries the list of [`PredictionUnit`]s whose virtual lines overlap
+//! this physical line, so a single sampled access feeds both the physical
+//! and every relevant virtual history table.
+//!
+//! Concurrency: the sampling decision is a lone `Relaxed` `fetch_add` on an
+//! atomic access counter — the fast path for skipped accesses takes no lock.
+//! Recorded accesses serialize on a per-line `parking_lot::Mutex`. The lock
+//! order is always *track → unit*; units never lock tracks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use predator_sim::{AccessKind, CacheGeometry, HistoryTable, ThreadId, WordTracker};
+
+use crate::config::DetectorConfig;
+use crate::predict::PredictionUnit;
+
+/// Result of offering one access to a [`CacheTrack`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrackOutcome {
+    /// The access was inside the sampling burst and was recorded.
+    pub sampled: bool,
+    /// The access invalidated the physical line.
+    pub invalidated: bool,
+    /// The line's tracked write count just crossed a multiple of the
+    /// PredictionThreshold: the caller should run hot-pair analysis.
+    pub analysis_due: bool,
+}
+
+/// Immutable snapshot of a line's tracked state, for analysis and reporting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackSnapshot {
+    /// First byte address of the line.
+    pub line_start: u64,
+    /// Invalidations recorded on the physical line.
+    pub invalidations: u64,
+    /// Sampled reads.
+    pub reads: u64,
+    /// Sampled writes.
+    pub writes: u64,
+    /// Total accesses offered (sampled or not).
+    pub offered: u64,
+    /// Word-granularity counters.
+    pub words: WordTracker,
+}
+
+#[derive(Debug)]
+struct TrackState {
+    history: HistoryTable,
+    words: WordTracker,
+    invalidations: u64,
+    reads: u64,
+    writes: u64,
+    units: Vec<Arc<PredictionUnit>>,
+}
+
+/// Detailed tracking state for one cache line.
+#[derive(Debug)]
+pub struct CacheTrack {
+    line_start: u64,
+    offered: AtomicU64,
+    state: Mutex<TrackState>,
+}
+
+impl CacheTrack {
+    /// Creates tracking state for the line starting at `line_start`.
+    pub fn new(line_start: u64, geom: CacheGeometry) -> Self {
+        CacheTrack {
+            line_start,
+            offered: AtomicU64::new(0),
+            state: Mutex::new(TrackState {
+                history: HistoryTable::new(),
+                words: WordTracker::new(line_start, geom),
+                invalidations: 0,
+                reads: 0,
+                writes: 0,
+                units: Vec::new(),
+            }),
+        }
+    }
+
+    /// First byte address of the tracked line.
+    pub fn line_start(&self) -> u64 {
+        self.line_start
+    }
+
+    /// Offers one access; applies the sampling policy, then records into the
+    /// physical history table, the word counters, and any overlapping
+    /// prediction units.
+    pub fn handle(
+        &self,
+        tid: ThreadId,
+        addr: u64,
+        size: u8,
+        kind: AccessKind,
+        cfg: &DetectorConfig,
+    ) -> TrackOutcome {
+        let n = self.offered.fetch_add(1, Ordering::Relaxed);
+        if cfg.sampling && n % cfg.sample_interval >= cfg.sample_burst {
+            return TrackOutcome::default();
+        }
+        let mut st = self.state.lock();
+        let invalidated = st.history.record(tid, kind);
+        st.invalidations += invalidated as u64;
+        st.words.record(tid, addr, size, kind);
+        let mut analysis_due = false;
+        match kind {
+            AccessKind::Read => st.reads += 1,
+            AccessKind::Write => {
+                st.writes += 1;
+                analysis_due = cfg.prediction && st.writes.is_multiple_of(cfg.prediction_threshold);
+            }
+        }
+        for unit in &st.units {
+            if unit.range.contains(addr) {
+                unit.record(tid, kind);
+            }
+        }
+        TrackOutcome { sampled: true, invalidated, analysis_due }
+    }
+
+    /// Attaches a prediction unit whose virtual line overlaps this physical
+    /// line; deduplicated by unit identity.
+    pub fn attach_unit(&self, unit: Arc<PredictionUnit>) {
+        let mut st = self.state.lock();
+        if !st.units.iter().any(|u| u.key == unit.key) {
+            st.units.push(unit);
+        }
+    }
+
+    /// Number of attached prediction units.
+    pub fn unit_count(&self) -> usize {
+        self.state.lock().units.len()
+    }
+
+    /// Invalidations recorded on the physical line.
+    pub fn invalidations(&self) -> u64 {
+        self.state.lock().invalidations
+    }
+
+    /// Snapshot for analysis/reporting (clones the word counters).
+    pub fn snapshot(&self) -> TrackSnapshot {
+        let st = self.state.lock();
+        TrackSnapshot {
+            line_start: self.line_start,
+            invalidations: st.invalidations,
+            reads: st.reads,
+            writes: st.writes,
+            offered: self.offered.load(Ordering::Relaxed),
+            words: st.words.clone(),
+        }
+    }
+
+    /// Clears all recorded state (history, words, counters) while keeping
+    /// attached units — the metadata refresh applied when a heap object is
+    /// freed without false sharing (§2.3.2), so a later object recycling the
+    /// address starts clean.
+    pub fn reset(&self, geom: CacheGeometry) {
+        let mut st = self.state.lock();
+        st.history = HistoryTable::new();
+        st.words = WordTracker::new(self.line_start, geom);
+        st.invalidations = 0;
+        st.reads = 0;
+        st.writes = 0;
+        self.offered.store(0, Ordering::Relaxed);
+    }
+
+    /// Approximate heap footprint of this track (for Figures 8–9).
+    pub fn metadata_bytes(&self, geom: CacheGeometry) -> usize {
+        std::mem::size_of::<Self>()
+            + geom.words_per_line() * std::mem::size_of::<predator_sim::WordState>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::{HotPair, HotWord, UnitKey, UnitKind};
+    use predator_sim::AccessKind::{Read, Write};
+    use predator_sim::{Owner, VirtualGeometry, WordState};
+
+    fn cfg_nosample() -> DetectorConfig {
+        DetectorConfig::sensitive()
+    }
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(64)
+    }
+
+    #[test]
+    fn records_invalidations_like_history_table() {
+        let t = CacheTrack::new(0x4000_0000, geom());
+        let cfg = cfg_nosample();
+        let mut inv = 0;
+        for i in 0..10u16 {
+            let out = t.handle(ThreadId(i % 2), 0x4000_0000 + (i as u64 % 2) * 8, 8, Write, &cfg);
+            inv += out.invalidated as u64;
+            assert!(out.sampled);
+        }
+        assert_eq!(inv, 9);
+        assert_eq!(t.invalidations(), 9);
+        let snap = t.snapshot();
+        assert_eq!(snap.writes, 10);
+        assert_eq!(snap.reads, 0);
+        assert_eq!(snap.offered, 10);
+        assert_eq!(snap.words.words()[0].writes, 5);
+        assert_eq!(snap.words.words()[1].writes, 5);
+    }
+
+    #[test]
+    fn sampling_skips_after_burst() {
+        let mut cfg = DetectorConfig::sensitive();
+        cfg.sampling = true;
+        cfg.sample_interval = 100;
+        cfg.sample_burst = 10;
+        let t = CacheTrack::new(0, geom());
+        let mut sampled = 0;
+        for _ in 0..250 {
+            sampled += t.handle(ThreadId(0), 0, 8, Write, &cfg).sampled as u64;
+        }
+        // Bursts at offsets [0,10) and [100,110) and [200,210) → 30 samples.
+        assert_eq!(sampled, 30);
+        assert_eq!(t.snapshot().writes, 30);
+        assert_eq!(t.snapshot().offered, 250);
+    }
+
+    #[test]
+    fn analysis_due_fires_on_prediction_threshold_multiples() {
+        let cfg = cfg_nosample(); // prediction_threshold = 16
+        let t = CacheTrack::new(0, geom());
+        let mut due_at = Vec::new();
+        for i in 1..=40u64 {
+            if t.handle(ThreadId(0), 0, 8, Write, &cfg).analysis_due {
+                due_at.push(i);
+            }
+        }
+        assert_eq!(due_at, vec![16, 32]);
+    }
+
+    #[test]
+    fn analysis_not_due_when_prediction_disabled() {
+        let mut cfg = cfg_nosample();
+        cfg.prediction = false;
+        let t = CacheTrack::new(0, geom());
+        for _ in 0..64 {
+            assert!(!t.handle(ThreadId(0), 0, 8, Write, &cfg).analysis_due);
+        }
+    }
+
+    #[test]
+    fn reads_never_trigger_analysis() {
+        let cfg = cfg_nosample();
+        let t = CacheTrack::new(0, geom());
+        for _ in 0..64 {
+            assert!(!t.handle(ThreadId(0), 0, 8, Read, &cfg).analysis_due);
+        }
+        assert_eq!(t.snapshot().reads, 64);
+    }
+
+    fn dummy_unit(range_start: u64) -> Arc<PredictionUnit> {
+        let g = geom();
+        let vg = VirtualGeometry::Doubled(g);
+        let key = UnitKey { kind: UnitKind::Doubled, vline: vg.index(range_start) };
+        let pair = HotPair {
+            x: HotWord {
+                addr: range_start,
+                state: WordState { reads: 0, writes: 1, owner: Owner::Exclusive(ThreadId(0)) },
+            },
+            y: HotWord {
+                addr: range_start + 64,
+                state: WordState { reads: 0, writes: 1, owner: Owner::Exclusive(ThreadId(1)) },
+            },
+            estimate: 1,
+        };
+        Arc::new(PredictionUnit::new(key, vg, pair))
+    }
+
+    #[test]
+    fn attached_units_receive_in_range_accesses() {
+        let cfg = cfg_nosample();
+        let t = CacheTrack::new(0, geom());
+        let u = dummy_unit(0); // covers [0,128)
+        t.attach_unit(u.clone());
+        assert_eq!(t.unit_count(), 1);
+        // Ping-pong inside the virtual line.
+        for i in 0..10u16 {
+            t.handle(ThreadId(i % 2), (i as u64 % 2) * 56, 8, Write, &cfg);
+        }
+        assert_eq!(u.invalidations(), 9);
+    }
+
+    #[test]
+    fn attach_unit_dedups_by_key() {
+        let t = CacheTrack::new(0, geom());
+        let u = dummy_unit(0);
+        t.attach_unit(u.clone());
+        t.attach_unit(dummy_unit(0));
+        assert_eq!(t.unit_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_accesses_do_not_feed_unit() {
+        let cfg = cfg_nosample();
+        // Track for line 2 ([128,192)) with a unit covering [0,128).
+        let t = CacheTrack::new(128, geom());
+        let u = dummy_unit(0);
+        t.attach_unit(u.clone());
+        for i in 0..10u16 {
+            t.handle(ThreadId(i % 2), 128 + (i as u64 % 2) * 8, 8, Write, &cfg);
+        }
+        assert_eq!(u.invalidations(), 0, "accesses outside unit range ignored");
+    }
+
+    #[test]
+    fn reset_clears_counters_but_keeps_units() {
+        let cfg = cfg_nosample();
+        let t = CacheTrack::new(0, geom());
+        t.attach_unit(dummy_unit(0));
+        for i in 0..10u16 {
+            t.handle(ThreadId(i % 2), 0, 8, Write, &cfg);
+        }
+        assert!(t.invalidations() > 0);
+        t.reset(geom());
+        let snap = t.snapshot();
+        assert_eq!(snap.invalidations, 0);
+        assert_eq!(snap.reads + snap.writes, 0);
+        assert_eq!(snap.offered, 0);
+        assert_eq!(snap.words.total_accesses(), 0);
+        assert_eq!(t.unit_count(), 1, "units survive reset");
+    }
+
+    #[test]
+    fn concurrent_handling_is_consistent() {
+        let cfg = cfg_nosample();
+        let t = std::sync::Arc::new(CacheTrack::new(0, geom()));
+        std::thread::scope(|s| {
+            for id in 0..4u16 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        t.handle(ThreadId(id), (id as u64) * 8, 8, Write, &cfg);
+                    }
+                });
+            }
+        });
+        let snap = t.snapshot();
+        assert_eq!(snap.writes, 40_000, "no update lost under contention");
+        assert_eq!(snap.offered, 40_000);
+        assert_eq!(snap.words.exclusive_threads().len(), 4);
+        // Real-thread interleaving is scheduler-dependent (threads may run
+        // their whole loop in one timeslice), so only the lower bound is
+        // deterministic: at least one invalidation per thread hand-off.
+        assert!(snap.invalidations >= 3, "got {}", snap.invalidations);
+        assert!(snap.invalidations <= 39_999);
+    }
+}

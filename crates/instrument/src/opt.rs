@@ -1,0 +1,470 @@
+//! Block-local optimization passes.
+//!
+//! The paper places its instrumentation pass "at the very end of the LLVM
+//! optimization passes so that only those memory accesses surviving all
+//! previous LLVM optimization passes are instrumented" (§2.2) — the
+//! optimizer removes accesses, and the instrumenter must run afterwards to
+//! avoid probing ghosts. These passes give the mini-IR the same property to
+//! demonstrate and test that ordering:
+//!
+//! * [`constant_fold`] — `op imm, imm` becomes `mov` of the result;
+//! * [`copy_propagate`] — uses of a register that was `mov`ed from an
+//!   immediate or another register read the source directly (block-local);
+//! * [`redundant_load_elim`] — a reload of the same `(base, offset, size)`
+//!   with no intervening store or base redefinition becomes a `mov` from
+//!   the previous load's destination (block-local, conservative: any store
+//!   kills all remembered loads);
+//! * [`dead_store_elim`] — a store fully overwritten by a later store to
+//!   the identical `(base, offset, size)` in the same block, with no
+//!   intervening load, call, or probe, is removed.
+//!
+//! Instrumenting after [`optimize`] therefore yields strictly fewer probes
+//! on code with redundant loads than instrumenting before it (see tests).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ir::{Block, Inst, Module, Operand, Reg};
+
+/// What the optimizer did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptStats {
+    /// Binary operations folded to constants.
+    pub folded: usize,
+    /// Operand uses rewritten by copy propagation.
+    pub propagated: usize,
+    /// Loads replaced by register moves.
+    pub loads_eliminated: usize,
+    /// Stores removed as dead (fully overwritten in-block).
+    pub stores_eliminated: usize,
+}
+
+/// Runs all passes over every block of `module` until a fixpoint, returning
+/// cumulative statistics.
+pub fn optimize(module: &mut Module) -> OptStats {
+    let mut total = OptStats::default();
+    loop {
+        let mut round = OptStats::default();
+        for func in &mut module.functions {
+            for block in &mut func.blocks {
+                round.propagated += copy_propagate(block);
+                round.folded += constant_fold(block);
+                round.loads_eliminated += redundant_load_elim(block);
+                round.stores_eliminated += dead_store_elim(block);
+            }
+        }
+        total.folded += round.folded;
+        total.propagated += round.propagated;
+        total.loads_eliminated += round.loads_eliminated;
+        total.stores_eliminated += round.stores_eliminated;
+        if round == OptStats::default() {
+            return total;
+        }
+    }
+}
+
+/// Folds `Bin` instructions with two immediate operands into `Mov`s.
+pub fn constant_fold(block: &mut Block) -> usize {
+    let mut n = 0;
+    for inst in &mut block.insts {
+        if let Inst::Bin { op, dst, a: Operand::Imm(a), b: Operand::Imm(b) } = *inst {
+            if let Some(v) = super::interp::apply_for_opt(op, a, b) {
+                *inst = Inst::Mov { dst, src: Operand::Imm(v) };
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Rewrites operand uses through block-local `Mov` chains.
+pub fn copy_propagate(block: &mut Block) -> usize {
+    let mut copies: HashMap<Reg, Operand> = HashMap::new();
+    let mut n = 0;
+
+    let resolve = |copies: &HashMap<Reg, Operand>, op: Operand, n: &mut usize| -> Operand {
+        if let Operand::Reg(r) = op {
+            if let Some(&src) = copies.get(&r) {
+                *n += 1;
+                return src;
+            }
+        }
+        op
+    };
+
+    for inst in &mut block.insts {
+        // Rewrite uses first.
+        match inst {
+            Inst::Mov { src, .. } => *src = resolve(&copies, *src, &mut n),
+            Inst::Bin { a, b, .. } => {
+                *a = resolve(&copies, *a, &mut n);
+                *b = resolve(&copies, *b, &mut n);
+            }
+            Inst::Load { base, .. } | Inst::Probe { base, .. } => {
+                *base = resolve(&copies, *base, &mut n);
+            }
+            Inst::Store { src, base, .. } => {
+                *src = resolve(&copies, *src, &mut n);
+                *base = resolve(&copies, *base, &mut n);
+            }
+            Inst::Br { cond, .. } => *cond = resolve(&copies, *cond, &mut n),
+            Inst::Ret { value: Some(v) } => *v = resolve(&copies, *v, &mut n),
+            Inst::Call { args, argc, .. } => {
+                for a in args.iter_mut().take(*argc as usize) {
+                    *a = resolve(&copies, *a, &mut n);
+                }
+            }
+            Inst::Ret { value: None } | Inst::Jmp { .. } => {}
+        }
+        // Then update definitions.
+        match *inst {
+            Inst::Mov { dst, src } => {
+                // Invalidate copies that referenced dst.
+                copies.retain(|_, v| *v != Operand::Reg(dst));
+                if src != Operand::Reg(dst) {
+                    copies.insert(dst, src);
+                } else {
+                    copies.remove(&dst);
+                }
+            }
+            Inst::Bin { dst, .. } | Inst::Load { dst, .. } => {
+                copies.remove(&dst);
+                copies.retain(|_, v| *v != Operand::Reg(dst));
+            }
+            Inst::Call { dst: Some(dst), .. } => {
+                copies.remove(&dst);
+                copies.retain(|_, v| *v != Operand::Reg(dst));
+            }
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Replaces reloads of an address already loaded in this block (with no
+/// intervening store or base redefinition) with a `Mov` from the earlier
+/// destination.
+pub fn redundant_load_elim(block: &mut Block) -> usize {
+    type Key = (Operand, i64, u8);
+    let mut known: HashMap<Key, Reg> = HashMap::new();
+    let mut n = 0;
+    for inst in &mut block.insts {
+        match *inst {
+            Inst::Load { dst, base, offset, size } => {
+                if let Some(&prev) = known.get(&(base, offset, size)) {
+                    if prev != dst {
+                        *inst = Inst::Mov { dst, src: Operand::Reg(prev) };
+                        n += 1;
+                        // dst redefinition invalidates entries using it.
+                        known.retain(|(b, _, _), v| *v != dst && *b != Operand::Reg(dst));
+                        continue;
+                    }
+                }
+                // Redefining dst invalidates remembered loads into/based on it.
+                known.retain(|(b, _, _), v| *v != dst && *b != Operand::Reg(dst));
+                known.insert((base, offset, size), dst);
+            }
+            Inst::Store { .. } | Inst::Call { .. } => {
+                // Conservative: any store — or any callee, which may store
+                // anywhere — invalidates all remembered loads. A call also
+                // clobbers its destination register, handled below via the
+                // full clear.
+                known.clear();
+            }
+            Inst::Mov { dst, .. } | Inst::Bin { dst, .. } => {
+                known.retain(|(b, _, _), v| *v != dst && *b != Operand::Reg(dst));
+            }
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Removes stores fully overwritten by a later store to the identical
+/// `(base, offset, size)` within the block, with no intervening load, call,
+/// or probe (any of which could observe the earlier value; a differently
+/// shaped store does not count as full overwrite and blocks nothing).
+pub fn dead_store_elim(block: &mut Block) -> usize {
+    type Key = (Operand, i64, u8);
+    let mut overwritten: std::collections::HashSet<Key> = std::collections::HashSet::new();
+    let mut remove = vec![false; block.insts.len()];
+    for (i, inst) in block.insts.iter().enumerate().rev() {
+        match *inst {
+            Inst::Store { base, offset, size, .. } => {
+                if overwritten.contains(&(base, offset, size)) {
+                    remove[i] = true;
+                } else {
+                    overwritten.insert((base, offset, size));
+                }
+            }
+            // Anything that might read memory — or redefine a base register
+            // an overwriting store depends on — invalidates the set.
+            Inst::Load { .. } | Inst::Call { .. } | Inst::Probe { .. } => overwritten.clear(),
+            Inst::Mov { dst, .. } | Inst::Bin { dst, .. } => {
+                overwritten.retain(|(b, _, _)| *b != Operand::Reg(dst));
+            }
+            Inst::Jmp { .. } | Inst::Br { .. } | Inst::Ret { .. } => {}
+        }
+    }
+    let n = remove.iter().filter(|&&r| r).count();
+    if n > 0 {
+        let mut i = 0;
+        block.insts.retain(|_| {
+            let keep = !remove[i];
+            i += 1;
+            keep
+        });
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, FunctionBuilder, Module};
+    use crate::pass::{instrument_module, InstrumentOptions};
+
+    fn single_block(insts: Vec<Inst>) -> Block {
+        Block { insts }
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut b = single_block(vec![
+            Inst::Bin { op: BinOp::Add, dst: 0, a: Operand::Imm(2), b: Operand::Imm(3) },
+            Inst::Bin { op: BinOp::Mul, dst: 1, a: Operand::Reg(0), b: Operand::Imm(3) },
+            Inst::Ret { value: None },
+        ]);
+        assert_eq!(constant_fold(&mut b), 1);
+        assert_eq!(b.insts[0], Inst::Mov { dst: 0, src: Operand::Imm(5) });
+        // Register operand not folded.
+        assert!(matches!(b.insts[1], Inst::Bin { .. }));
+    }
+
+    #[test]
+    fn fold_skips_division_by_zero() {
+        let mut b = single_block(vec![
+            Inst::Bin { op: BinOp::Div, dst: 0, a: Operand::Imm(1), b: Operand::Imm(0) },
+            Inst::Ret { value: None },
+        ]);
+        assert_eq!(constant_fold(&mut b), 0, "UB-producing folds must not happen");
+    }
+
+    #[test]
+    fn propagates_copies_through_uses() {
+        let mut b = single_block(vec![
+            Inst::Mov { dst: 0, src: Operand::Imm(7) },
+            Inst::Bin { op: BinOp::Add, dst: 1, a: Operand::Reg(0), b: Operand::Reg(0) },
+            Inst::Ret { value: Some(Operand::Reg(1)) },
+        ]);
+        assert_eq!(copy_propagate(&mut b), 2);
+        assert_eq!(
+            b.insts[1],
+            Inst::Bin { op: BinOp::Add, dst: 1, a: Operand::Imm(7), b: Operand::Imm(7) }
+        );
+    }
+
+    #[test]
+    fn propagation_respects_redefinition() {
+        let mut b = single_block(vec![
+            Inst::Mov { dst: 0, src: Operand::Imm(7) },
+            Inst::Mov { dst: 0, src: Operand::Imm(9) },
+            Inst::Ret { value: Some(Operand::Reg(0)) },
+        ]);
+        copy_propagate(&mut b);
+        assert_eq!(b.insts[2], Inst::Ret { value: Some(Operand::Imm(9)) });
+    }
+
+    #[test]
+    fn propagation_invalidated_when_source_changes() {
+        let mut b = single_block(vec![
+            Inst::Mov { dst: 1, src: Operand::Reg(0) }, // r1 = r0
+            Inst::Mov { dst: 0, src: Operand::Imm(5) }, // r0 changes!
+            Inst::Ret { value: Some(Operand::Reg(1)) }, // must NOT become r0/5
+        ]);
+        copy_propagate(&mut b);
+        assert_eq!(b.insts[2], Inst::Ret { value: Some(Operand::Reg(1)) });
+    }
+
+    #[test]
+    fn eliminates_redundant_loads() {
+        let mut b = single_block(vec![
+            Inst::Load { dst: 1, base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Load { dst: 2, base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Ret { value: Some(Operand::Reg(2)) },
+        ]);
+        assert_eq!(redundant_load_elim(&mut b), 1);
+        assert_eq!(b.insts[1], Inst::Mov { dst: 2, src: Operand::Reg(1) });
+    }
+
+    #[test]
+    fn stores_kill_remembered_loads() {
+        let mut b = single_block(vec![
+            Inst::Load { dst: 1, base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Store { src: Operand::Imm(1), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Load { dst: 2, base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Ret { value: None },
+        ]);
+        assert_eq!(redundant_load_elim(&mut b), 0, "store invalidates the reload");
+    }
+
+    #[test]
+    fn base_redefinition_kills_remembered_loads() {
+        let mut b = single_block(vec![
+            Inst::Load { dst: 1, base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Bin { op: BinOp::Add, dst: 0, a: Operand::Reg(0), b: Operand::Imm(8) },
+            Inst::Load { dst: 2, base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Ret { value: None },
+        ]);
+        assert_eq!(redundant_load_elim(&mut b), 0);
+    }
+
+    #[test]
+    fn dead_store_removed() {
+        let mut b = single_block(vec![
+            Inst::Store { src: Operand::Imm(1), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Store { src: Operand::Imm(2), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Ret { value: None },
+        ]);
+        assert_eq!(dead_store_elim(&mut b), 1);
+        assert_eq!(b.insts.len(), 2);
+        assert_eq!(
+            b.insts[0],
+            Inst::Store { src: Operand::Imm(2), base: Operand::Reg(0), offset: 0, size: 8 }
+        );
+    }
+
+    #[test]
+    fn intervening_load_keeps_the_store() {
+        let mut b = single_block(vec![
+            Inst::Store { src: Operand::Imm(1), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Load { dst: 1, base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Store { src: Operand::Imm(2), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Ret { value: None },
+        ]);
+        assert_eq!(dead_store_elim(&mut b), 0);
+    }
+
+    #[test]
+    fn different_size_store_is_not_a_full_overwrite() {
+        let mut b = single_block(vec![
+            Inst::Store { src: Operand::Imm(1), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Store { src: Operand::Imm(2), base: Operand::Reg(0), offset: 0, size: 4 },
+            Inst::Ret { value: None },
+        ]);
+        assert_eq!(dead_store_elim(&mut b), 0);
+    }
+
+    #[test]
+    fn base_redefinition_between_stores_keeps_both() {
+        // r0 changes between the stores: they hit different addresses.
+        let mut b = single_block(vec![
+            Inst::Store { src: Operand::Imm(1), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Bin { op: BinOp::Add, dst: 0, a: Operand::Reg(0), b: Operand::Imm(64) },
+            Inst::Store { src: Operand::Imm(2), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Ret { value: None },
+        ]);
+        assert_eq!(dead_store_elim(&mut b), 0);
+    }
+
+    #[test]
+    fn last_store_always_survives() {
+        let mut b = single_block(vec![
+            Inst::Store { src: Operand::Imm(1), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Store { src: Operand::Imm(2), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Store { src: Operand::Imm(3), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Ret { value: None },
+        ]);
+        assert_eq!(dead_store_elim(&mut b), 2);
+        assert_eq!(
+            b.insts[0],
+            Inst::Store { src: Operand::Imm(3), base: Operand::Reg(0), offset: 0, size: 8 }
+        );
+    }
+
+    /// A function that reloads the same address three times per iteration.
+    fn chatty_module() -> Module {
+        let mut fb = FunctionBuilder::new("chatty", 2);
+        let i = fb.reg();
+        fb.mov(i, 0i64);
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jmp(head);
+        fb.select_block(head);
+        let c = fb.bin(BinOp::Lt, i, Operand::Reg(1));
+        fb.br(c, body, exit);
+        fb.select_block(body);
+        let a = fb.load(0u32, 0);
+        let b = fb.load(0u32, 0); // redundant
+        let c2 = fb.load(0u32, 0); // redundant
+        let s1 = fb.bin(BinOp::Add, a, b);
+        let s2 = fb.bin(BinOp::Add, s1, c2);
+        fb.store(0u32, 0, Operand::Reg(s2));
+        let i2 = fb.bin(BinOp::Add, i, 1i64);
+        fb.mov(i, Operand::Reg(i2));
+        fb.jmp(head);
+        fb.select_block(exit);
+        fb.ret(None);
+        Module { functions: vec![fb.finish().unwrap()] }
+    }
+
+    #[test]
+    fn optimize_reaches_fixpoint_and_preserves_validity() {
+        let mut m = chatty_module();
+        let stats = optimize(&mut m);
+        assert_eq!(stats.loads_eliminated, 2);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn instrumenting_after_optimization_probes_fewer_accesses() {
+        // The §2.2 pass-ordering property, as a test: the optimizer removes
+        // two redundant loads, so instrumenting afterwards emits fewer
+        // probes than instrumenting first. (With the per-block dedup both
+        // orders already insert one read probe; disable dedup to measure the
+        // raw access count the pass sees.)
+        let raw = InstrumentOptions { no_selective: true, ..Default::default() };
+
+        let mut before = chatty_module();
+        let stats_before = instrument_module(&mut before, &raw);
+
+        let mut after = chatty_module();
+        optimize(&mut after);
+        let stats_after = instrument_module(&mut after, &raw);
+
+        assert_eq!(stats_before.accesses_seen, 4, "3 loads + 1 store");
+        assert_eq!(stats_after.accesses_seen, 2, "1 load + 1 store survive");
+        assert!(stats_after.probes_inserted < stats_before.probes_inserted);
+    }
+
+    #[test]
+    fn optimization_preserves_program_results() {
+        use crate::interp::{Machine, NullSink, StepSchedule, ThreadSpec};
+        use predator_shadow::SimSpace;
+        use predator_sim::ThreadId;
+
+        let run = |m: &Module| -> i64 {
+            let space = SimSpace::new(4096);
+            space.store::<u64>(space.base(), 100);
+            let machine = Machine::new(m, &space, &NullSink).unwrap();
+            machine
+                .run(
+                    &[ThreadSpec {
+                        tid: ThreadId(0),
+                        function: "chatty".into(),
+                        args: vec![space.base() as i64, 5],
+                    }],
+                    StepSchedule::RoundRobin { quantum: 1 },
+                    100_000,
+                )
+                .unwrap();
+            space.load::<u64>(space.base()) as i64
+        };
+        let plain = chatty_module();
+        let mut opt = chatty_module();
+        optimize(&mut opt);
+        assert_eq!(run(&plain), run(&opt), "optimization must not change semantics");
+    }
+}

@@ -1,0 +1,596 @@
+//! A textual format for the mini-IR: assembler and printer.
+//!
+//! Lets instrumented programs be written, versioned and inspected as plain
+//! text (the `predator ir` CLI subcommand executes these files). The format
+//! is line-oriented:
+//!
+//! ```text
+//! fn worker(params=2) {
+//! bb0:
+//!   mov r2, 0
+//!   jmp bb1
+//! bb1:
+//!   lt r3, r2, r1
+//!   br r3, bb2, bb3
+//! bb2:
+//!   load r4, [r0+0], 8
+//!   add r5, r4, r2
+//!   store [r0+0], r5, 8
+//!   add r6, r2, 1
+//!   mov r2, r6
+//!   jmp bb1
+//! bb3:
+//!   ret r5
+//! }
+//! ```
+//!
+//! Operands are `rN` (register) or decimal immediates (negative allowed).
+//! `probe` lines (`probe read, [r0+8], 8`) are printed for instrumented
+//! modules and parse back, so print → parse is the identity on any module.
+
+use std::collections::HashMap;
+
+use crate::ir::{BinOp, Block, BlockId, Function, Inst, Module, Operand, Reg};
+use predator_sim::AccessKind;
+
+/// A parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn binop_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+        BinOp::Eq => "eq",
+        BinOp::Ne => "ne",
+        BinOp::Lt => "lt",
+        BinOp::Le => "le",
+        BinOp::Gt => "gt",
+        BinOp::Ge => "ge",
+    }
+}
+
+fn binop_from(name: &str) -> Option<BinOp> {
+    Some(match name {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "eq" => BinOp::Eq,
+        "ne" => BinOp::Ne,
+        "lt" => BinOp::Lt,
+        "le" => BinOp::Le,
+        "gt" => BinOp::Gt,
+        "ge" => BinOp::Ge,
+        _ => return None,
+    })
+}
+
+fn fmt_operand(op: Operand) -> String {
+    match op {
+        Operand::Reg(r) => format!("r{r}"),
+        Operand::Imm(v) => v.to_string(),
+    }
+}
+
+fn fmt_mem(base: Operand, offset: i64) -> String {
+    if offset >= 0 {
+        format!("[{}+{}]", fmt_operand(base), offset)
+    } else {
+        format!("[{}{}]", fmt_operand(base), offset)
+    }
+}
+
+/// Renders a module in the textual format.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    for (fi, func) in module.functions.iter().enumerate() {
+        if fi > 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("fn {}(params={}) {{\n", func.name, func.params));
+        for (bi, block) in func.blocks.iter().enumerate() {
+            out.push_str(&format!("bb{bi}:\n"));
+            for inst in &block.insts {
+                out.push_str("  ");
+                out.push_str(&print_inst(inst));
+                out.push('\n');
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn print_inst(inst: &Inst) -> String {
+    match *inst {
+        Inst::Mov { dst, src } => format!("mov r{dst}, {}", fmt_operand(src)),
+        Inst::Bin { op, dst, a, b } => format!(
+            "{} r{dst}, {}, {}",
+            binop_name(op),
+            fmt_operand(a),
+            fmt_operand(b)
+        ),
+        Inst::Load { dst, base, offset, size } => {
+            format!("load r{dst}, {}, {size}", fmt_mem(base, offset))
+        }
+        Inst::Store { src, base, offset, size } => {
+            format!("store {}, {}, {size}", fmt_mem(base, offset), fmt_operand(src))
+        }
+        Inst::Probe { kind, base, offset, size } => {
+            let k = match kind {
+                AccessKind::Read => "read",
+                AccessKind::Write => "write",
+            };
+            format!("probe {k}, {}, {size}", fmt_mem(base, offset))
+        }
+        Inst::Jmp { target } => format!("jmp bb{target}"),
+        Inst::Br { cond, then_bb, else_bb } => {
+            format!("br {}, bb{then_bb}, bb{else_bb}", fmt_operand(cond))
+        }
+        Inst::Ret { value } => match value {
+            Some(v) => format!("ret {}", fmt_operand(v)),
+            None => "ret".to_string(),
+        },
+        Inst::Call { dst, func, args, argc } => {
+            let args: Vec<String> =
+                args.iter().take(argc as usize).map(|a| fmt_operand(*a)).collect();
+            match dst {
+                Some(d) => format!("call r{d}, @{func}({})", args.join(", ")),
+                None => format!("call @{func}({})", args.join(", ")),
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line: line + 1, message: message.into() }
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    if let Some(r) = tok.strip_prefix('r') {
+        if let Ok(idx) = r.parse::<Reg>() {
+            return Ok(Operand::Reg(idx));
+        }
+    }
+    tok.parse::<i64>()
+        .map(Operand::Imm)
+        .map_err(|_| err(line, format!("bad operand `{tok}`")))
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    match parse_operand(tok, line)? {
+        Operand::Reg(r) => Ok(r),
+        Operand::Imm(_) => Err(err(line, format!("expected a register, got `{tok}`"))),
+    }
+}
+
+fn parse_block_id(tok: &str, line: usize) -> Result<BlockId, ParseError> {
+    tok.strip_prefix("bb")
+        .and_then(|n| n.parse::<BlockId>().ok())
+        .ok_or_else(|| err(line, format!("bad block label `{tok}`")))
+}
+
+/// Parses `[rN+K]` / `[rN-K]` / `[imm+K]`.
+fn parse_mem(tok: &str, line: usize) -> Result<(Operand, i64), ParseError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("bad memory operand `{tok}`")))?;
+    // Split at the last '+' or '-' that is not the leading sign.
+    let split = inner[1..]
+        .rfind(['+', '-'])
+        .map(|i| i + 1)
+        .ok_or_else(|| err(line, format!("memory operand `{tok}` needs `+offset`")))?;
+    let (base_s, off_s) = inner.split_at(split);
+    let base = parse_operand(base_s, line)?;
+    let offset: i64 = off_s
+        .parse()
+        .map_err(|_| err(line, format!("bad offset `{off_s}`")))?;
+    Ok((base, offset))
+}
+
+fn parse_size(tok: &str, line: usize) -> Result<u8, ParseError> {
+    match tok.parse::<u8>() {
+        Ok(s @ (1 | 2 | 4 | 8)) => Ok(s),
+        _ => Err(err(line, format!("bad access size `{tok}` (1/2/4/8)"))),
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn parse_module(text: &'a str) -> Result<Module, ParseError> {
+        let mut p = Parser { lines: text.lines().enumerate() };
+        let mut functions = Vec::new();
+        while let Some((ln, raw)) = p.lines.next() {
+            let line = strip_comment(raw);
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("fn ") {
+                functions.push(p.parse_function(rest, ln)?);
+            } else {
+                return Err(err(ln, format!("expected `fn`, got `{line}`")));
+            }
+        }
+        let module = Module { functions };
+        module.validate().map_err(|m| ParseError { line: 0, message: m })?;
+        Ok(module)
+    }
+
+    fn parse_function(&mut self, header: &str, ln: usize) -> Result<Function, ParseError> {
+        // `name(params=N) {`
+        let header = header.trim().strip_suffix('{').map(str::trim).ok_or_else(|| {
+            err(ln, "function header must end with `{`")
+        })?;
+        let open = header.find('(').ok_or_else(|| err(ln, "missing `(` in header"))?;
+        let name = header[..open].trim().to_string();
+        let args = header[open + 1..]
+            .strip_suffix(')')
+            .ok_or_else(|| err(ln, "missing `)` in header"))?;
+        let params = args
+            .trim()
+            .strip_prefix("params=")
+            .and_then(|n| n.parse::<u32>().ok())
+            .ok_or_else(|| err(ln, "expected `params=N`"))?;
+
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut labels: HashMap<String, usize> = HashMap::new();
+        let mut max_reg: u32 = params.saturating_sub(1);
+        let track = |r: Reg, max_reg: &mut u32| {
+            *max_reg = (*max_reg).max(r);
+        };
+
+        loop {
+            let Some((ln, raw)) = self.lines.next() else {
+                return Err(err(ln, "unterminated function (missing `}`)"));
+            };
+            let line = strip_comment(raw);
+            if line.is_empty() {
+                continue;
+            }
+            if line == "}" {
+                break;
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                let idx = blocks.len();
+                let expected = parse_block_id(label, ln)? as usize;
+                if expected != idx {
+                    return Err(err(ln, format!("blocks must be in order: `{label}` is block {idx}")));
+                }
+                labels.insert(label.to_string(), idx);
+                blocks.push(Block::default());
+                continue;
+            }
+            let Some(block) = blocks.last_mut() else {
+                return Err(err(ln, "instruction before the first block label"));
+            };
+            let inst = parse_inst(line, ln)?;
+            // Track register usage for num_regs.
+            for op in inst_operands(&inst) {
+                if let Operand::Reg(r) = op {
+                    track(r, &mut max_reg);
+                }
+            }
+            block.insts.push(inst);
+        }
+
+        Ok(Function { name, params, num_regs: max_reg + 1, blocks })
+    }
+}
+
+fn strip_comment(raw: &str) -> &str {
+    raw.split(';').next().unwrap_or("").trim()
+}
+
+fn inst_operands(inst: &Inst) -> Vec<Operand> {
+    match *inst {
+        Inst::Mov { dst, src } => vec![Operand::Reg(dst), src],
+        Inst::Bin { dst, a, b, .. } => vec![Operand::Reg(dst), a, b],
+        Inst::Load { dst, base, .. } => vec![Operand::Reg(dst), base],
+        Inst::Store { src, base, .. } => vec![src, base],
+        Inst::Probe { base, .. } => vec![base],
+        Inst::Br { cond, .. } => vec![cond],
+        Inst::Ret { value } => value.into_iter().collect(),
+        Inst::Call { dst, args, argc, .. } => {
+            let mut v: Vec<Operand> = args.iter().take(argc as usize).copied().collect();
+            if let Some(d) = dst {
+                v.push(Operand::Reg(d));
+            }
+            v
+        }
+        Inst::Jmp { .. } => vec![],
+    }
+}
+
+fn parse_inst(line: &str, ln: usize) -> Result<Inst, ParseError> {
+    let (op, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let args: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let need = |n: usize| -> Result<(), ParseError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(ln, format!("`{op}` expects {n} operands, got {}", args.len())))
+        }
+    };
+    match op {
+        "mov" => {
+            need(2)?;
+            Ok(Inst::Mov { dst: parse_reg(args[0], ln)?, src: parse_operand(args[1], ln)? })
+        }
+        "load" => {
+            need(3)?;
+            let (base, offset) = parse_mem(args[1], ln)?;
+            Ok(Inst::Load {
+                dst: parse_reg(args[0], ln)?,
+                base,
+                offset,
+                size: parse_size(args[2], ln)?,
+            })
+        }
+        "store" => {
+            need(3)?;
+            let (base, offset) = parse_mem(args[0], ln)?;
+            Ok(Inst::Store {
+                src: parse_operand(args[1], ln)?,
+                base,
+                offset,
+                size: parse_size(args[2], ln)?,
+            })
+        }
+        "probe" => {
+            need(3)?;
+            let kind = match args[0] {
+                "read" => AccessKind::Read,
+                "write" => AccessKind::Write,
+                other => return Err(err(ln, format!("bad probe kind `{other}`"))),
+            };
+            let (base, offset) = parse_mem(args[1], ln)?;
+            Ok(Inst::Probe { kind, base, offset, size: parse_size(args[2], ln)? })
+        }
+        "jmp" => {
+            need(1)?;
+            Ok(Inst::Jmp { target: parse_block_id(args[0], ln)? })
+        }
+        "br" => {
+            need(3)?;
+            Ok(Inst::Br {
+                cond: parse_operand(args[0], ln)?,
+                then_bb: parse_block_id(args[1], ln)?,
+                else_bb: parse_block_id(args[2], ln)?,
+            })
+        }
+        "call" => {
+            // `call rD, @F(a, b)` or `call @F(a, b)`; note the argument
+            // list is parenthesized, so re-split the raw rest string.
+            let rest = rest.trim();
+            let (dst, callee_part) = match rest.split_once(',') {
+                Some((d, tail)) if d.trim().starts_with('r') && tail.trim_start().starts_with('@') => {
+                    (Some(parse_reg(d.trim(), ln)?), tail.trim())
+                }
+                _ => (None, rest),
+            };
+            let callee_part = callee_part.trim();
+            let open = callee_part
+                .find('(')
+                .ok_or_else(|| err(ln, "call needs `(args)`"))?;
+            let func: u32 = callee_part[..open]
+                .trim()
+                .strip_prefix('@')
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| err(ln, "call target must be `@<index>`"))?;
+            let arg_str = callee_part[open + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| err(ln, "call needs closing `)`"))?;
+            let parsed: Vec<Operand> = arg_str
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| parse_operand(s, ln))
+                .collect::<Result<_, _>>()?;
+            if parsed.len() > crate::ir::MAX_CALL_ARGS {
+                return Err(err(ln, "too many call arguments"));
+            }
+            let mut padded = [Operand::Imm(0); crate::ir::MAX_CALL_ARGS];
+            padded[..parsed.len()].copy_from_slice(&parsed);
+            Ok(Inst::Call { dst, func, args: padded, argc: parsed.len() as u8 })
+        }
+        "ret" => match args.len() {
+            0 => Ok(Inst::Ret { value: None }),
+            1 => Ok(Inst::Ret { value: Some(parse_operand(args[0], ln)?) }),
+            n => Err(err(ln, format!("`ret` expects 0 or 1 operands, got {n}"))),
+        },
+        other => {
+            let bin = binop_from(other)
+                .ok_or_else(|| err(ln, format!("unknown instruction `{other}`")))?;
+            need(3)?;
+            Ok(Inst::Bin {
+                op: bin,
+                dst: parse_reg(args[0], ln)?,
+                a: parse_operand(args[1], ln)?,
+                b: parse_operand(args[2], ln)?,
+            })
+        }
+    }
+}
+
+/// Parses the textual format into a validated [`Module`].
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    Parser::parse_module(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::FunctionBuilder;
+    use crate::pass::{instrument_module, InstrumentOptions};
+
+    const WORKER: &str = "\
+fn worker(params=2) {
+bb0:
+  mov r2, 0
+  jmp bb1
+bb1:
+  lt r3, r2, r1
+  br r3, bb2, bb3
+bb2:
+  load r4, [r0+0], 8
+  add r5, r4, r2
+  store [r0+0], r5, 8
+  add r6, r2, 1
+  mov r2, r6
+  jmp bb1
+bb3:
+  ret r5
+}
+";
+
+    #[test]
+    fn parses_the_reference_program() {
+        let m = parse_module(WORKER).unwrap();
+        assert_eq!(m.functions.len(), 1);
+        let f = &m.functions[0];
+        assert_eq!(f.name, "worker");
+        assert_eq!(f.params, 2);
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.num_regs, 7);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn print_parse_is_identity() {
+        let m = parse_module(WORKER).unwrap();
+        let text = print_module(&m);
+        let m2 = parse_module(&text).unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(print_module(&m2), text, "printer is a fixpoint");
+    }
+
+    #[test]
+    fn instrumented_modules_roundtrip() {
+        let mut m = parse_module(WORKER).unwrap();
+        instrument_module(&mut m, &InstrumentOptions::default());
+        let text = print_module(&m);
+        assert!(text.contains("probe read, [r0+0], 8"), "{text}");
+        assert!(text.contains("probe write, [r0+0], 8"), "{text}");
+        let m2 = parse_module(&text).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\
+; leading comment
+fn t(params=0) {
+bb0:
+  ret   ; trailing comment
+
+}
+";
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.functions[0].blocks[0].insts, vec![Inst::Ret { value: None }]);
+    }
+
+    #[test]
+    fn negative_offsets_and_immediates() {
+        let text = "\
+fn t(params=1) {
+bb0:
+  mov r1, -5
+  load r2, [r0-8], 4
+  ret r2
+}
+";
+        let m = parse_module(text).unwrap();
+        assert_eq!(
+            m.functions[0].blocks[0].insts[1],
+            Inst::Load { dst: 2, base: Operand::Reg(0), offset: -8, size: 4 }
+        );
+        let roundtrip = parse_module(&print_module(&m)).unwrap();
+        assert_eq!(m, roundtrip);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let text = "fn t(params=0) {\nbb0:\n  bogus r1, r2\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn error_on_wrong_operand_count() {
+        let text = "fn t(params=0) {\nbb0:\n  mov r1\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.message.contains("expects 2 operands"), "{e}");
+    }
+
+    #[test]
+    fn error_on_out_of_order_blocks() {
+        let text = "fn t(params=0) {\nbb1:\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.message.contains("in order"), "{e}");
+    }
+
+    #[test]
+    fn error_on_instruction_outside_block() {
+        let text = "fn t(params=0) {\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.message.contains("before the first block"), "{e}");
+    }
+
+    #[test]
+    fn error_on_unterminated_function() {
+        let text = "fn t(params=0) {\nbb0:\n  ret\n";
+        assert!(parse_module(text).is_err());
+    }
+
+    #[test]
+    fn validation_failures_surface() {
+        // Missing terminator in bb0.
+        let text = "fn t(params=0) {\nbb0:\n  mov r0, 1\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn builder_output_prints_and_reparses() {
+        let mut fb = FunctionBuilder::new("gen", 1);
+        let v = fb.load_sized(0u32, 16, 4);
+        fb.store_sized(0u32, 24, v, 2);
+        fb.ret(Some(Operand::Reg(v)));
+        let m = Module { functions: vec![fb.finish().unwrap()] };
+        let text = print_module(&m);
+        assert_eq!(parse_module(&text).unwrap(), m);
+    }
+}

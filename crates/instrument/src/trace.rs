@@ -1,0 +1,176 @@
+//! Access-trace recording and replay.
+//!
+//! Decouples event collection from analysis: record a run once (to memory or
+//! a JSON-lines file), replay it into differently-configured detectors —
+//! e.g. to compare sampling rates (Figure 10) or prediction on/off
+//! (Figure 7) on *identical* access streams, something the paper's live-only
+//! runtime cannot do.
+
+use std::io::{BufRead, Write};
+
+use parking_lot::Mutex;
+
+use predator_core::Predator;
+use predator_sim::{Access, AccessKind, ThreadId};
+
+use crate::interp::AccessSink;
+
+/// An [`AccessSink`] that appends every event to an in-memory trace.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    events: Mutex<Vec<Access>>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the recorded events, in arrival order.
+    pub fn events(&self) -> Vec<Access> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consumes the recorder, returning the trace.
+    pub fn into_events(self) -> Vec<Access> {
+        self.events.into_inner()
+    }
+}
+
+impl AccessSink for TraceRecorder {
+    fn access(&self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind) {
+        self.events.lock().push(Access { tid, addr, size, kind });
+    }
+}
+
+/// Writes a trace as JSON lines (one [`Access`] per line).
+pub fn save_jsonl<W: Write>(events: &[Access], mut w: W) -> std::io::Result<()> {
+    for e in events {
+        serde_json::to_writer(&mut w, e)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a JSON-lines trace; blank lines are skipped.
+pub fn load_jsonl<R: BufRead>(r: R) -> std::io::Result<Vec<Access>> {
+    let mut out = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(serde_json::from_str(&line)?);
+    }
+    Ok(out)
+}
+
+/// Replays a trace into a detector runtime, in order.
+pub fn replay(events: &[Access], rt: &Predator) {
+    for e in events {
+        rt.handle_access(e.tid, e.addr, e.size, e.kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predator_core::DetectorConfig;
+
+    fn ping_pong_trace(n: u64, base: u64) -> Vec<Access> {
+        (0..n)
+            .map(|i| Access::write(ThreadId((i % 2) as u16), base + (i % 2) * 8, 8))
+            .collect()
+    }
+
+    #[test]
+    fn recorder_preserves_order() {
+        let rec = TraceRecorder::new();
+        rec.access(ThreadId(0), 0x100, 8, AccessKind::Write);
+        rec.access(ThreadId(1), 0x108, 4, AccessKind::Read);
+        let ev = rec.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0], Access::write(ThreadId(0), 0x100, 8));
+        assert_eq!(ev[1], Access::read(ThreadId(1), 0x108, 4));
+        assert_eq!(rec.into_events().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let trace = ping_pong_trace(10, 0x4000_0000);
+        let mut buf = Vec::new();
+        save_jsonl(&trace, &mut buf).unwrap();
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), 10);
+        let back = load_jsonl(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let input = b"\n\n".to_vec();
+        assert!(load_jsonl(std::io::Cursor::new(input)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        let input = b"not json\n".to_vec();
+        assert!(load_jsonl(std::io::Cursor::new(input)).is_err());
+    }
+
+    #[test]
+    fn replay_reproduces_detection() {
+        let base = 0x4000_0000;
+        let trace = ping_pong_trace(400, base);
+        let rt = Predator::new(DetectorConfig::sensitive(), base, 1 << 16);
+        replay(&trace, &rt);
+        let snap = rt.line_snapshot(0).unwrap();
+        // 4 pre-threshold writes, then strict alternation.
+        assert_eq!(snap.invalidations, 395);
+        assert_eq!(rt.events(), 400);
+    }
+
+    #[test]
+    fn same_trace_different_configs() {
+        // The decoupling the module exists for: one trace, two detectors.
+        let base = 0x4000_0000;
+        let trace = ping_pong_trace(400, base);
+        let with = Predator::new(DetectorConfig::sensitive(), base, 1 << 16);
+        let mut cfg = DetectorConfig::sensitive();
+        cfg.instrument_reads = false;
+        let without_reads = Predator::new(cfg, base, 1 << 16);
+        replay(&trace, &with);
+        replay(&trace, &without_reads);
+        // All-write trace: identical results either way.
+        assert_eq!(
+            with.line_snapshot(0).unwrap().invalidations,
+            without_reads.line_snapshot(0).unwrap().invalidations
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let rec = std::sync::Arc::new(TraceRecorder::new());
+        std::thread::scope(|s| {
+            for t in 0..4u16 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        rec.access(ThreadId(t), 0x100, 8, AccessKind::Write);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.len(), 4000);
+    }
+}

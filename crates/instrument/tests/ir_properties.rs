@@ -1,0 +1,212 @@
+//! Property tests over randomly generated IR programs: the textual format
+//! is lossless, the optimizer preserves semantics, instrumenting after
+//! optimization never probes more than before, and execution is
+//! deterministic.
+
+use proptest::prelude::*;
+
+use predator_instrument::{
+    instrument_module, optimize, parse_module, print_module, BinOp, FunctionBuilder,
+    InstrumentOptions, Machine, Module, NullSink, Operand, StepSchedule, ThreadSpec,
+    TraceRecorder,
+};
+use predator_shadow::SimSpace;
+use predator_sim::ThreadId;
+
+/// One randomly chosen body instruction, in a closed form the generator can
+/// always make valid.
+#[derive(Debug, Clone)]
+enum BodyOp {
+    /// `dst_fresh = a <op> b` with operands drawn from live regs/immediates.
+    Bin(BinOp, u8, u8),
+    /// Fresh register = load from `[base + 8*slot]`.
+    Load(u8),
+    /// Store a live value to `[base + 8*slot]`.
+    Store(u8, u8),
+    /// Copy a live value into a fresh register.
+    Mov(u8),
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    // Div/Rem excluded: a generated divisor could be zero, which is a
+    // legitimate runtime error, not a property violation.
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::Eq),
+        Just(BinOp::Lt),
+    ]
+}
+
+fn arb_body() -> impl Strategy<Value = Vec<BodyOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (arb_binop(), any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| BodyOp::Bin(o, a, b)),
+            any::<u8>().prop_map(BodyOp::Load),
+            (any::<u8>(), any::<u8>()).prop_map(|(s, v)| BodyOp::Store(s, v)),
+            any::<u8>().prop_map(BodyOp::Mov),
+        ],
+        1..24,
+    )
+}
+
+/// Lowers a random body into `fn worker(base, n) { for i in 0..n { body } }`.
+fn build_program(body: &[BodyOp]) -> Module {
+    let mut fb = FunctionBuilder::new("worker", 2);
+    let i = fb.reg();
+    fb.mov(i, 0i64);
+    let head = fb.new_block();
+    let bodyb = fb.new_block();
+    let exit = fb.new_block();
+    fb.jmp(head);
+    fb.select_block(head);
+    let c = fb.bin(BinOp::Lt, i, Operand::Reg(1));
+    fb.br(c, bodyb, exit);
+    fb.select_block(bodyb);
+
+    // Live values the body can draw from; starts with the loop counter.
+    let mut live: Vec<Operand> = vec![Operand::Reg(i), Operand::Imm(3)];
+    let pick = |live: &[Operand], k: u8| live[k as usize % live.len()];
+    for op in body {
+        match *op {
+            BodyOp::Bin(o, a, b) => {
+                let dst = fb.bin(o, pick(&live, a), pick(&live, b));
+                live.push(Operand::Reg(dst));
+            }
+            BodyOp::Load(slot) => {
+                let dst = fb.load(0u32, (slot % 8) as i64 * 8);
+                live.push(Operand::Reg(dst));
+            }
+            BodyOp::Store(slot, v) => {
+                let val = pick(&live, v);
+                fb.store(0u32, (slot % 8) as i64 * 8, val);
+            }
+            BodyOp::Mov(v) => {
+                let dst = fb.reg();
+                fb.mov(dst, pick(&live, v));
+                live.push(Operand::Reg(dst));
+            }
+        }
+    }
+    let i2 = fb.bin(BinOp::Add, i, 1i64);
+    fb.mov(i, Operand::Reg(i2));
+    fb.jmp(head);
+    fb.select_block(exit);
+    let ret = *live.last().unwrap();
+    fb.ret(Some(ret));
+    Module { functions: vec![fb.finish().expect("generated module is valid")] }
+}
+
+/// Runs `m` single-threaded and returns (return value, final memory words).
+fn run_program(m: &Module, iters: i64) -> (Option<i64>, Vec<u64>) {
+    let space = SimSpace::new(4096);
+    // Deterministic non-trivial initial memory.
+    for w in 0..8u64 {
+        space.store::<u64>(space.base() + w * 8, w.wrapping_mul(0x9E37_79B9) + 1);
+    }
+    let machine = Machine::new(m, &space, &NullSink).unwrap();
+    let r = machine
+        .run(
+            &[ThreadSpec {
+                tid: ThreadId(0),
+                function: "worker".into(),
+                args: vec![space.base() as i64, iters],
+            }],
+            StepSchedule::RoundRobin { quantum: 1 },
+            5_000_000,
+        )
+        .expect("generated program terminates");
+    let mem = (0..8u64).map(|w| space.load::<u64>(space.base() + w * 8)).collect();
+    (r[0], mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// print → parse is the identity on arbitrary (instrumented or not)
+    /// generated modules.
+    #[test]
+    fn prop_textual_roundtrip(body in arb_body(), instrumented in any::<bool>()) {
+        let mut m = build_program(&body);
+        if instrumented {
+            instrument_module(&mut m, &InstrumentOptions::default());
+        }
+        let text = print_module(&m);
+        let back = parse_module(&text).expect("printed module parses");
+        prop_assert_eq!(&back, &m);
+        prop_assert_eq!(print_module(&back), text);
+    }
+
+    /// The optimizer never changes a program's observable behaviour
+    /// (return value and final memory).
+    #[test]
+    fn prop_optimizer_preserves_semantics(body in arb_body()) {
+        let plain = build_program(&body);
+        let mut opt = plain.clone();
+        optimize(&mut opt);
+        opt.validate().expect("optimized module stays valid");
+        prop_assert_eq!(run_program(&plain, 7), run_program(&opt, 7));
+    }
+
+    /// Instrumenting after optimization can only reduce the accesses seen
+    /// (the §2.2 pass-ordering property).
+    #[test]
+    fn prop_optimize_then_instrument_never_probes_more(body in arb_body()) {
+        let raw = InstrumentOptions { no_selective: true, ..Default::default() };
+        let mut before = build_program(&body);
+        let sb = instrument_module(&mut before, &raw);
+        let mut after = build_program(&body);
+        optimize(&mut after);
+        let sa = instrument_module(&mut after, &raw);
+        prop_assert!(sa.accesses_seen <= sb.accesses_seen,
+            "optimization added accesses: {} > {}", sa.accesses_seen, sb.accesses_seen);
+    }
+
+    /// Execution of instrumented programs is deterministic: two runs produce
+    /// identical event traces.
+    #[test]
+    fn prop_execution_is_deterministic(body in arb_body()) {
+        let mut m = build_program(&body);
+        instrument_module(&mut m, &InstrumentOptions::default());
+        let trace = |seed: u64| {
+            let space = SimSpace::new(4096);
+            let rec = TraceRecorder::new();
+            let machine = Machine::new(&m, &space, &rec).unwrap();
+            machine
+                .run(
+                    &[
+                        ThreadSpec {
+                            tid: ThreadId(0),
+                            function: "worker".into(),
+                            args: vec![space.base() as i64, 5],
+                        },
+                        ThreadSpec {
+                            tid: ThreadId(1),
+                            function: "worker".into(),
+                            args: vec![(space.base() + 64) as i64, 5],
+                        },
+                    ],
+                    StepSchedule::Seeded(seed),
+                    5_000_000,
+                )
+                .unwrap();
+            rec.into_events()
+        };
+        prop_assert_eq!(trace(11), trace(11));
+    }
+
+    /// The optimizer is idempotent: a second pass finds nothing.
+    #[test]
+    fn prop_optimizer_is_idempotent(body in arb_body()) {
+        let mut m = build_program(&body);
+        optimize(&mut m);
+        let second = optimize(&mut m);
+        prop_assert_eq!(second, Default::default());
+    }
+}

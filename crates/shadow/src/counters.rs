@@ -1,0 +1,150 @@
+//! The `CacheWrites` shadow array (§2.4.1).
+//!
+//! "PREDATOR maintains two arrays in shadow memory: `CacheWrites` tracks the
+//! number of memory writes to every cache line …". Until a line's write
+//! count crosses the *TrackingThreshold* the runtime does nothing else for
+//! it — reads are not even counted — which is what keeps the common case
+//! cheap. The increment is a single `Relaxed` atomic `fetch_add`, "to avoid
+//! expensive lock operations".
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::ShadowLayout;
+
+/// A dense array of per-cache-line atomic write counters.
+pub struct LineCounters {
+    layout: ShadowLayout,
+    counts: Box<[AtomicU32]>,
+}
+
+impl LineCounters {
+    /// Allocates counters (all zero) for every line of `layout`.
+    pub fn new(layout: ShadowLayout) -> Self {
+        let mut v = Vec::with_capacity(layout.lines());
+        v.resize_with(layout.lines(), || AtomicU32::new(0));
+        LineCounters { layout, counts: v.into_boxed_slice() }
+    }
+
+    /// The layout indices are computed with.
+    #[inline]
+    pub fn layout(&self) -> &ShadowLayout {
+        &self.layout
+    }
+
+    /// Atomically increments the write counter of the line with dense index
+    /// `idx` and returns the *new* value (Figure 1's
+    /// `ATOMIC_INCR(&CacheWrites[cacheIndex])`).
+    #[inline]
+    pub fn increment(&self, idx: usize) -> u32 {
+        self.counts[idx].fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current write count of dense line `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> u32 {
+        self.counts[idx].load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter of dense line `idx` (used when an object is freed
+    /// and its lines held no false sharing — the memory-reuse rule of
+    /// §2.3.2).
+    #[inline]
+    pub fn reset(&self, idx: usize) {
+        self.counts[idx].store(0, Ordering::Relaxed);
+    }
+
+    /// Raises the counter of dense line `idx` to at least `floor` (used to
+    /// force adjacent lines into tracked mode when prediction begins on a
+    /// neighbor, §3.2 step 2). Never lowers the counter.
+    #[inline]
+    pub fn bump_to(&self, idx: usize, floor: u32) {
+        self.counts[idx].fetch_max(floor, Ordering::Relaxed);
+    }
+
+    /// Number of counters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the layout covers no lines.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Bytes of metadata this array occupies (for the memory-overhead
+    /// experiments, Figures 8–9).
+    pub fn metadata_bytes(&self) -> usize {
+        self.counts.len() * std::mem::size_of::<AtomicU32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predator_sim::CacheGeometry;
+
+    fn counters() -> LineCounters {
+        let layout = ShadowLayout::new(0x4000_0000, 4096, CacheGeometry::new(64));
+        LineCounters::new(layout)
+    }
+
+    #[test]
+    fn starts_at_zero() {
+        let c = counters();
+        assert_eq!(c.len(), 64);
+        assert!((0..c.len()).all(|i| c.get(i) == 0));
+    }
+
+    #[test]
+    fn increment_returns_new_value() {
+        let c = counters();
+        assert_eq!(c.increment(3), 1);
+        assert_eq!(c.increment(3), 2);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(2), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_single_line() {
+        let c = counters();
+        c.increment(1);
+        c.increment(2);
+        c.reset(1);
+        assert_eq!(c.get(1), 0);
+        assert_eq!(c.get(2), 1);
+    }
+
+    #[test]
+    fn bump_to_only_raises() {
+        let c = counters();
+        c.bump_to(0, 10);
+        assert_eq!(c.get(0), 10);
+        c.bump_to(0, 5);
+        assert_eq!(c.get(0), 10);
+        c.bump_to(0, 20);
+        assert_eq!(c.get(0), 20);
+    }
+
+    #[test]
+    fn metadata_accounting() {
+        let c = counters();
+        assert_eq!(c.metadata_bytes(), 64 * 4);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let c = std::sync::Arc::new(counters());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.increment(0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(0), 80_000);
+    }
+}

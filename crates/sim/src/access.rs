@@ -1,0 +1,134 @@
+//! The event vocabulary shared by every layer of the detector.
+//!
+//! The compiler instrumentation (here: `predator-instrument`) reduces a
+//! program execution to a stream of [`Access`] events; everything the
+//! detector does is a function of that stream.
+
+use serde::{Deserialize, Serialize};
+
+/// A small dense thread identifier.
+///
+/// The paper's runtime identifies the *origin* of each access by thread; only
+/// accesses from different threads can cause cache invalidations (§2.3.1).
+/// Thread ids are assigned densely by the runtime's thread registry so they
+/// can be stored in two bytes inside history-table entries and word trackers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(pub u16);
+
+impl ThreadId {
+    /// Reserved id for the main thread.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Returns the raw index, usable for dense per-thread arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread {}", self.0)
+    }
+}
+
+/// Whether an access reads or writes memory.
+///
+/// Only writes can invalidate remote cached copies, so the two kinds are
+/// treated asymmetrically throughout (§2.3.1, §2.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store. At least one write is required for (false) sharing to matter.
+    Write,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// One memory access event: the unit of information the instrumentation
+/// delivers to the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Issuing thread.
+    pub tid: ThreadId,
+    /// Simulated virtual address of the first byte touched.
+    pub addr: u64,
+    /// Number of bytes touched (1, 2, 4 or 8 for scalar accesses).
+    pub size: u8,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Convenience constructor for a read event.
+    #[inline]
+    pub fn read(tid: ThreadId, addr: u64, size: u8) -> Self {
+        Access { tid, addr, size, kind: AccessKind::Read }
+    }
+
+    /// Convenience constructor for a write event.
+    #[inline]
+    pub fn write(tid: ThreadId, addr: u64, size: u8) -> Self {
+        Access { tid, addr, size, kind: AccessKind::Write }
+    }
+
+    /// The last byte address touched by this access.
+    #[inline]
+    pub fn end(self) -> u64 {
+        self.addr + self.size.max(1) as u64 - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_index_roundtrip() {
+        assert_eq!(ThreadId(7).index(), 7);
+        assert_eq!(ThreadId::MAIN.index(), 0);
+    }
+
+    #[test]
+    fn access_kind_is_write() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+    }
+
+    #[test]
+    fn access_end_covers_size() {
+        let a = Access::write(ThreadId(1), 100, 8);
+        assert_eq!(a.end(), 107);
+        let b = Access::read(ThreadId(1), 100, 1);
+        assert_eq!(b.end(), 100);
+    }
+
+    #[test]
+    fn zero_size_access_end_is_start() {
+        let a = Access { tid: ThreadId(0), addr: 64, size: 0, kind: AccessKind::Read };
+        assert_eq!(a.end(), 64);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ThreadId(3).to_string(), "thread 3");
+        assert_eq!(AccessKind::Read.to_string(), "read");
+        assert_eq!(AccessKind::Write.to_string(), "write");
+    }
+}

@@ -1,0 +1,227 @@
+//! Deterministic interleaving of per-thread access scripts.
+//!
+//! PREDATOR "conservatively assumes that accesses from different threads
+//! occur in an interleaved manner; that is, it assumes that the schedule
+//! exposes false sharing" (§3.3). The unit and integration tests in this
+//! workspace need *reproducible* schedules to assert exact invalidation
+//! counts, so this module merges per-thread scripts under a pluggable,
+//! deterministic [`Schedule`]:
+//!
+//! * [`Schedule::RoundRobin`] — the adversarial schedule the paper assumes:
+//!   threads take strict turns, maximizing interleaving;
+//! * [`Schedule::Seeded`] — a seeded pseudo-random schedule for
+//!   property-based tests (same seed → same order);
+//! * [`Schedule::ThreadSequential`] — each thread runs to completion before
+//!   the next starts: the schedule that *hides* sharing, useful as a negative
+//!   control;
+//! * [`Schedule::Explicit`] — a caller-provided turn order.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::access::Access;
+
+/// A per-thread list of accesses; index in the outer vector is *not*
+/// necessarily the thread id — each inner script carries thread ids in its
+/// [`Access`] records — but by convention script `i` belongs to thread `i`.
+#[derive(Debug, Clone, Default)]
+pub struct Script {
+    /// One access list per thread.
+    pub per_thread: Vec<Vec<Access>>,
+}
+
+impl Script {
+    /// Creates an empty script for `n` threads.
+    pub fn new(n: usize) -> Self {
+        Script { per_thread: vec![Vec::new(); n] }
+    }
+
+    /// Appends an access to thread `i`'s script.
+    pub fn push(&mut self, i: usize, a: Access) {
+        self.per_thread[i].push(a);
+    }
+
+    /// Total number of accesses across all threads.
+    pub fn len(&self) -> usize {
+        self.per_thread.iter().map(Vec::len).sum()
+    }
+
+    /// True when no thread has any accesses.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// How to merge the per-thread scripts into one global order.
+#[derive(Debug, Clone)]
+pub enum Schedule {
+    /// Strict turn-taking: t0, t1, …, tn−1, t0, … (skipping exhausted
+    /// threads). The paper's conservative worst case.
+    RoundRobin,
+    /// Seeded uniform choice among non-exhausted threads.
+    Seeded(u64),
+    /// Thread 0 runs to completion, then thread 1, … Hides sharing.
+    ThreadSequential,
+    /// Explicit turn order: each element picks the next thread to step; extra
+    /// turns for exhausted threads are skipped, and any accesses left when
+    /// the order runs out are appended round-robin.
+    Explicit(Vec<u16>),
+}
+
+/// Merges `script` into a single global access order under `schedule`.
+///
+/// The relative order of each thread's own accesses is always preserved
+/// (program order); only the inter-thread interleaving varies.
+pub fn interleave(script: &Script, schedule: &Schedule) -> Vec<Access> {
+    let n = script.per_thread.len();
+    let mut cursors = vec![0usize; n];
+    let total = script.len();
+    let mut out = Vec::with_capacity(total);
+
+    let step = |i: usize, cursors: &mut [usize], out: &mut Vec<Access>| -> bool {
+        if i < n && cursors[i] < script.per_thread[i].len() {
+            out.push(script.per_thread[i][cursors[i]]);
+            cursors[i] += 1;
+            true
+        } else {
+            false
+        }
+    };
+
+    match schedule {
+        Schedule::RoundRobin => {
+            let mut i = 0;
+            while out.len() < total {
+                step(i, &mut cursors, &mut out);
+                i = (i + 1) % n.max(1);
+            }
+        }
+        Schedule::ThreadSequential => {
+            for i in 0..n {
+                while step(i, &mut cursors, &mut out) {}
+            }
+        }
+        Schedule::Seeded(seed) => {
+            let mut rng = SmallRng::seed_from_u64(*seed);
+            while out.len() < total {
+                let live: Vec<usize> = (0..n)
+                    .filter(|&i| cursors[i] < script.per_thread[i].len())
+                    .collect();
+                let pick = live[rng.gen_range(0..live.len())];
+                step(pick, &mut cursors, &mut out);
+            }
+        }
+        Schedule::Explicit(order) => {
+            for &i in order {
+                step(i as usize, &mut cursors, &mut out);
+            }
+            // Drain leftovers deterministically.
+            let mut i = 0;
+            while out.len() < total {
+                step(i, &mut cursors, &mut out);
+                i = (i + 1) % n.max(1);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessKind, ThreadId};
+    use proptest::prelude::*;
+
+    fn mk_script(lens: &[usize]) -> Script {
+        let mut s = Script::new(lens.len());
+        for (i, &l) in lens.iter().enumerate() {
+            for k in 0..l {
+                s.push(
+                    i,
+                    Access::write(ThreadId(i as u16), (i * 1000 + k) as u64, 8),
+                );
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let s = mk_script(&[2, 2]);
+        let out = interleave(&s, &Schedule::RoundRobin);
+        let tids: Vec<u16> = out.iter().map(|a| a.tid.0).collect();
+        assert_eq!(tids, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn round_robin_skips_exhausted_threads() {
+        let s = mk_script(&[3, 1]);
+        let out = interleave(&s, &Schedule::RoundRobin);
+        let tids: Vec<u16> = out.iter().map(|a| a.tid.0).collect();
+        assert_eq!(tids, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn thread_sequential_runs_to_completion() {
+        let s = mk_script(&[2, 2]);
+        let out = interleave(&s, &Schedule::ThreadSequential);
+        let tids: Vec<u16> = out.iter().map(|a| a.tid.0).collect();
+        assert_eq!(tids, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn explicit_order_respected_then_drained() {
+        let s = mk_script(&[2, 2]);
+        let out = interleave(&s, &Schedule::Explicit(vec![1, 1]));
+        let tids: Vec<u16> = out.iter().map(|a| a.tid.0).collect();
+        assert_eq!(tids, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let s = mk_script(&[10, 10, 10]);
+        let a = interleave(&s, &Schedule::Seeded(42));
+        let b = interleave(&s, &Schedule::Seeded(42));
+        assert_eq!(a, b);
+        let c = interleave(&s, &Schedule::Seeded(43));
+        assert_ne!(a, c, "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    fn empty_script_yields_nothing() {
+        let s = Script::new(0);
+        assert!(interleave(&s, &Schedule::RoundRobin).is_empty());
+        let s2 = Script::new(3);
+        assert!(interleave(&s2, &Schedule::Seeded(1)).is_empty());
+        assert!(s2.is_empty());
+    }
+
+    proptest! {
+        /// Every schedule is a permutation preserving per-thread order.
+        #[test]
+        fn prop_program_order_preserved(
+            lens in proptest::collection::vec(0usize..20, 1..5),
+            seed in 0u64..1000,
+            which in 0usize..3
+        ) {
+            let s = mk_script(&lens);
+            let sched = match which {
+                0 => Schedule::RoundRobin,
+                1 => Schedule::Seeded(seed),
+                _ => Schedule::ThreadSequential,
+            };
+            let out = interleave(&s, &sched);
+            prop_assert_eq!(out.len(), s.len());
+            // Per-thread subsequence must equal the original script.
+            for (i, orig) in s.per_thread.iter().enumerate() {
+                let got: Vec<Access> = out.iter()
+                    .filter(|a| a.tid == ThreadId(i as u16))
+                    .copied()
+                    .collect();
+                prop_assert_eq!(&got, orig);
+            }
+            // Sanity: all writes.
+            prop_assert!(out.iter().all(|a| a.kind == AccessKind::Write));
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! A MESI cache-coherence simulator used as *ground truth*.
+//!
+//! PREDATOR does not simulate a coherence protocol; it counts invalidations
+//! with the two-entry history table of [`crate::history`], justified by the
+//! observation that "if a thread writes a cache line after other threads have
+//! accessed the same cache line, this write most likely causes at least one
+//! cache invalidation" (§2.1). This module implements the real protocol —
+//! per-core private caches kept coherent with MESI, one thread pinned per
+//! core (the paper's §2.1 assumption) — so tests can *prove* the
+//! approximation tight:
+//!
+//! > For any single-line access sequence, the history table's invalidation
+//! > count equals exactly the number of MESI write operations that
+//! > invalidated at least one remote copy.
+//!
+//! (See `prop_history_table_matches_mesi_events` in the tests, and the
+//! cross-crate integration tests.) The simulator models infinite-capacity
+//! private caches: capacity misses are irrelevant to sharing traffic, and the
+//! paper's model ignores them too.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::access::{AccessKind, ThreadId};
+use crate::geometry::CacheGeometry;
+
+/// MESI state of a line present in a private cache. Absence means Invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Dirty, sole owner.
+    Modified,
+    /// Clean, sole owner.
+    Exclusive,
+    /// Clean, possibly multiple holders.
+    Shared,
+}
+
+/// Aggregate coherence-traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MesiStats {
+    /// Accesses served from the issuing core's own cache without a bus
+    /// transaction (M/E hit for writes; any-state hit for reads).
+    pub hits: u64,
+    /// Accesses requiring the line to be fetched (line absent).
+    pub misses: u64,
+    /// Writes that invalidated at least one remote copy (events).
+    pub invalidation_events: u64,
+    /// Total remote copies invalidated (≥ `invalidation_events`).
+    pub lines_invalidated: u64,
+    /// M→S downgrades forced by remote reads (implying a writeback).
+    pub downgrades: u64,
+    /// Lines evicted for space (capacity-limited mode only).
+    pub evictions: u64,
+    /// Misses on lines this core never held (first touch).
+    pub cold_misses: u64,
+    /// Misses on lines lost to remote writes — the sharing signal.
+    pub coherence_misses: u64,
+    /// Misses on lines lost to eviction.
+    pub capacity_misses: u64,
+}
+
+/// The multi-core MESI simulator.
+///
+/// Each [`ThreadId`] is a core with an infinite private cache; `access`
+/// applies the protocol transition and updates [`MesiStats`] plus per-line
+/// invalidation-event counters (retrievable via
+/// [`MesiSim::line_invalidations`]).
+#[derive(Debug, Clone)]
+pub struct MesiSim {
+    geom: CacheGeometry,
+    /// `caches[core][line_index] -> entry`; absent = Invalid.
+    caches: Vec<HashMap<u64, Entry>>,
+    /// Capacity limit per core as (sets, ways); `None` = infinite.
+    capacity: Option<(usize, usize)>,
+    /// LRU clock, bumped on every touch.
+    clock: u64,
+    /// Per-core history for miss classification: lines ever cached.
+    ever_seen: Vec<HashSet<u64>>,
+    /// Per-core lines whose last departure was a coherence invalidation.
+    coherence_lost: Vec<HashSet<u64>>,
+    stats: MesiStats,
+    line_invalidations: HashMap<u64, u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    state: LineState,
+    lru: u64,
+}
+
+/// Why a miss happened, for the capacity-limited mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissClass {
+    /// First touch by this core.
+    Cold,
+    /// The line was invalidated by a remote write — coherence traffic, the
+    /// only class (false or true) sharing produces.
+    Coherence,
+    /// The line was evicted for space.
+    Capacity,
+}
+
+impl MesiSim {
+    /// Creates a simulator with infinite private caches (coherence traffic
+    /// only — the paper's model, which ignores capacity).
+    pub fn new(n_cores: usize, geom: CacheGeometry) -> Self {
+        MesiSim {
+            geom,
+            caches: vec![HashMap::new(); n_cores],
+            capacity: None,
+            clock: 0,
+            ever_seen: vec![HashSet::new(); n_cores],
+            coherence_lost: vec![HashSet::new(); n_cores],
+            stats: MesiStats::default(),
+            line_invalidations: HashMap::new(),
+        }
+    }
+
+    /// Extension: capacity-limited set-associative private caches
+    /// (`sets × ways` lines per core, LRU replacement within a set). Enables
+    /// miss *classification* — separating cold and capacity misses from the
+    /// coherence misses that sharing causes, the distinction the paper
+    /// faults sampling-based tools for blurring.
+    pub fn with_capacity(n_cores: usize, geom: CacheGeometry, sets: usize, ways: usize) -> Self {
+        assert!(sets >= 1 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways >= 1);
+        let mut sim = Self::new(n_cores, geom);
+        sim.capacity = Some((sets, ways));
+        sim
+    }
+
+    fn set_of(&self, line: u64) -> u64 {
+        match self.capacity {
+            Some((sets, _)) => line & (sets as u64 - 1),
+            None => 0,
+        }
+    }
+
+    /// Installs `line` in `core`'s cache, evicting the set's LRU entry if
+    /// the set is full.
+    fn install(&mut self, core: usize, line: u64, state: LineState) {
+        self.clock += 1;
+        if let Some((_, ways)) = self.capacity {
+            let set = self.set_of(line);
+            let resident: Vec<(u64, u64)> = self.caches[core]
+                .iter()
+                .filter(|(&l, _)| l != line && self.set_of(l) == set)
+                .map(|(&l, e)| (l, e.lru))
+                .collect();
+            let occupied = resident.len() + self.caches[core].contains_key(&line) as usize;
+            if occupied >= ways && !self.caches[core].contains_key(&line) {
+                if let Some(&(victim, _)) = resident.iter().min_by_key(|(_, lru)| *lru) {
+                    self.caches[core].remove(&victim);
+                    self.coherence_lost[core].remove(&victim);
+                    self.stats.evictions += 1;
+                }
+            }
+        }
+        self.ever_seen[core].insert(line);
+        self.coherence_lost[core].remove(&line);
+        let lru = self.clock;
+        self.caches[core].insert(line, Entry { state, lru });
+    }
+
+    /// Classifies (and counts) a miss by `core` on `line`.
+    fn classify_miss(&mut self, core: usize, line: u64) {
+        self.stats.misses += 1;
+        if !self.ever_seen[core].contains(&line) {
+            self.stats.cold_misses += 1;
+        } else if self.coherence_lost[core].contains(&line) {
+            self.stats.coherence_misses += 1;
+        } else {
+            self.stats.capacity_misses += 1;
+        }
+    }
+
+    /// The geometry the simulator indexes lines with.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> MesiStats {
+        self.stats
+    }
+
+    /// Invalidation events recorded against a particular line index.
+    pub fn line_invalidations(&self, line: u64) -> u64 {
+        self.line_invalidations.get(&line).copied().unwrap_or(0)
+    }
+
+    /// State of `line` in `core`'s cache (None = Invalid).
+    pub fn state(&self, core: ThreadId, line: u64) -> Option<LineState> {
+        Some(self.caches.get(core.index())?.get(&line)?.state)
+    }
+
+    /// Number of lines currently resident in `core`'s cache.
+    pub fn resident_lines(&self, core: ThreadId) -> usize {
+        self.caches.get(core.index()).map(HashMap::len).unwrap_or(0)
+    }
+
+    /// Applies one access of `size` bytes at `addr` by `tid`, visiting every
+    /// line the access touches.
+    pub fn access(&mut self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind) {
+        for line in self.geom.lines_touched(addr, size) {
+            self.access_line(tid, line, kind);
+        }
+    }
+
+    fn access_line(&mut self, tid: ThreadId, line: u64, kind: AccessKind) {
+        let core = tid.index();
+        assert!(core < self.caches.len(), "thread {tid} exceeds configured core count");
+        let own = self.caches[core].get(&line).map(|e| e.state);
+        match kind {
+            AccessKind::Read => match own {
+                Some(st) => {
+                    self.stats.hits += 1;
+                    self.clock += 1;
+                    let lru = self.clock;
+                    self.caches[core].insert(line, Entry { state: st, lru });
+                }
+                None => {
+                    self.classify_miss(core, line);
+                    // Snoop: downgrade any remote M/E holder to S.
+                    let mut remote_holder = false;
+                    let mut downgrades = 0;
+                    for (i, cache) in self.caches.iter_mut().enumerate() {
+                        if i == core {
+                            continue;
+                        }
+                        if let Some(e) = cache.get_mut(&line) {
+                            remote_holder = true;
+                            if e.state != LineState::Shared {
+                                if e.state == LineState::Modified {
+                                    downgrades += 1;
+                                }
+                                e.state = LineState::Shared;
+                            }
+                        }
+                    }
+                    self.stats.downgrades += downgrades;
+                    let st =
+                        if remote_holder { LineState::Shared } else { LineState::Exclusive };
+                    self.install(core, line, st);
+                }
+            },
+            AccessKind::Write => {
+                match own {
+                    Some(LineState::Modified) => {
+                        self.stats.hits += 1;
+                        self.clock += 1;
+                        let lru = self.clock;
+                        self.caches[core].insert(line, Entry { state: LineState::Modified, lru });
+                        return;
+                    }
+                    Some(LineState::Exclusive) => {
+                        // Silent E→M upgrade, no bus traffic.
+                        self.stats.hits += 1;
+                        self.clock += 1;
+                        let lru = self.clock;
+                        self.caches[core].insert(line, Entry { state: LineState::Modified, lru });
+                        return;
+                    }
+                    Some(LineState::Shared) => {
+                        // Upgrade: invalidate remote copies (BusUpgr).
+                        self.stats.hits += 1;
+                    }
+                    None => {
+                        // Read-for-ownership miss (BusRdX).
+                        self.classify_miss(core, line);
+                    }
+                }
+                let mut invalidated = 0u64;
+                for (i, cache) in self.caches.iter_mut().enumerate() {
+                    if i == core {
+                        continue;
+                    }
+                    if cache.remove(&line).is_some() {
+                        invalidated += 1;
+                        self.coherence_lost[i].insert(line);
+                    }
+                }
+                if invalidated > 0 {
+                    self.stats.invalidation_events += 1;
+                    self.stats.lines_invalidated += invalidated;
+                    *self.line_invalidations.entry(line).or_insert(0) += 1;
+                }
+                self.install(core, line, LineState::Modified);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessKind::{Read, Write};
+    use crate::history::HistoryTable;
+    use proptest::prelude::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
+    fn sim(n: usize) -> MesiSim {
+        MesiSim::new(n, CacheGeometry::new(64))
+    }
+
+    #[test]
+    fn cold_read_is_exclusive() {
+        let mut m = sim(2);
+        m.access(T0, 0, 8, Read);
+        assert_eq!(m.state(T0, 0), Some(LineState::Exclusive));
+        assert_eq!(m.stats().misses, 1);
+        assert_eq!(m.stats().invalidation_events, 0);
+    }
+
+    #[test]
+    fn second_reader_shares() {
+        let mut m = sim(2);
+        m.access(T0, 0, 8, Read);
+        m.access(T1, 0, 8, Read);
+        assert_eq!(m.state(T0, 0), Some(LineState::Shared));
+        assert_eq!(m.state(T1, 0), Some(LineState::Shared));
+        assert_eq!(m.stats().invalidation_events, 0);
+    }
+
+    #[test]
+    fn silent_e_to_m_upgrade() {
+        let mut m = sim(2);
+        m.access(T0, 0, 8, Read);
+        m.access(T0, 0, 8, Write);
+        assert_eq!(m.state(T0, 0), Some(LineState::Modified));
+        assert_eq!(m.stats().invalidation_events, 0);
+        assert_eq!(m.stats().hits, 1);
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut m = sim(3);
+        m.access(T0, 0, 8, Read);
+        m.access(T1, 0, 8, Read);
+        m.access(T2, 0, 8, Write);
+        assert_eq!(m.stats().invalidation_events, 1);
+        assert_eq!(m.stats().lines_invalidated, 2);
+        assert_eq!(m.state(T0, 0), None);
+        assert_eq!(m.state(T1, 0), None);
+        assert_eq!(m.state(T2, 0), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn remote_read_downgrades_modified() {
+        let mut m = sim(2);
+        m.access(T0, 0, 8, Write);
+        m.access(T1, 0, 8, Read);
+        assert_eq!(m.state(T0, 0), Some(LineState::Shared));
+        assert_eq!(m.state(T1, 0), Some(LineState::Shared));
+        assert_eq!(m.stats().downgrades, 1);
+    }
+
+    #[test]
+    fn write_ping_pong_counts_per_line() {
+        let mut m = sim(2);
+        for i in 0..10u64 {
+            m.access(ThreadId((i % 2) as u16), 0, 8, Write);
+        }
+        assert_eq!(m.stats().invalidation_events, 9);
+        assert_eq!(m.line_invalidations(0), 9);
+        assert_eq!(m.line_invalidations(1), 0);
+    }
+
+    #[test]
+    fn distinct_lines_do_not_interact() {
+        let mut m = sim(2);
+        m.access(T0, 0, 8, Write);
+        m.access(T1, 64, 8, Write); // next line
+        assert_eq!(m.stats().invalidation_events, 0);
+    }
+
+    #[test]
+    fn straddling_write_touches_both_lines() {
+        let mut m = sim(2);
+        m.access(T0, 60, 8, Write); // covers lines 0 and 1
+        assert_eq!(m.state(T0, 0), Some(LineState::Modified));
+        assert_eq!(m.state(T0, 1), Some(LineState::Modified));
+        m.access(T1, 0, 8, Write);
+        assert_eq!(m.stats().invalidation_events, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds configured core count")]
+    fn rejects_unknown_core() {
+        let mut m = sim(1);
+        m.access(T1, 0, 8, Write);
+    }
+
+    #[test]
+    fn capacity_mode_evicts_lru() {
+        // 1 set x 2 ways: third distinct line evicts the least recent.
+        let mut m = MesiSim::with_capacity(1, CacheGeometry::new(64), 1, 2);
+        m.access(T0, 0, 8, Read); // line 0
+        m.access(T0, 64, 8, Read); // line 1
+        m.access(T0, 0, 8, Read); // touch line 0 -> line 1 is LRU
+        m.access(T0, 128, 8, Read); // line 2 evicts line 1
+        assert_eq!(m.stats().evictions, 1);
+        assert_eq!(m.state(T0, 1), None, "LRU line evicted");
+        assert!(m.state(T0, 0).is_some());
+        assert!(m.state(T0, 2).is_some());
+        assert_eq!(m.resident_lines(T0), 2);
+    }
+
+    #[test]
+    fn capacity_mode_classifies_misses() {
+        let mut m = MesiSim::with_capacity(2, CacheGeometry::new(64), 1, 1);
+        // Cold miss.
+        m.access(T0, 0, 8, Write);
+        assert_eq!(m.stats().cold_misses, 1);
+        // Coherence miss: T1 steals the line, T0 re-reads.
+        m.access(T1, 0, 8, Write);
+        assert_eq!(m.stats().cold_misses, 2);
+        m.access(T0, 0, 8, Read);
+        assert_eq!(m.stats().coherence_misses, 1);
+        // Capacity miss: T0's single way gets replaced by another line,
+        // then T0 returns to the first.
+        m.access(T0, 64, 8, Read);
+        assert_eq!(m.stats().evictions, 1);
+        m.access(T0, 0, 8, Read);
+        assert_eq!(m.stats().capacity_misses, 1);
+        let s = m.stats();
+        assert_eq!(s.misses, s.cold_misses + s.coherence_misses + s.capacity_misses);
+    }
+
+    #[test]
+    fn sets_partition_the_index_space() {
+        // 2 sets x 1 way: even and odd lines never evict each other.
+        let mut m = MesiSim::with_capacity(1, CacheGeometry::new(64), 2, 1);
+        m.access(T0, 0, 8, Read); // line 0 -> set 0
+        m.access(T0, 64, 8, Read); // line 1 -> set 1
+        assert_eq!(m.stats().evictions, 0);
+        assert_eq!(m.resident_lines(T0), 2);
+        m.access(T0, 128, 8, Read); // line 2 -> set 0 evicts line 0
+        assert_eq!(m.stats().evictions, 1);
+        assert_eq!(m.state(T0, 0), None);
+        assert!(m.state(T0, 1).is_some());
+    }
+
+    #[test]
+    fn false_sharing_shows_as_coherence_misses_not_capacity() {
+        // Plenty of space; a ping-pong pattern must classify as coherence.
+        let mut m = MesiSim::with_capacity(2, CacheGeometry::new(64), 16, 4);
+        for i in 0..100u64 {
+            m.access(ThreadId((i % 2) as u16), (i % 2) * 8, 8, AccessKind::Write);
+        }
+        let s = m.stats();
+        assert_eq!(s.capacity_misses, 0);
+        assert_eq!(s.cold_misses, 2);
+        assert!(s.coherence_misses > 90, "{s:?}");
+    }
+
+    #[test]
+    fn infinite_mode_never_evicts() {
+        let mut m = sim(1);
+        for line in 0..10_000u64 {
+            m.access(T0, line * 64, 8, Write);
+        }
+        assert_eq!(m.stats().evictions, 0);
+        assert_eq!(m.resident_lines(T0), 10_000);
+    }
+
+    proptest! {
+        /// Capacity never exceeds sets x ways, and the miss classes always
+        /// partition the misses.
+        #[test]
+        fn prop_capacity_respected(
+            ops in proptest::collection::vec((0u16..2, 0u64..64, prop::bool::ANY), 1..300),
+            ways in 1usize..4,
+        ) {
+            let mut m = MesiSim::with_capacity(2, CacheGeometry::new(64), 4, ways);
+            for (tid, word, w) in ops {
+                let kind = if w { Write } else { Read };
+                m.access(ThreadId(tid), word * 8, 8, kind);
+                prop_assert!(m.resident_lines(ThreadId(0)) <= 4 * ways);
+                prop_assert!(m.resident_lines(ThreadId(1)) <= 4 * ways);
+            }
+            let s = m.stats();
+            prop_assert_eq!(
+                s.misses,
+                s.cold_misses + s.coherence_misses + s.capacity_misses
+            );
+        }
+    }
+
+    proptest! {
+        /// THE key validation: the paper's two-entry history table counts
+        /// exactly the MESI invalidation *events* for any single-line script.
+        #[test]
+        fn prop_history_table_matches_mesi_events(
+            script in proptest::collection::vec((0u16..4, prop::bool::ANY), 0..512)
+        ) {
+            let mut m = sim(4);
+            let mut h = HistoryTable::new();
+            let mut h_inv = 0u64;
+            for (tid, w) in script {
+                let kind = if w { Write } else { Read };
+                m.access(ThreadId(tid), 0, 8, kind);
+                h_inv += h.record(ThreadId(tid), kind) as u64;
+            }
+            prop_assert_eq!(h_inv, m.stats().invalidation_events);
+        }
+
+        /// Events never exceed total lines invalidated, and both are bounded
+        /// by the number of writes.
+        #[test]
+        fn prop_stat_relationships(
+            script in proptest::collection::vec(
+                (0u16..4, 0u64..256, prop::bool::ANY), 0..512)
+        ) {
+            let mut m = sim(4);
+            let mut writes = 0u64;
+            for (tid, addr, w) in script {
+                let kind = if w { Write } else { Read };
+                writes += w as u64;
+                m.access(ThreadId(tid), addr, 8, kind);
+            }
+            let s = m.stats();
+            prop_assert!(s.invalidation_events <= s.lines_invalidated);
+            // Each write touches at most 2 lines here (8-byte accesses).
+            prop_assert!(s.invalidation_events <= writes * 2);
+        }
+
+        /// Coherence invariant: at most one core holds a line in M or E, and
+        /// if any core holds M/E no other core holds the line at all.
+        #[test]
+        fn prop_single_writer_invariant(
+            script in proptest::collection::vec(
+                (0u16..4, 0u64..128, prop::bool::ANY), 0..256)
+        ) {
+            let mut m = sim(4);
+            for (tid, addr, w) in script {
+                let kind = if w { Write } else { Read };
+                m.access(ThreadId(tid), addr, 8, kind);
+                for line in 0..4u64 {
+                    let holders: Vec<_> = (0..4u16)
+                        .filter_map(|c| m.state(ThreadId(c), line).map(|s| (c, s)))
+                        .collect();
+                    let owners = holders.iter()
+                        .filter(|(_, s)| *s != LineState::Shared)
+                        .count();
+                    prop_assert!(owners <= 1);
+                    if owners == 1 {
+                        prop_assert_eq!(holders.len(), 1);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! aget analogue — clean, tiny footprint.
+//!
+//! The download accelerator splits a file into per-thread byte ranges;
+//! each worker writes its own large contiguous chunk. Chunks are
+//! kilobytes, so only the two boundary lines between adjacent chunks are
+//! ever shared — and each is written once per run, far below any
+//! threshold. aget's other role in the paper is Figure 9's *relative
+//! memory overhead* outlier: its footprint is sub-megabyte.
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Session, ThreadId};
+
+use crate::common::{run_threads, time};
+use crate::{Expectation, Suite, Workload, WorkloadConfig};
+
+/// Bytes per download chunk (per thread).
+const CHUNK: usize = 4096;
+
+/// The aget-like workload.
+pub struct AgetLike;
+
+impl Workload for AgetLike {
+    fn name(&self) -> &'static str {
+        "aget"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::App
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Clean
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let main = s.register_thread();
+        let file = s
+            .malloc(main, (cfg.threads * CHUNK) as u64, Callsite::here())
+            .expect("download buffer");
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+
+        // "Receive" the file: each worker fills its own range sequentially,
+        // `iters` bytes-per-step at a time (8-byte writes).
+        let words_per_chunk = (CHUNK / 8) as u64;
+        let passes = (cfg.iters / words_per_chunk).max(1);
+        for _ in 0..passes {
+            for w in 0..words_per_chunk {
+                for (t, &tid) in tids.iter().enumerate() {
+                    let addr = file.start + (t as u64 * words_per_chunk + w) * 8;
+                    s.write::<u64>(tid, addr, w ^ t as u64);
+                }
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let buf = crate::common::SharedWords::new(cfg.threads * CHUNK / 8 + 16);
+        let words_per_chunk = CHUNK / 8;
+        let passes = (cfg.iters / words_per_chunk as u64).max(1);
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                for _ in 0..passes {
+                    for w in 0..words_per_chunk {
+                        buf.store(t * words_per_chunk + w, (w ^ t) as u64);
+                    }
+                }
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::DetectorConfig;
+
+    #[test]
+    fn no_false_sharing_reported() {
+        let cfg = WorkloadConfig { iters: 2_048, ..WorkloadConfig::quick() };
+        let r = run_and_report(&AgetLike, DetectorConfig::sensitive(), &cfg);
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn footprint_is_small() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        AgetLike.run_tracked(&s, &WorkloadConfig::quick());
+        assert!(s.heap().live_bytes() < 64 * 1024);
+    }
+
+    #[test]
+    fn file_fully_written() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        let cfg = WorkloadConfig { iters: 1_024, threads: 2, ..WorkloadConfig::quick() };
+        AgetLike.run_tracked(&s, &cfg);
+        let file = s
+            .heap()
+            .live_objects()
+            .into_iter()
+            .find(|o| o.size == (2 * CHUNK) as u64)
+            .unwrap();
+        // Spot-check both chunks (CHUNK/8 words per chunk).
+        let wpc = (CHUNK / 8) as u64;
+        assert_eq!(s.read_untracked::<u64>(file.start + 5 * 8), 5);
+        assert_eq!(s.read_untracked::<u64>(file.start + (wpc + 5) * 8), 5 ^ 1);
+    }
+
+    #[test]
+    fn native_run_completes() {
+        assert!(AgetLike.run_native(&WorkloadConfig::quick()).as_nanos() > 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Boost analogue — the `boost::detail::spinlock_pool` false sharing.
+//!
+//! `spinlock_pool<2>` backs `shared_ptr` atomics with a static array of 41
+//! one-word spinlocks; objects hash to locks by address. Eight or more
+//! locks share every cache line, so threads spinning on *different* locks
+//! invalidate each other constantly — the Stack Overflow report the paper
+//! cites, worth ~40% when fixed by padding each lock to its own line.
+//!
+//! The pool is a *global*, so this workload also exercises PREDATOR's
+//! global-variable reporting path (name/address/size, §2.3).
+
+use std::time::Duration;
+
+use predator_core::{Session, ThreadId};
+
+use crate::common::{run_threads, time, SharedWords};
+use crate::{Expectation, Suite, Variant, Workload, WorkloadConfig};
+
+/// Boost's pool size.
+const POOL_SIZE: usize = 41;
+
+fn stride_words(variant: Variant) -> u64 {
+    match variant {
+        Variant::Broken => 1,
+        Variant::Fixed => 8,
+    }
+}
+
+/// Each thread's dedicated lock index (distinct objects hash to distinct
+/// locks; collisions would be true sharing, which is not the bug here).
+fn lock_of(thread: usize) -> u64 {
+    ((thread * 7) % POOL_SIZE) as u64
+}
+
+/// The Boost-spinlock-pool workload.
+pub struct BoostSpinlockPool;
+
+impl Workload for BoostSpinlockPool {
+    fn name(&self) -> &'static str {
+        "boost"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::App
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Observed
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let _main = s.register_thread();
+        let stride = stride_words(cfg.variant);
+        // The static pool — registered as a global variable.
+        let pool = s.global("boost::detail::spinlock_pool<2>::pool_", POOL_SIZE as u64 * stride * 8);
+
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        // Per-thread refcount words the locks protect (padded, private).
+        let refcounts: Vec<_> = tids
+            .iter()
+            .map(|&tid| {
+                s.malloc(tid, 64, predator_core::Callsite::here()).expect("refcount").start
+            })
+            .collect();
+
+        for _ in 0..cfg.iters {
+            for (t, &tid) in tids.iter().enumerate() {
+                let lock = pool + lock_of(t) * stride * 8;
+                // spinlock::lock() — CAS on the lock word (a write).
+                while s.compare_exchange(tid, lock, 0, 1).is_err() {
+                    // Round-robin scheduling makes the lock always free here,
+                    // but keep the loop for fidelity.
+                }
+                // Critical section: shared_ptr refcount update.
+                let rc = refcounts[t];
+                let cur = s.read::<u64>(tid, rc);
+                s.write::<u64>(tid, rc, cur + 1);
+                // spinlock::unlock() — store release.
+                s.write::<u64>(tid, lock, 0);
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let stride = stride_words(cfg.variant) as usize;
+        let (pool, base) = SharedWords::aligned(POOL_SIZE * stride + 16, 0);
+        let refcounts = SharedWords::new(cfg.threads * 8 + 16);
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                let lock = base + lock_of(t) as usize * stride;
+                for _ in 0..cfg.iters {
+                    // CAS-acquire, bump refcount, store-release.
+                    while pool
+                        .load(lock) != 0
+                    {
+                        std::hint::spin_loop();
+                    }
+                    pool.store(lock, 1);
+                    refcounts.add(t * 8, 1);
+                    pool.store(lock, 0);
+                }
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::{DetectorConfig, SiteKind};
+
+    #[test]
+    fn broken_pool_reported_as_global_false_sharing() {
+        let r =
+            run_and_report(&BoostSpinlockPool, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        assert!(r.has_observed_false_sharing(), "{r}");
+        let f = r.false_sharing().next().unwrap();
+        match &f.object.site {
+            SiteKind::Global { name } => {
+                assert!(name.contains("spinlock_pool"), "{name}");
+            }
+            other => panic!("expected global attribution, got {other:?}"),
+        }
+        assert!(f.to_string().contains("GLOBAL VARIABLE"));
+    }
+
+    #[test]
+    fn padded_pool_is_clean() {
+        let r = run_and_report(
+            &BoostSpinlockPool,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick().with_variant(Variant::Fixed),
+        );
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn distinct_threads_use_distinct_locks() {
+        let locks: std::collections::HashSet<u64> = (0..8).map(lock_of).collect();
+        assert_eq!(locks.len(), 8, "hash must spread threads across locks");
+    }
+
+    #[test]
+    fn refcounts_reflect_all_iterations() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        let cfg = WorkloadConfig { iters: 50, threads: 2, ..WorkloadConfig::quick() };
+        BoostSpinlockPool.run_tracked(&s, &cfg);
+        let rcs: Vec<_> = s
+            .heap()
+            .live_objects()
+            .into_iter()
+            .filter(|o| o.size == 64 && o.owner.0 > 0)
+            .collect();
+        assert_eq!(rcs.len(), 2);
+        for rc in rcs {
+            assert_eq!(s.read_untracked::<u64>(rc.start), 50);
+        }
+    }
+
+    #[test]
+    fn native_run_completes() {
+        assert!(BoostSpinlockPool.run_native(&WorkloadConfig::quick()).as_nanos() > 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Memcached analogue — clean (the paper found no severe false sharing).
+//!
+//! Worker threads serve get/set requests against a sharded hash table;
+//! per-worker statistics blocks are line-padded (memcached pads its
+//! `thread_stats` with a mutex per worker), so the heavy counter traffic is
+//! thread-local.
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Session, ThreadId};
+
+use crate::common::{run_threads, thread_rng, time, SharedWords};
+use crate::{Expectation, Suite, Workload, WorkloadConfig};
+use rand::Rng;
+
+/// Hash-table slots per shard; one shard per worker.
+const SHARD_SLOTS: usize = 512;
+/// Padded stats block per worker: get_hits, get_misses, set_cmds + pad.
+const STATS_WORDS: usize = 8;
+
+/// The memcached-like workload.
+pub struct MemcachedLike;
+
+impl Workload for MemcachedLike {
+    fn name(&self) -> &'static str {
+        "memcached"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::App
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Clean
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let _main = s.register_thread();
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        let shards: Vec<_> = tids
+            .iter()
+            .map(|&tid| {
+                s.malloc(tid, (SHARD_SLOTS * 8) as u64, Callsite::here()).expect("shard").start
+            })
+            .collect();
+        let stats: Vec<_> = tids
+            .iter()
+            .map(|&tid| {
+                s.malloc(tid, (STATS_WORDS * 8) as u64, Callsite::here()).expect("stats").start
+            })
+            .collect();
+
+        let mut rngs: Vec<_> = (0..cfg.threads).map(|t| thread_rng(cfg.seed, t)).collect();
+        for _req in 0..cfg.iters {
+            for (t, &tid) in tids.iter().enumerate() {
+                let key: u64 = rngs[t].gen_range(0..4096);
+                let slot = shards[t] + (key % SHARD_SLOTS as u64) * 8;
+                if key.is_multiple_of(4) {
+                    // set
+                    s.write::<u64>(tid, slot, key);
+                    let c = stats[t] + 16;
+                    let cur = s.read::<u64>(tid, c);
+                    s.write::<u64>(tid, c, cur + 1);
+                } else {
+                    // get
+                    let v = s.read::<u64>(tid, slot);
+                    let c = stats[t] + if v == key { 0 } else { 8 };
+                    let cur = s.read::<u64>(tid, c);
+                    s.write::<u64>(tid, c, cur + 1);
+                }
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let table = SharedWords::new(cfg.threads * SHARD_SLOTS + 16);
+        let stats = SharedWords::new(cfg.threads * STATS_WORDS + 16);
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                let mut rng = thread_rng(cfg.seed, t);
+                for _ in 0..cfg.iters {
+                    let key: u64 = rng.gen_range(0..4096);
+                    let slot = t * SHARD_SLOTS + (key % SHARD_SLOTS as u64) as usize;
+                    if key.is_multiple_of(4) {
+                        table.store(slot, key);
+                        stats.add(t * STATS_WORDS + 2, 1);
+                    } else {
+                        let v = table.load(slot);
+                        stats.add(t * STATS_WORDS + usize::from(v != key), 1);
+                    }
+                }
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::DetectorConfig;
+
+    #[test]
+    fn no_false_sharing_reported() {
+        let r = run_and_report(&MemcachedLike, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn stats_account_for_every_request() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        let cfg = WorkloadConfig { iters: 200, threads: 2, ..WorkloadConfig::quick() };
+        MemcachedLike.run_tracked(&s, &cfg);
+        let stats: Vec<_> = s
+            .heap()
+            .live_objects()
+            .into_iter()
+            .filter(|o| o.size == (STATS_WORDS * 8) as u64)
+            .collect();
+        assert_eq!(stats.len(), 2);
+        for st in stats {
+            let total: u64 =
+                (0..3).map(|w| s.read_untracked::<u64>(st.start + w * 8)).sum();
+            assert_eq!(total, 200);
+        }
+    }
+
+    #[test]
+    fn native_run_completes() {
+        assert!(MemcachedLike.run_native(&WorkloadConfig::quick()).as_nanos() > 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Real-application analogues (§4.1.2).
+//!
+//! MySQL and Boost carry the two famous false-sharing bugs the paper
+//! pinpoints ("we were able to improve MySQL performance by 6× with those
+//! scalability fixes"; the Boost spinlock pool fix brought 40%). The other
+//! four — memcached, aget, pbzip2, pfscan — are the paper's clean controls:
+//! PREDATOR "does not identify any severe false sharing problems" in them.
+
+pub mod aget_like;
+pub mod boost_spinlock_pool;
+pub mod memcached_like;
+pub mod mysql_like;
+pub mod pbzip2_like;
+pub mod pfscan_like;

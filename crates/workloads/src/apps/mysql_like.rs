@@ -1,0 +1,150 @@
+//! MySQL analogue — the InnoDB-style per-thread statistics false sharing.
+//!
+//! The MySQL scalability collapse the paper cites came from hot per-thread
+//! counters packed into shared structures inside InnoDB: every transaction
+//! bumped a thread-indexed slot, and the slots of many threads shared cache
+//! lines. The fix — one line per counter — was part of the "6×" scalability
+//! work. This analogue models a transaction loop over a packed `srv_stats`
+//! counter array (broken) vs a padded one (fixed).
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Frame, Session, ThreadId};
+
+use crate::common::{run_threads, thread_rng, time, SharedWords};
+use crate::{Expectation, Suite, Variant, Workload, WorkloadConfig};
+use rand::Rng;
+
+fn stride_words(variant: Variant) -> usize {
+    match variant {
+        Variant::Broken => 1,
+        Variant::Fixed => 16,
+    }
+}
+
+/// Rows touched per simulated transaction.
+const ROWS_PER_TXN: usize = 8;
+
+/// The MySQL-like workload.
+pub struct MysqlLike;
+
+impl Workload for MysqlLike {
+    fn name(&self) -> &'static str {
+        "mysql"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::App
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Observed
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let main = s.register_thread();
+        let stride = stride_words(cfg.variant) as u64 * 8;
+
+        // The packed per-thread transaction counters inside "srv_stats".
+        let stats = s
+            .malloc(
+                main,
+                cfg.threads as u64 * stride,
+                Callsite::from_frames(vec![
+                    Frame::new("storage/innobase/srv/srv0srv.cc", 781),
+                    Frame::new("storage/innobase/trx/trx0trx.cc", 1408),
+                ]),
+            )
+            .expect("srv_stats");
+
+        // A buffer-pool-ish page area, read-heavy, per-thread pages.
+        let pages = s
+            .malloc(main, (cfg.threads * 4096) as u64, Callsite::here())
+            .expect("buffer pool");
+
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        let mut rngs: Vec<_> = (0..cfg.threads).map(|t| thread_rng(cfg.seed, t)).collect();
+        for _txn in 0..cfg.iters {
+            for (t, &tid) in tids.iter().enumerate() {
+                // Row reads from the thread's page region.
+                let page = pages.start + (t * 4096) as u64;
+                let mut checksum = 0u64;
+                for _ in 0..ROWS_PER_TXN {
+                    let off = rngs[t].gen_range(0..512u64) * 8;
+                    checksum = checksum.wrapping_add(s.read::<u64>(tid, page + off));
+                }
+                std::hint::black_box(checksum);
+                // Commit: bump this thread's packed counter.
+                let c = stats.start + t as u64 * stride;
+                let cur = s.read::<u64>(tid, c);
+                s.write::<u64>(tid, c, cur + 1);
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let stride = stride_words(cfg.variant);
+        let (stats, base) = SharedWords::aligned(cfg.threads * stride + 16, 0);
+        let pages: Vec<u64> = (0..cfg.threads * 512).map(|i| i as u64).collect();
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                let mut rng = thread_rng(cfg.seed, t);
+                for _ in 0..cfg.iters {
+                    let mut checksum = 0u64;
+                    for _ in 0..ROWS_PER_TXN {
+                        let off = rng.gen_range(0..512usize);
+                        checksum = checksum.wrapping_add(pages[t * 512 + off]);
+                    }
+                    std::hint::black_box(checksum);
+                    stats.add(base + t * stride, 1);
+                }
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::DetectorConfig;
+
+    #[test]
+    fn broken_variant_observed_with_innodb_callsite() {
+        let r = run_and_report(&MysqlLike, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        assert!(r.has_observed_false_sharing(), "{r}");
+        let text = r.false_sharing().next().unwrap().to_string();
+        assert!(text.contains("srv0srv.cc:781"), "{text}");
+    }
+
+    #[test]
+    fn fixed_variant_is_clean() {
+        let r = run_and_report(
+            &MysqlLike,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick().with_variant(Variant::Fixed),
+        );
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn transactions_all_committed() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        let cfg = WorkloadConfig { iters: 100, threads: 3, ..WorkloadConfig::quick() };
+        MysqlLike.run_tracked(&s, &cfg);
+        let stats = s
+            .heap()
+            .live_objects()
+            .into_iter()
+            .find(|o| o.size == 3 * 8)
+            .expect("stats object");
+        for t in 0..3u64 {
+            assert_eq!(s.read_untracked::<u64>(stats.start + t * 8), 100);
+        }
+    }
+
+    #[test]
+    fn native_run_completes() {
+        assert!(MysqlLike.run_native(&WorkloadConfig::quick()).as_nanos() > 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! pfscan analogue — clean of *false* sharing, with deliberate *true*
+//! sharing.
+//!
+//! The parallel file scanner pulls work units off a shared queue cursor —
+//! one word that every worker atomically bumps. That is textbook true
+//! sharing: heavy invalidation traffic on a single word, unfixable by
+//! padding. The paper reports no false sharing for pfscan; this workload
+//! doubles as the discrimination test (§2.3.2) at application scale.
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Session, ThreadId};
+
+use crate::common::{gen_words, run_threads, time, SharedWords};
+use crate::{Expectation, Suite, Workload, WorkloadConfig};
+
+/// Lines of "file" scanned per work unit.
+const UNIT: u64 = 16;
+
+/// The pfscan-like workload.
+pub struct PfscanLike;
+
+impl Workload for PfscanLike {
+    fn name(&self) -> &'static str {
+        "pfscan"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::App
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Clean
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let main = s.register_thread();
+        // The shared queue cursor (one padded line — the sharing is on the
+        // single word itself).
+        let cursor = s.malloc(main, 64, Callsite::here()).expect("queue cursor").start;
+        // The scanned "file": read-only words derived from generated text.
+        let corpus = gen_words(cfg.seed, 2048);
+        let file = s.malloc(main, 2048 * 8, Callsite::here()).expect("file");
+        for (i, w) in corpus.iter().enumerate() {
+            let h = w.bytes().fold(0u64, |a, b| a.wrapping_mul(131) + b as u64);
+            s.write_untracked::<u64>(file.start + (i as u64) * 8, h);
+        }
+        let needle = corpus[7].bytes().fold(0u64, |a, b| a.wrapping_mul(131) + b as u64);
+
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        // Padded per-thread match counters.
+        let matches: Vec<_> = tids
+            .iter()
+            .map(|&tid| s.malloc(tid, 64, Callsite::here()).expect("matches").start)
+            .collect();
+
+        let total_units = cfg.iters / UNIT;
+        'outer: loop {
+            for (t, &tid) in tids.iter().enumerate() {
+                // Grab a unit: true sharing on the cursor word.
+                let unit = s.fetch_add(tid, cursor, 1);
+                if unit >= total_units {
+                    break 'outer;
+                }
+                for k in 0..UNIT {
+                    let idx = (unit * UNIT + k) % 2048;
+                    let v = s.read::<u64>(tid, file.start + idx * 8);
+                    if v == needle {
+                        let m = matches[t];
+                        let cur = s.read::<u64>(tid, m);
+                        s.write::<u64>(tid, m, cur + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let corpus = gen_words(cfg.seed, 2048);
+        let file: Vec<u64> = corpus
+            .iter()
+            .map(|w| w.bytes().fold(0u64, |a, b| a.wrapping_mul(131) + b as u64))
+            .collect();
+        let needle = file[7];
+        let cursor = std::sync::atomic::AtomicU64::new(0);
+        let matches = SharedWords::new(cfg.threads * 8 + 16);
+        let total_units = cfg.iters / UNIT;
+        time(|| {
+            run_threads(cfg.threads, |t| loop {
+                let unit = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if unit >= total_units {
+                    break;
+                }
+                let mut found = 0;
+                for k in 0..UNIT {
+                    if file[((unit * UNIT + k) % 2048) as usize] == needle {
+                        found += 1;
+                    }
+                }
+                matches.add(t * 8, found);
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::{DetectorConfig, SharingClass};
+
+    #[test]
+    fn queue_cursor_is_true_sharing_not_false() {
+        let cfg = WorkloadConfig { iters: 4_096, ..WorkloadConfig::quick() };
+        let r = run_and_report(&PfscanLike, DetectorConfig::sensitive(), &cfg);
+        assert!(!r.has_false_sharing(), "no false positives allowed: {r}");
+        // The cursor shows up as true sharing at sensitive thresholds.
+        assert!(
+            r.findings.iter().any(|f| f.class == SharingClass::TrueSharing),
+            "expected the queue cursor as true sharing: {r}"
+        );
+    }
+
+    #[test]
+    fn all_units_processed_exactly_once() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        let cfg = WorkloadConfig { iters: 640, threads: 4, ..WorkloadConfig::quick() };
+        PfscanLike.run_tracked(&s, &cfg);
+        let cursor = s
+            .heap()
+            .live_objects()
+            .into_iter()
+            .find(|o| o.size == 64 && o.owner.0 == 0)
+            .unwrap();
+        // Cursor ends ≥ total units (threads may over-grab at the end).
+        assert!(s.read_untracked::<u64>(cursor.start) >= 640 / UNIT);
+    }
+
+    #[test]
+    fn native_run_completes() {
+        assert!(PfscanLike.run_native(&WorkloadConfig::quick()).as_nanos() > 0);
+    }
+}

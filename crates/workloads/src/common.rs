@@ -1,0 +1,172 @@
+//! Shared workload infrastructure: native shared memory, thread spawning,
+//! timing, and deterministic input generation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Native shared word array for the uninstrumented runs.
+///
+/// Real false sharing requires real concurrent writes to one cache line.
+/// Plain `&mut` aliasing would be UB, so the arena is `AtomicU64` words
+/// accessed with `Relaxed` ordering — on x86-64 these compile to ordinary
+/// `mov`s, preserving exactly the coherence traffic the experiment measures.
+pub struct SharedWords {
+    words: Box<[AtomicU64]>,
+}
+
+impl SharedWords {
+    /// Allocates `n` zeroed words. The backing allocation is made with
+    /// 64-byte units in mind; index 0 is cache-line aligned on any allocator
+    /// returning 16-byte alignment *only modulo placement*, so experiments
+    /// that depend on alignment must go through [`SharedWords::aligned`].
+    pub fn new(n: usize) -> Self {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(0));
+        SharedWords { words: v.into_boxed_slice() }
+    }
+
+    /// Allocates at least `n` words such that the *returned base index* is
+    /// cache-line (64-byte) aligned, plus `offset_bytes` (multiple of 8).
+    /// Returns `(arena, base_index)`; use `base_index + i` for element `i`.
+    pub fn aligned(n: usize, offset_bytes: usize) -> (Self, usize) {
+        assert_eq!(offset_bytes % 8, 0, "offset must be word-aligned");
+        // Overallocate one line so we can slide to alignment.
+        let arena = SharedWords::new(n + 16);
+        let addr = arena.words.as_ptr() as usize;
+        let misalign = (64 - addr % 64) % 64;
+        let base = misalign / 8 + offset_bytes / 8;
+        (arena, base)
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Relaxed load of word `i`.
+    #[inline]
+    pub fn load(&self, i: usize) -> u64 {
+        self.words[i].load(Ordering::Relaxed)
+    }
+
+    /// Relaxed store to word `i`.
+    #[inline]
+    pub fn store(&self, i: usize, v: u64) {
+        self.words[i].store(v, Ordering::Relaxed)
+    }
+
+    /// Relaxed read-modify-write (`+= v`) on word `i`.
+    ///
+    /// Deliberately a load+store pair, not `fetch_add`: the applications the
+    /// paper studies update thread-private fields with plain `+=`, and a
+    /// locked RMW would dominate the timing and mask the false-sharing
+    /// effect under study.
+    #[inline]
+    pub fn add(&self, i: usize, v: u64) {
+        let cur = self.words[i].load(Ordering::Relaxed);
+        self.words[i].store(cur.wrapping_add(v), Ordering::Relaxed);
+    }
+}
+
+/// Runs `f(0..n)` on `n` scoped threads and waits for all of them.
+pub fn run_threads<F: Fn(usize) + Sync>(n: usize, f: F) {
+    std::thread::scope(|s| {
+        for t in 0..n {
+            let f = &f;
+            s.spawn(move || f(t));
+        }
+    });
+}
+
+/// Times a closure.
+pub fn time<F: FnOnce()>(f: F) -> Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}
+
+/// Deterministic per-thread RNG: same (seed, thread) → same stream.
+pub fn thread_rng(seed: u64, thread: usize) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ ((thread as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Generates `n` deterministic pseudo-random `(x, y)` i64 point pairs in
+/// a small range (the linear_regression / kmeans input shape).
+pub fn gen_points(seed: u64, n: usize) -> Vec<(i64, i64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| (rng.gen_range(0..256), rng.gen_range(0..256))).collect()
+}
+
+/// Generates deterministic lowercase "words" of 3–8 chars (word_count /
+/// reverse_index input shape).
+pub fn gen_words(seed: u64, n: usize) -> Vec<String> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(3..=8);
+            (0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_words_basic_ops() {
+        let w = SharedWords::new(8);
+        assert_eq!(w.len(), 8);
+        w.store(3, 7);
+        w.add(3, 5);
+        assert_eq!(w.load(3), 12);
+        assert_eq!(w.load(0), 0);
+    }
+
+    #[test]
+    fn aligned_base_is_line_aligned_plus_offset() {
+        for offset in [0usize, 8, 24, 56] {
+            let (w, base) = SharedWords::aligned(64, offset);
+            let addr = w.words.as_ptr() as usize + base * 8;
+            assert_eq!(addr % 64, offset % 64, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn run_threads_runs_each_index_once() {
+        let hits = SharedWords::new(64);
+        run_threads(8, |t| hits.add(t * 8, 1));
+        for t in 0..8 {
+            assert_eq!(hits.load(t * 8), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_inputs() {
+        assert_eq!(gen_points(1, 10), gen_points(1, 10));
+        assert_ne!(gen_points(1, 10), gen_points(2, 10));
+        assert_eq!(gen_words(1, 10), gen_words(1, 10));
+        assert!(gen_words(1, 100).iter().all(|w| (3..=8).contains(&w.len())));
+        let mut a = thread_rng(1, 0);
+        let mut b = thread_rng(1, 0);
+        let mut c = thread_rng(1, 1);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        let _ = c.gen::<u64>();
+    }
+
+    #[test]
+    fn time_measures_something() {
+        let d = time(|| {
+            std::hint::black_box((0..10_000u64).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+    }
+}

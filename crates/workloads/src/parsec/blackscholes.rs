@@ -1,0 +1,117 @@
+//! The `blackscholes` benchmark — no false sharing, low overhead.
+//!
+//! Each worker prices a large contiguous block of options and writes the
+//! results into its own span of the output array. Spans are thousands of
+//! elements, so interior lines have a single writer; the paper groups
+//! blackscholes with the low-overhead workloads of Figure 7.
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Session, ThreadId};
+
+use crate::common::{run_threads, thread_rng, time, SharedWords};
+use crate::{Expectation, Suite, Workload, WorkloadConfig};
+use rand::Rng;
+
+/// Options per thread block.
+const BLOCK: usize = 1024;
+
+/// Fixed-point Black-Scholes-flavoured kernel: enough arithmetic to look
+/// like the real pricing loop, fully deterministic.
+fn price(spot: u64, strike: u64, vol: u64) -> u64 {
+    let m = spot.wrapping_mul(1_000).wrapping_div(strike.max(1));
+    let v = vol.wrapping_mul(vol) / 100 + 1;
+    m.wrapping_mul(v) ^ (m >> 3)
+}
+
+/// The `blackscholes` workload.
+pub struct BlackScholes;
+
+impl Workload for BlackScholes {
+    fn name(&self) -> &'static str {
+        "blackscholes"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Clean
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let main = s.register_thread();
+        let n = cfg.threads * BLOCK;
+        let inputs = s.malloc(main, (n * 24) as u64, Callsite::here()).expect("options");
+        let mut rng = thread_rng(cfg.seed, 0);
+        for i in 0..n as u64 {
+            s.write_untracked::<u64>(inputs.start + i * 24, rng.gen_range(50..150));
+            s.write_untracked::<u64>(inputs.start + i * 24 + 8, rng.gen_range(50..150));
+            s.write_untracked::<u64>(inputs.start + i * 24 + 16, rng.gen_range(1..40));
+        }
+        let prices = s.malloc(main, (n * 8) as u64, Callsite::here()).expect("prices");
+
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        let reps = (cfg.iters / BLOCK as u64).max(1);
+        for _ in 0..reps {
+            for i in 0..BLOCK {
+                for (t, &tid) in tids.iter().enumerate() {
+                    let idx = (t * BLOCK + i) as u64;
+                    let spot = s.read::<u64>(tid, inputs.start + idx * 24);
+                    let strike = s.read::<u64>(tid, inputs.start + idx * 24 + 8);
+                    let vol = s.read::<u64>(tid, inputs.start + idx * 24 + 16);
+                    s.write::<u64>(tid, prices.start + idx * 8, price(spot, strike, vol));
+                }
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let n = cfg.threads * 65_536;
+        let mut rng = thread_rng(cfg.seed, 0);
+        let inputs: Vec<(u64, u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(50..150), rng.gen_range(50..150), rng.gen_range(1..40)))
+            .collect();
+        let out = SharedWords::new(n);
+        let reps = (cfg.iters / 1024).max(1);
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                for _ in 0..reps {
+                    for (i, &(s_, k, v)) in
+                        inputs.iter().enumerate().skip(t * 65_536).take(65_536)
+                    {
+                        out.store(i, price(s_, k, v));
+                    }
+                }
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::DetectorConfig;
+
+    #[test]
+    fn no_false_sharing_reported() {
+        let cfg = WorkloadConfig { iters: 1024, ..WorkloadConfig::quick() };
+        let r = run_and_report(&BlackScholes, DetectorConfig::sensitive(), &cfg);
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn prices_are_deterministic() {
+        assert_eq!(price(100, 100, 20), price(100, 100, 20));
+        assert_ne!(price(100, 100, 20), price(120, 100, 20));
+    }
+
+    #[test]
+    fn native_run_completes() {
+        let d = BlackScholes
+            .run_native(&WorkloadConfig { iters: 1024, threads: 2, ..WorkloadConfig::quick() });
+        assert!(d.as_nanos() > 0);
+    }
+}

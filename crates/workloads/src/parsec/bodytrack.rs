@@ -1,0 +1,126 @@
+//! The `bodytrack` benchmark — no false sharing, high tracking overhead.
+//!
+//! The paper notes bodytrack (with ferret) suffers >8× detector overhead
+//! despite having no sharing problem: its threads legitimately write large
+//! private buffers hard enough that many lines cross the TrackingThreshold
+//! and pay for detailed tracking. This analogue reproduces that pressure:
+//! per-thread particle-weight buffers rewritten every frame.
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Session, ThreadId};
+
+use crate::common::{run_threads, thread_rng, time};
+use crate::{Expectation, Suite, Workload, WorkloadConfig};
+use rand::Rng;
+
+/// Particles per thread (each an 8-byte weight).
+const PARTICLES: usize = 256;
+
+/// The `bodytrack` workload.
+pub struct BodyTrack;
+
+impl Workload for BodyTrack {
+    fn name(&self) -> &'static str {
+        "bodytrack"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Clean
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let _main = s.register_thread();
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        // Each thread owns its particle buffer (allocated by itself → the
+        // allocator guarantees line isolation).
+        let buffers: Vec<_> = tids
+            .iter()
+            .map(|&tid| {
+                s.malloc(tid, (PARTICLES * 8) as u64, Callsite::here()).expect("particles")
+            })
+            .collect();
+
+        let mut rngs: Vec<_> = (0..cfg.threads).map(|t| thread_rng(cfg.seed, t)).collect();
+        let frames = (cfg.iters / PARTICLES as u64).max(1);
+        for _frame in 0..frames {
+            // Weight update pass: every particle rewritten (heavy writes).
+            for p in 0..PARTICLES as u64 {
+                for (t, &tid) in tids.iter().enumerate() {
+                    let noise: u64 = rngs[t].gen_range(0..1 << 20);
+                    let addr = buffers[t].start + p * 8;
+                    let cur = s.read::<u64>(tid, addr);
+                    s.write::<u64>(tid, addr, cur.wrapping_mul(31).wrapping_add(noise));
+                }
+            }
+            // Normalization pass: read + rewrite.
+            for p in 0..PARTICLES as u64 {
+                for (t, &tid) in tids.iter().enumerate() {
+                    let addr = buffers[t].start + p * 8;
+                    let w = s.read::<u64>(tid, addr);
+                    s.write::<u64>(tid, addr, w >> 1);
+                }
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let frames = (cfg.iters / PARTICLES as u64).max(1);
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                let mut rng = thread_rng(cfg.seed, t);
+                let mut weights = vec![0u64; PARTICLES * 64];
+                for _ in 0..frames {
+                    for w in weights.iter_mut() {
+                        *w = w.wrapping_mul(31).wrapping_add(rng.gen_range(0..1 << 20));
+                    }
+                    for w in weights.iter_mut() {
+                        *w >>= 1;
+                    }
+                }
+                std::hint::black_box(&weights);
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::DetectorConfig;
+
+    #[test]
+    fn no_false_sharing_but_many_tracked_lines() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        let cfg = WorkloadConfig { iters: 2_048, ..WorkloadConfig::quick() };
+        BodyTrack.run_tracked(&s, &cfg);
+        let r = s.report();
+        assert!(!r.has_false_sharing(), "{r}");
+        // The overhead profile: many lines in detailed tracking.
+        assert!(
+            s.runtime().tracked_lines() >= 4 * PARTICLES / 8,
+            "tracked: {}",
+            s.runtime().tracked_lines()
+        );
+    }
+
+    #[test]
+    fn detector_report_stays_empty_at_paper_thresholds() {
+        let r = run_and_report(
+            &BodyTrack,
+            DetectorConfig::paper(),
+            &WorkloadConfig { iters: 2_048, ..WorkloadConfig::quick() },
+        );
+        assert!(r.findings.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn native_run_completes() {
+        assert!(BodyTrack.run_native(&WorkloadConfig::quick()).as_nanos() > 0);
+    }
+}

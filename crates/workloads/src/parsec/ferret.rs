@@ -1,0 +1,106 @@
+//! The `ferret` benchmark — no false sharing, high tracking overhead.
+//!
+//! Similarity-search pipeline: each stage thread maintains busy private
+//! feature buffers (the Figure 7 overhead profile, like bodytrack) and
+//! passes work along a line-padded ring of stage queues. Queue slots are
+//! padded, so the hand-off is true sharing on a single word per slot at
+//! most, not false sharing.
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Session, ThreadId};
+
+use crate::common::{run_threads, thread_rng, time};
+use crate::{Expectation, Suite, Workload, WorkloadConfig};
+use rand::Rng;
+
+/// Feature vector length per query (words).
+const FEATURES: usize = 64;
+
+/// The `ferret` workload.
+pub struct Ferret;
+
+impl Workload for Ferret {
+    fn name(&self) -> &'static str {
+        "ferret"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Clean
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let _main = s.register_thread();
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        // Hand-off slots between stages, each owner-allocated (the real
+        // pipeline embeds the queue in each stage's own struct).
+        let queues: Vec<u64> = tids
+            .iter()
+            .map(|&tid| s.malloc(tid, 64, Callsite::here()).expect("stage queue").start)
+            .collect();
+        let features: Vec<_> = tids
+            .iter()
+            .map(|&tid| s.malloc(tid, (FEATURES * 8) as u64, Callsite::here()).expect("features"))
+            .collect();
+        let mut rngs: Vec<_> = (0..cfg.threads).map(|t| thread_rng(cfg.seed, t)).collect();
+
+        let queries = (cfg.iters / FEATURES as u64).max(1);
+        for q in 0..queries {
+            for (t, &tid) in tids.iter().enumerate() {
+                // Stage work: extract + rank features into the private buffer.
+                let mut acc = 0u64;
+                for f in 0..FEATURES as u64 {
+                    let v: u64 = rngs[t].gen_range(0..1 << 16);
+                    let a = features[t].start + f * 8;
+                    let cur = s.read::<u64>(tid, a);
+                    let nv = cur.wrapping_mul(13).wrapping_add(v);
+                    s.write::<u64>(tid, a, nv);
+                    acc = acc.wrapping_add(nv);
+                }
+                // Hand the digest to the next stage's padded slot.
+                s.write::<u64>(tid, queues[t], acc ^ q);
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let queries = (cfg.iters / FEATURES as u64).max(1);
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                let mut rng = thread_rng(cfg.seed, t);
+                let mut features = vec![0u64; FEATURES * 32];
+                for _ in 0..queries {
+                    for f in features.iter_mut() {
+                        *f = f.wrapping_mul(13).wrapping_add(rng.gen_range(0..1 << 16));
+                    }
+                }
+                std::hint::black_box(&features);
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predator_core::DetectorConfig;
+
+    #[test]
+    fn no_false_sharing_but_busy_tracking() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        let cfg = WorkloadConfig { iters: 2_048, ..WorkloadConfig::quick() };
+        Ferret.run_tracked(&s, &cfg);
+        let r = s.report();
+        assert!(!r.has_false_sharing(), "{r}");
+        assert!(s.runtime().tracked_lines() > 8);
+    }
+
+    #[test]
+    fn native_run_completes() {
+        assert!(Ferret.run_native(&WorkloadConfig::quick()).as_nanos() > 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! PARSEC benchmark suite analogues (Table 1, lower half).
+//!
+//! `streamcluster` carries both paper findings (the `work_mem` padding bug
+//! at line 985 and the `switch_membership` bool array at line 1907); the
+//! rest are problem-free workloads with the access-volume profiles Figure 7
+//! attributes to them. `facesim` and `canneal` are absent — the paper could
+//! not build them either.
+
+pub mod blackscholes;
+pub mod bodytrack;
+pub mod dedup;
+pub mod ferret;
+pub mod fluidanimate;
+pub mod streamcluster;
+pub mod swaptions;

@@ -1,0 +1,95 @@
+//! The `swaptions` benchmark — no false sharing, tiny footprint.
+//!
+//! Monte-Carlo-ish swaption pricing with one padded result slot per thread.
+//! The interesting property for the paper is the *sub-megabyte footprint*:
+//! in Figure 9 swaptions shows one of the largest *relative* memory
+//! overheads simply because the application allocates almost nothing.
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Session, ThreadId};
+
+use crate::common::{run_threads, thread_rng, time, SharedWords};
+use crate::{Expectation, Suite, Workload, WorkloadConfig};
+use rand::Rng;
+
+/// The `swaptions` workload.
+pub struct Swaptions;
+
+impl Workload for Swaptions {
+    fn name(&self) -> &'static str {
+        "swaptions"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Clean
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let _main = s.register_thread();
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        // One result slot per thread, allocated by its owner: the whole
+        // footprint. Owner allocation puts slots in per-thread segments.
+        let results: Vec<u64> = tids
+            .iter()
+            .map(|&tid| s.malloc(tid, 64, Callsite::here()).expect("result").start)
+            .collect();
+
+        let mut rngs: Vec<_> = (0..cfg.threads).map(|t| thread_rng(cfg.seed, t)).collect();
+        for _ in 0..cfg.iters {
+            for (t, &tid) in tids.iter().enumerate() {
+                // Simulated HJM path step: pure compute, one accumulation.
+                let draw: u64 = rngs[t].gen_range(0..1_000);
+                let payoff = draw.wrapping_mul(draw) >> 4;
+                let slot = results[t];
+                let cur = s.read::<u64>(tid, slot);
+                s.write::<u64>(tid, slot, cur.wrapping_add(payoff));
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let results = SharedWords::new(cfg.threads * 8 + 16);
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                let mut rng = thread_rng(cfg.seed, t);
+                for _ in 0..cfg.iters {
+                    let draw: u64 = rng.gen_range(0..1_000);
+                    results.add(t * 8, draw.wrapping_mul(draw) >> 4);
+                }
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::DetectorConfig;
+
+    #[test]
+    fn no_false_sharing_reported() {
+        let r = run_and_report(&Swaptions, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn footprint_is_tiny() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        Swaptions.run_tracked(&s, &WorkloadConfig::quick());
+        // The swaptions profile: app bytes minuscule vs detector metadata.
+        let r = s.report();
+        assert!(r.stats.app_live_bytes < 4096, "{}", r.stats.app_live_bytes);
+        assert!(r.stats.relative_memory_overhead().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn native_run_completes() {
+        assert!(Swaptions.run_native(&WorkloadConfig::quick()).as_nanos() > 0);
+    }
+}

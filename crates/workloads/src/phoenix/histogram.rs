@@ -1,0 +1,153 @@
+//! The `histogram` benchmark — one of the two false-sharing problems the
+//! paper was first to report (Table 1, `histogram-pthread.c:213`; ~46%
+//! improvement from the fix).
+//!
+//! "Multiple threads simultaneously modify different locations of the same
+//! heap object, `thread_arg_t`." Each worker's argument record carries its
+//! private red/green/blue pixel counters; the records are only 24 bytes, so
+//! two to three workers land on every cache line of the argument array, and
+//! every pixel processed writes the shared line. Padding the structure to a
+//! full line eliminates the sharing.
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Frame, Session, ThreadId};
+
+use crate::common::{run_threads, thread_rng, time, SharedWords};
+use crate::{Expectation, Suite, Variant, Workload, WorkloadConfig};
+use rand::Rng;
+
+/// Words per `thread_arg_t`: broken = 3 (r/g/b counters, 24 bytes);
+/// fixed = 8 (padded to a cache line).
+fn stride_words(variant: Variant) -> usize {
+    match variant {
+        Variant::Broken => 3,
+        Variant::Fixed => 16,
+    }
+}
+
+/// The `histogram` workload.
+pub struct Histogram;
+
+impl Workload for Histogram {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Observed
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let main = s.register_thread();
+        let stride = stride_words(cfg.variant) as u64 * 8;
+
+        // Input "image": one byte per pixel, shared read-only.
+        let n_pixels = 4096u64;
+        let img = s.malloc(main, n_pixels, Callsite::here()).expect("image");
+        let mut rng = thread_rng(cfg.seed, 0);
+        for i in 0..n_pixels {
+            s.write_untracked::<u8>(img.start + i, rng.gen());
+        }
+
+        // The thread_arg_t array — the paper's victim.
+        let args = s
+            .malloc(
+                main,
+                cfg.threads as u64 * stride,
+                Callsite::from_frames(vec![Frame::new("histogram-pthread.c", 213)]),
+            )
+            .expect("thread args");
+
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        for i in 0..cfg.iters {
+            for (t, &tid) in tids.iter().enumerate() {
+                let e = args.start + t as u64 * stride;
+                let px = s.read::<u8>(tid, img.start + (i * 7 + t as u64) % n_pixels) as u64;
+                // Bucket by channel value, bump the thread's private counter
+                // — which lives on a line shared with its neighbors.
+                let w = px % 3;
+                let cur = s.read::<u64>(tid, e + w * 8);
+                s.write::<u64>(tid, e + w * 8, cur + 1);
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let stride = stride_words(cfg.variant);
+        let (arena, base) = SharedWords::aligned(cfg.threads * stride + 16, 0);
+        let pixels: Vec<u8> = {
+            let mut rng = thread_rng(cfg.seed, 0);
+            (0..4096).map(|_| rng.gen()).collect()
+        };
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                let e = base + t * stride;
+                for i in 0..cfg.iters {
+                    let px = pixels[((i * 7 + t as u64) % 4096) as usize] as usize;
+                    arena.add(e + px % 3, 1);
+                }
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::{DetectorConfig, FindingKind};
+
+    #[test]
+    fn broken_variant_observed_without_prediction() {
+        let mut det = DetectorConfig::sensitive();
+        det.prediction = false;
+        let r = run_and_report(&Histogram, det, &WorkloadConfig::quick());
+        assert!(r.has_observed_false_sharing(), "{r}");
+        let f = r.false_sharing().next().unwrap();
+        assert_eq!(f.kind, FindingKind::Observed);
+        assert!(f.to_string().contains("histogram-pthread.c:213"));
+    }
+
+    #[test]
+    fn broken_variant_observed_with_prediction_too() {
+        // Table 1 checks both columns for histogram.
+        let r = run_and_report(&Histogram, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        assert!(r.has_observed_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn fixed_variant_is_clean() {
+        let r = run_and_report(
+            &Histogram,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick().with_variant(Variant::Fixed),
+        );
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn counters_total_matches_work() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        let cfg = WorkloadConfig { iters: 500, threads: 3, ..WorkloadConfig::quick() };
+        Histogram.run_tracked(&s, &cfg);
+        let args = s
+            .heap()
+            .live_objects()
+            .into_iter()
+            .find(|o| o.size == 3 * 24)
+            .expect("args object");
+        let total: u64 = (0..9).map(|w| s.read_untracked::<u64>(args.start + w * 8)).sum();
+        assert_eq!(total, 500 * 3, "every pixel counted exactly once");
+    }
+
+    #[test]
+    fn native_run_completes() {
+        let d = Histogram.run_native(&WorkloadConfig { iters: 5_000, ..WorkloadConfig::quick() });
+        assert!(d.as_nanos() > 0);
+    }
+}

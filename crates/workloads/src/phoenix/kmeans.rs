@@ -1,0 +1,183 @@
+//! The `kmeans` benchmark — no false sharing, but heavy tracked traffic.
+//!
+//! Lloyd's iterations with per-thread, line-padded centroid accumulators.
+//! The paper singles kmeans out for high *detector overhead* (Figure 7,
+//! >8×) without any sharing problem: many lines cross the tracking
+//! > threshold from legitimate single-thread write volume. This workload
+//! > reproduces that profile.
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Session, ThreadId};
+
+use crate::common::{gen_points, run_threads, time, SharedWords};
+use crate::{Expectation, Suite, Workload, WorkloadConfig};
+
+/// Number of clusters.
+const K: usize = 8;
+/// Words per padded per-thread accumulator block: K × (sum_x, sum_y, count)
+/// rounded up to whole lines.
+const ACC_WORDS: usize = 3 * K + (8 - (3 * K) % 8) % 8;
+
+fn dist2(ax: i64, ay: i64, bx: i64, by: i64) -> i64 {
+    let (dx, dy) = (ax - bx, ay - by);
+    dx * dx + dy * dy
+}
+
+/// The `kmeans` workload.
+pub struct KMeans;
+
+impl Workload for KMeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Clean
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let main = s.register_thread();
+        let n_points = 512usize;
+        let pts = gen_points(cfg.seed, n_points);
+        let points = s
+            .malloc(main, (n_points * 16) as u64, Callsite::here())
+            .expect("points");
+        for (i, (x, y)) in pts.iter().enumerate() {
+            s.write_untracked::<i64>(points.start + (i as u64) * 16, *x);
+            s.write_untracked::<i64>(points.start + (i as u64) * 16 + 8, *y);
+        }
+
+        // Centroids, updated only by the main thread between rounds.
+        let centroids = s.malloc(main, (K * 16) as u64, Callsite::here()).expect("centroids");
+        for c in 0..K {
+            s.write_untracked::<i64>(centroids.start + (c as u64) * 16, pts[c * 13 % n_points].0);
+            s.write_untracked::<i64>(
+                centroids.start + (c as u64) * 16 + 8,
+                pts[c * 13 % n_points].1,
+            );
+        }
+
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        let accs: Vec<_> = tids
+            .iter()
+            .map(|&tid| s.malloc(tid, (ACC_WORDS * 8) as u64, Callsite::here()).expect("acc"))
+            .collect();
+
+        let rounds = (cfg.iters / n_points as u64).max(1);
+        for _round in 0..rounds {
+            // Assignment + accumulation, round-robin across logical threads.
+            for i in 0..n_points {
+                let t = i % cfg.threads;
+                let tid = tids[t];
+                let px = s.read::<i64>(tid, points.start + (i as u64) * 16);
+                let py = s.read::<i64>(tid, points.start + (i as u64) * 16 + 8);
+                let mut best = 0usize;
+                let mut best_d = i64::MAX;
+                for c in 0..K {
+                    let cx = s.read::<i64>(tid, centroids.start + (c as u64) * 16);
+                    let cy = s.read::<i64>(tid, centroids.start + (c as u64) * 16 + 8);
+                    let d = dist2(px, py, cx, cy);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                let a = accs[t].start + (best as u64) * 24;
+                for (off, v) in [(0, px as u64), (8, py as u64), (16, 1u64)] {
+                    let cur = s.read::<u64>(tid, a + off);
+                    s.write::<u64>(tid, a + off, cur.wrapping_add(v));
+                }
+            }
+            // Main-thread reduction + centroid update.
+            for c in 0..K as u64 {
+                let (mut sx, mut sy, mut n) = (0u64, 0u64, 0u64);
+                for (t, acc) in accs.iter().enumerate() {
+                    let a = acc.start + c * 24;
+                    sx = sx.wrapping_add(s.read::<u64>(main, a));
+                    sy = sy.wrapping_add(s.read::<u64>(main, a + 8));
+                    n += s.read::<u64>(main, a + 16);
+                    // Clear for next round.
+                    for off in [0, 8, 16] {
+                        s.write::<u64>(tids[t], a + off, 0);
+                    }
+                }
+                if let (Some(cx), Some(cy)) = (sx.checked_div(n), sy.checked_div(n)) {
+                    s.write::<i64>(main, centroids.start + c * 16, cx as i64);
+                    s.write::<i64>(main, centroids.start + c * 16 + 8, cy as i64);
+                }
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let n_points = 8192usize;
+        let pts = gen_points(cfg.seed, n_points);
+        let accs = SharedWords::new(cfg.threads * ACC_WORDS + 16);
+        let mut centroids: Vec<(i64, i64)> = (0..K).map(|c| pts[c * 13 % n_points]).collect();
+        let rounds = (cfg.iters / 512).max(1);
+        time(|| {
+            for _ in 0..rounds {
+                run_threads(cfg.threads, |t| {
+                    let base = t * ACC_WORDS;
+                    let chunk = n_points / cfg.threads;
+                    for &(px, py) in pts.iter().skip(t * chunk).take(chunk) {
+                        let best = (0..K)
+                            .min_by_key(|&c| dist2(px, py, centroids[c].0, centroids[c].1))
+                            .unwrap();
+                        accs.add(base + best * 3, px as u64);
+                        accs.add(base + best * 3 + 1, py as u64);
+                        accs.add(base + best * 3 + 2, 1);
+                    }
+                });
+                for (c, centroid) in centroids.iter_mut().enumerate() {
+                    let (mut sx, mut sy, mut n) = (0u64, 0u64, 0u64);
+                    for t in 0..cfg.threads {
+                        let base = t * ACC_WORDS + c * 3;
+                        sx = sx.wrapping_add(accs.load(base));
+                        sy = sy.wrapping_add(accs.load(base + 1));
+                        n += accs.load(base + 2);
+                        accs.store(base, 0);
+                        accs.store(base + 1, 0);
+                        accs.store(base + 2, 0);
+                    }
+                    if let (Some(cx), Some(cy)) = (sx.checked_div(n), sy.checked_div(n)) {
+                        *centroid = (cx as i64, cy as i64);
+                    }
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::DetectorConfig;
+
+    #[test]
+    fn no_false_sharing_reported() {
+        let cfg = WorkloadConfig { iters: 1024, ..WorkloadConfig::quick() };
+        let r = run_and_report(&KMeans, DetectorConfig::sensitive(), &cfg);
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn tracks_many_lines_without_problems() {
+        // The kmeans overhead profile: plenty of tracked lines, no findings.
+        let s = Session::with_config(DetectorConfig::sensitive());
+        KMeans.run_tracked(&s, &WorkloadConfig { iters: 1024, ..WorkloadConfig::quick() });
+        assert!(s.runtime().tracked_lines() > 0);
+    }
+
+    #[test]
+    fn native_converges_and_completes() {
+        let d = KMeans.run_native(&WorkloadConfig { iters: 1024, ..WorkloadConfig::quick() });
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The `linear_regression` benchmark — the paper's flagship prediction case
+//! (Figures 2, 5, 6; §4.1.3).
+//!
+//! The main thread allocates an array of per-thread `lreg_args` elements —
+//! 64 bytes each on a 64-bit build (Figure 6):
+//!
+//! ```c
+//! struct {
+//!     pthread_t tid;        // word 0
+//!     POINT_T *points;      // word 1
+//!     int num_elems;        // word 2
+//!     long long SX;         // word 3   ← hot
+//!     long long SY;         // word 4   ← hot
+//!     long long SXX;        // word 5   ← hot
+//!     long long SYY;        // word 6   ← hot
+//!     long long SXY;        // word 7   ← hot
+//! } lreg_args;
+//! ```
+//!
+//! Each thread updates only its own element in a tight loop. Whether this
+//! falsely shares depends entirely on where the array lands relative to
+//! cache-line boundaries: at offsets 0 and 56 (hot tail within one line)
+//! there is none; at offset 24 the hot words straddle lines and performance
+//! drops ~15× (Figure 2). Under PREDATOR's isolating allocator the array is
+//! line-aligned, so no false sharing *manifests* — only prediction (virtual
+//! lines) catches the latent problem. That is this workload's expectation:
+//! [`Expectation::PredictedOnly`].
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Frame, Session, ThreadId};
+
+use crate::common::{gen_points, run_threads, time, SharedWords};
+use crate::{Expectation, Suite, Variant, Workload, WorkloadConfig};
+
+/// Words per element: broken = exactly the 64-byte struct; fixed = padded
+/// to two lines (the standard fix).
+fn stride_words(variant: Variant) -> usize {
+    match variant {
+        Variant::Broken => 8,
+        Variant::Fixed => 16,
+    }
+}
+
+/// Word indices of the hot accumulator fields within an element.
+const SX: u64 = 3;
+const SY: u64 = 4;
+const SXX: u64 = 5;
+const SYY: u64 = 6;
+const SXY: u64 = 7;
+
+/// The `linear_regression` workload.
+pub struct LinearRegression;
+
+impl LinearRegression {
+    /// Native run with the `lreg_args` array starting `offset` bytes past a
+    /// cache-line boundary — the Figure 2 sweep. `offset` must be a multiple
+    /// of 8 in `[0, 56]`.
+    pub fn run_native_offset(&self, cfg: &WorkloadConfig, offset: usize) -> Duration {
+        let stride = stride_words(cfg.variant);
+        let points = gen_points(cfg.seed, 1024);
+        let (arena, base) = SharedWords::aligned(cfg.threads * stride + 16, offset);
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                let e = base + t * stride;
+                for i in 0..cfg.iters {
+                    let (x, y) = points[(i as usize) & 1023];
+                    let (x, y) = (x as u64, y as u64);
+                    arena.add(e + SX as usize, x);
+                    arena.add(e + SXX as usize, x.wrapping_mul(x));
+                    arena.add(e + SY as usize, y);
+                    arena.add(e + SYY as usize, y.wrapping_mul(y));
+                    arena.add(e + SXY as usize, x.wrapping_mul(y));
+                }
+            });
+        })
+    }
+}
+
+impl Workload for LinearRegression {
+    fn name(&self) -> &'static str {
+        "linear_regression"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::PredictedOnly
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let main = s.register_thread();
+        let stride = stride_words(cfg.variant) as u64 * 8;
+
+        // Input points, shared read-only.
+        let n_points = 1024usize;
+        let points = s
+            .malloc(main, (n_points * 16) as u64, Callsite::here())
+            .expect("points allocation");
+        let data = gen_points(cfg.seed, n_points);
+        for (i, (x, y)) in data.iter().enumerate() {
+            s.write_untracked::<i64>(points.start + (i as u64) * 16, *x);
+            s.write_untracked::<i64>(points.start + (i as u64) * 16 + 8, *y);
+        }
+
+        // The lreg_args array — the Figure 5 victim object, allocated with
+        // the paper's callsite stack.
+        let args = s
+            .malloc(
+                main,
+                cfg.threads as u64 * stride,
+                Callsite::from_frames(vec![
+                    Frame::new("./stddefines.h", 53),
+                    Frame::new("./linear_regression-pthread.c", 133),
+                ]),
+            )
+            .expect("lreg_args allocation");
+
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        for (t, &tid) in tids.iter().enumerate() {
+            let e = args.start + t as u64 * stride;
+            s.write(tid, e, tid.0 as u64); // tid field
+            s.write(tid, e + 8, points.start); // points pointer
+            s.write(tid, e + 16, cfg.iters); // num_elems
+        }
+
+        // Deterministic round-robin over logical threads: the adversarial
+        // interleaving of §3.3, reproducibly.
+        for i in 0..cfg.iters {
+            for (t, &tid) in tids.iter().enumerate() {
+                let e = args.start + t as u64 * stride;
+                // The Figure 6 loop body: bounds check reads num_elems, then
+                // point loads and five read-modify-write accumulations.
+                let _n = s.read::<u64>(tid, e + 16);
+                let p = points.start + (i % n_points as u64) * 16;
+                let x = s.read::<i64>(tid, p) as u64;
+                let y = s.read::<i64>(tid, p + 8) as u64;
+                for (w, v) in [
+                    (SX, x),
+                    (SXX, x.wrapping_mul(x)),
+                    (SY, y),
+                    (SYY, y.wrapping_mul(y)),
+                    (SXY, x.wrapping_mul(y)),
+                ] {
+                    let cur = s.read::<u64>(tid, e + w * 8);
+                    s.write::<u64>(tid, e + w * 8, cur.wrapping_add(v));
+                }
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        // Broken: the unlucky placement Figure 2 identifies as worst
+        // (offset 24); fixed: padded elements at a clean offset.
+        let offset = match cfg.variant {
+            Variant::Broken => 24,
+            Variant::Fixed => 0,
+        };
+        self.run_native_offset(cfg, offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::DetectorConfig;
+
+    fn quick() -> WorkloadConfig {
+        WorkloadConfig { iters: 600, ..WorkloadConfig::quick() }
+    }
+
+    #[test]
+    fn broken_variant_is_predicted_not_observed() {
+        let r = run_and_report(&LinearRegression, DetectorConfig::sensitive(), &quick());
+        assert!(
+            !r.has_observed_false_sharing(),
+            "isolating allocator hides the physical sharing"
+        );
+        assert!(r.has_predicted_false_sharing(), "prediction must catch it:\n{r}");
+        // The report attributes the paper's callsite.
+        let f = r.false_sharing().next().unwrap();
+        let text = f.to_string();
+        assert!(text.contains("linear_regression-pthread.c:133"), "{text}");
+    }
+
+    #[test]
+    fn broken_variant_missed_without_prediction() {
+        // The whole point of the paper: PREDATOR-NP cannot see this.
+        let mut det = DetectorConfig::sensitive();
+        det.prediction = false;
+        let r = run_and_report(&LinearRegression, det, &quick());
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn fixed_variant_is_clean() {
+        let r = run_and_report(
+            &LinearRegression,
+            DetectorConfig::sensitive(),
+            &quick().with_variant(Variant::Fixed),
+        );
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn native_offset_sweep_runs() {
+        let cfg = WorkloadConfig { iters: 10_000, ..WorkloadConfig::quick() };
+        for offset in [0usize, 24, 56] {
+            let d = LinearRegression.run_native_offset(&cfg, offset);
+            assert!(d.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn tracked_run_computes_correct_sums() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        let cfg = WorkloadConfig { iters: 100, threads: 2, ..WorkloadConfig::quick() };
+        LinearRegression.run_tracked(&s, &cfg);
+        // Recompute SX for thread 0 from the same deterministic input.
+        let data = gen_points(cfg.seed, 1024);
+        let expect_sx: u64 = (0..100).map(|i| data[i % 1024].0 as u64).sum();
+        let args = s
+            .heap()
+            .live_objects()
+            .into_iter()
+            .find(|o| o.size == 2 * 64)
+            .expect("lreg_args object");
+        assert_eq!(s.read_untracked::<u64>(args.start + SX * 8), expect_sx);
+    }
+}

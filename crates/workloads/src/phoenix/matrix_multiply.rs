@@ -1,0 +1,138 @@
+//! The `matrix_multiply` benchmark — no false sharing.
+//!
+//! Classic row-partitioned `C = A × B`: every worker writes a disjoint band
+//! of output rows, and a row (≥ 8 doubles) spans whole cache lines, so no
+//! line has two writers. The paper lists it among the low-overhead,
+//! problem-free workloads ("I/O-bound" tier of Figure 7).
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Session, ThreadId};
+
+use crate::common::{run_threads, thread_rng, time};
+use crate::{Expectation, Suite, Workload, WorkloadConfig};
+use rand::Rng;
+
+/// Matrix dimension (square): small enough to keep tracked runs quick,
+/// large enough that a row spans multiple cache lines.
+const N: usize = 24;
+
+/// The `matrix_multiply` workload.
+pub struct MatrixMultiply;
+
+impl Workload for MatrixMultiply {
+    fn name(&self) -> &'static str {
+        "matrix_multiply"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Clean
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let main = s.register_thread();
+        let bytes = (N * N * 8) as u64;
+        let a = s.malloc(main, bytes, Callsite::here()).expect("A");
+        let b = s.malloc(main, bytes, Callsite::here()).expect("B");
+        let c = s.malloc(main, bytes, Callsite::here()).expect("C");
+        let mut rng = thread_rng(cfg.seed, 0);
+        for i in 0..(N * N) as u64 {
+            s.write_untracked::<u64>(a.start + i * 8, rng.gen_range(0..64));
+            s.write_untracked::<u64>(b.start + i * 8, rng.gen_range(0..64));
+        }
+
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        // `iters` controls how many times the multiply repeats (the Phoenix
+        // benchmark loops over blocks; repetition models the access volume).
+        let reps = (cfg.iters / 64).max(1);
+        for _ in 0..reps {
+            for row in 0..N {
+                let t = row % cfg.threads;
+                let tid = tids[t];
+                for col in 0..N {
+                    let mut acc = 0u64;
+                    for k in 0..N {
+                        let av = s.read::<u64>(tid, a.start + ((row * N + k) as u64) * 8);
+                        let bv = s.read::<u64>(tid, b.start + ((k * N + col) as u64) * 8);
+                        acc = acc.wrapping_add(av.wrapping_mul(bv));
+                    }
+                    s.write::<u64>(tid, c.start + ((row * N + col) as u64) * 8, acc);
+                }
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let mut rng = thread_rng(cfg.seed, 0);
+        let n = 128usize;
+        let a: Vec<u64> = (0..n * n).map(|_| rng.gen_range(0..64)).collect();
+        let b: Vec<u64> = (0..n * n).map(|_| rng.gen_range(0..64)).collect();
+        let c = crate::common::SharedWords::new(n * n);
+        let reps = (cfg.iters / 2_000).max(1);
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                for _ in 0..reps {
+                    let mut row = t;
+                    while row < n {
+                        for col in 0..n {
+                            let mut acc = 0u64;
+                            for k in 0..n {
+                                acc = acc
+                                    .wrapping_add(a[row * n + k].wrapping_mul(b[k * n + col]));
+                            }
+                            c.store(row * n + col, acc);
+                        }
+                        row += cfg.threads;
+                    }
+                }
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::DetectorConfig;
+
+    #[test]
+    fn no_false_sharing_reported() {
+        let cfg = WorkloadConfig { iters: 128, ..WorkloadConfig::quick() };
+        let r = run_and_report(&MatrixMultiply, DetectorConfig::sensitive(), &cfg);
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn result_matches_reference() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        let cfg = WorkloadConfig { iters: 64, threads: 2, ..WorkloadConfig::quick() };
+        MatrixMultiply.run_tracked(&s, &cfg);
+        // Identify A, B, C by allocation order among the three N×N objects.
+        let objs = s.heap().live_objects();
+        let mut mats: Vec<_> = objs.iter().filter(|o| o.size == (N * N * 8) as u64).collect();
+        mats.sort_by_key(|o| o.seq);
+        assert_eq!(mats.len(), 3);
+        let read =
+            |o: &predator_core::ObjectInfo, i: usize| s.read_untracked::<u64>(o.start + (i as u64) * 8);
+        // Reference multiply for one element.
+        let (row, col) = (3, 5);
+        let mut acc = 0u64;
+        for k in 0..N {
+            acc = acc
+                .wrapping_add(read(mats[0], row * N + k).wrapping_mul(read(mats[1], k * N + col)));
+        }
+        assert_eq!(read(mats[2], row * N + col), acc);
+    }
+
+    #[test]
+    fn native_run_completes() {
+        let d = MatrixMultiply
+            .run_native(&WorkloadConfig { iters: 2_000, threads: 2, ..WorkloadConfig::quick() });
+        assert!(d.as_nanos() > 0);
+    }
+}

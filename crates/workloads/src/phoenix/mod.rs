@@ -1,0 +1,16 @@
+//! Phoenix benchmark suite analogues (Table 1, upper half).
+//!
+//! Tracked runs interleave the logical threads round-robin on the calling
+//! thread — the deterministic, adversarial schedule PREDATOR conservatively
+//! assumes (§3.3) — so detection results and invalidation counts are exactly
+//! reproducible. Native runs use real OS threads and real memory for
+//! wall-clock measurements (Figure 2, Table 1's Improvement column).
+
+pub mod histogram;
+pub mod kmeans;
+pub mod linear_regression;
+pub mod matrix_multiply;
+pub mod pca;
+pub mod reverse_index;
+pub mod string_match;
+pub mod word_count;

@@ -1,0 +1,130 @@
+//! The `pca` benchmark — no false sharing.
+//!
+//! Principal-component analysis over a generated matrix: workers compute
+//! column means and covariance contributions into per-thread, line-padded
+//! partial-sum buffers, then the main thread reduces. All heavy write
+//! traffic is thread-local; only reads are shared.
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Session, ThreadId};
+
+use crate::common::{run_threads, thread_rng, time, SharedWords};
+use crate::{Expectation, Suite, Workload, WorkloadConfig};
+use rand::Rng;
+
+/// Columns in the data matrix.
+const COLS: usize = 16;
+/// Padded per-thread partial buffer: COLS sums + pad, in whole lines.
+const PARTIAL_WORDS: usize = 24; // 16 used + 8 pad = 3 lines exactly
+
+/// The `pca` workload.
+pub struct Pca;
+
+impl Workload for Pca {
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Clean
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let main = s.register_thread();
+        let rows = 256u64;
+        let data = s
+            .malloc(main, rows * COLS as u64 * 8, Callsite::here())
+            .expect("data matrix");
+        let mut rng = thread_rng(cfg.seed, 0);
+        for i in 0..rows * COLS as u64 {
+            s.write_untracked::<u64>(data.start + i * 8, rng.gen_range(0..1000));
+        }
+
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        // Per-thread padded partials — allocated by each owner thread, so
+        // the allocator guarantees line disjointness too.
+        let partials: Vec<_> = tids
+            .iter()
+            .map(|&tid| {
+                s.malloc(tid, (PARTIAL_WORDS * 8) as u64, Callsite::here()).expect("partials")
+            })
+            .collect();
+
+        for i in 0..cfg.iters {
+            for (t, &tid) in tids.iter().enumerate() {
+                let row = (i * cfg.threads as u64 + t as u64) % rows;
+                for col in 0..COLS as u64 {
+                    let v = s.read::<u64>(tid, data.start + (row * COLS as u64 + col) * 8);
+                    let p = partials[t].start + col * 8;
+                    let cur = s.read::<u64>(tid, p);
+                    s.write::<u64>(tid, p, cur.wrapping_add(v));
+                }
+            }
+        }
+
+        // Reduction by the main thread (single-writer, no sharing).
+        let means = s.malloc(main, COLS as u64 * 8, Callsite::here()).expect("means");
+        for col in 0..COLS as u64 {
+            let mut acc = 0u64;
+            for p in &partials {
+                acc = acc.wrapping_add(s.read::<u64>(main, p.start + col * 8));
+            }
+            s.write::<u64>(main, means.start + col * 8, acc);
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let rows = 4096usize;
+        let mut rng = thread_rng(cfg.seed, 0);
+        let data: Vec<u64> = (0..rows * COLS).map(|_| rng.gen_range(0..1000)).collect();
+        let partials = SharedWords::new(cfg.threads * PARTIAL_WORDS + 16);
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                let base = t * PARTIAL_WORDS;
+                for i in 0..cfg.iters {
+                    let row = ((i * cfg.threads as u64 + t as u64) as usize) % rows;
+                    for col in 0..COLS {
+                        partials.add(base + col, data[row * COLS + col]);
+                    }
+                }
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::DetectorConfig;
+
+    #[test]
+    fn no_false_sharing_reported() {
+        let cfg = WorkloadConfig { iters: 400, ..WorkloadConfig::quick() };
+        let r = run_and_report(&Pca, DetectorConfig::sensitive(), &cfg);
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn reduction_totals_all_rows_processed() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        let cfg = WorkloadConfig { iters: 64, threads: 2, ..WorkloadConfig::quick() };
+        Pca.run_tracked(&s, &cfg);
+        let objs = s.heap().live_objects();
+        let means = objs.iter().find(|o| o.size == COLS as u64 * 8).expect("means");
+        // Every column mean accumulated something.
+        for col in 0..COLS as u64 {
+            assert!(s.read_untracked::<u64>(means.start + col * 8) > 0);
+        }
+    }
+
+    #[test]
+    fn native_run_completes() {
+        assert!(Pca.run_native(&WorkloadConfig::quick()).as_nanos() > 0);
+    }
+}

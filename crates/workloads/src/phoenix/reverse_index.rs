@@ -1,0 +1,151 @@
+//! The `reverse_index` benchmark (Table 1, `reverseindex-pthread.c:511`).
+//!
+//! Workers scan generated documents for links and append them to private
+//! buckets, but bump a per-thread length counter in a shared, packed
+//! `use_len` array on every insertion. The counters are 8 bytes apiece, so
+//! all workers share one or two lines — real false sharing, though with
+//! most time spent hashing links the measured improvement from fixing it is
+//! tiny (0.09% in the paper). Fixed variant pads the counters.
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Frame, Session, ThreadId};
+
+use crate::common::{gen_words, run_threads, time, SharedWords};
+use crate::{Expectation, Suite, Variant, Workload, WorkloadConfig};
+
+fn stride_words(variant: Variant) -> usize {
+    match variant {
+        Variant::Broken => 1,
+        Variant::Fixed => 16,
+    }
+}
+
+/// Cheap stand-in for the benchmark's link hashing.
+fn hash_word(w: &str) -> u64 {
+    w.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// The `reverse_index` workload.
+pub struct ReverseIndex;
+
+impl Workload for ReverseIndex {
+    fn name(&self) -> &'static str {
+        "reverse_index"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Observed
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let main = s.register_thread();
+        let stride = stride_words(cfg.variant) as u64 * 8;
+        let links = gen_words(cfg.seed, 512);
+
+        // The packed use_len counter array.
+        let use_len = s
+            .malloc(
+                main,
+                cfg.threads as u64 * stride,
+                Callsite::from_frames(vec![Frame::new("reverseindex-pthread.c", 511)]),
+            )
+            .expect("use_len");
+
+        // Private per-thread buckets (large, line-disjoint by allocator).
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        let buckets: Vec<_> = tids
+            .iter()
+            .map(|&tid| s.malloc(tid, 4096, Callsite::here()).expect("bucket"))
+            .collect();
+
+        for i in 0..cfg.iters {
+            for (t, &tid) in tids.iter().enumerate() {
+                let link = &links[((i * 3 + t as u64) % 512) as usize];
+                let h = hash_word(link);
+                // Append into the private bucket…
+                let slot = buckets[t].start + (h % 512) * 8;
+                s.write::<u64>(tid, slot, h);
+                // …and bump the shared, packed length counter.
+                let c = use_len.start + t as u64 * stride;
+                let cur = s.read::<u64>(tid, c);
+                s.write::<u64>(tid, c, cur + 1);
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let stride = stride_words(cfg.variant);
+        let links = gen_words(cfg.seed, 512);
+        let (counters, base) = SharedWords::aligned(cfg.threads * stride + 16, 0);
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                let mut bucket = vec![0u64; 512];
+                for i in 0..cfg.iters {
+                    let link = &links[((i * 3 + t as u64) % 512) as usize];
+                    let h = hash_word(link);
+                    bucket[(h % 512) as usize] = h;
+                    counters.add(base + t * stride, 1);
+                }
+                std::hint::black_box(&bucket);
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::DetectorConfig;
+
+    #[test]
+    fn broken_variant_observed() {
+        let r = run_and_report(&ReverseIndex, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        assert!(r.has_observed_false_sharing(), "{r}");
+        assert!(r
+            .false_sharing()
+            .next()
+            .unwrap()
+            .to_string()
+            .contains("reverseindex-pthread.c:511"));
+    }
+
+    #[test]
+    fn fixed_variant_is_clean() {
+        let r = run_and_report(
+            &ReverseIndex,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick().with_variant(Variant::Fixed),
+        );
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn counters_add_up() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        let cfg = WorkloadConfig { iters: 300, threads: 4, ..WorkloadConfig::quick() };
+        ReverseIndex.run_tracked(&s, &cfg);
+        let use_len = s
+            .heap()
+            .live_objects()
+            .into_iter()
+            .find(|o| o.size == 4 * 8)
+            .expect("use_len object");
+        for t in 0..4u64 {
+            assert_eq!(s.read_untracked::<u64>(use_len.start + t * 8), 300);
+        }
+    }
+
+    #[test]
+    fn native_run_completes() {
+        let d = ReverseIndex.run_native(&WorkloadConfig::quick());
+        assert!(d.as_nanos() > 0);
+    }
+}

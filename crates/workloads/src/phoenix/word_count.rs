@@ -1,0 +1,143 @@
+//! The `word_count` benchmark (Table 1, `word_count-pthread.c:136`).
+//!
+//! Workers tokenize chunks of generated text and maintain private hash
+//! tables, but the per-thread `words_count` totals live packed in one shared
+//! array — the same mild false sharing as `reverse_index` (0.14% improvement
+//! in the paper). Fixed variant pads the totals to a line each.
+
+use std::time::Duration;
+
+use predator_core::{Callsite, Frame, Session, ThreadId};
+
+use crate::common::{gen_words, run_threads, time, SharedWords};
+use crate::{Expectation, Suite, Variant, Workload, WorkloadConfig};
+
+fn stride_words(variant: Variant) -> usize {
+    match variant {
+        Variant::Broken => 1,
+        Variant::Fixed => 16,
+    }
+}
+
+fn hash_word(w: &str) -> u64 {
+    w.bytes().fold(5381u64, |h, b| h.wrapping_mul(33) ^ b as u64)
+}
+
+/// The `word_count` workload.
+pub struct WordCount;
+
+impl Workload for WordCount {
+    fn name(&self) -> &'static str {
+        "word_count"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn expectation(&self) -> Expectation {
+        Expectation::Observed
+    }
+
+    fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
+        let main = s.register_thread();
+        let stride = stride_words(cfg.variant) as u64 * 8;
+        let words = gen_words(cfg.seed, 1024);
+
+        let totals = s
+            .malloc(
+                main,
+                cfg.threads as u64 * stride,
+                Callsite::from_frames(vec![Frame::new("word_count-pthread.c", 136)]),
+            )
+            .expect("words_count");
+
+        let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
+        let tables: Vec<_> = tids
+            .iter()
+            .map(|&tid| s.malloc(tid, 8192, Callsite::here()).expect("hash table"))
+            .collect();
+
+        for i in 0..cfg.iters {
+            for (t, &tid) in tids.iter().enumerate() {
+                let w = &words[((i * 5 + t as u64 * 11) % 1024) as usize];
+                let h = hash_word(w);
+                // Count in the private table…
+                let slot = tables[t].start + (h % 1024) * 8;
+                let cur = s.read::<u64>(tid, slot);
+                s.write::<u64>(tid, slot, cur + 1);
+                // …and bump the packed shared total.
+                let c = totals.start + t as u64 * stride;
+                let cur = s.read::<u64>(tid, c);
+                s.write::<u64>(tid, c, cur + 1);
+            }
+        }
+    }
+
+    fn run_native(&self, cfg: &WorkloadConfig) -> Duration {
+        let stride = stride_words(cfg.variant);
+        let words = gen_words(cfg.seed, 1024);
+        let (totals, base) = SharedWords::aligned(cfg.threads * stride + 16, 0);
+        time(|| {
+            run_threads(cfg.threads, |t| {
+                let mut table = vec![0u64; 1024];
+                for i in 0..cfg.iters {
+                    let w = &words[((i * 5 + t as u64 * 11) % 1024) as usize];
+                    let h = hash_word(w);
+                    table[(h % 1024) as usize] += 1;
+                    totals.add(base + t * stride, 1);
+                }
+                std::hint::black_box(&table);
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_report;
+    use predator_core::DetectorConfig;
+
+    #[test]
+    fn broken_variant_observed() {
+        let r = run_and_report(&WordCount, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        assert!(r.has_observed_false_sharing(), "{r}");
+        assert!(r
+            .false_sharing()
+            .next()
+            .unwrap()
+            .to_string()
+            .contains("word_count-pthread.c:136"));
+    }
+
+    #[test]
+    fn fixed_variant_is_clean() {
+        let r = run_and_report(
+            &WordCount,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick().with_variant(Variant::Fixed),
+        );
+        assert!(!r.has_false_sharing(), "{r}");
+    }
+
+    #[test]
+    fn totals_match_private_tables() {
+        let s = Session::with_config(DetectorConfig::sensitive());
+        let cfg = WorkloadConfig { iters: 200, threads: 2, ..WorkloadConfig::quick() };
+        WordCount.run_tracked(&s, &cfg);
+        let totals = s
+            .heap()
+            .live_objects()
+            .into_iter()
+            .find(|o| o.size == 2 * 8)
+            .expect("totals object");
+        assert_eq!(s.read_untracked::<u64>(totals.start), 200);
+        assert_eq!(s.read_untracked::<u64>(totals.start + 8), 200);
+    }
+
+    #[test]
+    fn native_run_completes() {
+        assert!(WordCount.run_native(&WorkloadConfig::quick()).as_nanos() > 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! A CI regression gate: diff detector reports across a code change.
+//!
+//! Run the detector on the "main branch" build and on the "pull request"
+//! build, then diff the reports by finding identity (source attribution +
+//! detection scenario). New findings fail the gate; resolved findings and
+//! large severity swings are called out. This is the workflow the paper's
+//! ranked, source-attributed reports enable.
+//!
+//! ```text
+//! cargo run --example ci_regression_gate
+//! ```
+
+use predator::core::diff::diff_reports;
+use predator::{Callsite, DetectorConfig, Frame, Session};
+
+/// "Application" v1: per-thread counters properly padded.
+fn build_v1() -> predator::Report {
+    run_app(128)
+}
+
+/// "Application" v2: someone shrank the stats struct to save memory,
+/// packing the per-thread counters into one cache line.
+fn build_v2() -> predator::Report {
+    run_app(8)
+}
+
+fn run_app(stride: u64) -> predator::Report {
+    let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
+    let t0 = s.register_thread();
+    let t1 = s.register_thread();
+    // The shared stats object the change touches.
+    let stats = s
+        .malloc(
+            t0,
+            2 * stride.max(64),
+            Callsite::from_frames(vec![Frame::new("src/stats.rs", 42)]),
+        )
+        .unwrap();
+    // Plus an unrelated, always-clean subsystem.
+    let queue = s
+        .malloc(
+            t0,
+            256,
+            Callsite::from_frames(vec![Frame::new("src/queue.rs", 7)]),
+        )
+        .unwrap();
+    for i in 0..5_000u64 {
+        s.write::<u64>(t0, stats.start, i);
+        s.write::<u64>(t1, stats.start + stride, i);
+        // Queue work stays single-threaded.
+        s.write::<u64>(t0, queue.start + (i % 32) * 8, i);
+    }
+    s.report()
+}
+
+fn main() {
+    println!("running detector on main branch build…");
+    let before = build_v1();
+    println!(
+        "  {} finding(s), {} invalidations",
+        before.findings.len(),
+        before.stats.observed_invalidations
+    );
+
+    println!("running detector on pull-request build…");
+    let after = build_v2();
+    println!(
+        "  {} finding(s), {} invalidations",
+        after.findings.len(),
+        after.stats.observed_invalidations
+    );
+
+    let diff = diff_reports(&before, &after, 0.5);
+    println!("\n=== report diff ===\n{diff}");
+
+    if diff.has_regressions() {
+        println!("GATE: FAIL — the change introduces false sharing:");
+        for id in &diff.appeared {
+            println!("  new finding at {} [{}]", id.site, id.kind);
+        }
+        // A real CI job would `std::process::exit(1)` here.
+        assert_eq!(diff.appeared.len(), 1);
+        assert!(diff.appeared[0].site.contains("stats.rs:42"));
+        println!("\n(demo: the gate correctly blames src/stats.rs:42)");
+    } else {
+        panic!("demo expects a regression");
+    }
+}

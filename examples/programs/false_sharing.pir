@@ -1,0 +1,32 @@
+; Two logical threads each run `worker(slot, n)`, incrementing their own
+; slot in a tight loop. Run with:
+;
+;   predator ir examples/programs/false_sharing.pir --sensitive --fixes
+;
+; The default --stride 8 puts the two slots in one cache line (false
+; sharing); --stride 64 separates them (clean); --stride 64 with
+; prediction enabled is still flagged as latent for 128-byte lines.
+
+fn worker(params=2) {
+bb0:
+  mov r2, 0
+  jmp bb1
+bb1:
+  lt r3, r2, r1
+  br r3, bb2, bb3
+bb2:
+  call r4, @1(r0, r2)
+  add r5, r2, 1
+  mov r2, r5
+  jmp bb1
+bb3:
+  ret r4
+}
+
+fn bump(params=2) {
+bb0:
+  load r2, [r0+0], 8
+  add r3, r2, r1
+  store [r0+0], r3, 8
+  ret r3
+}

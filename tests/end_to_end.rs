@@ -1,0 +1,192 @@
+//! End-to-end integration tests: the paper's evaluation matrix as
+//! executable assertions.
+//!
+//! Every workload's broken variant must produce exactly the detection
+//! outcome Table 1 / §4.1.2 report (observed, prediction-only, or clean),
+//! and no fixed variant may show *observed* false sharing. These tests span
+//! all crates: workloads → session → allocator → shadow → detector → report.
+
+use predator::workloads::{all, by_name, run_and_report, Expectation, Variant, WorkloadConfig};
+use predator::{DetectorConfig, FindingKind, Session, SharingClass};
+
+/// Per-workload detector calibration: sensitive thresholds, except
+/// streamcluster whose fixed variant *reduces* (not eliminates) traffic and
+/// therefore needs the volume-based threshold the paper's defaults provide.
+fn det_for(name: &str) -> DetectorConfig {
+    match name {
+        "streamcluster" => DetectorConfig { report_threshold: 60, ..DetectorConfig::sensitive() },
+        _ => DetectorConfig::sensitive(),
+    }
+}
+
+fn cfg_for(name: &str) -> WorkloadConfig {
+    // Volume-sensitive workloads need enough iterations for their patterns.
+    let iters = match name {
+        "streamcluster" | "pfscan" => 2_000,
+        "kmeans" | "blackscholes" | "bodytrack" | "aget" | "pbzip2" | "fluidanimate" => 1_024,
+        "matrix_multiply" | "pca" => 400,
+        _ => 2_000,
+    };
+    WorkloadConfig { iters, ..WorkloadConfig::quick() }
+}
+
+#[test]
+fn table1_detection_matrix_matches_paper() {
+    for w in all() {
+        let name = w.name();
+        let det = det_for(name);
+        let report = run_and_report(w.as_ref(), det, &cfg_for(name));
+        match w.expectation() {
+            Expectation::Clean => {
+                assert!(
+                    !report.has_false_sharing(),
+                    "{name}: expected clean, got:\n{report}"
+                );
+            }
+            Expectation::Observed => {
+                assert!(
+                    report.has_observed_false_sharing(),
+                    "{name}: expected observed false sharing, got:\n{report}"
+                );
+            }
+            Expectation::PredictedOnly => {
+                assert!(
+                    !report.has_observed_false_sharing(),
+                    "{name}: nothing should be observed, got:\n{report}"
+                );
+                assert!(
+                    report.has_predicted_false_sharing(),
+                    "{name}: prediction must catch the latent problem, got:\n{report}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn no_fixed_variant_shows_observed_false_sharing() {
+    for w in all() {
+        let name = w.name();
+        let det = det_for(name);
+        let cfg = cfg_for(name).with_variant(Variant::Fixed);
+        let report = run_and_report(w.as_ref(), det, &cfg);
+        assert!(
+            !report.has_observed_false_sharing(),
+            "{name} (fixed): observed false sharing should be gone, got:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn prediction_only_cases_vanish_without_prediction() {
+    // The linear_regression property that motivates the whole paper.
+    for w in all() {
+        if w.expectation() != Expectation::PredictedOnly {
+            continue;
+        }
+        let mut det = det_for(w.name());
+        det.prediction = false;
+        let report = run_and_report(w.as_ref(), det, &cfg_for(w.name()));
+        assert!(
+            !report.has_false_sharing(),
+            "{}: PREDATOR-NP must miss the latent case, got:\n{report}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn no_false_positives_anywhere() {
+    // "PREDATOR identifies problems … with no false positives": every
+    // false-sharing finding must come from a workload that actually has one.
+    for w in all() {
+        if w.expectation() != Expectation::Clean {
+            continue;
+        }
+        let report = run_and_report(w.as_ref(), det_for(w.name()), &cfg_for(w.name()));
+        let fp = report.false_sharing().next().cloned();
+        if let Some(f) = fp {
+            panic!(
+                "{}: false positive finding {:?} on clean workload:\n{f}",
+                w.name(),
+                f.kind
+            );
+        }
+    }
+}
+
+#[test]
+fn figure5_report_shape_for_linear_regression() {
+    let w = by_name("linear_regression").unwrap();
+    let report = run_and_report(
+        w.as_ref(),
+        DetectorConfig::sensitive(),
+        &WorkloadConfig { iters: 600, ..WorkloadConfig::quick() },
+    );
+    let f = report.false_sharing().next().expect("a finding");
+    let text = f.to_string();
+    // The Figure 5 ingredients: classification + object span, counts line,
+    // callsite stack, word-level lines with global line indices.
+    assert!(text.contains("FALSE SHARING HEAP OBJECT: start 0x"), "{text}");
+    assert!(text.contains("Number of accesses:"), "{text}");
+    assert!(text.contains("Number of invalidations:"), "{text}");
+    assert!(text.contains("./stddefines.h:53"), "{text}");
+    assert!(text.contains("./linear_regression-pthread.c:133"), "{text}");
+    assert!(text.contains("Word level information:"), "{text}");
+    assert!(text.contains("(line 1677"), "global line indices like 16777217: {text}");
+    assert!(text.contains("by thread"), "{text}");
+}
+
+#[test]
+fn reports_rank_by_severity() {
+    // Two problems of very different intensity: the ranking must put the
+    // severe one first.
+    let session = Session::new(DetectorConfig::sensitive(), 1 << 20);
+    let t0 = session.register_thread();
+    let t1 = session.register_thread();
+    let hot = session.malloc(t0, 64, predator::Callsite::here()).unwrap();
+    let mild = session.malloc(t0, 64, predator::Callsite::here()).unwrap();
+    for i in 0..2_000u64 {
+        session.write::<u64>(t0, hot.start, i);
+        session.write::<u64>(t1, hot.start + 8, i);
+        if i % 20 == 0 {
+            session.write::<u64>(t0, mild.start, i);
+            session.write::<u64>(t1, mild.start + 8, i);
+        }
+    }
+    let report = session.report();
+    let fs: Vec<_> = report.false_sharing().collect();
+    assert!(fs.len() >= 2, "{report}");
+    assert_eq!(fs[0].object.start, hot.start, "severe finding ranked first");
+    assert!(fs[0].invalidations > fs[1].invalidations);
+}
+
+#[test]
+fn true_sharing_never_reported_as_false() {
+    let session = Session::new(DetectorConfig::sensitive(), 1 << 20);
+    let t0 = session.register_thread();
+    let t1 = session.register_thread();
+    let counter = session.global("global_counter", 8);
+    for _ in 0..2_000 {
+        session.fetch_add(t0, counter, 1);
+        session.fetch_add(t1, counter, 1);
+    }
+    let report = session.report();
+    assert!(!report.has_false_sharing(), "{report}");
+    let ts = report
+        .findings
+        .iter()
+        .find(|f| f.class == SharingClass::TrueSharing)
+        .expect("true sharing should be classified");
+    assert_eq!(ts.kind, FindingKind::Observed);
+}
+
+#[test]
+fn json_report_roundtrips_across_the_api() {
+    let w = by_name("histogram").unwrap();
+    let report = run_and_report(w.as_ref(), DetectorConfig::sensitive(), &WorkloadConfig::quick());
+    let json = report.to_json();
+    let back: predator::Report = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+    assert!(back.has_observed_false_sharing());
+}
