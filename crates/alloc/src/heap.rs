@@ -9,9 +9,8 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex as StdMutex};
+use std::sync::{Arc, Mutex, RwLock};
 
-use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 use predator_sim::ThreadId;
@@ -121,7 +120,7 @@ pub struct HeapStats {
 /// The per-thread-heap allocator with callsite tracking.
 pub struct TrackedHeap {
     line_size: u64,
-    shared: Arc<StdMutex<SegmentSource>>,
+    shared: Arc<Mutex<SegmentSource>>,
     /// Per-thread size-class heaps, indexed by `ThreadId`.
     threads: RwLock<Vec<Arc<Mutex<SizeClassLayer<SegmentChunks>>>>>,
     /// Live objects by start address.
@@ -140,7 +139,7 @@ impl TrackedHeap {
     /// `base` must be line-aligned; `segment` is the per-thread carve size.
     pub fn new(base: u64, size: u64, line_size: u64, segment: u64) -> Self {
         let shared =
-            Arc::new(StdMutex::new(SegmentSource::new(base, base + size, segment, line_size)));
+            Arc::new(Mutex::new(SegmentSource::new(base, base + size, segment, line_size)));
         TrackedHeap {
             line_size,
             shared,
@@ -166,12 +165,12 @@ impl TrackedHeap {
 
     fn thread_heap(&self, tid: ThreadId) -> Arc<Mutex<SizeClassLayer<SegmentChunks>>> {
         {
-            let threads = self.threads.read();
+            let threads = self.threads.read().unwrap();
             if let Some(h) = threads.get(tid.index()) {
                 return h.clone();
             }
         }
-        let mut threads = self.threads.write();
+        let mut threads = self.threads.write().unwrap();
         while threads.len() <= tid.index() {
             let chunks = SegmentChunks::new(self.shared.clone());
             threads.push(Arc::new(Mutex::new(SizeClassLayer::new(chunks, self.line_size))));
@@ -192,7 +191,7 @@ impl TrackedHeap {
         let cs = self.callsites.intern(callsite);
         let (start, usable) = if size <= MAX_SMALL {
             let heap = self.thread_heap(tid);
-            let mut heap = heap.lock();
+            let mut heap = heap.lock().unwrap();
             let addr = heap.alloc(size.max(1)).ok_or(AllocError::OutOfMemory)?;
             (addr, SizeClassLayer::<SegmentChunks>::usable_size(size.max(1)))
         } else {
@@ -208,8 +207,11 @@ impl TrackedHeap {
             owner: tid,
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
         };
-        self.live.lock().insert(start, info);
+        self.live.lock().unwrap().insert(start, info);
         self.allocated_bytes.fetch_add(usable, Ordering::Relaxed);
+        predator_obs::static_counter!("alloc_mallocs_total").inc();
+        predator_obs::static_histogram!("alloc_size_bytes").record(size);
+        predator_obs::static_gauge!("alloc_live_bytes").add(usable as i64);
         Ok(info)
     }
 
@@ -220,38 +222,41 @@ impl TrackedHeap {
     /// regardless of which thread calls `free`. Quarantined and large objects
     /// are not recycled.
     pub fn free(&self, _tid: ThreadId, addr: u64) -> Result<FreeOutcome, FreeError> {
-        let info = self.live.lock().remove(&addr).ok_or(FreeError::UnknownObject(addr))?;
+        let info = self.live.lock().unwrap().remove(&addr).ok_or(FreeError::UnknownObject(addr))?;
         self.freed_bytes.fetch_add(info.usable, Ordering::Relaxed);
-        let quarantined = self.quarantine.lock().contains(&addr);
+        let quarantined = self.quarantine.lock().unwrap().contains(&addr);
         let recycled = !quarantined && info.size <= MAX_SMALL;
         if recycled {
             let heap = self.thread_heap(info.owner);
-            heap.lock().free(addr, info.size.max(1));
+            heap.lock().unwrap().free(addr, info.size.max(1));
         }
+        predator_obs::static_counter!("alloc_frees_total").inc();
+        predator_obs::static_gauge!("alloc_live_bytes").add(-(info.usable as i64));
         Ok(FreeOutcome { info, recycled })
     }
 
     /// Marks the object at `start` as involved in false sharing: it will
     /// never be recycled (§2.3.2's pseudo-false-sharing rule).
     pub fn mark_no_reuse(&self, start: u64) {
-        self.quarantine.lock().insert(start);
+        predator_obs::static_counter!("alloc_quarantined_total").inc();
+        self.quarantine.lock().unwrap().insert(start);
     }
 
     /// True if the object at `start` is quarantined.
     pub fn is_quarantined(&self, start: u64) -> bool {
-        self.quarantine.lock().contains(&start)
+        self.quarantine.lock().unwrap().contains(&start)
     }
 
     /// Finds the live object containing `addr`, if any.
     pub fn object_at(&self, addr: u64) -> Option<ObjectInfo> {
-        let live = self.live.lock();
+        let live = self.live.lock().unwrap();
         let (_, info) = live.range(..=addr).next_back()?;
         info.contains(addr).then_some(*info)
     }
 
     /// Snapshot of all live objects, in address order.
     pub fn live_objects(&self) -> Vec<ObjectInfo> {
-        self.live.lock().values().copied().collect()
+        self.live.lock().unwrap().values().copied().collect()
     }
 
     /// Total usable bytes handed out since creation.
@@ -272,14 +277,14 @@ impl TrackedHeap {
     /// Point-in-time statistics (threads, live objects/bytes, quarantine,
     /// free-list population, uncarved heap).
     pub fn stats(&self) -> HeapStats {
-        let threads = self.threads.read();
-        let cached_blocks = threads.iter().map(|h| h.lock().cached_blocks()).sum();
+        let threads = self.threads.read().unwrap();
+        let cached_blocks = threads.iter().map(|h| h.lock().unwrap().cached_blocks()).sum();
         HeapStats {
             threads: threads.len(),
-            live_objects: self.live.lock().len(),
+            live_objects: self.live.lock().unwrap().len(),
             live_bytes: self.live_bytes(),
             allocated_bytes: self.allocated_bytes(),
-            quarantined: self.quarantine.lock().len(),
+            quarantined: self.quarantine.lock().unwrap().len(),
             cached_blocks,
             uncarved_bytes: self.shared.lock().unwrap().remaining(),
         }

@@ -13,7 +13,9 @@
 use std::io::BufReader;
 use std::process::ExitCode;
 
-use predator_core::{build_report, diff_reports, suggest_fixes, DetectorConfig, Predator, Report};
+use predator_core::{
+    build_report, diff_reports, suggest_fixes, DetectorConfig, ObsSnapshot, Predator, Report,
+};
 use predator_instrument::{
     instrument_module, load_jsonl, parse_module, replay, InstrumentOptions, Machine,
     StepSchedule, ThreadSpec,
@@ -64,9 +66,21 @@ USAGE:
         Compare two JSON reports (from `run --json`); exits nonzero when the
         new report introduces findings the old one lacked (a CI gate).
 
+    predator stats <snapshot.json>
+        Render an observability snapshot (from `--metrics`, or the `obs`
+        field of a `--json` report) as a human-readable table. `-` reads
+        from stdin.
+
     Common flags:
         --fixes             also print prescriptive fix suggestions
         --markdown          render the report as GitHub-flavoured markdown
+        --metrics <PATH>    write the metrics snapshot as JSON to PATH and
+                            Prometheus text to PATH.prom after the run;
+                            `-` prints the JSON to stdout (skipped under
+                            --json, whose report already embeds it)
+        --trace-events <PATH>  stream structured JSONL events (line
+                            promotions, invalidations, prediction units,
+                            callsite attribution) to PATH during the run
 ";
 
 struct Args {
@@ -76,8 +90,18 @@ struct Args {
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
-    const VALUED: &[&str] =
-        &["--threads", "--iters", "--seed", "--sampling", "--base", "--size", "--stride", "--quantum"];
+    const VALUED: &[&str] = &[
+        "--threads",
+        "--iters",
+        "--seed",
+        "--sampling",
+        "--base",
+        "--size",
+        "--stride",
+        "--quantum",
+        "--metrics",
+        "--trace-events",
+    ];
     let mut args =
         Args { positional: Vec::new(), flags: Vec::new(), options: Default::default() };
     let mut it = raw.iter();
@@ -118,8 +142,12 @@ fn detector_config(args: &Args) -> Result<DetectorConfig, String> {
 }
 
 fn workload_config(args: &Args) -> Result<WorkloadConfig, String> {
+    let threads: usize = num(args, "--threads", 4usize)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
     Ok(WorkloadConfig {
-        threads: num(args, "--threads", 4usize)?,
+        threads,
         iters: num(args, "--iters", 20_000u64)?,
         seed: num(args, "--seed", 42u64)?,
         variant: if args.flags.iter().any(|f| f == "--fixed") {
@@ -142,7 +170,47 @@ fn cmd_list() {
     }
 }
 
+/// Routes structured events to `--trace-events <PATH>` for the rest of the
+/// process. Installed before the run so hot-path emitters see an enabled
+/// sink.
+fn install_trace_sink(args: &Args) -> Result<(), String> {
+    let Some(path) = args.options.get("--trace-events") else { return Ok(()) };
+    let file =
+        std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    predator_obs::events().install(
+        Box::new(std::io::BufWriter::new(file)),
+        TRACE_CAPACITY,
+        /* sample_every = */ 1,
+    );
+    Ok(())
+}
+
+/// Upper bound on JSONL event lines per run; past it, events are counted as
+/// dropped rather than written (keeps trace files bounded on huge runs).
+const TRACE_CAPACITY: u64 = 1_000_000;
+
+/// Writes the end-of-run metrics snapshot where `--metrics` asked for it.
+fn emit_metrics(args: &Args) -> Result<(), String> {
+    let Some(path) = args.options.get("--metrics") else { return Ok(()) };
+    let snap = predator_obs::global().snapshot();
+    if path == "-" {
+        // Under --json the report on stdout already embeds the snapshot;
+        // printing it again would leave two JSON documents on one stream.
+        if !args.flags.iter().any(|f| f == "--json") {
+            println!("{}", snap.to_json());
+        }
+    } else {
+        std::fs::write(path, snap.to_json() + "\n")
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let prom = format!("{path}.prom");
+        std::fs::write(&prom, snap.to_prometheus())
+            .map_err(|e| format!("cannot write {prom}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn emit_report(args: &Args, det: &DetectorConfig, report: &Report) {
+    let _span = predator_obs::span("report");
     if args.flags.iter().any(|f| f == "--json") {
         println!("{}", report.to_json());
     } else if args.flags.iter().any(|f| f == "--markdown") {
@@ -268,6 +336,27 @@ fn cmd_diff(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("stats: missing snapshot path")?;
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    // Accept either a bare snapshot (from `--metrics`) or a full report
+    // (from `run --json`, which embeds the snapshot under `obs`).
+    let snap: ObsSnapshot = serde_json::from_str::<ObsSnapshot>(&text)
+        .or_else(|_| serde_json::from_str::<Report>(&text).map(|r| r.obs))
+        .map_err(|e| format!("{path}: neither a snapshot nor a report: {e}"))?;
+    print!("{}", snap.render_table());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&raw) {
@@ -277,22 +366,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match args.positional.first().map(String::as_str) {
-        Some("list") => {
-            cmd_list();
-            Ok(())
+    let result = install_trace_sink(&args).and_then(|()| {
+        match args.positional.first().map(String::as_str) {
+            Some("list") => {
+                cmd_list();
+                Ok(())
+            }
+            Some("run") => cmd_run(&args),
+            Some("native") => cmd_native(&args),
+            Some("replay") => cmd_replay(&args),
+            Some("ir") => cmd_ir(&args),
+            Some("diff") => cmd_diff(&args),
+            Some("stats") => cmd_stats(&args),
+            Some("help") | None => {
+                println!("{USAGE}");
+                Ok(())
+            }
+            Some(other) => Err(format!("unknown command `{other}`")),
         }
-        Some("run") => cmd_run(&args),
-        Some("native") => cmd_native(&args),
-        Some("replay") => cmd_replay(&args),
-        Some("ir") => cmd_ir(&args),
-        Some("diff") => cmd_diff(&args),
-        Some("help") | None => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        Some(other) => Err(format!("unknown command `{other}`")),
-    };
+        .and_then(|()| emit_metrics(&args))
+    });
+    predator_obs::events().flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -338,6 +432,23 @@ mod tests {
         assert!(detector_config(&a).is_err());
         let a = args(&["run", "x", "--sampling", "0.1"]);
         assert!((detector_config(&a).unwrap().sampling_rate() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let a = args(&["run", "x", "--threads", "0"]);
+        let err = workload_config(&a).unwrap_err();
+        assert!(err.contains("--threads"), "unexpected error: {err}");
+        let a = args(&["run", "x", "--threads", "1"]);
+        assert_eq!(workload_config(&a).unwrap().threads, 1);
+    }
+
+    #[test]
+    fn metrics_and_trace_flags_take_values() {
+        let a = args(&["run", "x", "--metrics", "-", "--trace-events", "ev.jsonl"]);
+        assert_eq!(a.options.get("--metrics"), Some(&"-".to_string()));
+        assert_eq!(a.options.get("--trace-events"), Some(&"ev.jsonl".to_string()));
+        assert!(a.positional == vec!["run", "x"]);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub use fixes::{suggest_fixes, FixSuggestion};
 pub use predict::{HotPair, PredictionUnit, UnitKind, UnitSnapshot};
 pub use report::{build_report, Finding, FindingKind, ObjectReport, Report, SiteKind, WordReport};
 pub use runtime::{GlobalInfo, Predator};
-pub use stats::RunStats;
+pub use stats::{ObsSnapshot, RunStats};
 pub use track::{CacheTrack, TrackSnapshot};
 
 // Re-export the vocabulary types callers need.

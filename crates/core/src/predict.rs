@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
 
 use predator_sim::vline::{
@@ -217,21 +217,24 @@ impl PredictionUnit {
     /// Feeds one access *already known to fall inside `range`*; returns true
     /// if it invalidated the virtual line.
     pub fn record(&self, tid: ThreadId, kind: AccessKind) -> bool {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.accesses += 1;
         let inv = st.history.record(tid, kind);
         st.invalidations += inv as u64;
+        if inv {
+            predator_obs::static_counter!("predict_verified_invalidations_total").inc();
+        }
         inv
     }
 
     /// Verified invalidations so far.
     pub fn invalidations(&self) -> u64 {
-        self.state.lock().invalidations
+        self.state.lock().unwrap().invalidations
     }
 
     /// Snapshot for reporting.
     pub fn snapshot(&self) -> UnitSnapshot {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         UnitSnapshot {
             key: self.key,
             range: self.range,

@@ -22,7 +22,7 @@ use predator_sim::{Owner, ThreadId, VirtualRange};
 use crate::detect::{classify, SharingClass};
 use crate::predict::UnitKind;
 use crate::runtime::Predator;
-use crate::stats::RunStats;
+use crate::stats::{ObsSnapshot, RunStats};
 
 /// What the finding is anchored to in the source program.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -139,6 +139,9 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Aggregate run statistics.
     pub stats: RunStats,
+    /// Observability snapshot (process-global metric registry) captured
+    /// when the report was built.
+    pub obs: ObsSnapshot,
 }
 
 impl Report {
@@ -299,6 +302,7 @@ enum GroupKey {
 /// `heap` enables heap-object attribution and live-byte statistics; pass
 /// `None` for trace-replay sessions without a managed heap.
 pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
+    let detect_span = predator_obs::span("detect");
     let cfg = *rt.config();
     let geom = cfg.geometry;
 
@@ -320,6 +324,18 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
             let callsite = heap
                 .and_then(|h| h.resolve_callsite(obj.callsite))
                 .unwrap_or_else(Callsite::unknown);
+            let sink = predator_obs::events();
+            if sink.enabled() {
+                let frame =
+                    callsite.frames.first().map(|f| f.to_string()).unwrap_or_default();
+                sink.emit(
+                    "callsite_attributed",
+                    &[
+                        ("object_start", predator_obs::FieldVal::U64(obj.start)),
+                        ("callsite", predator_obs::FieldVal::Str(&frame)),
+                    ],
+                );
+            }
             return (
                 GroupKey::Heap(obj.start),
                 ObjectReport {
@@ -430,7 +446,8 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
     let mut scaled: BTreeMap<(GroupKey, u32), PredAgg> = BTreeMap::new();
     let mut remap: BTreeMap<(GroupKey, u64), PredAgg> = BTreeMap::new();
 
-    for unit in rt.unit_snapshots() {
+    let unit_snaps = rt.unit_snapshots();
+    for unit in &unit_snaps {
         if unit.invalidations < cfg.report_threshold {
             continue;
         }
@@ -522,12 +539,38 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
         observed_invalidations: rt.total_invalidations(),
         tracked_lines: rt.tracked_lines(),
         total_lines: rt.layout().lines(),
-        prediction_units: rt.unit_snapshots().len(),
+        prediction_units: unit_snaps.len(),
         metadata_bytes: rt.metadata_bytes(),
         app_live_bytes: heap.map(|h| h.live_bytes()).unwrap_or(0),
     };
 
-    Report { findings, stats }
+    // Settle each prediction unit's fate now that the run is over: verified
+    // (invalidations reached the report threshold) or discarded.
+    let verified = unit_snaps.iter().filter(|u| u.invalidations >= cfg.report_threshold).count();
+    predator_obs::global().gauge("predict_units_verified").set(verified as i64);
+    predator_obs::global()
+        .gauge("predict_units_discarded")
+        .set((unit_snaps.len() - verified) as i64);
+    let sink = predator_obs::events();
+    if sink.enabled() {
+        for unit in &unit_snaps {
+            let fate = if unit.invalidations >= cfg.report_threshold {
+                "unit_verified"
+            } else {
+                "unit_discarded"
+            };
+            sink.emit(
+                fate,
+                &[
+                    ("start", predator_obs::FieldVal::U64(unit.range.start)),
+                    ("invalidations", predator_obs::FieldVal::U64(unit.invalidations)),
+                ],
+            );
+        }
+    }
+
+    drop(detect_span); // record the detect phase before capturing the snapshot
+    Report { findings, stats, obs: ObsSnapshot::capture() }
 }
 
 #[cfg(test)]

@@ -19,9 +19,8 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use predator_shadow::{LineCounters, ShadowLayout, SimSpace, TrackSlots};
@@ -67,7 +66,7 @@ pub struct Predator {
     /// blacklist so that given modules, functions or variables are not
     /// instrumented"). Sorted, non-overlapping `(start, end)` pairs behind a
     /// seqlock-free RwLock: reads are the common case.
-    ignored: parking_lot::RwLock<Vec<(u64, u64)>>,
+    ignored: RwLock<Vec<(u64, u64)>>,
     events: AtomicU64,
 }
 
@@ -82,7 +81,7 @@ impl Predator {
             tracks: TrackSlots::new(layout.lines()),
             units: Mutex::new(UnitRegistry::new()),
             globals: Mutex::new(BTreeMap::new()),
-            ignored: parking_lot::RwLock::new(Vec::new()),
+            ignored: RwLock::new(Vec::new()),
             events: AtomicU64::new(0),
             layout,
         }
@@ -105,12 +104,12 @@ impl Predator {
 
     /// Registers a global variable for name attribution in reports.
     pub fn register_global(&self, name: impl Into<String>, start: u64, size: u64) {
-        self.globals.lock().insert(start, GlobalInfo { name: name.into(), start, size });
+        self.globals.lock().unwrap().insert(start, GlobalInfo { name: name.into(), start, size });
     }
 
     /// Looks up the registered global containing `addr`.
     pub fn global_at(&self, addr: u64) -> Option<GlobalInfo> {
-        let globals = self.globals.lock();
+        let globals = self.globals.lock().unwrap();
         let (_, g) = globals.range(..=addr).next_back()?;
         g.contains(addr).then(|| g.clone())
     }
@@ -125,14 +124,14 @@ impl Predator {
     /// sharing is intentional (e.g. a deliberately shared queue head) to
     /// silence it without raising global thresholds.
     pub fn ignore_range(&self, start: u64, len: u64) {
-        let mut ranges = self.ignored.write();
+        let mut ranges = self.ignored.write().unwrap();
         ranges.push((start, start + len));
         ranges.sort_unstable();
     }
 
     /// True if `addr` falls inside an ignored range.
     pub fn is_ignored(&self, addr: u64) -> bool {
-        let ranges = self.ignored.read();
+        let ranges = self.ignored.read().unwrap();
         if ranges.is_empty() {
             return false;
         }
@@ -153,6 +152,7 @@ impl Predator {
             return;
         }
         self.events.fetch_add(1, Ordering::Relaxed);
+        predator_obs::hot_counter_inc!("runtime_accesses_total");
         let geom = self.cfg.geometry;
         for line in geom.lines_touched(addr, size) {
             if let Some(idx) = self.layout.index_of(geom.line_start(line)) {
@@ -205,13 +205,25 @@ impl Predator {
     /// Forces line `idx` into tracked mode and returns its track.
     fn ensure_tracked(&self, idx: usize) -> &CacheTrack {
         self.writes.bump_to(idx, self.cfg.tracking_threshold);
-        self.tracks
-            .get_or_publish(idx, || CacheTrack::new(self.layout.line_start(idx), self.cfg.geometry))
+        let newly = self.tracks.get(idx).is_none();
+        let track = self
+            .tracks
+            .get_or_publish(idx, || CacheTrack::new(self.layout.line_start(idx), self.cfg.geometry));
+        if newly {
+            predator_obs::static_counter!("runtime_lines_promoted_total").inc();
+            predator_obs::events().emit(
+                "line_promoted",
+                &[("line_start", predator_obs::FieldVal::U64(track.line_start()))],
+            );
+        }
+        track
     }
 
     /// §3.3: hot-access-pair search over line `idx` and its neighbors;
     /// qualifying pairs spawn §3.4 verification units.
     fn analyze(&self, idx: usize) {
+        let _timer = predator_obs::static_histogram!("span_predict_ns").start_timer();
+        predator_obs::static_counter!("predict_analyses_total").inc();
         let Some(track) = self.tracks.get(idx) else { return };
         let snap_l = track.snapshot();
         let avg = snap_l.words.average_accesses();
@@ -226,9 +238,21 @@ impl Predator {
                 for (key, vg) in candidate_units(&pair, geom, self.cfg.max_scale_log2) {
                     let (unit, created) = self
                         .units
-                        .lock()
+                        .lock().unwrap()
                         .get_or_create(key, || PredictionUnit::new(key, vg, pair));
                     if created {
+                        predator_obs::static_counter!("predict_units_spawned_total").inc();
+                        let sink = predator_obs::events();
+                        if sink.enabled() {
+                            sink.emit(
+                                "unit_spawned",
+                                &[
+                                    ("unit", predator_obs::FieldVal::Str(&format!("{:?}", key.kind))),
+                                    ("start", predator_obs::FieldVal::U64(unit.range.start)),
+                                    ("size", predator_obs::FieldVal::U64(unit.range.size)),
+                                ],
+                            );
+                        }
                         self.attach_unit(&unit);
                     }
                 }
@@ -271,7 +295,7 @@ impl Predator {
                 }
             }
         }
-        for unit in self.units.lock().all() {
+        for unit in self.units.lock().unwrap().all() {
             if unit.range.start < end
                 && unit.range.end() >= start
                 && unit.invalidations() >= self.cfg.report_threshold
@@ -314,7 +338,7 @@ impl Predator {
 
     /// Snapshots of every prediction unit.
     pub fn unit_snapshots(&self) -> Vec<UnitSnapshot> {
-        self.units.lock().snapshots()
+        self.units.lock().unwrap().snapshots()
     }
 
     /// Total invalidations observed on *physical* lines (the coherence
@@ -332,7 +356,7 @@ impl Predator {
 
     /// Registered globals, in address order.
     pub fn globals_snapshot(&self) -> Vec<GlobalInfo> {
-        self.globals.lock().values().cloned().collect()
+        self.globals.lock().unwrap().values().cloned().collect()
     }
 
     /// Detector metadata footprint in bytes (Figures 8–9).
@@ -358,7 +382,7 @@ impl Predator {
             .iter_published()
             .map(|(_, t)| t.metadata_bytes(geom))
             .sum();
-        per_track + self.units.lock().len() * std::mem::size_of::<PredictionUnit>()
+        per_track + self.units.lock().unwrap().len() * std::mem::size_of::<PredictionUnit>()
     }
 }
 

@@ -40,6 +40,167 @@ impl RunStats {
     }
 }
 
+/// One counter in an embedded observability snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsMetric {
+    /// Metric name.
+    pub name: String,
+    /// Counter total.
+    pub value: u64,
+}
+
+/// One gauge in an embedded observability snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsGauge {
+    /// Metric name.
+    pub name: String,
+    /// Gauge value.
+    pub value: i64,
+}
+
+/// One non-empty log2 histogram bucket: `count` values in `[lo, 2*lo)`
+/// (`lo = 0` holds exactly the zeros).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsBucket {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// One histogram in an embedded observability snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsHistogram {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Non-empty buckets, ascending.
+    pub buckets: Vec<ObsBucket>,
+}
+
+/// Serializable mirror of a [`predator_obs::Snapshot`], embedded in every
+/// [`crate::Report`] so run metrics travel with the findings. The JSON
+/// schema is identical to `predator_obs::Snapshot::to_json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsSnapshot {
+    /// Counter totals.
+    pub counters: Vec<ObsMetric>,
+    /// Gauge values.
+    pub gauges: Vec<ObsGauge>,
+    /// Histogram snapshots.
+    pub histograms: Vec<ObsHistogram>,
+}
+
+impl From<predator_obs::Snapshot> for ObsSnapshot {
+    fn from(s: predator_obs::Snapshot) -> Self {
+        ObsSnapshot {
+            counters: s
+                .counters
+                .into_iter()
+                .map(|(name, value)| ObsMetric { name, value })
+                .collect(),
+            gauges: s
+                .gauges
+                .into_iter()
+                .map(|(name, value)| ObsGauge { name, value })
+                .collect(),
+            histograms: s
+                .histograms
+                .into_iter()
+                .map(|h| ObsHistogram {
+                    name: h.name,
+                    count: h.count,
+                    sum: h.sum,
+                    buckets: h
+                        .buckets
+                        .into_iter()
+                        .map(|b| ObsBucket { lo: b.lo, count: b.count })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ObsSnapshot {
+    /// Captures the current process-global registry.
+    pub fn capture() -> Self {
+        predator_obs::global().snapshot().into()
+    }
+
+    /// Looks up a counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Per-phase wall times, derived from the `span_<phase>_ns` histograms:
+    /// `(phase, calls, total ns)`.
+    pub fn phases(&self) -> Vec<(String, u64, u64)> {
+        self.histograms
+            .iter()
+            .filter_map(|h| {
+                let phase = h.name.strip_prefix("span_")?.strip_suffix("_ns")?;
+                Some((phase.to_string(), h.count, h.sum))
+            })
+            .collect()
+    }
+
+    /// Renders the human-readable stats table (`predator stats`).
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let phases = self.phases();
+        if !phases.is_empty() {
+            out.push_str("PHASES\n");
+            let _ = writeln!(out, "  {:<24} {:>10} {:>14} {:>14}", "phase", "calls", "total ms", "mean us");
+            for (phase, calls, total_ns) in &phases {
+                let mean_us = if *calls == 0 { 0.0 } else { *total_ns as f64 / *calls as f64 / 1e3 };
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>10} {:>14.3} {:>14.1}",
+                    phase,
+                    calls,
+                    *total_ns as f64 / 1e6,
+                    mean_us
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("COUNTERS\n");
+            for c in &self.counters {
+                let _ = writeln!(out, "  {:<40} {:>14}", c.name, c.value);
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("GAUGES\n");
+            for g in &self.gauges {
+                let _ = writeln!(out, "  {:<40} {:>14}", g.name, g.value);
+            }
+        }
+        let plain: Vec<&ObsHistogram> =
+            self.histograms.iter().filter(|h| !h.name.starts_with("span_")).collect();
+        if !plain.is_empty() {
+            out.push_str("HISTOGRAMS\n");
+            let _ = writeln!(out, "  {:<40} {:>10} {:>14} {:>10}", "name", "count", "sum", "mean");
+            for h in plain {
+                let mean = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 };
+                let _ = writeln!(
+                    out,
+                    "  {:<40} {:>10} {:>14} {:>10.1}",
+                    h.name, h.count, h.sum, mean
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(empty snapshot)\n");
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +219,61 @@ mod tests {
         assert_eq!(s.tracked_fraction(), 0.0);
         let s = RunStats { tracked_lines: 5, total_lines: 20, ..Default::default() };
         assert_eq!(s.tracked_fraction(), 0.25);
+    }
+
+    fn obs_sample() -> ObsSnapshot {
+        ObsSnapshot {
+            counters: vec![ObsMetric { name: "runtime_accesses_total".into(), value: 7 }],
+            gauges: vec![ObsGauge { name: "alloc_live_bytes".into(), value: 128 }],
+            histograms: vec![
+                ObsHistogram {
+                    name: "span_detect_ns".into(),
+                    count: 2,
+                    sum: 4000,
+                    buckets: vec![ObsBucket { lo: 1024, count: 2 }],
+                },
+                ObsHistogram {
+                    name: "alloc_size_bytes".into(),
+                    count: 1,
+                    sum: 64,
+                    buckets: vec![ObsBucket { lo: 64, count: 1 }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn obs_snapshot_roundtrips_through_json() {
+        let s = obs_sample();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ObsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn obs_snapshot_json_matches_obs_crate_schema() {
+        // The serde mirror must parse the output of the zero-dependency
+        // writer in predator-obs, since `predator stats` accepts both.
+        let r = predator_obs::Registry::new();
+        r.counter("c").add(3);
+        r.histogram("h").record(5);
+        let json = r.snapshot().to_json();
+        let parsed: ObsSnapshot = serde_json::from_str(&json).unwrap();
+        if !predator_obs::disabled() {
+            assert_eq!(parsed.counter("c"), Some(3));
+            assert_eq!(parsed.histograms[0].count, 1);
+        }
+    }
+
+    #[test]
+    fn phases_extracted_from_span_histograms() {
+        let s = obs_sample();
+        assert_eq!(s.phases(), vec![("detect".to_string(), 2, 4000)]);
+        let table = s.render_table();
+        assert!(table.contains("PHASES"));
+        assert!(table.contains("detect"));
+        assert!(table.contains("runtime_accesses_total"));
+        assert!(table.contains("alloc_size_bytes"));
+        assert!(!table.contains("span_detect_ns"), "spans render as phases, not histograms");
     }
 }

@@ -10,13 +10,13 @@
 //!
 //! Concurrency: the sampling decision is a lone `Relaxed` `fetch_add` on an
 //! atomic access counter — the fast path for skipped accesses takes no lock.
-//! Recorded accesses serialize on a per-line `parking_lot::Mutex`. The lock
+//! Recorded accesses serialize on a per-line `std::sync::Mutex`. The lock
 //! order is always *track → unit*; units never lock tracks.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
 
 use predator_sim::{AccessKind, CacheGeometry, HistoryTable, ThreadId, WordTracker};
@@ -108,9 +108,20 @@ impl CacheTrack {
         if cfg.sampling && n % cfg.sample_interval >= cfg.sample_burst {
             return TrackOutcome::default();
         }
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let invalidated = st.history.record(tid, kind);
         st.invalidations += invalidated as u64;
+        predator_obs::static_counter!("track_sampled_accesses_total").inc();
+        if invalidated {
+            predator_obs::static_counter!("track_invalidations_total").inc();
+            predator_obs::events().emit(
+                "invalidation",
+                &[
+                    ("line_start", predator_obs::FieldVal::U64(self.line_start)),
+                    ("tid", predator_obs::FieldVal::U64(tid.index() as u64)),
+                ],
+            );
+        }
         st.words.record(tid, addr, size, kind);
         let mut analysis_due = false;
         match kind {
@@ -131,7 +142,7 @@ impl CacheTrack {
     /// Attaches a prediction unit whose virtual line overlaps this physical
     /// line; deduplicated by unit identity.
     pub fn attach_unit(&self, unit: Arc<PredictionUnit>) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if !st.units.iter().any(|u| u.key == unit.key) {
             st.units.push(unit);
         }
@@ -139,17 +150,17 @@ impl CacheTrack {
 
     /// Number of attached prediction units.
     pub fn unit_count(&self) -> usize {
-        self.state.lock().units.len()
+        self.state.lock().unwrap().units.len()
     }
 
     /// Invalidations recorded on the physical line.
     pub fn invalidations(&self) -> u64 {
-        self.state.lock().invalidations
+        self.state.lock().unwrap().invalidations
     }
 
     /// Snapshot for analysis/reporting (clones the word counters).
     pub fn snapshot(&self) -> TrackSnapshot {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         TrackSnapshot {
             line_start: self.line_start,
             invalidations: st.invalidations,
@@ -165,7 +176,7 @@ impl CacheTrack {
     /// freed without false sharing (§2.3.2), so a later object recycling the
     /// address starts clean.
     pub fn reset(&self, geom: CacheGeometry) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.history = HistoryTable::new();
         st.words = WordTracker::new(self.line_start, geom);
         st.invalidations = 0;

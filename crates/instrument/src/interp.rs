@@ -148,6 +148,7 @@ impl<'a> Machine<'a> {
         schedule: StepSchedule,
         max_steps: u64,
     ) -> Result<Vec<Option<i64>>, ExecError> {
+        let _span = predator_obs::span("interpret");
         let mut states: Vec<ThreadState<'_>> = threads
             .iter()
             .map(|spec| {
@@ -199,6 +200,7 @@ impl<'a> Machine<'a> {
                 self.step(&mut states[pick])?;
             }
         }
+        predator_obs::static_counter!("interp_instructions_total").add(steps);
         Ok(states.into_iter().map(|s| s.result).collect())
     }
 

@@ -82,6 +82,7 @@ pub struct InstrumentStats {
 
 /// Instruments `module` in place; returns statistics.
 pub fn instrument_module(module: &mut Module, opts: &InstrumentOptions) -> InstrumentStats {
+    let _span = predator_obs::span("instrument");
     let mut stats = InstrumentStats::default();
     let mode = opts.effective_mode();
     for func in &mut module.functions {

@@ -446,6 +446,7 @@ fn parse_inst(line: &str, ln: usize) -> Result<Inst, ParseError> {
 
 /// Parses the textual format into a validated [`Module`].
 pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let _span = predator_obs::span("parse");
     Parser::parse_module(text)
 }
 

@@ -8,7 +8,7 @@
 
 use std::io::{BufRead, Write};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use predator_core::Predator;
 use predator_sim::{Access, AccessKind, ThreadId};
@@ -29,12 +29,12 @@ impl TraceRecorder {
 
     /// A copy of the recorded events, in arrival order.
     pub fn events(&self) -> Vec<Access> {
-        self.events.lock().clone()
+        self.events.lock().unwrap().clone()
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.events.lock().unwrap().len()
     }
 
     /// True when nothing has been recorded.
@@ -44,13 +44,13 @@ impl TraceRecorder {
 
     /// Consumes the recorder, returning the trace.
     pub fn into_events(self) -> Vec<Access> {
-        self.events.into_inner()
+        self.events.into_inner().unwrap()
     }
 }
 
 impl AccessSink for TraceRecorder {
     fn access(&self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind) {
-        self.events.lock().push(Access { tid, addr, size, kind });
+        self.events.lock().unwrap().push(Access { tid, addr, size, kind });
     }
 }
 

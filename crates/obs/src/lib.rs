@@ -1,0 +1,130 @@
+//! `predator-obs` — std-only observability for the detector pipeline.
+//!
+//! The PREDATOR evaluation (§4, Figures 7–10) is about *where time and
+//! memory go*: instrumentation cost, sampling rate, tracked-line fraction,
+//! prediction-unit churn. This crate gives every pipeline stage a shared,
+//! dependency-free place to record that:
+//!
+//! * [`Registry`] — named metrics: monotonic [`Counter`]s (per-thread
+//!   sharded and cache-line padded, dogfooding the paper's own lesson),
+//!   [`Gauge`]s, and log2-bucketed [`Histogram`]s for latencies and sizes.
+//! * [`span`] / [`Histogram::start_timer`] — RAII wall-time timers for the
+//!   pipeline phases (parse → instrument → interpret → detect → predict →
+//!   report), recorded as `span_<phase>_ns` histograms.
+//! * [`events`] — a bounded, sampled JSONL structured-event sink for the
+//!   interesting state transitions (line promoted, invalidation recorded,
+//!   prediction unit spawned/verified/discarded, callsite attributed).
+//!
+//! Everything hangs off a process-global registry ([`global`]) so call
+//! sites in any crate can grab a handle without plumbing; handles are
+//! cheap `Arc` clones meant to be cached at construction time on hot paths.
+//!
+//! The `obs-off` cargo feature compiles every hook to a no-op so the cost
+//! of the layer itself can be measured (see the `detector_hotpath` bench).
+
+mod events;
+mod metrics;
+mod snapshot;
+mod span;
+
+pub use events::{events, EventSink, FieldVal};
+pub use metrics::{
+    bucket_index, bucket_lower_bound, global, Counter, Gauge, Histogram, Registry, Timer,
+    COUNTER_SHARDS,
+};
+pub use snapshot::{Bucket, HistogramSnapshot, Snapshot};
+pub use span::{span, Span};
+
+/// True when the crate was compiled with the `obs-off` feature (all hooks
+/// are no-ops and snapshots report zeros).
+pub const fn disabled() -> bool {
+    cfg!(feature = "obs-off")
+}
+
+/// A lazily-initialized `&'static Counter` from the global registry —
+/// the cached-handle pattern for hot paths without a struct to hang the
+/// handle on: `obs::static_counter!("mesi_accesses_total").inc()`.
+#[macro_export]
+macro_rules! static_counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// How many increments a [`hot_counter_inc!`] call site accumulates in its
+/// thread-local tally before flushing to the shared counter. Snapshots may
+/// under-report by up to `HOT_BATCH - 1` per thread per call site.
+pub const HOT_BATCH: u64 = 64;
+
+/// A sampled counter increment for hot paths: counts into a plain
+/// thread-local cell and flushes to the sharded global counter every
+/// [`HOT_BATCH`] increments, so the per-event cost is a TLS increment and a
+/// predictable branch instead of an atomic RMW.
+#[macro_export]
+macro_rules! hot_counter_inc {
+    ($name:expr) => {{
+        if !$crate::disabled() {
+            ::std::thread_local! {
+                static TALLY: ::std::cell::Cell<u64> = const { ::std::cell::Cell::new(0) };
+            }
+            TALLY.with(|t| {
+                let n = t.get() + 1;
+                if n >= $crate::HOT_BATCH {
+                    $crate::static_counter!($name).add(n);
+                    t.set(0);
+                } else {
+                    t.set(n);
+                }
+            });
+        }
+    }};
+}
+
+/// A lazily-initialized `&'static Gauge` from the global registry.
+#[macro_export]
+macro_rules! static_gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Gauge> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().gauge($name))
+    }};
+}
+
+/// A lazily-initialized `&'static Histogram` from the global registry.
+#[macro_export]
+macro_rules! static_histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod macro_tests {
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore)]
+    fn hot_counter_flushes_in_batches() {
+        // One call site: the macro's thread-local tally is per expansion.
+        fn bump() {
+            crate::hot_counter_inc!("test_hot_counter_flush_total");
+        }
+        let name = "test_hot_counter_flush_total";
+        // Below a full batch nothing reaches the shared counter...
+        for _ in 0..crate::HOT_BATCH - 1 {
+            bump();
+        }
+        assert_eq!(crate::global().counter(name).get(), 0);
+        // ...the batch-completing increment flushes the whole tally.
+        bump();
+        assert_eq!(crate::global().counter(name).get(), crate::HOT_BATCH);
+    }
+
+    #[test]
+    fn static_handles_point_at_the_global_registry() {
+        crate::static_counter!("test_static_handle_total").add(3);
+        assert_eq!(
+            crate::global().counter("test_static_handle_total").get(),
+            if crate::disabled() { 0 } else { 3 }
+        );
+    }
+}

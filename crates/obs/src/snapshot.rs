@@ -1,0 +1,185 @@
+//! Point-in-time metric snapshots and their text encodings.
+
+use std::fmt::Write as _;
+
+/// One non-empty histogram bucket: `count` observations at or above `lo`
+/// (and below the next bucket's `lo`; see [`crate::bucket_index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bucket {
+    /// Inclusive lower bound of the bucket.
+    pub lo: u64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Non-empty log2 buckets, ascending by bound.
+    pub buckets: Vec<Bucket>,
+}
+
+/// A point-in-time copy of a [`crate::Registry`], sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Rewrites a metric name into the Prometheus charset (`[a-zA-Z0-9_]`).
+fn prom_name(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+impl Snapshot {
+    /// Serializes to a single JSON object. The schema matches the
+    /// `ObsSnapshot` mirror embedded in detector reports:
+    ///
+    /// ```json
+    /// {"counters":[{"name":"...","value":1}],
+    ///  "gauges":[{"name":"...","value":-1}],
+    ///  "histograms":[{"name":"...","count":2,"sum":9,
+    ///                 "buckets":[{"lo":4,"count":2}]}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":[");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_str(&mut out, name);
+            let _ = write!(out, ",\"value\":{value}}}");
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_str(&mut out, name);
+            let _ = write!(out, ",\"value\":{value}}}");
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_str(&mut out, &h.name);
+            let _ = write!(out, ",\"count\":{},\"sum\":{},\"buckets\":[", h.count, h.sum);
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"lo\":{},\"count\":{}}}", b.lo, b.count);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Serializes to the Prometheus text exposition format. Histogram
+    /// buckets become cumulative `_bucket{le="..."}` series with the
+    /// standard `+Inf`/`_sum`/`_count` trailer.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(256);
+        for (name, value) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {value}");
+        }
+        for h in &self.histograms {
+            let n = prom_name(&h.name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for b in &h.buckets {
+                cumulative += b.count;
+                // `lo` is the inclusive lower bound of a [2^(i-1), 2^i)
+                // bucket; the Prometheus inclusive upper bound is 2^i - 1.
+                let le = if b.lo == 0 { 0 } else { b.lo.saturating_mul(2) - 1 };
+                let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", h.sum, h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![("runtime_accesses_total".into(), 42)],
+            gauges: vec![("alloc_live_bytes".into(), -7)],
+            histograms: vec![HistogramSnapshot {
+                name: "span_detect_ns".into(),
+                count: 3,
+                sum: 70,
+                buckets: vec![Bucket { lo: 16, count: 2 }, Bucket { lo: 32, count: 1 }],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let json = sample().to_json();
+        assert!(json.contains("\"counters\":[{\"name\":\"runtime_accesses_total\",\"value\":42}]"));
+        assert!(json.contains("\"gauges\":[{\"name\":\"alloc_live_bytes\",\"value\":-7}]"));
+        assert!(json.contains("\"buckets\":[{\"lo\":16,\"count\":2},{\"lo\":32,\"count\":1}]"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let prom = sample().to_prometheus();
+        assert!(prom.contains("# TYPE runtime_accesses_total counter"));
+        assert!(prom.contains("runtime_accesses_total 42"));
+        assert!(prom.contains("span_detect_ns_bucket{le=\"31\"} 2"));
+        assert!(prom.contains("span_detect_ns_bucket{le=\"63\"} 3"));
+        assert!(prom.contains("span_detect_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(prom.contains("span_detect_ns_sum 70"));
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        assert_eq!(
+            Snapshot::default().to_json(),
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[]}"
+        );
+        assert_eq!(Snapshot::default().to_prometheus(), "");
+    }
+}

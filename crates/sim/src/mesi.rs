@@ -201,6 +201,7 @@ impl MesiSim {
     /// Applies one access of `size` bytes at `addr` by `tid`, visiting every
     /// line the access touches.
     pub fn access(&mut self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind) {
+        predator_obs::hot_counter_inc!("mesi_accesses_total");
         for line in self.geom.lines_touched(addr, size) {
             self.access_line(tid, line, kind);
         }
@@ -283,6 +284,9 @@ impl MesiSim {
                     self.stats.invalidation_events += 1;
                     self.stats.lines_invalidated += invalidated;
                     *self.line_invalidations.entry(line).or_insert(0) += 1;
+                    predator_obs::static_counter!("mesi_invalidation_events_total").inc();
+                    predator_obs::static_counter!("mesi_lines_invalidated_total")
+                        .add(invalidated);
                 }
                 self.install(core, line, LineState::Modified);
             }

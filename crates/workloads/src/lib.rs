@@ -174,7 +174,10 @@ pub fn run_and_report(
     cfg: &WorkloadConfig,
 ) -> Report {
     let session = Session::with_config(det);
-    workload.run_tracked(&session, cfg);
+    {
+        let _span = predator_obs::span("interpret");
+        workload.run_tracked(&session, cfg);
+    }
     session.report()
 }
 

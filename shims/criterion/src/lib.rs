@@ -1,0 +1,262 @@
+//! Vendored stand-in for `criterion`, implementing the API surface this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::default()` with builder knobs, benchmark groups with
+//! throughput annotation, `bench_function`/`bench_with_input`,
+//! `BenchmarkId::from_parameter`, and `black_box`.
+//!
+//! Measurement is a plain warm-up + timed-loop mean over
+//! `std::time::Instant` — no statistical analysis, HTML reports, or
+//! command-line filtering. Good enough to compare configurations of the
+//! same code built the same way, which is what the obs-overhead and
+//! ablation benches need.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_benchmark(&cfg, id, None, f);
+        self
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(self.criterion, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    iters: u64,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Measure in one timed batch sized to the measurement budget.
+        let target = ((self.measurement_time.as_secs_f64() / per_iter.max(1e-9)) as u64).max(10);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.iters = target;
+        self.mean_ns = elapsed.as_nanos() as f64 / target as f64;
+    }
+}
+
+fn run_benchmark<F>(cfg: &Criterion, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        mean_ns: 0.0,
+        iters: 0,
+        warm_up_time: cfg.warm_up_time,
+        measurement_time: cfg.measurement_time,
+    };
+    f(&mut b);
+    let mut line = format!("{id:<55} time: {:>12} /iter", format_ns(b.mean_ns));
+    match throughput {
+        Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+            let rate = n as f64 * 1e9 / b.mean_ns;
+            line.push_str(&format!("   thrpt: {:>14}/s", format_count(rate)));
+        }
+        Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+            let rate = n as f64 * 1e9 / b.mean_ns;
+            line.push_str(&format!("   thrpt: {:>12}B/s", format_count(rate)));
+        }
+        _ => {}
+    }
+    println!("{line}   ({} iters)", b.iters);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_count(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.3}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the long form with an explicit `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        let mut count = 0u64;
+        g.bench_function("incr", |b| b.iter(|| count += 1));
+        g.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

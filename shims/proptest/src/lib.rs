@@ -1,0 +1,405 @@
+//! Vendored stand-in for `proptest`, covering the API surface this
+//! workspace uses: the `proptest!` test macro, `Strategy` with `prop_map`,
+//! integer-range / tuple / `collection::vec` / `any::<T>()` / `Just` /
+//! `prop_oneof!` strategies, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate: no shrinking (failures report the raw
+//! generated case), and case generation is seeded deterministically from
+//! the test function's name, so runs are reproducible without a persistence
+//! file.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::{Rng as _, SeedableRng as _};
+
+    /// Deterministic per-test RNG handed to strategies.
+    pub struct TestRng {
+        pub(crate) inner: SmallRng,
+    }
+
+    impl TestRng {
+        /// Seeds from an FNV-1a hash of the test name: stable across runs,
+        /// distinct per test.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { inner: SmallRng::seed_from_u64(h) }
+        }
+    }
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Object-safe (`prop_map` is `Sized`-gated) so `prop_oneof!` can mix
+    /// heterogeneous strategies behind `dyn Strategy`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.inner.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.inner.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.inner.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($t:ident),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($t,)+) = self;
+                    ($($t.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::{Rng as _, Standard};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Standard> Arbitrary for T {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.inner.gen()
+        }
+    }
+
+    pub struct AnyStrategy<T>(pub(crate) PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for AnyStrategy<T> {}
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod bool {
+    use std::marker::PhantomData;
+
+    use crate::arbitrary::AnyStrategy;
+
+    /// Any boolean, uniformly.
+    pub const ANY: AnyStrategy<::core::primitive::bool> = AnyStrategy(PhantomData);
+}
+
+pub mod collection {
+    use rand::Rng as _;
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Length bound for [`vec`]: built from `a..b`, `a..=b`, or an exact
+    /// `usize`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_inclusive: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_inclusive: n }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.inner.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod test_runner {
+    /// Subset of proptest's config: the number of cases per property.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Namespace mirror so `prop::bool::ANY`-style paths from
+/// `proptest::prelude::*` resolve.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Discards the current case (moves to the next one) when the condition
+/// does not hold. Expands to `continue` targeting the case loop generated
+/// by [`proptest!`].
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let __options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::Union::new(__options)
+    }};
+}
+
+/// Declares property tests: each `fn` runs its body once per generated
+/// case, with every `pat in strategy` binding drawn fresh.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::strategy::TestRng::from_name(::core::stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u8> {
+        prop_oneof![Just(1u8), Just(2u8), (0u8..4).prop_map(|x| x * 10)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 1u64..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(
+            v in crate::collection::vec((0u64..8, prop::bool::ANY), 2..5)
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            for (w, _) in v {
+                prop_assert!(w < 8);
+            }
+        }
+
+        #[test]
+        fn oneof_and_assume(x in small(), flag in any::<bool>()) {
+            prop_assume!(x != 2);
+            prop_assert!(x == 1 || x.is_multiple_of(10), "x={x} flag={flag}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::strategy::TestRng::from_name("t");
+        let mut b = crate::strategy::TestRng::from_name("t");
+        let s = crate::collection::vec(0u64..100, 3..6);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

@@ -1,0 +1,457 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! build environment is offline). Supports the shapes this workspace
+//! actually derives on: non-generic named structs, tuple structs, and enums
+//! with unit / tuple / struct variants. Generated code targets the shim's
+//! `Value`-tree data model and mirrors serde's externally-tagged JSON
+//! encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<(String, VariantShape)> },
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => gen(&shape)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- parsing ----
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips leading attributes (`#[...]`, including doc comments) and
+/// visibility modifiers (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if matches!(it.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    it.next();
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    match (kw.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Shape::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Shape::TupleStruct { name, arity: count_top_level(g.stream()) })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Shape::Enum { name, variants: parse_variants(g.stream())? })
+        }
+        (_, other) => Err(format!("unsupported {kw} body for `{name}`: {other:?}")),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the names. Types are
+/// skipped structurally: brackets/parens arrive as atomic groups, and `<>`
+/// nesting is tracked so only top-level commas split fields.
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let Some(tt) = it.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err(format!("expected field name, got `{tt}`"));
+        };
+        fields.push(id.to_string());
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{id}`, got {other:?}")),
+        }
+        let mut depth = 0i64;
+        for tt in it.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of top-level comma-separated items in a token stream.
+fn count_top_level(ts: TokenStream) -> usize {
+    let mut n = 0;
+    let mut depth = 0i64;
+    let mut pending = false;
+    for tt in ts {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                n += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut variants = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let Some(tt) = it.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err(format!("expected variant name, got `{tt}`"));
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level(g.stream());
+                it.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                it.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((id.to_string(), shape));
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        for tt in it.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+// ---- code generation ----
+
+fn gen_serialize(shape: &Shape) -> String {
+    let mut out = String::new();
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::Map(::std::vec![{entries}])\
+                     }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            // Newtype struct: serializes as its inner value (serde-compatible).
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Serialize::to_value(&self.0)\
+                     }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::Seq(::std::vec![{items}])\
+                     }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({v:?}),\
+                             ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({v:?}),\
+                                 ::serde::Value::Seq(::std::vec![{items}]))]),",
+                            binds.join(",")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(",");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}),\
+                                     ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v}{{{binds}}} => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({v:?}),\
+                                 ::serde::Value::Map(::std::vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let mut out = String::new();
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__v.field({f:?}))\
+                             .map_err(|e| e.ctx(\"{name}.{f}\"))?,"
+                    )
+                })
+                .collect();
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         if __v.as_map().is_none() {{\
+                             return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"expected map for {name}\"));\
+                         }}\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\
+                     }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         ::std::result::Result::Ok({name}(\
+                             ::serde::Deserialize::from_value(__v)\
+                                 .map_err(|e| e.ctx(\"{name}\"))?))\
+                     }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(&__seq[{i}])\
+                             .map_err(|e| e.ctx(\"{name}.{i}\"))?,"
+                    )
+                })
+                .collect();
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         let __seq = __v.as_seq().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected sequence for {name}\"))?;\
+                         if __seq.len() != {arity} {{\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong tuple length for {name}\"));\
+                         }}\
+                         ::std::result::Result::Ok({name}({items}))\
+                     }}\
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(__inner)\
+                                 .map_err(|e| e.ctx(\"{name}::{v}\"))?)),"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let items: String = (0..*arity)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(&__seq[{i}])\
+                                         .map_err(|e| e.ctx(\"{name}::{v}.{i}\"))?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{\
+                                 let __seq = __inner.as_seq().ok_or_else(|| \
+                                     ::serde::Error::custom(\
+                                         \"expected sequence for {name}::{v}\"))?;\
+                                 if __seq.len() != {arity} {{\
+                                     return ::std::result::Result::Err(\
+                                         ::serde::Error::custom(\
+                                             \"wrong tuple length for {name}::{v}\"));\
+                                 }}\
+                                 ::std::result::Result::Ok({name}::{v}({items}))\
+                             }},"
+                        ))
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(__inner.field({f:?}))\
+                                         .map_err(|e| e.ctx(\"{name}::{v}.{f}\"))?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),"
+                        ))
+                    }
+                })
+                .collect();
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         match __v {{\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\
+                                 {unit_arms}\
+                                 __other => ::std::result::Result::Err(\
+                                     ::serde::Error::custom(::std::format!(\
+                                         \"unknown variant `{{__other}}` of {name}\"))),\
+                             }},\
+                             ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\
+                                 let (__tag, __inner) = &__entries[0];\
+                                 let _ = __inner;\
+                                 match __tag.as_str() {{\
+                                     {tagged_arms}\
+                                     __other => ::std::result::Result::Err(\
+                                         ::serde::Error::custom(::std::format!(\
+                                             \"unknown variant `{{__other}}` of {name}\"))),\
+                                 }}\
+                             }},\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\
+                                     \"expected externally tagged variant of {name}\")),\
+                         }}\
+                     }}\
+                 }}"
+            )
+            .unwrap();
+        }
+    }
+    out
+}
