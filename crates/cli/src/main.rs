@@ -15,6 +15,7 @@ use std::process::ExitCode;
 
 use predator_core::{
     build_report, diff_reports, suggest_fixes, DetectorConfig, ObsSnapshot, Predator, Report,
+    SiteKind, TimelineOp, TimelineRecord,
 };
 use predator_instrument::{
     instrument_module, load_jsonl, parse_module, replay, InstrumentOptions, Machine,
@@ -62,9 +63,17 @@ USAGE:
         --quantum <N>       instructions per turn       [default: 7]
         --sensitive / --no-prediction / --json / --fixes as above
 
-    predator diff <old.json> <new.json>
+    predator explain <report.json> [line]
+        Render a flight-recorder timeline for one cache line of a JSON
+        report: interleaved per-thread lanes at word granularity, with
+        invalidating writes highlighted and causally attributed. `line` is
+        a decimal global line index or a 0x-prefixed byte address; omitted,
+        the top finding's hottest line is used.
+
+    predator diff <old.json> <new.json> [OPTIONS]
         Compare two JSON reports (from `run --json`); exits nonzero when the
         new report introduces findings the old one lacked (a CI gate).
+        --tolerance <F>     severity-change ratio threshold [default: 0.5]
 
     predator stats <snapshot.json>
         Render an observability snapshot (from `--metrics`, or the `obs`
@@ -81,6 +90,9 @@ USAGE:
         --trace-events <PATH>  stream structured JSONL events (line
                             promotions, invalidations, prediction units,
                             callsite attribution) to PATH during the run
+        --no-recorder       disable the flight recorder (on by default for
+                            run/ir/replay; powers `explain` timelines)
+        --recorder-depth <N>  records kept per cache line [default: 64]
 ";
 
 struct Args {
@@ -101,6 +113,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         "--quantum",
         "--metrics",
         "--trace-events",
+        "--recorder-depth",
+        "--tolerance",
     ];
     let mut args =
         Args { positional: Vec::new(), flags: Vec::new(), options: Default::default() };
@@ -188,6 +202,26 @@ fn install_trace_sink(args: &Args) -> Result<(), String> {
 /// Upper bound on JSONL event lines per run; past it, events are counted as
 /// dropped rather than written (keeps trace files bounded on huge runs).
 const TRACE_CAPACITY: u64 = 1_000_000;
+
+/// Default flight-recorder ring depth (records kept per cache line).
+const RECORDER_DEPTH: usize = 64;
+
+/// Turns the flight recorder on for detector-running commands (so reports
+/// embed timelines for `explain`) unless `--no-recorder` opts out.
+fn install_recorder(args: &Args) -> Result<(), String> {
+    if !matches!(args.positional.first().map(String::as_str), Some("run" | "ir" | "replay")) {
+        return Ok(());
+    }
+    if args.flags.iter().any(|f| f == "--no-recorder") {
+        return Ok(());
+    }
+    let depth: usize = num(args, "--recorder-depth", RECORDER_DEPTH)?;
+    if depth == 0 {
+        return Err("--recorder-depth must be at least 1".into());
+    }
+    predator_obs::recorder::recorder().enable(depth);
+    Ok(())
+}
 
 /// Writes the end-of-run metrics snapshot where `--metrics` asked for it.
 fn emit_metrics(args: &Args) -> Result<(), String> {
@@ -311,6 +345,198 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Short source label for a finding's object (first allocation frame,
+/// global name, or hex address) — the `explain` header form.
+fn site_label(site: &SiteKind, start: u64) -> String {
+    match site {
+        SiteKind::Heap { callsite, .. } => callsite
+            .frames
+            .first()
+            .map(|fr| fr.to_string())
+            .unwrap_or_else(|| format!("{start:#x}")),
+        SiteKind::Global { name } => name.clone(),
+        SiteKind::Unknown => format!("{start:#x}"),
+    }
+}
+
+/// `explain`'s line operand: a decimal global line index, or a 0x-prefixed
+/// byte address mapped to its 64-byte line.
+fn parse_line_arg(s: &str) -> Result<u64, String> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+            .map(|addr| addr >> 6)
+            .map_err(|e| format!("bad address {s}: {e}"))
+    } else {
+        s.parse().map_err(|e| format!("bad line index {s}: {e}"))
+    }
+}
+
+fn fmt_word(w: u8) -> String {
+    if w == u8::MAX {
+        "?".to_string()
+    } else {
+        w.to_string()
+    }
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("explain: missing report path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report: Report =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: not a JSON report: {e}"))?;
+
+    let line = match args.positional.get(2) {
+        Some(s) => parse_line_arg(s)?,
+        // Default to the top finding's hottest line: the one its most
+        // recent invalidation trace names, else its first timeline record.
+        None => match report.findings.iter().find_map(|f| {
+            f.invalidation_traces
+                .last()
+                .map(|t| t.line)
+                .or_else(|| f.timeline.first().map(|r| r.line))
+        }) {
+            Some(l) => l,
+            None => {
+                println!("No flight-recorder data embedded in {path}.");
+                println!(
+                    "Re-run the workload with the recorder on (the default unless \
+                     --no-recorder; unavailable in obs-off builds)."
+                );
+                return Ok(());
+            }
+        },
+    };
+
+    // Gather the line's records across all findings (a line can back both an
+    // observed and a predicted finding), deduplicating shared records.
+    let mut recs: Vec<&TimelineRecord> = report
+        .findings
+        .iter()
+        .flat_map(|f| f.timeline.iter())
+        .filter(|r| r.line == line)
+        .collect();
+    recs.sort_by_key(|r| (r.seq, r.tid.index(), r.word));
+    recs.dedup_by(|a, b| a == b);
+    if recs.is_empty() {
+        println!("No flight-recorder records for line {line}.");
+        let mut avail: Vec<u64> =
+            report.findings.iter().flat_map(|f| f.timeline.iter().map(|r| r.line)).collect();
+        avail.sort_unstable();
+        avail.dedup();
+        if !avail.is_empty() {
+            let lines: Vec<String> = avail.iter().map(u64::to_string).collect();
+            println!("Lines with recorded data: {}", lines.join(", "));
+        }
+        return Ok(());
+    }
+
+    // Header: prefer the observed finding for the line (directly witnessed)
+    // over predicted findings sharing its records.
+    let covers = |f: &&predator_core::Finding| f.timeline.iter().any(|r| r.line == line);
+    let owner = report
+        .findings
+        .iter()
+        .filter(covers)
+        .find(|f| f.kind == predator_core::FindingKind::Observed)
+        .or_else(|| report.findings.iter().find(covers));
+    println!("Timeline for cache line {} (bytes {:#x}..{:#x}):", line, line * 64, line * 64 + 64);
+    if let Some(f) = owner {
+        println!(
+            "  object: {} — {}, {} ({} invalidations total)",
+            site_label(&f.object.site, f.object.start),
+            f.class,
+            f.kind,
+            f.invalidations
+        );
+    }
+    println!();
+
+    // Lanes: every thread that issued a record or was invalidated.
+    let mut tids: Vec<usize> = recs
+        .iter()
+        .flat_map(|r| {
+            let victim = match r.op {
+                TimelineOp::Invalidation { victim, .. } => Some(victim.index()),
+                _ => None,
+            };
+            std::iter::once(r.tid.index()).chain(victim)
+        })
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    // One row per (seq, issuer); multi-victim invalidations share a row.
+    struct Row {
+        seq: u64,
+        tid: usize,
+        cell: String,
+        notes: Vec<String>,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for r in &recs {
+        let tid = r.tid.index();
+        match r.op {
+            TimelineOp::Read => {
+                rows.push(Row { seq: r.seq, tid, cell: format!("r{}", r.word), notes: vec![] });
+            }
+            TimelineOp::Write => {
+                rows.push(Row { seq: r.seq, tid, cell: format!("W{}", r.word), notes: vec![] });
+            }
+            TimelineOp::Invalidation { victim, victim_word } => {
+                let note = format!(
+                    "invalidated t{}'s copy (last word {})",
+                    victim.index(),
+                    fmt_word(victim_word)
+                );
+                match rows.last_mut() {
+                    Some(last) if last.seq == r.seq && last.tid == tid => {
+                        last.notes.push(note);
+                    }
+                    _ => {
+                        rows.push(Row {
+                            seq: r.seq,
+                            tid,
+                            cell: format!("W{}!", r.word),
+                            notes: vec![note],
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    const LANE: usize = 6;
+    let mut hdr = format!("  {:>8}", "seq");
+    for t in &tids {
+        hdr.push_str(&format!("  {:<LANE$}", format!("t{t}")));
+    }
+    println!("{hdr}");
+    println!("  {}", "-".repeat(hdr.len()));
+    for row in rows {
+        let mut out = format!("  {:>8}", row.seq);
+        for t in &tids {
+            let cell = if *t == row.tid { row.cell.as_str() } else { "" };
+            out.push_str(&format!("  {cell:<LANE$}"));
+        }
+        if !row.notes.is_empty() {
+            out.push_str(&format!("  {}", row.notes.join("; ")));
+        }
+        println!("{}", out.trim_end());
+    }
+    println!("\n  (rN = read, WN = write, WN! = invalidating write; N = word offset)");
+
+    if let Some(f) = owner {
+        let traces: Vec<_> = f.invalidation_traces.iter().filter(|t| t.line == line).collect();
+        if !traces.is_empty() {
+            println!("\nCausal traces (last {}):", traces.len());
+            for t in traces {
+                println!("  {t}");
+            }
+        }
+    }
+    Ok(())
+}
+
 fn cmd_diff(args: &Args) -> Result<(), String> {
     let load = |idx: usize, what: &str| -> Result<Report, String> {
         let path = args
@@ -323,7 +549,11 @@ fn cmd_diff(args: &Args) -> Result<(), String> {
     };
     let old = load(1, "old")?;
     let new = load(2, "new")?;
-    let diff = diff_reports(&old, &new, 0.5);
+    let tolerance: f64 = num(args, "--tolerance", 0.5f64)?;
+    if tolerance.is_nan() || tolerance < 0.0 {
+        return Err(format!("--tolerance must be >= 0, got {tolerance}"));
+    }
+    let diff = diff_reports(&old, &new, tolerance);
     print!("{diff}");
     if diff.has_regressions() {
         // Gate failure, not a usage error: no USAGE dump.
@@ -366,7 +596,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = install_trace_sink(&args).and_then(|()| {
+    let result = install_trace_sink(&args).and_then(|()| install_recorder(&args)).and_then(|()| {
         match args.positional.first().map(String::as_str) {
             Some("list") => {
                 cmd_list();
@@ -376,6 +606,7 @@ fn main() -> ExitCode {
             Some("native") => cmd_native(&args),
             Some("replay") => cmd_replay(&args),
             Some("ir") => cmd_ir(&args),
+            Some("explain") => cmd_explain(&args),
             Some("diff") => cmd_diff(&args),
             Some("stats") => cmd_stats(&args),
             Some("help") | None => {

@@ -109,6 +109,105 @@ fn trace_events_stream_is_valid_jsonl() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Runs the binary and returns stdout, asserting success.
+fn run_to_file(args: &[&str], path: &std::path::Path) {
+    let out = predator().args(args).output().expect("spawn predator");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    std::fs::write(path, &out.stdout).expect("write report");
+}
+
+#[test]
+fn explain_renders_a_causal_timeline_from_a_json_report() {
+    let dir = std::env::temp_dir().join(format!("predator-explain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("boost.json");
+    run_to_file(
+        &["run", "boost", "--sensitive", "--threads", "4", "--iters", "300", "--json"],
+        &report,
+    );
+    let report_s = report.to_str().unwrap();
+
+    let out = predator().args(["explain", report_s]).output().expect("spawn explain");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    if !predator_obs::disabled() {
+        assert!(text.contains("Timeline for cache line"), "timeline header:\n{text}");
+        assert!(text.contains("invalidated t"), "victim attribution:\n{text}");
+        assert!(text.contains("Causal traces"), "trace section:\n{text}");
+        assert!(text.contains("invalidating write"), "legend:\n{text}");
+
+        // Asking for a line with no records degrades gracefully (exit 0).
+        let out =
+            predator().args(["explain", report_s, "999999999"]).output().expect("spawn explain");
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("No flight-recorder records"), "{text}");
+    } else {
+        assert!(text.contains("No flight-recorder data"), "{text}");
+    }
+
+    // --no-recorder runs produce reports explain declines politely.
+    let bare = dir.join("bare.json");
+    run_to_file(
+        &[
+            "run",
+            "boost",
+            "--sensitive",
+            "--threads",
+            "2",
+            "--iters",
+            "200",
+            "--json",
+            "--no-recorder",
+        ],
+        &bare,
+    );
+    let out =
+        predator().args(["explain", bare.to_str().unwrap()]).output().expect("spawn explain");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("No flight-recorder data"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_gate_passes_clean_and_fails_regressions_nonzero() {
+    let dir = std::env::temp_dir().join(format!("predator-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let clean = dir.join("clean.json");
+    let bad = dir.join("bad.json");
+    let base: &[&str] = &["run", "boost", "--sensitive", "--threads", "4", "--iters", "300"];
+    run_to_file(&[base, &["--fixed", "--json"]].concat(), &clean);
+    run_to_file(&[base, &["--json"]].concat(), &bad);
+    let (clean_s, bad_s) = (clean.to_str().unwrap(), bad.to_str().unwrap());
+
+    // Identical reports: the gate passes.
+    let out = predator().args(["diff", clean_s, clean_s]).output().expect("spawn diff");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // New findings appeared: nonzero exit and an explicit gate verdict.
+    let out = predator().args(["diff", clean_s, bad_s]).output().expect("spawn diff");
+    assert!(!out.status.success(), "regression must fail the gate");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("GATE: FAIL"));
+
+    // A huge tolerance only forgives severity drift, never new findings.
+    let out = predator()
+        .args(["diff", clean_s, bad_s, "--tolerance", "100"])
+        .output()
+        .expect("spawn diff");
+    assert!(!out.status.success());
+
+    // Nonsense tolerance is a usage error.
+    let out = predator()
+        .args(["diff", clean_s, bad_s, "--tolerance", "-1"])
+        .output()
+        .expect("spawn diff");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--tolerance"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn zero_threads_is_a_usage_error() {
     let out = predator()

@@ -65,7 +65,10 @@ pub use detect::SharingClass;
 pub use diff::{diff_reports, FindingId, ReportDiff};
 pub use fixes::{suggest_fixes, FixSuggestion};
 pub use predict::{HotPair, PredictionUnit, UnitKind, UnitSnapshot};
-pub use report::{build_report, Finding, FindingKind, ObjectReport, Report, SiteKind, WordReport};
+pub use report::{
+    build_report, Finding, FindingKind, InvalidationTrace, ObjectReport, Report, SiteKind,
+    TimelineOp, TimelineRecord, WordReport,
+};
 pub use runtime::{GlobalInfo, Predator};
 pub use stats::{ObsSnapshot, RunStats};
 pub use track::{CacheTrack, TrackSnapshot};

@@ -73,6 +73,65 @@ pub struct WordReport {
     pub owner: Owner,
 }
 
+/// Most recent invalidation traces embedded per finding.
+pub const MAX_TRACES_PER_FINDING: usize = 8;
+
+/// Most recent flight-recorder records embedded per finding.
+pub const MAX_TIMELINE_RECORDS: usize = 256;
+
+/// What one timeline record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimelineOp {
+    /// A sampled read.
+    Read,
+    /// A sampled, non-invalidating write.
+    Write,
+    /// A write that invalidated a remote copy.
+    Invalidation {
+        /// Thread whose cached copy was knocked out.
+        victim: ThreadId,
+        /// Last word the victim touched (255 = never observed).
+        victim_word: u8,
+    },
+}
+
+/// One flight-recorder record replayed into a finding — the raw material
+/// for `predator explain` timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineRecord {
+    /// Logical timestamp (shared by multi-victim invalidation records).
+    pub seq: u64,
+    /// Global cache-line index.
+    pub line: u64,
+    /// Issuing thread (the writer, for invalidations).
+    pub tid: ThreadId,
+    /// Word offset inside the line (8-byte words).
+    pub word: u8,
+    /// What happened.
+    pub op: TimelineOp,
+}
+
+/// The causal chain of one invalidation, with source attribution: *who*
+/// wrote *where* and *whose* copy of *which word* it destroyed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvalidationTrace {
+    /// Logical timestamp.
+    pub seq: u64,
+    /// Global cache-line index.
+    pub line: u64,
+    /// Invalidating writer.
+    pub writer: ThreadId,
+    /// Word the writer hit.
+    pub writer_word: u8,
+    /// Thread whose copy was invalidated.
+    pub victim: ThreadId,
+    /// Last word the victim touched (255 = never observed).
+    pub victim_word: u8,
+    /// Source attribution of the written word (global name, allocation
+    /// frame, or hex address).
+    pub site: String,
+}
+
 /// How the problem was established.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FindingKind {
@@ -130,6 +189,13 @@ pub struct Finding {
     pub words: Vec<WordReport>,
     /// Virtual-line ranges verified (empty for observed findings).
     pub virtual_lines: Vec<VirtualRange>,
+    /// Recent flight-recorder records for the involved lines, oldest first
+    /// (empty when the recorder was off). Capped at
+    /// [`MAX_TIMELINE_RECORDS`].
+    pub timeline: Vec<TimelineRecord>,
+    /// The last [`MAX_TRACES_PER_FINDING`] invalidation traces, oldest
+    /// first — the causal evidence behind `invalidations`.
+    pub invalidation_traces: Vec<InvalidationTrace>,
 }
 
 /// A complete detector report: ranked findings plus run statistics.
@@ -285,7 +351,28 @@ impl std::fmt::Display for Finding {
                 w.addr, w.line, w.reads, w.writes, by
             )?;
         }
+        if !self.invalidation_traces.is_empty() {
+            writeln!(f, "\nRecent invalidations (flight recorder):")?;
+            for t in &self.invalidation_traces {
+                writeln!(f, "{t}")?;
+            }
+        }
         Ok(())
+    }
+}
+
+impl std::fmt::Display for InvalidationTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let victim_word = if self.victim_word == u8::MAX {
+            "?".to_string()
+        } else {
+            format!("{}", self.victim_word)
+        };
+        write!(
+            f,
+            "[seq {}] {} wrote word {} of line {}, invalidating {}'s copy (last word {}) — {}",
+            self.seq, self.writer, self.writer_word, self.line, self.victim, victim_word, self.site
+        )
     }
 }
 
@@ -358,6 +445,84 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
         )
     };
 
+    // Source attribution for flight-recorder traces — same precedence as
+    // `attribute` but label-only, and without re-emitting callsite events.
+    let site_of = |addr: u64| -> String {
+        if let Some(g) = rt.global_at(addr) {
+            return g.name;
+        }
+        if let Some(obj) = heap.and_then(|h| h.object_at(addr)) {
+            if let Some(frame) = heap
+                .and_then(|h| h.resolve_callsite(obj.callsite))
+                .and_then(|cs| cs.frames.first().map(|f| f.to_string()))
+            {
+                return frame;
+            }
+            return format!("{:#x}", obj.start);
+        }
+        format!("{addr:#x}")
+    };
+
+    // Replays the flight recorder's rings for a finding's physical lines
+    // into an embedded timeline plus the last K invalidation traces.
+    let flight = predator_obs::recorder::recorder();
+    let flight_data = |line_starts: &[u64]| -> (Vec<TimelineRecord>, Vec<InvalidationTrace>) {
+        let mut recs = Vec::new();
+        for &ls in line_starts {
+            recs.extend(flight.line_records(ls));
+        }
+        if recs.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        recs.sort_by_key(|r| r.seq);
+        let timeline: Vec<TimelineRecord> = recs
+            .iter()
+            .rev()
+            .take(MAX_TIMELINE_RECORDS)
+            .rev()
+            .map(|r| TimelineRecord {
+                seq: r.seq,
+                line: geom.line_index(r.line_start),
+                tid: ThreadId(r.tid),
+                word: r.word,
+                op: match r.kind {
+                    predator_obs::RecKind::Read => TimelineOp::Read,
+                    predator_obs::RecKind::Write => TimelineOp::Write,
+                    predator_obs::RecKind::Invalidation { victim_tid, victim_word } => {
+                        TimelineOp::Invalidation {
+                            victim: ThreadId(victim_tid),
+                            victim_word,
+                        }
+                    }
+                },
+            })
+            .collect();
+        let traces: Vec<InvalidationTrace> = recs
+            .iter()
+            .rev()
+            .filter_map(|r| match r.kind {
+                predator_obs::RecKind::Invalidation { victim_tid, victim_word } => {
+                    let word_addr = r.line_start + (r.word as u64) * 8;
+                    Some(InvalidationTrace {
+                        seq: r.seq,
+                        line: geom.line_index(r.line_start),
+                        writer: ThreadId(r.tid),
+                        writer_word: r.word,
+                        victim: ThreadId(victim_tid),
+                        victim_word,
+                        site: site_of(word_addr),
+                    })
+                }
+                _ => None,
+            })
+            .take(MAX_TRACES_PER_FINDING)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        (timeline, traces)
+    };
+
     // ---- Observed findings: group reportable physical lines by object. ----
     struct ObsAgg {
         object: ObjectReport,
@@ -366,6 +531,7 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
         accesses: u64,
         writes: u64,
         words: Vec<WordReport>,
+        lines: Vec<u64>,
     }
     let mut observed: BTreeMap<GroupKey, ObsAgg> = BTreeMap::new();
 
@@ -405,11 +571,13 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
             accesses: 0,
             writes: 0,
             words: Vec::new(),
+            lines: Vec::new(),
         });
         agg.invalidations += snap.invalidations;
         agg.accesses += snap.reads + snap.writes;
         agg.writes += snap.writes;
         agg.words.extend(words);
+        agg.lines.push(snap.line_start);
         // Escalate classification: Mixed dominates.
         agg.class = match (agg.class, class) {
             (a, b) if a == b => a,
@@ -419,15 +587,20 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
 
     let mut findings: Vec<Finding> = observed
         .into_values()
-        .map(|a| Finding {
-            kind: FindingKind::Observed,
-            class: a.class,
-            object: a.object,
-            invalidations: a.invalidations,
-            accesses: a.accesses,
-            writes: a.writes,
-            words: a.words,
-            virtual_lines: Vec::new(),
+        .map(|a| {
+            let (timeline, invalidation_traces) = flight_data(&a.lines);
+            Finding {
+                kind: FindingKind::Observed,
+                class: a.class,
+                object: a.object,
+                invalidations: a.invalidations,
+                accesses: a.accesses,
+                writes: a.writes,
+                words: a.words,
+                virtual_lines: Vec::new(),
+                timeline,
+                invalidation_traces,
+            }
         })
         .collect();
 
@@ -438,6 +611,7 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
         accesses: u64,
         words: Vec<WordReport>,
         vlines: Vec<VirtualRange>,
+        lines: Vec<u64>,
     }
     // Remap units are grouped per delta (different deltas are *alternative*
     // what-if worlds); the per-object finding keeps the worst delta. Scaled
@@ -474,6 +648,7 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
             accesses: 0,
             words: Vec::new(),
             vlines: Vec::new(),
+            lines: Vec::new(),
         };
         let slot = match unit.key.kind {
             UnitKind::Doubled => doubled.entry(key).or_insert_with(fresh),
@@ -486,28 +661,43 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
         slot.accesses += unit.accesses;
         slot.words.extend(words);
         slot.vlines.push(unit.range);
+        // Physical lines backing the hot pair — the recorder keys by those.
+        slot.lines.push(geom.align_down(unit.origin.x.addr));
+        slot.lines.push(geom.align_down(unit.origin.y.addr));
+        slot.lines.sort_unstable();
+        slot.lines.dedup();
     }
 
-    findings.extend(doubled.into_values().map(|a| Finding {
-        kind: FindingKind::PredictedDoubled,
-        class: SharingClass::FalseSharing,
-        object: a.object,
-        invalidations: a.invalidations,
-        accesses: a.accesses,
-        writes: a.words.iter().map(|w| w.writes).sum(),
-        words: a.words,
-        virtual_lines: a.vlines,
+    findings.extend(doubled.into_values().map(|a| {
+        let (timeline, invalidation_traces) = flight_data(&a.lines);
+        Finding {
+            kind: FindingKind::PredictedDoubled,
+            class: SharingClass::FalseSharing,
+            object: a.object,
+            invalidations: a.invalidations,
+            accesses: a.accesses,
+            writes: a.words.iter().map(|w| w.writes).sum(),
+            words: a.words,
+            virtual_lines: a.vlines,
+            timeline,
+            invalidation_traces,
+        }
     }));
 
-    findings.extend(scaled.into_iter().map(|((_, factor_log2), a)| Finding {
-        kind: FindingKind::PredictedScaled { factor_log2 },
-        class: SharingClass::FalseSharing,
-        object: a.object,
-        invalidations: a.invalidations,
-        accesses: a.accesses,
-        writes: a.words.iter().map(|w| w.writes).sum(),
-        words: a.words,
-        virtual_lines: a.vlines,
+    findings.extend(scaled.into_iter().map(|((_, factor_log2), a)| {
+        let (timeline, invalidation_traces) = flight_data(&a.lines);
+        Finding {
+            kind: FindingKind::PredictedScaled { factor_log2 },
+            class: SharingClass::FalseSharing,
+            object: a.object,
+            invalidations: a.invalidations,
+            accesses: a.accesses,
+            writes: a.words.iter().map(|w| w.writes).sum(),
+            words: a.words,
+            virtual_lines: a.vlines,
+            timeline,
+            invalidation_traces,
+        }
     }));
 
     // Worst delta per object.
@@ -520,15 +710,20 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
             }
         }
     }
-    findings.extend(best_remap.into_values().map(|(delta, a)| Finding {
-        kind: FindingKind::PredictedRemap { delta },
-        class: SharingClass::FalseSharing,
-        object: a.object,
-        invalidations: a.invalidations,
-        accesses: a.accesses,
-        writes: a.words.iter().map(|w| w.writes).sum(),
-        words: a.words,
-        virtual_lines: a.vlines,
+    findings.extend(best_remap.into_values().map(|(delta, a)| {
+        let (timeline, invalidation_traces) = flight_data(&a.lines);
+        Finding {
+            kind: FindingKind::PredictedRemap { delta },
+            class: SharingClass::FalseSharing,
+            object: a.object,
+            invalidations: a.invalidations,
+            accesses: a.accesses,
+            writes: a.words.iter().map(|w| w.writes).sum(),
+            words: a.words,
+            virtual_lines: a.vlines,
+            timeline,
+            invalidation_traces,
+        }
     }));
 
     // ---- Rank by projected impact. ----

@@ -81,6 +81,32 @@ pub struct ObsHistogram {
     pub buckets: Vec<ObsBucket>,
 }
 
+impl ObsHistogram {
+    /// Estimates the `q`-quantile (`0 < q <= 1`) from the log2 buckets:
+    /// finds the bucket holding the target rank, then interpolates linearly
+    /// inside its `[lo, 2*lo)` range — the standard Prometheus-style
+    /// estimate, accurate to within a factor of 2 by construction.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for b in &self.buckets {
+            if cum + b.count >= target {
+                if b.lo == 0 {
+                    return Some(0.0); // the zeros bucket is exact
+                }
+                let frac = (target - cum) as f64 / b.count as f64;
+                return Some(b.lo as f64 + frac * b.lo as f64);
+            }
+            cum += b.count;
+        }
+        // Malformed snapshot (bucket counts < count): report the top edge.
+        self.buckets.last().map(|b| (b.lo * 2) as f64)
+    }
+}
+
 /// Serializable mirror of a [`predator_obs::Snapshot`], embedded in every
 /// [`crate::Report`] so run metrics travel with the findings. The JSON
 /// schema is identical to `predator_obs::Snapshot::to_json`.
@@ -152,19 +178,32 @@ impl ObsSnapshot {
     pub fn render_table(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let phases = self.phases();
-        if !phases.is_empty() {
+        let spans: Vec<(&str, &ObsHistogram)> = self
+            .histograms
+            .iter()
+            .filter_map(|h| {
+                h.name.strip_prefix("span_").and_then(|n| n.strip_suffix("_ns")).map(|p| (p, h))
+            })
+            .collect();
+        if !spans.is_empty() {
             out.push_str("PHASES\n");
-            let _ = writeln!(out, "  {:<24} {:>10} {:>14} {:>14}", "phase", "calls", "total ms", "mean us");
-            for (phase, calls, total_ns) in &phases {
-                let mean_us = if *calls == 0 { 0.0 } else { *total_ns as f64 / *calls as f64 / 1e3 };
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10} {:>14} {:>14} {:>12} {:>12}",
+                "phase", "calls", "total ms", "mean us", "p50 us", "p99 us"
+            );
+            for (phase, h) in &spans {
+                let mean_us = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 / 1e3 };
+                let q = |q: f64| h.quantile(q).map(|v| v / 1e3).unwrap_or(0.0);
                 let _ = writeln!(
                     out,
-                    "  {:<24} {:>10} {:>14.3} {:>14.1}",
+                    "  {:<24} {:>10} {:>14.3} {:>14.1} {:>12.1} {:>12.1}",
                     phase,
-                    calls,
-                    *total_ns as f64 / 1e6,
-                    mean_us
+                    h.count,
+                    h.sum as f64 / 1e6,
+                    mean_us,
+                    q(0.50),
+                    q(0.99)
                 );
             }
         }
@@ -184,13 +223,24 @@ impl ObsSnapshot {
             self.histograms.iter().filter(|h| !h.name.starts_with("span_")).collect();
         if !plain.is_empty() {
             out.push_str("HISTOGRAMS\n");
-            let _ = writeln!(out, "  {:<40} {:>10} {:>14} {:>10}", "name", "count", "sum", "mean");
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>10} {:>14} {:>10} {:>10} {:>10} {:>10}",
+                "name", "count", "sum", "mean", "p50", "p90", "p99"
+            );
             for h in plain {
                 let mean = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 };
+                let q = |q: f64| h.quantile(q).unwrap_or(0.0);
                 let _ = writeln!(
                     out,
-                    "  {:<40} {:>10} {:>14} {:>10.1}",
-                    h.name, h.count, h.sum, mean
+                    "  {:<40} {:>10} {:>14} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                    h.name,
+                    h.count,
+                    h.sum,
+                    mean,
+                    q(0.50),
+                    q(0.90),
+                    q(0.99)
                 );
             }
         }
@@ -263,6 +313,53 @@ mod tests {
             assert_eq!(parsed.counter("c"), Some(3));
             assert_eq!(parsed.histograms[0].count, 1);
         }
+    }
+
+    #[test]
+    fn quantile_interpolates_within_log2_buckets() {
+        // 10 obs: 2 zeros, 4 in [4,8), 4 in [64,128).
+        let h = ObsHistogram {
+            name: "h".into(),
+            count: 10,
+            sum: 0,
+            buckets: vec![
+                ObsBucket { lo: 0, count: 2 },
+                ObsBucket { lo: 4, count: 4 },
+                ObsBucket { lo: 64, count: 4 },
+            ],
+        };
+        assert_eq!(h.quantile(0.1), Some(0.0), "rank 1 is a zero");
+        // p50 → rank 5, the 3rd of 4 in [4,8): 4 + (3/4)*4 = 7.
+        assert_eq!(h.quantile(0.5), Some(7.0));
+        // p90 → rank 9, the 3rd of 4 in [64,128): 64 + (3/4)*64 = 112.
+        assert_eq!(h.quantile(0.9), Some(112.0));
+        // p99 → rank 10, top of the last bucket.
+        assert_eq!(h.quantile(0.99), Some(128.0));
+        assert_eq!(h.quantile(1.0), Some(128.0));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = ObsHistogram::default();
+        assert_eq!(empty.quantile(0.5), None);
+        let h = ObsHistogram {
+            name: "h".into(),
+            count: 1,
+            sum: 5,
+            buckets: vec![ObsBucket { lo: 4, count: 1 }],
+        };
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.quantile(0.5), Some(8.0), "single obs reports its bucket's top edge");
+    }
+
+    #[test]
+    fn render_table_includes_quantile_columns() {
+        let s = obs_sample();
+        let table = s.render_table();
+        assert!(table.contains("p50 us"), "{table}");
+        assert!(table.contains("p99 us"), "{table}");
+        assert!(table.contains("p90"), "{table}");
     }
 
     #[test]

@@ -61,6 +61,28 @@ struct TrackState {
     reads: u64,
     writes: u64,
     units: Vec<Arc<PredictionUnit>>,
+    /// Last word offset each thread was seen touching — maintained only
+    /// while the flight recorder is enabled, to attribute a victim's side of
+    /// an invalidation. Linear: a line is touched by a handful of threads.
+    last_words: Vec<(ThreadId, u8)>,
+}
+
+impl TrackState {
+    fn last_word(&self, tid: ThreadId) -> u8 {
+        self.last_words
+            .iter()
+            .find(|(t, _)| *t == tid)
+            .map(|&(_, w)| w)
+            .unwrap_or(predator_obs::recorder::WORD_UNKNOWN)
+    }
+
+    fn note_word(&mut self, tid: ThreadId, word: u8) {
+        if let Some(slot) = self.last_words.iter_mut().find(|(t, _)| *t == tid) {
+            slot.1 = word;
+        } else {
+            self.last_words.push((tid, word));
+        }
+    }
 }
 
 /// Detailed tracking state for one cache line.
@@ -84,6 +106,7 @@ impl CacheTrack {
                 reads: 0,
                 writes: 0,
                 units: Vec::new(),
+                last_words: Vec::new(),
             }),
         }
     }
@@ -109,9 +132,43 @@ impl CacheTrack {
             return TrackOutcome::default();
         }
         let mut st = self.state.lock().unwrap();
+        // Flight-recorder feed: the victims of an invalidating write are the
+        // remote entries sitting in the history table *before* the write
+        // lands (≤ 2, distinct threads — §2.3.1), so capture them up front.
+        let flight = predator_obs::recorder::recorder().is_enabled();
+        let word = ((addr.saturating_sub(self.line_start) / 8) as u8)
+            .min(predator_obs::recorder::WORD_UNKNOWN - 1);
+        let mut victims: [(u16, u8); 2] = [(0, 0); 2];
+        let mut victim_count = 0usize;
+        if flight && kind == AccessKind::Write {
+            for e in st.history.entries() {
+                if e.tid != tid {
+                    victims[victim_count] = (e.tid.index() as u16, st.last_word(e.tid));
+                    victim_count += 1;
+                }
+            }
+        }
         let invalidated = st.history.record(tid, kind);
         st.invalidations += invalidated as u64;
         predator_obs::static_counter!("track_sampled_accesses_total").inc();
+        if flight {
+            st.note_word(tid, word);
+            if invalidated {
+                predator_obs::recorder::record_invalidation(
+                    self.line_start,
+                    tid.index() as u16,
+                    word,
+                    &victims[..victim_count],
+                );
+            } else {
+                predator_obs::recorder::record(
+                    self.line_start,
+                    tid.index() as u16,
+                    word,
+                    kind == AccessKind::Write,
+                );
+            }
+        }
         if invalidated {
             predator_obs::static_counter!("track_invalidations_total").inc();
             predator_obs::events().emit(
@@ -182,6 +239,7 @@ impl CacheTrack {
         st.invalidations = 0;
         st.reads = 0;
         st.writes = 0;
+        st.last_words.clear();
         self.offered.store(0, Ordering::Relaxed);
     }
 

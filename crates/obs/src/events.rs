@@ -43,6 +43,8 @@ pub struct EventSink {
     seq: AtomicU64,
     written: AtomicU64,
     dropped: AtomicU64,
+    /// Guards the one-shot `sink_summary` line per installed writer.
+    summarized: AtomicBool,
     state: Mutex<Option<SinkState>>,
 }
 
@@ -74,6 +76,7 @@ impl EventSink {
             seq: AtomicU64::new(0),
             written: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            summarized: AtomicBool::new(false),
             state: Mutex::new(None),
         }
     }
@@ -84,6 +87,7 @@ impl EventSink {
         process_start(); // anchor t_us at (or before) installation
         let mut state = self.state.lock().unwrap();
         *state = Some(SinkState { out, capacity, sample_every: sample_every.max(1) });
+        self.summarized.store(false, Ordering::Relaxed);
         self.enabled.store(true, Ordering::Release);
     }
 
@@ -149,9 +153,25 @@ impl EventSink {
         }
     }
 
-    /// Flushes the underlying writer (call before process exit).
+    /// Flushes the underlying writer (call before process exit). The first
+    /// flush per installed writer appends a `sink_summary` line with the
+    /// written/dropped counts, so sampled-away or capacity-capped loss is
+    /// visible in the trace itself rather than silent. The summary bypasses
+    /// the capacity bound (it is accounting, not an event) and does not
+    /// count toward `written`.
     pub fn flush(&self) {
         if let Some(sink) = self.state.lock().unwrap().as_mut() {
+            if self.enabled() && !self.summarized.swap(true, Ordering::Relaxed) {
+                let seq = self.seq.load(Ordering::Relaxed);
+                let t_us = process_start().elapsed().as_micros() as u64;
+                let written = self.written.load(Ordering::Relaxed);
+                let dropped = self.dropped.load(Ordering::Relaxed);
+                let line = format!(
+                    "{{\"seq\":{seq},\"t_us\":{t_us},\"kind\":\"sink_summary\",\
+                     \"written\":{written},\"dropped\":{dropped}}}\n"
+                );
+                let _ = sink.out.write_all(line.as_bytes());
+            }
             let _ = sink.out.flush();
         }
     }
@@ -229,6 +249,28 @@ mod tests {
         assert!(ls[1].contains("\"hot\":true"));
         assert_eq!(sink.written(), 2);
         assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "hooks compiled out")]
+    fn flush_appends_one_sink_summary() {
+        let sink = EventSink::new();
+        let buf = SharedBuf::default();
+        sink.install(Box::new(buf.clone()), 1, 1);
+        sink.emit("a", &[]);
+        sink.emit("b", &[]); // over capacity: dropped
+        sink.flush();
+        sink.flush(); // idempotent: only one summary per install
+        let ls = lines(&buf);
+        assert_eq!(ls.len(), 2);
+        assert!(ls[1].contains("\"kind\":\"sink_summary\""), "{}", ls[1]);
+        assert!(ls[1].contains("\"written\":1"), "{}", ls[1]);
+        assert!(ls[1].contains("\"dropped\":1"), "{}", ls[1]);
+        // A fresh install re-arms the summary.
+        let buf2 = SharedBuf::default();
+        sink.install(Box::new(buf2.clone()), 10, 1);
+        sink.flush();
+        assert!(lines(&buf2)[0].contains("sink_summary"));
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`events`] — a bounded, sampled JSONL structured-event sink for the
 //!   interesting state transitions (line promoted, invalidation recorded,
 //!   prediction unit spawned/verified/discarded, callsite attributed).
+//! * [`recorder`] — the flight recorder: a bounded ring of recent per-line
+//!   access and invalidation records (who wrote, who got invalidated, which
+//!   words, in what order) powering `predator explain` timelines.
 //!
 //! Everything hangs off a process-global registry ([`global`]) so call
 //! sites in any crate can grab a handle without plumbing; handles are
@@ -24,15 +27,17 @@
 
 mod events;
 mod metrics;
+pub mod recorder;
 mod snapshot;
 mod span;
 
 pub use events::{events, EventSink, FieldVal};
+pub use recorder::{FlightRecorder, Rec, RecKind};
 pub use metrics::{
     bucket_index, bucket_lower_bound, global, Counter, Gauge, Histogram, Registry, Timer,
     COUNTER_SHARDS,
 };
-pub use snapshot::{Bucket, HistogramSnapshot, Snapshot};
+pub use snapshot::{escape_label_value, Bucket, HistogramSnapshot, Snapshot};
 pub use span::{span, Span};
 
 /// True when the crate was compiled with the `obs-off` feature (all hooks

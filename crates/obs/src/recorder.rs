@@ -1,0 +1,528 @@
+//! The flight recorder: a bounded, lossy-by-design ring of recent
+//! per-cache-line access and invalidation records.
+//!
+//! Aggregate metrics (counters, histograms) say *how much* invalidation
+//! traffic a line suffered; the flight recorder says *why* — which write, by
+//! which thread, knocked which reader's copy out, and in what interleaving.
+//! Each record carries the issuing thread, the word offset inside the line,
+//! the access kind, and a process-global logical timestamp; invalidation
+//! records additionally name the victim thread and the victim's last word.
+//!
+//! Cost model, in order of increasing price:
+//!
+//! * **disabled** (the default): [`FlightRecorder::is_enabled`] is one
+//!   relaxed atomic load, so call sites can stay inline on hot paths;
+//! * **enabled, hot path**: [`record`] appends to a plain thread-local
+//!   segment and bumps the logical clock — no lock. Segments flush to the
+//!   shared per-line rings every [`SEGMENT_LEN`] records and when the
+//!   thread exits;
+//! * **snapshot**: [`FlightRecorder::line_records`] flushes the calling
+//!   thread's segment, locks the ring store, and clones.
+//!
+//! Loss semantics (deliberate, all bounded):
+//!
+//! * each line keeps only the `depth` most-recent records (by logical
+//!   timestamp); older ones are evicted and counted in
+//!   [`FlightRecorder::evicted`];
+//! * at most [`MAX_LINES`] distinct lines are recorded; records for further
+//!   lines are dropped (also counted as evicted);
+//! * records sitting in a *live* thread's unflushed segment (at most
+//!   `SEGMENT_LEN - 1` per thread) are invisible to snapshots until that
+//!   thread flushes or exits.
+//!
+//! Under the `obs-off` feature every entry point compiles to a no-op and
+//! `is_enabled` is a constant `false`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Records a thread-local segment accumulates before flushing to the shared
+/// ring store (one lock acquisition per `SEGMENT_LEN` records).
+pub const SEGMENT_LEN: usize = 64;
+
+/// Upper bound on distinct lines the recorder tracks; beyond it, records
+/// for new lines are dropped (bounds memory on huge address spaces).
+pub const MAX_LINES: usize = 4096;
+
+/// Default per-line ring depth.
+pub const DEFAULT_DEPTH: usize = 64;
+
+/// Sentinel word offset meaning "unknown" (e.g. a victim that was never
+/// seen accessing the line while the recorder was enabled).
+pub const WORD_UNKNOWN: u8 = u8::MAX;
+
+/// What one record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecKind {
+    /// A sampled read.
+    Read,
+    /// A sampled write that invalidated nothing.
+    Write,
+    /// A write that knocked a remote copy out. The writing thread and word
+    /// are the record's `tid`/`word`; the victim rides along. Multi-victim
+    /// events emit one record per victim, all sharing the event's `seq`.
+    Invalidation {
+        /// Thread whose cached copy was invalidated.
+        victim_tid: u16,
+        /// Last word the victim was seen touching ([`WORD_UNKNOWN`] if it
+        /// was never observed while the recorder was on).
+        victim_word: u8,
+    },
+}
+
+/// One flight-recorder record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rec {
+    /// First byte address of the cache line.
+    pub line_start: u64,
+    /// Process-global logical timestamp (invalidation records of one event
+    /// share it).
+    pub seq: u64,
+    /// Issuing thread (the *writer* for invalidations).
+    pub tid: u16,
+    /// Word offset inside the line (8-byte words).
+    pub word: u8,
+    /// Access kind, with victim attribution for invalidations.
+    pub kind: RecKind,
+}
+
+/// The bounded per-line ring store. Use [`recorder`] for the process-global
+/// instance hot paths feed via [`record`]/[`record_invalidation`];
+/// standalone instances (e.g. the MESI simulator's ground-truth feed) take
+/// records directly through [`FlightRecorder::offer`].
+pub struct FlightRecorder {
+    enabled: AtomicBool,
+    depth: AtomicUsize,
+    seq: AtomicU64,
+    appended: AtomicU64,
+    evicted: AtomicU64,
+    lines: Mutex<HashMap<u64, Vec<Rec>>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("enabled", &self.is_enabled())
+            .field("depth", &self.depth())
+            .field("appended", &self.appended())
+            .field("evicted", &self.evicted())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a disabled recorder with the default depth.
+    pub fn new() -> Self {
+        FlightRecorder {
+            enabled: AtomicBool::new(false),
+            depth: AtomicUsize::new(DEFAULT_DEPTH),
+            seq: AtomicU64::new(0),
+            appended: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            lines: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Starts recording, keeping the `depth` most-recent records per line.
+    /// Clears nothing: re-enabling resumes on top of existing rings.
+    pub fn enable(&self, depth: usize) {
+        self.depth.store(depth.max(1), Ordering::Relaxed);
+        #[cfg(not(feature = "obs-off"))]
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stops recording (already-captured records stay readable).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// True while recording. One relaxed load — safe to leave inline on hot
+    /// paths; constant `false` under `obs-off`.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "obs-off")]
+        return false;
+        #[cfg(not(feature = "obs-off"))]
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Per-line ring depth.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Allocates the next logical timestamp.
+    #[inline]
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records offered so far (including ones later evicted).
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// Records lost to ring eviction or the line cap — the visible measure
+    /// of the recorder's deliberate lossiness.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Drops every captured record and zeroes the clock and counters
+    /// (enablement and depth are preserved). For tests and run boundaries.
+    pub fn reset(&self) {
+        let mut lines = self.lines.lock().unwrap();
+        lines.clear();
+        self.seq.store(0, Ordering::Relaxed);
+        self.appended.store(0, Ordering::Relaxed);
+        self.evicted.store(0, Ordering::Relaxed);
+    }
+
+    /// Inserts records directly into the ring store (one lock acquisition).
+    /// This is the flush target for thread-local segments and the front
+    /// door for single-threaded feeders like the MESI simulator.
+    pub fn offer(&self, recs: &[Rec]) {
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = recs;
+        }
+        #[cfg(not(feature = "obs-off"))]
+        {
+            if recs.is_empty() {
+                return;
+            }
+            let depth = self.depth();
+            let mut evicted = 0u64;
+            let mut lines = self.lines.lock().unwrap();
+            for &rec in recs {
+                if let Some(ring) = lines.get_mut(&rec.line_start) {
+                    if ring.len() < depth {
+                        ring.push(rec);
+                    } else {
+                        // Keep the `depth` newest records by timestamp:
+                        // replace the oldest if this one is newer, else
+                        // drop the incoming record itself.
+                        evicted += 1;
+                        let (i, oldest) = ring
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, r)| r.seq)
+                            .map(|(i, r)| (i, r.seq))
+                            .expect("ring is non-empty");
+                        if rec.seq > oldest {
+                            ring[i] = rec;
+                        }
+                    }
+                } else if lines.len() < MAX_LINES {
+                    lines.insert(rec.line_start, vec![rec]);
+                } else {
+                    evicted += 1;
+                }
+            }
+            drop(lines);
+            self.appended.fetch_add(recs.len() as u64, Ordering::Relaxed);
+            if evicted > 0 {
+                self.evicted.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Allocates one event timestamp and inserts directly (no segment
+    /// batching) — for single-threaded feeders holding their own instance.
+    pub fn offer_event(&self, line_start: u64, tid: u16, word: u8, kind: RecKind) -> u64 {
+        let seq = self.next_seq();
+        self.offer(&[Rec { line_start, seq, tid, word, kind }]);
+        seq
+    }
+
+    /// Inserts one invalidation *event* directly: one record per victim,
+    /// all sharing a single freshly-allocated timestamp.
+    pub fn offer_invalidation(
+        &self,
+        line_start: u64,
+        writer_tid: u16,
+        writer_word: u8,
+        victims: &[(u16, u8)],
+    ) -> u64 {
+        let seq = self.next_seq();
+        let recs: Vec<Rec> = victims
+            .iter()
+            .map(|&(victim_tid, victim_word)| Rec {
+                line_start,
+                seq,
+                tid: writer_tid,
+                word: writer_word,
+                kind: RecKind::Invalidation { victim_tid, victim_word },
+            })
+            .collect();
+        self.offer(&recs);
+        seq
+    }
+
+    /// The records captured for the line starting at `line_start`, sorted by
+    /// logical timestamp. Flushes the calling thread's segment first; other
+    /// live threads' unflushed segments remain invisible (bounded loss).
+    pub fn line_records(&self, line_start: u64) -> Vec<Rec> {
+        flush_thread();
+        let lines = self.lines.lock().unwrap();
+        let mut recs = lines.get(&line_start).cloned().unwrap_or_default();
+        drop(lines);
+        recs.sort_by_key(|r| r.seq);
+        recs
+    }
+
+    /// Line start addresses with at least one captured record, ascending.
+    pub fn recorded_lines(&self) -> Vec<u64> {
+        flush_thread();
+        let lines = self.lines.lock().unwrap();
+        let mut keys: Vec<u64> = lines.keys().copied().collect();
+        drop(lines);
+        keys.sort_unstable();
+        keys
+    }
+}
+
+/// The process-global flight recorder. Disabled (one relaxed load per
+/// check) until the CLI or a test enables it.
+pub fn recorder() -> &'static FlightRecorder {
+    static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+    RECORDER.get_or_init(FlightRecorder::new)
+}
+
+#[cfg(not(feature = "obs-off"))]
+mod segment {
+    use super::{recorder, Rec, SEGMENT_LEN};
+    use std::cell::RefCell;
+
+    /// A thread-local batch destined for the *global* recorder; flushed when
+    /// full and when the owning thread exits.
+    struct Segment {
+        buf: Vec<Rec>,
+    }
+
+    impl Drop for Segment {
+        fn drop(&mut self) {
+            recorder().offer(&self.buf);
+        }
+    }
+
+    thread_local! {
+        static SEGMENT: RefCell<Segment> = const { RefCell::new(Segment { buf: Vec::new() }) };
+    }
+
+    pub(super) fn push(rec: Rec) {
+        // `try_with` so records arriving during thread teardown (after the
+        // TLS slot was destroyed) fall through to a direct insert.
+        let spilled = SEGMENT
+            .try_with(|seg| {
+                let mut seg = seg.borrow_mut();
+                seg.buf.push(rec);
+                if seg.buf.len() >= SEGMENT_LEN {
+                    let batch = std::mem::take(&mut seg.buf);
+                    drop(seg);
+                    recorder().offer(&batch);
+                }
+            })
+            .is_err();
+        if spilled {
+            recorder().offer(&[rec]);
+        }
+    }
+
+    pub(super) fn flush() {
+        let batch = SEGMENT
+            .try_with(|seg| std::mem::take(&mut seg.borrow_mut().buf))
+            .unwrap_or_default();
+        recorder().offer(&batch);
+    }
+}
+
+/// Flushes the calling thread's segment into the global recorder (snapshot
+/// paths call this; worker threads flush automatically on exit).
+pub fn flush_thread() {
+    #[cfg(not(feature = "obs-off"))]
+    segment::flush();
+}
+
+/// Records one sampled access into the global recorder's thread-local
+/// segment. No-op while the recorder is disabled (callers should pre-check
+/// [`FlightRecorder::is_enabled`] to skip argument setup).
+#[inline]
+pub fn record(line_start: u64, tid: u16, word: u8, is_write: bool) {
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = (line_start, tid, word, is_write);
+    }
+    #[cfg(not(feature = "obs-off"))]
+    {
+        let r = recorder();
+        if !r.is_enabled() {
+            return;
+        }
+        let kind = if is_write { RecKind::Write } else { RecKind::Read };
+        segment::push(Rec { line_start, seq: r.next_seq(), tid, word, kind });
+    }
+}
+
+/// Records one invalidation event into the global recorder: `writer_tid`
+/// writing `writer_word` knocked out the copies of `victims` (pairs of
+/// victim thread and the victim's last-seen word). One record per victim,
+/// all sharing the event's logical timestamp.
+#[inline]
+pub fn record_invalidation(
+    line_start: u64,
+    writer_tid: u16,
+    writer_word: u8,
+    victims: &[(u16, u8)],
+) {
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = (line_start, writer_tid, writer_word, victims);
+    }
+    #[cfg(not(feature = "obs-off"))]
+    {
+        let r = recorder();
+        if !r.is_enabled() || victims.is_empty() {
+            return;
+        }
+        let seq = r.next_seq();
+        for &(victim_tid, victim_word) in victims {
+            segment::push(Rec {
+                line_start,
+                seq,
+                tid: writer_tid,
+                word: writer_word,
+                kind: RecKind::Invalidation { victim_tid, victim_word },
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(line: u64, seq: u64, tid: u16) -> Rec {
+        Rec { line_start: line, seq, tid, word: (seq % 8) as u8, kind: RecKind::Write }
+    }
+
+    #[test]
+    fn disabled_recorder_reports_disabled() {
+        let r = FlightRecorder::new();
+        assert!(!r.is_enabled());
+        r.enable(4);
+        assert_eq!(r.is_enabled(), !cfg!(feature = "obs-off"));
+        r.disable();
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "hooks compiled out")]
+    fn ring_keeps_the_most_recent_depth_records() {
+        let r = FlightRecorder::new();
+        r.enable(3);
+        for seq in 0..10 {
+            r.offer(&[rec(64, seq, 0)]);
+        }
+        let kept: Vec<u64> = r.line_records(64).iter().map(|x| x.seq).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        assert_eq!(r.appended(), 10);
+        assert_eq!(r.evicted(), 7);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "hooks compiled out")]
+    fn out_of_order_arrival_still_keeps_newest_by_seq() {
+        let r = FlightRecorder::new();
+        r.enable(2);
+        // Batched thread-local segments can interleave arrival order.
+        for seq in [5u64, 1, 9, 2, 8] {
+            r.offer(&[rec(0, seq, 0)]);
+        }
+        let kept: Vec<u64> = r.line_records(0).iter().map(|x| x.seq).collect();
+        assert_eq!(kept, vec![8, 9]);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "hooks compiled out")]
+    fn lines_are_independent_rings() {
+        let r = FlightRecorder::new();
+        r.enable(2);
+        for seq in 0..6 {
+            r.offer(&[rec((seq % 3) * 64, seq, 0)]);
+        }
+        assert_eq!(r.recorded_lines(), vec![0, 64, 128]);
+        for line in [0u64, 64, 128] {
+            assert_eq!(r.line_records(line).len(), 2);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "hooks compiled out")]
+    fn offer_event_assigns_monotonic_seqs() {
+        let r = FlightRecorder::new();
+        r.enable(8);
+        let a = r.offer_event(0, 0, 0, RecKind::Read);
+        let b = r.offer_event(0, 1, 1, RecKind::Write);
+        assert!(b > a);
+        assert_eq!(r.line_records(0).len(), 2);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "hooks compiled out")]
+    fn reset_clears_records_and_counters() {
+        let r = FlightRecorder::new();
+        r.enable(2);
+        for seq in 0..5 {
+            r.offer(&[rec(0, seq, 0)]);
+        }
+        r.reset();
+        assert!(r.line_records(0).is_empty());
+        assert_eq!(r.appended(), 0);
+        assert_eq!(r.evicted(), 0);
+        assert_eq!(r.is_enabled(), !cfg!(feature = "obs-off"), "enablement survives reset");
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "hooks compiled out")]
+    fn line_cap_drops_new_lines_not_old_records() {
+        let r = FlightRecorder::new();
+        r.enable(1);
+        let mut batch = Vec::new();
+        for i in 0..(MAX_LINES as u64 + 10) {
+            batch.push(rec(i * 64, i, 0));
+        }
+        r.offer(&batch);
+        assert_eq!(r.recorded_lines().len(), MAX_LINES);
+        assert_eq!(r.evicted(), 10);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "hooks compiled out")]
+    fn multi_victim_invalidations_share_a_seq() {
+        let r = FlightRecorder::new();
+        r.enable(8);
+        let seq = r.next_seq();
+        let recs: Vec<Rec> = [(1u16, 2u8), (2, 5)]
+            .iter()
+            .map(|&(victim_tid, victim_word)| Rec {
+                line_start: 0,
+                seq,
+                tid: 0,
+                word: 0,
+                kind: RecKind::Invalidation { victim_tid, victim_word },
+            })
+            .collect();
+        r.offer(&recs);
+        let got = r.line_records(0);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].seq, got[1].seq);
+    }
+}

@@ -57,6 +57,27 @@ fn prom_name(name: &str) -> String {
     name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
 }
 
+/// `# HELP` text for a metric: the name humanized (underscores to spaces) —
+/// honest and mechanical, with no invented semantics.
+fn prom_help(name: &str) -> String {
+    name.chars().map(|c| if c == '_' { ' ' } else { c }).collect()
+}
+
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double-quote, and newline must be backslash-escaped.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl Snapshot {
     /// Serializes to a single JSON object. The schema matches the
     /// `ObsSnapshot` mirror embedded in detector reports:
@@ -107,21 +128,26 @@ impl Snapshot {
         out
     }
 
-    /// Serializes to the Prometheus text exposition format. Histogram
-    /// buckets become cumulative `_bucket{le="..."}` series with the
-    /// standard `+Inf`/`_sum`/`_count` trailer.
+    /// Serializes to the Prometheus text exposition format, with `# HELP`
+    /// and `# TYPE` lines per metric family. Histogram buckets become
+    /// cumulative `_bucket{le="..."}` series with the standard
+    /// `+Inf`/`_sum`/`_count` trailer; label values go through
+    /// [`escape_label_value`].
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(256);
         for (name, value) in &self.counters {
             let n = prom_name(name);
+            let _ = writeln!(out, "# HELP {n} {}", prom_help(name));
             let _ = writeln!(out, "# TYPE {n} counter\n{n} {value}");
         }
         for (name, value) in &self.gauges {
             let n = prom_name(name);
+            let _ = writeln!(out, "# HELP {n} {}", prom_help(name));
             let _ = writeln!(out, "# TYPE {n} gauge\n{n} {value}");
         }
         for h in &self.histograms {
             let n = prom_name(&h.name);
+            let _ = writeln!(out, "# HELP {n} {}", prom_help(&h.name));
             let _ = writeln!(out, "# TYPE {n} histogram");
             let mut cumulative = 0u64;
             for b in &h.buckets {
@@ -129,6 +155,7 @@ impl Snapshot {
                 // `lo` is the inclusive lower bound of a [2^(i-1), 2^i)
                 // bucket; the Prometheus inclusive upper bound is 2^i - 1.
                 let le = if b.lo == 0 { 0 } else { b.lo.saturating_mul(2) - 1 };
+                let le = escape_label_value(&le.to_string());
                 let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
             }
             let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
@@ -161,6 +188,26 @@ mod tests {
         assert!(json.contains("\"counters\":[{\"name\":\"runtime_accesses_total\",\"value\":42}]"));
         assert!(json.contains("\"gauges\":[{\"name\":\"alloc_live_bytes\",\"value\":-7}]"));
         assert!(json.contains("\"buckets\":[{\"lo\":16,\"count\":2},{\"lo\":32,\"count\":1}]"));
+    }
+
+    #[test]
+    fn escape_label_value_covers_the_spec_cases() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn prometheus_emits_help_lines() {
+        let prom = sample().to_prometheus();
+        assert!(prom.contains("# HELP runtime_accesses_total runtime accesses total"), "{prom}");
+        assert!(prom.contains("# HELP alloc_live_bytes alloc live bytes"), "{prom}");
+        assert!(prom.contains("# HELP span_detect_ns span detect ns"), "{prom}");
+        // HELP precedes TYPE for each family.
+        let help = prom.find("# HELP runtime_accesses_total").unwrap();
+        let ty = prom.find("# TYPE runtime_accesses_total").unwrap();
+        assert!(help < ty);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! paper's model ignores them too.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use predator_obs::recorder::{FlightRecorder, RecKind, WORD_UNKNOWN};
 
 use crate::access::{AccessKind, ThreadId};
 use crate::geometry::CacheGeometry;
@@ -79,6 +82,13 @@ pub struct MesiSim {
     coherence_lost: Vec<HashSet<u64>>,
     stats: MesiStats,
     line_invalidations: HashMap<u64, u64>,
+    /// Optional flight-recorder feed: the simulator writes ground-truth
+    /// access/invalidation records into *this* instance (never the process
+    /// global), so tests can compare it against the detector's own feed.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// `last_word[core][line] -> word offset` — victim-side attribution for
+    /// recorded invalidations; maintained only while a recorder is attached.
+    last_word: Vec<HashMap<u64, u8>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -112,7 +122,15 @@ impl MesiSim {
             coherence_lost: vec![HashSet::new(); n_cores],
             stats: MesiStats::default(),
             line_invalidations: HashMap::new(),
+            recorder: None,
+            last_word: vec![HashMap::new(); n_cores],
         }
+    }
+
+    /// Attaches a flight recorder; every subsequent access and invalidation
+    /// is recorded into it (ground truth for the detector's own feed).
+    pub fn set_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// Extension: capacity-limited set-associative private caches
@@ -173,6 +191,15 @@ impl MesiSim {
         }
     }
 
+    /// Records one non-invalidating access into the attached flight
+    /// recorder (if any) and refreshes the core's last-word attribution.
+    fn record_access(&mut self, core: usize, line: u64, word: u8, kind: RecKind) {
+        if let Some(rec) = &self.recorder {
+            rec.offer_event(self.geom.line_start(line), core as u16, word, kind);
+            self.last_word[core].insert(line, word);
+        }
+    }
+
     /// The geometry the simulator indexes lines with.
     pub fn geometry(&self) -> CacheGeometry {
         self.geom
@@ -203,14 +230,25 @@ impl MesiSim {
     pub fn access(&mut self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind) {
         predator_obs::hot_counter_inc!("mesi_accesses_total");
         for line in self.geom.lines_touched(addr, size) {
-            self.access_line(tid, line, kind);
+            // Word attribution for the flight recorder: exact for the line
+            // containing `addr`, word 0 for the spilled-into lines of a
+            // straddling access.
+            let word = if self.geom.line_index(addr) == line {
+                self.geom.word_in_line(addr) as u8
+            } else {
+                0
+            };
+            self.access_line(tid, line, kind, word);
         }
     }
 
-    fn access_line(&mut self, tid: ThreadId, line: u64, kind: AccessKind) {
+    fn access_line(&mut self, tid: ThreadId, line: u64, kind: AccessKind, word: u8) {
         let core = tid.index();
         assert!(core < self.caches.len(), "thread {tid} exceeds configured core count");
         let own = self.caches[core].get(&line).map(|e| e.state);
+        if kind == AccessKind::Read {
+            self.record_access(core, line, word, RecKind::Read);
+        }
         match kind {
             AccessKind::Read => match own {
                 Some(st) => {
@@ -251,6 +289,7 @@ impl MesiSim {
                         self.clock += 1;
                         let lru = self.clock;
                         self.caches[core].insert(line, Entry { state: LineState::Modified, lru });
+                        self.record_access(core, line, word, RecKind::Write);
                         return;
                     }
                     Some(LineState::Exclusive) => {
@@ -259,6 +298,7 @@ impl MesiSim {
                         self.clock += 1;
                         let lru = self.clock;
                         self.caches[core].insert(line, Entry { state: LineState::Modified, lru });
+                        self.record_access(core, line, word, RecKind::Write);
                         return;
                     }
                     Some(LineState::Shared) => {
@@ -271,6 +311,8 @@ impl MesiSim {
                     }
                 }
                 let mut invalidated = 0u64;
+                let mut victims: Vec<(u16, u8)> = Vec::new();
+                let track_victims = self.recorder.is_some();
                 for (i, cache) in self.caches.iter_mut().enumerate() {
                     if i == core {
                         continue;
@@ -278,6 +320,10 @@ impl MesiSim {
                     if cache.remove(&line).is_some() {
                         invalidated += 1;
                         self.coherence_lost[i].insert(line);
+                        if track_victims {
+                            let w = self.last_word[i].get(&line).copied().unwrap_or(WORD_UNKNOWN);
+                            victims.push((i as u16, w));
+                        }
                     }
                 }
                 if invalidated > 0 {
@@ -287,6 +333,17 @@ impl MesiSim {
                     predator_obs::static_counter!("mesi_invalidation_events_total").inc();
                     predator_obs::static_counter!("mesi_lines_invalidated_total")
                         .add(invalidated);
+                    if let Some(rec) = &self.recorder {
+                        rec.offer_invalidation(
+                            self.geom.line_start(line),
+                            core as u16,
+                            word,
+                            &victims,
+                        );
+                        self.last_word[core].insert(line, word);
+                    }
+                } else {
+                    self.record_access(core, line, word, RecKind::Write);
                 }
                 self.install(core, line, LineState::Modified);
             }
@@ -395,6 +452,33 @@ mod tests {
     fn rejects_unknown_core() {
         let mut m = sim(1);
         m.access(T1, 0, 8, Write);
+    }
+
+    #[test]
+    fn attached_recorder_sees_invalidations_with_victim_words() {
+        if predator_obs::disabled() {
+            return; // recorder hooks compiled out
+        }
+        let rec = Arc::new(FlightRecorder::new());
+        rec.enable(16);
+        let mut m = sim(2);
+        m.set_recorder(rec.clone());
+        m.access(T0, 0, 8, Write); // T0 writes word 0
+        m.access(T1, 24, 8, Write); // T1 writes word 3: invalidates T0
+        m.access(T0, 0, 8, Write); // T0 writes word 0: invalidates T1
+        let recs = rec.line_records(0);
+        let invs: Vec<_> = recs
+            .iter()
+            .filter_map(|r| match r.kind {
+                RecKind::Invalidation { victim_tid, victim_word } => {
+                    Some((r.tid, r.word, victim_tid, victim_word))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(invs, vec![(1, 3, 0, 0), (0, 0, 1, 3)]);
+        // The non-invalidating first write is recorded as a plain write.
+        assert!(matches!(recs[0].kind, RecKind::Write));
     }
 
     #[test]

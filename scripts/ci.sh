@@ -15,4 +15,24 @@ cargo test -p predator-obs -q --features obs-off
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> explain/diff smoke (flight recorder + CI gate)"
+cargo build --release -p predator-cli
+PRED=target/release/predator
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+$PRED run boost --sensitive --threads 4 --iters 300 --json --fixed > "$SMOKE/clean.json"
+$PRED run boost --sensitive --threads 4 --iters 300 --json > "$SMOKE/bad.json"
+$PRED explain "$SMOKE/bad.json" > "$SMOKE/explain.txt"
+head -n 12 "$SMOKE/explain.txt"
+if ! grep -q "Timeline for cache line" "$SMOKE/explain.txt"; then
+  # obs-off builds carry no recorder data; anything else must render lanes.
+  grep -q "No flight-recorder data" "$SMOKE/explain.txt"
+fi
+$PRED diff "$SMOKE/clean.json" "$SMOKE/clean.json"
+if $PRED diff "$SMOKE/clean.json" "$SMOKE/bad.json"; then
+  echo "diff gate failed to fail on a regression" >&2
+  exit 1
+fi
+echo "diff gate correctly rejected the regression"
+
 echo "CI OK"
