@@ -1,0 +1,93 @@
+//! `bench_telemetry` — the JSON emitter behind `scripts/bench.sh`.
+//!
+//! ```text
+//! bench_telemetry measure <out.json> [--iters N] [--hot-iters N] [--workloads a,b,c]
+//! bench_telemetry merge <obs_on.json> <obs_off.json> <out.json>
+//! ```
+//!
+//! `measure` runs the small workload suite plus the hot-path
+//! microbenchmark in the *current* build (hooks on or `obs-off`) and
+//! writes a schema-versioned [`telemetry::BenchReport`]. `merge` combines
+//! an obs-on and an obs-off run into the published `BENCH_<n>.json`,
+//! filling `obs_overhead_pct`.
+
+use std::process::ExitCode;
+
+use predator_bench::telemetry::{self, BenchReport};
+
+fn usage() -> String {
+    "usage:\n  bench_telemetry measure <out.json> [--iters N] [--hot-iters N] [--workloads a,b,c]\n  bench_telemetry merge <obs_on.json> <obs_off.json> <out.json>"
+        .to_string()
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report: BenchReport =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: not a bench report: {e}"))?;
+    report.check_schema()?;
+    Ok(report)
+}
+
+fn store(path: &str, report: &BenchReport) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(report).map_err(|e| e.to_string())?;
+    std::fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn opt(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("measure") => {
+            let out = args.get(1).ok_or_else(usage)?;
+            let iters: u64 = match opt(&args, "--iters") {
+                Some(v) => v.parse().map_err(|_| format!("bad --iters: {v}"))?,
+                None => 2_000,
+            };
+            let hot_iters: u64 = match opt(&args, "--hot-iters") {
+                Some(v) => v.parse().map_err(|_| format!("bad --hot-iters: {v}"))?,
+                None => 2_000_000,
+            };
+            let names: Vec<String> = match opt(&args, "--workloads") {
+                Some(list) => list.split(',').map(str::to_string).collect(),
+                None => telemetry::SMALL_SUITE.iter().map(|s| s.to_string()).collect(),
+            };
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let report = BenchReport::measure(&refs, iters, hot_iters)?;
+            store(out, &report)?;
+            eprintln!(
+                "wrote {out} (obs_hooks={}, tracked hot path {:.1} ns/access, {} workloads)",
+                report.obs_hooks,
+                report.hot_path.tracked_write_ns,
+                report.workloads.len()
+            );
+            Ok(())
+        }
+        Some("merge") => {
+            let (on, off, out) = match (args.get(1), args.get(2), args.get(3)) {
+                (Some(a), Some(b), Some(c)) => (a, b, c),
+                _ => return Err(usage()),
+            };
+            let merged = load(on)?.with_overhead_from(&load(off)?)?;
+            store(out, &merged)?;
+            eprintln!(
+                "wrote {out} (obs overhead {:+.2}% on the tracked hot path)",
+                merged.obs_overhead_pct.unwrap_or(0.0)
+            );
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Schema-versioned bench telemetry: the `BENCH_<n>.json` pipeline.
+//!
+//! [`BenchReport::measure`] runs the small workload suite plus a
+//! hot-path microbenchmark and snapshots peak RSS, producing a
+//! [`BenchReport`] that `scripts/bench.sh` writes as JSON. The script runs
+//! the emitter twice — once with observability hooks compiled in, once
+//! under `obs-off` — and [`BenchReport::with_overhead_from`] merges the
+//! pair so the published file carries the measured `obs_overhead_pct`
+//! against the ≤5% hot-path budget.
+//!
+//! `predator bench-diff old.json new.json` then gates CI on
+//! [`diff_reports`]: throughput or hot-path regressions beyond the
+//! tolerance fail the build.
+
+use std::fmt;
+use std::time::Instant;
+
+use predator_core::{DetectorConfig, Predator, Session};
+use predator_sim::{AccessKind, ThreadId};
+use predator_workloads::{by_name, WorkloadConfig};
+use serde::{Deserialize, Serialize};
+
+/// Current schema identifier; bump the suffix on breaking changes.
+pub const SCHEMA: &str = "predator-bench/1";
+
+/// The small workload set `scripts/bench.sh` and the nightly CI job run:
+/// one observed-sharing, one prediction-only, one clean workload — enough
+/// to catch hot-path regressions without a long wall-clock bill.
+pub const SMALL_SUITE: &[&str] = &["histogram", "linear_regression", "blackscholes"];
+
+/// One workload's telemetry row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadBench {
+    /// Workload name (see `predator list`).
+    pub name: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Per-thread work items.
+    pub iters: u64,
+    /// Tracked-run wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Accesses offered to the detector.
+    pub accesses: u64,
+    /// Millions of detector-visible accesses per second.
+    pub throughput_maccess_s: f64,
+    /// Findings in the run's report.
+    pub findings: usize,
+}
+
+/// Detector hot-path microbenchmark results (ns per `handle_access`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotPath {
+    /// Write to a tracked line (history table + word counters active).
+    pub tracked_write_ns: f64,
+    /// Read below the tracking threshold (the common fast path).
+    pub untracked_read_ns: f64,
+}
+
+/// The `BENCH_<n>.json` payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// False when built with `obs-off` (hooks compiled out).
+    pub obs_hooks: bool,
+    /// Hot-path ns/access.
+    pub hot_path: HotPath,
+    /// Per-workload rows.
+    pub workloads: Vec<WorkloadBench>,
+    /// Peak resident set size (`VmHWM`) in KiB; 0 when unavailable.
+    pub peak_rss_kb: u64,
+    /// Observability overhead on the tracked hot path, percent: set by
+    /// [`BenchReport::with_overhead_from`] when an `obs-off` twin run is
+    /// available, and 0 by construction for `obs-off` reports.
+    pub obs_overhead_pct: Option<f64>,
+}
+
+const BASE: u64 = 0x4000_0000;
+
+fn ns_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
+    // One warmup pass, then the median of three timed passes.
+    for _ in 0..iters / 4 {
+        f();
+    }
+    let mut runs: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    runs.sort_by(|a, b| a.total_cmp(b));
+    runs[1]
+}
+
+/// Measures the detector hot path directly, the number the 5% obs budget
+/// is judged on.
+pub fn measure_hot_path(iters: u64) -> HotPath {
+    let rt = Predator::new(DetectorConfig::paper(), BASE, 1 << 20);
+    for _ in 0..200 {
+        rt.handle_access(ThreadId(0), BASE, 8, AccessKind::Write);
+    }
+    assert!(rt.tracked_lines() > 0, "warmup must promote the line");
+    let tracked_write_ns =
+        ns_per_iter(iters, || rt.handle_access(ThreadId(0), BASE, 8, AccessKind::Write));
+    let rt = Predator::new(DetectorConfig::paper(), BASE, 1 << 20);
+    let untracked_read_ns =
+        ns_per_iter(iters, || rt.handle_access(ThreadId(0), BASE + 4096, 8, AccessKind::Read));
+    HotPath { tracked_write_ns, untracked_read_ns }
+}
+
+/// Peak resident set size in KiB from `/proc/self/status` (`VmHWM`); 0 on
+/// hosts without procfs.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+impl BenchReport {
+    /// Runs `names` under the evaluation detector config with `iters`
+    /// per-thread work items each, plus the hot-path microbenchmark
+    /// (`hot_iters` accesses per timed pass).
+    pub fn measure(names: &[&str], iters: u64, hot_iters: u64) -> Result<BenchReport, String> {
+        let mut workloads = Vec::with_capacity(names.len());
+        for name in names {
+            let w = by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+            let cfg = WorkloadConfig { iters, ..WorkloadConfig::quick() };
+            let session = Session::with_config(crate::eval_config());
+            let start = Instant::now();
+            w.run_tracked(&session, &cfg);
+            let wall = start.elapsed();
+            let accesses = session.runtime().events();
+            let report = session.report();
+            workloads.push(WorkloadBench {
+                name: name.to_string(),
+                threads: cfg.threads,
+                iters: cfg.iters,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                accesses,
+                throughput_maccess_s: accesses as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
+                findings: report.findings.len(),
+            });
+        }
+        let obs_hooks = !predator_obs::disabled();
+        Ok(BenchReport {
+            schema: SCHEMA.to_string(),
+            obs_hooks,
+            hot_path: measure_hot_path(hot_iters),
+            workloads,
+            peak_rss_kb: peak_rss_kb(),
+            // An obs-off build *is* the baseline: its overhead is 0 by
+            // construction. Hooked builds wait for the merge step.
+            obs_overhead_pct: if obs_hooks { None } else { Some(0.0) },
+        })
+    }
+
+    /// Fills `obs_overhead_pct` from an `obs-off` twin of this report:
+    /// percent slowdown of the tracked hot path attributable to the hooks.
+    pub fn with_overhead_from(mut self, baseline: &BenchReport) -> Result<BenchReport, String> {
+        if baseline.obs_hooks {
+            return Err("baseline report was not built with obs-off".into());
+        }
+        let base = baseline.hot_path.tracked_write_ns;
+        if base <= 0.0 {
+            return Err("baseline tracked_write_ns is not positive".into());
+        }
+        self.obs_overhead_pct = Some((self.hot_path.tracked_write_ns / base - 1.0) * 100.0);
+        Ok(self)
+    }
+
+    /// Validates the schema tag (call after deserializing foreign files).
+    pub fn check_schema(&self) -> Result<(), String> {
+        if self.schema == SCHEMA {
+            Ok(())
+        } else {
+            Err(format!("unsupported bench schema `{}` (want `{SCHEMA}`)", self.schema))
+        }
+    }
+}
+
+/// One compared metric in a [`BenchDiff`].
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Metric label (`workload/<name> throughput`, `hot_path tracked_write`).
+    pub metric: String,
+    /// Old value.
+    pub old: f64,
+    /// New value.
+    pub new: f64,
+    /// Signed regression fraction (positive = got worse).
+    pub regression: f64,
+    /// True when `regression` exceeds the tolerance.
+    pub failed: bool,
+}
+
+/// Result of comparing two bench reports.
+#[derive(Debug, Clone, Default)]
+pub struct BenchDiff {
+    /// All compared metrics.
+    pub rows: Vec<DiffRow>,
+    /// Workloads present in only one report (informational).
+    pub unmatched: Vec<String>,
+}
+
+impl BenchDiff {
+    /// True when any metric regressed beyond tolerance.
+    pub fn has_regressions(&self) -> bool {
+        self.rows.iter().any(|r| r.failed)
+    }
+}
+
+impl fmt::Display for BenchDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<40} {:>12} {:>12} {:>9}  GATE", "METRIC", "OLD", "NEW", "CHANGE")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<40} {:>12.3} {:>12.3} {:>+8.1}%  {}",
+                r.metric,
+                r.old,
+                r.new,
+                r.regression * 100.0,
+                if r.failed { "FAIL" } else { "ok" }
+            )?;
+        }
+        for name in &self.unmatched {
+            writeln!(f, "{name:<40} (present in only one report)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares two bench reports: workload throughput (lower is worse) and
+/// hot-path ns/access (higher is worse), each gated at `tolerance`
+/// (fraction, e.g. `0.5` = 50% regression allowed — bench noise in shared
+/// CI runners is real).
+pub fn diff_reports(old: &BenchReport, new: &BenchReport, tolerance: f64) -> BenchDiff {
+    let mut diff = BenchDiff::default();
+    let mut row = |metric: String, old: f64, new: f64, regression: f64| {
+        diff.rows.push(DiffRow { metric, old, new, regression, failed: regression > tolerance });
+    };
+    row(
+        "hot_path/tracked_write_ns".into(),
+        old.hot_path.tracked_write_ns,
+        new.hot_path.tracked_write_ns,
+        new.hot_path.tracked_write_ns / old.hot_path.tracked_write_ns.max(1e-9) - 1.0,
+    );
+    row(
+        "hot_path/untracked_read_ns".into(),
+        old.hot_path.untracked_read_ns,
+        new.hot_path.untracked_read_ns,
+        new.hot_path.untracked_read_ns / old.hot_path.untracked_read_ns.max(1e-9) - 1.0,
+    );
+    for o in &old.workloads {
+        match new.workloads.iter().find(|n| n.name == o.name) {
+            Some(n) => {
+                // Throughput: regression is the fractional *loss*.
+                row(
+                    format!("workload/{}/throughput_maccess_s", o.name),
+                    o.throughput_maccess_s,
+                    n.throughput_maccess_s,
+                    1.0 - n.throughput_maccess_s / o.throughput_maccess_s.max(1e-9),
+                );
+            }
+            None => diff.unmatched.push(format!("workload/{}", o.name)),
+        }
+    }
+    for n in &new.workloads {
+        if !old.workloads.iter().any(|o| o.name == n.name) {
+            diff.unmatched.push(format!("workload/{}", n.name));
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(tracked: f64, throughput: f64) -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            obs_hooks: true,
+            hot_path: HotPath { tracked_write_ns: tracked, untracked_read_ns: 5.0 },
+            workloads: vec![WorkloadBench {
+                name: "histogram".into(),
+                threads: 4,
+                iters: 1000,
+                wall_ms: 12.0,
+                accesses: 100_000,
+                throughput_maccess_s: throughput,
+                findings: 1,
+            }],
+            peak_rss_kb: 10_000,
+            obs_overhead_pct: None,
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_schema() {
+        let r = sample(40.0, 8.0);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        back.check_schema().unwrap();
+        assert!(back.obs_hooks);
+        assert_eq!(back.workloads[0].name, "histogram");
+        assert!((back.hot_path.tracked_write_ns - 40.0).abs() < 1e-9);
+        assert_eq!(back.obs_overhead_pct, None);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut r = sample(40.0, 8.0);
+        r.schema = "predator-bench/0".into();
+        assert!(r.check_schema().is_err());
+    }
+
+    #[test]
+    fn overhead_merge_computes_percent() {
+        let on = sample(42.0, 8.0);
+        let mut off = sample(40.0, 8.0);
+        off.obs_hooks = false;
+        off.obs_overhead_pct = Some(0.0);
+        let merged = on.with_overhead_from(&off).unwrap();
+        assert!((merged.obs_overhead_pct.unwrap() - 5.0).abs() < 1e-9);
+        // Merging against a hooked report is a usage error.
+        let hooked = sample(40.0, 8.0);
+        assert!(sample(42.0, 8.0).with_overhead_from(&hooked).is_err());
+    }
+
+    #[test]
+    fn diff_flags_regressions_beyond_tolerance() {
+        let old = sample(40.0, 10.0);
+        let slower = sample(40.0, 4.0); // throughput -60%
+        let d = diff_reports(&old, &slower, 0.5);
+        assert!(d.has_regressions());
+        let within = sample(40.0, 8.0); // -20%, inside 50%
+        assert!(!diff_reports(&old, &within, 0.5).has_regressions());
+        // Hot-path slowdown beyond tolerance fails too.
+        let hot = sample(80.0, 10.0);
+        assert!(diff_reports(&old, &hot, 0.5).has_regressions());
+    }
+
+    #[test]
+    fn diff_reports_unmatched_workloads() {
+        let old = sample(40.0, 10.0);
+        let mut new = sample(40.0, 10.0);
+        new.workloads[0].name = "renamed".into();
+        let d = diff_reports(&old, &new, 0.5);
+        assert!(!d.has_regressions(), "unmatched is informational");
+        assert_eq!(d.unmatched.len(), 2);
+        let text = format!("{d}");
+        assert!(text.contains("present in only one report"), "{text}");
+    }
+
+    #[test]
+    fn measured_report_has_versioned_schema_and_rss() {
+        let r = BenchReport::measure(&["histogram"], 500, 2_000).unwrap();
+        r.check_schema().unwrap();
+        assert_eq!(r.workloads.len(), 1);
+        assert!(r.workloads[0].accesses > 0);
+        assert!(r.hot_path.tracked_write_ns > 0.0);
+        assert_eq!(r.obs_hooks, !predator_obs::disabled());
+        // procfs is available on the CI hosts this repo targets.
+        assert!(r.peak_rss_kb > 0);
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        assert!(BenchReport::measure(&["nope"], 10, 10).is_err());
+    }
+}

@@ -75,6 +75,23 @@ USAGE:
         new report introduces findings the old one lacked (a CI gate).
         --tolerance <F>     severity-change ratio threshold [default: 0.5]
 
+    predator profile <program.pir> [OPTIONS]
+        Execute a textual-IR program under the instruction-sampling
+        self-profiler and print where interpreted instructions went: a
+        top-N table over IR functions/basic blocks and runtime cost centers
+        (rt::handle_access, rt::track, rt::recorder, rt::mesi), plus
+        collapsed stacks for flamegraph tooling.
+        --profile-period <N>  sample every N-th instruction [default: 64]
+        --top <N>           rows in the table             [default: 20]
+        --out <PATH>        write collapsed stacks (folded format) to PATH
+        (also accepts ir's --threads/--iters/--stride/--quantum options)
+
+    predator bench-diff <old.json> <new.json> [OPTIONS]
+        Compare two BENCH_*.json telemetry files (from scripts/bench.sh);
+        exits nonzero when workload throughput or hot-path ns/access
+        regressed beyond tolerance (the nightly CI gate).
+        --tolerance <F>     allowed regression fraction   [default: 0.5]
+
     predator stats <snapshot.json>
         Render an observability snapshot (from `--metrics`, or the `obs`
         field of a `--json` report) as a human-readable table. `-` reads
@@ -90,6 +107,11 @@ USAGE:
         --trace-events <PATH>  stream structured JSONL events (line
                             promotions, invalidations, prediction units,
                             callsite attribution) to PATH during the run
+        --trace-timeline <PATH>  write a Chrome trace-event JSON timeline
+                            (pipeline phase spans, per-thread interpreter
+                            lanes, invalidation instants with flow arrows
+                            to their victim threads) to PATH; open it in
+                            Perfetto or chrome://tracing
         --no-recorder       disable the flight recorder (on by default for
                             run/ir/replay; powers `explain` timelines)
         --recorder-depth <N>  records kept per cache line [default: 64]
@@ -113,8 +135,12 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         "--quantum",
         "--metrics",
         "--trace-events",
+        "--trace-timeline",
         "--recorder-depth",
         "--tolerance",
+        "--profile-period",
+        "--top",
+        "--out",
     ];
     let mut args =
         Args { positional: Vec::new(), flags: Vec::new(), options: Default::default() };
@@ -202,6 +228,39 @@ fn install_trace_sink(args: &Args) -> Result<(), String> {
 /// Upper bound on JSONL event lines per run; past it, events are counted as
 /// dropped rather than written (keeps trace files bounded on huge runs).
 const TRACE_CAPACITY: u64 = 1_000_000;
+
+/// Arms the Chrome-trace timeline buffer when `--trace-timeline <PATH>` is
+/// present; the file itself is written by [`FlushGuard`] at exit so
+/// panicking or early-exiting runs still leave a valid trace.
+fn install_timeline(args: &Args) -> Option<String> {
+    let path = args.options.get("--trace-timeline")?;
+    predator_obs::timeline().install(predator_obs::timeline::DEFAULT_CAPACITY);
+    Some(path.clone())
+}
+
+/// Flushes every buffered observability stream when dropped — on the normal
+/// exit path, on gate failures, and during panic unwinding alike — so
+/// truncated runs still leave valid, loss-accounted files behind.
+struct FlushGuard {
+    timeline_path: Option<String>,
+}
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        predator_obs::events().flush();
+        if let Some(path) = self.timeline_path.take() {
+            let write = || -> std::io::Result<()> {
+                let file = std::fs::File::create(&path)?;
+                let mut out = std::io::BufWriter::new(file);
+                predator_obs::timeline().write_json(&mut out)
+            };
+            match write() {
+                Ok(()) => eprintln!("trace timeline written to {path}"),
+                Err(e) => eprintln!("error: cannot write {path}: {e}"),
+            }
+        }
+    }
+}
 
 /// Default flight-recorder ring depth (records kept per cache line).
 const RECORDER_DEPTH: usize = 64;
@@ -537,7 +596,7 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_diff(args: &Args) -> Result<(), String> {
+fn cmd_diff(args: &Args) -> Result<ExitCode, String> {
     let load = |idx: usize, what: &str| -> Result<Report, String> {
         let path = args
             .positional
@@ -556,12 +615,118 @@ fn cmd_diff(args: &Args) -> Result<(), String> {
     let diff = diff_reports(&old, &new, tolerance);
     print!("{diff}");
     if diff.has_regressions() {
-        // Gate failure, not a usage error: no USAGE dump.
+        // Gate failure, not a usage error: no USAGE dump — and the failure
+        // exit code travels back through main so Drop guards (event sink,
+        // timeline) still flush.
         eprintln!(
             "GATE: FAIL — {} new finding(s)",
             diff.appeared.len()
         );
-        std::process::exit(1);
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench_diff(args: &Args) -> Result<ExitCode, String> {
+    use predator_bench::telemetry::{diff_reports, BenchReport};
+    let load = |idx: usize, what: &str| -> Result<BenchReport, String> {
+        let path = args
+            .positional
+            .get(idx)
+            .ok_or_else(|| format!("bench-diff: missing {what} telemetry path"))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let report: BenchReport = serde_json::from_str(&text)
+            .map_err(|e| format!("{path}: not a bench report: {e}"))?;
+        report.check_schema().map_err(|e| format!("{path}: {e}"))?;
+        Ok(report)
+    };
+    let old = load(1, "old")?;
+    let new = load(2, "new")?;
+    let tolerance: f64 = num(args, "--tolerance", 0.5f64)?;
+    if tolerance.is_nan() || tolerance < 0.0 {
+        return Err(format!("--tolerance must be >= 0, got {tolerance}"));
+    }
+    let diff = diff_reports(&old, &new, tolerance);
+    print!("{diff}");
+    if diff.has_regressions() {
+        eprintln!(
+            "GATE: FAIL — bench regression beyond {:.0}% tolerance",
+            tolerance * 100.0
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    println!("GATE: ok (tolerance {:.0}%)", tolerance * 100.0);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("profile: missing program path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut module = parse_module(&text).map_err(|e| format!("parse error: {e}"))?;
+    instrument_module(&mut module, &InstrumentOptions::default());
+
+    let threads: usize = num(args, "--threads", 2usize)?;
+    let iters: i64 = num(args, "--iters", 10_000i64)?;
+    let stride: u64 = num(args, "--stride", 8u64)?;
+    let quantum: u64 = num(args, "--quantum", 7u64)?;
+    let period: u64 = num(args, "--profile-period", 64u64)?;
+    if period == 0 {
+        return Err("--profile-period must be at least 1".into());
+    }
+    let top: usize = num(args, "--top", 20usize)?;
+    let det = detector_config(args)?;
+
+    if predator_obs::disabled() {
+        return Err(
+            "this binary was built with obs-off: the profiler is compiled out".into()
+        );
+    }
+    predator_obs::profiler().install(period);
+
+    let space = SimSpace::new(1 << 20);
+    let rt = Predator::for_space(det, &space);
+    let machine = Machine::new(&module, &space, &rt).map_err(|e| e.to_string())?;
+    let specs: Vec<ThreadSpec> = (0..threads)
+        .map(|t| ThreadSpec {
+            tid: ThreadId(t as u16),
+            function: "worker".into(),
+            args: vec![(space.base() + t as u64 * stride) as i64, iters],
+        })
+        .collect();
+    machine
+        .run(&specs, StepSchedule::RoundRobin { quantum }, 1 << 32)
+        .map_err(|e| e.to_string())?;
+
+    let prof = predator_obs::profiler();
+    let attributed = prof.attributed();
+    let stacks = prof.take();
+    let total = predator_obs::global().counter("interp_instructions_total").get();
+
+    println!(
+        "PROFILE {path} — {threads} threads x {iters} iters, sampling every {period} instructions"
+    );
+    println!();
+    println!("  {:>6}  {:>12}  FRAME (self)", "%", "INSTS");
+    for (frame, weight) in predator_obs::profile::top_leaves(&stacks, top) {
+        println!(
+            "  {:>5.1}%  {weight:>12}  {frame}",
+            weight as f64 / total.max(1) as f64 * 100.0
+        );
+    }
+    println!();
+    let report = build_report(&rt, None);
+    println!(
+        "attributed {attributed} of {total} interpreted instructions ({:.1}%); \
+         {} finding(s) — run `predator ir` for the full report",
+        attributed as f64 / total.max(1) as f64 * 100.0,
+        report.findings.len()
+    );
+
+    if let Some(out) = args.options.get("--out") {
+        let folded = predator_obs::profile::collapsed(&stacks);
+        std::fs::write(out, folded).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("collapsed stacks written to {out} (feed to flamegraph tooling)");
     }
     Ok(())
 }
@@ -596,30 +761,36 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Dropped last thing before exit: flushes the event sink and writes the
+    // `--trace-timeline` file on every path out of main, including gate
+    // failures and panics. Commands must therefore *return* their exit code
+    // rather than calling `std::process::exit` (which skips destructors).
+    let _flush = FlushGuard { timeline_path: install_timeline(&args) };
     let result = install_trace_sink(&args).and_then(|()| install_recorder(&args)).and_then(|()| {
         match args.positional.first().map(String::as_str) {
             Some("list") => {
                 cmd_list();
-                Ok(())
+                Ok(ExitCode::SUCCESS)
             }
-            Some("run") => cmd_run(&args),
-            Some("native") => cmd_native(&args),
-            Some("replay") => cmd_replay(&args),
-            Some("ir") => cmd_ir(&args),
-            Some("explain") => cmd_explain(&args),
+            Some("run") => cmd_run(&args).map(|()| ExitCode::SUCCESS),
+            Some("native") => cmd_native(&args).map(|()| ExitCode::SUCCESS),
+            Some("replay") => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
+            Some("ir") => cmd_ir(&args).map(|()| ExitCode::SUCCESS),
+            Some("profile") => cmd_profile(&args).map(|()| ExitCode::SUCCESS),
+            Some("explain") => cmd_explain(&args).map(|()| ExitCode::SUCCESS),
             Some("diff") => cmd_diff(&args),
-            Some("stats") => cmd_stats(&args),
+            Some("bench-diff") => cmd_bench_diff(&args),
+            Some("stats") => cmd_stats(&args).map(|()| ExitCode::SUCCESS),
             Some("help") | None => {
                 println!("{USAGE}");
-                Ok(())
+                Ok(ExitCode::SUCCESS)
             }
             Some(other) => Err(format!("unknown command `{other}`")),
         }
-        .and_then(|()| emit_metrics(&args))
+        .and_then(|code| emit_metrics(&args).map(|()| code))
     });
-    predator_obs::events().flush();
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE

@@ -1,0 +1,236 @@
+//! End-to-end validation of the self-profiling surface: the
+//! `--trace-timeline` Chrome trace export, the `profile` subcommand's
+//! sample-coverage guarantee, and the `bench-diff` telemetry gate.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn predator() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_predator"))
+}
+
+/// The checked-in example IR program (two writers false-sharing a line),
+/// resolved relative to this crate's manifest so tests run from any CWD.
+fn program() -> String {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/programs/false_sharing.pir");
+    p.to_str().unwrap().to_string()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("predator-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The envelope fields shared by every Chrome trace event; per-event extras
+/// (`args`, scopes) are ignored by the deserializer.
+#[derive(serde::Deserialize)]
+#[allow(non_snake_case)]
+struct TraceEv {
+    name: Option<String>,
+    ph: String,
+    ts: Option<f64>,
+    tid: Option<u64>,
+    id: Option<u64>,
+}
+
+#[derive(serde::Deserialize)]
+#[allow(non_snake_case)]
+struct OtherData {
+    recorded: u64,
+    dropped: u64,
+    synthesized_ends: u64,
+    orphan_ends_discarded: u64,
+}
+
+#[derive(serde::Deserialize)]
+#[allow(non_snake_case)]
+struct TraceDoc {
+    traceEvents: Vec<TraceEv>,
+    otherData: OtherData,
+}
+
+#[test]
+fn trace_timeline_is_structurally_valid_chrome_json() {
+    let dir = temp_dir("timeline");
+    let trace = dir.join("trace.json");
+    let trace_s = trace.to_str().unwrap().to_string();
+
+    let out = predator()
+        .args(["ir", &program(), "--threads", "4", "--iters", "3000"])
+        .args(["--trace-timeline", &trace_s])
+        .output()
+        .expect("spawn predator ir");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let doc: TraceDoc = serde_json::from_str(&text).expect("trace parses as Chrome JSON");
+
+    if predator_obs::disabled() {
+        // obs-off still writes a well-formed (empty) document.
+        assert_eq!(doc.otherData.recorded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+
+    assert!(!doc.traceEvents.is_empty(), "an instrumented run emits events");
+    assert_eq!(doc.otherData.dropped, 0, "small run must not overflow the buffer");
+    assert_eq!(doc.otherData.synthesized_ends, 0, "clean exit closes every span");
+    assert_eq!(doc.otherData.orphan_ends_discarded, 0);
+
+    // Per-lane invariants: timestamps never go backwards, and every E pops
+    // the innermost matching B (spans nest properly within a lane).
+    let mut last_ts: std::collections::HashMap<u64, f64> = Default::default();
+    let mut stacks: std::collections::HashMap<u64, Vec<String>> = Default::default();
+    let mut flow_starts = std::collections::HashSet::new();
+    let mut flow_finishes = std::collections::HashSet::new();
+    for ev in &doc.traceEvents {
+        if ev.ph == "M" {
+            continue; // metadata carries no ts
+        }
+        let tid = ev.tid.expect("non-metadata events carry a tid");
+        let ts = ev.ts.expect("non-metadata events carry a ts");
+        let prev = last_ts.entry(tid).or_insert(ts);
+        assert!(ts >= *prev, "ts regressed on lane {tid}: {ts} < {prev}");
+        *prev = ts;
+        match ev.ph.as_str() {
+            "B" => stacks.entry(tid).or_default().push(ev.name.clone().unwrap()),
+            "E" => {
+                let popped = stacks.get_mut(&tid).and_then(Vec::pop);
+                assert_eq!(
+                    popped.as_deref(),
+                    ev.name.as_deref(),
+                    "E must close the innermost B on lane {tid}"
+                );
+            }
+            "s" => {
+                flow_starts.insert(ev.id.expect("flow start has an id"));
+            }
+            "f" => {
+                flow_finishes.insert(ev.id.expect("flow finish has an id"));
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "lane {tid} left open spans: {stack:?}");
+    }
+    assert_eq!(flow_starts, flow_finishes, "every flow id must start and finish");
+    assert!(!flow_starts.is_empty(), "false sharing must emit invalidation flows");
+
+    // Golden content: pipeline phases and detector moments are present.
+    for needle in ["\"interpret\"", "\"detect\"", "invalidation", "report_emitted"] {
+        assert!(text.contains(needle), "trace must mention {needle}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_attributes_at_least_95_percent_of_instructions() {
+    let dir = temp_dir("profile");
+    let folded = dir.join("out.folded");
+    let out = predator()
+        .args(["profile", &program(), "--threads", "4", "--iters", "3000"])
+        .args(["--out", folded.to_str().unwrap()])
+        .output()
+        .expect("spawn predator profile");
+
+    if predator_obs::disabled() {
+        assert!(!out.status.success(), "obs-off builds must refuse to profile");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("obs-off"));
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    // "attributed <X> of <Y> interpreted instructions (<Z>%)"
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("attributed "))
+        .unwrap_or_else(|| panic!("no coverage line in:\n{stdout}"));
+    let mut nums = line
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<u64>().unwrap());
+    let (attributed, total) = (nums.next().unwrap(), nums.next().unwrap());
+    assert!(total > 0);
+    assert!(
+        attributed as f64 >= total as f64 * 0.95,
+        "sampler must attribute >=95% of instructions: {attributed}/{total}\n{stdout}"
+    );
+
+    // The collapsed-stack output is flamegraph-shaped: "a;b;leaf <weight>".
+    let text = std::fs::read_to_string(&folded).expect("folded stacks written");
+    let folded_sum: u64 = text
+        .lines()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().expect("weight"))
+        .sum();
+    assert_eq!(folded_sum, attributed, "folded weights must sum to the attributed total");
+    assert!(
+        text.lines().any(|l| l.contains("rt::")),
+        "runtime cost centers appear as synthetic leaf frames:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_diff_gates_on_hot_path_regressions() {
+    use predator_bench::telemetry::{BenchReport, HotPath, WorkloadBench};
+
+    let report = |tracked: f64| BenchReport {
+        schema: predator_bench::telemetry::SCHEMA.to_string(),
+        obs_hooks: true,
+        hot_path: HotPath { tracked_write_ns: tracked, untracked_read_ns: 20.0 },
+        workloads: vec![WorkloadBench {
+            name: "histogram".into(),
+            threads: 4,
+            iters: 100,
+            wall_ms: 1.0,
+            accesses: 1000,
+            throughput_maccess_s: 1.0,
+            findings: 1,
+        }],
+        peak_rss_kb: 1000,
+        obs_overhead_pct: Some(1.0),
+    };
+
+    let dir = temp_dir("bench-diff");
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(&old, serde_json::to_string(&report(30.0)).unwrap()).unwrap();
+    let (old_s, new_s) = (old.to_str().unwrap(), new.to_str().unwrap());
+
+    // Identical numbers pass the gate.
+    std::fs::write(&new, serde_json::to_string(&report(30.0)).unwrap()).unwrap();
+    let out = predator().args(["bench-diff", old_s, new_s]).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("GATE: ok"));
+
+    // A 2x hot-path regression fails with the default 50% tolerance…
+    std::fs::write(&new, serde_json::to_string(&report(60.0)).unwrap()).unwrap();
+    let out = predator().args(["bench-diff", old_s, new_s]).output().unwrap();
+    assert!(!out.status.success(), "regression must fail the gate");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("GATE: FAIL"));
+
+    // …but a generous tolerance forgives it.
+    let out = predator()
+        .args(["bench-diff", old_s, new_s, "--tolerance", "1.5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // A wrong schema is a hard usage error, not a gate verdict.
+    let mut wrong = report(30.0);
+    wrong.schema = "predator-bench/999".into();
+    std::fs::write(&new, serde_json::to_string(&wrong).unwrap()).unwrap();
+    let out = predator().args(["bench-diff", old_s, new_s]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

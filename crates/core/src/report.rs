@@ -605,6 +605,7 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
         .collect();
 
     // ---- Predicted findings: group verified units by (object, scenario). --
+    let predict_span = predator_obs::span("predict");
     struct PredAgg {
         object: ObjectReport,
         invalidations: u64,
@@ -725,6 +726,7 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
             invalidation_traces,
         }
     }));
+    drop(predict_span);
 
     // ---- Rank by projected impact. ----
     findings.sort_by_key(|f| std::cmp::Reverse(f.invalidations));
@@ -764,6 +766,25 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
         }
     }
 
+    let tl = predator_obs::timeline();
+    if tl.enabled() {
+        tl.instant(
+            "report_emitted",
+            "detector",
+            predator_obs::host_lane(),
+            vec![
+                ("findings", predator_obs::ArgVal::U64(findings.len() as u64)),
+                ("false_sharing", predator_obs::ArgVal::U64(
+                    findings
+                        .iter()
+                        .filter(|f| {
+                            matches!(f.class, SharingClass::FalseSharing | SharingClass::Mixed)
+                        })
+                        .count() as u64,
+                )),
+            ],
+        );
+    }
     drop(detect_span); // record the detect phase before capturing the snapshot
     Report { findings, stats, obs: ObsSnapshot::capture() }
 }

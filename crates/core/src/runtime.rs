@@ -153,6 +153,7 @@ impl Predator {
         }
         self.events.fetch_add(1, Ordering::Relaxed);
         predator_obs::hot_counter_inc!("runtime_accesses_total");
+        predator_obs::profile::mark(predator_obs::CostCenter::HandleAccess);
         let geom = self.cfg.geometry;
         for line in geom.lines_touched(addr, size) {
             if let Some(idx) = self.layout.index_of(geom.line_start(line)) {
@@ -215,6 +216,17 @@ impl Predator {
                 "line_promoted",
                 &[("line_start", predator_obs::FieldVal::U64(track.line_start()))],
             );
+            // Tracking-state transition on the timeline: the line entered
+            // CacheTracking (its history table now exists).
+            let tl = predator_obs::timeline();
+            if tl.enabled() {
+                tl.instant(
+                    "line_promoted",
+                    "detector",
+                    predator_obs::host_lane(),
+                    vec![("line_start", predator_obs::ArgVal::U64(track.line_start()))],
+                );
+            }
         }
         track
     }

@@ -151,6 +151,16 @@ impl From<predator_obs::Snapshot> for ObsSnapshot {
     }
 }
 
+/// Canonical pipeline order for the PHASES table. Span histograms arrive
+/// from the registry alphabetically; the table instead reads top-to-bottom
+/// in execution order, with phases outside the pipeline appended after.
+const PHASE_PIPELINE: [&str; 6] =
+    ["parse", "instrument", "interpret", "detect", "predict", "report"];
+
+fn phase_rank(phase: &str) -> usize {
+    PHASE_PIPELINE.iter().position(|p| *p == phase).unwrap_or(PHASE_PIPELINE.len())
+}
+
 impl ObsSnapshot {
     /// Captures the current process-global registry.
     pub fn capture() -> Self {
@@ -163,49 +173,67 @@ impl ObsSnapshot {
     }
 
     /// Per-phase wall times, derived from the `span_<phase>_ns` histograms:
-    /// `(phase, calls, total ns)`.
+    /// `(phase, calls, total ns)`, in pipeline order
+    /// (parse → instrument → interpret → detect → predict → report, then
+    /// any other instrumented phases alphabetically).
     pub fn phases(&self) -> Vec<(String, u64, u64)> {
-        self.histograms
+        let mut phases: Vec<(String, u64, u64)> = self
+            .histograms
             .iter()
             .filter_map(|h| {
                 let phase = h.name.strip_prefix("span_")?.strip_suffix("_ns")?;
                 Some((phase.to_string(), h.count, h.sum))
             })
-            .collect()
+            .collect();
+        phases.sort_by(|a, b| phase_rank(&a.0).cmp(&phase_rank(&b.0)).then(a.0.cmp(&b.0)));
+        phases
     }
 
     /// Renders the human-readable stats table (`predator stats`).
     pub fn render_table(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let spans: Vec<(&str, &ObsHistogram)> = self
+        let mut spans: Vec<(&str, &ObsHistogram)> = self
             .histograms
             .iter()
             .filter_map(|h| {
                 h.name.strip_prefix("span_").and_then(|n| n.strip_suffix("_ns")).map(|p| (p, h))
             })
             .collect();
+        spans.sort_by(|a, b| phase_rank(a.0).cmp(&phase_rank(b.0)).then(a.0.cmp(b.0)));
         if !spans.is_empty() {
+            let total_ns: u64 = spans.iter().map(|(_, h)| h.sum).sum();
             out.push_str("PHASES\n");
             let _ = writeln!(
                 out,
-                "  {:<24} {:>10} {:>14} {:>14} {:>12} {:>12}",
-                "phase", "calls", "total ms", "mean us", "p50 us", "p99 us"
+                "  {:<24} {:>10} {:>14} {:>8} {:>14} {:>12} {:>12}",
+                "phase", "calls", "total ms", "share", "mean us", "p50 us", "p99 us"
             );
             for (phase, h) in &spans {
                 let mean_us = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 / 1e3 };
                 let q = |q: f64| h.quantile(q).map(|v| v / 1e3).unwrap_or(0.0);
+                let share =
+                    if total_ns == 0 { 0.0 } else { h.sum as f64 / total_ns as f64 * 100.0 };
                 let _ = writeln!(
                     out,
-                    "  {:<24} {:>10} {:>14.3} {:>14.1} {:>12.1} {:>12.1}",
+                    "  {:<24} {:>10} {:>14.3} {:>7.1}% {:>14.1} {:>12.1} {:>12.1}",
                     phase,
                     h.count,
                     h.sum as f64 / 1e6,
+                    share,
                     mean_us,
                     q(0.50),
                     q(0.99)
                 );
             }
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10} {:>14.3} {:>7.1}%",
+                "total",
+                spans.iter().map(|(_, h)| h.count).sum::<u64>(),
+                total_ns as f64 / 1e6,
+                100.0
+            );
         }
         if !self.counters.is_empty() {
             out.push_str("COUNTERS\n");
@@ -372,5 +400,43 @@ mod tests {
         assert!(table.contains("runtime_accesses_total"));
         assert!(table.contains("alloc_size_bytes"));
         assert!(!table.contains("span_detect_ns"), "spans render as phases, not histograms");
+    }
+
+    fn span_hist(phase: &str, sum: u64) -> ObsHistogram {
+        ObsHistogram {
+            name: format!("span_{phase}_ns"),
+            count: 1,
+            sum,
+            buckets: vec![ObsBucket { lo: sum.next_power_of_two() / 2, count: 1 }],
+        }
+    }
+
+    #[test]
+    fn phases_render_in_pipeline_order_with_share() {
+        // Registry snapshots list histograms alphabetically; the table must
+        // re-order them into pipeline order and append unknown phases last.
+        let s = ObsSnapshot {
+            histograms: vec![
+                span_hist("detect", 1_000),
+                span_hist("interpret", 3_000),
+                span_hist("parse", 500),
+                span_hist("replay", 250),
+                span_hist("report", 250),
+            ],
+            ..Default::default()
+        };
+        let order: Vec<String> = s.phases().into_iter().map(|(p, _, _)| p).collect();
+        assert_eq!(order, ["parse", "interpret", "detect", "report", "replay"]);
+
+        let table = s.render_table();
+        let pos = |needle: &str| table.find(needle).unwrap_or_else(|| panic!("{needle}\n{table}"));
+        assert!(pos("parse") < pos("interpret"), "{table}");
+        assert!(pos("interpret") < pos("detect"), "{table}");
+        assert!(pos("report") < pos("replay"), "pipeline phases before extras:\n{table}");
+        assert!(table.contains("share"), "{table}");
+        // interpret holds 3000 of 5000 ns = 60%; the total row closes at 100%.
+        assert!(table.contains("60.0%"), "{table}");
+        let total_line = table.lines().find(|l| l.trim_start().starts_with("total")).unwrap();
+        assert!(total_line.contains("100.0%"), "{total_line}");
     }
 }

@@ -131,16 +131,20 @@ impl CacheTrack {
         if cfg.sampling && n % cfg.sample_interval >= cfg.sample_burst {
             return TrackOutcome::default();
         }
+        predator_obs::profile::mark(predator_obs::CostCenter::Track);
         let mut st = self.state.lock().unwrap();
-        // Flight-recorder feed: the victims of an invalidating write are the
-        // remote entries sitting in the history table *before* the write
-        // lands (≤ 2, distinct threads — §2.3.1), so capture them up front.
+        // Flight-recorder and timeline feed: the victims of an invalidating
+        // write are the remote entries sitting in the history table *before*
+        // the write lands (≤ 2, distinct threads — §2.3.1), so capture them
+        // up front.
         let flight = predator_obs::recorder::recorder().is_enabled();
+        let tl = predator_obs::timeline();
+        let want_victims = flight || tl.enabled();
         let word = ((addr.saturating_sub(self.line_start) / 8) as u8)
             .min(predator_obs::recorder::WORD_UNKNOWN - 1);
         let mut victims: [(u16, u8); 2] = [(0, 0); 2];
         let mut victim_count = 0usize;
-        if flight && kind == AccessKind::Write {
+        if want_victims && kind == AccessKind::Write {
             for e in st.history.entries() {
                 if e.tid != tid {
                     victims[victim_count] = (e.tid.index() as u16, st.last_word(e.tid));
@@ -152,6 +156,7 @@ impl CacheTrack {
         st.invalidations += invalidated as u64;
         predator_obs::static_counter!("track_sampled_accesses_total").inc();
         if flight {
+            predator_obs::profile::mark(predator_obs::CostCenter::Recorder);
             st.note_word(tid, word);
             if invalidated {
                 predator_obs::recorder::record_invalidation(
@@ -178,6 +183,24 @@ impl CacheTrack {
                     ("tid", predator_obs::FieldVal::U64(tid.index() as u64)),
                 ],
             );
+            // Timeline: an instant on the writer's sim-thread lane plus one
+            // flow arrow per victim, so Perfetto draws the causal link from
+            // the invalidating write to the thread whose copy it killed.
+            if tl.enabled() {
+                let writer_lane = tid.index() as u64;
+                tl.instant(
+                    "invalidation",
+                    "detector",
+                    writer_lane,
+                    vec![
+                        ("line_start", predator_obs::ArgVal::U64(self.line_start)),
+                        ("word", predator_obs::ArgVal::U64(word as u64)),
+                    ],
+                );
+                for &(victim_tid, _) in &victims[..victim_count] {
+                    tl.flow("invalidate", "detector", writer_lane, victim_tid as u64, tl.new_flow());
+                }
+            }
         }
         st.words.record(tid, addr, size, kind);
         let mut analysis_due = false;

@@ -17,6 +17,13 @@
 //! * [`recorder`] — the flight recorder: a bounded ring of recent per-line
 //!   access and invalidation records (who wrote, who got invalidated, which
 //!   words, in what order) powering `predator explain` timelines.
+//! * [`timeline`] — a bounded Chrome trace-event buffer (`--trace-timeline`)
+//!   turning phase spans, interpreter thread activity, and detector events
+//!   into a Perfetto-loadable JSON file with flow arrows from invalidating
+//!   writes to their victim threads.
+//! * [`profile`] — the instruction-count-triggered sampling self-profiler
+//!   behind `predator profile`: collapsed IR call stacks plus runtime
+//!   cost-center attribution (handle-access, tracking, recorder, MESI).
 //!
 //! Everything hangs off a process-global registry ([`global`]) so call
 //! sites in any crate can grab a handle without plumbing; handles are
@@ -27,11 +34,14 @@
 
 mod events;
 mod metrics;
+pub mod profile;
 pub mod recorder;
 mod snapshot;
 mod span;
+pub mod timeline;
 
 pub use events::{events, EventSink, FieldVal};
+pub use profile::{profiler, CostCenter, Profiler};
 pub use recorder::{FlightRecorder, Rec, RecKind};
 pub use metrics::{
     bucket_index, bucket_lower_bound, global, Counter, Gauge, Histogram, Registry, Timer,
@@ -39,6 +49,7 @@ pub use metrics::{
 };
 pub use snapshot::{escape_label_value, Bucket, HistogramSnapshot, Snapshot};
 pub use span::{span, Span};
+pub use timeline::{host_lane, timeline, ArgVal, Timeline};
 
 /// True when the crate was compiled with the `obs-off` feature (all hooks
 /// are no-ops and snapshots report zeros).

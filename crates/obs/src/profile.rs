@@ -1,0 +1,251 @@
+//! Sampling self-profiler for the IR interpreter.
+//!
+//! The interpreter cannot use an OS signal profiler — its "threads" are
+//! simulated and its "time" is instructions — so this is an
+//! instruction-count-triggered sampler: every `period`-th interpreted
+//! instruction, the interpreter captures the current IR call stack
+//! (`function@bbN` frames) and records it with weight `period`, attributing
+//! each sample to the whole window it closes. When the sampled instruction
+//! was a `Probe`, the detector's hot path has left a [`CostCenter`] mark
+//! (deepest-subsystem-wins) in a thread-local, and the sample gains an
+//! `rt::...` leaf frame — so interpreter cost and runtime-analysis cost
+//! show up in one profile.
+//!
+//! Σ(sample weights) is within one period of the interpreter's instruction
+//! tally (`interp_instructions_total`), which is what makes the "≥95%
+//! attributed" acceptance bound testable rather than vibes.
+//!
+//! Rendered by `predator profile` as a top-N table and as collapsed-stack
+//! lines (`frame;frame;leaf weight`) for flamegraph tooling.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A runtime subsystem a sampled `Probe` instruction was executing in.
+/// Marks overwrite each other, so the deepest subsystem reached before the
+/// sample wins — e.g. `HandleAccess → Track → Recorder` attributes to the
+/// recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostCenter {
+    /// `Predator::handle_access` entry (threshold bookkeeping, line lookup).
+    HandleAccess,
+    /// Per-line tracking: history table + word counters + prediction units.
+    Track,
+    /// Flight-recorder ring append.
+    Recorder,
+    /// MESI ground-truth simulation.
+    Mesi,
+}
+
+impl CostCenter {
+    /// The frame label used in collapsed stacks and the top-N table.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostCenter::HandleAccess => "rt::handle_access",
+            CostCenter::Track => "rt::track",
+            CostCenter::Recorder => "rt::recorder",
+            CostCenter::Mesi => "rt::mesi",
+        }
+    }
+}
+
+thread_local! {
+    static MARK: Cell<Option<CostCenter>> = const { Cell::new(None) };
+}
+
+/// Marks the calling thread as executing inside `center`, if the profiler
+/// is armed. Hot-path cost when disarmed: one relaxed load and a branch.
+#[inline]
+pub fn mark(center: CostCenter) {
+    if profiler().enabled() {
+        MARK.with(|m| m.set(Some(center)));
+    }
+}
+
+/// Consumes the calling thread's current cost-center mark. The interpreter
+/// calls this only when the sampled instruction was a `Probe` — the one
+/// instruction kind that enters the runtime — so stale marks from earlier
+/// windows are never misattributed.
+#[inline]
+pub fn take_mark() -> Option<CostCenter> {
+    MARK.with(|m| m.take())
+}
+
+/// The global sampling profiler (see [`profiler`]).
+pub struct Profiler {
+    enabled: AtomicBool,
+    period: AtomicU64,
+    attributed: AtomicU64,
+    stacks: Mutex<HashMap<String, u64>>,
+}
+
+impl Profiler {
+    fn new() -> Self {
+        Profiler {
+            enabled: AtomicBool::new(false),
+            period: AtomicU64::new(0),
+            attributed: AtomicU64::new(0),
+            stacks: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Arms the profiler to sample every `period`-th interpreted
+    /// instruction. Clears previously collected samples. No-op under
+    /// `obs-off`.
+    pub fn install(&self, period: u64) {
+        if crate::disabled() {
+            return;
+        }
+        self.period.store(period.max(1), Ordering::Relaxed);
+        self.attributed.store(0, Ordering::Relaxed);
+        self.stacks.lock().unwrap().clear();
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// True once armed (cheap hot-path pre-check).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        #[cfg(feature = "obs-off")]
+        return false;
+        #[cfg(not(feature = "obs-off"))]
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Sampling period in instructions (0 when never armed).
+    pub fn period(&self) -> u64 {
+        self.period.load(Ordering::Relaxed)
+    }
+
+    /// Records one sample: `stack` is a collapsed `frame;frame;leaf`
+    /// string, `weight` the instructions the sample stands for.
+    pub fn record(&self, stack: String, weight: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.attributed.fetch_add(weight, Ordering::Relaxed);
+        *self.stacks.lock().unwrap().entry(stack).or_insert(0) += weight;
+    }
+
+    /// Total instructions attributed across all samples.
+    pub fn attributed(&self) -> u64 {
+        self.attributed.load(Ordering::Relaxed)
+    }
+
+    /// Drains the collected samples (heaviest first, ties by name) and
+    /// disarms the profiler.
+    pub fn take(&self) -> Vec<(String, u64)> {
+        self.enabled.store(false, Ordering::Release);
+        let mut stacks: Vec<(String, u64)> =
+            self.stacks.lock().unwrap().drain().collect();
+        stacks.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        stacks
+    }
+}
+
+/// The process-global profiler. Disarmed (near-zero cost) until the CLI
+/// installs it for `predator profile`.
+pub fn profiler() -> &'static Profiler {
+    static P: std::sync::OnceLock<Profiler> = std::sync::OnceLock::new();
+    P.get_or_init(Profiler::new)
+}
+
+/// Renders drained samples as collapsed-stack lines (`a;b;leaf 42`), the
+/// input format of `flamegraph.pl` / `inferno`.
+pub fn collapsed(stacks: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (stack, weight) in stacks {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&weight.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Aggregates drained samples by leaf frame (self weight), heaviest first.
+pub fn top_leaves(stacks: &[(String, u64)], n: usize) -> Vec<(String, u64)> {
+    let mut by_leaf: HashMap<&str, u64> = HashMap::new();
+    for (stack, weight) in stacks {
+        let leaf = stack.rsplit(';').next().unwrap_or(stack);
+        *by_leaf.entry(leaf).or_insert(0) += weight;
+    }
+    let mut leaves: Vec<(String, u64)> =
+        by_leaf.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    leaves.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    leaves.truncate(n);
+    leaves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_profiler_records_nothing() {
+        let p = Profiler::new();
+        p.record("a;b".into(), 100);
+        assert_eq!(p.attributed(), 0);
+        assert!(p.take().is_empty());
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "hooks compiled out")]
+    fn samples_aggregate_by_stack_and_drain_sorted() {
+        let p = Profiler::new();
+        p.install(64);
+        p.record("main;hot@bb1".into(), 64);
+        p.record("main;hot@bb1".into(), 64);
+        p.record("main;cold@bb0".into(), 64);
+        assert_eq!(p.attributed(), 192);
+        let stacks = p.take();
+        assert_eq!(stacks[0], ("main;hot@bb1".to_string(), 128));
+        assert_eq!(stacks[1], ("main;cold@bb0".to_string(), 64));
+        assert!(!p.enabled(), "take() disarms");
+        assert!(p.take().is_empty(), "drained");
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "hooks compiled out")]
+    fn reinstall_clears_previous_run() {
+        let p = Profiler::new();
+        p.install(1);
+        p.record("old".into(), 5);
+        p.install(1);
+        assert_eq!(p.attributed(), 0);
+        p.record("new".into(), 7);
+        assert_eq!(p.take(), vec![("new".to_string(), 7)]);
+    }
+
+    #[test]
+    fn collapsed_lines_match_flamegraph_format() {
+        let stacks = vec![("a;b;c".to_string(), 12), ("a".to_string(), 3)];
+        assert_eq!(collapsed(&stacks), "a;b;c 12\na 3\n");
+    }
+
+    #[test]
+    fn top_leaves_aggregates_self_weight() {
+        let stacks = vec![
+            ("main;worker@bb2".to_string(), 10),
+            ("main;other;worker@bb2".to_string(), 5),
+            ("main;rt::track".to_string(), 7),
+        ];
+        let top = top_leaves(&stacks, 10);
+        assert_eq!(top[0], ("worker@bb2".to_string(), 15));
+        assert_eq!(top[1], ("rt::track".to_string(), 7));
+        assert_eq!(top_leaves(&stacks, 1).len(), 1);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "hooks compiled out")]
+    fn cost_center_mark_is_take_once() {
+        let p = profiler();
+        p.install(1);
+        mark(CostCenter::HandleAccess);
+        mark(CostCenter::Recorder); // deepest-wins: overwrite
+        assert_eq!(take_mark(), Some(CostCenter::Recorder));
+        assert_eq!(take_mark(), None, "consumed");
+        let _ = p.take();
+    }
+}

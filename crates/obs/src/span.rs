@@ -2,6 +2,8 @@
 
 use crate::metrics::{global, Histogram};
 #[cfg(not(feature = "obs-off"))]
+use crate::timeline::{host_lane, timeline};
+#[cfg(not(feature = "obs-off"))]
 use std::time::Instant;
 
 /// An in-flight phase timing from [`span`]; records on drop.
@@ -10,10 +12,16 @@ pub struct Span {
     hist: Option<Histogram>,
     #[cfg(not(feature = "obs-off"))]
     start: Instant,
+    /// Set when the trace timeline was armed at open: the phase name whose
+    /// `E` event must be emitted on drop (on the same host lane).
+    #[cfg(not(feature = "obs-off"))]
+    tl_phase: Option<String>,
 }
 
 /// Times a pipeline phase: elapsed wall nanoseconds are recorded into the
-/// global histogram `span_<phase>_ns` when the returned guard drops.
+/// global histogram `span_<phase>_ns` when the returned guard drops, and —
+/// when the trace timeline is armed — a `B`/`E` pair lands on the calling
+/// host thread's timeline lane.
 ///
 /// ```
 /// {
@@ -28,9 +36,16 @@ pub struct Span {
 pub fn span(phase: &str) -> Span {
     #[cfg(not(feature = "obs-off"))]
     {
+        let tl_phase = if timeline().enabled() {
+            timeline().begin(phase, "phase", host_lane());
+            Some(phase.to_string())
+        } else {
+            None
+        };
         Span {
             hist: Some(global().histogram(&format!("span_{phase}_ns"))),
             start: Instant::now(),
+            tl_phase,
         }
     }
     #[cfg(feature = "obs-off")]
@@ -43,8 +58,13 @@ pub fn span(phase: &str) -> Span {
 impl Drop for Span {
     fn drop(&mut self) {
         #[cfg(not(feature = "obs-off"))]
-        if let Some(h) = &self.hist {
-            h.record(self.start.elapsed().as_nanos() as u64);
+        {
+            if let Some(h) = &self.hist {
+                h.record(self.start.elapsed().as_nanos() as u64);
+            }
+            if let Some(phase) = self.tl_phase.take() {
+                timeline().end(&phase, "phase", host_lane());
+            }
         }
     }
 }

@@ -229,6 +229,7 @@ impl MesiSim {
     /// line the access touches.
     pub fn access(&mut self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind) {
         predator_obs::hot_counter_inc!("mesi_accesses_total");
+        predator_obs::profile::mark(predator_obs::CostCenter::Mesi);
         for line in self.geom.lines_touched(addr, size) {
             // Word attribution for the flight recorder: exact for the line
             // containing `addr`, word 0 for the spilled-into lines of a
@@ -333,6 +334,23 @@ impl MesiSim {
                     predator_obs::static_counter!("mesi_invalidation_events_total").inc();
                     predator_obs::static_counter!("mesi_lines_invalidated_total")
                         .add(invalidated);
+                    // Timeline: a ground-truth invalidation burst on the
+                    // writer's sim lane, sized by how many copies died.
+                    let tl = predator_obs::timeline();
+                    if tl.enabled() {
+                        tl.instant(
+                            "mesi_invalidation",
+                            "mesi",
+                            core as u64,
+                            vec![
+                                (
+                                    "line_start",
+                                    predator_obs::ArgVal::U64(self.geom.line_start(line)),
+                                ),
+                                ("copies_lost", predator_obs::ArgVal::U64(invalidated)),
+                            ],
+                        );
+                    }
                     if let Some(rec) = &self.recorder {
                         rec.offer_invalidation(
                             self.geom.line_start(line),

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Bench telemetry pipeline: builds the workspace twice (hooks on / obs-off),
+# measures the small workload suite plus the detector hot path in each, and
+# merges the pair into a schema-versioned BENCH_<n>.json whose
+# `obs_overhead_pct` field proves the observability layer stays inside its
+# <=5% hot-path budget.
+#
+# Usage:
+#   scripts/bench.sh [out.json]                  # default: BENCH_local.json
+#   BENCH_ITERS=500 BENCH_HOT_ITERS=200000 scripts/bench.sh quick.json
+#   BENCH_BASELINE=BENCH_3.json scripts/bench.sh # also gate vs a baseline
+#
+# The merged report can be compared across commits with
+#   predator bench-diff old.json new.json --tolerance 0.5
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_local.json}"
+ITERS="${BENCH_ITERS:-2000}"
+HOT_ITERS="${BENCH_HOT_ITERS:-2000000}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "==> criterion smoke (obs overhead groups)"
+# The vendored criterion shim runs fast; full statistics come from the
+# measure step below, this just keeps the bench targets compiling & running.
+cargo bench -q -p predator-bench --bench obs_overhead -- --quick >/dev/null 2>&1 ||
+  cargo bench -q -p predator-bench --bench obs_overhead >/dev/null
+
+echo "==> measuring with observability hooks ON"
+cargo build --release -q -p predator-bench
+target/release/bench_telemetry measure "$WORK/obs_on.json" \
+  --iters "$ITERS" --hot-iters "$HOT_ITERS"
+
+echo "==> measuring with observability hooks compiled OUT (obs-off)"
+cargo build --release -q -p predator-bench --features obs-off
+target/release/bench_telemetry measure "$WORK/obs_off.json" \
+  --iters "$ITERS" --hot-iters "$HOT_ITERS"
+
+# Leave the tree in the default (hooks-on) configuration for later steps.
+cargo build --release -q -p predator-bench -p predator-cli
+
+echo "==> merging into $OUT"
+target/release/bench_telemetry merge "$WORK/obs_on.json" "$WORK/obs_off.json" "$OUT"
+
+if [[ -n "${BENCH_BASELINE:-}" && -f "${BENCH_BASELINE}" ]]; then
+  echo "==> gating against ${BENCH_BASELINE}"
+  target/release/predator bench-diff "$BENCH_BASELINE" "$OUT" \
+    --tolerance "${BENCH_TOLERANCE:-0.5}"
+fi
+
+echo "BENCH OK — wrote $OUT"

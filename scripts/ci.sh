@@ -35,4 +35,20 @@ if $PRED diff "$SMOKE/clean.json" "$SMOKE/bad.json"; then
 fi
 echo "diff gate correctly rejected the regression"
 
+echo "==> timeline/profile/bench-diff smoke"
+$PRED ir examples/programs/false_sharing.pir --threads 2 --iters 2000 \
+  --trace-timeline "$SMOKE/trace.json" > /dev/null
+grep -q '"traceEvents"' "$SMOKE/trace.json"
+if ! $PRED profile examples/programs/false_sharing.pir --threads 2 --iters 2000 \
+    | grep -q "attributed"; then
+  # obs-off builds compile the profiler out and must say so instead.
+  $PRED profile examples/programs/false_sharing.pir 2>&1 | grep -q "obs-off" || {
+    echo "profile smoke failed" >&2
+    exit 1
+  }
+fi
+cargo build --release -q -p predator-bench
+target/release/bench_telemetry measure "$SMOKE/bench.json" --iters 100 --hot-iters 50000
+$PRED bench-diff "$SMOKE/bench.json" "$SMOKE/bench.json"
+
 echo "CI OK"
