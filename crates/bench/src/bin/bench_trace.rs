@@ -1,0 +1,268 @@
+//! `bench_trace` — trace-pipeline telemetry behind `scripts/bench.sh`.
+//!
+//! ```text
+//! bench_trace [out.json] [--iters N]
+//! ```
+//!
+//! Records the histogram workload (the Table-1 bug with a deterministic
+//! tracked run) through the `.ptrace` streaming writer, then measures what
+//! the ISSUE's acceptance bars ask for:
+//!
+//! * record throughput (events/s into the segmented binary writer);
+//! * `.ptrace` vs JSONL size on the identical event stream (must be ≥5x);
+//! * decode throughput for both formats;
+//! * sharded offline analysis, 1 shard vs 4 (must speed up on ≥1M events,
+//!   with byte-identical findings).
+//!
+//! The JSON it writes (`BENCH_4.json` by convention) is a standalone
+//! schema-versioned artifact, separate from `bench_telemetry`'s
+//! `predator-bench/1` reports.
+
+use std::io::BufReader;
+use std::sync::Arc;
+use std::time::Instant;
+
+use predator_core::{DetectorConfig, Session};
+use predator_sim::{Access, ThreadId};
+use predator_trace::{
+    analyze_events, save_jsonl, AnalyzeConfig, JsonlIter, TraceMeta, TraceReader, TraceSink,
+};
+use predator_workloads::{by_name, Variant, WorkloadConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct RecordStats {
+    wall_ms: f64,
+    events: u64,
+    events_per_s: f64,
+    ptrace_bytes: u64,
+    bytes_per_event: f64,
+}
+
+#[derive(Serialize)]
+struct SizeStats {
+    jsonl_bytes: u64,
+    /// JSONL bytes ÷ `.ptrace` bytes — the acceptance bar is ≥ 5.
+    size_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct DecodeStats {
+    ptrace_events_per_s: f64,
+    jsonl_events_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct AnalyzeStats {
+    /// What was analysed: the sharding measurement runs on a synthetic
+    /// multi-cluster trace, because histogram's false sharing lives in one
+    /// tiny argument array — a single line cluster, which by construction
+    /// cannot be split across shards.
+    trace: &'static str,
+    events: u64,
+    clusters: usize,
+    /// Cores visible to this process. Sharding is a parallelism play: with
+    /// fewer than ~4 cores the dispatcher + worker threads time-slice one
+    /// CPU and `speedup` dips below 1 — expected, not a regression. The
+    /// tier-1 test asserts the >1 bar only on ≥4-core hosts.
+    cores: usize,
+    shards1_ms: f64,
+    shards4_ms: f64,
+    /// shards1 time ÷ shards4 time — the acceptance bar is > 1 on ≥1M
+    /// events when `cores` ≥ 4.
+    speedup: f64,
+    events_per_s_shards4: f64,
+    findings: usize,
+    reports_identical: bool,
+}
+
+#[derive(Serialize)]
+struct TraceBench {
+    schema: &'static str,
+    workload: &'static str,
+    threads: usize,
+    iters: u64,
+    record: RecordStats,
+    size: SizeStats,
+    decode: DecodeStats,
+    analyze: AnalyzeStats,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn per_s(events: u64, d: std::time::Duration) -> f64 {
+    events as f64 / d.as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_4.json".to_string();
+    let mut iters: u64 = 100_000; // 12 events/iter ⇒ 1.2M-event trace
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--iters" {
+            iters = it.next().and_then(|v| v.parse().ok()).expect("--iters N");
+        } else {
+            out_path = a.clone();
+        }
+    }
+    let cfg = WorkloadConfig { threads: 4, iters, seed: 42, variant: Variant::Broken };
+    let w = by_name("histogram").unwrap();
+
+    // Record through the tap with detection off, exactly like
+    // `predator record`, into a temp file beside the output.
+    let trace_path = std::env::temp_dir().join(format!("bench-trace-{}.ptrace", std::process::id()));
+    let mut det = DetectorConfig::sensitive();
+    det.enabled = false;
+    let session = Session::with_config(det);
+    let file = std::fs::File::create(&trace_path).expect("create trace");
+    let sink = Arc::new(
+        TraceSink::create(
+            std::io::BufWriter::new(file),
+            session.space().base(),
+            session.space().size(),
+        )
+        .expect("start trace"),
+    );
+    session.runtime().install_tap(sink.clone()).unwrap();
+    let t = Instant::now();
+    w.run_tracked(&session, &cfg);
+    let meta = TraceMeta::capture(session.runtime(), session.heap());
+    let summary = sink.finish(&meta).expect("seal trace");
+    let record_wall = t.elapsed();
+    let (base, size) = (session.space().base(), session.space().size());
+    drop(session);
+
+    // Size: the identical event stream in both encodings.
+    let t = Instant::now();
+    let events: Vec<Access> = {
+        let f = std::fs::File::open(&trace_path).expect("reopen trace");
+        TraceReader::new(BufReader::new(f)).expect("trace header").collect()
+    };
+    let ptrace_decode = t.elapsed();
+    assert_eq!(events.len() as u64, summary.events, "lossless decode");
+    let mut jsonl = Vec::new();
+    save_jsonl(&events, &mut jsonl).expect("encode jsonl");
+    let t = Instant::now();
+    let back: Vec<Access> =
+        JsonlIter::new(std::io::Cursor::new(&jsonl)).map(|r| r.unwrap()).collect();
+    let jsonl_decode = t.elapsed();
+    assert_eq!(back.len(), events.len());
+    std::fs::remove_file(&trace_path).ok();
+
+    // Sharded offline analysis, 1 vs 4 shards. Histogram's sharing lives in
+    // one tiny argument array — a single cluster, which cannot shard — so
+    // the speedup is measured on a synthetic trace with 8 independent
+    // false-sharing clusters, matching the tier-1 integration test.
+    let per_region = (iters * 12 / 8).max(150_000); // match the recorded trace's event count
+    let synth = multi_cluster_trace(8, per_region, base);
+    let det = DetectorConfig::sensitive();
+    let run = |shards: usize| {
+        let t = Instant::now();
+        let out = analyze_events(&synth, base, size, None, &AnalyzeConfig::new(det, shards));
+        (t.elapsed(), out)
+    };
+    let (t1, out1) = run(1);
+    let (t4, out4) = run(4);
+    let identical = report_essence(&out1.report) == report_essence(&out4.report);
+
+    let report = TraceBench {
+        schema: "predator-trace-bench/1",
+        workload: "histogram",
+        threads: cfg.threads,
+        iters,
+        record: RecordStats {
+            wall_ms: ms(record_wall),
+            events: summary.events,
+            events_per_s: per_s(summary.events, record_wall),
+            ptrace_bytes: summary.bytes,
+            bytes_per_event: summary.bytes as f64 / summary.events.max(1) as f64,
+        },
+        size: SizeStats {
+            jsonl_bytes: jsonl.len() as u64,
+            size_ratio: jsonl.len() as f64 / summary.bytes.max(1) as f64,
+        },
+        decode: DecodeStats {
+            ptrace_events_per_s: per_s(summary.events, ptrace_decode),
+            jsonl_events_per_s: per_s(summary.events, jsonl_decode),
+        },
+        analyze: AnalyzeStats {
+            trace: "synthetic-8-cluster-pingpong",
+            events: out4.events,
+            clusters: out4.clusters,
+            cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            shards1_ms: ms(t1),
+            shards4_ms: ms(t4),
+            speedup: t1.as_secs_f64() / t4.as_secs_f64().max(1e-9),
+            events_per_s_shards4: per_s(out4.events, t4),
+            findings: out4.report.findings.len(),
+            reports_identical: identical,
+        },
+    };
+
+    println!("TRACE BENCH — histogram, {} threads x {} iters", cfg.threads, iters);
+    println!(
+        "  record:   {} events in {:.1} ms ({:.1} Mevents/s), {:.2} bytes/event",
+        report.record.events,
+        report.record.wall_ms,
+        report.record.events_per_s / 1e6,
+        report.record.bytes_per_event
+    );
+    println!(
+        "  size:     .ptrace {} B vs JSONL {} B — {:.1}x smaller",
+        report.record.ptrace_bytes, report.size.jsonl_bytes, report.size.size_ratio
+    );
+    println!(
+        "  decode:   .ptrace {:.1} Mevents/s vs JSONL {:.1} Mevents/s",
+        report.decode.ptrace_events_per_s / 1e6,
+        report.decode.jsonl_events_per_s / 1e6
+    );
+    println!(
+        "  analyze:  {} ({} events, {} clusters, {} core(s)): 1 shard {:.1} ms, 4 shards {:.1} ms — {:.2}x speedup, {} finding(s), identical: {}",
+        report.analyze.trace,
+        report.analyze.events,
+        report.analyze.clusters,
+        report.analyze.cores,
+        report.analyze.shards1_ms,
+        report.analyze.shards4_ms,
+        report.analyze.speedup,
+        report.analyze.findings,
+        report.analyze.reports_identical
+    );
+    assert!(report.analyze.reports_identical, "shard count must not change the report");
+    if report.analyze.cores < 4 {
+        println!(
+            "  note:     {} core(s) visible — shard workers time-slice the CPU, so speedup < 1 is expected here",
+            report.analyze.cores
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("wrote {out_path}");
+}
+
+/// Two threads ping-pong on adjacent words in several well-separated
+/// regions — independent false-sharing clusters the shard planner can
+/// split, mirroring the tier-1 integration test's speedup workload.
+fn multi_cluster_trace(regions: u64, per_region: u64, base: u64) -> Vec<Access> {
+    let mut out = Vec::with_capacity((regions * per_region) as usize);
+    for i in 0..per_region {
+        for r in 0..regions {
+            let rbase = base + r * 0x10000;
+            out.push(Access::write(ThreadId((i % 2) as u16), rbase + (i % 2) * 8, 8));
+        }
+    }
+    out
+}
+
+/// Findings + stats only (the `obs` section is process-global telemetry).
+fn report_essence(r: &predator_core::Report) -> String {
+    format!(
+        "{}\n{}",
+        serde_json::to_string(&r.findings).unwrap(),
+        serde_json::to_string(&r.stats).unwrap()
+    )
+}

@@ -11,18 +11,23 @@
 //! ```
 
 use std::io::BufReader;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use predator_core::{
-    build_report, diff_reports, suggest_fixes, DetectorConfig, ObsSnapshot, Predator, Report,
-    SiteKind, TimelineOp, TimelineRecord,
+    build_report, build_report_merged, diff_reports, suggest_fixes, Attribution, DetectorConfig,
+    ObsSnapshot, Predator, Report, Session, SiteKind, TimelineOp, TimelineRecord,
 };
 use predator_instrument::{
-    instrument_module, load_jsonl, parse_module, replay, InstrumentOptions, Machine,
-    StepSchedule, ThreadSpec,
+    instrument_module, parse_module, InstrumentOptions, Machine, StepSchedule, ThreadSpec,
 };
 use predator_shadow::SimSpace;
 use predator_sim::ThreadId;
+use predator_trace::{
+    analyze_file, read_info, sniff_format, AnalyzeConfig, JsonlIter, LossStats, TraceFormat,
+    TraceMeta, TraceReader, TraceSink,
+};
 use predator_workloads::{all, by_name, run_and_report, Variant, WorkloadConfig};
 
 const USAGE: &str = "\
@@ -47,10 +52,36 @@ USAGE:
         Run the uninstrumented native workload and print wall time.
         (same --fixed/--threads/--iters/--seed options)
 
-    predator replay <trace.jsonl> [OPTIONS]
-        Replay a JSON-lines access trace into the detector.
-        --base <HEX>        space base address          [default: 0x40000000]
-        --size <N>          space size in bytes         [default: 64 MiB]
+    predator record <workload> -o <trace.ptrace> [OPTIONS]
+        Run a workload with detection off, streaming the raw pre-filter
+        access trace to a compact binary .ptrace file (attribution
+        metadata — globals, live heap objects, callsites — rides along).
+        (same --fixed/--threads/--iters/--seed options as `run`)
+
+    predator analyze <trace> [OPTIONS]
+        Sharded offline analysis of a recorded trace (.ptrace or JSONL,
+        auto-detected). Cache-line clusters are partitioned across worker
+        shards, each runs an independent detector, and the merged report is
+        identical to a sequential replay's.
+        --shards <N>        worker shards               [default: CPU count]
+        --base <HEX> / --size <N>  address range for JSONL traces
+                            (.ptrace headers carry their own)
+        --sensitive / --no-prediction / --sampling / --json as above
+
+    predator trace info <trace.ptrace>
+        Summarise a trace file: header, event/chunk counts, attribution
+        metadata, corruption accounting. O(1) via the footer index when the
+        file is intact; falls back to a full scan when damaged.
+
+    predator trace cat <trace> [OPTIONS]
+        Decode a trace (.ptrace or JSONL) to JSON lines on stdout.
+        --limit <N>         stop after N events
+
+    predator replay <trace> [OPTIONS]
+        Stream an access trace (.ptrace or JSONL, auto-detected) through a
+        single sequential detector.
+        --base <HEX>        JSONL space base address    [default: 0x40000000]
+        --size <N>          JSONL space size in bytes   [default: 64 MiB]
         --sensitive / --no-prediction / --json as above
 
     predator ir <program.pir> [OPTIONS]
@@ -141,6 +172,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         "--profile-period",
         "--top",
         "--out",
+        "--shards",
+        "--limit",
     ];
     let mut args =
         Args { positional: Vec::new(), flags: Vec::new(), options: Default::default() };
@@ -149,6 +182,10 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         if VALUED.contains(&a.as_str()) {
             let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
             args.options.insert(a.clone(), v.clone());
+        } else if a == "-o" {
+            // `record`'s short output flag, aliased onto --out.
+            let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
+            args.options.insert("--out".to_string(), v.clone());
         } else if a.starts_with("--") {
             args.flags.push(a.clone());
         } else {
@@ -383,24 +420,252 @@ fn cmd_native(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_replay(args: &Args) -> Result<(), String> {
-    let path = args.positional.get(1).ok_or("replay: missing trace path")?;
-    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let events = load_jsonl(BufReader::new(file)).map_err(|e| format!("bad trace: {e}"))?;
+/// The `--base`/`--size` fallback range for JSONL traces (which, unlike
+/// `.ptrace`, carry no header naming the space they cover).
+fn jsonl_range(args: &Args) -> Result<(u64, u64), String> {
     let base = u64::from_str_radix(
         args.options.get("--base").map(|s| s.trim_start_matches("0x")).unwrap_or("40000000"),
         16,
     )
     .map_err(|e| format!("bad --base: {e}"))?;
     let size: u64 = num(args, "--size", 64 << 20)?;
+    Ok((base, size))
+}
+
+fn warn_loss(path: &str, loss: &LossStats) {
+    if loss.any() {
+        eprintln!(
+            "warning: {path} is damaged: {} chunk(s) skipped, {} record(s) lost, \
+             {} byte(s) skipped{}",
+            loss.chunks_skipped,
+            loss.records_lost,
+            loss.bytes_skipped,
+            if loss.truncated { ", file truncated" } else { "" }
+        );
+    }
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("replay: missing trace path")?;
     let det = detector_config(args)?;
-    let rt = Predator::new(det, base, size);
-    replay(&events, &rt);
-    let report = build_report(&rt, None);
+    // Both branches stream: one event in flight, never the whole trace.
+    let (report, events) = match sniff_format(Path::new(path))? {
+        TraceFormat::Ptrace => {
+            let file =
+                std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let mut r = TraceReader::new(BufReader::new(file))
+                .map_err(|e| format!("{path}: {e}"))?;
+            let rt = Predator::new(det, r.base(), r.size());
+            let mut n = 0u64;
+            for a in &mut r {
+                rt.handle_access(a.tid, a.addr, a.size, a.kind);
+                n += 1;
+            }
+            warn_loss(path, &r.stats());
+            let report = match r.take_meta() {
+                Some(meta) => {
+                    meta.apply_globals(&rt);
+                    let dir = meta.directory();
+                    build_report_merged(&[&rt], Attribution::Directory(&dir))
+                }
+                None => build_report(&rt, None),
+            };
+            (report, n)
+        }
+        TraceFormat::Jsonl => {
+            let (base, size) = jsonl_range(args)?;
+            let file =
+                std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let rt = Predator::new(det, base, size);
+            let mut n = 0u64;
+            for a in JsonlIter::new(BufReader::new(file)) {
+                let a = a.map_err(|e| format!("bad trace: {e}"))?;
+                rt.handle_access(a.tid, a.addr, a.size, a.kind);
+                n += 1;
+            }
+            (build_report(&rt, None), n)
+        }
+    };
     if !args.flags.iter().any(|f| f == "--json") {
-        println!("replayed {} events", events.len());
+        println!("replayed {events} events");
     }
     emit_report(args, &det, &report);
+    Ok(())
+}
+
+fn cmd_record(args: &Args) -> Result<(), String> {
+    let name = args.positional.get(1).ok_or("record: missing workload name")?;
+    let w = by_name(name).ok_or_else(|| format!("unknown workload `{name}` (try `list`)"))?;
+    let out = args
+        .options
+        .get("--out")
+        .ok_or("record: missing output path (-o <trace.ptrace>)")?;
+    let cfg = workload_config(args)?;
+    // Detection off, tap on: the file gets the raw pre-filter access
+    // stream, so offline analysis can apply *any* detector configuration.
+    let mut det = detector_config(args)?;
+    det.enabled = false;
+    let session = Session::with_config(det);
+    let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let sink = Arc::new(
+        TraceSink::create(
+            std::io::BufWriter::new(file),
+            session.space().base(),
+            session.space().size(),
+        )
+        .map_err(|e| format!("cannot start {out}: {e}"))?,
+    );
+    session.runtime().install_tap(sink.clone())?;
+    {
+        let _span = predator_obs::span("interpret");
+        w.run_tracked(&session, &cfg);
+    }
+    let meta = TraceMeta::capture(session.runtime(), session.heap());
+    let summary = sink.finish(&meta).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "recorded {} events in {} chunks to {out} ({} bytes, {:.2} bytes/event)",
+        summary.events,
+        summary.chunks,
+        summary.bytes,
+        summary.bytes as f64 / summary.events.max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("analyze: missing trace path")?;
+    let det = detector_config(args)?;
+    let default_shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let shards: usize = num(args, "--shards", default_shards)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let (base, size) = jsonl_range(args)?;
+    let cfg = AnalyzeConfig::new(det, shards);
+    let out = analyze_file(Path::new(path), &cfg, base, size)?;
+    warn_loss(path, &out.loss);
+    if !args.flags.iter().any(|f| f == "--json") {
+        println!(
+            "analyzed {} events on {} of {} shard(s), {} line cluster(s){}",
+            out.events,
+            out.shards_used,
+            shards,
+            out.clusters,
+            if out.meta_applied { ", attribution metadata applied" } else { "" }
+        );
+    }
+    emit_report(args, &det, &out.report);
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let sub =
+        args.positional.get(1).map(String::as_str).ok_or("trace: missing subcommand (info|cat)")?;
+    let path = args.positional.get(2).ok_or_else(|| format!("trace {sub}: missing trace path"))?;
+    match sub {
+        "info" => cmd_trace_info(path),
+        "cat" => cmd_trace_cat(args, path),
+        other => Err(format!("unknown trace subcommand `{other}` (info|cat)")),
+    }
+}
+
+fn cmd_trace_info(path: &str) -> Result<(), String> {
+    if sniff_format(Path::new(path))? != TraceFormat::Ptrace {
+        return Err(format!(
+            "{path}: not a .ptrace file (JSONL traces have no header; use `trace cat` or `wc -l`)"
+        ));
+    }
+    let info = read_info(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: .ptrace v{}", info.header.version);
+    println!(
+        "  range:   {:#x} .. {:#x} ({} bytes)",
+        info.header.base,
+        info.header.base + info.header.size,
+        info.header.size
+    );
+    println!(
+        "  events:  {} in {} event chunk(s) ({} chunk(s) total)",
+        info.events, info.event_chunks, info.total_chunks
+    );
+    println!(
+        "  size:    {} bytes ({:.2} bytes/event)",
+        info.file_bytes,
+        info.file_bytes as f64 / info.events.max(1) as f64
+    );
+    println!(
+        "  footer:  {}",
+        match (info.has_footer, info.via_index) {
+            (true, true) => "intact (summarised via index, no scan)",
+            (true, false) => "intact (index unusable, full scan)",
+            (false, _) => "missing (file truncated; full scan)",
+        }
+    );
+    match &info.meta {
+        Some(m) => println!(
+            "  meta:    {} global(s), {} heap object(s), {} app bytes live",
+            m.globals.len(),
+            m.objects.len(),
+            m.app_live_bytes
+        ),
+        None => println!("  meta:    absent"),
+    }
+    if info.loss.any() {
+        println!(
+            "  loss:    {} chunk(s) skipped, {} record(s) lost, {} byte(s) skipped{}",
+            info.loss.chunks_skipped,
+            info.loss.records_lost,
+            info.loss.bytes_skipped,
+            if info.loss.truncated { ", truncated" } else { "" }
+        );
+    } else {
+        println!("  loss:    none");
+    }
+    Ok(())
+}
+
+fn cmd_trace_cat(args: &Args, path: &str) -> Result<(), String> {
+    use std::io::Write as _;
+    let limit: u64 = num(args, "--limit", u64::MAX)?;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut emit = |a: &predator_sim::Access, n: u64| -> Result<bool, String> {
+        if n >= limit {
+            return Ok(false);
+        }
+        serde_json::to_writer(&mut out, a).map_err(|e| e.to_string())?;
+        out.write_all(b"\n").map_err(|e| e.to_string())?;
+        Ok(true)
+    };
+    let mut n = 0u64;
+    match sniff_format(Path::new(path))? {
+        TraceFormat::Ptrace => {
+            let file =
+                std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let mut r = TraceReader::new(BufReader::new(file))
+                .map_err(|e| format!("{path}: {e}"))?;
+            for a in &mut r {
+                if !emit(&a, n)? {
+                    break;
+                }
+                n += 1;
+            }
+            if n < limit {
+                warn_loss(path, &r.stats());
+            }
+        }
+        TraceFormat::Jsonl => {
+            let file =
+                std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            for a in JsonlIter::new(BufReader::new(file)) {
+                let a = a.map_err(|e| format!("bad trace: {e}"))?;
+                if !emit(&a, n)? {
+                    break;
+                }
+                n += 1;
+            }
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -774,6 +1039,9 @@ fn main() -> ExitCode {
             }
             Some("run") => cmd_run(&args).map(|()| ExitCode::SUCCESS),
             Some("native") => cmd_native(&args).map(|()| ExitCode::SUCCESS),
+            Some("record") => cmd_record(&args).map(|()| ExitCode::SUCCESS),
+            Some("analyze") => cmd_analyze(&args).map(|()| ExitCode::SUCCESS),
+            Some("trace") => cmd_trace(&args).map(|()| ExitCode::SUCCESS),
             Some("replay") => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
             Some("ir") => cmd_ir(&args).map(|()| ExitCode::SUCCESS),
             Some("profile") => cmd_profile(&args).map(|()| ExitCode::SUCCESS),

@@ -66,8 +66,9 @@ pub use diff::{diff_reports, FindingId, ReportDiff};
 pub use fixes::{suggest_fixes, FixSuggestion};
 pub use predict::{HotPair, PredictionUnit, UnitKind, UnitSnapshot};
 pub use report::{
-    build_report, Finding, FindingKind, InvalidationTrace, ObjectReport, Report, SiteKind,
-    TimelineOp, TimelineRecord, WordReport,
+    build_report, build_report_merged, Attribution, Finding, FindingKind, InvalidationTrace,
+    ObjectDirectory, ObjectReport, RecordedObject, Report, SiteKind, TimelineOp, TimelineRecord,
+    WordReport,
 };
 pub use runtime::{GlobalInfo, Predator};
 pub use stats::{ObsSnapshot, RunStats};

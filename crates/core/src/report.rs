@@ -384,19 +384,118 @@ enum GroupKey {
     Line(u64),
 }
 
+/// One heap object as captured at trace-recording time: enough to rebuild
+/// the exact `SiteKind::Heap` attribution (callsite stack + owning thread)
+/// of a live run during offline analysis, when no [`TrackedHeap`] exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedObject {
+    /// First byte address.
+    pub start: u64,
+    /// Requested size in bytes.
+    pub size: u64,
+    /// Allocating thread.
+    pub owner: ThreadId,
+    /// Allocation call stack.
+    pub callsite: Callsite,
+}
+
+/// An address-ordered directory of [`RecordedObject`]s — the offline stand-in
+/// for a live [`TrackedHeap`] when attributing findings from a trace.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectDirectory {
+    objects: BTreeMap<u64, RecordedObject>,
+    live_bytes: u64,
+}
+
+impl ObjectDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) an object keyed by its start address.
+    pub fn insert(&mut self, obj: RecordedObject) {
+        self.objects.insert(obj.start, obj);
+    }
+
+    /// Object containing `addr`, if any.
+    pub fn object_at(&self, addr: u64) -> Option<&RecordedObject> {
+        let (_, obj) = self.objects.range(..=addr).next_back()?;
+        (addr < obj.start + obj.size).then_some(obj)
+    }
+
+    /// Application live bytes at capture time (reported in [`RunStats`]).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Sets the captured live-byte figure.
+    pub fn set_live_bytes(&mut self, bytes: u64) {
+        self.live_bytes = bytes;
+    }
+
+    /// Number of recorded objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+/// Where object-level attribution comes from when building a report.
+#[derive(Clone, Copy)]
+pub enum Attribution<'a> {
+    /// No object attribution: unmatched addresses fall back to their line.
+    None,
+    /// The run's own live heap (the `Session` path).
+    Heap(&'a TrackedHeap),
+    /// A directory captured at trace-recording time (the offline path).
+    Directory(&'a ObjectDirectory),
+}
+
 /// Builds the ranked report from the runtime's current state.
 ///
 /// `heap` enables heap-object attribution and live-byte statistics; pass
 /// `None` for trace-replay sessions without a managed heap.
 pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
+    build_report_merged(&[rt], heap.map_or(Attribution::None, Attribution::Heap))
+}
+
+/// Builds one ranked report from *several* detector runtimes — the merge
+/// step of sharded offline analysis.
+///
+/// The caller must guarantee the runtimes share one configuration and
+/// shadow layout, and that every access event was delivered to exactly one
+/// of them, with the touched-line partition keeping any two lines within
+/// `2 * analysis_radius` of each other in the same runtime. Under that
+/// invariant each runtime's tracked lines and prediction units are disjoint
+/// from every other's, so chaining their snapshots through the single
+/// grouping pass below reproduces exactly the report a lone runtime fed the
+/// full stream would produce (snapshots are re-sorted into global line/key
+/// order first, making aggregation order — and therefore word lists and
+/// stable-sorted findings — identical).
+pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
     let detect_span = predator_obs::span("detect");
-    let cfg = *rt.config();
+    let rt0 = rts.first().expect("build_report_merged needs at least one runtime");
+    let cfg = *rt0.config();
     let geom = cfg.geometry;
+
+    let heap = match attr {
+        Attribution::Heap(h) => Some(h),
+        _ => None,
+    };
+    let directory = match attr {
+        Attribution::Directory(d) => Some(d),
+        _ => None,
+    };
 
     let attribute = |addr: u64| -> (GroupKey, ObjectReport) {
         // Explicitly registered globals take precedence: `Session::global`
         // backs globals with heap storage, but they must be reported by name.
-        if let Some(g) = rt.global_at(addr) {
+        if let Some(g) = rt0.global_at(addr) {
             return (
                 GroupKey::Global(g.name.clone()),
                 ObjectReport {
@@ -433,6 +532,17 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
                 },
             );
         }
+        if let Some(obj) = directory.and_then(|d| d.object_at(addr)) {
+            return (
+                GroupKey::Heap(obj.start),
+                ObjectReport {
+                    start: obj.start,
+                    end: obj.start + obj.size,
+                    size: obj.size,
+                    site: SiteKind::Heap { callsite: obj.callsite.clone(), owner: obj.owner },
+                },
+            );
+        }
         let line = geom.line_index(addr);
         (
             GroupKey::Line(line),
@@ -448,7 +558,7 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
     // Source attribution for flight-recorder traces — same precedence as
     // `attribute` but label-only, and without re-emitting callsite events.
     let site_of = |addr: u64| -> String {
-        if let Some(g) = rt.global_at(addr) {
+        if let Some(g) = rt0.global_at(addr) {
             return g.name;
         }
         if let Some(obj) = heap.and_then(|h| h.object_at(addr)) {
@@ -457,6 +567,12 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
                 .and_then(|cs| cs.frames.first().map(|f| f.to_string()))
             {
                 return frame;
+            }
+            return format!("{:#x}", obj.start);
+        }
+        if let Some(obj) = directory.and_then(|d| d.object_at(addr)) {
+            if let Some(frame) = obj.callsite.frames.first() {
+                return frame.to_string();
             }
             return format!("{:#x}", obj.start);
         }
@@ -535,7 +651,14 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
     }
     let mut observed: BTreeMap<GroupKey, ObsAgg> = BTreeMap::new();
 
-    for (_, snap) in rt.tracked_snapshots() {
+    // Chain snapshots from every runtime, restoring global dense-index
+    // order (shards own disjoint line sets, so this is a strict merge —
+    // and it makes per-group aggregation order shard-count independent).
+    let mut tracked: Vec<(usize, crate::track::TrackSnapshot)> =
+        rts.iter().flat_map(|rt| rt.tracked_snapshots()).collect();
+    tracked.sort_by_key(|(idx, _)| *idx);
+
+    for (_, snap) in tracked {
         if snap.invalidations < cfg.report_threshold {
             continue;
         }
@@ -621,7 +744,9 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
     let mut scaled: BTreeMap<(GroupKey, u32), PredAgg> = BTreeMap::new();
     let mut remap: BTreeMap<(GroupKey, u64), PredAgg> = BTreeMap::new();
 
-    let unit_snaps = rt.unit_snapshots();
+    let mut unit_snaps: Vec<crate::predict::UnitSnapshot> =
+        rts.iter().flat_map(|rt| rt.unit_snapshots()).collect();
+    unit_snaps.sort_by_key(|s| s.key);
     for unit in &unit_snaps {
         if unit.invalidations < cfg.report_threshold {
             continue;
@@ -732,13 +857,21 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
     findings.sort_by_key(|f| std::cmp::Reverse(f.invalidations));
 
     let stats = RunStats {
-        events: rt.events(),
-        observed_invalidations: rt.total_invalidations(),
-        tracked_lines: rt.tracked_lines(),
-        total_lines: rt.layout().lines(),
+        events: rts.iter().map(|rt| rt.events()).sum(),
+        observed_invalidations: rts.iter().map(|rt| rt.total_invalidations()).sum(),
+        tracked_lines: rts.iter().map(|rt| rt.tracked_lines()).sum(),
+        total_lines: rt0.layout().lines(),
         prediction_units: unit_snaps.len(),
-        metadata_bytes: rt.metadata_bytes(),
-        app_live_bytes: heap.map(|h| h.live_bytes()).unwrap_or(0),
+        // The fixed shadow arrays are per-layout and identical across
+        // shards: count them once, then add every shard's dynamic metadata.
+        metadata_bytes: rt0.metadata_fixed_bytes()
+            + rts.iter().map(|rt| rt.metadata_dynamic_bytes()).sum::<usize>()
+            + rts[1..].iter().map(|rt| rt.metadata_published_bytes()).sum::<usize>(),
+        app_live_bytes: match attr {
+            Attribution::Heap(h) => h.live_bytes(),
+            Attribution::Directory(d) => d.live_bytes(),
+            Attribution::None => 0,
+        },
     };
 
     // Settle each prediction unit's fate now that the run is over: verified

@@ -19,12 +19,12 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use serde::{Deserialize, Serialize};
 
 use predator_shadow::{LineCounters, ShadowLayout, SimSpace, TrackSlots};
-use predator_sim::{AccessKind, ThreadId};
+use predator_sim::{AccessKind, AccessSink, ThreadId};
 
 use crate::config::DetectorConfig;
 use crate::predict::{candidate_units, find_hot_pairs, PredictionUnit, UnitRegistry, UnitSnapshot};
@@ -68,6 +68,12 @@ pub struct Predator {
     /// seqlock-free RwLock: reads are the common case.
     ignored: RwLock<Vec<(u64, u64)>>,
     events: AtomicU64,
+    /// Optional event tap, consulted *before* every filter (including the
+    /// master `enabled` switch): `predator record` installs a trace writer
+    /// here and runs the workload with detection off, capturing the raw
+    /// pre-filter stream so offline analysis can apply any configuration.
+    /// One relaxed-ordering load when unset — negligible on the hot path.
+    tap: OnceLock<Arc<dyn AccessSink + Send + Sync>>,
 }
 
 impl Predator {
@@ -83,6 +89,7 @@ impl Predator {
             globals: Mutex::new(BTreeMap::new()),
             ignored: RwLock::new(Vec::new()),
             events: AtomicU64::new(0),
+            tap: OnceLock::new(),
             layout,
         }
     }
@@ -139,9 +146,19 @@ impl Predator {
         i > 0 && addr < ranges[i - 1].1
     }
 
+    /// Installs an event tap that sees every `handle_access` call before any
+    /// filtering (read suppression, blacklist, the `enabled` switch). At most
+    /// one tap per runtime; returns `Err` if one is already installed.
+    pub fn install_tap(&self, tap: Arc<dyn AccessSink + Send + Sync>) -> Result<(), String> {
+        self.tap.set(tap).map_err(|_| "a tap is already installed".to_string())
+    }
+
     /// The instrumentation entry point (Figure 1's `HandleAccess`).
     #[inline]
     pub fn handle_access(&self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind) {
+        if let Some(tap) = self.tap.get() {
+            tap.access(tid, addr, size, kind);
+        }
         if !self.cfg.enabled {
             return;
         }
@@ -395,6 +412,22 @@ impl Predator {
             .map(|(_, t)| t.metadata_bytes(geom))
             .sum();
         per_track + self.units.lock().unwrap().len() * std::mem::size_of::<PredictionUnit>()
+    }
+
+    /// Published track boxes alone — the slice of
+    /// [`metadata_fixed_bytes`](Self::metadata_fixed_bytes) that actually
+    /// grows per tracked line. Merged reports sum this across shard
+    /// runtimes (whose tracked lines are disjoint) so that
+    /// `RunStats::metadata_bytes` matches a sequential run exactly.
+    pub fn metadata_published_bytes(&self) -> usize {
+        self.tracks.published_bytes()
+    }
+}
+
+impl AccessSink for Predator {
+    #[inline]
+    fn access(&self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind) {
+        self.handle_access(tid, addr, size, kind);
     }
 }
 
@@ -695,6 +728,26 @@ mod tests {
         let base_bytes = rt.metadata_bytes();
         hammer_pingpong(&rt, BASE, 100);
         assert!(rt.metadata_bytes() > base_bytes);
+    }
+
+    #[test]
+    fn tap_sees_events_even_when_disabled() {
+        struct Counting(AtomicU64);
+        impl AccessSink for Counting {
+            fn access(&self, _: ThreadId, _: u64, _: u8, _: AccessKind) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut cfg = DetectorConfig::sensitive();
+        cfg.enabled = false;
+        let rt = Predator::new(cfg, BASE, 1 << 20);
+        let tap = Arc::new(Counting(AtomicU64::new(0)));
+        rt.install_tap(tap.clone()).unwrap();
+        assert!(rt.install_tap(tap.clone()).is_err(), "second tap rejected");
+        hammer_pingpong(&rt, BASE, 100);
+        rt.handle_access(ThreadId(0), BASE, 8, Read);
+        assert_eq!(tap.0.load(Ordering::Relaxed), 101, "tap sees the pre-filter stream");
+        assert_eq!(rt.events(), 0, "detector itself stays off");
     }
 
     #[test]

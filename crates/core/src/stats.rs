@@ -154,8 +154,17 @@ impl From<predator_obs::Snapshot> for ObsSnapshot {
 /// Canonical pipeline order for the PHASES table. Span histograms arrive
 /// from the registry alphabetically; the table instead reads top-to-bottom
 /// in execution order, with phases outside the pipeline appended after.
-const PHASE_PIPELINE: [&str; 6] =
-    ["parse", "instrument", "interpret", "detect", "predict", "report"];
+const PHASE_PIPELINE: [&str; 9] = [
+    "parse",
+    "instrument",
+    "interpret",
+    "trace_scan",
+    "shard_dispatch",
+    "shard_analyze",
+    "detect",
+    "predict",
+    "report",
+];
 
 fn phase_rank(phase: &str) -> usize {
     PHASE_PIPELINE.iter().position(|p| *p == phase).unwrap_or(PHASE_PIPELINE.len())

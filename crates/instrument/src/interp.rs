@@ -10,34 +10,15 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use predator_core::Predator;
 use predator_shadow::SimSpace;
-use predator_sim::{AccessKind, ThreadId};
+use predator_sim::ThreadId;
 
 use crate::ir::{BinOp, Function, Inst, Module, Operand};
 
-/// Receives instrumentation events. Implemented by the detector runtime, the
-/// trace recorder, and [`NullSink`] (for overhead baselines).
-pub trait AccessSink: Sync {
-    /// One memory access notification.
-    fn access(&self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind);
-}
-
-/// Discards all events (uninstrumented-run baseline).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct NullSink;
-
-impl AccessSink for NullSink {
-    #[inline]
-    fn access(&self, _: ThreadId, _: u64, _: u8, _: AccessKind) {}
-}
-
-impl AccessSink for Predator {
-    #[inline]
-    fn access(&self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind) {
-        self.handle_access(tid, addr, size, kind);
-    }
-}
+// The sink interface lives with the event vocabulary in `predator-sim`
+// (the detector runtime implements it in `predator-core`); re-exported here
+// so existing `predator_instrument::interp::AccessSink` paths keep working.
+pub use predator_sim::{AccessSink, NullSink};
 
 /// How threads are interleaved, one instruction at a time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -427,7 +408,7 @@ mod tests {
     use crate::ir::FunctionBuilder;
     use crate::pass::{instrument_module, InstrumentOptions};
     use crate::trace::TraceRecorder;
-    use predator_core::DetectorConfig;
+    use predator_core::{DetectorConfig, Predator};
     use predator_sim::Access;
 
     /// `fn sum_to(n) -> 0+1+…+(n-1)` — pure compute, no memory.

@@ -1,40 +1,80 @@
 //! Access-trace recording and replay.
 //!
-//! Decouples event collection from analysis: record a run once (to memory or
-//! a JSON-lines file), replay it into differently-configured detectors —
-//! e.g. to compare sampling rates (Figure 10) or prediction on/off
-//! (Figure 7) on *identical* access streams, something the paper's live-only
-//! runtime cannot do.
+//! Decouples event collection from analysis: record a run once (to memory,
+//! a JSON-lines file, or a binary `.ptrace` file via [`predator_trace`]),
+//! replay it into differently-configured detectors — e.g. to compare
+//! sampling rates (Figure 10) or prediction on/off (Figure 7) on
+//! *identical* access streams, something the paper's live-only runtime
+//! cannot do.
+//!
+//! [`TraceRecorder`] buffers events in thread-local segments
+//! ([`predator_trace::SegmentedSink`]) instead of taking one global mutex
+//! per event, so recording threads no longer contend on the hot path. The
+//! trade: cross-thread event order is now segment-granular — each thread's
+//! events stay in issue order, but two threads' events interleave only
+//! where their segments happened to flush. The per-line detector state
+//! never depends on cross-thread order, so replay results are unaffected;
+//! tests asserting global interleavings would be (none do — the
+//! concurrency test asserts counts).
 
-use std::io::{BufRead, Write};
-
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use predator_core::Predator;
 use predator_sim::{Access, AccessKind, ThreadId};
+use predator_trace::{BatchSink, SegmentedSink};
+
+// JSONL codecs live in `predator-trace` now; re-exported here so existing
+// `predator_instrument::{load_jsonl, save_jsonl}` paths keep working.
+pub use predator_trace::{load_jsonl, save_jsonl, JsonlIter};
 
 use crate::interp::AccessSink;
 
-/// An [`AccessSink`] that appends every event to an in-memory trace.
-#[derive(Debug, Default)]
+/// Append-only store the segments drain into; one lock per *segment*, not
+/// per event.
+struct StoreBatch(Arc<Mutex<Vec<Access>>>);
+
+impl BatchSink for StoreBatch {
+    fn batch(&self, events: &mut Vec<Access>) {
+        self.0.lock().unwrap().append(events);
+    }
+}
+
+/// An [`AccessSink`] that appends every event to an in-memory trace,
+/// buffered through thread-local segments.
+///
+/// Readers ([`events`](Self::events), [`len`](Self::len),
+/// [`into_events`](Self::into_events)) drain every thread's segment first,
+/// so anything recorded before the call is visible — no explicit flush
+/// needed. See the module docs for the cross-thread ordering caveat.
 pub struct TraceRecorder {
-    events: Mutex<Vec<Access>>,
+    store: Arc<Mutex<Vec<Access>>>,
+    seg: SegmentedSink,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TraceRecorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
-        Self::default()
+        let store = Arc::new(Mutex::new(Vec::new()));
+        let seg = SegmentedSink::new(Box::new(StoreBatch(store.clone())));
+        TraceRecorder { store, seg }
     }
 
-    /// A copy of the recorded events, in arrival order.
+    /// A copy of the recorded events (all threads' segments drained first).
     pub fn events(&self) -> Vec<Access> {
-        self.events.lock().unwrap().clone()
+        self.seg.flush_all();
+        self.store.lock().unwrap().clone()
     }
 
-    /// Number of recorded events.
+    /// Number of recorded events (all threads' segments drained first).
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        self.seg.flush_all();
+        self.store.lock().unwrap().len()
     }
 
     /// True when nothing has been recorded.
@@ -44,36 +84,20 @@ impl TraceRecorder {
 
     /// Consumes the recorder, returning the trace.
     pub fn into_events(self) -> Vec<Access> {
-        self.events.into_inner().unwrap()
+        self.seg.flush_all();
+        drop(self.seg); // releases the sink's clone of the store
+        match Arc::try_unwrap(self.store) {
+            Ok(m) => m.into_inner().unwrap(),
+            Err(arc) => arc.lock().unwrap().clone(),
+        }
     }
 }
 
 impl AccessSink for TraceRecorder {
+    #[inline]
     fn access(&self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind) {
-        self.events.lock().unwrap().push(Access { tid, addr, size, kind });
+        self.seg.access(tid, addr, size, kind);
     }
-}
-
-/// Writes a trace as JSON lines (one [`Access`] per line).
-pub fn save_jsonl<W: Write>(events: &[Access], mut w: W) -> std::io::Result<()> {
-    for e in events {
-        serde_json::to_writer(&mut w, e)?;
-        w.write_all(b"\n")?;
-    }
-    Ok(())
-}
-
-/// Reads a JSON-lines trace; blank lines are skipped.
-pub fn load_jsonl<R: BufRead>(r: R) -> std::io::Result<Vec<Access>> {
-    let mut out = Vec::new();
-    for line in r.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        out.push(serde_json::from_str(&line)?);
-    }
-    Ok(out)
 }
 
 /// Replays a trace into a detector runtime, in order.
@@ -160,6 +184,8 @@ mod tests {
 
     #[test]
     fn concurrent_recording_loses_nothing() {
+        // Cross-thread *order* is segment-granular (see module docs); the
+        // count is exact: len() drains every thread's segment first.
         let rec = std::sync::Arc::new(TraceRecorder::new());
         std::thread::scope(|s| {
             for t in 0..4u16 {
@@ -172,5 +198,28 @@ mod tests {
             }
         });
         assert_eq!(rec.len(), 4000);
+    }
+
+    #[test]
+    fn recorder_keeps_per_thread_order_across_segments() {
+        let rec = TraceRecorder::new();
+        std::thread::scope(|s| {
+            for t in 0..2u16 {
+                let rec = &rec;
+                s.spawn(move || {
+                    // Far more than one segment's worth, to force flushes.
+                    for i in 0..10_000u64 {
+                        rec.access(ThreadId(t), i * 8, 8, AccessKind::Write);
+                    }
+                });
+            }
+        });
+        let ev = rec.into_events();
+        assert_eq!(ev.len(), 20_000);
+        for t in 0..2u16 {
+            let addrs: Vec<u64> =
+                ev.iter().filter(|a| a.tid == ThreadId(t)).map(|a| a.addr).collect();
+            assert!(addrs.windows(2).all(|w| w[1] > w[0]), "thread {t} reordered");
+        }
     }
 }

@@ -101,8 +101,14 @@ impl<T> TrackSlots<T> {
     /// Bytes of metadata: the pointer array plus every published payload
     /// (for the memory-overhead experiments, Figures 8–9).
     pub fn metadata_bytes(&self) -> usize {
-        self.slots.len() * std::mem::size_of::<AtomicPtr<T>>()
-            + self.published() * std::mem::size_of::<T>()
+        self.slots.len() * std::mem::size_of::<AtomicPtr<T>>() + self.published_bytes()
+    }
+
+    /// Bytes of the published (boxed) payloads alone — the part of
+    /// [`metadata_bytes`](Self::metadata_bytes) that grows with tracking
+    /// rather than with the shadowed range.
+    pub fn published_bytes(&self) -> usize {
+        self.published() * std::mem::size_of::<T>()
     }
 }
 

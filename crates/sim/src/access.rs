@@ -75,6 +75,32 @@ pub struct Access {
     pub kind: AccessKind,
 }
 
+/// Receives instrumentation events. Implemented by the detector runtime,
+/// the trace recorders, and [`NullSink`] (for overhead baselines).
+///
+/// Lives here — next to [`Access`] — because every layer that produces or
+/// consumes event streams (interpreter, trace writer, detector) speaks this
+/// one interface.
+pub trait AccessSink: Sync {
+    /// One memory access notification.
+    fn access(&self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind);
+
+    /// Delivers an already-packaged [`Access`] event.
+    #[inline]
+    fn record(&self, a: Access) {
+        self.access(a.tid, a.addr, a.size, a.kind);
+    }
+}
+
+/// Discards all events (uninstrumented-run baseline).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl AccessSink for NullSink {
+    #[inline]
+    fn access(&self, _: ThreadId, _: u64, _: u8, _: AccessKind) {}
+}
+
 impl Access {
     /// Convenience constructor for a read event.
     #[inline]

@@ -34,7 +34,7 @@ pub mod patterns;
 pub mod vline;
 pub mod word;
 
-pub use access::{Access, AccessKind, ThreadId};
+pub use access::{Access, AccessKind, AccessSink, NullSink, ThreadId};
 pub use geometry::{CacheGeometry, WORD_SHIFT, WORD_SIZE};
 pub use history::{HistoryEntry, HistoryTable};
 pub use vline::{VirtualGeometry, VirtualRange};

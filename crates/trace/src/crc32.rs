@@ -1,0 +1,54 @@
+//! CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) over chunk
+//! payloads. Table-driven, no dependencies; the table is built once at
+//! first use.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (init `0xffff_ffff`, final xor `0xffff_ffff`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c: u32 = 0xffff_ffff;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check values for the IEEE polynomial.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let data = vec![0xabu8; 256];
+        let base = crc32(&data);
+        for i in [0usize, 100, 255] {
+            let mut flipped = data.clone();
+            flipped[i] ^= 0x01;
+            assert_ne!(crc32(&flipped), base, "flip at byte {i} must change the CRC");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! `predator-trace`: the compact binary `.ptrace` access-trace format and
+//! the sharded offline analysis engine.
+//!
+//! The live detector pays its overhead while the workload runs. This crate
+//! splits that cost in two: **record** the raw access stream cheaply
+//! (thread-local segment buffers, delta-compressed chunks — no detector
+//! work at all), then **analyze** the trace offline, as many times and
+//! with as many configurations as wanted, across N worker shards.
+//!
+//! * [`format`] — the `.ptrace` byte layout: magic + versioned header,
+//!   CRC-framed chunks with varint delta-encoded records, a JSON metadata
+//!   sidecar chunk, and a footer index for random access.
+//! * [`segment`] — lock-free-on-the-hot-path thread-local event buffers.
+//! * [`writer`] — streaming writers: [`TraceWriter`] (framing) and
+//!   [`TraceSink`] (multi-threaded [`predator_sim::AccessSink`]).
+//! * [`reader`] — corruption-tolerant streaming reader: bad chunks are
+//!   skipped with counted, reported loss ([`LossStats`]), never a panic.
+//! * [`jsonl`] — the legacy JSON-lines encoding, still accepted anywhere a
+//!   trace file is.
+//! * [`analyze`] — the sharded engine: cluster cache lines, run one
+//!   detector per shard, merge into a [`predator_core::Report`] that is
+//!   byte-identical to a sequential replay's.
+
+pub mod analyze;
+pub mod crc32;
+pub mod format;
+pub mod jsonl;
+pub mod reader;
+pub mod segment;
+pub mod varint;
+pub mod writer;
+
+pub use analyze::{
+    analyze_events, analyze_file, sniff_format, AnalyzeConfig, AnalyzeOutcome, ShardPlan,
+    TraceFormat,
+};
+pub use format::{Header, TraceMeta, VERSION};
+pub use jsonl::{load_jsonl, save_jsonl, JsonlIter};
+pub use reader::{read_info, LossStats, TraceError, TraceInfo, TraceReader};
+pub use segment::{BatchSink, SegmentedSink, SEGMENT_CAPACITY};
+pub use writer::{TraceSink, TraceWriter, WriteSummary};

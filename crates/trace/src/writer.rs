@@ -1,0 +1,246 @@
+//! Streaming `.ptrace` writers.
+//!
+//! [`TraceWriter`] is the single-threaded framing layer: it owns the output
+//! stream, tracks chunk offsets for the footer index, and seals the file
+//! with a META chunk, the index, and the trailer. [`TraceSink`] layers the
+//! thread-local segment machinery on top so a multi-threaded workload can
+//! record through an [`AccessSink`] with the writer's lock taken once per
+//! segment, not once per event.
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use predator_sim::{Access, AccessKind, AccessSink, ThreadId};
+
+use crate::crc32::crc32;
+use crate::format::{
+    ChunkFrame, EventEncoder, Header, IndexEntry, TraceMeta, CHUNK_EVENTS, CHUNK_INDEX, CHUNK_META,
+    END_MAGIC, VERSION,
+};
+use crate::segment::{BatchSink, SegmentedSink};
+
+/// Summary returned by [`TraceWriter::finish`] / [`TraceSink::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteSummary {
+    /// Total event records written.
+    pub events: u64,
+    /// Total bytes written, trailer included.
+    pub bytes: u64,
+    /// Chunks written (events + meta + index).
+    pub chunks: usize,
+}
+
+/// Single-threaded streaming writer for the `.ptrace` format.
+pub struct TraceWriter<W: Write> {
+    w: W,
+    offset: u64,
+    index: Vec<IndexEntry>,
+    total_records: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the file header for a trace over `[base, base + size)`.
+    pub fn create(mut w: W, base: u64, size: u64) -> io::Result<Self> {
+        let header = Header { version: VERSION, base, size }.encode();
+        w.write_all(&header)?;
+        Ok(TraceWriter { w, offset: header.len() as u64, index: Vec::new(), total_records: 0 })
+    }
+
+    fn write_chunk(&mut self, kind: u8, record_count: u32, payload: &[u8]) -> io::Result<()> {
+        let frame = ChunkFrame {
+            kind,
+            flags: 0,
+            record_count,
+            payload_len: payload.len() as u32,
+            crc: crc32(payload),
+        };
+        self.index.push(IndexEntry { offset: self.offset, kind, record_count });
+        self.w.write_all(&frame.encode())?;
+        self.w.write_all(payload)?;
+        self.offset += (crate::format::CHUNK_FRAME_LEN + payload.len()) as u64;
+        Ok(())
+    }
+
+    /// Writes one events chunk. Delta state is per-chunk, so any slicing of
+    /// a per-thread stream into consecutive `write_events` calls is valid.
+    pub fn write_events(&mut self, events: &[Access]) -> io::Result<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut enc = EventEncoder::new();
+        for &a in events {
+            enc.push(a);
+        }
+        let (payload, count) = enc.finish();
+        self.total_records += count as u64;
+        self.write_chunk(CHUNK_EVENTS, count, &payload)
+    }
+
+    /// Writes the META chunk carrying attribution state.
+    pub fn write_meta(&mut self, meta: &TraceMeta) -> io::Result<()> {
+        let payload = serde_json::to_string(meta)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            .into_bytes();
+        self.write_chunk(CHUNK_META, 1, &payload)
+    }
+
+    /// Seals the file: index chunk, trailer, flush. Returns the summary and
+    /// the underlying stream.
+    pub fn finish(mut self) -> io::Result<(WriteSummary, W)> {
+        let index_offset = self.offset;
+        let payload = crate::format::encode_index(&self.index);
+        let entries = self.index.len() as u32;
+        self.write_chunk(CHUNK_INDEX, entries, &payload)?;
+        self.w.write_all(&index_offset.to_le_bytes())?;
+        self.w.write_all(&self.total_records.to_le_bytes())?;
+        self.w.write_all(END_MAGIC)?;
+        self.offset += crate::format::TRAILER_LEN as u64;
+        self.w.flush()?;
+        let summary = WriteSummary {
+            events: self.total_records,
+            bytes: self.offset,
+            chunks: self.index.len(),
+        };
+        Ok((summary, self.w))
+    }
+
+    /// Event records written so far.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+}
+
+struct SinkState<W: Write> {
+    writer: Option<TraceWriter<W>>,
+    error: Option<io::Error>,
+}
+
+struct WriterBatch<W: Write + Send>(Arc<Mutex<SinkState<W>>>);
+
+impl<W: Write + Send> BatchSink for WriterBatch<W> {
+    fn batch(&self, events: &mut Vec<Access>) {
+        let mut st = self.0.lock().unwrap();
+        if st.error.is_some() {
+            events.clear();
+            return;
+        }
+        if let Some(w) = st.writer.as_mut() {
+            if let Err(e) = w.write_events(events) {
+                st.error = Some(e);
+            }
+        }
+        events.clear();
+    }
+}
+
+/// Multi-threaded recording sink: implements [`AccessSink`] over
+/// thread-local segments, each flushed segment becoming one events chunk.
+///
+/// Per-thread event order is preserved; cross-thread order is segment
+/// granular (see [`crate::segment`]). I/O errors are latched and surfaced
+/// by [`finish`](TraceSink::finish); events arriving after an error are
+/// dropped.
+pub struct TraceSink<W: Write + Send + 'static> {
+    seg: SegmentedSink,
+    state: Arc<Mutex<SinkState<W>>>,
+}
+
+impl<W: Write + Send + 'static> TraceSink<W> {
+    /// Starts a trace file over `[base, base + size)` on `w`.
+    pub fn create(w: W, base: u64, size: u64) -> io::Result<Self> {
+        Self::with_segment_capacity(w, base, size, crate::segment::SEGMENT_CAPACITY)
+    }
+
+    /// As [`create`](Self::create) with an explicit events-per-chunk cap.
+    pub fn with_segment_capacity(w: W, base: u64, size: u64, capacity: usize) -> io::Result<Self> {
+        let writer = TraceWriter::create(w, base, size)?;
+        let state = Arc::new(Mutex::new(SinkState { writer: Some(writer), error: None }));
+        let seg = SegmentedSink::with_capacity(Box::new(WriterBatch(state.clone())), capacity);
+        Ok(TraceSink { seg, state })
+    }
+
+    /// Flushes the calling thread's segment.
+    pub fn flush_thread(&self) {
+        self.seg.flush_thread();
+    }
+
+    /// Seals the trace: drains every thread's segment, then writes the
+    /// META chunk, index, and trailer. Events recorded before this call —
+    /// on any thread — are all in the file. Any latched I/O error from a
+    /// worker thread's flush is returned here.
+    pub fn finish(&self, meta: &TraceMeta) -> io::Result<WriteSummary> {
+        self.seg.flush_all();
+        let mut st = self.state.lock().unwrap();
+        if let Some(e) = st.error.take() {
+            return Err(e);
+        }
+        let mut writer = st
+            .writer
+            .take()
+            .ok_or_else(|| io::Error::other("trace already finished"))?;
+        writer.write_meta(meta)?;
+        let (summary, _w) = writer.finish()?;
+        Ok(summary)
+    }
+}
+
+impl<W: Write + Send + 'static> AccessSink for TraceSink<W> {
+    #[inline]
+    fn access(&self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind) {
+        self.seg.access(tid, addr, size, kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_header_chunks_trailer() {
+        let mut buf = Vec::new();
+        {
+            let mut w = TraceWriter::create(&mut buf, 0x1000, 0x2000).unwrap();
+            w.write_events(&[Access::write(ThreadId(0), 0x1000, 8)]).unwrap();
+            w.write_events(&[Access::read(ThreadId(1), 0x1008, 4)]).unwrap();
+            w.write_meta(&TraceMeta::default()).unwrap();
+            let (summary, _) = w.finish().unwrap();
+            assert_eq!(summary.events, 2);
+            assert_eq!(summary.chunks, 4); // 2 events + meta + index
+            assert_eq!(summary.bytes, buf.len() as u64);
+        }
+        assert_eq!(&buf[0..6], crate::format::MAGIC);
+        assert_eq!(&buf[buf.len() - 8..], END_MAGIC);
+        let total =
+            u64::from_le_bytes(buf[buf.len() - 16..buf.len() - 8].try_into().unwrap());
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn sink_records_across_threads_without_loss() {
+        let state = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = TraceSink::with_segment_capacity(Shared(state.clone()), 0, 1 << 20, 64).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4u16 {
+                let sink = &sink;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        sink.access(ThreadId(t), i * 8, 8, AccessKind::Write);
+                    }
+                });
+            }
+        });
+        let summary = sink.finish(&TraceMeta::default()).unwrap();
+        assert_eq!(summary.events, 4000);
+        assert_eq!(state.lock().unwrap().len() as u64, summary.bytes);
+    }
+}

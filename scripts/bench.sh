@@ -49,4 +49,11 @@ if [[ -n "${BENCH_BASELINE:-}" && -f "${BENCH_BASELINE}" ]]; then
     --tolerance "${BENCH_TOLERANCE:-0.5}"
 fi
 
-echo "BENCH OK — wrote $OUT"
+# Trace-pipeline telemetry: .ptrace vs JSONL size, record/decode throughput,
+# sharded-analysis speedup. Refresh the committed artifact with
+#   BENCH_TRACE_OUT=BENCH_4.json scripts/bench.sh
+TRACE_OUT="${BENCH_TRACE_OUT:-BENCH_trace_local.json}"
+echo "==> trace pipeline bench -> $TRACE_OUT"
+target/release/bench_trace "$TRACE_OUT" --iters "${BENCH_TRACE_ITERS:-100000}"
+
+echo "BENCH OK — wrote $OUT and $TRACE_OUT"

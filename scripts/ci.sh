@@ -35,6 +35,16 @@ if $PRED diff "$SMOKE/clean.json" "$SMOKE/bad.json"; then
 fi
 echo "diff gate correctly rejected the regression"
 
+echo "==> record/analyze smoke (.ptrace pipeline)"
+# The tracked histogram run is deterministic, so an offline analysis of a
+# recording must reproduce the live detector's findings exactly.
+$PRED run histogram --sensitive --iters 2000 --no-recorder --json > "$SMOKE/live.json"
+$PRED record histogram --iters 2000 -o "$SMOKE/run.ptrace"
+$PRED trace info "$SMOKE/run.ptrace" | grep -q "events"
+$PRED analyze "$SMOKE/run.ptrace" --sensitive --shards 4 --json > "$SMOKE/offline.json"
+$PRED diff "$SMOKE/live.json" "$SMOKE/offline.json"
+echo "offline analysis matches the live run"
+
 echo "==> timeline/profile/bench-diff smoke"
 $PRED ir examples/programs/false_sharing.pir --threads 2 --iters 2000 \
   --trace-timeline "$SMOKE/trace.json" > /dev/null

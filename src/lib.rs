@@ -18,6 +18,9 @@
 //! * [`instrument`] — a mini-IR with the paper's
 //!   selective instrumentation pass, a deterministic multithreaded
 //!   interpreter, and trace record/replay;
+//! * [`trace`] — the compact binary `.ptrace` trace format
+//!   (CRC-framed, delta-encoded, corruption-tolerant) and the sharded
+//!   offline analysis engine;
 //! * [`workloads`] — the paper's Phoenix / PARSEC /
 //!   real-application evaluation workloads.
 //!
@@ -48,6 +51,7 @@ pub use predator_core as core;
 pub use predator_instrument as instrument;
 pub use predator_shadow as shadow;
 pub use predator_sim as sim;
+pub use predator_trace as trace;
 pub use predator_workloads as workloads;
 
 // The most common entry points, flattened for convenience.

@@ -1,0 +1,259 @@
+//! End-to-end tests of the `.ptrace` record → sharded-analyze pipeline:
+//! a recorded Table-1 workload must reproduce the live detector's findings
+//! exactly, the binary format must beat JSONL on size, sharding must beat
+//! sequential analysis on wall-clock for big traces, and damaged files must
+//! degrade into counted loss — never panics.
+
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use predator::core::{build_report, DetectorConfig, Predator, Report, Session};
+use predator::sim::{Access, ThreadId};
+use predator::trace::{
+    analyze_events, analyze_file, save_jsonl, AnalyzeConfig, TraceMeta, TraceReader, TraceSink,
+};
+use predator::workloads::{by_name, run_and_report, Variant, WorkloadConfig};
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("predator-trace-it-{}-{name}.ptrace", std::process::id()))
+}
+
+/// Findings + run stats, serialised. The `obs` section is excluded: it
+/// snapshots process-global telemetry that accumulates across tests.
+fn essence(r: &Report) -> String {
+    format!(
+        "{}\n{}",
+        serde_json::to_string(&r.findings).unwrap(),
+        serde_json::to_string(&r.stats).unwrap()
+    )
+}
+
+/// Records a workload run to `path` the way `predator record` does:
+/// detection off, the raw pre-filter stream tapped into a [`TraceSink`],
+/// attribution metadata captured at the end.
+fn record_workload(name: &str, cfg: &WorkloadConfig, path: &std::path::Path) -> u64 {
+    let mut det = DetectorConfig::sensitive();
+    det.enabled = false;
+    let session = Session::with_config(det);
+    let file = std::fs::File::create(path).unwrap();
+    let sink = Arc::new(
+        TraceSink::create(
+            std::io::BufWriter::new(file),
+            session.space().base(),
+            session.space().size(),
+        )
+        .unwrap(),
+    );
+    session.runtime().install_tap(sink.clone()).unwrap();
+    by_name(name).unwrap().run_tracked(&session, cfg);
+    let meta = TraceMeta::capture(session.runtime(), session.heap());
+    sink.finish(&meta).unwrap().events
+}
+
+#[test]
+fn record_then_analyze_reproduces_live_findings() {
+    // histogram is one of the two Table-1 bugs the paper was first to
+    // report, and its tracked run is deterministic — live and recorded
+    // executions see the identical access stream.
+    let cfg = WorkloadConfig { threads: 4, iters: 2_000, seed: 42, variant: Variant::Broken };
+    let det = DetectorConfig::sensitive();
+    let live = run_and_report(by_name("histogram").unwrap().as_ref(), det, &cfg);
+    assert!(live.has_observed_false_sharing(), "live run must find the bug:\n{live}");
+    assert!(
+        live.findings.iter().any(|f| f.to_string().contains("histogram-pthread.c:213")),
+        "live attribution names the paper's callsite"
+    );
+
+    let path = tmp("histogram");
+    let recorded = record_workload("histogram", &cfg, &path);
+    assert!(recorded > 0);
+    for shards in [1usize, 4] {
+        let out = analyze_file(&path, &AnalyzeConfig::new(det, shards), 0, 0).unwrap();
+        assert!(!out.loss.any(), "clean file, clean read");
+        assert!(out.meta_applied, "attribution metadata travels in the file");
+        assert_eq!(out.events, recorded);
+        assert_eq!(
+            essence(&out.report),
+            essence(&live),
+            "offline shards={shards} must reproduce the live report"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ptrace_is_at_least_5x_smaller_than_jsonl() {
+    let cfg = WorkloadConfig { threads: 4, iters: 4_000, seed: 42, variant: Variant::Broken };
+    let path = tmp("size");
+    let recorded = record_workload("histogram", &cfg, &path);
+    let ptrace_bytes = std::fs::metadata(&path).unwrap().len();
+
+    let file = std::fs::File::open(&path).unwrap();
+    let events: Vec<Access> = TraceReader::new(BufReader::new(file)).unwrap().collect();
+    assert_eq!(events.len() as u64, recorded, "decode must be lossless");
+    let mut jsonl = Vec::new();
+    save_jsonl(&events, &mut jsonl).unwrap();
+
+    assert!(
+        jsonl.len() as u64 >= 5 * ptrace_bytes,
+        "expected ≥5x: .ptrace {} bytes vs JSONL {} bytes ({:.1}x)",
+        ptrace_bytes,
+        jsonl.len(),
+        jsonl.len() as f64 / ptrace_bytes as f64
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Two threads ping-pong on adjacent words in several well-separated
+/// regions — multiple independent clusters, false sharing in each.
+fn multi_cluster_trace(regions: u64, per_region: u64, base: u64) -> Vec<Access> {
+    let mut out = Vec::with_capacity((regions * per_region) as usize);
+    for i in 0..per_region {
+        for r in 0..regions {
+            let rbase = base + r * 0x10000;
+            out.push(Access::write(ThreadId((i % 2) as u16), rbase + (i % 2) * 8, 8));
+        }
+    }
+    out
+}
+
+#[test]
+fn sharded_analysis_beats_sequential_on_large_trace() {
+    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 4 {
+        eprintln!("skipping: needs >= 4 cores");
+        return;
+    }
+    let base = 0x4000_0000u64;
+    let size = 1u64 << 24;
+    // ≥ 1M events spread over 8 non-interacting clusters.
+    let events = multi_cluster_trace(8, 150_000, base);
+    assert!(events.len() >= 1_000_000);
+    let det = DetectorConfig::sensitive();
+    let run = |shards: usize| -> (Duration, String) {
+        let t = Instant::now();
+        let out = analyze_events(&events, base, size, None, &AnalyzeConfig::new(det, shards));
+        (t.elapsed(), essence(&out.report))
+    };
+    // Best of two runs each, interleaved, to shrug off scheduler noise.
+    let (t1a, e1) = run(1);
+    let (t4a, e4) = run(4);
+    let (t1b, _) = run(1);
+    let (t4b, _) = run(4);
+    assert_eq!(e1, e4, "shard count must not change the report");
+    let t1 = t1a.min(t1b);
+    let t4 = t4a.min(t4b);
+    assert!(
+        t4 < t1.mul_f64(0.9),
+        "4 shards should beat 1 by >10%: shards1={t1:?} shards4={t4:?}"
+    );
+}
+
+#[test]
+fn truncated_trace_analyzes_with_counted_loss() {
+    let cfg = WorkloadConfig { threads: 4, iters: 1_000, seed: 42, variant: Variant::Broken };
+    let path = tmp("trunc");
+    record_workload("histogram", &cfg, &path);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let cut = tmp("trunc-cut");
+    std::fs::write(&cut, &bytes[..bytes.len() * 3 / 5]).unwrap();
+    let out = analyze_file(&cut, &AnalyzeConfig::new(DetectorConfig::sensitive(), 4), 0, 0)
+        .expect("truncation is loss, not an error");
+    assert!(out.loss.truncated, "must notice the missing trailer");
+    assert!(out.events > 0, "intact prefix still analysed");
+    std::fs::remove_file(&cut).ok();
+}
+
+#[test]
+fn flipped_byte_loses_one_chunk_not_the_file() {
+    let cfg = WorkloadConfig { threads: 4, iters: 1_000, seed: 42, variant: Variant::Broken };
+    let path = tmp("flip");
+    let recorded = record_workload("histogram", &cfg, &path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // Flip a byte in the middle of the file — lands in some chunk payload.
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    let damaged = tmp("flip-damaged");
+    std::fs::write(&damaged, &bytes).unwrap();
+    let out = analyze_file(&damaged, &AnalyzeConfig::new(DetectorConfig::sensitive(), 2), 0, 0)
+        .expect("a flipped byte is loss, not an error");
+    assert!(out.loss.chunks_skipped >= 1, "the damaged chunk is skipped");
+    assert_eq!(
+        out.events + out.loss.records_lost,
+        recorded,
+        "every record is either delivered or counted lost"
+    );
+    std::fs::remove_file(&damaged).ok();
+}
+
+#[test]
+fn unknown_schema_version_is_a_clean_error() {
+    let cfg = WorkloadConfig { threads: 2, iters: 200, seed: 42, variant: Variant::Broken };
+    let path = tmp("version");
+    record_workload("histogram", &cfg, &path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    bytes[6] = 0x2a; // version word (LE) right after the 6-byte magic
+    let future = tmp("version-future");
+    std::fs::write(&future, &bytes).unwrap();
+    let err = analyze_file(&future, &AnalyzeConfig::new(DetectorConfig::sensitive(), 1), 0, 0)
+        .expect_err("an unknown version must not be guessed at");
+    assert!(err.contains("version"), "error names the problem: {err}");
+    std::fs::remove_file(&future).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary multi-region access patterns, sharded analysis at 2,
+    /// 4, and 8 shards reproduces the sequential detector's findings and
+    /// stats exactly.
+    #[test]
+    fn prop_sharded_equals_sequential(
+        ops in proptest::collection::vec(
+            // (region, word, is_write) per op; threads alternate per op.
+            (0u64..4, 0u64..16, prop::bool::ANY), 60..400),
+        threads in 2u16..4,
+    ) {
+        let base = 0x4000_0000u64;
+        let size = 1u64 << 22;
+        let events: Vec<Access> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(region, word, is_write))| {
+                let tid = ThreadId((i as u64 % threads as u64) as u16);
+                let addr = base + region * 0x8000 + word * 8;
+                if is_write {
+                    Access::write(tid, addr, 8)
+                } else {
+                    Access::read(tid, addr, 8)
+                }
+            })
+            .collect();
+        let det = DetectorConfig::sensitive();
+        let seq = {
+            let rt = Predator::new(det, base, size);
+            for a in &events {
+                rt.handle_access(a.tid, a.addr, a.size, a.kind);
+            }
+            build_report(&rt, None)
+        };
+        for shards in [2usize, 4, 8] {
+            let out =
+                analyze_events(&events, base, size, None, &AnalyzeConfig::new(det, shards));
+            prop_assert_eq!(
+                essence(&out.report),
+                essence(&seq),
+                "shards={} diverged", shards
+            );
+        }
+    }
+}
