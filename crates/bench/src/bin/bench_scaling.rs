@@ -1,0 +1,184 @@
+//! `bench_scaling` — multi-thread scaling of the tracked-line hot path.
+//!
+//! ```text
+//! bench_scaling [out.json] [--iters N] [--reps N]
+//! ```
+//!
+//! Sweeps 1/2/4/8 threads hammering ONE fully-tracked cache line (each
+//! thread owns a distinct word — the canonical false-sharing shape, so the
+//! history table invalidates on almost every write) and measures
+//! `CacheTrack::handle` throughput in both tracking modes:
+//!
+//! * `precise` — the `Mutex<TrackState>` baseline: every access serialises
+//!   on one lock, so adding threads adds contention, not throughput;
+//! * `relaxed` — the lock-free seqlock-style path: packed-atomic history
+//!   CAS plus per-thread access batching.
+//!
+//! The acceptance bar is relaxed ≥ 2× precise at 8 threads. That is a
+//! statement about *parallel* hardware: on a box with fewer than 8 cores
+//! the 8 "threads" time-slice one another and the mutex never actually
+//! contends, so the gate is recorded in the JSON but only *enforced*
+//! (non-zero exit) when `cores >= 8`. The committed `BENCH_5.json` carries
+//! whatever the build machine honestly measured, cores field included.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use predator_core::{CacheTrack, DetectorConfig, TrackingMode};
+use predator_sim::{AccessKind, ThreadId};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Sample {
+    mode: String,
+    threads: usize,
+    iters_per_thread: u64,
+    total_accesses: u64,
+    /// Best-of-`reps` wall time for the whole sweep.
+    wall_ms: f64,
+    accesses_per_s: f64,
+    /// Throughput relative to the same mode at 1 thread.
+    self_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Gate {
+    /// relaxed ÷ precise throughput at the widest sweep point.
+    speedup_at_max_threads: f64,
+    required: f64,
+    /// The bar only binds when the machine can actually run the widest
+    /// sweep point in parallel.
+    enforced: bool,
+    passed: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: &'static str,
+    cores: usize,
+    thread_counts: Vec<usize>,
+    iters_per_thread: u64,
+    reps: usize,
+    samples: Vec<Sample>,
+    gate: Gate,
+}
+
+/// One timed sweep point: `threads` workers, each issuing `iters` writes to
+/// its own word of one shared tracked line, plus a sprinkle of reads so the
+/// read path stays on the profile. Returns wall seconds.
+fn run_once(mode: TrackingMode, threads: usize, iters: u64) -> f64 {
+    let mut cfg = DetectorConfig::paper().with_tracking_mode(mode);
+    cfg.sampling = false; // measure the tracked path itself, not the sampler
+    let geom = cfg.geometry;
+    let track = Arc::new(CacheTrack::new(0, geom, mode));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let track = Arc::clone(&track);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let tid = ThreadId(t as u16);
+                let addr = (t as u64 % geom.words_per_line() as u64) * 8;
+                barrier.wait();
+                for i in 0..iters {
+                    let kind =
+                        if i % 8 == 7 { AccessKind::Read } else { AccessKind::Write };
+                    track.handle(tid, addr, 8, kind, &cfg);
+                }
+            })
+        })
+        .collect();
+
+    // Clock starts BEFORE the release: on a single core the scheduler can
+    // run every worker to completion before this thread wakes from the
+    // barrier, which would otherwise time the sweep at ~0.
+    let start = Instant::now();
+    barrier.wait();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn measure(mode: TrackingMode, threads: usize, iters: u64, reps: usize) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        best = best.min(run_once(mode, threads, iters));
+    }
+    let total = threads as u64 * iters;
+    (best * 1e3, total as f64 / best)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_scaling_local.json".to_string();
+    let mut iters: u64 = 200_000;
+    let mut reps: usize = 3;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => iters = it.next().expect("--iters needs a value").parse().unwrap(),
+            "--reps" => reps = it.next().expect("--reps needs a value").parse().unwrap(),
+            other => out = other.to_string(),
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let thread_counts = vec![1usize, 2, 4, 8];
+    let max_threads = *thread_counts.last().unwrap();
+
+    let mut samples = Vec::new();
+    let mut base: f64 = 1.0;
+    let mut at_max = [0.0f64; 2]; // [precise, relaxed] accesses/s at max threads
+    for (m, mode) in [TrackingMode::Precise, TrackingMode::Relaxed].into_iter().enumerate() {
+        for &threads in &thread_counts {
+            let (wall_ms, per_s) = measure(mode, threads, iters, reps);
+            if threads == 1 {
+                base = per_s;
+            }
+            if threads == max_threads {
+                at_max[m] = per_s;
+            }
+            eprintln!(
+                "{mode:>7} x{threads}: {:>12.0} tracked accesses/s ({:.1} ms)",
+                per_s, wall_ms
+            );
+            samples.push(Sample {
+                mode: mode.to_string(),
+                threads,
+                iters_per_thread: iters,
+                total_accesses: threads as u64 * iters,
+                wall_ms,
+                accesses_per_s: per_s,
+                self_speedup: per_s / base,
+            });
+        }
+    }
+
+    let speedup = at_max[1] / at_max[0];
+    let enforced = cores >= max_threads;
+    let gate = Gate { speedup_at_max_threads: speedup, required: 2.0, enforced, passed: speedup >= 2.0 };
+    eprintln!(
+        "relaxed/precise at {max_threads} threads: {speedup:.2}x (gate {} on {cores} cores)",
+        if enforced { "enforced" } else { "advisory" }
+    );
+
+    let report = Report {
+        schema: "predator-bench-scaling/1",
+        cores,
+        thread_counts,
+        iters_per_thread: iters,
+        reps,
+        samples,
+        gate,
+    };
+    std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap())
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+
+    if enforced && speedup < 2.0 {
+        eprintln!("FAIL: relaxed mode is only {speedup:.2}x precise at {max_threads} threads");
+        std::process::exit(1);
+    }
+}

@@ -45,6 +45,9 @@ USAGE:
         --iters <N>         per-thread work items       [default: 20000]
         --seed <N>          input seed                  [default: 42]
         --sampling <RATE>   sampling rate in (0,1]      [default: 0.01]
+        --tracking-mode <M> per-line state discipline: precise (mutex,
+                            deterministic reports) or relaxed (lock-free
+                            seqlock-style hot path)     [default: precise]
         --sensitive         tiny thresholds (small runs / demos)
         --json              machine-readable report
 
@@ -160,6 +163,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         "--iters",
         "--seed",
         "--sampling",
+        "--tracking-mode",
         "--base",
         "--size",
         "--stride",
@@ -214,6 +218,9 @@ fn detector_config(args: &Args) -> Result<DetectorConfig, String> {
     let rate: f64 = num(args, "--sampling", det.sampling_rate())?;
     if !(0.0..=1.0).contains(&rate) || rate == 0.0 {
         return Err(format!("--sampling must be in (0, 1], got {rate}"));
+    }
+    if let Some(mode) = args.options.get("--tracking-mode") {
+        det.tracking_mode = mode.parse()?;
     }
     Ok(det.with_sampling_rate(rate))
 }
@@ -1094,6 +1101,18 @@ mod tests {
         let det = detector_config(&a).unwrap();
         assert!(!det.prediction);
         assert_eq!(det.report_threshold, 1);
+    }
+
+    #[test]
+    fn tracking_mode_flag_selects_mode() {
+        use predator_core::TrackingMode;
+        let a = args(&["run", "x"]);
+        assert_eq!(detector_config(&a).unwrap().tracking_mode, TrackingMode::Precise);
+        let a = args(&["run", "x", "--tracking-mode", "relaxed"]);
+        assert_eq!(detector_config(&a).unwrap().tracking_mode, TrackingMode::Relaxed);
+        let a = args(&["run", "x", "--tracking-mode", "eventual"]);
+        let err = detector_config(&a).unwrap_err();
+        assert!(err.contains("tracking mode"), "unexpected error: {err}");
     }
 
     #[test]

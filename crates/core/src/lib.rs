@@ -52,6 +52,7 @@ pub mod config;
 pub mod detect;
 pub mod diff;
 pub mod fixes;
+pub mod lockfree;
 pub mod predict;
 pub mod registry;
 pub mod report;
@@ -60,7 +61,7 @@ pub mod stats;
 pub mod track;
 
 pub use api::Session;
-pub use config::DetectorConfig;
+pub use config::{DetectorConfig, TrackingMode};
 pub use detect::SharingClass;
 pub use diff::{diff_reports, FindingId, ReportDiff};
 pub use fixes::{suggest_fixes, FixSuggestion};

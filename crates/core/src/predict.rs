@@ -11,10 +11,14 @@
 //! for physical lines (§3.4) rather than reported on estimation alone.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
+
+use crate::config::TrackingMode;
+use crate::lockfree;
 
 use predator_sim::vline::{
     doubled_vline_possible, offset_vline_possible, place_offset_vline, scaled_vline_possible,
@@ -177,7 +181,7 @@ pub struct PredictionUnit {
     pub range: VirtualRange,
     /// The hot pair that spawned this unit.
     pub origin: HotPair,
-    state: Mutex<UnitState>,
+    core: UnitCore,
 }
 
 #[derive(Debug, Default)]
@@ -185,6 +189,20 @@ struct UnitState {
     history: HistoryTable,
     invalidations: u64,
     accesses: u64,
+}
+
+/// Mode-selected verification state, mirroring `TrackCore`: the mutexed
+/// exact oracle, or the packed-atomic lock-free path whose history CAS loop
+/// keeps verified invalidation counts exact (see [`crate::lockfree`]).
+#[derive(Debug)]
+enum UnitCore {
+    Precise(Mutex<UnitState>),
+    Relaxed {
+        /// Packed two-entry history table ([`predator_sim::packed`]).
+        history: AtomicU64,
+        invalidations: AtomicU64,
+        accesses: AtomicU64,
+    },
 }
 
 /// Immutable snapshot of a unit's verification progress.
@@ -203,24 +221,40 @@ pub struct UnitSnapshot {
 }
 
 impl PredictionUnit {
-    /// Creates a unit for `key` under `geometry`, spawned by `origin`.
-    pub fn new(key: UnitKey, geometry: VirtualGeometry, origin: HotPair) -> Self {
-        PredictionUnit {
-            key,
-            geometry,
-            range: geometry.range(key.vline),
-            origin,
-            state: Mutex::new(UnitState::default()),
-        }
+    /// Creates a unit for `key` under `geometry`, spawned by `origin`, with
+    /// `mode` selecting the mutexed or lock-free verification state.
+    pub fn new(key: UnitKey, geometry: VirtualGeometry, origin: HotPair, mode: TrackingMode) -> Self {
+        let core = match mode {
+            TrackingMode::Precise => UnitCore::Precise(Mutex::new(UnitState::default())),
+            TrackingMode::Relaxed => UnitCore::Relaxed {
+                history: AtomicU64::new(predator_sim::packed::EMPTY),
+                invalidations: AtomicU64::new(0),
+                accesses: AtomicU64::new(0),
+            },
+        };
+        PredictionUnit { key, geometry, range: geometry.range(key.vline), origin, core }
     }
 
     /// Feeds one access *already known to fall inside `range`*; returns true
     /// if it invalidated the virtual line.
     pub fn record(&self, tid: ThreadId, kind: AccessKind) -> bool {
-        let mut st = self.state.lock().unwrap();
-        st.accesses += 1;
-        let inv = st.history.record(tid, kind);
-        st.invalidations += inv as u64;
+        let inv = match &self.core {
+            UnitCore::Precise(state) => {
+                let mut st = state.lock().unwrap();
+                st.accesses += 1;
+                let inv = st.history.record(tid, kind);
+                st.invalidations += inv as u64;
+                inv
+            }
+            UnitCore::Relaxed { history, invalidations, accesses } => {
+                accesses.fetch_add(1, Ordering::Relaxed);
+                let (_, inv) = lockfree::record_history(history, tid, kind);
+                if inv {
+                    invalidations.fetch_add(1, Ordering::Relaxed);
+                }
+                inv
+            }
+        };
         if inv {
             predator_obs::static_counter!("predict_verified_invalidations_total").inc();
         }
@@ -229,18 +263,29 @@ impl PredictionUnit {
 
     /// Verified invalidations so far.
     pub fn invalidations(&self) -> u64 {
-        self.state.lock().unwrap().invalidations
+        match &self.core {
+            UnitCore::Precise(state) => state.lock().unwrap().invalidations,
+            UnitCore::Relaxed { invalidations, .. } => invalidations.load(Ordering::Relaxed),
+        }
     }
 
     /// Snapshot for reporting.
     pub fn snapshot(&self) -> UnitSnapshot {
-        let st = self.state.lock().unwrap();
+        let (invalidations, accesses) = match &self.core {
+            UnitCore::Precise(state) => {
+                let st = state.lock().unwrap();
+                (st.invalidations, st.accesses)
+            }
+            UnitCore::Relaxed { invalidations, accesses, .. } => {
+                (invalidations.load(Ordering::Relaxed), accesses.load(Ordering::Relaxed))
+            }
+        };
         UnitSnapshot {
             key: self.key,
             range: self.range,
             origin: self.origin,
-            invalidations: st.invalidations,
-            accesses: st.accesses,
+            invalidations,
+            accesses,
         }
     }
 }
@@ -483,15 +528,43 @@ mod tests {
             y: HotWord { addr: 64, state: ws(0, 100, Owner::Exclusive(ThreadId(1))) },
             estimate: 100,
         };
-        let u = PredictionUnit::new(key, vg, pair);
-        assert_eq!(u.range, VirtualRange { start: 0, size: 128 });
-        for i in 0..10 {
-            u.record(ThreadId(i % 2), Write);
+        for mode in [TrackingMode::Precise, TrackingMode::Relaxed] {
+            let u = PredictionUnit::new(key, vg, pair, mode);
+            assert_eq!(u.range, VirtualRange { start: 0, size: 128 });
+            for i in 0..10 {
+                u.record(ThreadId(i % 2), Write);
+            }
+            assert_eq!(u.invalidations(), 9, "{mode}");
+            let snap = u.snapshot();
+            assert_eq!(snap.accesses, 10);
+            assert_eq!(snap.invalidations, 9);
         }
-        assert_eq!(u.invalidations(), 9);
+    }
+
+    #[test]
+    fn relaxed_unit_conserves_counts_under_contention() {
+        let g = geom();
+        let vg = VirtualGeometry::Doubled(g);
+        let key = UnitKey { kind: UnitKind::Doubled, vline: 0 };
+        let pair = HotPair {
+            x: HotWord { addr: 56, state: ws(0, 100, Owner::Exclusive(ThreadId(0))) },
+            y: HotWord { addr: 64, state: ws(0, 100, Owner::Exclusive(ThreadId(1))) },
+            estimate: 100,
+        };
+        let u = Arc::new(PredictionUnit::new(key, vg, pair, TrackingMode::Relaxed));
+        std::thread::scope(|s| {
+            for id in 0..4u16 {
+                let u = u.clone();
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        u.record(ThreadId(id), Write);
+                    }
+                });
+            }
+        });
         let snap = u.snapshot();
-        assert_eq!(snap.accesses, 10);
-        assert_eq!(snap.invalidations, 9);
+        assert_eq!(snap.accesses, 20_000, "no access lost under contention");
+        assert!(snap.invalidations >= 3 && snap.invalidations < snap.accesses);
     }
 
     #[test]
@@ -505,8 +578,9 @@ mod tests {
             estimate: 1,
         };
         let mut reg = UnitRegistry::new();
-        let (u1, created1) = reg.get_or_create(key, || PredictionUnit::new(key, vg, pair));
-        let (u2, created2) = reg.get_or_create(key, || PredictionUnit::new(key, vg, pair));
+        let mk = || PredictionUnit::new(key, vg, pair, TrackingMode::Precise);
+        let (u1, created1) = reg.get_or_create(key, mk);
+        let (u2, created2) = reg.get_or_create(key, mk);
         assert!(created1);
         assert!(!created2);
         assert!(Arc::ptr_eq(&u1, &u2));

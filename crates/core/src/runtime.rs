@@ -224,9 +224,9 @@ impl Predator {
     fn ensure_tracked(&self, idx: usize) -> &CacheTrack {
         self.writes.bump_to(idx, self.cfg.tracking_threshold);
         let newly = self.tracks.get(idx).is_none();
-        let track = self
-            .tracks
-            .get_or_publish(idx, || CacheTrack::new(self.layout.line_start(idx), self.cfg.geometry));
+        let track = self.tracks.get_or_publish(idx, || {
+            CacheTrack::new(self.layout.line_start(idx), self.cfg.geometry, self.cfg.tracking_mode)
+        });
         if newly {
             predator_obs::static_counter!("runtime_lines_promoted_total").inc();
             predator_obs::events().emit(
@@ -260,15 +260,19 @@ impl Predator {
         let r = self.analysis_radius();
         let lo = idx.saturating_sub(r);
         let hi = (idx + r).min(self.layout.lines() - 1);
+        // One registry acquisition for the whole analysis: the nested
+        // pair/candidate loops used to re-lock per candidate unit, taking
+        // and releasing the global registry mutex O(pairs × scenarios)
+        // times on every promotion edge.
+        let mut units = self.units.lock().unwrap();
         for n_idx in (lo..=hi).filter(|&n| n != idx) {
             let Some(nt) = self.tracks.get(n_idx) else { continue };
             let snap_n = nt.snapshot();
             for pair in find_hot_pairs(&snap_l.words, &snap_n.words, avg) {
                 for (key, vg) in candidate_units(&pair, geom, self.cfg.max_scale_log2) {
-                    let (unit, created) = self
-                        .units
-                        .lock().unwrap()
-                        .get_or_create(key, || PredictionUnit::new(key, vg, pair));
+                    let (unit, created) = units.get_or_create(key, || {
+                        PredictionUnit::new(key, vg, pair, self.cfg.tracking_mode)
+                    });
                     if created {
                         predator_obs::static_counter!("predict_units_spawned_total").inc();
                         let sink = predator_obs::events();

@@ -61,4 +61,19 @@ cargo build --release -q -p predator-bench
 target/release/bench_telemetry measure "$SMOKE/bench.json" --iters 100 --hot-iters 50000
 $PRED bench-diff "$SMOKE/bench.json" "$SMOKE/bench.json"
 
+echo "==> tracked-line scaling bench (2x gate enforced only on >=8 cores)"
+target/release/bench_scaling "$SMOKE/bench_scaling.json" --iters 100000 --reps 2
+
+echo "==> ThreadSanitizer (nightly + rust-src; skipped when unavailable)"
+if rustup toolchain list 2>/dev/null | grep -q '^nightly' &&
+  rustup component list --toolchain nightly 2>/dev/null |
+    grep -q 'rust-src (installed)'; then
+  HOST=$(rustc -vV | sed -n 's/^host: //p')
+  RUSTFLAGS="-Zsanitizer=thread" TSAN_OPTIONS=halt_on_error=1 \
+    cargo +nightly test -Zbuild-std --target "$HOST" \
+    -p predator-core -p predator-sim -p predator-shadow --tests -q
+else
+  echo "    nightly toolchain with rust-src not installed; skipping TSan locally"
+fi
+
 echo "CI OK"

@@ -1,0 +1,521 @@
+//! Vendored stand-in for the `loom` model checker (offline builds; see
+//! `shims/README.md`).
+//!
+//! [`model`] runs a closure under **every** thread interleaving at
+//! atomic-operation granularity: the spawned threads are real OS threads,
+//! but a token scheduler lets exactly one run at a time and inserts a
+//! scheduling decision immediately before every atomic operation (and at
+//! spawn starts, joins, and thread exits). Exploration is depth-first over
+//! the decision tree with choice-vector replay: execution *n* replays a
+//! recorded prefix of decisions and takes the first untried branch at its
+//! deepest branching point, so the whole tree is visited exactly once and
+//! every execution is deterministic.
+//!
+//! ## Fidelity
+//!
+//! Unlike real loom this shim models **sequential consistency**: memory
+//! orderings are accepted and passed through to the underlying `std`
+//! atomics, but no weak-memory reorderings are explored. Interleaving bugs
+//! — lost updates, racy check-then-act windows, missed wakeups, broken CAS
+//! retry loops — are found exhaustively; `Relaxed`-vs-`Acquire` mistakes
+//! are not. That is the right trade for this workspace: the lock-free
+//! structures under test carry their own ordering arguments in
+//! `DESIGN.md`, and what wants machine-checking is the transition logic.
+//!
+//! A panic on any model thread aborts the current execution, and [`model`]
+//! re-raises it annotated (on stderr) with the decision prefix that
+//! reproduces the failing schedule.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Hard cap on explored executions; hitting it means the modelled test is
+/// too big (shrink the thread count or ops per thread), not that the shim
+/// should silently stop short of exhaustiveness.
+const MAX_EXECUTIONS: usize = 250_000;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    /// Has work to do; a scheduling candidate.
+    Active,
+    /// Waiting inside `join` for the given thread to finish.
+    Joining(usize),
+    Done,
+}
+
+struct State {
+    threads: Vec<Run>,
+    /// Which thread currently holds the run token.
+    current: usize,
+    /// Decisions taken so far this execution, as (chosen index, #candidates).
+    decisions: Vec<(usize, usize)>,
+    /// Replay prefix: decision indices to take before exploring fresh ones
+    /// (fresh ones always take candidate 0).
+    prefix: Vec<usize>,
+    failed: bool,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Scheduler {
+    st: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    /// (scheduler, my thread id) for threads managed by an active model run.
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// A scheduling decision point. No-op outside [`model`], so the shim's
+/// atomic wrappers behave as plain atomics in ordinary code.
+pub(crate) fn sched_point() {
+    if let Some((sched, me)) = ctx() {
+        sched.yield_at(me);
+    }
+}
+
+impl Scheduler {
+    fn new(prefix: Vec<usize>) -> Self {
+        Scheduler {
+            st: Mutex::new(State {
+                threads: vec![Run::Active],
+                current: 0,
+                decisions: Vec::new(),
+                prefix,
+                failed: false,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Picks the next thread to run among the Active ones (sorted by id, so
+    /// replay is deterministic) and records the decision. Lock held.
+    fn decide(st: &mut State) -> Option<usize> {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == Run::Active)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            return None;
+        }
+        let k = st.decisions.len();
+        let choice = st.prefix.get(k).copied().unwrap_or(0).min(runnable.len() - 1);
+        st.decisions.push((choice, runnable.len()));
+        Some(runnable[choice])
+    }
+
+    fn abort_if_failed(st: &State) {
+        if st.failed {
+            panic!("loom model execution aborted (another thread failed)");
+        }
+    }
+
+    /// The decision point before every atomic operation: choose who
+    /// performs their next operation, hand over the token if it isn't us,
+    /// and block until it comes back.
+    fn yield_at(&self, me: usize) {
+        let mut st = self.st.lock().unwrap();
+        Self::abort_if_failed(&st);
+        let next = Self::decide(&mut st).expect("the yielding thread itself is runnable");
+        if next == me {
+            return;
+        }
+        st.current = next;
+        self.cv.notify_all();
+        while st.current != me {
+            st = self.cv.wait(st).unwrap();
+            Self::abort_if_failed(&st);
+        }
+    }
+
+    /// Parks a freshly spawned thread until a decision schedules it.
+    fn wait_turn(&self, me: usize) {
+        let mut st = self.st.lock().unwrap();
+        while st.current != me {
+            st = self.cv.wait(st).unwrap();
+            Self::abort_if_failed(&st);
+        }
+    }
+
+    fn register(&self) -> usize {
+        let mut st = self.st.lock().unwrap();
+        st.threads.push(Run::Active);
+        st.threads.len() - 1
+    }
+
+    /// Blocks `me` until `target` finishes (model-level join).
+    fn join_on(&self, me: usize, target: usize) {
+        let mut st = self.st.lock().unwrap();
+        Self::abort_if_failed(&st);
+        if st.threads[target] == Run::Done {
+            return;
+        }
+        st.threads[me] = Run::Joining(target);
+        match Self::decide(&mut st) {
+            Some(next) => st.current = next,
+            None => {
+                st.failed = true;
+                self.cv.notify_all();
+                panic!("loom model deadlock: every thread is blocked in join");
+            }
+        }
+        self.cv.notify_all();
+        while st.current != me {
+            st = self.cv.wait(st).unwrap();
+            Self::abort_if_failed(&st);
+        }
+    }
+
+    /// Marks `me` finished, wakes its joiners, and hands the token on.
+    fn finish(&self, me: usize) {
+        let mut st = self.st.lock().unwrap();
+        st.threads[me] = Run::Done;
+        for i in 0..st.threads.len() {
+            if st.threads[i] == Run::Joining(me) {
+                st.threads[i] = Run::Active;
+            }
+        }
+        if let Some(next) = Self::decide(&mut st) {
+            st.current = next;
+        } else {
+            // Everyone done (or everyone blocked — impossible once joiners
+            // of `me` were woken, and other joins deadlock in join_on).
+            st.current = usize::MAX;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Records the first panic and releases every parked thread; they abort
+    /// at their next decision point.
+    fn fail(&self, payload: Box<dyn std::any::Any + Send>, me: usize) {
+        let mut st = self.st.lock().unwrap();
+        st.failed = true;
+        if st.panic.is_none() {
+            st.panic = Some(payload);
+        }
+        st.threads[me] = Run::Done;
+        self.cv.notify_all();
+    }
+
+    /// Controller side: wait until every registered thread is Done.
+    fn wait_all(&self) {
+        let mut st = self.st.lock().unwrap();
+        while !st.threads.iter().all(|r| *r == Run::Done) {
+            if st.failed && st.threads.iter().all(|r| matches!(r, Run::Done | Run::Joining(_))) {
+                // Joiners of a failed run never get woken by finish(); they
+                // abort via the failed flag, but belt-and-braces: release.
+                self.cv.notify_all();
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// Advances DFS to the next unexplored schedule: bump the deepest decision
+/// that still has an untried sibling, drop everything after it.
+fn next_prefix(decisions: &[(usize, usize)]) -> Option<Vec<usize>> {
+    for k in (0..decisions.len()).rev() {
+        let (choice, n) = decisions[k];
+        if choice + 1 < n {
+            let mut p: Vec<usize> = decisions[..k].iter().map(|&(c, _)| c).collect();
+            p.push(choice + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Runs `f` under every interleaving of its threads' atomic operations.
+///
+/// `f` is re-invoked once per schedule; build all shared state inside it.
+/// Panics (assertion failures) on any model thread are re-raised from here
+/// after printing the decision prefix of the failing schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= MAX_EXECUTIONS,
+            "loom shim: more than {MAX_EXECUTIONS} schedules; shrink the modelled test"
+        );
+        let sched = Arc::new(Scheduler::new(prefix.clone()));
+
+        let s0 = Arc::clone(&sched);
+        let f0 = Arc::clone(&f);
+        let root = std::thread::spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&s0), 0)));
+            match catch_unwind(AssertUnwindSafe(|| f0())) {
+                Ok(()) => s0.finish(0),
+                Err(p) => s0.fail(p, 0),
+            }
+            CTX.with(|c| *c.borrow_mut() = None);
+        });
+
+        sched.wait_all();
+        root.join().expect("loom root thread wrapper never panics");
+
+        let mut st = sched.st.lock().unwrap();
+        if let Some(payload) = st.panic.take() {
+            let schedule: Vec<usize> = st.decisions.iter().map(|&(c, _)| c).collect();
+            eprintln!(
+                "loom shim: schedule {schedule:?} failed after {executions} execution(s)"
+            );
+            resume_unwind(payload);
+        }
+        match next_prefix(&st.decisions) {
+            Some(p) => prefix = p,
+            None => return,
+        }
+    }
+}
+
+pub mod thread {
+    use super::*;
+
+    /// Model-aware `std::thread::spawn`: the child is a real OS thread, but
+    /// it parks until a scheduling decision starts it, and every one of its
+    /// atomic operations is a decision point.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (sched, _me) = ctx().expect("loom::thread::spawn outside loom::model");
+        let id = sched.register();
+        let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+
+        let r2 = Arc::clone(&result);
+        let s2 = Arc::clone(&sched);
+        let os = std::thread::spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&s2), id)));
+            s2.wait_turn(id);
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(v) => {
+                    *r2.lock().unwrap() = Some(Ok(v));
+                    s2.finish(id);
+                }
+                Err(p) => {
+                    *r2.lock().unwrap() = Some(Err(Box::new("loom model thread panicked")));
+                    s2.fail(p, id);
+                }
+            }
+            CTX.with(|c| *c.borrow_mut() = None);
+        });
+
+        JoinHandle { id, sched, result, os: Some(os) }
+    }
+
+    /// A pure decision point (maps to real loom's `yield_now`).
+    pub fn yield_now() {
+        super::sched_point();
+    }
+
+    pub struct JoinHandle<T> {
+        id: usize,
+        sched: Arc<Scheduler>,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+        os: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Model-level join: blocks (as a scheduling decision) until the
+        /// target thread finishes, then reaps the OS thread.
+        pub fn join(mut self) -> std::thread::Result<T> {
+            let (sched, me) = ctx().expect("loom JoinHandle::join outside loom::model");
+            debug_assert!(Arc::ptr_eq(&sched, &self.sched));
+            sched.join_on(me, self.id);
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+            self.result.lock().unwrap().take().expect("joined thread stored its result")
+        }
+    }
+}
+
+pub mod sync {
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        /// Atomics are accepted with their stated orderings but explored
+        /// under sequential consistency (see crate docs).
+        macro_rules! model_atomic {
+            ($name:ident, $std:ty, $int:ty) => {
+                #[derive(Debug, Default)]
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    pub fn new(v: $int) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    pub fn load(&self, order: Ordering) -> $int {
+                        crate::sched_point();
+                        self.0.load(order)
+                    }
+
+                    pub fn store(&self, val: $int, order: Ordering) {
+                        crate::sched_point();
+                        self.0.store(val, order)
+                    }
+
+                    pub fn fetch_add(&self, val: $int, order: Ordering) -> $int {
+                        crate::sched_point();
+                        self.0.fetch_add(val, order)
+                    }
+
+                    pub fn fetch_or(&self, val: $int, order: Ordering) -> $int {
+                        crate::sched_point();
+                        self.0.fetch_or(val, order)
+                    }
+
+                    pub fn swap(&self, val: $int, order: Ordering) -> $int {
+                        crate::sched_point();
+                        self.0.swap(val, order)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        crate::sched_point();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        // Strong under the shim: spurious failures would
+                        // multiply schedules without adding coverage for
+                        // the retry loops under test.
+                        self.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        model_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        /// A fence is a pure decision point under sequential consistency.
+        pub fn fence(order: Ordering) {
+            crate::sched_point();
+            std::sync::atomic::fence(order);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::Arc;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    /// The canonical lost-update race: two unsynchronised load-then-store
+    /// increments. The model must find the interleaving where one update is
+    /// lost — i.e. observe final values {1, 2}, not just 2.
+    #[test]
+    fn finds_lost_update() {
+        let seen: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+        let seen2 = Arc::clone(&seen);
+        super::model(move || {
+            let n = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    super::thread::spawn(move || {
+                        let v = n.load(Ordering::Relaxed);
+                        n.store(v + 1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            seen2.lock().unwrap().insert(n.load(Ordering::Relaxed));
+        });
+        assert_eq!(
+            *seen.lock().unwrap(),
+            HashSet::from([1, 2]),
+            "exhaustive exploration must hit both the racy and the clean schedule"
+        );
+    }
+
+    /// fetch_add is atomic: no schedule may lose an increment.
+    #[test]
+    fn fetch_add_never_loses() {
+        super::model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    super::thread::spawn(move || {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::Relaxed), 3);
+        });
+    }
+
+    /// Exploration is exhaustive over op orders: with two threads doing one
+    /// store each of distinct values, both final values are observed.
+    #[test]
+    fn explores_both_store_orders() {
+        let seen: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+        let seen2 = Arc::clone(&seen);
+        super::model(move || {
+            let n = Arc::new(AtomicU64::new(0));
+            let a = {
+                let n = Arc::clone(&n);
+                super::thread::spawn(move || n.store(1, Ordering::Relaxed))
+            };
+            let b = {
+                let n = Arc::clone(&n);
+                super::thread::spawn(move || n.store(2, Ordering::Relaxed))
+            };
+            a.join().unwrap();
+            b.join().unwrap();
+            seen2.lock().unwrap().insert(n.load(Ordering::Relaxed));
+        });
+        assert_eq!(*seen.lock().unwrap(), HashSet::from([1, 2]));
+    }
+
+    /// A model assertion failure propagates out of model().
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn panics_propagate() {
+        super::model(|| {
+            let h = super::thread::spawn(|| {});
+            h.join().unwrap();
+            panic!("deliberate");
+        });
+    }
+}

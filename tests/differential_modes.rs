@@ -1,0 +1,185 @@
+//! Differential oracle for the lock-free tracking mode: on any
+//! deterministic (serialized) feed, `relaxed` must produce findings and run
+//! statistics identical to `precise` — the mutexed implementation is the
+//! executable specification, the lock-free one must never be *observably*
+//! different when there is no concurrency to blur the order of accesses.
+//!
+//! Two layers:
+//!
+//! * a deterministic matrix — every canonical sharing pattern under
+//!   round-robin and seeded schedules, across configs that exercise
+//!   promotion edges, prediction units, and the scaled virtual lines;
+//! * a property test over arbitrary two-line scripts and schedules. The
+//!   vendored proptest shim does not shrink, so any divergence is reduced
+//!   here with a ddmin pass over the flattened feed before reporting — the
+//!   panic message carries a locally 1-minimal reproducing interleaving.
+
+use proptest::prelude::*;
+
+use predator::core::{build_report, DetectorConfig, Predator, TrackingMode};
+use predator::sim::interleave::{interleave, Schedule, Script};
+use predator::sim::patterns::{generate, Pattern};
+use predator::sim::{Access, ThreadId};
+use predator::Report;
+
+const BASE: u64 = 0x4000_0000;
+
+fn run_feed(feed: &[Access], cfg: DetectorConfig) -> Report {
+    let rt = Predator::new(cfg, BASE, 1 << 20);
+    for a in feed {
+        rt.handle_access(a.tid, a.addr, a.size, a.kind);
+    }
+    build_report(&rt, None)
+}
+
+/// Reports for both modes on an identical feed. `report.obs` is never
+/// compared: observability counters are process-global and accumulate
+/// across tests, so they differ between any two runs by construction.
+fn pair(feed: &[Access], cfg: DetectorConfig) -> (Report, Report) {
+    (
+        run_feed(feed, cfg.with_tracking_mode(TrackingMode::Precise)),
+        run_feed(feed, cfg.with_tracking_mode(TrackingMode::Relaxed)),
+    )
+}
+
+fn diverges(feed: &[Access], cfg: DetectorConfig) -> bool {
+    let (p, r) = pair(feed, cfg);
+    p.findings != r.findings || p.stats != r.stats
+}
+
+/// ddmin over the access feed: repeatedly delete chunks (halving the chunk
+/// size whenever a whole pass removes nothing) while the divergence
+/// persists. Ends at a feed where no single access can be removed.
+fn ddmin(feed: &[Access], cfg: DetectorConfig) -> Vec<Access> {
+    let mut cur: Vec<Access> = feed.to_vec();
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let mut cand = cur.clone();
+            cand.drain(i..(i + chunk).min(cand.len()));
+            if !cand.is_empty() && diverges(&cand, cfg) {
+                cur = cand;
+                removed = true;
+            } else {
+                i += chunk;
+            }
+        }
+        if !removed {
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        } else {
+            chunk = chunk.min(cur.len().max(1));
+        }
+    }
+    cur
+}
+
+/// Asserts mode equivalence; on divergence, shrinks first so the failure
+/// message is a minimal interleaving rather than a thousand-access feed.
+fn assert_equivalent(feed: &[Access], cfg: DetectorConfig, ctx: &str) {
+    if !diverges(feed, cfg) {
+        return;
+    }
+    let min = ddmin(feed, cfg);
+    let (p, r) = pair(&min, cfg);
+    panic!(
+        "relaxed diverges from precise [{ctx}]\n\
+         minimal feed ({} accesses): {:#?}\n\
+         precise findings: {:#?}\nrelaxed findings: {:#?}\n\
+         precise stats: {:?}\nrelaxed stats: {:?}",
+        min.len(),
+        min,
+        p.findings,
+        r.findings,
+        p.stats,
+        r.stats
+    );
+}
+
+fn configs() -> Vec<(DetectorConfig, &'static str)> {
+    let mut scaled = DetectorConfig::sensitive();
+    scaled.max_scale_log2 = 2;
+    let exact = DetectorConfig {
+        tracking_threshold: 1,
+        report_threshold: 1,
+        sampling: false,
+        ..DetectorConfig::sensitive()
+    };
+    vec![
+        (DetectorConfig::sensitive(), "sensitive"),
+        (scaled, "sensitive+4x-lines"),
+        (exact, "unthresholded"),
+    ]
+}
+
+#[test]
+fn matrix_of_patterns_and_schedules_agrees() {
+    let patterns = [
+        Pattern::PingPong { threads: 4, base: BASE },
+        Pattern::TrueShare { threads: 4, addr: BASE },
+        Pattern::Striped { threads: 4, base: BASE, stride: 8 },
+        Pattern::Striped { threads: 4, base: BASE, stride: 64 },
+        Pattern::ReaderWriter { threads: 3, base: BASE },
+        Pattern::RandomMix { threads: 4, base: BASE, lines: 8, write_pct: 60, seed: 42 },
+    ];
+    let schedules =
+        [Schedule::RoundRobin, Schedule::Seeded(7), Schedule::Seeded(229), Schedule::Seeded(9001)];
+    for pattern in patterns {
+        for schedule in &schedules {
+            let feed = interleave(&generate(pattern, 400), schedule);
+            for (cfg, name) in configs() {
+                assert_equivalent(&feed, cfg, &format!("{pattern:?} / {schedule:?} / {name}"));
+            }
+        }
+    }
+}
+
+/// The exact threshold edge: writes landing precisely on multiples of the
+/// prediction threshold are where relaxed batching could legally defer an
+/// analysis pass — it must not.
+#[test]
+fn threshold_multiples_agree() {
+    let cfg = DetectorConfig::sensitive(); // prediction_threshold 16
+    for extra in 0..=2u64 {
+        let n = 16 * 3 + extra; // land just on / just past the promotion edge
+        let feed: Vec<Access> = (0..n * 2)
+            .map(|i| Access::write(ThreadId((i % 2) as u16), BASE + (i % 2) * 8, 8))
+            .collect();
+        assert_equivalent(&feed, cfg, &format!("edge feed, {extra} past multiple"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary scripts spanning two adjacent lines (words 0..16) under
+    /// arbitrary seeded schedules: two lines means hot-pair search and
+    /// prediction-unit feeds run, not just per-line counting.
+    #[test]
+    fn prop_relaxed_equals_precise_on_serialized_feeds(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec((0u64..16, prop::bool::ANY), 1..60), 2..4),
+        seed in 0u64..1000,
+    ) {
+        let n = per_thread.len();
+        let mut script = Script::new(n);
+        for (t, ops) in per_thread.iter().enumerate() {
+            for &(word, w) in ops {
+                let a = if w {
+                    Access::write(ThreadId(t as u16), BASE + word * 8, 8)
+                } else {
+                    Access::read(ThreadId(t as u16), BASE + word * 8, 8)
+                };
+                script.push(t, a);
+            }
+        }
+        let feed = interleave(&script, &Schedule::Seeded(seed));
+        for (cfg, name) in configs() {
+            assert_equivalent(&feed, cfg, &format!("seed {seed} / {name}"));
+        }
+    }
+}

@@ -145,6 +145,33 @@ proptest! {
     }
 }
 
+/// The shrunken case behind the committed regression seed in
+/// `history_vs_mesi.proptest-regressions` (cc c6da958d…): three threads on
+/// one word — a lone write, a read-then-write, and a lone read — under
+/// `Schedule::Seeded(229)`. Promoted to an always-run test so the
+/// historical failure keeps running even if the proptest harness or its
+/// seed-file handling changes.
+#[test]
+fn regression_seed_229_read_write_braid() {
+    let per_thread: [&[(u64, bool)]; 3] =
+        [&[(0, true)], &[(0, false), (0, true)], &[(0, false)]];
+    let mut script = Script::new(per_thread.len());
+    for (t, ops) in per_thread.iter().enumerate() {
+        for &(word, w) in *ops {
+            let a = if w {
+                Access::write(ThreadId(t as u16), BASE + word * 8, 8)
+            } else {
+                Access::read(ThreadId(t as u16), BASE + word * 8, 8)
+            };
+            script.push(t, a);
+        }
+    }
+    let merged = interleave(&script, &Schedule::Seeded(229));
+    let (det, mesi) = run_both(&merged, per_thread.len(), BASE >> 6);
+    assert!(det <= mesi, "detector {det} overcounts MESI {mesi}");
+    assert!(mesi - det <= 2, "detector {det} vs MESI {mesi}");
+}
+
 #[test]
 fn detector_with_thresholds_only_undercounts() {
     // With realistic thresholds the detector sees strictly less than MESI —
