@@ -33,7 +33,10 @@ pub struct Frame {
 impl Frame {
     /// Creates a frame.
     pub fn new(file: impl Into<String>, line: u32) -> Self {
-        Frame { file: file.into(), line }
+        Frame {
+            file: file.into(),
+            line,
+        }
     }
 }
 
@@ -55,7 +58,9 @@ impl Callsite {
     #[track_caller]
     pub fn here() -> Self {
         let loc = std::panic::Location::caller();
-        Callsite { frames: vec![Frame::new(loc.file(), loc.line())] }
+        Callsite {
+            frames: vec![Frame::new(loc.file(), loc.line())],
+        }
     }
 
     /// Builds a callsite from explicit frames (innermost first).
@@ -72,7 +77,9 @@ impl Callsite {
 
     /// An anonymous callsite for internal allocations.
     pub fn unknown() -> Self {
-        Callsite { frames: vec![Frame::new("<unknown>", 0)] }
+        Callsite {
+            frames: vec![Frame::new("<unknown>", 0)],
+        }
     }
 }
 
@@ -163,7 +170,10 @@ mod tests {
             Frame::new("./stddefines.h", 53),
             Frame::new("./linear_regression-pthread.c", 133),
         ]);
-        assert_eq!(site.to_string(), "./stddefines.h:53\n./linear_regression-pthread.c:133\n");
+        assert_eq!(
+            site.to_string(),
+            "./stddefines.h:53\n./linear_regression-pthread.c:133\n"
+        );
     }
 
     #[test]
@@ -193,9 +203,7 @@ mod tests {
             (0..8)
                 .map(|_| {
                     let t = t.clone();
-                    s.spawn(move || {
-                        t.intern(Callsite::from_frames(vec![Frame::new("same.rs", 1)]))
-                    })
+                    s.spawn(move || t.intern(Callsite::from_frames(vec![Frame::new("same.rs", 1)])))
                 })
                 .collect::<Vec<_>>()
                 .into_iter()

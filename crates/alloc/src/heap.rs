@@ -138,8 +138,12 @@ impl TrackedHeap {
     ///
     /// `base` must be line-aligned; `segment` is the per-thread carve size.
     pub fn new(base: u64, size: u64, line_size: u64, segment: u64) -> Self {
-        let shared =
-            Arc::new(Mutex::new(SegmentSource::new(base, base + size, segment, line_size)));
+        let shared = Arc::new(Mutex::new(SegmentSource::new(
+            base,
+            base + size,
+            segment,
+            line_size,
+        )));
         TrackedHeap {
             line_size,
             shared,
@@ -173,7 +177,10 @@ impl TrackedHeap {
         let mut threads = self.threads.write().unwrap();
         while threads.len() <= tid.index() {
             let chunks = SegmentChunks::new(self.shared.clone());
-            threads.push(Arc::new(Mutex::new(SizeClassLayer::new(chunks, self.line_size))));
+            threads.push(Arc::new(Mutex::new(SizeClassLayer::new(
+                chunks,
+                self.line_size,
+            ))));
         }
         threads[tid.index()].clone()
     }
@@ -193,10 +200,17 @@ impl TrackedHeap {
             let heap = self.thread_heap(tid);
             let mut heap = heap.lock().unwrap();
             let addr = heap.alloc(size.max(1)).ok_or(AllocError::OutOfMemory)?;
-            (addr, SizeClassLayer::<SegmentChunks>::usable_size(size.max(1)))
+            (
+                addr,
+                SizeClassLayer::<SegmentChunks>::usable_size(size.max(1)),
+            )
         } else {
-            let (s, e) =
-                self.shared.lock().unwrap().take_span(size).ok_or(AllocError::OutOfMemory)?;
+            let (s, e) = self
+                .shared
+                .lock()
+                .unwrap()
+                .take_span(size)
+                .ok_or(AllocError::OutOfMemory)?;
             (s, e - s)
         };
         let info = ObjectInfo {
@@ -222,7 +236,12 @@ impl TrackedHeap {
     /// regardless of which thread calls `free`. Quarantined and large objects
     /// are not recycled.
     pub fn free(&self, _tid: ThreadId, addr: u64) -> Result<FreeOutcome, FreeError> {
-        let info = self.live.lock().unwrap().remove(&addr).ok_or(FreeError::UnknownObject(addr))?;
+        let info = self
+            .live
+            .lock()
+            .unwrap()
+            .remove(&addr)
+            .ok_or(FreeError::UnknownObject(addr))?;
         self.freed_bytes.fetch_add(info.usable, Ordering::Relaxed);
         let quarantined = self.quarantine.lock().unwrap().contains(&addr);
         let recycled = !quarantined && info.size <= MAX_SMALL;
@@ -278,7 +297,10 @@ impl TrackedHeap {
     /// free-list population, uncarved heap).
     pub fn stats(&self) -> HeapStats {
         let threads = self.threads.read().unwrap();
-        let cached_blocks = threads.iter().map(|h| h.lock().unwrap().cached_blocks()).sum();
+        let cached_blocks = threads
+            .iter()
+            .map(|h| h.lock().unwrap().cached_blocks())
+            .sum();
         HeapStats {
             threads: threads.len(),
             live_objects: self.live.lock().unwrap().len(),
@@ -398,13 +420,19 @@ mod tests {
         let h = heap();
         let o = h.malloc(ThreadId(0), 64, site(1)).unwrap();
         h.free(ThreadId(0), o.start).unwrap();
-        assert_eq!(h.free(ThreadId(0), o.start), Err(FreeError::UnknownObject(o.start)));
+        assert_eq!(
+            h.free(ThreadId(0), o.start),
+            Err(FreeError::UnknownObject(o.start))
+        );
     }
 
     #[test]
     fn unknown_free_is_reported() {
         let h = heap();
-        assert_eq!(h.free(ThreadId(0), 0xdead), Err(FreeError::UnknownObject(0xdead)));
+        assert_eq!(
+            h.free(ThreadId(0), 0xdead),
+            Err(FreeError::UnknownObject(0xdead))
+        );
     }
 
     #[test]
@@ -432,7 +460,10 @@ mod tests {
         // One segment total: thread 0 claims it; thread 1 has nowhere to go.
         let h = TrackedHeap::new(BASE, 4096, 64, 4096);
         h.malloc(ThreadId(0), 8, site(1)).unwrap();
-        assert_eq!(h.malloc(ThreadId(1), 8, site(1)).unwrap_err(), AllocError::OutOfMemory);
+        assert_eq!(
+            h.malloc(ThreadId(1), 8, site(1)).unwrap_err(),
+            AllocError::OutOfMemory
+        );
     }
 
     #[test]
@@ -458,7 +489,10 @@ mod tests {
         let s = h.stats();
         assert_eq!(s.live_objects, 1);
         assert_eq!(s.quarantined, 1);
-        assert_eq!(s.cached_blocks, 0, "quarantined blocks never hit free lists");
+        assert_eq!(
+            s.cached_blocks, 0,
+            "quarantined blocks never hit free lists"
+        );
         let c = h.malloc(ThreadId(1), 8, site(3)).unwrap();
         h.free(ThreadId(1), c.start).unwrap();
         assert_eq!(h.stats().cached_blocks, 1);

@@ -88,7 +88,10 @@ impl SegmentSource {
     pub fn new(start: u64, end: u64, segment_size: u64, line_size: u64) -> Self {
         assert!(segment_size >= line_size && segment_size.is_multiple_of(line_size));
         assert_eq!(start % line_size, 0, "segment region must be line-aligned");
-        SegmentSource { bump: BumpSource::new(start, end), segment_size }
+        SegmentSource {
+            bump: BumpSource::new(start, end),
+            segment_size,
+        }
     }
 
     /// Size of each carved segment.
@@ -103,7 +106,9 @@ impl SegmentSource {
 
     /// Takes one segment; returns its `[start, end)` range.
     pub fn take_segment(&mut self) -> Option<(u64, u64)> {
-        let start = self.bump.alloc_aligned(self.segment_size, self.segment_size)?;
+        let start = self
+            .bump
+            .alloc_aligned(self.segment_size, self.segment_size)?;
         Some((start, start + self.segment_size))
     }
 
@@ -127,7 +132,10 @@ pub struct SegmentChunks {
 impl SegmentChunks {
     /// Creates an empty per-thread source backed by `shared`.
     pub fn new(shared: Arc<Mutex<SegmentSource>>) -> Self {
-        SegmentChunks { current: None, shared }
+        SegmentChunks {
+            current: None,
+            shared,
+        }
     }
 
     /// Access to the shared segment pool (for large allocations).
@@ -184,7 +192,11 @@ impl<S: AllocSource> SizeClassLayer<S> {
     /// Wraps `source` with size-class free lists; `line_size` caps object
     /// alignment.
     pub fn new(source: S, line_size: u64) -> Self {
-        SizeClassLayer { source, free_lists: Default::default(), line_size }
+        SizeClassLayer {
+            source,
+            free_lists: Default::default(),
+            line_size,
+        }
     }
 
     /// Allocates a small object (`size ≤ MAX_SMALL`), preferring the free
@@ -320,7 +332,10 @@ mod tests {
             lines0.insert(t0.alloc_aligned(8, 8).unwrap() / 64);
             lines1.insert(t1.alloc_aligned(8, 8).unwrap() / 64);
         }
-        assert!(lines0.is_disjoint(&lines1), "per-thread segments must isolate lines");
+        assert!(
+            lines0.is_disjoint(&lines1),
+            "per-thread segments must isolate lines"
+        );
     }
 
     proptest! {

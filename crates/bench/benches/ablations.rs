@@ -12,8 +12,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use predator_core::{DetectorConfig, Predator};
 use predator_instrument::{
-    instrument_module, FunctionBuilder, InstrumentOptions, Machine, Module, NullSink,
-    StepSchedule, ThreadSpec,
+    instrument_module, FunctionBuilder, InstrumentOptions, Machine, Module, NullSink, StepSchedule,
+    ThreadSpec,
 };
 use predator_shadow::SimSpace;
 use predator_sim::{AccessKind, ThreadId};
@@ -23,22 +23,29 @@ const BASE: u64 = 0x4000_0000;
 fn bench_thresholds(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_tracking_threshold");
     for threshold in [1u32, 128, 4096] {
-        let cfg = DetectorConfig { tracking_threshold: threshold, ..DetectorConfig::paper() };
+        let cfg = DetectorConfig {
+            tracking_threshold: threshold,
+            ..DetectorConfig::paper()
+        };
         let rt = Predator::new(cfg, BASE, 1 << 20);
         let mut i = 0u64;
-        g.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |b, _| {
-            b.iter(|| {
-                i = i.wrapping_add(1);
-                // Two threads ping-pong one line: with threshold 1 every
-                // access pays tracking; with 4096 the counter path dominates.
-                rt.handle_access(
-                    ThreadId((i % 2) as u16),
-                    BASE + (i % 2) * 8,
-                    8,
-                    AccessKind::Write,
-                );
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, _| {
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    // Two threads ping-pong one line: with threshold 1 every
+                    // access pays tracking; with 4096 the counter path dominates.
+                    rt.handle_access(
+                        ThreadId((i % 2) as u16),
+                        BASE + (i % 2) * 8,
+                        8,
+                        AccessKind::Write,
+                    );
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -79,7 +86,11 @@ fn redundant_access_module() -> Module {
     let exit = fb.new_block();
     fb.jmp(head);
     fb.select_block(head);
-    let c = fb.bin(predator_instrument::BinOp::Lt, i, predator_instrument::Operand::Reg(1));
+    let c = fb.bin(
+        predator_instrument::BinOp::Lt,
+        i,
+        predator_instrument::Operand::Reg(1),
+    );
     fb.br(c, body, exit);
     fb.select_block(body);
     // Four accesses to the same address expression in one block.
@@ -92,14 +103,22 @@ fn redundant_access_module() -> Module {
     fb.jmp(head);
     fb.select_block(exit);
     fb.ret(None);
-    Module { functions: vec![fb.finish().unwrap()] }
+    Module {
+        functions: vec![fb.finish().unwrap()],
+    }
 }
 
 fn bench_selective_instrumentation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_selective_instrumentation");
     for (label, no_selective) in [("selective", false), ("exhaustive", true)] {
         let mut m = redundant_access_module();
-        instrument_module(&mut m, &InstrumentOptions { no_selective, ..Default::default() });
+        instrument_module(
+            &mut m,
+            &InstrumentOptions {
+                no_selective,
+                ..Default::default()
+            },
+        );
         g.bench_function(label, |b| {
             b.iter(|| {
                 let space = SimSpace::new(4096);

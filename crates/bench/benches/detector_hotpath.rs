@@ -49,7 +49,10 @@ fn bench_handle_access(c: &mut Criterion) {
     });
 
     // Tracked line, sampling OFF: every access records (lock + tables).
-    let cfg = DetectorConfig { sampling: false, ..DetectorConfig::paper() };
+    let cfg = DetectorConfig {
+        sampling: false,
+        ..DetectorConfig::paper()
+    };
     let rt = Predator::new(cfg, BASE, 1 << 20);
     for _ in 0..200 {
         rt.handle_access(ThreadId(0), BASE, 8, AccessKind::Write);

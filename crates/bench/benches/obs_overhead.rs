@@ -117,5 +117,10 @@ fn bench_hot_path_with_hooks(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_primitives, bench_recorder, bench_hot_path_with_hooks);
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_recorder,
+    bench_hot_path_with_hooks
+);
 criterion_main!(benches);

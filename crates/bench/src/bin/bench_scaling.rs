@@ -82,8 +82,11 @@ fn run_once(mode: TrackingMode, threads: usize, iters: u64) -> f64 {
                 let addr = (t as u64 % geom.words_per_line() as u64) * 8;
                 barrier.wait();
                 for i in 0..iters {
-                    let kind =
-                        if i % 8 == 7 { AccessKind::Read } else { AccessKind::Write };
+                    let kind = if i % 8 == 7 {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    };
                     track.handle(tid, addr, 8, kind, &cfg);
                 }
             })
@@ -124,14 +127,19 @@ fn main() {
         }
     }
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let thread_counts = vec![1usize, 2, 4, 8];
     let max_threads = *thread_counts.last().unwrap();
 
     let mut samples = Vec::new();
     let mut base: f64 = 1.0;
     let mut at_max = [0.0f64; 2]; // [precise, relaxed] accesses/s at max threads
-    for (m, mode) in [TrackingMode::Precise, TrackingMode::Relaxed].into_iter().enumerate() {
+    for (m, mode) in [TrackingMode::Precise, TrackingMode::Relaxed]
+        .into_iter()
+        .enumerate()
+    {
         for &threads in &thread_counts {
             let (wall_ms, per_s) = measure(mode, threads, iters, reps);
             if threads == 1 {
@@ -158,7 +166,12 @@ fn main() {
 
     let speedup = at_max[1] / at_max[0];
     let enforced = cores >= max_threads;
-    let gate = Gate { speedup_at_max_threads: speedup, required: 2.0, enforced, passed: speedup >= 2.0 };
+    let gate = Gate {
+        speedup_at_max_threads: speedup,
+        required: 2.0,
+        enforced,
+        passed: speedup >= 2.0,
+    };
     eprintln!(
         "relaxed/precise at {max_threads} threads: {speedup:.2}x (gate {} on {cores} cores)",
         if enforced { "enforced" } else { "advisory" }

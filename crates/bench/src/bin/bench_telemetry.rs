@@ -34,7 +34,10 @@ fn store(path: &str, report: &BenchReport) -> Result<(), String> {
 }
 
 fn opt(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn run() -> Result<(), String> {
@@ -52,7 +55,10 @@ fn run() -> Result<(), String> {
             };
             let names: Vec<String> = match opt(&args, "--workloads") {
                 Some(list) => list.split(',').map(str::to_string).collect(),
-                None => telemetry::SMALL_SUITE.iter().map(|s| s.to_string()).collect(),
+                None => telemetry::SMALL_SUITE
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
             };
             let refs: Vec<&str> = names.iter().map(String::as_str).collect();
             let report = BenchReport::measure(&refs, iters, hot_iters)?;

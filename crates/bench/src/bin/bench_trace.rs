@@ -108,12 +108,18 @@ fn main() {
             out_path = a.clone();
         }
     }
-    let cfg = WorkloadConfig { threads: 4, iters, seed: 42, variant: Variant::Broken };
+    let cfg = WorkloadConfig {
+        threads: 4,
+        iters,
+        seed: 42,
+        variant: Variant::Broken,
+    };
     let w = by_name("histogram").unwrap();
 
     // Record through the tap with detection off, exactly like
     // `predator record`, into a temp file beside the output.
-    let trace_path = std::env::temp_dir().join(format!("bench-trace-{}.ptrace", std::process::id()));
+    let trace_path =
+        std::env::temp_dir().join(format!("bench-trace-{}.ptrace", std::process::id()));
     let mut det = DetectorConfig::sensitive();
     det.enabled = false;
     let session = Session::with_config(det);
@@ -139,15 +145,18 @@ fn main() {
     let t = Instant::now();
     let events: Vec<Access> = {
         let f = std::fs::File::open(&trace_path).expect("reopen trace");
-        TraceReader::new(BufReader::new(f)).expect("trace header").collect()
+        TraceReader::new(BufReader::new(f))
+            .expect("trace header")
+            .collect()
     };
     let ptrace_decode = t.elapsed();
     assert_eq!(events.len() as u64, summary.events, "lossless decode");
     let mut jsonl = Vec::new();
     save_jsonl(&events, &mut jsonl).expect("encode jsonl");
     let t = Instant::now();
-    let back: Vec<Access> =
-        JsonlIter::new(std::io::Cursor::new(&jsonl)).map(|r| r.unwrap()).collect();
+    let back: Vec<Access> = JsonlIter::new(std::io::Cursor::new(&jsonl))
+        .map(|r| r.unwrap())
+        .collect();
     let jsonl_decode = t.elapsed();
     assert_eq!(back.len(), events.len());
     std::fs::remove_file(&trace_path).ok();
@@ -192,7 +201,9 @@ fn main() {
             trace: "synthetic-8-cluster-pingpong",
             events: out4.events,
             clusters: out4.clusters,
-            cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             shards1_ms: ms(t1),
             shards4_ms: ms(t4),
             speedup: t1.as_secs_f64() / t4.as_secs_f64().max(1e-9),
@@ -202,7 +213,10 @@ fn main() {
         },
     };
 
-    println!("TRACE BENCH — histogram, {} threads x {} iters", cfg.threads, iters);
+    println!(
+        "TRACE BENCH — histogram, {} threads x {} iters",
+        cfg.threads, iters
+    );
     println!(
         "  record:   {} events in {:.1} ms ({:.1} Mevents/s), {:.2} bytes/event",
         report.record.events,
@@ -231,7 +245,10 @@ fn main() {
         report.analyze.findings,
         report.analyze.reports_identical
     );
-    assert!(report.analyze.reports_identical, "shard count must not change the report");
+    assert!(
+        report.analyze.reports_identical,
+        "shard count must not change the report"
+    );
     if report.analyze.cores < 4 {
         println!(
             "  note:     {} core(s) visible — shard workers time-slice the CPU, so speedup < 1 is expected here",
@@ -252,7 +269,11 @@ fn multi_cluster_trace(regions: u64, per_region: u64, base: u64) -> Vec<Access> 
     for i in 0..per_region {
         for r in 0..regions {
             let rbase = base + r * 0x10000;
-            out.push(Access::write(ThreadId((i % 2) as u16), rbase + (i % 2) * 8, 8));
+            out.push(Access::write(
+                ThreadId((i % 2) as u16),
+                rbase + (i % 2) * 8,
+                8,
+            ));
         }
     }
     out

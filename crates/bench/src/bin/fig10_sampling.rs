@@ -12,7 +12,10 @@ use predator_workloads::{by_name, WorkloadConfig};
 
 fn main() {
     let iters = eval_iters();
-    let cfg = WorkloadConfig { iters, ..WorkloadConfig::default() };
+    let cfg = WorkloadConfig {
+        iters,
+        ..WorkloadConfig::default()
+    };
 
     // Detection must stay meaningful at 0.1%: scale the report threshold
     // with the sampling rate like the paper's fixed threshold effectively
@@ -32,8 +35,13 @@ fn main() {
         "workload", "0.1% (norm/det)", "1% (norm/det)", "10% (norm/det)"
     );
 
-    let names =
-        ["histogram", "linear_regression", "reverse_index", "word_count", "streamcluster"];
+    let names = [
+        "histogram",
+        "linear_regression",
+        "reverse_index",
+        "word_count",
+        "streamcluster",
+    ];
     let mut avgs = [0.0f64; 3];
     for name in names {
         let w = by_name(name).unwrap();
@@ -46,7 +54,11 @@ fn main() {
             cells.push(format!(
                 "{:.2}x/{}",
                 norm,
-                if report.has_false_sharing() { "yes" } else { "MISS" }
+                if report.has_false_sharing() {
+                    "yes"
+                } else {
+                    "MISS"
+                }
             ));
         }
         println!(

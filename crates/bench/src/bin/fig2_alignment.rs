@@ -22,12 +22,16 @@
 //! PREDATOR_ITERS=5000000 cargo run -p predator-bench --release --bin fig2_alignment
 //! ```
 
-use predator_bench::{eval_reps, header, lreg_offset_invalidations, median_time, modeled_time, ratio};
+use predator_bench::{
+    eval_reps, header, lreg_offset_invalidations, median_time, modeled_time, ratio,
+};
 use predator_workloads::phoenix::linear_regression::LinearRegression;
 use predator_workloads::WorkloadConfig;
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
 
     header("Figure 2 (simulated): invalidations & modeled runtime vs. offset");
     let sim_iters = 50_000u64;
@@ -69,10 +73,19 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2_000_000u64);
-    let cfg = WorkloadConfig { threads, iters, ..WorkloadConfig::default() };
+    let cfg = WorkloadConfig {
+        threads,
+        iters,
+        ..WorkloadConfig::default()
+    };
     let reps = eval_reps();
     println!("threads={threads} iters/thread={iters} reps={reps} (median)");
-    if threads < 2 || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+    if threads < 2
+        || std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+    {
         println!("WARNING: <2 cores available — false sharing cannot affect wall time here.\n");
     } else {
         println!();
@@ -81,11 +94,19 @@ fn main() {
     let results: Vec<_> = (0..64)
         .step_by(8)
         .map(|offset| {
-            (offset, median_time(reps, || LinearRegression.run_native_offset(&cfg, offset)))
+            (
+                offset,
+                median_time(reps, || LinearRegression.run_native_offset(&cfg, offset)),
+            )
         })
         .collect();
     let best = results.iter().map(|(_, d)| *d).min().unwrap();
     for (offset, d) in &results {
-        println!("{:<12} {:>12.3} {:>9.2}x", offset, d.as_secs_f64() * 1e3, ratio(*d, best));
+        println!(
+            "{:<12} {:>12.3} {:>9.2}x",
+            offset,
+            d.as_secs_f64() * 1e3,
+            ratio(*d, best)
+        );
     }
 }

@@ -15,10 +15,19 @@ use predator_workloads::{all, WorkloadConfig};
 
 fn main() {
     let iters = eval_iters();
-    let cfg = WorkloadConfig { iters, ..WorkloadConfig::default() };
+    let cfg = WorkloadConfig {
+        iters,
+        ..WorkloadConfig::default()
+    };
     let det = eval_config();
-    let det_np = DetectorConfig { prediction: false, ..det };
-    let det_off = DetectorConfig { enabled: false, ..det };
+    let det_np = DetectorConfig {
+        prediction: false,
+        ..det
+    };
+    let det_off = DetectorConfig {
+        enabled: false,
+        ..det
+    };
 
     header("Figure 7: execution time overhead (normalized to Original)");
     println!(

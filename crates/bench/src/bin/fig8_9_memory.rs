@@ -26,7 +26,10 @@ use predator_workloads::{all, WorkloadConfig};
 
 fn main() {
     let iters = eval_iters();
-    let cfg = WorkloadConfig { iters, ..WorkloadConfig::default() };
+    let cfg = WorkloadConfig {
+        iters,
+        ..WorkloadConfig::default()
+    };
     let det = eval_config();
     // A heap sized for the miniature workloads (4 MiB) keeps the fixed
     // shadow arrays proportionate, as the paper's fixed heap is to its
@@ -48,8 +51,16 @@ fn main() {
         let app = session.heap().live_bytes() as f64 / 1024.0;
         let fixed = rt.metadata_fixed_bytes() as f64 / 1024.0;
         let dynamic = rt.metadata_dynamic_bytes() as f64 / 1024.0;
-        let rel_total = if app > 0.0 { (app + fixed + dynamic) / app } else { f64::NAN };
-        let rel_dyn = if app > 0.0 { (app + dynamic) / app } else { f64::NAN };
+        let rel_total = if app > 0.0 {
+            (app + fixed + dynamic) / app
+        } else {
+            f64::NAN
+        };
+        let rel_dyn = if app > 0.0 {
+            (app + dynamic) / app
+        } else {
+            f64::NAN
+        };
         totals.push(rel_total);
         dyns.push(rel_dyn);
         println!(
@@ -76,7 +87,10 @@ fn main() {
         avg(&dyns)
     );
     println!("\nfixed = CacheWrites + CacheTracking shadow arrays (12 B per 64 B line,");
-    println!("        paid for the whole {} MiB predefined heap).", heap_bytes >> 20);
+    println!(
+        "        paid for the whole {} MiB predefined heap).",
+        heap_bytes >> 20
+    );
     println!("paper shape: modest ratios for real-sized apps; tiny-footprint apps");
     println!("             (swaptions, aget) are the big relative outliers — here every");
     println!("             workload is miniature, so the fixed part dominates all rows.");

@@ -33,7 +33,10 @@ use predator_workloads::{by_name, run_and_report, Variant, WorkloadConfig};
 fn main() {
     let iters = eval_iters();
     let det = eval_config();
-    let np = DetectorConfig { prediction: false, ..det };
+    let np = DetectorConfig {
+        prediction: false,
+        ..det
+    };
     let native = std::env::var("PREDATOR_NATIVE").is_ok();
 
     header("Table 1: false sharing problems in Phoenix and PARSEC");
@@ -62,7 +65,10 @@ fn main() {
 
     for &(name, is_new) in rows {
         let w = by_name(name).expect("workload");
-        let cfg = WorkloadConfig { iters, ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            iters,
+            ..WorkloadConfig::default()
+        };
         let without = run_and_report(w.as_ref(), np, &cfg).has_observed_false_sharing();
         let with_report = run_and_report(w.as_ref(), det, &cfg);
         let with = with_report.has_false_sharing();
@@ -78,8 +84,7 @@ fn main() {
             let model_iters = iters.min(20_000);
             let (_, inv) = lreg_offset_invalidations(24, cfg.threads, model_iters);
             let ncfg = cfg.with_iters(native_iters).with_variant(Variant::Fixed);
-            let t_fixed =
-                median_time(eval_reps(), || w.run_native(&ncfg)).as_secs_f64();
+            let t_fixed = median_time(eval_reps(), || w.run_native(&ncfg)).as_secs_f64();
             let scaled = inv as f64 * (native_iters as f64 / model_iters as f64);
             format!(
                 "{:+.2}% (latent)",
@@ -117,7 +122,10 @@ fn main() {
 
         if native && (with || without) {
             let reps = eval_reps();
-            let ncfg = WorkloadConfig { iters: iters.max(200_000), ..WorkloadConfig::default() };
+            let ncfg = WorkloadConfig {
+                iters: iters.max(200_000),
+                ..WorkloadConfig::default()
+            };
             let broken = median_time(reps, || w.run_native(&ncfg));
             let fixed = median_time(reps, || w.run_native(&ncfg.with_variant(Variant::Fixed)));
             println!(

@@ -23,7 +23,10 @@ fn main() {
 
     for name in ["mysql", "boost", "memcached", "aget", "pbzip2", "pfscan"] {
         let w = by_name(name).expect("workload");
-        let cfg = WorkloadConfig { iters, ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            iters,
+            ..WorkloadConfig::default()
+        };
         let report = run_and_report(w.as_ref(), det, &cfg);
         let detected = report.has_false_sharing();
         let site = report
@@ -56,10 +59,19 @@ fn main() {
             "-".into()
         };
 
-        println!("{:<12} {:>10} {:>22} {:>14}", name, mark(detected), site, improvement);
+        println!(
+            "{:<12} {:>10} {:>22} {:>14}",
+            name,
+            mark(detected),
+            site,
+            improvement
+        );
 
         if detected && std::env::var("PREDATOR_NATIVE").is_ok() {
-            let ncfg = WorkloadConfig { iters: iters.max(200_000), ..WorkloadConfig::default() };
+            let ncfg = WorkloadConfig {
+                iters: iters.max(200_000),
+                ..WorkloadConfig::default()
+            };
             let broken = median_time(reps, || w.run_native(&ncfg));
             let fixed = median_time(reps, || w.run_native(&ncfg.with_variant(Variant::Fixed)));
             println!(

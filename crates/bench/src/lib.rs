@@ -93,12 +93,18 @@ pub fn eval_config() -> DetectorConfig {
 /// Default workload size for the evaluation binaries (overridable via the
 /// `PREDATOR_ITERS` environment variable).
 pub fn eval_iters() -> u64 {
-    std::env::var("PREDATOR_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(30_000)
+    std::env::var("PREDATOR_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000)
 }
 
 /// Repetitions for native timing runs (`PREDATOR_REPS`, default 5).
 pub fn eval_reps() -> usize {
-    std::env::var("PREDATOR_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(5)
+    std::env::var("PREDATOR_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
 }
 
 /// Cost of one coherence invalidation relative to an L1 hit, for the
@@ -219,9 +225,12 @@ mod tests {
 
     #[test]
     fn median_time_is_order_insensitive() {
-        let mut samples =
-            vec![Duration::from_millis(5), Duration::from_millis(1), Duration::from_millis(3)]
-                .into_iter();
+        let mut samples = vec![
+            Duration::from_millis(5),
+            Duration::from_millis(1),
+            Duration::from_millis(3),
+        ]
+        .into_iter();
         let m = median_time(3, || samples.next().unwrap());
         assert_eq!(m, Duration::from_millis(3));
     }
@@ -248,8 +257,7 @@ mod tests {
     #[test]
     fn lreg_simulation_reproduces_figure2_shape() {
         // Offsets 0 and 56 clean; 24 worst — the paper's exact curve.
-        let inv =
-            |off| lreg_offset_invalidations(off, 4, 200).1;
+        let inv = |off| lreg_offset_invalidations(off, 4, 200).1;
         assert_eq!(inv(0), 0, "offset 0 has no sharing");
         assert_eq!(inv(56), 0, "offset 56 has no sharing");
         let worst = (0..8).map(|i| inv(i * 8)).max().unwrap();
@@ -260,11 +268,20 @@ mod tests {
     #[test]
     fn modeled_improvement_positive_for_broken_histogram() {
         let w = predator_workloads::by_name("histogram").unwrap();
-        let cfg = WorkloadConfig { iters: 2_000, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 2_000,
+            ..WorkloadConfig::quick()
+        };
         let imp = modeled_improvement(w.as_ref(), &cfg);
-        assert!(imp > 50.0, "histogram fix should be worth a lot, got {imp:.1}%");
+        assert!(
+            imp > 50.0,
+            "histogram fix should be worth a lot, got {imp:.1}%"
+        );
         let clean = predator_workloads::by_name("blackscholes").unwrap();
         let imp = modeled_improvement(clean.as_ref(), &cfg);
-        assert!(imp.abs() < 5.0, "clean workload improvement ~0, got {imp:.1}%");
+        assert!(
+            imp.abs() < 5.0,
+            "clean workload improvement ~0, got {imp:.1}%"
+        );
     }
 }

@@ -103,18 +103,25 @@ pub fn measure_hot_path(iters: u64) -> HotPath {
         rt.handle_access(ThreadId(0), BASE, 8, AccessKind::Write);
     }
     assert!(rt.tracked_lines() > 0, "warmup must promote the line");
-    let tracked_write_ns =
-        ns_per_iter(iters, || rt.handle_access(ThreadId(0), BASE, 8, AccessKind::Write));
+    let tracked_write_ns = ns_per_iter(iters, || {
+        rt.handle_access(ThreadId(0), BASE, 8, AccessKind::Write)
+    });
     let rt = Predator::new(DetectorConfig::paper(), BASE, 1 << 20);
-    let untracked_read_ns =
-        ns_per_iter(iters, || rt.handle_access(ThreadId(0), BASE + 4096, 8, AccessKind::Read));
-    HotPath { tracked_write_ns, untracked_read_ns }
+    let untracked_read_ns = ns_per_iter(iters, || {
+        rt.handle_access(ThreadId(0), BASE + 4096, 8, AccessKind::Read)
+    });
+    HotPath {
+        tracked_write_ns,
+        untracked_read_ns,
+    }
 }
 
 /// Peak resident set size in KiB from `/proc/self/status` (`VmHWM`); 0 on
 /// hosts without procfs.
 pub fn peak_rss_kb() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
     status
         .lines()
         .find_map(|l| l.strip_prefix("VmHWM:"))
@@ -130,7 +137,10 @@ impl BenchReport {
         let mut workloads = Vec::with_capacity(names.len());
         for name in names {
             let w = by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
-            let cfg = WorkloadConfig { iters, ..WorkloadConfig::quick() };
+            let cfg = WorkloadConfig {
+                iters,
+                ..WorkloadConfig::quick()
+            };
             let session = Session::with_config(crate::eval_config());
             let start = Instant::now();
             w.run_tracked(&session, &cfg);
@@ -179,7 +189,10 @@ impl BenchReport {
         if self.schema == SCHEMA {
             Ok(())
         } else {
-            Err(format!("unsupported bench schema `{}` (want `{SCHEMA}`)", self.schema))
+            Err(format!(
+                "unsupported bench schema `{}` (want `{SCHEMA}`)",
+                self.schema
+            ))
         }
     }
 }
@@ -217,7 +230,11 @@ impl BenchDiff {
 
 impl fmt::Display for BenchDiff {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<40} {:>12} {:>12} {:>9}  GATE", "METRIC", "OLD", "NEW", "CHANGE")?;
+        writeln!(
+            f,
+            "{:<40} {:>12} {:>12} {:>9}  GATE",
+            "METRIC", "OLD", "NEW", "CHANGE"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -243,7 +260,13 @@ impl fmt::Display for BenchDiff {
 pub fn diff_reports(old: &BenchReport, new: &BenchReport, tolerance: f64) -> BenchDiff {
     let mut diff = BenchDiff::default();
     let mut row = |metric: String, old: f64, new: f64, regression: f64| {
-        diff.rows.push(DiffRow { metric, old, new, regression, failed: regression > tolerance });
+        diff.rows.push(DiffRow {
+            metric,
+            old,
+            new,
+            regression,
+            failed: regression > tolerance,
+        });
     };
     row(
         "hot_path/tracked_write_ns".into(),
@@ -287,7 +310,10 @@ mod tests {
         BenchReport {
             schema: SCHEMA.to_string(),
             obs_hooks: true,
-            hot_path: HotPath { tracked_write_ns: tracked, untracked_read_ns: 5.0 },
+            hot_path: HotPath {
+                tracked_write_ns: tracked,
+                untracked_read_ns: 5.0,
+            },
             workloads: vec![WorkloadBench {
                 name: "histogram".into(),
                 threads: 4,

@@ -179,8 +179,11 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         "--shards",
         "--limit",
     ];
-    let mut args =
-        Args { positional: Vec::new(), flags: Vec::new(), options: Default::default() };
+    let mut args = Args {
+        positional: Vec::new(),
+        flags: Vec::new(),
+        options: Default::default(),
+    };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
         if VALUED.contains(&a.as_str()) {
@@ -202,7 +205,9 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
 fn num<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<T, String> {
     match args.options.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid value for {key}: {v}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {key}: {v}")),
     }
 }
 
@@ -243,7 +248,10 @@ fn workload_config(args: &Args) -> Result<WorkloadConfig, String> {
 }
 
 fn cmd_list() {
-    println!("{:<20} {:<18} EXPECTED (broken variant)", "WORKLOAD", "SUITE");
+    println!(
+        "{:<20} {:<18} EXPECTED (broken variant)",
+        "WORKLOAD", "SUITE"
+    );
     for w in all() {
         let exp = match w.expectation() {
             predator_workloads::Expectation::Clean => "clean",
@@ -258,9 +266,10 @@ fn cmd_list() {
 /// process. Installed before the run so hot-path emitters see an enabled
 /// sink.
 fn install_trace_sink(args: &Args) -> Result<(), String> {
-    let Some(path) = args.options.get("--trace-events") else { return Ok(()) };
-    let file =
-        std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let Some(path) = args.options.get("--trace-events") else {
+        return Ok(());
+    };
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
     predator_obs::events().install(
         Box::new(std::io::BufWriter::new(file)),
         TRACE_CAPACITY,
@@ -312,7 +321,10 @@ const RECORDER_DEPTH: usize = 64;
 /// Turns the flight recorder on for detector-running commands (so reports
 /// embed timelines for `explain`) unless `--no-recorder` opts out.
 fn install_recorder(args: &Args) -> Result<(), String> {
-    if !matches!(args.positional.first().map(String::as_str), Some("run" | "ir" | "replay")) {
+    if !matches!(
+        args.positional.first().map(String::as_str),
+        Some("run" | "ir" | "replay")
+    ) {
         return Ok(());
     }
     if args.flags.iter().any(|f| f == "--no-recorder") {
@@ -328,7 +340,9 @@ fn install_recorder(args: &Args) -> Result<(), String> {
 
 /// Writes the end-of-run metrics snapshot where `--metrics` asked for it.
 fn emit_metrics(args: &Args) -> Result<(), String> {
-    let Some(path) = args.options.get("--metrics") else { return Ok(()) };
+    let Some(path) = args.options.get("--metrics") else {
+        return Ok(());
+    };
     let snap = predator_obs::global().snapshot();
     if path == "-" {
         // Under --json the report on stdout already embeds the snapshot;
@@ -413,7 +427,10 @@ fn cmd_ir(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_native(args: &Args) -> Result<(), String> {
-    let name = args.positional.get(1).ok_or("native: missing workload name")?;
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("native: missing workload name")?;
     let w = by_name(name).ok_or_else(|| format!("unknown workload `{name}` (try `list`)"))?;
     let cfg = workload_config(args)?;
     let d = w.run_native(&cfg);
@@ -431,7 +448,10 @@ fn cmd_native(args: &Args) -> Result<(), String> {
 /// `.ptrace`, carry no header naming the space they cover).
 fn jsonl_range(args: &Args) -> Result<(u64, u64), String> {
     let base = u64::from_str_radix(
-        args.options.get("--base").map(|s| s.trim_start_matches("0x")).unwrap_or("40000000"),
+        args.options
+            .get("--base")
+            .map(|s| s.trim_start_matches("0x"))
+            .unwrap_or("40000000"),
         16,
     )
     .map_err(|e| format!("bad --base: {e}"))?;
@@ -447,7 +467,11 @@ fn warn_loss(path: &str, loss: &LossStats) {
             loss.chunks_skipped,
             loss.records_lost,
             loss.bytes_skipped,
-            if loss.truncated { ", file truncated" } else { "" }
+            if loss.truncated {
+                ", file truncated"
+            } else {
+                ""
+            }
         );
     }
 }
@@ -458,10 +482,9 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     // Both branches stream: one event in flight, never the whole trace.
     let (report, events) = match sniff_format(Path::new(path))? {
         TraceFormat::Ptrace => {
-            let file =
-                std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-            let mut r = TraceReader::new(BufReader::new(file))
-                .map_err(|e| format!("{path}: {e}"))?;
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let mut r =
+                TraceReader::new(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
             let rt = Predator::new(det, r.base(), r.size());
             let mut n = 0u64;
             for a in &mut r {
@@ -481,8 +504,7 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         }
         TraceFormat::Jsonl => {
             let (base, size) = jsonl_range(args)?;
-            let file =
-                std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
             let rt = Predator::new(det, base, size);
             let mut n = 0u64;
             for a in JsonlIter::new(BufReader::new(file)) {
@@ -501,7 +523,10 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_record(args: &Args) -> Result<(), String> {
-    let name = args.positional.get(1).ok_or("record: missing workload name")?;
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("record: missing workload name")?;
     let w = by_name(name).ok_or_else(|| format!("unknown workload `{name}` (try `list`)"))?;
     let out = args
         .options
@@ -528,7 +553,9 @@ fn cmd_record(args: &Args) -> Result<(), String> {
         w.run_tracked(&session, &cfg);
     }
     let meta = TraceMeta::capture(session.runtime(), session.heap());
-    let summary = sink.finish(&meta).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let summary = sink
+        .finish(&meta)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
         "recorded {} events in {} chunks to {out} ({} bytes, {:.2} bytes/event)",
         summary.events,
@@ -540,9 +567,14 @@ fn cmd_record(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
-    let path = args.positional.get(1).ok_or("analyze: missing trace path")?;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("analyze: missing trace path")?;
     let det = detector_config(args)?;
-    let default_shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let default_shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let shards: usize = num(args, "--shards", default_shards)?;
     if shards == 0 {
         return Err("--shards must be at least 1".into());
@@ -558,7 +590,11 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
             out.shards_used,
             shards,
             out.clusters,
-            if out.meta_applied { ", attribution metadata applied" } else { "" }
+            if out.meta_applied {
+                ", attribution metadata applied"
+            } else {
+                ""
+            }
         );
     }
     emit_report(args, &det, &out.report);
@@ -566,9 +602,15 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_trace(args: &Args) -> Result<(), String> {
-    let sub =
-        args.positional.get(1).map(String::as_str).ok_or("trace: missing subcommand (info|cat)")?;
-    let path = args.positional.get(2).ok_or_else(|| format!("trace {sub}: missing trace path"))?;
+    let sub = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("trace: missing subcommand (info|cat)")?;
+    let path = args
+        .positional
+        .get(2)
+        .ok_or_else(|| format!("trace {sub}: missing trace path"))?;
     match sub {
         "info" => cmd_trace_info(path),
         "cat" => cmd_trace_cat(args, path),
@@ -622,7 +664,11 @@ fn cmd_trace_info(path: &str) -> Result<(), String> {
             info.loss.chunks_skipped,
             info.loss.records_lost,
             info.loss.bytes_skipped,
-            if info.loss.truncated { ", truncated" } else { "" }
+            if info.loss.truncated {
+                ", truncated"
+            } else {
+                ""
+            }
         );
     } else {
         println!("  loss:    none");
@@ -646,10 +692,9 @@ fn cmd_trace_cat(args: &Args, path: &str) -> Result<(), String> {
     let mut n = 0u64;
     match sniff_format(Path::new(path))? {
         TraceFormat::Ptrace => {
-            let file =
-                std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-            let mut r = TraceReader::new(BufReader::new(file))
-                .map_err(|e| format!("{path}: {e}"))?;
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let mut r =
+                TraceReader::new(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
             for a in &mut r {
                 if !emit(&a, n)? {
                     break;
@@ -661,8 +706,7 @@ fn cmd_trace_cat(args: &Args, path: &str) -> Result<(), String> {
             }
         }
         TraceFormat::Jsonl => {
-            let file =
-                std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
             for a in JsonlIter::new(BufReader::new(file)) {
                 let a = a.map_err(|e| format!("bad trace: {e}"))?;
                 if !emit(&a, n)? {
@@ -711,7 +755,10 @@ fn fmt_word(w: u8) -> String {
 }
 
 fn cmd_explain(args: &Args) -> Result<(), String> {
-    let path = args.positional.get(1).ok_or("explain: missing report path")?;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("explain: missing report path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let report: Report =
         serde_json::from_str(&text).map_err(|e| format!("{path}: not a JSON report: {e}"))?;
@@ -750,8 +797,11 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     recs.dedup_by(|a, b| a == b);
     if recs.is_empty() {
         println!("No flight-recorder records for line {line}.");
-        let mut avail: Vec<u64> =
-            report.findings.iter().flat_map(|f| f.timeline.iter().map(|r| r.line)).collect();
+        let mut avail: Vec<u64> = report
+            .findings
+            .iter()
+            .flat_map(|f| f.timeline.iter().map(|r| r.line))
+            .collect();
         avail.sort_unstable();
         avail.dedup();
         if !avail.is_empty() {
@@ -770,7 +820,12 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
         .filter(covers)
         .find(|f| f.kind == predator_core::FindingKind::Observed)
         .or_else(|| report.findings.iter().find(covers));
-    println!("Timeline for cache line {} (bytes {:#x}..{:#x}):", line, line * 64, line * 64 + 64);
+    println!(
+        "Timeline for cache line {} (bytes {:#x}..{:#x}):",
+        line,
+        line * 64,
+        line * 64 + 64
+    );
     if let Some(f) = owner {
         println!(
             "  object: {} — {}, {} ({} invalidations total)",
@@ -808,12 +863,25 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
         let tid = r.tid.index();
         match r.op {
             TimelineOp::Read => {
-                rows.push(Row { seq: r.seq, tid, cell: format!("r{}", r.word), notes: vec![] });
+                rows.push(Row {
+                    seq: r.seq,
+                    tid,
+                    cell: format!("r{}", r.word),
+                    notes: vec![],
+                });
             }
             TimelineOp::Write => {
-                rows.push(Row { seq: r.seq, tid, cell: format!("W{}", r.word), notes: vec![] });
+                rows.push(Row {
+                    seq: r.seq,
+                    tid,
+                    cell: format!("W{}", r.word),
+                    notes: vec![],
+                });
             }
-            TimelineOp::Invalidation { victim, victim_word } => {
+            TimelineOp::Invalidation {
+                victim,
+                victim_word,
+            } => {
                 let note = format!(
                     "invalidated t{}'s copy (last word {})",
                     victim.index(),
@@ -857,7 +925,11 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     println!("\n  (rN = read, WN = write, WN! = invalidating write; N = word offset)");
 
     if let Some(f) = owner {
-        let traces: Vec<_> = f.invalidation_traces.iter().filter(|t| t.line == line).collect();
+        let traces: Vec<_> = f
+            .invalidation_traces
+            .iter()
+            .filter(|t| t.line == line)
+            .collect();
         if !traces.is_empty() {
             println!("\nCausal traces (last {}):", traces.len());
             for t in traces {
@@ -874,8 +946,7 @@ fn cmd_diff(args: &Args) -> Result<ExitCode, String> {
             .positional
             .get(idx)
             .ok_or_else(|| format!("diff: missing {what} report path"))?;
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         serde_json::from_str(&text).map_err(|e| format!("{path}: not a JSON report: {e}"))
     };
     let old = load(1, "old")?;
@@ -890,10 +961,7 @@ fn cmd_diff(args: &Args) -> Result<ExitCode, String> {
         // Gate failure, not a usage error: no USAGE dump — and the failure
         // exit code travels back through main so Drop guards (event sink,
         // timeline) still flush.
-        eprintln!(
-            "GATE: FAIL — {} new finding(s)",
-            diff.appeared.len()
-        );
+        eprintln!("GATE: FAIL — {} new finding(s)", diff.appeared.len());
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
@@ -906,10 +974,9 @@ fn cmd_bench_diff(args: &Args) -> Result<ExitCode, String> {
             .positional
             .get(idx)
             .ok_or_else(|| format!("bench-diff: missing {what} telemetry path"))?;
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let report: BenchReport = serde_json::from_str(&text)
-            .map_err(|e| format!("{path}: not a bench report: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let report: BenchReport =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: not a bench report: {e}"))?;
         report.check_schema().map_err(|e| format!("{path}: {e}"))?;
         Ok(report)
     };
@@ -933,7 +1000,10 @@ fn cmd_bench_diff(args: &Args) -> Result<ExitCode, String> {
 }
 
 fn cmd_profile(args: &Args) -> Result<(), String> {
-    let path = args.positional.get(1).ok_or("profile: missing program path")?;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("profile: missing program path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut module = parse_module(&text).map_err(|e| format!("parse error: {e}"))?;
     instrument_module(&mut module, &InstrumentOptions::default());
@@ -950,9 +1020,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     let det = detector_config(args)?;
 
     if predator_obs::disabled() {
-        return Err(
-            "this binary was built with obs-off: the profiler is compiled out".into()
-        );
+        return Err("this binary was built with obs-off: the profiler is compiled out".into());
     }
     predator_obs::profiler().install(period);
 
@@ -973,7 +1041,9 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     let prof = predator_obs::profiler();
     let attributed = prof.attributed();
     let stacks = prof.take();
-    let total = predator_obs::global().counter("interp_instructions_total").get();
+    let total = predator_obs::global()
+        .counter("interp_instructions_total")
+        .get();
 
     println!(
         "PROFILE {path} — {threads} threads x {iters} iters, sampling every {period} instructions"
@@ -1004,7 +1074,10 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
-    let path = args.positional.get(1).ok_or("stats: missing snapshot path")?;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("stats: missing snapshot path")?;
     let text = if path == "-" {
         use std::io::Read as _;
         let mut buf = String::new();
@@ -1037,33 +1110,37 @@ fn main() -> ExitCode {
     // `--trace-timeline` file on every path out of main, including gate
     // failures and panics. Commands must therefore *return* their exit code
     // rather than calling `std::process::exit` (which skips destructors).
-    let _flush = FlushGuard { timeline_path: install_timeline(&args) };
-    let result = install_trace_sink(&args).and_then(|()| install_recorder(&args)).and_then(|()| {
-        match args.positional.first().map(String::as_str) {
-            Some("list") => {
-                cmd_list();
-                Ok(ExitCode::SUCCESS)
+    let _flush = FlushGuard {
+        timeline_path: install_timeline(&args),
+    };
+    let result = install_trace_sink(&args)
+        .and_then(|()| install_recorder(&args))
+        .and_then(|()| {
+            match args.positional.first().map(String::as_str) {
+                Some("list") => {
+                    cmd_list();
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some("run") => cmd_run(&args).map(|()| ExitCode::SUCCESS),
+                Some("native") => cmd_native(&args).map(|()| ExitCode::SUCCESS),
+                Some("record") => cmd_record(&args).map(|()| ExitCode::SUCCESS),
+                Some("analyze") => cmd_analyze(&args).map(|()| ExitCode::SUCCESS),
+                Some("trace") => cmd_trace(&args).map(|()| ExitCode::SUCCESS),
+                Some("replay") => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
+                Some("ir") => cmd_ir(&args).map(|()| ExitCode::SUCCESS),
+                Some("profile") => cmd_profile(&args).map(|()| ExitCode::SUCCESS),
+                Some("explain") => cmd_explain(&args).map(|()| ExitCode::SUCCESS),
+                Some("diff") => cmd_diff(&args),
+                Some("bench-diff") => cmd_bench_diff(&args),
+                Some("stats") => cmd_stats(&args).map(|()| ExitCode::SUCCESS),
+                Some("help") | None => {
+                    println!("{USAGE}");
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some(other) => Err(format!("unknown command `{other}`")),
             }
-            Some("run") => cmd_run(&args).map(|()| ExitCode::SUCCESS),
-            Some("native") => cmd_native(&args).map(|()| ExitCode::SUCCESS),
-            Some("record") => cmd_record(&args).map(|()| ExitCode::SUCCESS),
-            Some("analyze") => cmd_analyze(&args).map(|()| ExitCode::SUCCESS),
-            Some("trace") => cmd_trace(&args).map(|()| ExitCode::SUCCESS),
-            Some("replay") => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
-            Some("ir") => cmd_ir(&args).map(|()| ExitCode::SUCCESS),
-            Some("profile") => cmd_profile(&args).map(|()| ExitCode::SUCCESS),
-            Some("explain") => cmd_explain(&args).map(|()| ExitCode::SUCCESS),
-            Some("diff") => cmd_diff(&args),
-            Some("bench-diff") => cmd_bench_diff(&args),
-            Some("stats") => cmd_stats(&args).map(|()| ExitCode::SUCCESS),
-            Some("help") | None => {
-                println!("{USAGE}");
-                Ok(ExitCode::SUCCESS)
-            }
-            Some(other) => Err(format!("unknown command `{other}`")),
-        }
-        .and_then(|code| emit_metrics(&args).map(|()| code))
-    });
+            .and_then(|code| emit_metrics(&args).map(|()| code))
+        });
     match result {
         Ok(code) => code,
         Err(e) => {
@@ -1107,9 +1184,15 @@ mod tests {
     fn tracking_mode_flag_selects_mode() {
         use predator_core::TrackingMode;
         let a = args(&["run", "x"]);
-        assert_eq!(detector_config(&a).unwrap().tracking_mode, TrackingMode::Precise);
+        assert_eq!(
+            detector_config(&a).unwrap().tracking_mode,
+            TrackingMode::Precise
+        );
         let a = args(&["run", "x", "--tracking-mode", "relaxed"]);
-        assert_eq!(detector_config(&a).unwrap().tracking_mode, TrackingMode::Relaxed);
+        assert_eq!(
+            detector_config(&a).unwrap().tracking_mode,
+            TrackingMode::Relaxed
+        );
         let a = args(&["run", "x", "--tracking-mode", "eventual"]);
         let err = detector_config(&a).unwrap_err();
         assert!(err.contains("tracking mode"), "unexpected error: {err}");
@@ -1136,7 +1219,10 @@ mod tests {
     fn metrics_and_trace_flags_take_values() {
         let a = args(&["run", "x", "--metrics", "-", "--trace-events", "ev.jsonl"]);
         assert_eq!(a.options.get("--metrics"), Some(&"-".to_string()));
-        assert_eq!(a.options.get("--trace-events"), Some(&"ev.jsonl".to_string()));
+        assert_eq!(
+            a.options.get("--trace-events"),
+            Some(&"ev.jsonl".to_string())
+        );
         assert!(a.positional == vec!["run", "x"]);
     }
 

@@ -10,8 +10,15 @@ fn predator() -> Command {
 }
 
 /// Fast, deterministic run arguments shared by the tests.
-const RUN: &[&str] =
-    &["run", "histogram", "--sensitive", "--threads", "2", "--iters", "200"];
+const RUN: &[&str] = &[
+    "run",
+    "histogram",
+    "--sensitive",
+    "--threads",
+    "2",
+    "--iters",
+    "200",
+];
 
 #[test]
 fn json_report_with_metrics_dash_is_one_json_doc_embedding_snapshot() {
@@ -20,11 +27,15 @@ fn json_report_with_metrics_dash_is_one_json_doc_embedding_snapshot() {
         .args(["--json", "--metrics", "-"])
         .output()
         .expect("spawn predator");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
     // One valid JSON document: the report, with the snapshot under `obs`.
-    let report: Report = serde_json::from_str(&stdout)
-        .expect("stdout must be a single valid JSON report");
+    let report: Report =
+        serde_json::from_str(&stdout).expect("stdout must be a single valid JSON report");
     if !predator_obs::disabled() {
         assert!(
             report.obs.counter("runtime_accesses_total").unwrap_or(0) > 0,
@@ -49,7 +60,11 @@ fn metrics_file_and_prometheus_text_are_written() {
         .args(["--metrics", &metrics_s])
         .output()
         .expect("spawn predator");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let text = std::fs::read_to_string(&metrics).expect("metrics file written");
     let snap: ObsSnapshot = serde_json::from_str(&text).expect("snapshot JSON parses");
@@ -57,14 +72,20 @@ fn metrics_file_and_prometheus_text_are_written() {
         assert!(snap.counter("track_sampled_accesses_total").unwrap_or(0) > 0);
     }
 
-    let prom = std::fs::read_to_string(format!("{metrics_s}.prom"))
-        .expect("prometheus text written");
+    let prom =
+        std::fs::read_to_string(format!("{metrics_s}.prom")).expect("prometheus text written");
     if !predator_obs::disabled() {
-        assert!(prom.contains("# TYPE"), "prometheus text has TYPE lines:\n{prom}");
+        assert!(
+            prom.contains("# TYPE"),
+            "prometheus text has TYPE lines:\n{prom}"
+        );
     }
 
     // The stats renderer accepts the bare snapshot file.
-    let out = predator().args(["stats", &metrics_s]).output().expect("spawn stats");
+    let out = predator()
+        .args(["stats", &metrics_s])
+        .output()
+        .expect("spawn stats");
     assert!(out.status.success());
     let table = String::from_utf8_lossy(&out.stdout);
     if !predator_obs::disabled() {
@@ -86,7 +107,11 @@ fn trace_events_stream_is_valid_jsonl() {
         .args(["--trace-events", &trace_s])
         .output()
         .expect("spawn predator");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Every event line carries at least these envelope fields; extra
     // per-kind fields are ignored by the deserializer.
@@ -112,7 +137,11 @@ fn trace_events_stream_is_valid_jsonl() {
 /// Runs the binary and returns stdout, asserting success.
 fn run_to_file(args: &[&str], path: &std::path::Path) {
     let out = predator().args(args).output().expect("spawn predator");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::write(path, &out.stdout).expect("write report");
 }
 
@@ -122,23 +151,47 @@ fn explain_renders_a_causal_timeline_from_a_json_report() {
     std::fs::create_dir_all(&dir).unwrap();
     let report = dir.join("boost.json");
     run_to_file(
-        &["run", "boost", "--sensitive", "--threads", "4", "--iters", "300", "--json"],
+        &[
+            "run",
+            "boost",
+            "--sensitive",
+            "--threads",
+            "4",
+            "--iters",
+            "300",
+            "--json",
+        ],
         &report,
     );
     let report_s = report.to_str().unwrap();
 
-    let out = predator().args(["explain", report_s]).output().expect("spawn explain");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = predator()
+        .args(["explain", report_s])
+        .output()
+        .expect("spawn explain");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     if !predator_obs::disabled() {
-        assert!(text.contains("Timeline for cache line"), "timeline header:\n{text}");
-        assert!(text.contains("invalidated t"), "victim attribution:\n{text}");
+        assert!(
+            text.contains("Timeline for cache line"),
+            "timeline header:\n{text}"
+        );
+        assert!(
+            text.contains("invalidated t"),
+            "victim attribution:\n{text}"
+        );
         assert!(text.contains("Causal traces"), "trace section:\n{text}");
         assert!(text.contains("invalidating write"), "legend:\n{text}");
 
         // Asking for a line with no records degrades gracefully (exit 0).
-        let out =
-            predator().args(["explain", report_s, "999999999"]).output().expect("spawn explain");
+        let out = predator()
+            .args(["explain", report_s, "999999999"])
+            .output()
+            .expect("spawn explain");
         assert!(out.status.success());
         let text = String::from_utf8_lossy(&out.stdout);
         assert!(text.contains("No flight-recorder records"), "{text}");
@@ -162,8 +215,10 @@ fn explain_renders_a_causal_timeline_from_a_json_report() {
         ],
         &bare,
     );
-    let out =
-        predator().args(["explain", bare.to_str().unwrap()]).output().expect("spawn explain");
+    let out = predator()
+        .args(["explain", bare.to_str().unwrap()])
+        .output()
+        .expect("spawn explain");
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("No flight-recorder data"));
 
@@ -176,17 +231,35 @@ fn diff_gate_passes_clean_and_fails_regressions_nonzero() {
     std::fs::create_dir_all(&dir).unwrap();
     let clean = dir.join("clean.json");
     let bad = dir.join("bad.json");
-    let base: &[&str] = &["run", "boost", "--sensitive", "--threads", "4", "--iters", "300"];
+    let base: &[&str] = &[
+        "run",
+        "boost",
+        "--sensitive",
+        "--threads",
+        "4",
+        "--iters",
+        "300",
+    ];
     run_to_file(&[base, &["--fixed", "--json"]].concat(), &clean);
     run_to_file(&[base, &["--json"]].concat(), &bad);
     let (clean_s, bad_s) = (clean.to_str().unwrap(), bad.to_str().unwrap());
 
     // Identical reports: the gate passes.
-    let out = predator().args(["diff", clean_s, clean_s]).output().expect("spawn diff");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = predator()
+        .args(["diff", clean_s, clean_s])
+        .output()
+        .expect("spawn diff");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // New findings appeared: nonzero exit and an explicit gate verdict.
-    let out = predator().args(["diff", clean_s, bad_s]).output().expect("spawn diff");
+    let out = predator()
+        .args(["diff", clean_s, bad_s])
+        .output()
+        .expect("spawn diff");
     assert!(!out.status.success(), "regression must fail the gate");
     assert!(String::from_utf8_lossy(&out.stderr).contains("GATE: FAIL"));
 

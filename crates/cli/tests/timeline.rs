@@ -12,8 +12,8 @@ fn predator() -> Command {
 /// The checked-in example IR program (two writers false-sharing a line),
 /// resolved relative to this crate's manifest so tests run from any CWD.
 fn program() -> String {
-    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../examples/programs/false_sharing.pir");
+    let p =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/programs/false_sharing.pir");
     p.to_str().unwrap().to_string()
 }
 
@@ -62,7 +62,11 @@ fn trace_timeline_is_structurally_valid_chrome_json() {
         .args(["--trace-timeline", &trace_s])
         .output()
         .expect("spawn predator ir");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let text = std::fs::read_to_string(&trace).expect("trace file written");
     let doc: TraceDoc = serde_json::from_str(&text).expect("trace parses as Chrome JSON");
@@ -74,9 +78,18 @@ fn trace_timeline_is_structurally_valid_chrome_json() {
         return;
     }
 
-    assert!(!doc.traceEvents.is_empty(), "an instrumented run emits events");
-    assert_eq!(doc.otherData.dropped, 0, "small run must not overflow the buffer");
-    assert_eq!(doc.otherData.synthesized_ends, 0, "clean exit closes every span");
+    assert!(
+        !doc.traceEvents.is_empty(),
+        "an instrumented run emits events"
+    );
+    assert_eq!(
+        doc.otherData.dropped, 0,
+        "small run must not overflow the buffer"
+    );
+    assert_eq!(
+        doc.otherData.synthesized_ends, 0,
+        "clean exit closes every span"
+    );
     assert_eq!(doc.otherData.orphan_ends_discarded, 0);
 
     // Per-lane invariants: timestamps never go backwards, and every E pops
@@ -95,7 +108,10 @@ fn trace_timeline_is_structurally_valid_chrome_json() {
         assert!(ts >= *prev, "ts regressed on lane {tid}: {ts} < {prev}");
         *prev = ts;
         match ev.ph.as_str() {
-            "B" => stacks.entry(tid).or_default().push(ev.name.clone().unwrap()),
+            "B" => stacks
+                .entry(tid)
+                .or_default()
+                .push(ev.name.clone().unwrap()),
             "E" => {
                 let popped = stacks.get_mut(&tid).and_then(Vec::pop);
                 assert_eq!(
@@ -117,11 +133,22 @@ fn trace_timeline_is_structurally_valid_chrome_json() {
     for (tid, stack) in &stacks {
         assert!(stack.is_empty(), "lane {tid} left open spans: {stack:?}");
     }
-    assert_eq!(flow_starts, flow_finishes, "every flow id must start and finish");
-    assert!(!flow_starts.is_empty(), "false sharing must emit invalidation flows");
+    assert_eq!(
+        flow_starts, flow_finishes,
+        "every flow id must start and finish"
+    );
+    assert!(
+        !flow_starts.is_empty(),
+        "false sharing must emit invalidation flows"
+    );
 
     // Golden content: pipeline phases and detector moments are present.
-    for needle in ["\"interpret\"", "\"detect\"", "invalidation", "report_emitted"] {
+    for needle in [
+        "\"interpret\"",
+        "\"detect\"",
+        "invalidation",
+        "report_emitted",
+    ] {
         assert!(text.contains(needle), "trace must mention {needle}");
     }
 
@@ -139,12 +166,19 @@ fn profile_attributes_at_least_95_percent_of_instructions() {
         .expect("spawn predator profile");
 
     if predator_obs::disabled() {
-        assert!(!out.status.success(), "obs-off builds must refuse to profile");
+        assert!(
+            !out.status.success(),
+            "obs-off builds must refuse to profile"
+        );
         assert!(String::from_utf8_lossy(&out.stderr).contains("obs-off"));
         let _ = std::fs::remove_dir_all(&dir);
         return;
     }
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
 
     // "attributed <X> of <Y> interpreted instructions (<Z>%)"
@@ -167,9 +201,18 @@ fn profile_attributes_at_least_95_percent_of_instructions() {
     let text = std::fs::read_to_string(&folded).expect("folded stacks written");
     let folded_sum: u64 = text
         .lines()
-        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().expect("weight"))
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .unwrap()
+                .parse::<u64>()
+                .expect("weight")
+        })
         .sum();
-    assert_eq!(folded_sum, attributed, "folded weights must sum to the attributed total");
+    assert_eq!(
+        folded_sum, attributed,
+        "folded weights must sum to the attributed total"
+    );
     assert!(
         text.lines().any(|l| l.contains("rt::")),
         "runtime cost centers appear as synthetic leaf frames:\n{text}"
@@ -185,7 +228,10 @@ fn bench_diff_gates_on_hot_path_regressions() {
     let report = |tracked: f64| BenchReport {
         schema: predator_bench::telemetry::SCHEMA.to_string(),
         obs_hooks: true,
-        hot_path: HotPath { tracked_write_ns: tracked, untracked_read_ns: 20.0 },
+        hot_path: HotPath {
+            tracked_write_ns: tracked,
+            untracked_read_ns: 20.0,
+        },
         workloads: vec![WorkloadBench {
             name: "histogram".into(),
             threads: 4,
@@ -207,13 +253,23 @@ fn bench_diff_gates_on_hot_path_regressions() {
 
     // Identical numbers pass the gate.
     std::fs::write(&new, serde_json::to_string(&report(30.0)).unwrap()).unwrap();
-    let out = predator().args(["bench-diff", old_s, new_s]).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = predator()
+        .args(["bench-diff", old_s, new_s])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("GATE: ok"));
 
     // A 2x hot-path regression fails with the default 50% tolerance…
     std::fs::write(&new, serde_json::to_string(&report(60.0)).unwrap()).unwrap();
-    let out = predator().args(["bench-diff", old_s, new_s]).output().unwrap();
+    let out = predator()
+        .args(["bench-diff", old_s, new_s])
+        .output()
+        .unwrap();
     assert!(!out.status.success(), "regression must fail the gate");
     assert!(String::from_utf8_lossy(&out.stderr).contains("GATE: FAIL"));
 
@@ -228,7 +284,10 @@ fn bench_diff_gates_on_hot_path_regressions() {
     let mut wrong = report(30.0);
     wrong.schema = "predator-bench/999".into();
     std::fs::write(&new, serde_json::to_string(&wrong).unwrap()).unwrap();
-    let out = predator().args(["bench-diff", old_s, new_s]).output().unwrap();
+    let out = predator()
+        .args(["bench-diff", old_s, new_s])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("schema"));
 

@@ -39,7 +39,12 @@ impl Session {
             cfg.geometry.line_size(),
             predator_alloc::heap::DEFAULT_SEGMENT,
         );
-        Session { space, heap, runtime, threads: ThreadRegistry::new() }
+        Session {
+            space,
+            heap,
+            runtime,
+            threads: ThreadRegistry::new(),
+        }
     }
 
     /// A session with the default heap size.
@@ -145,14 +150,16 @@ impl Session {
     /// Instrumented typed load: notifies the detector, then reads memory.
     #[inline]
     pub fn read<T: Scalar>(&self, tid: ThreadId, addr: u64) -> T {
-        self.runtime.handle_access(tid, addr, T::SIZE, AccessKind::Read);
+        self.runtime
+            .handle_access(tid, addr, T::SIZE, AccessKind::Read);
         self.space.load(addr)
     }
 
     /// Instrumented typed store.
     #[inline]
     pub fn write<T: Scalar>(&self, tid: ThreadId, addr: u64, value: T) {
-        self.runtime.handle_access(tid, addr, T::SIZE, AccessKind::Write);
+        self.runtime
+            .handle_access(tid, addr, T::SIZE, AccessKind::Write);
         self.space.store(addr, value)
     }
 
@@ -354,7 +361,9 @@ mod tests {
         }
         let r = s.report();
         let f = r.false_sharing().next().unwrap();
-        assert!(matches!(&f.object.site, crate::report::SiteKind::Global { name } if name == "shared_counters"));
+        assert!(
+            matches!(&f.object.site, crate::report::SiteKind::Global { name } if name == "shared_counters")
+        );
     }
 
     #[test]

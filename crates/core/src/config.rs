@@ -60,7 +60,9 @@ impl std::str::FromStr for TrackingMode {
         match s {
             "precise" => Ok(TrackingMode::Precise),
             "relaxed" => Ok(TrackingMode::Relaxed),
-            other => Err(format!("unknown tracking mode '{other}' (want precise|relaxed)")),
+            other => Err(format!(
+                "unknown tracking mode '{other}' (want precise|relaxed)"
+            )),
         }
     }
 }
@@ -131,12 +133,18 @@ impl DetectorConfig {
 
     /// PREDATOR-NP: identical but with prediction disabled (Figure 7).
     pub fn no_prediction() -> Self {
-        DetectorConfig { prediction: false, ..Self::default() }
+        DetectorConfig {
+            prediction: false,
+            ..Self::default()
+        }
     }
 
     /// Detector off: the "Original" overhead baseline (Figure 7).
     pub fn disabled() -> Self {
-        DetectorConfig { enabled: false, ..Self::default() }
+        DetectorConfig {
+            enabled: false,
+            ..Self::default()
+        }
     }
 
     /// A configuration with tiny thresholds for unit tests: tracking starts
@@ -168,7 +176,10 @@ impl DetectorConfig {
     /// Sets the sampling rate as a fraction (e.g. `0.01` for the paper's 1%),
     /// keeping the window length.
     pub fn with_sampling_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "sampling rate must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "sampling rate must be in [0,1]"
+        );
         self.sampling = rate < 1.0;
         self.sample_burst = ((self.sample_interval as f64) * rate).round() as u64;
         self
@@ -227,7 +238,10 @@ mod tests {
         let c = DetectorConfig::no_prediction();
         assert!(!c.prediction);
         assert_eq!(
-            DetectorConfig { prediction: true, ..c },
+            DetectorConfig {
+                prediction: true,
+                ..c
+            },
             DetectorConfig::default()
         );
     }
@@ -249,16 +263,31 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let c = DetectorConfig { tracking_threshold: 0, ..Default::default() };
+        let c = DetectorConfig {
+            tracking_threshold: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         let base = DetectorConfig::default();
-        let c = DetectorConfig { sample_burst: base.sample_interval + 1, ..base };
+        let c = DetectorConfig {
+            sample_burst: base.sample_interval + 1,
+            ..base
+        };
         assert!(c.validate().is_err());
-        let c = DetectorConfig { prediction_threshold: 0, ..Default::default() };
+        let c = DetectorConfig {
+            prediction_threshold: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = DetectorConfig { max_scale_log2: 0, ..Default::default() };
+        let c = DetectorConfig {
+            max_scale_log2: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = DetectorConfig { max_scale_log2: 5, ..Default::default() };
+        let c = DetectorConfig {
+            max_scale_log2: 5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -266,13 +295,22 @@ mod tests {
     fn disabled_profile_only_flips_the_master_switch() {
         let c = DetectorConfig::disabled();
         assert!(!c.enabled);
-        assert_eq!(DetectorConfig { enabled: true, ..c }, DetectorConfig::default());
+        assert_eq!(
+            DetectorConfig { enabled: true, ..c },
+            DetectorConfig::default()
+        );
     }
 
     #[test]
     fn tracking_mode_parses_and_displays() {
-        assert_eq!("precise".parse::<TrackingMode>().unwrap(), TrackingMode::Precise);
-        assert_eq!("relaxed".parse::<TrackingMode>().unwrap(), TrackingMode::Relaxed);
+        assert_eq!(
+            "precise".parse::<TrackingMode>().unwrap(),
+            TrackingMode::Precise
+        );
+        assert_eq!(
+            "relaxed".parse::<TrackingMode>().unwrap(),
+            TrackingMode::Relaxed
+        );
         assert!("lossy".parse::<TrackingMode>().is_err());
         assert_eq!(TrackingMode::Relaxed.to_string(), "relaxed");
         assert_eq!(TrackingMode::default(), TrackingMode::Precise);

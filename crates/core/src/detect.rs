@@ -47,7 +47,9 @@ pub fn classify(words: &WordTracker) -> Option<SharingClass> {
     // paper's word-origin scheme.
     let mut false_pattern = false;
     for (i, w1) in words.words().iter().enumerate() {
-        let Owner::Exclusive(t1) = w1.owner else { continue };
+        let Owner::Exclusive(t1) = w1.owner else {
+            continue;
+        };
         if w1.writes == 0 {
             continue;
         }
@@ -67,8 +69,10 @@ pub fn classify(words: &WordTracker) -> Option<SharingClass> {
 
     // True-sharing pattern: a word touched by several threads, written at
     // least once.
-    let true_pattern =
-        words.words().iter().any(|w| w.owner == Owner::Shared && w.writes > 0);
+    let true_pattern = words
+        .words()
+        .iter()
+        .any(|w| w.owner == Owner::Shared && w.writes > 0);
 
     match (false_pattern, true_pattern) {
         (true, true) => Some(SharingClass::Mixed),

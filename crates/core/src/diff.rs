@@ -132,7 +132,11 @@ pub fn diff_reports(old: &Report, new: &Report, tolerance: f64) -> ReportDiff {
                 let lo = before as f64 * (1.0 - tolerance);
                 let hi = before as f64 * (1.0 + tolerance);
                 if (after as f64) < lo || (after as f64) > hi {
-                    out.severity_changes.push(SeverityChange { id: id.clone(), before, after });
+                    out.severity_changes.push(SeverityChange {
+                        id: id.clone(),
+                        before,
+                        after,
+                    });
                 }
             }
         }
@@ -217,7 +221,10 @@ mod tests {
 
     #[test]
     fn remap_delta_is_not_part_of_identity() {
-        let a = FindingId { site: "x".into(), kind: "predicted-remap".into() };
+        let a = FindingId {
+            site: "x".into(),
+            kind: "predicted-remap".into(),
+        };
         // Two findings with different deltas map to the same id.
         let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
         let t0 = s.register_thread();

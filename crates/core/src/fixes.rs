@@ -51,7 +51,11 @@ pub enum FixSuggestion {
 impl std::fmt::Display for FixSuggestion {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FixSuggestion::PadPerThread { object, threads, min_separation } => write!(
+            FixSuggestion::PadPerThread {
+                object,
+                threads,
+                min_separation,
+            } => write!(
                 f,
                 "pad object {object:#x}: keep each of {} threads' fields at least \
                  {min_separation} bytes apart (one thread per {min_separation}-byte block)",
@@ -139,12 +143,19 @@ fn suggest_for(finding: &Finding, geom: CacheGeometry) -> Vec<FixSuggestion> {
     };
     let threads = involved_threads(&finding.words);
     if threads.len() >= 2 {
-        out.push(FixSuggestion::PadPerThread { object, threads, min_separation });
+        out.push(FixSuggestion::PadPerThread {
+            object,
+            threads,
+            min_separation,
+        });
     }
 
     // Placement-sensitive layouts additionally warrant pinning alignment.
     if matches!(finding.kind, FindingKind::PredictedRemap { .. }) {
-        out.push(FixSuggestion::AlignObject { object, alignment: geom.line_size() });
+        out.push(FixSuggestion::AlignObject {
+            object,
+            alignment: geom.line_size(),
+        });
     }
     out
 }
@@ -175,7 +186,11 @@ mod tests {
         assert!(!fixes.is_empty());
         let (_, fix) = &fixes[0];
         match fix {
-            FixSuggestion::PadPerThread { object, threads, min_separation } => {
+            FixSuggestion::PadPerThread {
+                object,
+                threads,
+                min_separation,
+            } => {
                 assert_eq!(*object, obj.start);
                 assert_eq!(threads.len(), 2);
                 assert_eq!(*min_separation, 64);
@@ -198,16 +213,18 @@ mod tests {
         let report = s.report();
         let fixes = suggest_fixes(&report, geom());
         assert!(
-            fixes.iter().any(|(_, f)| matches!(
-                f,
-                FixSuggestion::AlignObject { alignment: 64, .. }
-            )),
+            fixes
+                .iter()
+                .any(|(_, f)| matches!(f, FixSuggestion::AlignObject { alignment: 64, .. })),
             "{fixes:?}"
         );
         // The remap scenario needs 2-line separation to be robust.
         assert!(fixes.iter().any(|(_, f)| matches!(
             f,
-            FixSuggestion::PadPerThread { min_separation: 128, .. }
+            FixSuggestion::PadPerThread {
+                min_separation: 128,
+                ..
+            }
         )));
     }
 

@@ -234,7 +234,11 @@ pub fn offer_batch<A: RawU64>(
                 batch::reads(cur) < batch::MAX_PENDING
             }
         {
-            let next = if is_write { batch::bump_write(cur) } else { batch::bump_read(cur) };
+            let next = if is_write {
+                batch::bump_write(cur)
+            } else {
+                batch::bump_read(cur)
+            };
             slot.cas(cur, next)
         } else {
             match slot.cas(cur, 0) {
@@ -311,12 +315,10 @@ impl RelaxedWord {
                 c if c == enc => return,
                 _ => OWNER_SHARED,
             };
-            match self.owner.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .owner
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(c) => cur = c,
             }
@@ -422,7 +424,11 @@ impl RelaxedLine {
             // visible to the hot-pair analysis that runs next.
             fence(Ordering::Acquire);
         }
-        RelaxedOutcome { invalidated, analysis_due: due, prev_history }
+        RelaxedOutcome {
+            invalidated,
+            analysis_due: due,
+            prev_history,
+        }
     }
 
     /// Drains a claimed batch into the per-word and per-line counters.
@@ -521,7 +527,9 @@ impl RelaxedLine {
                 return;
             }
             if cur == 0
-                && slot.compare_exchange(cur, enc, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+                && slot
+                    .compare_exchange(cur, enc, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
             {
                 return;
             }
@@ -567,20 +575,27 @@ pub(crate) struct UnitList {
 
 impl std::fmt::Debug for UnitNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("UnitNode").field("key", &self.unit.key).finish()
+        f.debug_struct("UnitNode")
+            .field("key", &self.unit.key)
+            .finish()
     }
 }
 
 impl UnitList {
     pub fn new() -> Self {
-        UnitList { head: AtomicPtr::new(std::ptr::null_mut()) }
+        UnitList {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+        }
     }
 
     /// Appends `unit` unless a unit with the same key is already present.
     /// Linearizable dedup: after a failed CAS the whole list is rescanned
     /// from the new head, so two racing inserts of one key cannot both land.
     pub fn push_if_absent(&self, unit: Arc<PredictionUnit>) -> bool {
-        let mut node = Box::new(UnitNode { unit, next: std::ptr::null_mut() });
+        let mut node = Box::new(UnitNode {
+            unit,
+            next: std::ptr::null_mut(),
+        });
         loop {
             let head = self.head.load(Ordering::Acquire);
             let mut cur = head;
@@ -593,12 +608,10 @@ impl UnitList {
             }
             node.next = head;
             let raw = Box::into_raw(node);
-            match self.head.compare_exchange(
-                head,
-                raw,
-                Ordering::Release,
-                Ordering::Acquire,
-            ) {
+            match self
+                .head
+                .compare_exchange(head, raw, Ordering::Release, Ordering::Acquire)
+            {
                 Ok(_) => return true,
                 Err(_) => node = unsafe { Box::from_raw(raw) },
             }
@@ -700,7 +713,10 @@ mod tests {
     fn threshold_write_is_never_deferred() {
         let slot = AtomicU64::new(0);
         // Distance 1: this write lands on the multiple, must be applied now.
-        assert_eq!(offer_batch(&slot, 0, 0, true, 1), Offer::Claimed { displaced: 0 });
+        assert_eq!(
+            offer_batch(&slot, 0, 0, true, 1),
+            Offer::Claimed { displaced: 0 }
+        );
         // Distance 2: defers; the *next* write must then claim.
         assert_eq!(offer_batch(&slot, 0, 0, true, 2), Offer::Deferred);
         match offer_batch(&slot, 0, 0, true, 1) {
@@ -749,7 +765,10 @@ mod tests {
         let (words, _inv, reads, writes) = line.snapshot(0);
         assert_eq!(words, oracle);
         assert_eq!(reads, script.iter().filter(|a| a.3 == Read).count() as u64);
-        assert_eq!(writes, script.iter().filter(|a| a.3 == Write).count() as u64);
+        assert_eq!(
+            writes,
+            script.iter().filter(|a| a.3 == Write).count() as u64
+        );
     }
 
     #[test]
@@ -770,7 +789,10 @@ mod tests {
         let mut due_at = Vec::new();
         for i in 1..=32u64 {
             let tid = ThreadId((i % 2) as u16);
-            if line.record(tid, tid.index(), tid.index(), Write, Some(16)).analysis_due {
+            if line
+                .record(tid, tid.index(), tid.index(), Write, Some(16))
+                .analysis_due
+            {
                 due_at.push(i);
             }
         }

@@ -14,8 +14,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 use crate::config::TrackingMode;
 use crate::lockfree;
@@ -29,9 +29,7 @@ use predator_sim::{
 };
 
 /// What kind of what-if scenario a prediction unit verifies.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum UnitKind {
     /// Hardware with doubled cache-line size (Figure 3b).
     Doubled,
@@ -49,9 +47,7 @@ pub enum UnitKind {
 }
 
 /// Unique identity of a prediction unit: scenario plus virtual-line index.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UnitKey {
     /// Scenario.
     pub kind: UnitKind,
@@ -107,10 +103,14 @@ pub fn find_hot_pairs(l: &WordTracker, n: &WordTracker, avg: f64) -> Vec<HotPair
     let hot_n = n.hot_words();
     for &ix in &hot_l {
         let xs = l.words()[ix];
-        let Some(tx) = xs.owner.thread() else { continue };
+        let Some(tx) = xs.owner.thread() else {
+            continue;
+        };
         for &iy in &hot_n {
             let ys = n.words()[iy];
-            let Some(ty) = ys.owner.thread() else { continue };
+            let Some(ty) = ys.owner.thread() else {
+                continue;
+            };
             if tx == ty {
                 continue;
             }
@@ -120,8 +120,14 @@ pub fn find_hot_pairs(l: &WordTracker, n: &WordTracker, avg: f64) -> Vec<HotPair
             let estimate = estimate_pair_invalidations(&xs, &ys);
             if (estimate as f64) > avg {
                 out.push(HotPair {
-                    x: HotWord { addr: l.word_addr(ix), state: xs },
-                    y: HotWord { addr: n.word_addr(iy), state: ys },
+                    x: HotWord {
+                        addr: l.word_addr(ix),
+                        state: xs,
+                    },
+                    y: HotWord {
+                        addr: n.word_addr(iy),
+                        state: ys,
+                    },
                     estimate,
                 });
             }
@@ -142,13 +148,22 @@ pub fn candidate_units(
     let mut out = Vec::new();
     if doubled_vline_possible(x, y, geom) {
         let vg = VirtualGeometry::Doubled(geom);
-        out.push((UnitKey { kind: UnitKind::Doubled, vline: vg.index(x) }, vg));
+        out.push((
+            UnitKey {
+                kind: UnitKind::Doubled,
+                vline: vg.index(x),
+            },
+            vg,
+        ));
     }
     for factor_log2 in 2..=max_scale_log2 {
         if scaled_vline_possible(x, y, geom, factor_log2) {
             let vg = VirtualGeometry::Scaled { geom, factor_log2 };
             out.push((
-                UnitKey { kind: UnitKind::Scaled { factor_log2 }, vline: vg.index(x) },
+                UnitKey {
+                    kind: UnitKind::Scaled { factor_log2 },
+                    vline: vg.index(x),
+                },
                 vg,
             ));
         }
@@ -157,7 +172,10 @@ pub fn candidate_units(
         let vg = place_offset_vline(x, y, geom);
         if vg.same_vline(x, y) {
             out.push((
-                UnitKey { kind: UnitKind::Remap { delta: vg.delta() }, vline: vg.index(x) },
+                UnitKey {
+                    kind: UnitKind::Remap { delta: vg.delta() },
+                    vline: vg.index(x),
+                },
                 vg,
             ));
         }
@@ -223,7 +241,12 @@ pub struct UnitSnapshot {
 impl PredictionUnit {
     /// Creates a unit for `key` under `geometry`, spawned by `origin`, with
     /// `mode` selecting the mutexed or lock-free verification state.
-    pub fn new(key: UnitKey, geometry: VirtualGeometry, origin: HotPair, mode: TrackingMode) -> Self {
+    pub fn new(
+        key: UnitKey,
+        geometry: VirtualGeometry,
+        origin: HotPair,
+        mode: TrackingMode,
+    ) -> Self {
         let core = match mode {
             TrackingMode::Precise => UnitCore::Precise(Mutex::new(UnitState::default())),
             TrackingMode::Relaxed => UnitCore::Relaxed {
@@ -232,7 +255,13 @@ impl PredictionUnit {
                 accesses: AtomicU64::new(0),
             },
         };
-        PredictionUnit { key, geometry, range: geometry.range(key.vline), origin, core }
+        PredictionUnit {
+            key,
+            geometry,
+            range: geometry.range(key.vline),
+            origin,
+            core,
+        }
     }
 
     /// Feeds one access *already known to fall inside `range`*; returns true
@@ -246,7 +275,11 @@ impl PredictionUnit {
                 st.invalidations += inv as u64;
                 inv
             }
-            UnitCore::Relaxed { history, invalidations, accesses } => {
+            UnitCore::Relaxed {
+                history,
+                invalidations,
+                accesses,
+            } => {
                 accesses.fetch_add(1, Ordering::Relaxed);
                 let (_, inv) = lockfree::record_history(history, tid, kind);
                 if inv {
@@ -276,9 +309,14 @@ impl PredictionUnit {
                 let st = state.lock().unwrap();
                 (st.invalidations, st.accesses)
             }
-            UnitCore::Relaxed { invalidations, accesses, .. } => {
-                (invalidations.load(Ordering::Relaxed), accesses.load(Ordering::Relaxed))
-            }
+            UnitCore::Relaxed {
+                invalidations,
+                accesses,
+                ..
+            } => (
+                invalidations.load(Ordering::Relaxed),
+                accesses.load(Ordering::Relaxed),
+            ),
         };
         UnitSnapshot {
             key: self.key,
@@ -353,7 +391,11 @@ mod tests {
     }
 
     fn ws(reads: u64, writes: u64, owner: Owner) -> WordState {
-        WordState { reads, writes, owner }
+        WordState {
+            reads,
+            writes,
+            owner,
+        }
     }
 
     #[test]
@@ -522,15 +564,30 @@ mod tests {
     fn unit_verifies_interleaved_invalidations() {
         let g = geom();
         let vg = VirtualGeometry::Doubled(g);
-        let key = UnitKey { kind: UnitKind::Doubled, vline: 0 };
+        let key = UnitKey {
+            kind: UnitKind::Doubled,
+            vline: 0,
+        };
         let pair = HotPair {
-            x: HotWord { addr: 56, state: ws(0, 100, Owner::Exclusive(ThreadId(0))) },
-            y: HotWord { addr: 64, state: ws(0, 100, Owner::Exclusive(ThreadId(1))) },
+            x: HotWord {
+                addr: 56,
+                state: ws(0, 100, Owner::Exclusive(ThreadId(0))),
+            },
+            y: HotWord {
+                addr: 64,
+                state: ws(0, 100, Owner::Exclusive(ThreadId(1))),
+            },
             estimate: 100,
         };
         for mode in [TrackingMode::Precise, TrackingMode::Relaxed] {
             let u = PredictionUnit::new(key, vg, pair, mode);
-            assert_eq!(u.range, VirtualRange { start: 0, size: 128 });
+            assert_eq!(
+                u.range,
+                VirtualRange {
+                    start: 0,
+                    size: 128
+                }
+            );
             for i in 0..10 {
                 u.record(ThreadId(i % 2), Write);
             }
@@ -545,10 +602,19 @@ mod tests {
     fn relaxed_unit_conserves_counts_under_contention() {
         let g = geom();
         let vg = VirtualGeometry::Doubled(g);
-        let key = UnitKey { kind: UnitKind::Doubled, vline: 0 };
+        let key = UnitKey {
+            kind: UnitKind::Doubled,
+            vline: 0,
+        };
         let pair = HotPair {
-            x: HotWord { addr: 56, state: ws(0, 100, Owner::Exclusive(ThreadId(0))) },
-            y: HotWord { addr: 64, state: ws(0, 100, Owner::Exclusive(ThreadId(1))) },
+            x: HotWord {
+                addr: 56,
+                state: ws(0, 100, Owner::Exclusive(ThreadId(0))),
+            },
+            y: HotWord {
+                addr: 64,
+                state: ws(0, 100, Owner::Exclusive(ThreadId(1))),
+            },
             estimate: 100,
         };
         let u = Arc::new(PredictionUnit::new(key, vg, pair, TrackingMode::Relaxed));
@@ -571,10 +637,19 @@ mod tests {
     fn registry_dedups_by_key() {
         let g = geom();
         let vg = VirtualGeometry::Doubled(g);
-        let key = UnitKey { kind: UnitKind::Doubled, vline: 3 };
+        let key = UnitKey {
+            kind: UnitKind::Doubled,
+            vline: 3,
+        };
         let pair = HotPair {
-            x: HotWord { addr: 0, state: ws(0, 1, Owner::Exclusive(ThreadId(0))) },
-            y: HotWord { addr: 8, state: ws(0, 1, Owner::Exclusive(ThreadId(1))) },
+            x: HotWord {
+                addr: 0,
+                state: ws(0, 1, Owner::Exclusive(ThreadId(0))),
+            },
+            y: HotWord {
+                addr: 8,
+                state: ws(0, 1, Owner::Exclusive(ThreadId(1))),
+            },
             estimate: 1,
         };
         let mut reg = UnitRegistry::new();

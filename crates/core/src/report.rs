@@ -163,7 +163,10 @@ impl std::fmt::Display for FindingKind {
                 write!(f, "predicted ({}x cache line size)", 1u64 << factor_log2)
             }
             FindingKind::PredictedRemap { delta } => {
-                write!(f, "predicted (object start shifted, partition offset {delta} bytes)")
+                write!(
+                    f,
+                    "predicted (object start shifted, partition offset {delta} bytes)"
+                )
             }
         }
     }
@@ -226,13 +229,15 @@ impl Report {
     /// True iff any false-sharing finding was *observed* (no prediction
     /// needed) — the paper's "Without Prediction" column.
     pub fn has_observed_false_sharing(&self) -> bool {
-        self.false_sharing().any(|f| f.kind == FindingKind::Observed)
+        self.false_sharing()
+            .any(|f| f.kind == FindingKind::Observed)
     }
 
     /// True iff any false-sharing finding is predicted-only (the
     /// linear_regression case: caught only "With Prediction").
     pub fn has_predicted_false_sharing(&self) -> bool {
-        self.false_sharing().any(|f| f.kind != FindingKind::Observed)
+        self.false_sharing()
+            .any(|f| f.kind != FindingKind::Observed)
     }
 
     /// Serializes to pretty JSON.
@@ -288,7 +293,10 @@ impl Report {
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.findings.is_empty() {
-            writeln!(f, "No sharing problems found above the reporting threshold.")?;
+            writeln!(
+                f,
+                "No sharing problems found above the reporting threshold."
+            )?;
         }
         for (i, finding) in self.findings.iter().enumerate() {
             if i > 0 {
@@ -479,7 +487,9 @@ pub fn build_report(rt: &Predator, heap: Option<&TrackedHeap>) -> Report {
 /// stable-sorted findings — identical).
 pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
     let detect_span = predator_obs::span("detect");
-    let rt0 = rts.first().expect("build_report_merged needs at least one runtime");
+    let rt0 = rts
+        .first()
+        .expect("build_report_merged needs at least one runtime");
     let cfg = *rt0.config();
     let geom = cfg.geometry;
 
@@ -512,8 +522,11 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
                 .unwrap_or_else(Callsite::unknown);
             let sink = predator_obs::events();
             if sink.enabled() {
-                let frame =
-                    callsite.frames.first().map(|f| f.to_string()).unwrap_or_default();
+                let frame = callsite
+                    .frames
+                    .first()
+                    .map(|f| f.to_string())
+                    .unwrap_or_default();
                 sink.emit(
                     "callsite_attributed",
                     &[
@@ -528,7 +541,10 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
                     start: obj.start,
                     end: obj.start + obj.size,
                     size: obj.size,
-                    site: SiteKind::Heap { callsite, owner: obj.owner },
+                    site: SiteKind::Heap {
+                        callsite,
+                        owner: obj.owner,
+                    },
                 },
             );
         }
@@ -539,7 +555,10 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
                     start: obj.start,
                     end: obj.start + obj.size,
                     size: obj.size,
-                    site: SiteKind::Heap { callsite: obj.callsite.clone(), owner: obj.owner },
+                    site: SiteKind::Heap {
+                        callsite: obj.callsite.clone(),
+                        owner: obj.owner,
+                    },
                 },
             );
         }
@@ -604,12 +623,13 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
                 op: match r.kind {
                     predator_obs::RecKind::Read => TimelineOp::Read,
                     predator_obs::RecKind::Write => TimelineOp::Write,
-                    predator_obs::RecKind::Invalidation { victim_tid, victim_word } => {
-                        TimelineOp::Invalidation {
-                            victim: ThreadId(victim_tid),
-                            victim_word,
-                        }
-                    }
+                    predator_obs::RecKind::Invalidation {
+                        victim_tid,
+                        victim_word,
+                    } => TimelineOp::Invalidation {
+                        victim: ThreadId(victim_tid),
+                        victim_word,
+                    },
                 },
             })
             .collect();
@@ -617,7 +637,10 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
             .iter()
             .rev()
             .filter_map(|r| match r.kind {
-                predator_obs::RecKind::Invalidation { victim_tid, victim_word } => {
+                predator_obs::RecKind::Invalidation {
+                    victim_tid,
+                    victim_word,
+                } => {
                     let word_addr = r.line_start + (r.word as u64) * 8;
                     Some(InvalidationTrace {
                         seq: r.seq,
@@ -662,7 +685,9 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
         if snap.invalidations < cfg.report_threshold {
             continue;
         }
-        let Some(class) = classify(&snap.words) else { continue };
+        let Some(class) = classify(&snap.words) else {
+            continue;
+        };
         // Attribute by the line's hottest active word.
         let hottest = snap
             .words
@@ -865,8 +890,14 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
         // The fixed shadow arrays are per-layout and identical across
         // shards: count them once, then add every shard's dynamic metadata.
         metadata_bytes: rt0.metadata_fixed_bytes()
-            + rts.iter().map(|rt| rt.metadata_dynamic_bytes()).sum::<usize>()
-            + rts[1..].iter().map(|rt| rt.metadata_published_bytes()).sum::<usize>(),
+            + rts
+                .iter()
+                .map(|rt| rt.metadata_dynamic_bytes())
+                .sum::<usize>()
+            + rts[1..]
+                .iter()
+                .map(|rt| rt.metadata_published_bytes())
+                .sum::<usize>(),
         app_live_bytes: match attr {
             Attribution::Heap(h) => h.live_bytes(),
             Attribution::Directory(d) => d.live_bytes(),
@@ -876,8 +907,13 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
 
     // Settle each prediction unit's fate now that the run is over: verified
     // (invalidations reached the report threshold) or discarded.
-    let verified = unit_snaps.iter().filter(|u| u.invalidations >= cfg.report_threshold).count();
-    predator_obs::global().gauge("predict_units_verified").set(verified as i64);
+    let verified = unit_snaps
+        .iter()
+        .filter(|u| u.invalidations >= cfg.report_threshold)
+        .count();
+    predator_obs::global()
+        .gauge("predict_units_verified")
+        .set(verified as i64);
     predator_obs::global()
         .gauge("predict_units_discarded")
         .set((unit_snaps.len() - verified) as i64);
@@ -893,7 +929,10 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
                 fate,
                 &[
                     ("start", predator_obs::FieldVal::U64(unit.range.start)),
-                    ("invalidations", predator_obs::FieldVal::U64(unit.invalidations)),
+                    (
+                        "invalidations",
+                        predator_obs::FieldVal::U64(unit.invalidations),
+                    ),
                 ],
             );
         }
@@ -907,19 +946,26 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
             predator_obs::host_lane(),
             vec![
                 ("findings", predator_obs::ArgVal::U64(findings.len() as u64)),
-                ("false_sharing", predator_obs::ArgVal::U64(
-                    findings
-                        .iter()
-                        .filter(|f| {
-                            matches!(f.class, SharingClass::FalseSharing | SharingClass::Mixed)
-                        })
-                        .count() as u64,
-                )),
+                (
+                    "false_sharing",
+                    predator_obs::ArgVal::U64(
+                        findings
+                            .iter()
+                            .filter(|f| {
+                                matches!(f.class, SharingClass::FalseSharing | SharingClass::Mixed)
+                            })
+                            .count() as u64,
+                    ),
+                ),
             ],
         );
     }
     drop(detect_span); // record the detect phase before capturing the snapshot
-    Report { findings, stats, obs: ObsSnapshot::capture() }
+    Report {
+        findings,
+        stats,
+        obs: ObsSnapshot::capture(),
+    }
 }
 
 #[cfg(test)]
@@ -971,8 +1017,14 @@ mod tests {
             rt.handle_access(ThreadId((i % 4) as u16), BASE, 8, Write);
         }
         let r = build_report(&rt, None);
-        assert!(!r.has_false_sharing(), "true sharing must not be a false positive");
-        assert!(r.findings.iter().any(|f| f.class == SharingClass::TrueSharing));
+        assert!(
+            !r.has_false_sharing(),
+            "true sharing must not be a false positive"
+        );
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.class == SharingClass::TrueSharing));
     }
 
     #[test]
@@ -1007,7 +1059,12 @@ mod tests {
         }
         let r = build_report(&rt, None);
         let f = &r.findings[0];
-        assert_eq!(f.object.site, SiteKind::Global { name: "stats_array".into() });
+        assert_eq!(
+            f.object.site,
+            SiteKind::Global {
+                name: "stats_array".into()
+            }
+        );
         let text = r.to_string();
         assert!(text.contains("GLOBAL VARIABLE"), "{text}");
         assert!(text.contains("stats_array"), "{text}");

@@ -111,7 +111,14 @@ impl Predator {
 
     /// Registers a global variable for name attribution in reports.
     pub fn register_global(&self, name: impl Into<String>, start: u64, size: u64) {
-        self.globals.lock().unwrap().insert(start, GlobalInfo { name: name.into(), start, size });
+        self.globals.lock().unwrap().insert(
+            start,
+            GlobalInfo {
+                name: name.into(),
+                start,
+                size,
+            },
+        );
     }
 
     /// Looks up the registered global containing `addr`.
@@ -150,7 +157,9 @@ impl Predator {
     /// filtering (read suppression, blacklist, the `enabled` switch). At most
     /// one tap per runtime; returns `Err` if one is already installed.
     pub fn install_tap(&self, tap: Arc<dyn AccessSink + Send + Sync>) -> Result<(), String> {
-        self.tap.set(tap).map_err(|_| "a tap is already installed".to_string())
+        self.tap
+            .set(tap)
+            .map_err(|_| "a tap is already installed".to_string())
     }
 
     /// The instrumentation entry point (Figure 1's `HandleAccess`).
@@ -225,13 +234,20 @@ impl Predator {
         self.writes.bump_to(idx, self.cfg.tracking_threshold);
         let newly = self.tracks.get(idx).is_none();
         let track = self.tracks.get_or_publish(idx, || {
-            CacheTrack::new(self.layout.line_start(idx), self.cfg.geometry, self.cfg.tracking_mode)
+            CacheTrack::new(
+                self.layout.line_start(idx),
+                self.cfg.geometry,
+                self.cfg.tracking_mode,
+            )
         });
         if newly {
             predator_obs::static_counter!("runtime_lines_promoted_total").inc();
             predator_obs::events().emit(
                 "line_promoted",
-                &[("line_start", predator_obs::FieldVal::U64(track.line_start()))],
+                &[(
+                    "line_start",
+                    predator_obs::FieldVal::U64(track.line_start()),
+                )],
             );
             // Tracking-state transition on the timeline: the line entered
             // CacheTracking (its history table now exists).
@@ -253,7 +269,9 @@ impl Predator {
     fn analyze(&self, idx: usize) {
         let _timer = predator_obs::static_histogram!("span_predict_ns").start_timer();
         predator_obs::static_counter!("predict_analyses_total").inc();
-        let Some(track) = self.tracks.get(idx) else { return };
+        let Some(track) = self.tracks.get(idx) else {
+            return;
+        };
         let snap_l = track.snapshot();
         let avg = snap_l.words.average_accesses();
         let geom = self.cfg.geometry;
@@ -266,7 +284,9 @@ impl Predator {
         // times on every promotion edge.
         let mut units = self.units.lock().unwrap();
         for n_idx in (lo..=hi).filter(|&n| n != idx) {
-            let Some(nt) = self.tracks.get(n_idx) else { continue };
+            let Some(nt) = self.tracks.get(n_idx) else {
+                continue;
+            };
             let snap_n = nt.snapshot();
             for pair in find_hot_pairs(&snap_l.words, &snap_n.words, avg) {
                 for (key, vg) in candidate_units(&pair, geom, self.cfg.max_scale_log2) {
@@ -280,7 +300,10 @@ impl Predator {
                             sink.emit(
                                 "unit_spawned",
                                 &[
-                                    ("unit", predator_obs::FieldVal::Str(&format!("{:?}", key.kind))),
+                                    (
+                                        "unit",
+                                        predator_obs::FieldVal::Str(&format!("{:?}", key.kind)),
+                                    ),
                                     ("start", predator_obs::FieldVal::U64(unit.range.start)),
                                     ("size", predator_obs::FieldVal::U64(unit.range.size)),
                                 ],
@@ -321,7 +344,9 @@ impl Predator {
         let end = start + usable;
         let mut involved = false;
         for line in geom.line_index(start)..=geom.line_index(end - 1) {
-            let Some(idx) = self.layout.index_of(geom.line_start(line)) else { continue };
+            let Some(idx) = self.layout.index_of(geom.line_start(line)) else {
+                continue;
+            };
             if let Some(track) = self.tracks.get(idx) {
                 if track.invalidations() >= self.cfg.report_threshold {
                     involved = true;
@@ -356,7 +381,10 @@ impl Predator {
 
     /// Snapshots of every tracked line, with dense indices.
     pub fn tracked_snapshots(&self) -> Vec<(usize, TrackSnapshot)> {
-        self.tracks.iter_published().map(|(i, t)| (i, t.snapshot())).collect()
+        self.tracks
+            .iter_published()
+            .map(|(i, t)| (i, t.snapshot()))
+            .collect()
     }
 
     /// Snapshot of a specific line's tracking state, if tracked.
@@ -379,7 +407,10 @@ impl Predator {
     /// are excluded). Drives the modeled-improvement estimates in the
     /// benchmark harness.
     pub fn total_invalidations(&self) -> u64 {
-        self.tracks.iter_published().map(|(_, t)| t.invalidations()).sum()
+        self.tracks
+            .iter_published()
+            .map(|(_, t)| t.invalidations())
+            .sum()
     }
 
     /// Number of lines in tracked mode.
@@ -543,8 +574,8 @@ mod tests {
         let max_inv = units.iter().map(|u| u.invalidations).max().unwrap();
         assert!(max_inv > 100, "verified invalidations: {max_inv}");
         // Physical lines show no (or almost no) invalidations.
-        let phys = rt.line_snapshot(0).unwrap().invalidations
-            + rt.line_snapshot(1).unwrap().invalidations;
+        let phys =
+            rt.line_snapshot(0).unwrap().invalidations + rt.line_snapshot(1).unwrap().invalidations;
         assert_eq!(phys, 0, "no physical false sharing in this pattern");
     }
 
@@ -569,7 +600,11 @@ mod tests {
             units[0].key.kind,
             crate::predict::UnitKind::Scaled { factor_log2: 2 }
         ));
-        assert!(units[0].invalidations > 100, "verified: {}", units[0].invalidations);
+        assert!(
+            units[0].invalidations > 100,
+            "verified: {}",
+            units[0].invalidations
+        );
     }
 
     #[test]
@@ -695,7 +730,11 @@ mod tests {
         let involved = rt.object_freed(start, 128);
         assert!(!involved);
         let snap = rt.line_snapshot(4).unwrap();
-        assert_eq!(snap.words.total_accesses(), 0, "line reset after clean free");
+        assert_eq!(
+            snap.words.total_accesses(),
+            0,
+            "line reset after clean free"
+        );
         assert_eq!(rt.line_writes(4), 0);
     }
 
@@ -750,7 +789,11 @@ mod tests {
         assert!(rt.install_tap(tap.clone()).is_err(), "second tap rejected");
         hammer_pingpong(&rt, BASE, 100);
         rt.handle_access(ThreadId(0), BASE, 8, Read);
-        assert_eq!(tap.0.load(Ordering::Relaxed), 101, "tap sees the pre-filter stream");
+        assert_eq!(
+            tap.0.load(Ordering::Relaxed),
+            101,
+            "tap sees the pre-filter stream"
+        );
         assert_eq!(rt.events(), 0, "detector itself stays off");
     }
 

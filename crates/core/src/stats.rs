@@ -26,8 +26,7 @@ impl RunStats {
     /// Relative memory overhead: metadata bytes per live application byte
     /// (`None` when the heap footprint is unknown or zero).
     pub fn relative_memory_overhead(&self) -> Option<f64> {
-        (self.app_live_bytes > 0)
-            .then(|| self.metadata_bytes as f64 / self.app_live_bytes as f64)
+        (self.app_live_bytes > 0).then(|| self.metadata_bytes as f64 / self.app_live_bytes as f64)
     }
 
     /// Fraction of shadowed lines that went into detailed tracking.
@@ -143,7 +142,10 @@ impl From<predator_obs::Snapshot> for ObsSnapshot {
                     buckets: h
                         .buckets
                         .into_iter()
-                        .map(|b| ObsBucket { lo: b.lo, count: b.count })
+                        .map(|b| ObsBucket {
+                            lo: b.lo,
+                            count: b.count,
+                        })
                         .collect(),
                 })
                 .collect(),
@@ -167,7 +169,10 @@ const PHASE_PIPELINE: [&str; 9] = [
 ];
 
 fn phase_rank(phase: &str) -> usize {
-    PHASE_PIPELINE.iter().position(|p| *p == phase).unwrap_or(PHASE_PIPELINE.len())
+    PHASE_PIPELINE
+        .iter()
+        .position(|p| *p == phase)
+        .unwrap_or(PHASE_PIPELINE.len())
 }
 
 impl ObsSnapshot {
@@ -178,7 +183,10 @@ impl ObsSnapshot {
 
     /// Looks up a counter total by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
     }
 
     /// Per-phase wall times, derived from the `span_<phase>_ns` histograms:
@@ -206,7 +214,10 @@ impl ObsSnapshot {
             .histograms
             .iter()
             .filter_map(|h| {
-                h.name.strip_prefix("span_").and_then(|n| n.strip_suffix("_ns")).map(|p| (p, h))
+                h.name
+                    .strip_prefix("span_")
+                    .and_then(|n| n.strip_suffix("_ns"))
+                    .map(|p| (p, h))
             })
             .collect();
         spans.sort_by(|a, b| phase_rank(a.0).cmp(&phase_rank(b.0)).then(a.0.cmp(b.0)));
@@ -219,10 +230,17 @@ impl ObsSnapshot {
                 "phase", "calls", "total ms", "share", "mean us", "p50 us", "p99 us"
             );
             for (phase, h) in &spans {
-                let mean_us = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 / 1e3 };
+                let mean_us = if h.count == 0 {
+                    0.0
+                } else {
+                    h.sum as f64 / h.count as f64 / 1e3
+                };
                 let q = |q: f64| h.quantile(q).map(|v| v / 1e3).unwrap_or(0.0);
-                let share =
-                    if total_ns == 0 { 0.0 } else { h.sum as f64 / total_ns as f64 * 100.0 };
+                let share = if total_ns == 0 {
+                    0.0
+                } else {
+                    h.sum as f64 / total_ns as f64 * 100.0
+                };
                 let _ = writeln!(
                     out,
                     "  {:<24} {:>10} {:>14.3} {:>7.1}% {:>14.1} {:>12.1} {:>12.1}",
@@ -256,8 +274,11 @@ impl ObsSnapshot {
                 let _ = writeln!(out, "  {:<40} {:>14}", g.name, g.value);
             }
         }
-        let plain: Vec<&ObsHistogram> =
-            self.histograms.iter().filter(|h| !h.name.starts_with("span_")).collect();
+        let plain: Vec<&ObsHistogram> = self
+            .histograms
+            .iter()
+            .filter(|h| !h.name.starts_with("span_"))
+            .collect();
         if !plain.is_empty() {
             out.push_str("HISTOGRAMS\n");
             let _ = writeln!(
@@ -266,7 +287,11 @@ impl ObsSnapshot {
                 "name", "count", "sum", "mean", "p50", "p90", "p99"
             );
             for h in plain {
-                let mean = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 };
+                let mean = if h.count == 0 {
+                    0.0
+                } else {
+                    h.sum as f64 / h.count as f64
+                };
                 let q = |q: f64| h.quantile(q).unwrap_or(0.0);
                 let _ = writeln!(
                     out,
@@ -294,7 +319,10 @@ mod tests {
 
     #[test]
     fn relative_overhead_requires_app_bytes() {
-        let mut s = RunStats { metadata_bytes: 100, ..Default::default() };
+        let mut s = RunStats {
+            metadata_bytes: 100,
+            ..Default::default()
+        };
         assert_eq!(s.relative_memory_overhead(), None);
         s.app_live_bytes = 50;
         assert_eq!(s.relative_memory_overhead(), Some(2.0));
@@ -304,14 +332,24 @@ mod tests {
     fn tracked_fraction_handles_empty() {
         let s = RunStats::default();
         assert_eq!(s.tracked_fraction(), 0.0);
-        let s = RunStats { tracked_lines: 5, total_lines: 20, ..Default::default() };
+        let s = RunStats {
+            tracked_lines: 5,
+            total_lines: 20,
+            ..Default::default()
+        };
         assert_eq!(s.tracked_fraction(), 0.25);
     }
 
     fn obs_sample() -> ObsSnapshot {
         ObsSnapshot {
-            counters: vec![ObsMetric { name: "runtime_accesses_total".into(), value: 7 }],
-            gauges: vec![ObsGauge { name: "alloc_live_bytes".into(), value: 128 }],
+            counters: vec![ObsMetric {
+                name: "runtime_accesses_total".into(),
+                value: 7,
+            }],
+            gauges: vec![ObsGauge {
+                name: "alloc_live_bytes".into(),
+                value: 128,
+            }],
             histograms: vec![
                 ObsHistogram {
                     name: "span_detect_ns".into(),
@@ -387,7 +425,11 @@ mod tests {
         };
         assert_eq!(h.quantile(0.0), None);
         assert_eq!(h.quantile(1.5), None);
-        assert_eq!(h.quantile(0.5), Some(8.0), "single obs reports its bucket's top edge");
+        assert_eq!(
+            h.quantile(0.5),
+            Some(8.0),
+            "single obs reports its bucket's top edge"
+        );
     }
 
     #[test]
@@ -408,7 +450,10 @@ mod tests {
         assert!(table.contains("detect"));
         assert!(table.contains("runtime_accesses_total"));
         assert!(table.contains("alloc_size_bytes"));
-        assert!(!table.contains("span_detect_ns"), "spans render as phases, not histograms");
+        assert!(
+            !table.contains("span_detect_ns"),
+            "spans render as phases, not histograms"
+        );
     }
 
     fn span_hist(phase: &str, sum: u64) -> ObsHistogram {
@@ -416,7 +461,10 @@ mod tests {
             name: format!("span_{phase}_ns"),
             count: 1,
             sum,
-            buckets: vec![ObsBucket { lo: sum.next_power_of_two() / 2, count: 1 }],
+            buckets: vec![ObsBucket {
+                lo: sum.next_power_of_two() / 2,
+                count: 1,
+            }],
         }
     }
 
@@ -438,14 +486,24 @@ mod tests {
         assert_eq!(order, ["parse", "interpret", "detect", "report", "replay"]);
 
         let table = s.render_table();
-        let pos = |needle: &str| table.find(needle).unwrap_or_else(|| panic!("{needle}\n{table}"));
+        let pos = |needle: &str| {
+            table
+                .find(needle)
+                .unwrap_or_else(|| panic!("{needle}\n{table}"))
+        };
         assert!(pos("parse") < pos("interpret"), "{table}");
         assert!(pos("interpret") < pos("detect"), "{table}");
-        assert!(pos("report") < pos("replay"), "pipeline phases before extras:\n{table}");
+        assert!(
+            pos("report") < pos("replay"),
+            "pipeline phases before extras:\n{table}"
+        );
         assert!(table.contains("share"), "{table}");
         // interpret holds 3000 of 5000 ns = 60%; the total row closes at 100%.
         assert!(table.contains("60.0%"), "{table}");
-        let total_line = table.lines().find(|l| l.trim_start().starts_with("total")).unwrap();
+        let total_line = table
+            .lines()
+            .find(|l| l.trim_start().starts_with("total"))
+            .unwrap();
         assert!(total_line.contains("100.0%"), "{total_line}");
     }
 }

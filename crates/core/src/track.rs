@@ -27,8 +27,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 use predator_sim::{packed, AccessKind, CacheGeometry, HistoryTable, ThreadId, WordTracker};
 
@@ -128,7 +128,12 @@ impl CacheTrack {
             })),
             TrackingMode::Relaxed => TrackCore::Relaxed(RelaxedLine::new(geom.words_per_line())),
         };
-        CacheTrack { line_start, offered: AtomicU64::new(0), units: UnitList::new(), core }
+        CacheTrack {
+            line_start,
+            offered: AtomicU64::new(0),
+            units: UnitList::new(),
+            core,
+        }
     }
 
     /// First byte address of the tracked line.
@@ -187,8 +192,7 @@ impl CacheTrack {
                     AccessKind::Read => st.reads += 1,
                     AccessKind::Write => {
                         st.writes += 1;
-                        due = cfg.prediction
-                            && st.writes.is_multiple_of(cfg.prediction_threshold);
+                        due = cfg.prediction && st.writes.is_multiple_of(cfg.prediction_threshold);
                     }
                 }
                 analysis_due = due;
@@ -205,8 +209,7 @@ impl CacheTrack {
                 // clamping of straddling accesses.
                 let end = addr + size.max(1) as u64 - 1;
                 let line_end = self.line_start + cfg.geometry.line_size() - 1;
-                let lo_word =
-                    ((addr.max(self.line_start) - self.line_start) / 8) as usize;
+                let lo_word = ((addr.max(self.line_start) - self.line_start) / 8) as usize;
                 let hi_word = ((end.min(line_end) - self.line_start) / 8) as usize;
                 let threshold = cfg.prediction.then_some(cfg.prediction_threshold);
                 let out = line.record(tid, lo_word, hi_word, kind, threshold);
@@ -273,11 +276,21 @@ impl CacheTrack {
                     ],
                 );
                 for &(victim_tid, _) in &victims[..victim_count] {
-                    tl.flow("invalidate", "detector", writer_lane, victim_tid as u64, tl.new_flow());
+                    tl.flow(
+                        "invalidate",
+                        "detector",
+                        writer_lane,
+                        victim_tid as u64,
+                        tl.new_flow(),
+                    );
                 }
             }
         }
-        TrackOutcome { sampled: true, invalidated, analysis_due }
+        TrackOutcome {
+            sampled: true,
+            invalidated,
+            analysis_due,
+        }
     }
 
     /// Attaches a prediction unit whose virtual line overlaps this physical
@@ -382,8 +395,13 @@ mod tests {
             let cfg = cfg_nosample().with_tracking_mode(mode);
             let mut inv = 0;
             for i in 0..10u16 {
-                let out =
-                    t.handle(ThreadId(i % 2), 0x4000_0000 + (i as u64 % 2) * 8, 8, Write, &cfg);
+                let out = t.handle(
+                    ThreadId(i % 2),
+                    0x4000_0000 + (i as u64 % 2) * 8,
+                    8,
+                    Write,
+                    &cfg,
+                );
                 inv += out.invalidated as u64;
                 assert!(out.sampled);
             }
@@ -459,15 +477,26 @@ mod tests {
     fn dummy_unit(range_start: u64, mode: TrackingMode) -> Arc<PredictionUnit> {
         let g = geom();
         let vg = VirtualGeometry::Doubled(g);
-        let key = UnitKey { kind: UnitKind::Doubled, vline: vg.index(range_start) };
+        let key = UnitKey {
+            kind: UnitKind::Doubled,
+            vline: vg.index(range_start),
+        };
         let pair = HotPair {
             x: HotWord {
                 addr: range_start,
-                state: WordState { reads: 0, writes: 1, owner: Owner::Exclusive(ThreadId(0)) },
+                state: WordState {
+                    reads: 0,
+                    writes: 1,
+                    owner: Owner::Exclusive(ThreadId(0)),
+                },
             },
             y: HotWord {
                 addr: range_start + 64,
-                state: WordState { reads: 0, writes: 1, owner: Owner::Exclusive(ThreadId(1)) },
+                state: WordState {
+                    reads: 0,
+                    writes: 1,
+                    owner: Owner::Exclusive(ThreadId(1)),
+                },
             },
             estimate: 1,
         };
@@ -566,7 +595,10 @@ mod tests {
                 }
             });
             let snap = t.snapshot();
-            assert_eq!(snap.writes, 40_000, "no update lost under contention ({mode})");
+            assert_eq!(
+                snap.writes, 40_000,
+                "no update lost under contention ({mode})"
+            );
             assert_eq!(snap.offered, 40_000);
             assert_eq!(snap.words.exclusive_threads().len(), 4);
             // Real-thread interleaving is scheduler-dependent (threads may run

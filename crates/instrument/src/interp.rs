@@ -118,7 +118,11 @@ impl<'a> Machine<'a> {
         sink: &'a dyn AccessSink,
     ) -> Result<Self, ExecError> {
         module.validate().map_err(ExecError::Validation)?;
-        Ok(Machine { module, space, sink })
+        Ok(Machine {
+            module,
+            space,
+            sink,
+        })
     }
 
     /// Runs `threads` to completion under `schedule`, with a global budget of
@@ -143,7 +147,13 @@ impl<'a> Machine<'a> {
                 }
                 Ok(ThreadState {
                     tid: spec.tid,
-                    stack: vec![Frame { func, regs, block: 0, ip: 0, ret_to: None }],
+                    stack: vec![Frame {
+                        func,
+                        regs,
+                        block: 0,
+                        ip: 0,
+                        ret_to: None,
+                    }],
                     result: None,
                     done: func.blocks.is_empty(),
                 })
@@ -174,8 +184,7 @@ impl<'a> Machine<'a> {
         let prof_period = if prof.enabled() { prof.period() } else { 0 };
         let mut turn = 0usize;
         while states.iter().any(|s| !s.done) {
-            let live: Vec<usize> =
-                (0..states.len()).filter(|&i| !states[i].done).collect();
+            let live: Vec<usize> = (0..states.len()).filter(|&i| !states[i].done).collect();
             let (pick, quantum) = match schedule {
                 StepSchedule::RoundRobin { quantum } => {
                     let pick = live[turn % live.len()];
@@ -213,7 +222,10 @@ impl<'a> Machine<'a> {
                 }
                 let sampled = prof_period != 0 && steps.is_multiple_of(prof_period);
                 let (stack, was_probe) = if sampled {
-                    (Some(collapse_stack(&states[pick])), peek_is_probe(&states[pick]))
+                    (
+                        Some(collapse_stack(&states[pick])),
+                        peek_is_probe(&states[pick]),
+                    )
                 } else {
                     (None, false)
                 };
@@ -248,19 +260,34 @@ impl<'a> Machine<'a> {
             }
             Inst::Bin { op, dst, a, b } => {
                 let (a, b) = (eval(&frame.regs, a), eval(&frame.regs, b));
-                frame.regs[dst as usize] = apply(op, a, b).ok_or_else(|| {
-                    ExecError::DivByZero { function: frame.func.name.clone() }
+                frame.regs[dst as usize] = apply(op, a, b).ok_or_else(|| ExecError::DivByZero {
+                    function: frame.func.name.clone(),
                 })?;
             }
-            Inst::Load { dst, base, offset, size } => {
+            Inst::Load {
+                dst,
+                base,
+                offset,
+                size,
+            } => {
                 let addr = mem_addr(&frame.regs, base, offset);
                 frame.regs[dst as usize] = self.load_sized(addr, size);
             }
-            Inst::Store { src, base, offset, size } => {
+            Inst::Store {
+                src,
+                base,
+                offset,
+                size,
+            } => {
                 let addr = mem_addr(&frame.regs, base, offset);
                 self.store_sized(addr, size, eval(&frame.regs, src));
             }
-            Inst::Probe { kind, base, offset, size } => {
+            Inst::Probe {
+                kind,
+                base,
+                offset,
+                size,
+            } => {
                 let addr = mem_addr(&frame.regs, base, offset);
                 self.sink.access(tid, addr, size, kind);
             }
@@ -268,7 +295,11 @@ impl<'a> Machine<'a> {
                 frame.block = target as usize;
                 frame.ip = 0;
             }
-            Inst::Br { cond, then_bb, else_bb } => {
+            Inst::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 frame.block = if eval(&frame.regs, cond) != 0 {
                     then_bb as usize
                 } else {
@@ -276,7 +307,12 @@ impl<'a> Machine<'a> {
                 };
                 frame.ip = 0;
             }
-            Inst::Call { dst, func, args, argc } => {
+            Inst::Call {
+                dst,
+                func,
+                args,
+                argc,
+            } => {
                 if depth >= MAX_CALL_DEPTH {
                     return Err(ExecError::CallDepthExceeded {
                         function: frame.func.name.clone(),
@@ -287,7 +323,13 @@ impl<'a> Machine<'a> {
                 for (i, a) in args.iter().take(argc as usize).enumerate() {
                     regs[i] = eval(&frame.regs, *a);
                 }
-                st.stack.push(Frame { func: callee, regs, block: 0, ip: 0, ret_to: dst });
+                st.stack.push(Frame {
+                    func: callee,
+                    regs,
+                    block: 0,
+                    ip: 0,
+                    ret_to: dst,
+                });
             }
             Inst::Ret { value } => {
                 let v = value.map(|v| eval(&frame.regs, v));
@@ -347,7 +389,10 @@ fn collapse_stack(st: &ThreadState<'_>) -> String {
 /// that enters the detector runtime and can leave a cost-center mark.
 fn peek_is_probe(st: &ThreadState<'_>) -> bool {
     st.stack.last().is_some_and(|frame| {
-        matches!(frame.func.blocks[frame.block].insts[frame.ip], Inst::Probe { .. })
+        matches!(
+            frame.func.blocks[frame.block].insts[frame.ip],
+            Inst::Probe { .. }
+        )
     })
 }
 
@@ -433,7 +478,9 @@ mod tests {
         fb.jmp(head);
         fb.select_block(exit);
         fb.ret(Some(Operand::Reg(s)));
-        Module { functions: vec![fb.finish().unwrap()] }
+        Module {
+            functions: vec![fb.finish().unwrap()],
+        }
     }
 
     /// `fn writer(base, n)` — stores `n` times to `mem[base]`.
@@ -455,7 +502,9 @@ mod tests {
         fb.jmp(head);
         fb.select_block(exit);
         fb.ret(None);
-        Module { functions: vec![fb.finish().unwrap()] }
+        Module {
+            functions: vec![fb.finish().unwrap()],
+        }
     }
 
     fn space() -> SimSpace {
@@ -469,7 +518,11 @@ mod tests {
         let machine = Machine::new(&m, &sp, &NullSink).unwrap();
         let r = machine
             .run(
-                &[ThreadSpec { tid: ThreadId(0), function: "sum_to".into(), args: vec![10] }],
+                &[ThreadSpec {
+                    tid: ThreadId(0),
+                    function: "sum_to".into(),
+                    args: vec![10],
+                }],
                 StepSchedule::RoundRobin { quantum: 1 },
                 100_000,
             )
@@ -642,7 +695,11 @@ mod tests {
         let machine = Machine::new(&m, &sp, &NullSink).unwrap();
         let err = machine
             .run(
-                &[ThreadSpec { tid: ThreadId(0), function: "nope".into(), args: vec![] }],
+                &[ThreadSpec {
+                    tid: ThreadId(0),
+                    function: "nope".into(),
+                    args: vec![],
+                }],
                 StepSchedule::RoundRobin { quantum: 1 },
                 100,
             )
@@ -655,12 +712,18 @@ mod tests {
         let mut fb = FunctionBuilder::new("spin", 0);
         let b = fb.current_block();
         fb.jmp(b);
-        let m = Module { functions: vec![fb.finish().unwrap()] };
+        let m = Module {
+            functions: vec![fb.finish().unwrap()],
+        };
         let sp = space();
         let machine = Machine::new(&m, &sp, &NullSink).unwrap();
         let err = machine
             .run(
-                &[ThreadSpec { tid: ThreadId(0), function: "spin".into(), args: vec![] }],
+                &[ThreadSpec {
+                    tid: ThreadId(0),
+                    function: "spin".into(),
+                    args: vec![],
+                }],
                 StepSchedule::RoundRobin { quantum: 1 },
                 1_000,
             )
@@ -673,17 +736,28 @@ mod tests {
         let mut fb = FunctionBuilder::new("crash", 0);
         let _ = fb.bin(BinOp::Div, 1i64, 0i64);
         fb.ret(None);
-        let m = Module { functions: vec![fb.finish().unwrap()] };
+        let m = Module {
+            functions: vec![fb.finish().unwrap()],
+        };
         let sp = space();
         let machine = Machine::new(&m, &sp, &NullSink).unwrap();
         let err = machine
             .run(
-                &[ThreadSpec { tid: ThreadId(0), function: "crash".into(), args: vec![] }],
+                &[ThreadSpec {
+                    tid: ThreadId(0),
+                    function: "crash".into(),
+                    args: vec![],
+                }],
                 StepSchedule::RoundRobin { quantum: 1 },
                 100,
             )
             .unwrap_err();
-        assert_eq!(err, ExecError::DivByZero { function: "crash".into() });
+        assert_eq!(
+            err,
+            ExecError::DivByZero {
+                function: "crash".into()
+            }
+        );
     }
 
     #[test]
@@ -697,7 +771,10 @@ mod tests {
             }],
         };
         let sp = space();
-        assert!(matches!(Machine::new(&m, &sp, &NullSink), Err(ExecError::Validation(_))));
+        assert!(matches!(
+            Machine::new(&m, &sp, &NullSink),
+            Err(ExecError::Validation(_))
+        ));
     }
 
     #[test]
@@ -706,7 +783,9 @@ mod tests {
         fb.store_sized(0u32, 0, 0x1ffi64, 1); // truncates to 0xff
         let v = fb.load_sized(0u32, 0, 1);
         fb.ret(Some(Operand::Reg(v)));
-        let m = Module { functions: vec![fb.finish().unwrap()] };
+        let m = Module {
+            functions: vec![fb.finish().unwrap()],
+        };
         let sp = space();
         let machine = Machine::new(&m, &sp, &NullSink).unwrap();
         let r = machine

@@ -164,12 +164,12 @@ impl Inst {
     /// `(kind, base, offset, size)`.
     pub fn memory_access(&self) -> Option<(AccessKind, Operand, i64, u8)> {
         match *self {
-            Inst::Load { base, offset, size, .. } => {
-                Some((AccessKind::Read, base, offset, size))
-            }
-            Inst::Store { base, offset, size, .. } => {
-                Some((AccessKind::Write, base, offset, size))
-            }
+            Inst::Load {
+                base, offset, size, ..
+            } => Some((AccessKind::Read, base, offset, size)),
+            Inst::Store {
+                base, offset, size, ..
+            } => Some((AccessKind::Write, base, offset, size)),
             _ => None,
         }
     }
@@ -207,7 +207,10 @@ impl Function {
         let check_op = |op: Operand| -> Result<(), String> {
             if let Operand::Reg(r) = op {
                 if r >= self.num_regs {
-                    return Err(format!("function {}: register r{} out of range", self.name, r));
+                    return Err(format!(
+                        "function {}: register r{} out of range",
+                        self.name, r
+                    ));
                 }
             }
             Ok(())
@@ -217,7 +220,10 @@ impl Function {
                 return Err(format!("function {}: block {} is empty", self.name, bi));
             };
             if !last.is_terminator() {
-                return Err(format!("function {}: block {} lacks a terminator", self.name, bi));
+                return Err(format!(
+                    "function {}: block {} lacks a terminator",
+                    self.name, bi
+                ));
             }
             for (ii, inst) in b.insts.iter().enumerate() {
                 if inst.is_terminator() && ii + 1 != b.insts.len() {
@@ -236,12 +242,16 @@ impl Function {
                         check_op(Operand::Reg(dst))?;
                         check_op(src)?;
                     }
-                    Inst::Load { dst, base, size, .. } => {
+                    Inst::Load {
+                        dst, base, size, ..
+                    } => {
                         check_op(Operand::Reg(dst))?;
                         check_op(base)?;
                         check_size(&self.name, size)?;
                     }
-                    Inst::Store { src, base, size, .. } => {
+                    Inst::Store {
+                        src, base, size, ..
+                    } => {
                         check_op(src)?;
                         check_op(base)?;
                         check_size(&self.name, size)?;
@@ -258,13 +268,14 @@ impl Function {
                             ));
                         }
                     }
-                    Inst::Br { cond, then_bb, else_bb } => {
+                    Inst::Br {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
                         check_op(cond)?;
                         if then_bb >= nblocks || else_bb >= nblocks {
-                            return Err(format!(
-                                "function {}: branch to missing block",
-                                self.name
-                            ));
+                            return Err(format!("function {}: branch to missing block", self.name));
                         }
                     }
                     Inst::Ret { value } => {
@@ -272,7 +283,9 @@ impl Function {
                             check_op(v)?;
                         }
                     }
-                    Inst::Call { dst, args, argc, .. } => {
+                    Inst::Call {
+                        dst, args, argc, ..
+                    } => {
                         if argc as usize > MAX_CALL_ARGS {
                             return Err(format!(
                                 "function {}: call passes {argc} args (max {MAX_CALL_ARGS})",
@@ -291,7 +304,10 @@ impl Function {
             }
         }
         if self.params > self.num_regs {
-            return Err(format!("function {}: more params than registers", self.name));
+            return Err(format!(
+                "function {}: more params than registers",
+                self.name
+            ));
         }
         Ok(())
     }
@@ -350,7 +366,11 @@ impl Module {
 
     /// Total instruction count (for instrumentation-overhead statistics).
     pub fn inst_count(&self) -> usize {
-        self.functions.iter().flat_map(|f| &f.blocks).map(|b| b.insts.len()).sum()
+        self.functions
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .map(|b| b.insts.len())
+            .sum()
     }
 }
 
@@ -437,13 +457,21 @@ impl FunctionBuilder {
 
     /// `dst = src`.
     pub fn mov(&mut self, dst: Reg, src: impl Into<Operand>) {
-        self.push(Inst::Mov { dst, src: src.into() });
+        self.push(Inst::Mov {
+            dst,
+            src: src.into(),
+        });
     }
 
     /// `fresh = a <op> b`; returns the fresh destination register.
     pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.push(Inst::Bin { op, dst, a: a.into(), b: b.into() });
+        self.push(Inst::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
@@ -455,7 +483,12 @@ impl FunctionBuilder {
     /// Sized load.
     pub fn load_sized(&mut self, base: impl Into<Operand>, offset: i64, size: u8) -> Reg {
         let dst = self.reg();
-        self.push(Inst::Load { dst, base: base.into(), offset, size });
+        self.push(Inst::Load {
+            dst,
+            base: base.into(),
+            offset,
+            size,
+        });
         dst
     }
 
@@ -472,7 +505,12 @@ impl FunctionBuilder {
         src: impl Into<Operand>,
         size: u8,
     ) {
-        self.push(Inst::Store { src: src.into(), base: base.into(), offset, size });
+        self.push(Inst::Store {
+            src: src.into(),
+            base: base.into(),
+            offset,
+            size,
+        });
     }
 
     /// Unconditional jump terminator.
@@ -482,7 +520,11 @@ impl FunctionBuilder {
 
     /// Conditional branch terminator.
     pub fn br(&mut self, cond: impl Into<Operand>, then_bb: BlockId, else_bb: BlockId) {
-        self.push(Inst::Br { cond: cond.into(), then_bb, else_bb });
+        self.push(Inst::Br {
+            cond: cond.into(),
+            then_bb,
+            else_bb,
+        });
     }
 
     /// Return terminator.
@@ -497,7 +539,12 @@ impl FunctionBuilder {
         let dst = self.reg();
         let mut padded = [Operand::Imm(0); MAX_CALL_ARGS];
         padded[..args.len()].copy_from_slice(args);
-        self.push(Inst::Call { dst: Some(dst), func, args: padded, argc: args.len() as u8 });
+        self.push(Inst::Call {
+            dst: Some(dst),
+            func,
+            args: padded,
+            argc: args.len() as u8,
+        });
         dst
     }
 
@@ -538,7 +585,12 @@ mod tests {
             name: "bad".into(),
             params: 0,
             num_regs: 1,
-            blocks: vec![Block { insts: vec![Inst::Mov { dst: 0, src: Operand::Imm(1) }] }],
+            blocks: vec![Block {
+                insts: vec![Inst::Mov {
+                    dst: 0,
+                    src: Operand::Imm(1),
+                }],
+            }],
         };
         assert!(f.validate().unwrap_err().contains("terminator"));
     }
@@ -549,7 +601,9 @@ mod tests {
             name: "bad".into(),
             params: 0,
             num_regs: 0,
-            blocks: vec![Block { insts: vec![Inst::Ret { value: None }, Inst::Ret { value: None }] }],
+            blocks: vec![Block {
+                insts: vec![Inst::Ret { value: None }, Inst::Ret { value: None }],
+            }],
         };
         assert!(f.validate().unwrap_err().contains("mid-block"));
     }
@@ -562,7 +616,10 @@ mod tests {
             num_regs: 1,
             blocks: vec![Block {
                 insts: vec![
-                    Inst::Mov { dst: 0, src: Operand::Reg(5) },
+                    Inst::Mov {
+                        dst: 0,
+                        src: Operand::Reg(5),
+                    },
                     Inst::Ret { value: None },
                 ],
             }],
@@ -576,7 +633,9 @@ mod tests {
             name: "bad".into(),
             params: 0,
             num_regs: 0,
-            blocks: vec![Block { insts: vec![Inst::Jmp { target: 7 }] }],
+            blocks: vec![Block {
+                insts: vec![Inst::Jmp { target: 7 }],
+            }],
         };
         assert!(f.validate().unwrap_err().contains("missing block"));
     }
@@ -589,7 +648,12 @@ mod tests {
             num_regs: 2,
             blocks: vec![Block {
                 insts: vec![
-                    Inst::Load { dst: 1, base: Operand::Reg(0), offset: 0, size: 3 },
+                    Inst::Load {
+                        dst: 1,
+                        base: Operand::Reg(0),
+                        offset: 0,
+                        size: 3,
+                    },
                     Inst::Ret { value: None },
                 ],
             }],
@@ -599,19 +663,34 @@ mod tests {
 
     #[test]
     fn memory_access_extraction() {
-        let l = Inst::Load { dst: 0, base: Operand::Reg(1), offset: 8, size: 4 };
+        let l = Inst::Load {
+            dst: 0,
+            base: Operand::Reg(1),
+            offset: 8,
+            size: 4,
+        };
         assert_eq!(
             l.memory_access(),
             Some((predator_sim::AccessKind::Read, Operand::Reg(1), 8, 4))
         );
-        let s = Inst::Store { src: Operand::Imm(0), base: Operand::Reg(1), offset: 8, size: 4 };
-        assert_eq!(s.memory_access().unwrap().0, predator_sim::AccessKind::Write);
+        let s = Inst::Store {
+            src: Operand::Imm(0),
+            base: Operand::Reg(1),
+            offset: 8,
+            size: 4,
+        };
+        assert_eq!(
+            s.memory_access().unwrap().0,
+            predator_sim::AccessKind::Write
+        );
         assert_eq!(Inst::Ret { value: None }.memory_access(), None);
     }
 
     #[test]
     fn module_lookup_and_counts() {
-        let m = Module { functions: vec![trivial()] };
+        let m = Module {
+            functions: vec![trivial()],
+        };
         assert!(m.function("t").is_some());
         assert_eq!(m.function_index("t"), Some(0));
         assert!(m.function("nope").is_none());

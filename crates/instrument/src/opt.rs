@@ -68,9 +68,18 @@ pub fn optimize(module: &mut Module) -> OptStats {
 pub fn constant_fold(block: &mut Block) -> usize {
     let mut n = 0;
     for inst in &mut block.insts {
-        if let Inst::Bin { op, dst, a: Operand::Imm(a), b: Operand::Imm(b) } = *inst {
+        if let Inst::Bin {
+            op,
+            dst,
+            a: Operand::Imm(a),
+            b: Operand::Imm(b),
+        } = *inst
+        {
             if let Some(v) = super::interp::apply_for_opt(op, a, b) {
-                *inst = Inst::Mov { dst, src: Operand::Imm(v) };
+                *inst = Inst::Mov {
+                    dst,
+                    src: Operand::Imm(v),
+                };
                 n += 1;
             }
         }
@@ -151,10 +160,18 @@ pub fn redundant_load_elim(block: &mut Block) -> usize {
     let mut n = 0;
     for inst in &mut block.insts {
         match *inst {
-            Inst::Load { dst, base, offset, size } => {
+            Inst::Load {
+                dst,
+                base,
+                offset,
+                size,
+            } => {
                 if let Some(&prev) = known.get(&(base, offset, size)) {
                     if prev != dst {
-                        *inst = Inst::Mov { dst, src: Operand::Reg(prev) };
+                        *inst = Inst::Mov {
+                            dst,
+                            src: Operand::Reg(prev),
+                        };
                         n += 1;
                         // dst redefinition invalidates entries using it.
                         known.retain(|(b, _, _), v| *v != dst && *b != Operand::Reg(dst));
@@ -191,7 +208,9 @@ pub fn dead_store_elim(block: &mut Block) -> usize {
     let mut remove = vec![false; block.insts.len()];
     for (i, inst) in block.insts.iter().enumerate().rev() {
         match *inst {
-            Inst::Store { base, offset, size, .. } => {
+            Inst::Store {
+                base, offset, size, ..
+            } => {
                 if overwritten.contains(&(base, offset, size)) {
                     remove[i] = true;
                 } else {
@@ -232,12 +251,28 @@ mod tests {
     #[test]
     fn folds_constant_arithmetic() {
         let mut b = single_block(vec![
-            Inst::Bin { op: BinOp::Add, dst: 0, a: Operand::Imm(2), b: Operand::Imm(3) },
-            Inst::Bin { op: BinOp::Mul, dst: 1, a: Operand::Reg(0), b: Operand::Imm(3) },
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: 0,
+                a: Operand::Imm(2),
+                b: Operand::Imm(3),
+            },
+            Inst::Bin {
+                op: BinOp::Mul,
+                dst: 1,
+                a: Operand::Reg(0),
+                b: Operand::Imm(3),
+            },
             Inst::Ret { value: None },
         ]);
         assert_eq!(constant_fold(&mut b), 1);
-        assert_eq!(b.insts[0], Inst::Mov { dst: 0, src: Operand::Imm(5) });
+        assert_eq!(
+            b.insts[0],
+            Inst::Mov {
+                dst: 0,
+                src: Operand::Imm(5)
+            }
+        );
         // Register operand not folded.
         assert!(matches!(b.insts[1], Inst::Bin { .. }));
     }
@@ -245,76 +280,178 @@ mod tests {
     #[test]
     fn fold_skips_division_by_zero() {
         let mut b = single_block(vec![
-            Inst::Bin { op: BinOp::Div, dst: 0, a: Operand::Imm(1), b: Operand::Imm(0) },
+            Inst::Bin {
+                op: BinOp::Div,
+                dst: 0,
+                a: Operand::Imm(1),
+                b: Operand::Imm(0),
+            },
             Inst::Ret { value: None },
         ]);
-        assert_eq!(constant_fold(&mut b), 0, "UB-producing folds must not happen");
+        assert_eq!(
+            constant_fold(&mut b),
+            0,
+            "UB-producing folds must not happen"
+        );
     }
 
     #[test]
     fn propagates_copies_through_uses() {
         let mut b = single_block(vec![
-            Inst::Mov { dst: 0, src: Operand::Imm(7) },
-            Inst::Bin { op: BinOp::Add, dst: 1, a: Operand::Reg(0), b: Operand::Reg(0) },
-            Inst::Ret { value: Some(Operand::Reg(1)) },
+            Inst::Mov {
+                dst: 0,
+                src: Operand::Imm(7),
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: 1,
+                a: Operand::Reg(0),
+                b: Operand::Reg(0),
+            },
+            Inst::Ret {
+                value: Some(Operand::Reg(1)),
+            },
         ]);
         assert_eq!(copy_propagate(&mut b), 2);
         assert_eq!(
             b.insts[1],
-            Inst::Bin { op: BinOp::Add, dst: 1, a: Operand::Imm(7), b: Operand::Imm(7) }
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: 1,
+                a: Operand::Imm(7),
+                b: Operand::Imm(7)
+            }
         );
     }
 
     #[test]
     fn propagation_respects_redefinition() {
         let mut b = single_block(vec![
-            Inst::Mov { dst: 0, src: Operand::Imm(7) },
-            Inst::Mov { dst: 0, src: Operand::Imm(9) },
-            Inst::Ret { value: Some(Operand::Reg(0)) },
+            Inst::Mov {
+                dst: 0,
+                src: Operand::Imm(7),
+            },
+            Inst::Mov {
+                dst: 0,
+                src: Operand::Imm(9),
+            },
+            Inst::Ret {
+                value: Some(Operand::Reg(0)),
+            },
         ]);
         copy_propagate(&mut b);
-        assert_eq!(b.insts[2], Inst::Ret { value: Some(Operand::Imm(9)) });
+        assert_eq!(
+            b.insts[2],
+            Inst::Ret {
+                value: Some(Operand::Imm(9))
+            }
+        );
     }
 
     #[test]
     fn propagation_invalidated_when_source_changes() {
         let mut b = single_block(vec![
-            Inst::Mov { dst: 1, src: Operand::Reg(0) }, // r1 = r0
-            Inst::Mov { dst: 0, src: Operand::Imm(5) }, // r0 changes!
-            Inst::Ret { value: Some(Operand::Reg(1)) }, // must NOT become r0/5
+            Inst::Mov {
+                dst: 1,
+                src: Operand::Reg(0),
+            }, // r1 = r0
+            Inst::Mov {
+                dst: 0,
+                src: Operand::Imm(5),
+            }, // r0 changes!
+            Inst::Ret {
+                value: Some(Operand::Reg(1)),
+            }, // must NOT become r0/5
         ]);
         copy_propagate(&mut b);
-        assert_eq!(b.insts[2], Inst::Ret { value: Some(Operand::Reg(1)) });
+        assert_eq!(
+            b.insts[2],
+            Inst::Ret {
+                value: Some(Operand::Reg(1))
+            }
+        );
     }
 
     #[test]
     fn eliminates_redundant_loads() {
         let mut b = single_block(vec![
-            Inst::Load { dst: 1, base: Operand::Reg(0), offset: 0, size: 8 },
-            Inst::Load { dst: 2, base: Operand::Reg(0), offset: 0, size: 8 },
-            Inst::Ret { value: Some(Operand::Reg(2)) },
+            Inst::Load {
+                dst: 1,
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
+            Inst::Load {
+                dst: 2,
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
+            Inst::Ret {
+                value: Some(Operand::Reg(2)),
+            },
         ]);
         assert_eq!(redundant_load_elim(&mut b), 1);
-        assert_eq!(b.insts[1], Inst::Mov { dst: 2, src: Operand::Reg(1) });
+        assert_eq!(
+            b.insts[1],
+            Inst::Mov {
+                dst: 2,
+                src: Operand::Reg(1)
+            }
+        );
     }
 
     #[test]
     fn stores_kill_remembered_loads() {
         let mut b = single_block(vec![
-            Inst::Load { dst: 1, base: Operand::Reg(0), offset: 0, size: 8 },
-            Inst::Store { src: Operand::Imm(1), base: Operand::Reg(0), offset: 0, size: 8 },
-            Inst::Load { dst: 2, base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Load {
+                dst: 1,
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
+            Inst::Store {
+                src: Operand::Imm(1),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
+            Inst::Load {
+                dst: 2,
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
             Inst::Ret { value: None },
         ]);
-        assert_eq!(redundant_load_elim(&mut b), 0, "store invalidates the reload");
+        assert_eq!(
+            redundant_load_elim(&mut b),
+            0,
+            "store invalidates the reload"
+        );
     }
 
     #[test]
     fn base_redefinition_kills_remembered_loads() {
         let mut b = single_block(vec![
-            Inst::Load { dst: 1, base: Operand::Reg(0), offset: 0, size: 8 },
-            Inst::Bin { op: BinOp::Add, dst: 0, a: Operand::Reg(0), b: Operand::Imm(8) },
-            Inst::Load { dst: 2, base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Load {
+                dst: 1,
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: 0,
+                a: Operand::Reg(0),
+                b: Operand::Imm(8),
+            },
+            Inst::Load {
+                dst: 2,
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
             Inst::Ret { value: None },
         ]);
         assert_eq!(redundant_load_elim(&mut b), 0);
@@ -323,24 +460,54 @@ mod tests {
     #[test]
     fn dead_store_removed() {
         let mut b = single_block(vec![
-            Inst::Store { src: Operand::Imm(1), base: Operand::Reg(0), offset: 0, size: 8 },
-            Inst::Store { src: Operand::Imm(2), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Store {
+                src: Operand::Imm(1),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
+            Inst::Store {
+                src: Operand::Imm(2),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
             Inst::Ret { value: None },
         ]);
         assert_eq!(dead_store_elim(&mut b), 1);
         assert_eq!(b.insts.len(), 2);
         assert_eq!(
             b.insts[0],
-            Inst::Store { src: Operand::Imm(2), base: Operand::Reg(0), offset: 0, size: 8 }
+            Inst::Store {
+                src: Operand::Imm(2),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8
+            }
         );
     }
 
     #[test]
     fn intervening_load_keeps_the_store() {
         let mut b = single_block(vec![
-            Inst::Store { src: Operand::Imm(1), base: Operand::Reg(0), offset: 0, size: 8 },
-            Inst::Load { dst: 1, base: Operand::Reg(0), offset: 0, size: 8 },
-            Inst::Store { src: Operand::Imm(2), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Store {
+                src: Operand::Imm(1),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
+            Inst::Load {
+                dst: 1,
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
+            Inst::Store {
+                src: Operand::Imm(2),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
             Inst::Ret { value: None },
         ]);
         assert_eq!(dead_store_elim(&mut b), 0);
@@ -349,8 +516,18 @@ mod tests {
     #[test]
     fn different_size_store_is_not_a_full_overwrite() {
         let mut b = single_block(vec![
-            Inst::Store { src: Operand::Imm(1), base: Operand::Reg(0), offset: 0, size: 8 },
-            Inst::Store { src: Operand::Imm(2), base: Operand::Reg(0), offset: 0, size: 4 },
+            Inst::Store {
+                src: Operand::Imm(1),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
+            Inst::Store {
+                src: Operand::Imm(2),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 4,
+            },
             Inst::Ret { value: None },
         ]);
         assert_eq!(dead_store_elim(&mut b), 0);
@@ -360,9 +537,24 @@ mod tests {
     fn base_redefinition_between_stores_keeps_both() {
         // r0 changes between the stores: they hit different addresses.
         let mut b = single_block(vec![
-            Inst::Store { src: Operand::Imm(1), base: Operand::Reg(0), offset: 0, size: 8 },
-            Inst::Bin { op: BinOp::Add, dst: 0, a: Operand::Reg(0), b: Operand::Imm(64) },
-            Inst::Store { src: Operand::Imm(2), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Store {
+                src: Operand::Imm(1),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: 0,
+                a: Operand::Reg(0),
+                b: Operand::Imm(64),
+            },
+            Inst::Store {
+                src: Operand::Imm(2),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
             Inst::Ret { value: None },
         ]);
         assert_eq!(dead_store_elim(&mut b), 0);
@@ -371,15 +563,35 @@ mod tests {
     #[test]
     fn last_store_always_survives() {
         let mut b = single_block(vec![
-            Inst::Store { src: Operand::Imm(1), base: Operand::Reg(0), offset: 0, size: 8 },
-            Inst::Store { src: Operand::Imm(2), base: Operand::Reg(0), offset: 0, size: 8 },
-            Inst::Store { src: Operand::Imm(3), base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Store {
+                src: Operand::Imm(1),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
+            Inst::Store {
+                src: Operand::Imm(2),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
+            Inst::Store {
+                src: Operand::Imm(3),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
             Inst::Ret { value: None },
         ]);
         assert_eq!(dead_store_elim(&mut b), 2);
         assert_eq!(
             b.insts[0],
-            Inst::Store { src: Operand::Imm(3), base: Operand::Reg(0), offset: 0, size: 8 }
+            Inst::Store {
+                src: Operand::Imm(3),
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8
+            }
         );
     }
 
@@ -407,7 +619,9 @@ mod tests {
         fb.jmp(head);
         fb.select_block(exit);
         fb.ret(None);
-        Module { functions: vec![fb.finish().unwrap()] }
+        Module {
+            functions: vec![fb.finish().unwrap()],
+        }
     }
 
     #[test]
@@ -425,7 +639,10 @@ mod tests {
         // probes than instrumenting first. (With the per-block dedup both
         // orders already insert one read probe; disable dedup to measure the
         // raw access count the pass sees.)
-        let raw = InstrumentOptions { no_selective: true, ..Default::default() };
+        let raw = InstrumentOptions {
+            no_selective: true,
+            ..Default::default()
+        };
 
         let mut before = chatty_module();
         let stats_before = instrument_module(&mut before, &raw);
@@ -465,6 +682,10 @@ mod tests {
         let plain = chatty_module();
         let mut opt = chatty_module();
         optimize(&mut opt);
-        assert_eq!(run(&plain), run(&opt), "optimization must not change semantics");
+        assert_eq!(
+            run(&plain),
+            run(&opt),
+            "optimization must not change semantics"
+        );
     }
 }

@@ -118,7 +118,12 @@ fn instrument_block(
             } else if !no_selective && !seen.insert((kind, base, offset, size)) {
                 stats.deduped += 1;
             } else {
-                out.push(Inst::Probe { kind, base, offset, size });
+                out.push(Inst::Probe {
+                    kind,
+                    base,
+                    offset,
+                    size,
+                });
                 stats.probes_inserted += 1;
             }
         }
@@ -153,7 +158,9 @@ mod tests {
         fb.store(base, 0, 7i64); // write to same address: different kind
         fb.load(base, 8); // different offset
         fb.ret(None);
-        Module { functions: vec![fb.finish().unwrap()] }
+        Module {
+            functions: vec![fb.finish().unwrap()],
+        }
     }
 
     #[test]
@@ -185,7 +192,9 @@ mod tests {
         fb.select_block(b1);
         fb.load(0u32, 0);
         fb.ret(None);
-        let mut m = Module { functions: vec![fb.finish().unwrap()] };
+        let mut m = Module {
+            functions: vec![fb.finish().unwrap()],
+        };
         let stats = instrument_module(&mut m, &InstrumentOptions::default());
         assert_eq!(stats.probes_inserted, 2);
         assert_eq!(stats.deduped, 0);
@@ -197,7 +206,9 @@ mod tests {
         fb.load_sized(0u32, 0, 4);
         fb.load_sized(0u32, 0, 8);
         fb.ret(None);
-        let mut m = Module { functions: vec![fb.finish().unwrap()] };
+        let mut m = Module {
+            functions: vec![fb.finish().unwrap()],
+        };
         let stats = instrument_module(&mut m, &InstrumentOptions::default());
         assert_eq!(stats.probes_inserted, 2);
     }
@@ -207,7 +218,10 @@ mod tests {
         let mut m = sample_module();
         let stats = instrument_module(
             &mut m,
-            &InstrumentOptions { mode: Some(InstrumentMode::WritesOnly), ..Default::default() },
+            &InstrumentOptions {
+                mode: Some(InstrumentMode::WritesOnly),
+                ..Default::default()
+            },
         );
         assert_eq!(stats.probes_inserted, 1);
         assert_eq!(stats.filtered, 3);
@@ -228,7 +242,10 @@ mod tests {
         let before = m.clone();
         let stats = instrument_module(
             &mut m,
-            &InstrumentOptions { mode: Some(InstrumentMode::None), ..Default::default() },
+            &InstrumentOptions {
+                mode: Some(InstrumentMode::None),
+                ..Default::default()
+            },
         );
         assert_eq!(stats.probes_inserted, 0);
         assert_eq!(m, before, "module unchanged");
@@ -239,7 +256,10 @@ mod tests {
         let mut m = sample_module();
         let stats = instrument_module(
             &mut m,
-            &InstrumentOptions { blacklist: vec!["work".into()], ..Default::default() },
+            &InstrumentOptions {
+                blacklist: vec!["work".into()],
+                ..Default::default()
+            },
         );
         assert_eq!(stats.probes_inserted, 0);
         assert_eq!(stats.filtered, 4);
@@ -256,7 +276,10 @@ mod tests {
         });
         let stats = instrument_module(
             &mut m,
-            &InstrumentOptions { whitelist: Some(vec!["other".into()]), ..Default::default() },
+            &InstrumentOptions {
+                whitelist: Some(vec!["other".into()]),
+                ..Default::default()
+            },
         );
         assert_eq!(stats.probes_inserted, 1, "only `other` instrumented");
     }
@@ -264,8 +287,13 @@ mod tests {
     #[test]
     fn no_selective_probes_every_access() {
         let mut m = sample_module();
-        let stats =
-            instrument_module(&mut m, &InstrumentOptions { no_selective: true, ..Default::default() });
+        let stats = instrument_module(
+            &mut m,
+            &InstrumentOptions {
+                no_selective: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(stats.probes_inserted, 4);
         assert_eq!(stats.deduped, 0);
     }
@@ -281,7 +309,9 @@ mod tests {
         fb.mov(0, Operand::Reg(t));
         fb.load(0u32, 0); // same expression, new runtime value
         fb.ret(None);
-        let mut m = Module { functions: vec![fb.finish().unwrap()] };
+        let mut m = Module {
+            functions: vec![fb.finish().unwrap()],
+        };
         let stats = instrument_module(&mut m, &InstrumentOptions::default());
         assert_eq!(stats.probes_inserted, 1);
         assert_eq!(stats.deduped, 1);

@@ -138,13 +138,32 @@ fn print_inst(inst: &Inst) -> String {
             fmt_operand(a),
             fmt_operand(b)
         ),
-        Inst::Load { dst, base, offset, size } => {
+        Inst::Load {
+            dst,
+            base,
+            offset,
+            size,
+        } => {
             format!("load r{dst}, {}, {size}", fmt_mem(base, offset))
         }
-        Inst::Store { src, base, offset, size } => {
-            format!("store {}, {}, {size}", fmt_mem(base, offset), fmt_operand(src))
+        Inst::Store {
+            src,
+            base,
+            offset,
+            size,
+        } => {
+            format!(
+                "store {}, {}, {size}",
+                fmt_mem(base, offset),
+                fmt_operand(src)
+            )
         }
-        Inst::Probe { kind, base, offset, size } => {
+        Inst::Probe {
+            kind,
+            base,
+            offset,
+            size,
+        } => {
             let k = match kind {
                 AccessKind::Read => "read",
                 AccessKind::Write => "write",
@@ -152,16 +171,28 @@ fn print_inst(inst: &Inst) -> String {
             format!("probe {k}, {}, {size}", fmt_mem(base, offset))
         }
         Inst::Jmp { target } => format!("jmp bb{target}"),
-        Inst::Br { cond, then_bb, else_bb } => {
+        Inst::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             format!("br {}, bb{then_bb}, bb{else_bb}", fmt_operand(cond))
         }
         Inst::Ret { value } => match value {
             Some(v) => format!("ret {}", fmt_operand(v)),
             None => "ret".to_string(),
         },
-        Inst::Call { dst, func, args, argc } => {
-            let args: Vec<String> =
-                args.iter().take(argc as usize).map(|a| fmt_operand(*a)).collect();
+        Inst::Call {
+            dst,
+            func,
+            args,
+            argc,
+        } => {
+            let args: Vec<String> = args
+                .iter()
+                .take(argc as usize)
+                .map(|a| fmt_operand(*a))
+                .collect();
             match dst {
                 Some(d) => format!("call r{d}, @{func}({})", args.join(", ")),
                 None => format!("call @{func}({})", args.join(", ")),
@@ -175,7 +206,10 @@ struct Parser<'a> {
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line: line + 1, message: message.into() }
+    ParseError {
+        line: line + 1,
+        message: message.into(),
+    }
 }
 
 fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
@@ -230,7 +264,9 @@ fn parse_size(tok: &str, line: usize) -> Result<u8, ParseError> {
 
 impl<'a> Parser<'a> {
     fn parse_module(text: &'a str) -> Result<Module, ParseError> {
-        let mut p = Parser { lines: text.lines().enumerate() };
+        let mut p = Parser {
+            lines: text.lines().enumerate(),
+        };
         let mut functions = Vec::new();
         while let Some((ln, raw)) = p.lines.next() {
             let line = strip_comment(raw);
@@ -244,16 +280,23 @@ impl<'a> Parser<'a> {
             }
         }
         let module = Module { functions };
-        module.validate().map_err(|m| ParseError { line: 0, message: m })?;
+        module.validate().map_err(|m| ParseError {
+            line: 0,
+            message: m,
+        })?;
         Ok(module)
     }
 
     fn parse_function(&mut self, header: &str, ln: usize) -> Result<Function, ParseError> {
         // `name(params=N) {`
-        let header = header.trim().strip_suffix('{').map(str::trim).ok_or_else(|| {
-            err(ln, "function header must end with `{`")
-        })?;
-        let open = header.find('(').ok_or_else(|| err(ln, "missing `(` in header"))?;
+        let header = header
+            .trim()
+            .strip_suffix('{')
+            .map(str::trim)
+            .ok_or_else(|| err(ln, "function header must end with `{`"))?;
+        let open = header
+            .find('(')
+            .ok_or_else(|| err(ln, "missing `(` in header"))?;
         let name = header[..open].trim().to_string();
         let args = header[open + 1..]
             .strip_suffix(')')
@@ -286,7 +329,10 @@ impl<'a> Parser<'a> {
                 let idx = blocks.len();
                 let expected = parse_block_id(label, ln)? as usize;
                 if expected != idx {
-                    return Err(err(ln, format!("blocks must be in order: `{label}` is block {idx}")));
+                    return Err(err(
+                        ln,
+                        format!("blocks must be in order: `{label}` is block {idx}"),
+                    ));
                 }
                 labels.insert(label.to_string(), idx);
                 blocks.push(Block::default());
@@ -305,7 +351,12 @@ impl<'a> Parser<'a> {
             block.insts.push(inst);
         }
 
-        Ok(Function { name, params, num_regs: max_reg + 1, blocks })
+        Ok(Function {
+            name,
+            params,
+            num_regs: max_reg + 1,
+            blocks,
+        })
     }
 }
 
@@ -322,7 +373,9 @@ fn inst_operands(inst: &Inst) -> Vec<Operand> {
         Inst::Probe { base, .. } => vec![base],
         Inst::Br { cond, .. } => vec![cond],
         Inst::Ret { value } => value.into_iter().collect(),
-        Inst::Call { dst, args, argc, .. } => {
+        Inst::Call {
+            dst, args, argc, ..
+        } => {
             let mut v: Vec<Operand> = args.iter().take(argc as usize).copied().collect();
             if let Some(d) = dst {
                 v.push(Operand::Reg(d));
@@ -335,18 +388,28 @@ fn inst_operands(inst: &Inst) -> Vec<Operand> {
 
 fn parse_inst(line: &str, ln: usize) -> Result<Inst, ParseError> {
     let (op, rest) = line.split_once(' ').unwrap_or((line, ""));
-    let args: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let args: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
     let need = |n: usize| -> Result<(), ParseError> {
         if args.len() == n {
             Ok(())
         } else {
-            Err(err(ln, format!("`{op}` expects {n} operands, got {}", args.len())))
+            Err(err(
+                ln,
+                format!("`{op}` expects {n} operands, got {}", args.len()),
+            ))
         }
     };
     match op {
         "mov" => {
             need(2)?;
-            Ok(Inst::Mov { dst: parse_reg(args[0], ln)?, src: parse_operand(args[1], ln)? })
+            Ok(Inst::Mov {
+                dst: parse_reg(args[0], ln)?,
+                src: parse_operand(args[1], ln)?,
+            })
         }
         "load" => {
             need(3)?;
@@ -376,11 +439,18 @@ fn parse_inst(line: &str, ln: usize) -> Result<Inst, ParseError> {
                 other => return Err(err(ln, format!("bad probe kind `{other}`"))),
             };
             let (base, offset) = parse_mem(args[1], ln)?;
-            Ok(Inst::Probe { kind, base, offset, size: parse_size(args[2], ln)? })
+            Ok(Inst::Probe {
+                kind,
+                base,
+                offset,
+                size: parse_size(args[2], ln)?,
+            })
         }
         "jmp" => {
             need(1)?;
-            Ok(Inst::Jmp { target: parse_block_id(args[0], ln)? })
+            Ok(Inst::Jmp {
+                target: parse_block_id(args[0], ln)?,
+            })
         }
         "br" => {
             need(3)?;
@@ -395,7 +465,9 @@ fn parse_inst(line: &str, ln: usize) -> Result<Inst, ParseError> {
             // list is parenthesized, so re-split the raw rest string.
             let rest = rest.trim();
             let (dst, callee_part) = match rest.split_once(',') {
-                Some((d, tail)) if d.trim().starts_with('r') && tail.trim_start().starts_with('@') => {
+                Some((d, tail))
+                    if d.trim().starts_with('r') && tail.trim_start().starts_with('@') =>
+                {
                     (Some(parse_reg(d.trim(), ln)?), tail.trim())
                 }
                 _ => (None, rest),
@@ -423,11 +495,18 @@ fn parse_inst(line: &str, ln: usize) -> Result<Inst, ParseError> {
             }
             let mut padded = [Operand::Imm(0); crate::ir::MAX_CALL_ARGS];
             padded[..parsed.len()].copy_from_slice(&parsed);
-            Ok(Inst::Call { dst, func, args: padded, argc: parsed.len() as u8 })
+            Ok(Inst::Call {
+                dst,
+                func,
+                args: padded,
+                argc: parsed.len() as u8,
+            })
         }
         "ret" => match args.len() {
             0 => Ok(Inst::Ret { value: None }),
-            1 => Ok(Inst::Ret { value: Some(parse_operand(args[0], ln)?) }),
+            1 => Ok(Inst::Ret {
+                value: Some(parse_operand(args[0], ln)?),
+            }),
             n => Err(err(ln, format!("`ret` expects 0 or 1 operands, got {n}"))),
         },
         other => {
@@ -519,7 +598,10 @@ bb0:
 }
 ";
         let m = parse_module(text).unwrap();
-        assert_eq!(m.functions[0].blocks[0].insts, vec![Inst::Ret { value: None }]);
+        assert_eq!(
+            m.functions[0].blocks[0].insts,
+            vec![Inst::Ret { value: None }]
+        );
     }
 
     #[test]
@@ -535,7 +617,12 @@ bb0:
         let m = parse_module(text).unwrap();
         assert_eq!(
             m.functions[0].blocks[0].insts[1],
-            Inst::Load { dst: 2, base: Operand::Reg(0), offset: -8, size: 4 }
+            Inst::Load {
+                dst: 2,
+                base: Operand::Reg(0),
+                offset: -8,
+                size: 4
+            }
         );
         let roundtrip = parse_module(&print_module(&m)).unwrap();
         assert_eq!(m, roundtrip);
@@ -590,7 +677,9 @@ bb0:
         let v = fb.load_sized(0u32, 16, 4);
         fb.store_sized(0u32, 24, v, 2);
         fb.ret(Some(Operand::Reg(v)));
-        let m = Module { functions: vec![fb.finish().unwrap()] };
+        let m = Module {
+            functions: vec![fb.finish().unwrap()],
+        };
         let text = print_module(&m);
         assert_eq!(parse_module(&text).unwrap(), m);
     }

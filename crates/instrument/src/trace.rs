@@ -217,9 +217,15 @@ mod tests {
         let ev = rec.into_events();
         assert_eq!(ev.len(), 20_000);
         for t in 0..2u16 {
-            let addrs: Vec<u64> =
-                ev.iter().filter(|a| a.tid == ThreadId(t)).map(|a| a.addr).collect();
-            assert!(addrs.windows(2).all(|w| w[1] > w[0]), "thread {t} reordered");
+            let addrs: Vec<u64> = ev
+                .iter()
+                .filter(|a| a.tid == ThreadId(t))
+                .map(|a| a.addr)
+                .collect();
+            assert!(
+                addrs.windows(2).all(|w| w[1] > w[0]),
+                "thread {t} reordered"
+            );
         }
     }
 }

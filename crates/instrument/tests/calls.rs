@@ -5,9 +5,8 @@
 
 use predator_core::{build_report, DetectorConfig, Predator};
 use predator_instrument::{
-    instrument_module, parse_module, print_module, BinOp, FunctionBuilder, Inst,
-    InstrumentOptions, Machine, Module, NullSink, Operand, StepSchedule, ThreadSpec,
-    TraceRecorder,
+    instrument_module, parse_module, print_module, BinOp, FunctionBuilder, Inst, InstrumentOptions,
+    Machine, Module, NullSink, Operand, StepSchedule, ThreadSpec, TraceRecorder,
 };
 use predator_shadow::SimSpace;
 use predator_sim::ThreadId;
@@ -39,7 +38,9 @@ fn bump_module() -> Module {
     worker.select_block(exit);
     worker.ret(Some(Operand::Reg(last)));
 
-    Module { functions: vec![bump.finish().unwrap(), worker.finish().unwrap()] }
+    Module {
+        functions: vec![bump.finish().unwrap(), worker.finish().unwrap()],
+    }
 }
 
 /// `fact(n) = n <= 1 ? 1 : n * fact(n - 1)` — self-recursive (index 0).
@@ -56,7 +57,9 @@ fn fact_module() -> Module {
     let sub = fb.call(0, &[Operand::Reg(nm1)]);
     let prod = fb.bin(BinOp::Mul, Operand::Reg(0), Operand::Reg(sub));
     fb.ret(Some(Operand::Reg(prod)));
-    Module { functions: vec![fb.finish().unwrap()] }
+    Module {
+        functions: vec![fb.finish().unwrap()],
+    }
 }
 
 #[test]
@@ -87,7 +90,11 @@ fn recursion_computes_and_depth_guard_fires() {
     let machine = Machine::new(&m, &space, &NullSink).unwrap();
     let run = |n: i64| {
         machine.run(
-            &[ThreadSpec { tid: ThreadId(0), function: "fact".into(), args: vec![n] }],
+            &[ThreadSpec {
+                tid: ThreadId(0),
+                function: "fact".into(),
+                args: vec![n],
+            }],
             StepSchedule::RoundRobin { quantum: 1 },
             10_000_000,
         )
@@ -95,7 +102,13 @@ fn recursion_computes_and_depth_guard_fires() {
     assert_eq!(run(10).unwrap(), vec![Some(3_628_800)]);
     // Depth 300 exceeds MAX_CALL_DEPTH (256).
     let err = run(300).unwrap_err();
-    assert!(matches!(err, predator_instrument::ExecError::CallDepthExceeded { .. }), "{err}");
+    assert!(
+        matches!(
+            err,
+            predator_instrument::ExecError::CallDepthExceeded { .. }
+        ),
+        "{err}"
+    );
 }
 
 #[test]
@@ -142,7 +155,10 @@ fn blacklisting_the_callee_silences_its_accesses() {
     let mut m = bump_module();
     instrument_module(
         &mut m,
-        &InstrumentOptions { blacklist: vec!["bump".into()], ..Default::default() },
+        &InstrumentOptions {
+            blacklist: vec!["bump".into()],
+            ..Default::default()
+        },
     );
     let space = SimSpace::new(4096);
     let rec = TraceRecorder::new();
@@ -192,7 +208,12 @@ bb0:
     let main = m.function("main").unwrap();
     assert!(matches!(
         main.blocks[0].insts[0],
-        Inst::Call { dst: None, func: 0, argc: 0, .. }
+        Inst::Call {
+            dst: None,
+            func: 0,
+            argc: 0,
+            ..
+        }
     ));
     assert_eq!(parse_module(&print_module(&m)).unwrap(), m);
 }
@@ -203,7 +224,9 @@ fn module_validation_rejects_bad_calls() {
     let mut fb = FunctionBuilder::new("f", 0);
     fb.call(7, &[]);
     fb.ret(None);
-    let m = Module { functions: vec![fb.finish().unwrap()] };
+    let m = Module {
+        functions: vec![fb.finish().unwrap()],
+    };
     assert!(m.validate().unwrap_err().contains("missing function index"));
 
     // Too many arguments for the callee.
@@ -212,7 +235,9 @@ fn module_validation_rejects_bad_calls() {
     let mut caller = FunctionBuilder::new("caller", 0);
     caller.call(0, &[Operand::Imm(1), Operand::Imm(2)]);
     caller.ret(None);
-    let m = Module { functions: vec![callee.finish().unwrap(), caller.finish().unwrap()] };
+    let m = Module {
+        functions: vec![callee.finish().unwrap(), caller.finish().unwrap()],
+    };
     assert!(m.validate().unwrap_err().contains("takes 1"));
 }
 
@@ -221,14 +246,24 @@ fn optimizer_treats_calls_as_memory_barriers() {
     use predator_instrument::opt::redundant_load_elim;
     let mut b = predator_instrument::Block {
         insts: vec![
-            Inst::Load { dst: 1, base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Load {
+                dst: 1,
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
             Inst::Call {
                 dst: Some(2),
                 func: 0,
                 args: [Operand::Imm(0); predator_instrument::ir::MAX_CALL_ARGS],
                 argc: 0,
             },
-            Inst::Load { dst: 3, base: Operand::Reg(0), offset: 0, size: 8 },
+            Inst::Load {
+                dst: 3,
+                base: Operand::Reg(0),
+                offset: 0,
+                size: 8,
+            },
             Inst::Ret { value: None },
         ],
     };

@@ -7,8 +7,7 @@ use proptest::prelude::*;
 
 use predator_instrument::{
     instrument_module, optimize, parse_module, print_module, BinOp, FunctionBuilder,
-    InstrumentOptions, Machine, Module, NullSink, Operand, StepSchedule, ThreadSpec,
-    TraceRecorder,
+    InstrumentOptions, Machine, Module, NullSink, Operand, StepSchedule, ThreadSpec, TraceRecorder,
 };
 use predator_shadow::SimSpace;
 use predator_sim::ThreadId;
@@ -100,7 +99,9 @@ fn build_program(body: &[BodyOp]) -> Module {
     fb.select_block(exit);
     let ret = *live.last().unwrap();
     fb.ret(Some(ret));
-    Module { functions: vec![fb.finish().expect("generated module is valid")] }
+    Module {
+        functions: vec![fb.finish().expect("generated module is valid")],
+    }
 }
 
 /// Runs `m` single-threaded and returns (return value, final memory words).
@@ -122,7 +123,9 @@ fn run_program(m: &Module, iters: i64) -> (Option<i64>, Vec<u64>) {
             5_000_000,
         )
         .expect("generated program terminates");
-    let mem = (0..8u64).map(|w| space.load::<u64>(space.base() + w * 8)).collect();
+    let mem = (0..8u64)
+        .map(|w| space.load::<u64>(space.base() + w * 8))
+        .collect();
     (r[0], mem)
 }
 

@@ -86,7 +86,11 @@ impl EventSink {
     pub fn install(&self, out: Box<dyn Write + Send>, capacity: u64, sample_every: u64) {
         process_start(); // anchor t_us at (or before) installation
         let mut state = self.state.lock().unwrap();
-        *state = Some(SinkState { out, capacity, sample_every: sample_every.max(1) });
+        *state = Some(SinkState {
+            out,
+            capacity,
+            sample_every: sample_every.max(1),
+        });
         self.summarized.store(false, Ordering::Relaxed);
         self.enabled.store(true, Ordering::Release);
     }
@@ -237,9 +241,15 @@ mod tests {
         sink.install(Box::new(buf.clone()), 2, 1);
         sink.emit(
             "line_promoted",
-            &[("line_start", FieldVal::U64(64)), ("note", FieldVal::Str("a\"b"))],
+            &[
+                ("line_start", FieldVal::U64(64)),
+                ("note", FieldVal::Str("a\"b")),
+            ],
         );
-        sink.emit("invalidation", &[("tid", FieldVal::I64(-1)), ("hot", FieldVal::Bool(true))]);
+        sink.emit(
+            "invalidation",
+            &[("tid", FieldVal::I64(-1)), ("hot", FieldVal::Bool(true))],
+        );
         sink.emit("over_capacity", &[]);
         let ls = lines(&buf);
         assert_eq!(ls.len(), 2);

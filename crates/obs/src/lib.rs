@@ -41,12 +41,12 @@ mod span;
 pub mod timeline;
 
 pub use events::{events, EventSink, FieldVal};
-pub use profile::{profiler, CostCenter, Profiler};
-pub use recorder::{FlightRecorder, Rec, RecKind};
 pub use metrics::{
     bucket_index, bucket_lower_bound, global, Counter, Gauge, Histogram, Registry, Timer,
     COUNTER_SHARDS,
 };
+pub use profile::{profiler, CostCenter, Profiler};
+pub use recorder::{FlightRecorder, Rec, RecKind};
 pub use snapshot::{escape_label_value, Bucket, HistogramSnapshot, Snapshot};
 pub use span::{span, Span};
 pub use timeline::{host_lane, timeline, ArgVal, Timeline};

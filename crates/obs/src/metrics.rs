@@ -41,7 +41,9 @@ pub struct Counter {
 
 impl Counter {
     fn new() -> Self {
-        Counter { shards: Arc::new(std::array::from_fn(|_| PaddedCell(AtomicU64::new(0)))) }
+        Counter {
+            shards: Arc::new(std::array::from_fn(|_| PaddedCell(AtomicU64::new(0)))),
+        }
     }
 
     /// Adds one.
@@ -61,7 +63,10 @@ impl Counter {
 
     /// Current total across all shards.
     pub fn get(&self) -> u64 {
-        self.shards.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+        self.shards
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -73,7 +78,9 @@ pub struct Gauge {
 
 impl Gauge {
     fn new() -> Self {
-        Gauge { cell: Arc::new(AtomicI64::new(0)) }
+        Gauge {
+            cell: Arc::new(AtomicI64::new(0)),
+        }
     }
 
     /// Sets the gauge.
@@ -189,7 +196,10 @@ impl Histogram {
         let buckets = (0..HIST_BUCKETS)
             .filter_map(|i| {
                 let count = self.bucket(i);
-                (count > 0).then(|| Bucket { lo: bucket_lower_bound(i), count })
+                (count > 0).then(|| Bucket {
+                    lo: bucket_lower_bound(i),
+                    count,
+                })
             })
             .collect();
         HistogramSnapshot {
@@ -239,28 +249,52 @@ impl Registry {
     /// Returns the counter named `name`, creating it on first use.
     pub fn counter(&self, name: &str) -> Counter {
         let mut inner = self.inner.lock().unwrap();
-        inner.counters.entry(name.to_string()).or_insert_with(Counter::new).clone()
+        inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(Counter::new)
+            .clone()
     }
 
     /// Returns the gauge named `name`, creating it on first use.
     pub fn gauge(&self, name: &str) -> Gauge {
         let mut inner = self.inner.lock().unwrap();
-        inner.gauges.entry(name.to_string()).or_insert_with(Gauge::new).clone()
+        inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(Gauge::new)
+            .clone()
     }
 
     /// Returns the histogram named `name`, creating it on first use.
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut inner = self.inner.lock().unwrap();
-        inner.histograms.entry(name.to_string()).or_insert_with(Histogram::new).clone()
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::new)
+            .clone()
     }
 
     /// A point-in-time copy of every metric, sorted by name.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.inner.lock().unwrap();
         Snapshot {
-            counters: inner.counters.iter().map(|(n, c)| (n.clone(), c.get())).collect(),
-            gauges: inner.gauges.iter().map(|(n, g)| (n.clone(), g.get())).collect(),
-            histograms: inner.histograms.iter().map(|(n, h)| h.snapshot(n)).collect(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(n, h)| h.snapshot(n))
+                .collect(),
         }
     }
 }

@@ -137,8 +137,7 @@ impl Profiler {
     /// disarms the profiler.
     pub fn take(&self) -> Vec<(String, u64)> {
         self.enabled.store(false, Ordering::Release);
-        let mut stacks: Vec<(String, u64)> =
-            self.stacks.lock().unwrap().drain().collect();
+        let mut stacks: Vec<(String, u64)> = self.stacks.lock().unwrap().drain().collect();
         stacks.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         stacks
     }
@@ -171,8 +170,10 @@ pub fn top_leaves(stacks: &[(String, u64)], n: usize) -> Vec<(String, u64)> {
         let leaf = stack.rsplit(';').next().unwrap_or(stack);
         *by_leaf.entry(leaf).or_insert(0) += weight;
     }
-    let mut leaves: Vec<(String, u64)> =
-        by_leaf.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    let mut leaves: Vec<(String, u64)> = by_leaf
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
     leaves.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     leaves.truncate(n);
     leaves

@@ -227,7 +227,8 @@ impl FlightRecorder {
                 }
             }
             drop(lines);
-            self.appended.fetch_add(recs.len() as u64, Ordering::Relaxed);
+            self.appended
+                .fetch_add(recs.len() as u64, Ordering::Relaxed);
             if evicted > 0 {
                 self.evicted.fetch_add(evicted, Ordering::Relaxed);
             }
@@ -238,7 +239,13 @@ impl FlightRecorder {
     /// batching) — for single-threaded feeders holding their own instance.
     pub fn offer_event(&self, line_start: u64, tid: u16, word: u8, kind: RecKind) -> u64 {
         let seq = self.next_seq();
-        self.offer(&[Rec { line_start, seq, tid, word, kind }]);
+        self.offer(&[Rec {
+            line_start,
+            seq,
+            tid,
+            word,
+            kind,
+        }]);
         seq
     }
 
@@ -259,7 +266,10 @@ impl FlightRecorder {
                 seq,
                 tid: writer_tid,
                 word: writer_word,
-                kind: RecKind::Invalidation { victim_tid, victim_word },
+                kind: RecKind::Invalidation {
+                    victim_tid,
+                    victim_word,
+                },
             })
             .collect();
         self.offer(&recs);
@@ -366,8 +376,18 @@ pub fn record(line_start: u64, tid: u16, word: u8, is_write: bool) {
         if !r.is_enabled() {
             return;
         }
-        let kind = if is_write { RecKind::Write } else { RecKind::Read };
-        segment::push(Rec { line_start, seq: r.next_seq(), tid, word, kind });
+        let kind = if is_write {
+            RecKind::Write
+        } else {
+            RecKind::Read
+        };
+        segment::push(Rec {
+            line_start,
+            seq: r.next_seq(),
+            tid,
+            word,
+            kind,
+        });
     }
 }
 
@@ -399,7 +419,10 @@ pub fn record_invalidation(
                 seq,
                 tid: writer_tid,
                 word: writer_word,
-                kind: RecKind::Invalidation { victim_tid, victim_word },
+                kind: RecKind::Invalidation {
+                    victim_tid,
+                    victim_word,
+                },
             });
         }
     }
@@ -410,7 +433,13 @@ mod tests {
     use super::*;
 
     fn rec(line: u64, seq: u64, tid: u16) -> Rec {
-        Rec { line_start: line, seq, tid, word: (seq % 8) as u8, kind: RecKind::Write }
+        Rec {
+            line_start: line,
+            seq,
+            tid,
+            word: (seq % 8) as u8,
+            kind: RecKind::Write,
+        }
     }
 
     #[test]
@@ -487,7 +516,11 @@ mod tests {
         assert!(r.line_records(0).is_empty());
         assert_eq!(r.appended(), 0);
         assert_eq!(r.evicted(), 0);
-        assert_eq!(r.is_enabled(), !cfg!(feature = "obs-off"), "enablement survives reset");
+        assert_eq!(
+            r.is_enabled(),
+            !cfg!(feature = "obs-off"),
+            "enablement survives reset"
+        );
     }
 
     #[test]
@@ -517,7 +550,10 @@ mod tests {
                 seq,
                 tid: 0,
                 word: 0,
-                kind: RecKind::Invalidation { victim_tid, victim_word },
+                kind: RecKind::Invalidation {
+                    victim_tid,
+                    victim_word,
+                },
             })
             .collect();
         r.offer(&recs);

@@ -54,13 +54,17 @@ fn push_json_str(out: &mut String, s: &str) {
 
 /// Rewrites a metric name into the Prometheus charset (`[a-zA-Z0-9_]`).
 fn prom_name(name: &str) -> String {
-    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// `# HELP` text for a metric: the name humanized (underscores to spaces) —
 /// honest and mechanical, with no invented semantics.
 fn prom_help(name: &str) -> String {
-    name.chars().map(|c| if c == '_' { ' ' } else { c }).collect()
+    name.chars()
+        .map(|c| if c == '_' { ' ' } else { c })
+        .collect()
 }
 
 /// Escapes a Prometheus label *value* per the text exposition format:
@@ -115,7 +119,11 @@ impl Snapshot {
             }
             out.push_str("{\"name\":");
             push_json_str(&mut out, &h.name);
-            let _ = write!(out, ",\"count\":{},\"sum\":{},\"buckets\":[", h.count, h.sum);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"sum\":{},\"buckets\":[",
+                h.count, h.sum
+            );
             for (j, b) in h.buckets.iter().enumerate() {
                 if j > 0 {
                     out.push(',');
@@ -154,7 +162,11 @@ impl Snapshot {
                 cumulative += b.count;
                 // `lo` is the inclusive lower bound of a [2^(i-1), 2^i)
                 // bucket; the Prometheus inclusive upper bound is 2^i - 1.
-                let le = if b.lo == 0 { 0 } else { b.lo.saturating_mul(2) - 1 };
+                let le = if b.lo == 0 {
+                    0
+                } else {
+                    b.lo.saturating_mul(2) - 1
+                };
                 let le = escape_label_value(&le.to_string());
                 let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
             }
@@ -201,9 +213,18 @@ mod tests {
     #[test]
     fn prometheus_emits_help_lines() {
         let prom = sample().to_prometheus();
-        assert!(prom.contains("# HELP runtime_accesses_total runtime accesses total"), "{prom}");
-        assert!(prom.contains("# HELP alloc_live_bytes alloc live bytes"), "{prom}");
-        assert!(prom.contains("# HELP span_detect_ns span detect ns"), "{prom}");
+        assert!(
+            prom.contains("# HELP runtime_accesses_total runtime accesses total"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("# HELP alloc_live_bytes alloc live bytes"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("# HELP span_detect_ns span detect ns"),
+            "{prom}"
+        );
         // HELP precedes TYPE for each family.
         let help = prom.find("# HELP runtime_accesses_total").unwrap();
         let ty = prom.find("# TYPE runtime_accesses_total").unwrap();

@@ -127,7 +127,10 @@ impl Timeline {
         anchor(); // pin t=0 at (or before) installation
         let capacity = capacity.max(16);
         let mut state = self.state.lock().unwrap();
-        *state = Some(State { events: Vec::with_capacity(capacity.min(4096)), capacity });
+        *state = Some(State {
+            events: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+        });
         self.recorded.store(0, Ordering::Relaxed);
         self.dropped.store(0, Ordering::Relaxed);
         self.enabled.store(true, Ordering::Release);
@@ -166,7 +169,15 @@ impl Timeline {
             return;
         }
         let ts_ns = self.now_ns();
-        self.push(Ev { name: name.to_string(), cat, ph: Ph::Begin, ts_ns, tid, id: 0, args: Vec::new() });
+        self.push(Ev {
+            name: name.to_string(),
+            cat,
+            ph: Ph::Begin,
+            ts_ns,
+            tid,
+            id: 0,
+            args: Vec::new(),
+        });
     }
 
     /// Closes the innermost open span named `name` on lane `tid`.
@@ -175,16 +186,38 @@ impl Timeline {
             return;
         }
         let ts_ns = self.now_ns();
-        self.push(Ev { name: name.to_string(), cat, ph: Ph::End, ts_ns, tid, id: 0, args: Vec::new() });
+        self.push(Ev {
+            name: name.to_string(),
+            cat,
+            ph: Ph::End,
+            ts_ns,
+            tid,
+            id: 0,
+            args: Vec::new(),
+        });
     }
 
     /// Records a thread-scoped instant event on lane `tid`.
-    pub fn instant(&self, name: &str, cat: &'static str, tid: u64, args: Vec<(&'static str, ArgVal)>) {
+    pub fn instant(
+        &self,
+        name: &str,
+        cat: &'static str,
+        tid: u64,
+        args: Vec<(&'static str, ArgVal)>,
+    ) {
         if !self.enabled() {
             return;
         }
         let ts_ns = self.now_ns();
-        self.push(Ev { name: name.to_string(), cat, ph: Ph::Instant, ts_ns, tid, id: 0, args });
+        self.push(Ev {
+            name: name.to_string(),
+            cat,
+            ph: Ph::Instant,
+            ts_ns,
+            tid,
+            id: 0,
+            args,
+        });
     }
 
     /// Allocates a fresh flow-arrow id.
@@ -437,7 +470,12 @@ mod tests {
         let tl = fresh();
         tl.install(64);
         tl.begin("interpret", "phase", HOST_LANE_BASE);
-        tl.instant("invalidation", "detector", 2, vec![("line", ArgVal::U64(64))]);
+        tl.instant(
+            "invalidation",
+            "detector",
+            2,
+            vec![("line", ArgVal::U64(64))],
+        );
         tl.end("interpret", "phase", HOST_LANE_BASE);
         let json = render(&tl);
         assert!(json.contains("\"name\":\"interpret\",\"cat\":\"phase\",\"ph\":\"B\""));
@@ -494,7 +532,10 @@ mod tests {
         let id = tl.new_flow();
         tl.flow("invalidate", "detector", 0, 1, id);
         let json = render(&tl);
-        assert!(json.contains("\"ph\":\"s\",\"pid\":1,\"tid\":0,\"ts\":"), "{json}");
+        assert!(
+            json.contains("\"ph\":\"s\",\"pid\":1,\"tid\":0,\"ts\":"),
+            "{json}"
+        );
         assert!(json.contains("\"bp\":\"e\""), "{json}");
         assert_eq!(json.matches(&format!("\"id\":{id}")).count(), 2);
     }

@@ -22,7 +22,10 @@ impl LineCounters {
     pub fn new(layout: ShadowLayout) -> Self {
         let mut v = Vec::with_capacity(layout.lines());
         v.resize_with(layout.lines(), || AtomicU32::new(0));
-        LineCounters { layout, counts: v.into_boxed_slice() }
+        LineCounters {
+            layout,
+            counts: v.into_boxed_slice(),
+        }
     }
 
     /// The layout indices are computed with.

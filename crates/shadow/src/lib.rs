@@ -49,9 +49,17 @@ impl ShadowLayout {
     /// Creates a layout for `size` bytes starting at `base` (must be
     /// line-aligned) under `geom`.
     pub fn new(base: u64, size: u64, geom: CacheGeometry) -> Self {
-        assert_eq!(base % geom.line_size(), 0, "shadow base must be line-aligned");
+        assert_eq!(
+            base % geom.line_size(),
+            0,
+            "shadow base must be line-aligned"
+        );
         let lines = (geom.align_up(base + size) - base) >> geom.line_shift();
-        ShadowLayout { base, lines: lines as usize, geom }
+        ShadowLayout {
+            base,
+            lines: lines as usize,
+            geom,
+        }
     }
 
     /// First covered address.

@@ -103,7 +103,10 @@ impl SimSpace {
         let n_words = size.div_ceil(8);
         let mut v = Vec::with_capacity(n_words);
         v.resize_with(n_words, || AtomicU64::new(0));
-        SimSpace { base, words: v.into_boxed_slice() }
+        SimSpace {
+            base,
+            words: v.into_boxed_slice(),
+        }
     }
 
     /// First valid simulated address.

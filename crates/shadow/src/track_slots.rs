@@ -28,7 +28,10 @@ impl<T> TrackSlots<T> {
     pub fn new(len: usize) -> Self {
         let mut v = Vec::with_capacity(len);
         v.resize_with(len, || AtomicPtr::new(std::ptr::null_mut()));
-        TrackSlots { slots: v.into_boxed_slice(), published: AtomicUsize::new(0) }
+        TrackSlots {
+            slots: v.into_boxed_slice(),
+            published: AtomicUsize::new(0),
+        }
     }
 
     /// Number of slots.

@@ -105,13 +105,23 @@ impl Access {
     /// Convenience constructor for a read event.
     #[inline]
     pub fn read(tid: ThreadId, addr: u64, size: u8) -> Self {
-        Access { tid, addr, size, kind: AccessKind::Read }
+        Access {
+            tid,
+            addr,
+            size,
+            kind: AccessKind::Read,
+        }
     }
 
     /// Convenience constructor for a write event.
     #[inline]
     pub fn write(tid: ThreadId, addr: u64, size: u8) -> Self {
-        Access { tid, addr, size, kind: AccessKind::Write }
+        Access {
+            tid,
+            addr,
+            size,
+            kind: AccessKind::Write,
+        }
     }
 
     /// The last byte address touched by this access.
@@ -147,7 +157,12 @@ mod tests {
 
     #[test]
     fn zero_size_access_end_is_start() {
-        let a = Access { tid: ThreadId(0), addr: 64, size: 0, kind: AccessKind::Read };
+        let a = Access {
+            tid: ThreadId(0),
+            addr: 64,
+            size: 0,
+            kind: AccessKind::Read,
+        };
         assert_eq!(a.end(), 64);
     }
 

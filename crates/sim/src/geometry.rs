@@ -40,7 +40,9 @@ impl CacheGeometry {
             line_size.is_power_of_two() && line_size >= WORD_SIZE,
             "cache line size must be a power of two >= {WORD_SIZE}, got {line_size}"
         );
-        CacheGeometry { line_shift: line_size.trailing_zeros() }
+        CacheGeometry {
+            line_shift: line_size.trailing_zeros(),
+        }
     }
 
     /// Line size in bytes.

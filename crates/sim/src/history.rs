@@ -53,7 +53,9 @@ pub struct HistoryTable {
 impl HistoryTable {
     /// A fresh, empty table.
     pub const fn new() -> Self {
-        HistoryTable { entries: [None, None] }
+        HistoryTable {
+            entries: [None, None],
+        }
     }
 
     /// True when both slots are occupied. Invariant: a full table always
@@ -135,7 +137,13 @@ impl HistoryTable {
     /// thread.
     #[inline]
     fn reset_to(&mut self, tid: ThreadId) {
-        self.entries = [Some(HistoryEntry { tid, kind: AccessKind::Write }), None];
+        self.entries = [
+            Some(HistoryEntry {
+                tid,
+                kind: AccessKind::Write,
+            }),
+            None,
+        ];
     }
 }
 
@@ -185,7 +193,11 @@ pub mod packed {
         }
         Some(HistoryEntry {
             tid: ThreadId((bits & 0xffff) as u16),
-            kind: if bits & WRITE != 0 { AccessKind::Write } else { AccessKind::Read },
+            kind: if bits & WRITE != 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
         })
     }
 
@@ -199,7 +211,10 @@ pub mod packed {
     #[inline]
     pub fn unpack(bits: u64) -> HistoryTable {
         HistoryTable {
-            entries: [dec(bits & ENTRY_MASK), dec((bits >> ENTRY_BITS) & ENTRY_MASK)],
+            entries: [
+                dec(bits & ENTRY_MASK),
+                dec((bits >> ENTRY_BITS) & ENTRY_MASK),
+            ],
         }
     }
 
@@ -215,7 +230,10 @@ pub mod packed {
         let mut t = unpack(bits);
         let invalidated = t.record(tid, kind);
         let next = pack(&t);
-        debug_assert!(!(invalidated && next == bits), "invalidations always change state");
+        debug_assert!(
+            !(invalidated && next == bits),
+            "invalidations always change state"
+        );
         (next, invalidated)
     }
 }
@@ -246,8 +264,9 @@ mod tests {
 
     #[test]
     fn single_thread_never_invalidates() {
-        let script: Vec<_> =
-            (0..100).map(|i| (T0, if i % 3 == 0 { Write } else { Read })).collect();
+        let script: Vec<_> = (0..100)
+            .map(|i| (T0, if i % 3 == 0 { Write } else { Read }))
+            .collect();
         assert_eq!(run(&script), 0);
     }
 
@@ -295,7 +314,13 @@ mod tests {
         assert!(t.record(T2, Write));
         assert_eq!(t.len(), 1);
         let e: Vec<_> = t.entries().collect();
-        assert_eq!(e, vec![HistoryEntry { tid: T2, kind: Write }]);
+        assert_eq!(
+            e,
+            vec![HistoryEntry {
+                tid: T2,
+                kind: Write
+            }]
+        );
     }
 
     #[test]

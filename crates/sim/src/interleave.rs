@@ -33,7 +33,9 @@ pub struct Script {
 impl Script {
     /// Creates an empty script for `n` threads.
     pub fn new(n: usize) -> Self {
-        Script { per_thread: vec![Vec::new(); n] }
+        Script {
+            per_thread: vec![Vec::new(); n],
+        }
     }
 
     /// Appends an access to thread `i`'s script.

@@ -139,7 +139,10 @@ impl MesiSim {
     /// coherence misses that sharing causes, the distinction the paper
     /// faults sampling-based tools for blurring.
     pub fn with_capacity(n_cores: usize, geom: CacheGeometry, sets: usize, ways: usize) -> Self {
-        assert!(sets >= 1 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets >= 1 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways >= 1);
         let mut sim = Self::new(n_cores, geom);
         sim.capacity = Some((sets, ways));
@@ -245,7 +248,10 @@ impl MesiSim {
 
     fn access_line(&mut self, tid: ThreadId, line: u64, kind: AccessKind, word: u8) {
         let core = tid.index();
-        assert!(core < self.caches.len(), "thread {tid} exceeds configured core count");
+        assert!(
+            core < self.caches.len(),
+            "thread {tid} exceeds configured core count"
+        );
         let own = self.caches[core].get(&line).map(|e| e.state);
         if kind == AccessKind::Read {
             self.record_access(core, line, word, RecKind::Read);
@@ -278,8 +284,11 @@ impl MesiSim {
                         }
                     }
                     self.stats.downgrades += downgrades;
-                    let st =
-                        if remote_holder { LineState::Shared } else { LineState::Exclusive };
+                    let st = if remote_holder {
+                        LineState::Shared
+                    } else {
+                        LineState::Exclusive
+                    };
                     self.install(core, line, st);
                 }
             },
@@ -289,7 +298,13 @@ impl MesiSim {
                         self.stats.hits += 1;
                         self.clock += 1;
                         let lru = self.clock;
-                        self.caches[core].insert(line, Entry { state: LineState::Modified, lru });
+                        self.caches[core].insert(
+                            line,
+                            Entry {
+                                state: LineState::Modified,
+                                lru,
+                            },
+                        );
                         self.record_access(core, line, word, RecKind::Write);
                         return;
                     }
@@ -298,7 +313,13 @@ impl MesiSim {
                         self.stats.hits += 1;
                         self.clock += 1;
                         let lru = self.clock;
-                        self.caches[core].insert(line, Entry { state: LineState::Modified, lru });
+                        self.caches[core].insert(
+                            line,
+                            Entry {
+                                state: LineState::Modified,
+                                lru,
+                            },
+                        );
                         self.record_access(core, line, word, RecKind::Write);
                         return;
                     }
@@ -322,7 +343,10 @@ impl MesiSim {
                         invalidated += 1;
                         self.coherence_lost[i].insert(line);
                         if track_victims {
-                            let w = self.last_word[i].get(&line).copied().unwrap_or(WORD_UNKNOWN);
+                            let w = self.last_word[i]
+                                .get(&line)
+                                .copied()
+                                .unwrap_or(WORD_UNKNOWN);
                             victims.push((i as u16, w));
                         }
                     }
@@ -332,8 +356,7 @@ impl MesiSim {
                     self.stats.lines_invalidated += invalidated;
                     *self.line_invalidations.entry(line).or_insert(0) += 1;
                     predator_obs::static_counter!("mesi_invalidation_events_total").inc();
-                    predator_obs::static_counter!("mesi_lines_invalidated_total")
-                        .add(invalidated);
+                    predator_obs::static_counter!("mesi_lines_invalidated_total").add(invalidated);
                     // Timeline: a ground-truth invalidation burst on the
                     // writer's sim lane, sized by how many copies died.
                     let tl = predator_obs::timeline();
@@ -488,9 +511,10 @@ mod tests {
         let invs: Vec<_> = recs
             .iter()
             .filter_map(|r| match r.kind {
-                RecKind::Invalidation { victim_tid, victim_word } => {
-                    Some((r.tid, r.word, victim_tid, victim_word))
-                }
+                RecKind::Invalidation {
+                    victim_tid,
+                    victim_word,
+                } => Some((r.tid, r.word, victim_tid, victim_word)),
                 _ => None,
             })
             .collect();
@@ -532,7 +556,10 @@ mod tests {
         m.access(T0, 0, 8, Read);
         assert_eq!(m.stats().capacity_misses, 1);
         let s = m.stats();
-        assert_eq!(s.misses, s.cold_misses + s.coherence_misses + s.capacity_misses);
+        assert_eq!(
+            s.misses,
+            s.cold_misses + s.coherence_misses + s.capacity_misses
+        );
     }
 
     #[test]

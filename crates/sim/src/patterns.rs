@@ -93,7 +93,11 @@ pub fn generate(pattern: Pattern, per_thread: usize) -> Script {
             }
             s
         }
-        Pattern::Striped { threads, base, stride } => {
+        Pattern::Striped {
+            threads,
+            base,
+            stride,
+        } => {
             let mut s = Script::new(threads);
             for t in 0..threads {
                 let addr = base + (t as u64) * stride;
@@ -115,7 +119,13 @@ pub fn generate(pattern: Pattern, per_thread: usize) -> Script {
             }
             s
         }
-        Pattern::RandomMix { threads, base, lines, write_pct, seed } => {
+        Pattern::RandomMix {
+            threads,
+            base,
+            lines,
+            write_pct,
+            seed,
+        } => {
             let mut s = Script::new(threads);
             for t in 0..threads {
                 let mut rng = rand::rngs::SmallRng::seed_from_u64(
@@ -130,7 +140,15 @@ pub fn generate(pattern: Pattern, per_thread: usize) -> Script {
                     } else {
                         AccessKind::Read
                     };
-                    s.push(t, Access { tid: ThreadId(t as u16), addr, size: 8, kind });
+                    s.push(
+                        t,
+                        Access {
+                            tid: ThreadId(t as u16),
+                            addr,
+                            size: 8,
+                            kind,
+                        },
+                    );
                 }
             }
             s
@@ -149,7 +167,13 @@ mod tests {
 
     #[test]
     fn ping_pong_targets_distinct_words_of_one_line() {
-        let s = generate(Pattern::PingPong { threads: 4, base: BASE }, 10);
+        let s = generate(
+            Pattern::PingPong {
+                threads: 4,
+                base: BASE,
+            },
+            10,
+        );
         assert_eq!(s.len(), 40);
         for (t, ops) in s.per_thread.iter().enumerate() {
             assert!(ops.iter().all(|a| a.addr == BASE + t as u64 * 8));
@@ -160,23 +184,41 @@ mod tests {
 
     #[test]
     fn true_share_targets_one_word() {
-        let s = generate(Pattern::TrueShare { threads: 3, addr: BASE + 8 }, 5);
+        let s = generate(
+            Pattern::TrueShare {
+                threads: 3,
+                addr: BASE + 8,
+            },
+            5,
+        );
         let merged = interleave(&s, &Schedule::RoundRobin);
         assert!(merged.iter().all(|a| a.addr == BASE + 8));
     }
 
     #[test]
     fn striped_with_line_stride_is_line_disjoint() {
-        let s = generate(Pattern::Striped { threads: 4, base: BASE, stride: 64 }, 5);
-        let mut lines: Vec<u64> =
-            s.per_thread.iter().map(|ops| ops[0].addr >> 6).collect();
+        let s = generate(
+            Pattern::Striped {
+                threads: 4,
+                base: BASE,
+                stride: 64,
+            },
+            5,
+        );
+        let mut lines: Vec<u64> = s.per_thread.iter().map(|ops| ops[0].addr >> 6).collect();
         lines.dedup();
         assert_eq!(lines.len(), 4, "each thread on its own line");
     }
 
     #[test]
     fn reader_writer_mixes_kinds() {
-        let s = generate(Pattern::ReaderWriter { threads: 3, base: BASE }, 4);
+        let s = generate(
+            Pattern::ReaderWriter {
+                threads: 3,
+                base: BASE,
+            },
+            4,
+        );
         assert!(s.per_thread[0].iter().all(|a| a.kind == AccessKind::Write));
         assert!(s.per_thread[1].iter().all(|a| a.kind == AccessKind::Read));
         assert_eq!(s.per_thread[1][0].addr, BASE + 8);
@@ -184,7 +226,13 @@ mod tests {
 
     #[test]
     fn random_mix_is_deterministic_and_in_range() {
-        let p = Pattern::RandomMix { threads: 2, base: BASE, lines: 4, write_pct: 50, seed: 9 };
+        let p = Pattern::RandomMix {
+            threads: 2,
+            base: BASE,
+            lines: 4,
+            write_pct: 50,
+            seed: 9,
+        };
         let a = generate(p, 100);
         let b = generate(p, 100);
         for t in 0..2 {

@@ -104,9 +104,7 @@ impl VirtualGeometry {
     pub fn index(&self, addr: u64) -> u64 {
         match self {
             VirtualGeometry::Doubled(g) => g.line_index(addr) >> 1,
-            VirtualGeometry::Scaled { geom, factor_log2 } => {
-                geom.line_index(addr) >> factor_log2
-            }
+            VirtualGeometry::Scaled { geom, factor_log2 } => geom.line_index(addr) >> factor_log2,
             VirtualGeometry::Offset { geom, delta } => {
                 addr.saturating_sub(*delta) >> geom.line_shift()
             }
@@ -117,9 +115,10 @@ impl VirtualGeometry {
     #[inline]
     pub fn range(&self, idx: u64) -> VirtualRange {
         match self {
-            VirtualGeometry::Doubled(g) => {
-                VirtualRange { start: g.line_start(idx << 1), size: g.line_size() * 2 }
-            }
+            VirtualGeometry::Doubled(g) => VirtualRange {
+                start: g.line_start(idx << 1),
+                size: g.line_size() * 2,
+            },
             VirtualGeometry::Scaled { geom, factor_log2 } => VirtualRange {
                 start: geom.line_start(idx << factor_log2),
                 size: geom.line_size() << factor_log2,
@@ -214,13 +213,22 @@ mod tests {
         assert_ne!(v.index(127), v.index(128));
         assert_eq!(v.index(128), v.index(255));
         let r = v.range(1);
-        assert_eq!(r, VirtualRange { start: 128, size: 128 });
+        assert_eq!(
+            r,
+            VirtualRange {
+                start: 128,
+                size: 128
+            }
+        );
     }
 
     #[test]
     fn scaled_generalizes_doubled() {
         let d = VirtualGeometry::Doubled(g64());
-        let s = VirtualGeometry::Scaled { geom: g64(), factor_log2: 1 };
+        let s = VirtualGeometry::Scaled {
+            geom: g64(),
+            factor_log2: 1,
+        };
         for addr in [0u64, 63, 64, 127, 128, 4096, 0x4000_0038] {
             assert_eq!(d.index(addr), s.index(addr));
         }
@@ -230,11 +238,20 @@ mod tests {
 
     #[test]
     fn scaled_quadruple_lines() {
-        let v = VirtualGeometry::Scaled { geom: g64(), factor_log2: 2 };
+        let v = VirtualGeometry::Scaled {
+            geom: g64(),
+            factor_log2: 2,
+        };
         assert_eq!(v.vline_size(), 256);
         assert!(v.same_vline(0, 255));
         assert!(!v.same_vline(255, 256));
-        assert_eq!(v.range(1), VirtualRange { start: 256, size: 256 });
+        assert_eq!(
+            v.range(1),
+            VirtualRange {
+                start: 256,
+                size: 256
+            }
+        );
         assert_eq!(v.delta(), 0);
     }
 
@@ -257,7 +274,10 @@ mod tests {
 
     #[test]
     fn offset_partition_shifts_boundaries() {
-        let v = VirtualGeometry::Offset { geom: g64(), delta: 8 };
+        let v = VirtualGeometry::Offset {
+            geom: g64(),
+            delta: 8,
+        };
         assert_eq!(v.vline_size(), 64);
         // [8, 72) is one line: 8 and 71 share; 71 and 72 do not.
         assert!(v.same_vline(8, 71));
@@ -268,7 +288,10 @@ mod tests {
 
     #[test]
     fn zero_delta_offset_matches_physical_lines() {
-        let v = VirtualGeometry::Offset { geom: g64(), delta: 0 };
+        let v = VirtualGeometry::Offset {
+            geom: g64(),
+            delta: 0,
+        };
         let g = g64();
         for addr in [0u64, 63, 64, 4096, 0x4000_0038] {
             assert_eq!(v.index(addr), g.line_index(addr));
@@ -310,7 +333,10 @@ mod tests {
     #[test]
     fn figure4_placement_is_order_insensitive() {
         let g = g64();
-        assert_eq!(place_offset_vline(0x1000, 0x1018, g), place_offset_vline(0x1018, 0x1000, g));
+        assert_eq!(
+            place_offset_vline(0x1000, 0x1018, g),
+            place_offset_vline(0x1018, 0x1000, g)
+        );
     }
 
     #[test]
@@ -326,7 +352,10 @@ mod tests {
 
     #[test]
     fn display_of_range() {
-        let r = VirtualRange { start: 0x40, size: 0x40 };
+        let r = VirtualRange {
+            start: 0x40,
+            size: 0x40,
+        };
         assert_eq!(r.to_string(), "[0x40, 0x80)");
     }
 

@@ -94,7 +94,10 @@ impl WordTracker {
     /// Creates a tracker for the line starting at `base` under `geom`.
     pub fn new(base: u64, geom: CacheGeometry) -> Self {
         debug_assert_eq!(geom.offset_in_line(base), 0, "base must be line-aligned");
-        WordTracker { base, words: vec![WordState::default(); geom.words_per_line()] }
+        WordTracker {
+            base,
+            words: vec![WordState::default(); geom.words_per_line()],
+        }
     }
 
     /// Reassembles a tracker from raw per-word states, e.g. from the
@@ -177,8 +180,7 @@ impl WordTracker {
 
     /// The distinct exclusive owner threads observed on this line.
     pub fn exclusive_threads(&self) -> Vec<ThreadId> {
-        let mut out: Vec<ThreadId> =
-            self.words.iter().filter_map(|w| w.owner.thread()).collect();
+        let mut out: Vec<ThreadId> = self.words.iter().filter_map(|w| w.owner.thread()).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -207,7 +209,10 @@ mod tests {
     fn new_tracker_is_untouched() {
         let t = tracker();
         assert_eq!(t.len(), 8);
-        assert!(t.words().iter().all(|w| w.owner == Owner::Untouched && w.total() == 0));
+        assert!(t
+            .words()
+            .iter()
+            .all(|w| w.owner == Owner::Untouched && w.total() == 0));
         assert_eq!(t.total_accesses(), 0);
     }
 
@@ -268,7 +273,7 @@ mod tests {
             t.record(T0, 0x4000_0000, 8, Write); // word 0: 100 accesses
         }
         t.record(T1, 0x4000_0038, 8, Write); // word 7: 1 access
-        // avg = 101/8 ≈ 12.6 → only word 0 is hot.
+                                             // avg = 101/8 ≈ 12.6 → only word 0 is hot.
         assert_eq!(t.hot_words(), vec![0]);
     }
 

@@ -29,9 +29,7 @@ use std::io::{BufReader, Read};
 use std::path::Path;
 use std::sync::mpsc::sync_channel;
 
-use predator_core::{
-    build_report_merged, Attribution, DetectorConfig, Predator, Report,
-};
+use predator_core::{build_report_merged, Attribution, DetectorConfig, Predator, Report};
 use predator_sim::Access;
 
 use crate::format::{TraceMeta, MAGIC};
@@ -57,7 +55,11 @@ pub struct AnalyzeConfig {
 impl AnalyzeConfig {
     /// Detector config + shard count, default batching.
     pub fn new(det: DetectorConfig, shards: usize) -> Self {
-        AnalyzeConfig { det, shards: shards.max(1), batch: DISPATCH_BATCH }
+        AnalyzeConfig {
+            det,
+            shards: shards.max(1),
+            batch: DISPATCH_BATCH,
+        }
     }
 }
 
@@ -127,7 +129,11 @@ impl ShardPlan {
             }
         }
         let shards_used = load.iter().filter(|&&w| w > 0).count().max(1);
-        ShardPlan { assignment, clusters: n_clusters, shards_used }
+        ShardPlan {
+            assignment,
+            clusters: n_clusters,
+            shards_used,
+        }
     }
 
     /// Shard owning `line` (0 for lines never seen in pass 1 — harmless,
@@ -266,7 +272,11 @@ pub fn sniff_format(path: &Path) -> Result<TraceFormat, String> {
             Err(e) => return Err(format!("{}: {e}", path.display())),
         }
     }
-    Ok(if got == 6 && head == *MAGIC { TraceFormat::Ptrace } else { TraceFormat::Jsonl })
+    Ok(if got == 6 && head == *MAGIC {
+        TraceFormat::Ptrace
+    } else {
+        TraceFormat::Jsonl
+    })
 }
 
 /// Offline analysis of a trace file (`.ptrace` or JSONL, sniffed).
@@ -360,7 +370,11 @@ mod tests {
         for i in 0..per_region {
             for r in 0..regions {
                 let rbase = base + r * 0x10000;
-                out.push(Access::write(ThreadId((i % 2) as u16), rbase + (i % 2) * 8, 8));
+                out.push(Access::write(
+                    ThreadId((i % 2) as u16),
+                    rbase + (i % 2) * 8,
+                    8,
+                ));
             }
         }
         out

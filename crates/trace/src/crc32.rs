@@ -11,7 +11,11 @@ fn table() -> &'static [u32; 256] {
         for (i, entry) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -38,7 +42,10 @@ mod tests {
         // Standard check values for the IEEE polynomial.
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
     }
 
     #[test]
@@ -48,7 +55,11 @@ mod tests {
         for i in [0usize, 100, 255] {
             let mut flipped = data.clone();
             flipped[i] ^= 0x01;
-            assert_ne!(crc32(&flipped), base, "flip at byte {i} must change the CRC");
+            assert_ne!(
+                crc32(&flipped),
+                base,
+                "flip at byte {i} must change the CRC"
+            );
         }
     }
 }

@@ -208,10 +208,16 @@ pub fn decode_events(payload: &[u8], expected: u32, out: &mut Vec<Access>) -> Re
     let mut decoded = 0u32;
     while decoded < expected {
         let start = out.len();
-        let Some(&flags) = payload.get(pos) else { return Err(decoded) };
+        let Some(&flags) = payload.get(pos) else {
+            return Err(decoded);
+        };
         pos += 1;
-        let Some(daddr) = varint::read_i64(payload, &mut pos) else { return Err(decoded) };
-        let Some(dtid) = varint::read_i64(payload, &mut pos) else { return Err(decoded) };
+        let Some(daddr) = varint::read_i64(payload, &mut pos) else {
+            return Err(decoded);
+        };
+        let Some(dtid) = varint::read_i64(payload, &mut pos) else {
+            return Err(decoded);
+        };
         let class = (flags >> 1) & 0x7;
         let size = if class == SIZE_ESCAPE {
             match varint::read_u64(payload, &mut pos) {
@@ -231,7 +237,11 @@ pub fn decode_events(payload: &[u8], expected: u32, out: &mut Vec<Access>) -> Re
             tid: ThreadId(tid as u16),
             addr,
             size,
-            kind: if flags & 1 != 0 { AccessKind::Write } else { AccessKind::Read },
+            kind: if flags & 1 != 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
         });
         prev_addr = addr;
         prev_tid = tid;
@@ -281,7 +291,11 @@ pub fn decode_index(payload: &[u8]) -> Option<Vec<IndexEntry>> {
         pos += 1;
         let record_count = varint::read_u64(payload, &mut pos)?;
         let offset = prev + delta;
-        entries.push(IndexEntry { offset, kind, record_count: u32::try_from(record_count).ok()? });
+        entries.push(IndexEntry {
+            offset,
+            kind,
+            record_count: u32::try_from(record_count).ok()?,
+        });
         prev = offset;
     }
     (pos == payload.len()).then_some(entries)
@@ -340,7 +354,11 @@ impl TraceMeta {
         let globals = rt
             .globals_snapshot()
             .into_iter()
-            .map(|g| MetaGlobal { name: g.name, start: g.start, size: g.size })
+            .map(|g| MetaGlobal {
+                name: g.name,
+                start: g.start,
+                size: g.size,
+            })
             .collect();
         let mut objects: Vec<MetaObject> = heap
             .live_objects()
@@ -351,13 +369,25 @@ impl TraceMeta {
                     .unwrap_or_else(Callsite::unknown)
                     .frames
                     .into_iter()
-                    .map(|f| MetaFrame { file: f.file, line: f.line })
+                    .map(|f| MetaFrame {
+                        file: f.file,
+                        line: f.line,
+                    })
                     .collect();
-                MetaObject { start: o.start, size: o.size, owner: o.owner.0, frames }
+                MetaObject {
+                    start: o.start,
+                    size: o.size,
+                    owner: o.owner.0,
+                    frames,
+                }
             })
             .collect();
         objects.sort_by_key(|o| o.start);
-        TraceMeta { globals, objects, app_live_bytes: heap.live_bytes() }
+        TraceMeta {
+            globals,
+            objects,
+            app_live_bytes: heap.live_bytes(),
+        }
     }
 
     /// Rebuilds the heap-object directory used by
@@ -370,7 +400,10 @@ impl TraceMeta {
                 size: o.size,
                 owner: ThreadId(o.owner),
                 callsite: Callsite::from_frames(
-                    o.frames.iter().map(|f| Frame::new(f.file.clone(), f.line)).collect(),
+                    o.frames
+                        .iter()
+                        .map(|f| Frame::new(f.file.clone(), f.line))
+                        .collect(),
                 ),
             });
         }
@@ -393,7 +426,11 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let h = Header { version: VERSION, base: 0x4000_0000, size: 64 << 20 };
+        let h = Header {
+            version: VERSION,
+            base: 0x4000_0000,
+            size: 64 << 20,
+        };
         let enc = h.encode();
         assert_eq!(enc.len(), HEADER_V1_LEN);
         assert_eq!(&enc[0..6], MAGIC);
@@ -402,7 +439,13 @@ mod tests {
 
     #[test]
     fn chunk_frame_roundtrip() {
-        let f = ChunkFrame { kind: CHUNK_EVENTS, flags: 0, record_count: 77, payload_len: 123, crc: 0xdead_beef };
+        let f = ChunkFrame {
+            kind: CHUNK_EVENTS,
+            flags: 0,
+            record_count: 77,
+            payload_len: 123,
+            crc: 0xdead_beef,
+        };
         assert_eq!(ChunkFrame::decode(&f.encode()), Some(f));
         let mut bad = f.encode();
         bad[0] = b'X';
@@ -434,7 +477,11 @@ mod tests {
     fn event_codec_is_compact_for_stride_loops() {
         let mut enc = EventEncoder::new();
         for i in 0..1000u64 {
-            enc.push(Access::write(ThreadId((i % 4) as u16), 0x4000_0000 + (i % 4) * 24, 8));
+            enc.push(Access::write(
+                ThreadId((i % 4) as u16),
+                0x4000_0000 + (i % 4) * 24,
+                8,
+            ));
         }
         let (payload, _) = enc.finish();
         let per_record = payload.len() as f64 / 1000.0;
@@ -450,16 +497,31 @@ mod tests {
         let (payload, count) = enc.finish();
         let mut out = Vec::new();
         let r = decode_events(&payload[..payload.len() - 3], count, &mut out);
-        assert!(matches!(r, Err(n) if n < count), "truncation must surface as Err: {r:?}");
+        assert!(
+            matches!(r, Err(n) if n < count),
+            "truncation must surface as Err: {r:?}"
+        );
         assert_eq!(out.len(), r.unwrap_err() as usize);
     }
 
     #[test]
     fn index_roundtrip() {
         let entries = vec![
-            IndexEntry { offset: 28, kind: CHUNK_EVENTS, record_count: 4096 },
-            IndexEntry { offset: 1520, kind: CHUNK_EVENTS, record_count: 4096 },
-            IndexEntry { offset: 3200, kind: CHUNK_META, record_count: 1 },
+            IndexEntry {
+                offset: 28,
+                kind: CHUNK_EVENTS,
+                record_count: 4096,
+            },
+            IndexEntry {
+                offset: 1520,
+                kind: CHUNK_EVENTS,
+                record_count: 4096,
+            },
+            IndexEntry {
+                offset: 3200,
+                kind: CHUNK_META,
+                record_count: 1,
+            },
         ];
         assert_eq!(decode_index(&encode_index(&entries)), Some(entries));
         assert_eq!(decode_index(&[0]), Some(vec![]));
@@ -469,12 +531,19 @@ mod tests {
     #[test]
     fn meta_json_roundtrip() {
         let meta = TraceMeta {
-            globals: vec![MetaGlobal { name: "work_queue".into(), start: 0x1000, size: 256 }],
+            globals: vec![MetaGlobal {
+                name: "work_queue".into(),
+                start: 0x1000,
+                size: 256,
+            }],
             objects: vec![MetaObject {
                 start: 0x4000_0000,
                 size: 4096,
                 owner: 0,
-                frames: vec![MetaFrame { file: "histogram-pthread.c".into(), line: 213 }],
+                frames: vec![MetaFrame {
+                    file: "histogram-pthread.c".into(),
+                    line: 213,
+                }],
             }],
             app_live_bytes: 4352,
         };

@@ -45,7 +45,10 @@ impl fmt::Display for TraceError {
             TraceError::Io(e) => write!(f, "i/o error: {e}"),
             TraceError::NotPtrace => write!(f, "not a .ptrace file (bad magic)"),
             TraceError::UnsupportedVersion(v) => {
-                write!(f, "unsupported .ptrace schema version {v} (this build reads {VERSION})")
+                write!(
+                    f,
+                    "unsupported .ptrace schema version {v} (this build reads {VERSION})"
+                )
             }
             TraceError::Corrupt(m) => write!(f, "corrupt .ptrace header: {m}"),
         }
@@ -85,7 +88,11 @@ impl LossStats {
 pub fn read_header<R: Read>(r: &mut R) -> Result<Header, TraceError> {
     let mut fixed = [0u8; 12];
     r.read_exact(&mut fixed).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof { TraceError::NotPtrace } else { TraceError::Io(e) }
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::NotPtrace
+        } else {
+            TraceError::Io(e)
+        }
     })?;
     if &fixed[0..6] != MAGIC {
         return Err(TraceError::NotPtrace);
@@ -254,8 +261,7 @@ impl<R: Read> TraceReader<R> {
     /// Consumes the trailer if the window is exactly it; returns true.
     fn try_trailer(&mut self) -> bool {
         let avail = self.ensure(TRAILER_LEN + 1);
-        if avail == TRAILER_LEN
-            && self.buf[self.start + 16..self.start + TRAILER_LEN] == *END_MAGIC
+        if avail == TRAILER_LEN && self.buf[self.start + 16..self.start + TRAILER_LEN] == *END_MAGIC
         {
             self.start += TRAILER_LEN;
             self.saw_trailer = true;
@@ -272,7 +278,10 @@ impl<R: Read> TraceReader<R> {
         loop {
             let avail = self.ensure(RESYNC_KEEP + READ_CHUNK);
             let window = &self.buf[self.start..];
-            if let Some(pos) = window.windows(4).position(|w| w == crate::format::CHUNK_MAGIC) {
+            if let Some(pos) = window
+                .windows(4)
+                .position(|w| w == crate::format::CHUNK_MAGIC)
+            {
                 self.loss.bytes_skipped += pos as u64;
                 self.start += pos;
                 return true;
@@ -318,8 +327,10 @@ impl<R: Read> TraceReader<R> {
                 self.ended = true;
                 return false;
             }
-            let frame_bytes: [u8; CHUNK_FRAME_LEN] =
-                self.buf[self.start..self.start + CHUNK_FRAME_LEN].try_into().unwrap();
+            let frame_bytes: [u8; CHUNK_FRAME_LEN] = self.buf
+                [self.start..self.start + CHUNK_FRAME_LEN]
+                .try_into()
+                .unwrap();
             let Some(frame) = ChunkFrame::decode(&frame_bytes) else {
                 if self.try_trailer() {
                     self.ended = true;
@@ -367,11 +378,8 @@ impl<R: Read> TraceReader<R> {
                 CHUNK_EVENTS => {
                     let mut queue = std::mem::take(&mut self.queue);
                     queue.clear();
-                    let decode = decode_events(
-                        &self.buf[payload_range],
-                        frame.record_count,
-                        &mut queue,
-                    );
+                    let decode =
+                        decode_events(&self.buf[payload_range], frame.record_count, &mut queue);
                     self.queue = queue;
                     self.qpos = 0;
                     self.event_chunks += 1;
@@ -493,7 +501,9 @@ fn read_chunk_at(f: &mut File, offset: u64) -> io::Result<Option<(ChunkFrame, Ve
     f.seek(SeekFrom::Start(offset))?;
     let mut frame_bytes = [0u8; CHUNK_FRAME_LEN];
     f.read_exact(&mut frame_bytes)?;
-    let Some(frame) = ChunkFrame::decode(&frame_bytes) else { return Ok(None) };
+    let Some(frame) = ChunkFrame::decode(&frame_bytes) else {
+        return Ok(None);
+    };
     if frame.payload_len > MAX_CHUNK_PAYLOAD {
         return Ok(None);
     }
@@ -529,11 +539,18 @@ fn read_info_indexed(path: &Path) -> Result<Option<TraceInfo>, TraceError> {
     if index_frame.kind != CHUNK_INDEX {
         return Ok(None);
     }
-    let Some(entries) = decode_index(&index_payload) else { return Ok(None) };
+    let Some(entries) = decode_index(&index_payload) else {
+        return Ok(None);
+    };
     let mut meta = None;
     if let Some(e) = entries.iter().find(|e| e.kind == CHUNK_META) {
-        let Some((_, payload)) = read_chunk_at(&mut f, e.offset)? else { return Ok(None) };
-        match std::str::from_utf8(&payload).ok().and_then(|s| serde_json::from_str(s).ok()) {
+        let Some((_, payload)) = read_chunk_at(&mut f, e.offset)? else {
+            return Ok(None);
+        };
+        match std::str::from_utf8(&payload)
+            .ok()
+            .and_then(|s| serde_json::from_str(s).ok())
+        {
             Some(m) => meta = Some(m),
             None => return Ok(None),
         }
@@ -572,7 +589,11 @@ mod tests {
             w.write_events(&events).unwrap();
             all.extend_from_slice(&events);
         }
-        w.write_meta(&TraceMeta { app_live_bytes: 42, ..TraceMeta::default() }).unwrap();
+        w.write_meta(&TraceMeta {
+            app_live_bytes: 42,
+            ..TraceMeta::default()
+        })
+        .unwrap();
         let _ = w.finish().unwrap();
         (buf, all)
     }
@@ -583,7 +604,11 @@ mod tests {
         let mut r = TraceReader::new(&bytes[..]).unwrap();
         let got: Vec<Access> = (&mut r).collect();
         assert_eq!(got, events);
-        assert!(!r.stats().any(), "clean file must report zero loss: {:?}", r.stats());
+        assert!(
+            !r.stats().any(),
+            "clean file must report zero loss: {:?}",
+            r.stats()
+        );
         assert!(r.saw_trailer());
         assert_eq!(r.meta().unwrap().app_live_bytes, 42);
         assert_eq!(r.event_chunks(), 5);
@@ -611,7 +636,12 @@ mod tests {
     #[test]
     fn truncated_file_reports_loss_not_panic() {
         let (bytes, _) = sample_trace(5, 100);
-        for cut in [bytes.len() - 10, bytes.len() / 2, HEADER_V1_LEN + 5, HEADER_V1_LEN] {
+        for cut in [
+            bytes.len() - 10,
+            bytes.len() / 2,
+            HEADER_V1_LEN + 5,
+            HEADER_V1_LEN,
+        ] {
             let mut r = TraceReader::new(&bytes[..cut]).unwrap();
             let got: Vec<Access> = (&mut r).collect();
             let stats = r.stats();
@@ -633,9 +663,14 @@ mod tests {
 
     #[test]
     fn not_ptrace_is_a_clean_error() {
-        assert!(matches!(TraceReader::new(&b"hello world, this is jsonl"[..]),
-            Err(TraceError::NotPtrace)));
-        assert!(matches!(TraceReader::new(&b"PT"[..]), Err(TraceError::NotPtrace)));
+        assert!(matches!(
+            TraceReader::new(&b"hello world, this is jsonl"[..]),
+            Err(TraceError::NotPtrace)
+        ));
+        assert!(matches!(
+            TraceReader::new(&b"PT"[..]),
+            Err(TraceError::NotPtrace)
+        ));
     }
 
     #[test]
@@ -657,10 +692,8 @@ mod tests {
     fn find_nth_chunk(bytes: &[u8], n: usize) -> usize {
         let mut off = HEADER_V1_LEN;
         for _ in 0..n {
-            let frame = ChunkFrame::decode(
-                &bytes[off..off + CHUNK_FRAME_LEN].try_into().unwrap(),
-            )
-            .unwrap();
+            let frame =
+                ChunkFrame::decode(&bytes[off..off + CHUNK_FRAME_LEN].try_into().unwrap()).unwrap();
             off += CHUNK_FRAME_LEN + frame.payload_len as usize;
         }
         off

@@ -170,8 +170,12 @@ impl SegmentedSink {
     /// reached the sink. Threads still pushing concurrently may of course
     /// leave new events behind.
     pub fn flush_all(&self) {
-        let segs: Vec<SegBuf> =
-            self.shared.registry.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let segs: Vec<SegBuf> = self
+            .shared
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
         for seg in segs {
             self.shared.flush_seg(&seg);
         }
@@ -181,7 +185,12 @@ impl SegmentedSink {
 impl AccessSink for SegmentedSink {
     #[inline]
     fn access(&self, tid: ThreadId, addr: u64, size: u8, kind: AccessKind) {
-        self.push(Access { tid, addr, size, kind });
+        self.push(Access {
+            tid,
+            addr,
+            size,
+            kind,
+        });
     }
 }
 
@@ -198,7 +207,10 @@ mod tests {
 
     fn store_sink(capacity: usize) -> (SegmentedSink, Arc<Mutex<Vec<Access>>>) {
         let store = Arc::new(Mutex::new(Vec::new()));
-        (SegmentedSink::with_capacity(Box::new(Store(store.clone())), capacity), store)
+        (
+            SegmentedSink::with_capacity(Box::new(Store(store.clone())), capacity),
+            store,
+        )
     }
 
     #[test]
@@ -209,7 +221,13 @@ mod tests {
         assert!(store.lock().unwrap().is_empty(), "buffered in the segment");
         sink.flush_thread();
         let got = store.lock().unwrap().clone();
-        assert_eq!(got, vec![Access::write(ThreadId(0), 0x100, 8), Access::read(ThreadId(0), 0x108, 4)]);
+        assert_eq!(
+            got,
+            vec![
+                Access::write(ThreadId(0), 0x100, 8),
+                Access::read(ThreadId(0), 0x108, 4)
+            ]
+        );
     }
 
     #[test]
@@ -218,7 +236,11 @@ mod tests {
         for i in 0..9u64 {
             sink.access(ThreadId(0), i * 8, 8, AccessKind::Write);
         }
-        assert_eq!(store.lock().unwrap().len(), 8, "two full segments handed over");
+        assert_eq!(
+            store.lock().unwrap().len(),
+            8,
+            "two full segments handed over"
+        );
         sink.flush_thread();
         assert_eq!(store.lock().unwrap().len(), 9);
     }
@@ -241,9 +263,15 @@ mod tests {
         assert_eq!(got.len(), 4000);
         // Per-thread order survives batching.
         for t in 0..4u16 {
-            let addrs: Vec<u64> =
-                got.iter().filter(|a| a.tid == ThreadId(t)).map(|a| a.addr).collect();
-            assert!(addrs.windows(2).all(|w| w[1] > w[0]), "thread {t} out of order");
+            let addrs: Vec<u64> = got
+                .iter()
+                .filter(|a| a.tid == ThreadId(t))
+                .map(|a| a.addr)
+                .collect();
+            assert!(
+                addrs.windows(2).all(|w| w[1] > w[0]),
+                "thread {t} out of order"
+            );
         }
     }
 

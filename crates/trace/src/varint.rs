@@ -89,14 +89,35 @@ mod tests {
 
     #[test]
     fn unsigned_roundtrips() {
-        for v in [0, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             roundtrip_u(v);
         }
     }
 
     #[test]
     fn signed_roundtrips() {
-        for v in [0, 1, -1, 63, -64, 64, -65, i32::MAX as i64, i64::MIN, i64::MAX] {
+        for v in [
+            0,
+            1,
+            -1,
+            63,
+            -64,
+            64,
+            -65,
+            i32::MAX as i64,
+            i64::MIN,
+            i64::MAX,
+        ] {
             roundtrip_i(v);
         }
     }

@@ -41,9 +41,19 @@ pub struct TraceWriter<W: Write> {
 impl<W: Write> TraceWriter<W> {
     /// Writes the file header for a trace over `[base, base + size)`.
     pub fn create(mut w: W, base: u64, size: u64) -> io::Result<Self> {
-        let header = Header { version: VERSION, base, size }.encode();
+        let header = Header {
+            version: VERSION,
+            base,
+            size,
+        }
+        .encode();
         w.write_all(&header)?;
-        Ok(TraceWriter { w, offset: header.len() as u64, index: Vec::new(), total_records: 0 })
+        Ok(TraceWriter {
+            w,
+            offset: header.len() as u64,
+            index: Vec::new(),
+            total_records: 0,
+        })
     }
 
     fn write_chunk(&mut self, kind: u8, record_count: u32, payload: &[u8]) -> io::Result<()> {
@@ -54,7 +64,11 @@ impl<W: Write> TraceWriter<W> {
             payload_len: payload.len() as u32,
             crc: crc32(payload),
         };
-        self.index.push(IndexEntry { offset: self.offset, kind, record_count });
+        self.index.push(IndexEntry {
+            offset: self.offset,
+            kind,
+            record_count,
+        });
         self.w.write_all(&frame.encode())?;
         self.w.write_all(payload)?;
         self.offset += (crate::format::CHUNK_FRAME_LEN + payload.len()) as u64;
@@ -154,7 +168,10 @@ impl<W: Write + Send + 'static> TraceSink<W> {
     /// As [`create`](Self::create) with an explicit events-per-chunk cap.
     pub fn with_segment_capacity(w: W, base: u64, size: u64, capacity: usize) -> io::Result<Self> {
         let writer = TraceWriter::create(w, base, size)?;
-        let state = Arc::new(Mutex::new(SinkState { writer: Some(writer), error: None }));
+        let state = Arc::new(Mutex::new(SinkState {
+            writer: Some(writer),
+            error: None,
+        }));
         let seg = SegmentedSink::with_capacity(Box::new(WriterBatch(state.clone())), capacity);
         Ok(TraceSink { seg, state })
     }
@@ -200,8 +217,10 @@ mod tests {
         let mut buf = Vec::new();
         {
             let mut w = TraceWriter::create(&mut buf, 0x1000, 0x2000).unwrap();
-            w.write_events(&[Access::write(ThreadId(0), 0x1000, 8)]).unwrap();
-            w.write_events(&[Access::read(ThreadId(1), 0x1008, 4)]).unwrap();
+            w.write_events(&[Access::write(ThreadId(0), 0x1000, 8)])
+                .unwrap();
+            w.write_events(&[Access::read(ThreadId(1), 0x1008, 4)])
+                .unwrap();
             w.write_meta(&TraceMeta::default()).unwrap();
             let (summary, _) = w.finish().unwrap();
             assert_eq!(summary.events, 2);
@@ -210,8 +229,7 @@ mod tests {
         }
         assert_eq!(&buf[0..6], crate::format::MAGIC);
         assert_eq!(&buf[buf.len() - 8..], END_MAGIC);
-        let total =
-            u64::from_le_bytes(buf[buf.len() - 16..buf.len() - 8].try_into().unwrap());
+        let total = u64::from_le_bytes(buf[buf.len() - 16..buf.len() - 8].try_into().unwrap());
         assert_eq!(total, 2);
     }
 

@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn no_false_sharing_reported() {
-        let cfg = WorkloadConfig { iters: 2_048, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 2_048,
+            ..WorkloadConfig::quick()
+        };
         let r = run_and_report(&AgetLike, DetectorConfig::sensitive(), &cfg);
         assert!(!r.has_false_sharing(), "{r}");
     }
@@ -93,7 +96,11 @@ mod tests {
     #[test]
     fn file_fully_written() {
         let s = Session::with_config(DetectorConfig::sensitive());
-        let cfg = WorkloadConfig { iters: 1_024, threads: 2, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 1_024,
+            threads: 2,
+            ..WorkloadConfig::quick()
+        };
         AgetLike.run_tracked(&s, &cfg);
         let file = s
             .heap()

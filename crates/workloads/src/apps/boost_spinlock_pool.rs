@@ -52,14 +52,19 @@ impl Workload for BoostSpinlockPool {
         let _main = s.register_thread();
         let stride = stride_words(cfg.variant);
         // The static pool — registered as a global variable.
-        let pool = s.global("boost::detail::spinlock_pool<2>::pool_", POOL_SIZE as u64 * stride * 8);
+        let pool = s.global(
+            "boost::detail::spinlock_pool<2>::pool_",
+            POOL_SIZE as u64 * stride * 8,
+        );
 
         let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
         // Per-thread refcount words the locks protect (padded, private).
         let refcounts: Vec<_> = tids
             .iter()
             .map(|&tid| {
-                s.malloc(tid, 64, predator_core::Callsite::here()).expect("refcount").start
+                s.malloc(tid, 64, predator_core::Callsite::here())
+                    .expect("refcount")
+                    .start
             })
             .collect();
 
@@ -90,9 +95,7 @@ impl Workload for BoostSpinlockPool {
                 let lock = base + lock_of(t) as usize * stride;
                 for _ in 0..cfg.iters {
                     // CAS-acquire, bump refcount, store-release.
-                    while pool
-                        .load(lock) != 0
-                    {
+                    while pool.load(lock) != 0 {
                         std::hint::spin_loop();
                     }
                     pool.store(lock, 1);
@@ -112,8 +115,11 @@ mod tests {
 
     #[test]
     fn broken_pool_reported_as_global_false_sharing() {
-        let r =
-            run_and_report(&BoostSpinlockPool, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        let r = run_and_report(
+            &BoostSpinlockPool,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick(),
+        );
         assert!(r.has_observed_false_sharing(), "{r}");
         let f = r.false_sharing().next().unwrap();
         match &f.object.site {
@@ -144,7 +150,11 @@ mod tests {
     #[test]
     fn refcounts_reflect_all_iterations() {
         let s = Session::with_config(DetectorConfig::sensitive());
-        let cfg = WorkloadConfig { iters: 50, threads: 2, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 50,
+            threads: 2,
+            ..WorkloadConfig::quick()
+        };
         BoostSpinlockPool.run_tracked(&s, &cfg);
         let rcs: Vec<_> = s
             .heap()
@@ -160,6 +170,11 @@ mod tests {
 
     #[test]
     fn native_run_completes() {
-        assert!(BoostSpinlockPool.run_native(&WorkloadConfig::quick()).as_nanos() > 0);
+        assert!(
+            BoostSpinlockPool
+                .run_native(&WorkloadConfig::quick())
+                .as_nanos()
+                > 0
+        );
     }
 }

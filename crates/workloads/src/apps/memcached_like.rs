@@ -40,13 +40,17 @@ impl Workload for MemcachedLike {
         let shards: Vec<_> = tids
             .iter()
             .map(|&tid| {
-                s.malloc(tid, (SHARD_SLOTS * 8) as u64, Callsite::here()).expect("shard").start
+                s.malloc(tid, (SHARD_SLOTS * 8) as u64, Callsite::here())
+                    .expect("shard")
+                    .start
             })
             .collect();
         let stats: Vec<_> = tids
             .iter()
             .map(|&tid| {
-                s.malloc(tid, (STATS_WORDS * 8) as u64, Callsite::here()).expect("stats").start
+                s.malloc(tid, (STATS_WORDS * 8) as u64, Callsite::here())
+                    .expect("stats")
+                    .start
             })
             .collect();
 
@@ -102,14 +106,22 @@ mod tests {
 
     #[test]
     fn no_false_sharing_reported() {
-        let r = run_and_report(&MemcachedLike, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        let r = run_and_report(
+            &MemcachedLike,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick(),
+        );
         assert!(!r.has_false_sharing(), "{r}");
     }
 
     #[test]
     fn stats_account_for_every_request() {
         let s = Session::with_config(DetectorConfig::sensitive());
-        let cfg = WorkloadConfig { iters: 200, threads: 2, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 200,
+            threads: 2,
+            ..WorkloadConfig::quick()
+        };
         MemcachedLike.run_tracked(&s, &cfg);
         let stats: Vec<_> = s
             .heap()
@@ -119,14 +131,20 @@ mod tests {
             .collect();
         assert_eq!(stats.len(), 2);
         for st in stats {
-            let total: u64 =
-                (0..3).map(|w| s.read_untracked::<u64>(st.start + w * 8)).sum();
+            let total: u64 = (0..3)
+                .map(|w| s.read_untracked::<u64>(st.start + w * 8))
+                .sum();
             assert_eq!(total, 200);
         }
     }
 
     #[test]
     fn native_run_completes() {
-        assert!(MemcachedLike.run_native(&WorkloadConfig::quick()).as_nanos() > 0);
+        assert!(
+            MemcachedLike
+                .run_native(&WorkloadConfig::quick())
+                .as_nanos()
+                > 0
+        );
     }
 }

@@ -111,7 +111,11 @@ mod tests {
 
     #[test]
     fn broken_variant_observed_with_innodb_callsite() {
-        let r = run_and_report(&MysqlLike, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        let r = run_and_report(
+            &MysqlLike,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick(),
+        );
         assert!(r.has_observed_false_sharing(), "{r}");
         let text = r.false_sharing().next().unwrap().to_string();
         assert!(text.contains("srv0srv.cc:781"), "{text}");
@@ -130,7 +134,11 @@ mod tests {
     #[test]
     fn transactions_all_committed() {
         let s = Session::with_config(DetectorConfig::sensitive());
-        let cfg = WorkloadConfig { iters: 100, threads: 3, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 100,
+            threads: 3,
+            ..WorkloadConfig::quick()
+        };
         MysqlLike.run_tracked(&s, &cfg);
         let stats = s
             .heap()

@@ -43,7 +43,9 @@ impl Workload for Pbzip2Like {
         let blocks: Vec<_> = tids
             .iter()
             .map(|&tid| {
-                s.malloc(tid, (BLOCK_WORDS * 8) as u64, Callsite::here()).expect("block").start
+                s.malloc(tid, (BLOCK_WORDS * 8) as u64, Callsite::here())
+                    .expect("block")
+                    .start
             })
             .collect();
         let _ = main;
@@ -101,7 +103,10 @@ mod tests {
 
     #[test]
     fn no_false_sharing_reported() {
-        let cfg = WorkloadConfig { iters: 1_024, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 1_024,
+            ..WorkloadConfig::quick()
+        };
         let r = run_and_report(&Pbzip2Like, DetectorConfig::sensitive(), &cfg);
         assert!(!r.has_false_sharing(), "{r}");
     }

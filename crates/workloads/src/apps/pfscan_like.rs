@@ -37,7 +37,10 @@ impl Workload for PfscanLike {
         let main = s.register_thread();
         // The shared queue cursor (one padded line — the sharing is on the
         // single word itself).
-        let cursor = s.malloc(main, 64, Callsite::here()).expect("queue cursor").start;
+        let cursor = s
+            .malloc(main, 64, Callsite::here())
+            .expect("queue cursor")
+            .start;
         // The scanned "file": read-only words derived from generated text.
         let corpus = gen_words(cfg.seed, 2048);
         let file = s.malloc(main, 2048 * 8, Callsite::here()).expect("file");
@@ -45,7 +48,9 @@ impl Workload for PfscanLike {
             let h = w.bytes().fold(0u64, |a, b| a.wrapping_mul(131) + b as u64);
             s.write_untracked::<u64>(file.start + (i as u64) * 8, h);
         }
-        let needle = corpus[7].bytes().fold(0u64, |a, b| a.wrapping_mul(131) + b as u64);
+        let needle = corpus[7]
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(131) + b as u64);
 
         let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
         // Padded per-thread match counters.
@@ -111,12 +116,17 @@ mod tests {
 
     #[test]
     fn queue_cursor_is_true_sharing_not_false() {
-        let cfg = WorkloadConfig { iters: 4_096, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 4_096,
+            ..WorkloadConfig::quick()
+        };
         let r = run_and_report(&PfscanLike, DetectorConfig::sensitive(), &cfg);
         assert!(!r.has_false_sharing(), "no false positives allowed: {r}");
         // The cursor shows up as true sharing at sensitive thresholds.
         assert!(
-            r.findings.iter().any(|f| f.class == SharingClass::TrueSharing),
+            r.findings
+                .iter()
+                .any(|f| f.class == SharingClass::TrueSharing),
             "expected the queue cursor as true sharing: {r}"
         );
     }
@@ -124,7 +134,11 @@ mod tests {
     #[test]
     fn all_units_processed_exactly_once() {
         let s = Session::with_config(DetectorConfig::sensitive());
-        let cfg = WorkloadConfig { iters: 640, threads: 4, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 640,
+            threads: 4,
+            ..WorkloadConfig::quick()
+        };
         PfscanLike.run_tracked(&s, &cfg);
         let cursor = s
             .heap()

@@ -25,7 +25,9 @@ impl SharedWords {
     pub fn new(n: usize) -> Self {
         let mut v = Vec::with_capacity(n);
         v.resize_with(n, || AtomicU64::new(0));
-        SharedWords { words: v.into_boxed_slice() }
+        SharedWords {
+            words: v.into_boxed_slice(),
+        }
     }
 
     /// Allocates at least `n` words such that the *returned base index* is
@@ -102,7 +104,9 @@ pub fn thread_rng(seed: u64, thread: usize) -> SmallRng {
 /// a small range (the linear_regression / kmeans input shape).
 pub fn gen_points(seed: u64, n: usize) -> Vec<(i64, i64)> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| (rng.gen_range(0..256), rng.gen_range(0..256))).collect()
+    (0..n)
+        .map(|_| (rng.gen_range(0..256), rng.gen_range(0..256)))
+        .collect()
 }
 
 /// Generates deterministic lowercase "words" of 3–8 chars (word_count /
@@ -112,7 +116,9 @@ pub fn gen_words(seed: u64, n: usize) -> Vec<String> {
     (0..n)
         .map(|_| {
             let len = rng.gen_range(3..=8);
-            (0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect()
+            (0..len)
+                .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                .collect()
         })
         .collect()
 }

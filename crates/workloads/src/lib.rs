@@ -78,14 +78,24 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { threads: 4, iters: 20_000, seed: 42, variant: Variant::Broken }
+        WorkloadConfig {
+            threads: 4,
+            iters: 20_000,
+            seed: 42,
+            variant: Variant::Broken,
+        }
     }
 }
 
 impl WorkloadConfig {
     /// A quick configuration for unit tests.
     pub fn quick() -> Self {
-        WorkloadConfig { threads: 4, iters: 2_000, seed: 42, variant: Variant::Broken }
+        WorkloadConfig {
+            threads: 4,
+            iters: 2_000,
+            seed: 42,
+            variant: Variant::Broken,
+        }
     }
 
     /// Same configuration with the variant replaced.
@@ -211,9 +221,13 @@ mod tests {
     #[test]
     fn paper_flagged_workloads_present() {
         // The Table 1 rows and §4.1.2 findings.
-        for name in
-            ["histogram", "linear_regression", "reverse_index", "word_count", "streamcluster"]
-        {
+        for name in [
+            "histogram",
+            "linear_regression",
+            "reverse_index",
+            "word_count",
+            "streamcluster",
+        ] {
             let w = by_name(name).unwrap();
             assert_ne!(w.expectation(), Expectation::Clean, "{name} must have FS");
         }
@@ -221,10 +235,20 @@ mod tests {
             by_name("linear_regression").unwrap().expectation(),
             Expectation::PredictedOnly
         );
-        assert_eq!(by_name("mysql").unwrap().expectation(), Expectation::Observed);
-        assert_eq!(by_name("boost").unwrap().expectation(), Expectation::Observed);
+        assert_eq!(
+            by_name("mysql").unwrap().expectation(),
+            Expectation::Observed
+        );
+        assert_eq!(
+            by_name("boost").unwrap().expectation(),
+            Expectation::Observed
+        );
         for name in ["memcached", "aget", "pbzip2", "pfscan"] {
-            assert_eq!(by_name(name).unwrap().expectation(), Expectation::Clean, "{name}");
+            assert_eq!(
+                by_name(name).unwrap().expectation(),
+                Expectation::Clean,
+                "{name}"
+            );
         }
     }
 }

@@ -43,14 +43,18 @@ impl Workload for BlackScholes {
     fn run_tracked(&self, s: &Session, cfg: &WorkloadConfig) {
         let main = s.register_thread();
         let n = cfg.threads * BLOCK;
-        let inputs = s.malloc(main, (n * 24) as u64, Callsite::here()).expect("options");
+        let inputs = s
+            .malloc(main, (n * 24) as u64, Callsite::here())
+            .expect("options");
         let mut rng = thread_rng(cfg.seed, 0);
         for i in 0..n as u64 {
             s.write_untracked::<u64>(inputs.start + i * 24, rng.gen_range(50..150));
             s.write_untracked::<u64>(inputs.start + i * 24 + 8, rng.gen_range(50..150));
             s.write_untracked::<u64>(inputs.start + i * 24 + 16, rng.gen_range(1..40));
         }
-        let prices = s.malloc(main, (n * 8) as u64, Callsite::here()).expect("prices");
+        let prices = s
+            .malloc(main, (n * 8) as u64, Callsite::here())
+            .expect("prices");
 
         let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
         let reps = (cfg.iters / BLOCK as u64).max(1);
@@ -71,15 +75,20 @@ impl Workload for BlackScholes {
         let n = cfg.threads * 65_536;
         let mut rng = thread_rng(cfg.seed, 0);
         let inputs: Vec<(u64, u64, u64)> = (0..n)
-            .map(|_| (rng.gen_range(50..150), rng.gen_range(50..150), rng.gen_range(1..40)))
+            .map(|_| {
+                (
+                    rng.gen_range(50..150),
+                    rng.gen_range(50..150),
+                    rng.gen_range(1..40),
+                )
+            })
             .collect();
         let out = SharedWords::new(n);
         let reps = (cfg.iters / 1024).max(1);
         time(|| {
             run_threads(cfg.threads, |t| {
                 for _ in 0..reps {
-                    for (i, &(s_, k, v)) in
-                        inputs.iter().enumerate().skip(t * 65_536).take(65_536)
+                    for (i, &(s_, k, v)) in inputs.iter().enumerate().skip(t * 65_536).take(65_536)
                     {
                         out.store(i, price(s_, k, v));
                     }
@@ -97,7 +106,10 @@ mod tests {
 
     #[test]
     fn no_false_sharing_reported() {
-        let cfg = WorkloadConfig { iters: 1024, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 1024,
+            ..WorkloadConfig::quick()
+        };
         let r = run_and_report(&BlackScholes, DetectorConfig::sensitive(), &cfg);
         assert!(!r.has_false_sharing(), "{r}");
     }
@@ -110,8 +122,11 @@ mod tests {
 
     #[test]
     fn native_run_completes() {
-        let d = BlackScholes
-            .run_native(&WorkloadConfig { iters: 1024, threads: 2, ..WorkloadConfig::quick() });
+        let d = BlackScholes.run_native(&WorkloadConfig {
+            iters: 1024,
+            threads: 2,
+            ..WorkloadConfig::quick()
+        });
         assert!(d.as_nanos() > 0);
     }
 }

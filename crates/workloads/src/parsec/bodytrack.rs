@@ -41,7 +41,8 @@ impl Workload for BodyTrack {
         let buffers: Vec<_> = tids
             .iter()
             .map(|&tid| {
-                s.malloc(tid, (PARTICLES * 8) as u64, Callsite::here()).expect("particles")
+                s.malloc(tid, (PARTICLES * 8) as u64, Callsite::here())
+                    .expect("particles")
             })
             .collect();
 
@@ -97,7 +98,10 @@ mod tests {
     #[test]
     fn no_false_sharing_but_many_tracked_lines() {
         let s = Session::with_config(DetectorConfig::sensitive());
-        let cfg = WorkloadConfig { iters: 2_048, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 2_048,
+            ..WorkloadConfig::quick()
+        };
         BodyTrack.run_tracked(&s, &cfg);
         let r = s.report();
         assert!(!r.has_false_sharing(), "{r}");
@@ -114,7 +118,10 @@ mod tests {
         let r = run_and_report(
             &BodyTrack,
             DetectorConfig::paper(),
-            &WorkloadConfig { iters: 2_048, ..WorkloadConfig::quick() },
+            &WorkloadConfig {
+                iters: 2_048,
+                ..WorkloadConfig::quick()
+            },
         );
         assert!(r.findings.is_empty(), "{r}");
     }

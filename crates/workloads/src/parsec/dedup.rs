@@ -92,7 +92,11 @@ mod tests {
     fn collisions_are_true_sharing_not_false() {
         // At ultra-sensitive thresholds the shared bucket counters may
         // surface — but must classify as true sharing, never false.
-        let r = run_and_report(&Dedup, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        let r = run_and_report(
+            &Dedup,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick(),
+        );
         assert!(!r.has_false_sharing(), "{r}");
     }
 

@@ -40,11 +40,18 @@ impl Workload for Ferret {
         // pipeline embeds the queue in each stage's own struct).
         let queues: Vec<u64> = tids
             .iter()
-            .map(|&tid| s.malloc(tid, 64, Callsite::here()).expect("stage queue").start)
+            .map(|&tid| {
+                s.malloc(tid, 64, Callsite::here())
+                    .expect("stage queue")
+                    .start
+            })
             .collect();
         let features: Vec<_> = tids
             .iter()
-            .map(|&tid| s.malloc(tid, (FEATURES * 8) as u64, Callsite::here()).expect("features"))
+            .map(|&tid| {
+                s.malloc(tid, (FEATURES * 8) as u64, Callsite::here())
+                    .expect("features")
+            })
             .collect();
         let mut rngs: Vec<_> = (0..cfg.threads).map(|t| thread_rng(cfg.seed, t)).collect();
 
@@ -92,7 +99,10 @@ mod tests {
     #[test]
     fn no_false_sharing_but_busy_tracking() {
         let s = Session::with_config(DetectorConfig::sensitive());
-        let cfg = WorkloadConfig { iters: 2_048, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 2_048,
+            ..WorkloadConfig::quick()
+        };
         Ferret.run_tracked(&s, &cfg);
         let r = s.report();
         assert!(!r.has_false_sharing(), "{r}");

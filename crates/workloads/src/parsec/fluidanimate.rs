@@ -42,7 +42,10 @@ impl Workload for FluidAnimate {
         let grid = s
             .malloc(main, (cfg.threads * part * 64) as u64, Callsite::here())
             .expect("grid");
-        let border_stats = s.malloc(main, 64, Callsite::here()).expect("border stats").start;
+        let border_stats = s
+            .malloc(main, 64, Callsite::here())
+            .expect("border stats")
+            .start;
         let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
         // Each worker publishes its border densities into its own padded
         // slot (owner-allocated: per-thread segments keep them line-apart);
@@ -50,7 +53,11 @@ impl Workload for FluidAnimate {
         // other threads write — the benchmark's ghost-plane protocol.
         let border_out: Vec<u64> = tids
             .iter()
-            .map(|&tid| s.malloc(tid, 64, Callsite::here()).expect("border slot").start)
+            .map(|&tid| {
+                s.malloc(tid, 64, Callsite::here())
+                    .expect("border slot")
+                    .start
+            })
             .collect();
         let mut rngs: Vec<_> = (0..cfg.threads).map(|t| thread_rng(cfg.seed, t)).collect();
 
@@ -117,7 +124,10 @@ mod tests {
 
     #[test]
     fn no_false_sharing_reported() {
-        let cfg = WorkloadConfig { iters: 512, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 512,
+            ..WorkloadConfig::quick()
+        };
         let r = run_and_report(&FluidAnimate, DetectorConfig::sensitive(), &cfg);
         assert!(!r.has_false_sharing(), "{r}");
     }

@@ -95,8 +95,7 @@ impl Workload for StreamCluster {
                 Callsite::from_frames(vec![Frame::new("streamcluster.cpp", 1907)]),
             )
             .expect("switch_membership");
-        let mut rngs: Vec<_> =
-            (0..cfg.threads).map(|t| thread_rng(cfg.seed, t)).collect();
+        let mut rngs: Vec<_> = (0..cfg.threads).map(|t| thread_rng(cfg.seed, t)).collect();
         for _ in 0..cfg.iters {
             for (t, &tid) in tids.iter().enumerate() {
                 // A random point in this thread's range switches membership.
@@ -143,11 +142,17 @@ mod tests {
     /// Thresholded like a real run: membership traffic must clear a bar the
     /// fixed (8× less shared) variant misses.
     fn det() -> DetectorConfig {
-        DetectorConfig { report_threshold: 60, ..DetectorConfig::sensitive() }
+        DetectorConfig {
+            report_threshold: 60,
+            ..DetectorConfig::sensitive()
+        }
     }
 
     fn cfg() -> WorkloadConfig {
-        WorkloadConfig { iters: 2_000, ..WorkloadConfig::quick() }
+        WorkloadConfig {
+            iters: 2_000,
+            ..WorkloadConfig::quick()
+        }
     }
 
     #[test]

@@ -74,7 +74,11 @@ mod tests {
 
     #[test]
     fn no_false_sharing_reported() {
-        let r = run_and_report(&Swaptions, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        let r = run_and_report(
+            &Swaptions,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick(),
+        );
         assert!(!r.has_false_sharing(), "{r}");
     }
 

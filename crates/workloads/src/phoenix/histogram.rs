@@ -116,7 +116,11 @@ mod tests {
     #[test]
     fn broken_variant_observed_with_prediction_too() {
         // Table 1 checks both columns for histogram.
-        let r = run_and_report(&Histogram, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        let r = run_and_report(
+            &Histogram,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick(),
+        );
         assert!(r.has_observed_false_sharing(), "{r}");
     }
 
@@ -133,7 +137,11 @@ mod tests {
     #[test]
     fn counters_total_matches_work() {
         let s = Session::with_config(DetectorConfig::sensitive());
-        let cfg = WorkloadConfig { iters: 500, threads: 3, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 500,
+            threads: 3,
+            ..WorkloadConfig::quick()
+        };
         Histogram.run_tracked(&s, &cfg);
         let args = s
             .heap()
@@ -141,13 +149,18 @@ mod tests {
             .into_iter()
             .find(|o| o.size == 3 * 24)
             .expect("args object");
-        let total: u64 = (0..9).map(|w| s.read_untracked::<u64>(args.start + w * 8)).sum();
+        let total: u64 = (0..9)
+            .map(|w| s.read_untracked::<u64>(args.start + w * 8))
+            .sum();
         assert_eq!(total, 500 * 3, "every pixel counted exactly once");
     }
 
     #[test]
     fn native_run_completes() {
-        let d = Histogram.run_native(&WorkloadConfig { iters: 5_000, ..WorkloadConfig::quick() });
+        let d = Histogram.run_native(&WorkloadConfig {
+            iters: 5_000,
+            ..WorkloadConfig::quick()
+        });
         assert!(d.as_nanos() > 0);
     }
 }

@@ -53,7 +53,9 @@ impl Workload for KMeans {
         }
 
         // Centroids, updated only by the main thread between rounds.
-        let centroids = s.malloc(main, (K * 16) as u64, Callsite::here()).expect("centroids");
+        let centroids = s
+            .malloc(main, (K * 16) as u64, Callsite::here())
+            .expect("centroids");
         for c in 0..K {
             s.write_untracked::<i64>(centroids.start + (c as u64) * 16, pts[c * 13 % n_points].0);
             s.write_untracked::<i64>(
@@ -65,7 +67,10 @@ impl Workload for KMeans {
         let tids: Vec<ThreadId> = (0..cfg.threads).map(|_| s.register_thread()).collect();
         let accs: Vec<_> = tids
             .iter()
-            .map(|&tid| s.malloc(tid, (ACC_WORDS * 8) as u64, Callsite::here()).expect("acc"))
+            .map(|&tid| {
+                s.malloc(tid, (ACC_WORDS * 8) as u64, Callsite::here())
+                    .expect("acc")
+            })
             .collect();
 
         let rounds = (cfg.iters / n_points as u64).max(1);
@@ -162,7 +167,10 @@ mod tests {
 
     #[test]
     fn no_false_sharing_reported() {
-        let cfg = WorkloadConfig { iters: 1024, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 1024,
+            ..WorkloadConfig::quick()
+        };
         let r = run_and_report(&KMeans, DetectorConfig::sensitive(), &cfg);
         assert!(!r.has_false_sharing(), "{r}");
     }
@@ -171,13 +179,22 @@ mod tests {
     fn tracks_many_lines_without_problems() {
         // The kmeans overhead profile: plenty of tracked lines, no findings.
         let s = Session::with_config(DetectorConfig::sensitive());
-        KMeans.run_tracked(&s, &WorkloadConfig { iters: 1024, ..WorkloadConfig::quick() });
+        KMeans.run_tracked(
+            &s,
+            &WorkloadConfig {
+                iters: 1024,
+                ..WorkloadConfig::quick()
+            },
+        );
         assert!(s.runtime().tracked_lines() > 0);
     }
 
     #[test]
     fn native_converges_and_completes() {
-        let d = KMeans.run_native(&WorkloadConfig { iters: 1024, ..WorkloadConfig::quick() });
+        let d = KMeans.run_native(&WorkloadConfig {
+            iters: 1024,
+            ..WorkloadConfig::quick()
+        });
         assert!(d.as_nanos() > 0);
     }
 }

@@ -169,7 +169,10 @@ mod tests {
     use predator_core::DetectorConfig;
 
     fn quick() -> WorkloadConfig {
-        WorkloadConfig { iters: 600, ..WorkloadConfig::quick() }
+        WorkloadConfig {
+            iters: 600,
+            ..WorkloadConfig::quick()
+        }
     }
 
     #[test]
@@ -179,7 +182,10 @@ mod tests {
             !r.has_observed_false_sharing(),
             "isolating allocator hides the physical sharing"
         );
-        assert!(r.has_predicted_false_sharing(), "prediction must catch it:\n{r}");
+        assert!(
+            r.has_predicted_false_sharing(),
+            "prediction must catch it:\n{r}"
+        );
         // The report attributes the paper's callsite.
         let f = r.false_sharing().next().unwrap();
         let text = f.to_string();
@@ -207,7 +213,10 @@ mod tests {
 
     #[test]
     fn native_offset_sweep_runs() {
-        let cfg = WorkloadConfig { iters: 10_000, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 10_000,
+            ..WorkloadConfig::quick()
+        };
         for offset in [0usize, 24, 56] {
             let d = LinearRegression.run_native_offset(&cfg, offset);
             assert!(d.as_nanos() > 0);
@@ -217,7 +226,11 @@ mod tests {
     #[test]
     fn tracked_run_computes_correct_sums() {
         let s = Session::with_config(DetectorConfig::sensitive());
-        let cfg = WorkloadConfig { iters: 100, threads: 2, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 100,
+            threads: 2,
+            ..WorkloadConfig::quick()
+        };
         LinearRegression.run_tracked(&s, &cfg);
         // Recompute SX for thread 0 from the same deterministic input.
         let data = gen_points(cfg.seed, 1024);

@@ -81,8 +81,7 @@ impl Workload for MatrixMultiply {
                         for col in 0..n {
                             let mut acc = 0u64;
                             for k in 0..n {
-                                acc = acc
-                                    .wrapping_add(a[row * n + k].wrapping_mul(b[k * n + col]));
+                                acc = acc.wrapping_add(a[row * n + k].wrapping_mul(b[k * n + col]));
                             }
                             c.store(row * n + col, acc);
                         }
@@ -102,7 +101,10 @@ mod tests {
 
     #[test]
     fn no_false_sharing_reported() {
-        let cfg = WorkloadConfig { iters: 128, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 128,
+            ..WorkloadConfig::quick()
+        };
         let r = run_and_report(&MatrixMultiply, DetectorConfig::sensitive(), &cfg);
         assert!(!r.has_false_sharing(), "{r}");
     }
@@ -110,15 +112,23 @@ mod tests {
     #[test]
     fn result_matches_reference() {
         let s = Session::with_config(DetectorConfig::sensitive());
-        let cfg = WorkloadConfig { iters: 64, threads: 2, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 64,
+            threads: 2,
+            ..WorkloadConfig::quick()
+        };
         MatrixMultiply.run_tracked(&s, &cfg);
         // Identify A, B, C by allocation order among the three N×N objects.
         let objs = s.heap().live_objects();
-        let mut mats: Vec<_> = objs.iter().filter(|o| o.size == (N * N * 8) as u64).collect();
+        let mut mats: Vec<_> = objs
+            .iter()
+            .filter(|o| o.size == (N * N * 8) as u64)
+            .collect();
         mats.sort_by_key(|o| o.seq);
         assert_eq!(mats.len(), 3);
-        let read =
-            |o: &predator_core::ObjectInfo, i: usize| s.read_untracked::<u64>(o.start + (i as u64) * 8);
+        let read = |o: &predator_core::ObjectInfo, i: usize| {
+            s.read_untracked::<u64>(o.start + (i as u64) * 8)
+        };
         // Reference multiply for one element.
         let (row, col) = (3, 5);
         let mut acc = 0u64;
@@ -131,8 +141,11 @@ mod tests {
 
     #[test]
     fn native_run_completes() {
-        let d = MatrixMultiply
-            .run_native(&WorkloadConfig { iters: 2_000, threads: 2, ..WorkloadConfig::quick() });
+        let d = MatrixMultiply.run_native(&WorkloadConfig {
+            iters: 2_000,
+            threads: 2,
+            ..WorkloadConfig::quick()
+        });
         assert!(d.as_nanos() > 0);
     }
 }

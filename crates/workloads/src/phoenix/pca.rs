@@ -51,7 +51,8 @@ impl Workload for Pca {
         let partials: Vec<_> = tids
             .iter()
             .map(|&tid| {
-                s.malloc(tid, (PARTIAL_WORDS * 8) as u64, Callsite::here()).expect("partials")
+                s.malloc(tid, (PARTIAL_WORDS * 8) as u64, Callsite::here())
+                    .expect("partials")
             })
             .collect();
 
@@ -68,7 +69,9 @@ impl Workload for Pca {
         }
 
         // Reduction by the main thread (single-writer, no sharing).
-        let means = s.malloc(main, COLS as u64 * 8, Callsite::here()).expect("means");
+        let means = s
+            .malloc(main, COLS as u64 * 8, Callsite::here())
+            .expect("means");
         for col in 0..COLS as u64 {
             let mut acc = 0u64;
             for p in &partials {
@@ -105,7 +108,10 @@ mod tests {
 
     #[test]
     fn no_false_sharing_reported() {
-        let cfg = WorkloadConfig { iters: 400, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 400,
+            ..WorkloadConfig::quick()
+        };
         let r = run_and_report(&Pca, DetectorConfig::sensitive(), &cfg);
         assert!(!r.has_false_sharing(), "{r}");
     }
@@ -113,10 +119,17 @@ mod tests {
     #[test]
     fn reduction_totals_all_rows_processed() {
         let s = Session::with_config(DetectorConfig::sensitive());
-        let cfg = WorkloadConfig { iters: 64, threads: 2, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 64,
+            threads: 2,
+            ..WorkloadConfig::quick()
+        };
         Pca.run_tracked(&s, &cfg);
         let objs = s.heap().live_objects();
-        let means = objs.iter().find(|o| o.size == COLS as u64 * 8).expect("means");
+        let means = objs
+            .iter()
+            .find(|o| o.size == COLS as u64 * 8)
+            .expect("means");
         // Every column mean accumulated something.
         for col in 0..COLS as u64 {
             assert!(s.read_untracked::<u64>(means.start + col * 8) > 0);

@@ -107,7 +107,11 @@ mod tests {
 
     #[test]
     fn broken_variant_observed() {
-        let r = run_and_report(&ReverseIndex, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        let r = run_and_report(
+            &ReverseIndex,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick(),
+        );
         assert!(r.has_observed_false_sharing(), "{r}");
         assert!(r
             .false_sharing()
@@ -130,7 +134,11 @@ mod tests {
     #[test]
     fn counters_add_up() {
         let s = Session::with_config(DetectorConfig::sensitive());
-        let cfg = WorkloadConfig { iters: 300, threads: 4, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 300,
+            threads: 4,
+            ..WorkloadConfig::quick()
+        };
         ReverseIndex.run_tracked(&s, &cfg);
         let use_len = s
             .heap()

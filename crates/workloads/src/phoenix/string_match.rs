@@ -35,7 +35,9 @@ impl Workload for StringMatch {
 
         // Store candidates in simulated memory so scanning produces reads.
         let cand_bytes: u64 = 1024 * 8;
-        let buf = s.malloc(main, cand_bytes, Callsite::here()).expect("candidates");
+        let buf = s
+            .malloc(main, cand_bytes, Callsite::here())
+            .expect("candidates");
         for (i, c) in candidates.iter().enumerate() {
             // First 8 bytes (padded) of each candidate, as a word.
             let mut w = [0u8; 8];
@@ -97,7 +99,11 @@ mod tests {
 
     #[test]
     fn no_false_sharing_reported() {
-        let r = run_and_report(&StringMatch, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        let r = run_and_report(
+            &StringMatch,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick(),
+        );
         assert!(!r.has_false_sharing(), "{r}");
     }
 
@@ -107,7 +113,11 @@ mod tests {
         StringMatch.run_tracked(&s, &WorkloadConfig::quick());
         // The candidate buffer is only read; reads never advance the
         // threshold, so the whole workload tracks (almost) nothing.
-        assert_eq!(s.runtime().tracked_lines(), 0, "no line should reach the threshold");
+        assert_eq!(
+            s.runtime().tracked_lines(),
+            0,
+            "no line should reach the threshold"
+        );
     }
 
     #[test]

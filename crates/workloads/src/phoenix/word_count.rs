@@ -20,7 +20,8 @@ fn stride_words(variant: Variant) -> usize {
 }
 
 fn hash_word(w: &str) -> u64 {
-    w.bytes().fold(5381u64, |h, b| h.wrapping_mul(33) ^ b as u64)
+    w.bytes()
+        .fold(5381u64, |h, b| h.wrapping_mul(33) ^ b as u64)
 }
 
 /// The `word_count` workload.
@@ -101,7 +102,11 @@ mod tests {
 
     #[test]
     fn broken_variant_observed() {
-        let r = run_and_report(&WordCount, DetectorConfig::sensitive(), &WorkloadConfig::quick());
+        let r = run_and_report(
+            &WordCount,
+            DetectorConfig::sensitive(),
+            &WorkloadConfig::quick(),
+        );
         assert!(r.has_observed_false_sharing(), "{r}");
         assert!(r
             .false_sharing()
@@ -124,7 +129,11 @@ mod tests {
     #[test]
     fn totals_match_private_tables() {
         let s = Session::with_config(DetectorConfig::sensitive());
-        let cfg = WorkloadConfig { iters: 200, threads: 2, ..WorkloadConfig::quick() };
+        let cfg = WorkloadConfig {
+            iters: 200,
+            threads: 2,
+            ..WorkloadConfig::quick()
+        };
         WordCount.run_tracked(&s, &cfg);
         let totals = s
             .heap()

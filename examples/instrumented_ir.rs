@@ -21,8 +21,8 @@
 //! ```
 
 use predator::instrument::{
-    instrument_module, load_jsonl, replay, save_jsonl, BinOp, FunctionBuilder,
-    InstrumentOptions, Machine, Module, Operand, StepSchedule, ThreadSpec, TraceRecorder,
+    instrument_module, load_jsonl, replay, save_jsonl, BinOp, FunctionBuilder, InstrumentOptions,
+    Machine, Module, Operand, StepSchedule, ThreadSpec, TraceRecorder,
 };
 use predator::{build_report, DetectorConfig, ThreadId};
 use predator_core::Predator;
@@ -49,7 +49,9 @@ fn build_worker() -> Module {
     fb.jmp(head);
     fb.select_block(exit);
     fb.ret(None);
-    Module { functions: vec![fb.finish().unwrap()] }
+    Module {
+        functions: vec![fb.finish().unwrap()],
+    }
 }
 
 fn main() {
@@ -82,7 +84,11 @@ fn main() {
         },
     ];
     machine
-        .run(&threads, StepSchedule::RoundRobin { quantum: 7 }, 10_000_000)
+        .run(
+            &threads,
+            StepSchedule::RoundRobin { quantum: 7 },
+            10_000_000,
+        )
         .expect("execution");
 
     let report = build_report(&rt, None);
@@ -94,11 +100,19 @@ fn main() {
     let replay_space = SimSpace::new(1 << 16);
     let machine = Machine::new(&module, &replay_space, &recorder).unwrap();
     machine
-        .run(&threads, StepSchedule::RoundRobin { quantum: 7 }, 10_000_000)
+        .run(
+            &threads,
+            StepSchedule::RoundRobin { quantum: 7 },
+            10_000_000,
+        )
         .expect("execution");
     let mut buf = Vec::new();
     save_jsonl(&recorder.events(), &mut buf).unwrap();
-    println!("trace: {} events, {} bytes of JSON lines", recorder.len(), buf.len());
+    println!(
+        "trace: {} events, {} bytes of JSON lines",
+        recorder.len(),
+        buf.len()
+    );
 
     let events = load_jsonl(std::io::Cursor::new(buf)).unwrap();
     let rt2 = Predator::new(DetectorConfig::sensitive(), space.base(), 1 << 16);

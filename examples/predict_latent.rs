@@ -20,7 +20,10 @@
 use predator::{Callsite, DetectorConfig, FindingKind, Frame, Session};
 
 fn run(prediction: bool) -> predator::Report {
-    let det = DetectorConfig { prediction, ..DetectorConfig::sensitive() };
+    let det = DetectorConfig {
+        prediction,
+        ..DetectorConfig::sensitive()
+    };
     let session = Session::new(det, 1 << 20);
     let main = session.register_thread();
 
@@ -37,16 +40,18 @@ fn run(prediction: bool) -> predator::Report {
             ]),
         )
         .expect("allocation");
-    assert_eq!(args.start % 64, 0, "the isolating allocator line-aligns the array");
+    assert_eq!(
+        args.start % 64,
+        0,
+        "the isolating allocator line-aligns the array"
+    );
 
     let tids: Vec<_> = (0..threads).map(|_| session.register_thread()).collect();
     for i in 0..5_000u64 {
         for (t, &tid) in tids.iter().enumerate() {
             let element = args.start + t as u64 * 64;
             let (x, y) = (i % 256, (i * 7) % 256);
-            for (field, v) in
-                [(3, x), (4, y), (5, x * x), (6, y * y), (7, x * y)]
-            {
+            for (field, v) in [(3, x), (4, y), (5, x * x), (6, y * y), (7, x * y)] {
                 let addr = element + field * 8;
                 let cur = session.read::<u64>(tid, addr);
                 session.write::<u64>(tid, addr, cur.wrapping_add(v));

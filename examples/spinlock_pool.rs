@@ -24,7 +24,10 @@ fn run(lock_stride_bytes: u64) -> predator::Report {
     let _main = session.register_thread();
 
     // The static pool, reported by name.
-    let pool = session.global("boost::detail::spinlock_pool<2>::pool_", POOL_SIZE * lock_stride_bytes);
+    let pool = session.global(
+        "boost::detail::spinlock_pool<2>::pool_",
+        POOL_SIZE * lock_stride_bytes,
+    );
 
     let tids: Vec<_> = (0..4).map(|_| session.register_thread()).collect();
     // Each thread's shared_ptr objects hash to a distinct lock.
@@ -32,7 +35,12 @@ fn run(lock_stride_bytes: u64) -> predator::Report {
     // Private refcount words, one per thread.
     let refs: Vec<_> = tids
         .iter()
-        .map(|&tid| session.malloc(tid, 64, predator::Callsite::here()).unwrap().start)
+        .map(|&tid| {
+            session
+                .malloc(tid, 64, predator::Callsite::here())
+                .unwrap()
+                .start
+        })
         .collect();
 
     for _ in 0..5_000 {
@@ -59,7 +67,10 @@ fn main() {
         .false_sharing()
         .next()
         .expect("the packed pool must be flagged");
-    assert!(matches!(finding.class, SharingClass::FalseSharing | SharingClass::Mixed));
+    assert!(matches!(
+        finding.class,
+        SharingClass::FalseSharing | SharingClass::Mixed
+    ));
     match &finding.object.site {
         SiteKind::Global { name } => {
             println!(">> flagged global: {name}");

@@ -108,7 +108,12 @@ impl Scheduler {
             return None;
         }
         let k = st.decisions.len();
-        let choice = st.prefix.get(k).copied().unwrap_or(0).min(runnable.len() - 1);
+        let choice = st
+            .prefix
+            .get(k)
+            .copied()
+            .unwrap_or(0)
+            .min(runnable.len() - 1);
         st.decisions.push((choice, runnable.len()));
         Some(runnable[choice])
     }
@@ -210,7 +215,12 @@ impl Scheduler {
     fn wait_all(&self) {
         let mut st = self.st.lock().unwrap();
         while !st.threads.iter().all(|r| *r == Run::Done) {
-            if st.failed && st.threads.iter().all(|r| matches!(r, Run::Done | Run::Joining(_))) {
+            if st.failed
+                && st
+                    .threads
+                    .iter()
+                    .all(|r| matches!(r, Run::Done | Run::Joining(_)))
+            {
                 // Joiners of a failed run never get woken by finish(); they
                 // abort via the failed flag, but belt-and-braces: release.
                 self.cv.notify_all();
@@ -271,9 +281,7 @@ where
         let mut st = sched.st.lock().unwrap();
         if let Some(payload) = st.panic.take() {
             let schedule: Vec<usize> = st.decisions.iter().map(|&(c, _)| c).collect();
-            eprintln!(
-                "loom shim: schedule {schedule:?} failed after {executions} execution(s)"
-            );
+            eprintln!("loom shim: schedule {schedule:?} failed after {executions} execution(s)");
             resume_unwind(payload);
         }
         match next_prefix(&st.decisions) {
@@ -316,7 +324,12 @@ pub mod thread {
             CTX.with(|c| *c.borrow_mut() = None);
         });
 
-        JoinHandle { id, sched, result, os: Some(os) }
+        JoinHandle {
+            id,
+            sched,
+            result,
+            os: Some(os),
+        }
     }
 
     /// A pure decision point (maps to real loom's `yield_now`).
@@ -341,7 +354,11 @@ pub mod thread {
             if let Some(os) = self.os.take() {
                 let _ = os.join();
             }
-            self.result.lock().unwrap().take().expect("joined thread stored its result")
+            self.result
+                .lock()
+                .unwrap()
+                .take()
+                .expect("joined thread stored its result")
         }
     }
 }

@@ -27,7 +27,9 @@ pub mod strategy {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x100_0000_01b3);
             }
-            TestRng { inner: SmallRng::seed_from_u64(h) }
+            TestRng {
+                inner: SmallRng::seed_from_u64(h),
+            }
         }
     }
 
@@ -211,19 +213,28 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { min: r.start, max_inclusive: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max_inclusive: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
         }
     }
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { min: n, max_inclusive: n }
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
         }
     }
 
@@ -243,7 +254,10 @@ pub mod collection {
     /// A vector whose length is drawn from `size` and whose elements come
     /// from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -272,7 +286,9 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Namespace mirror so `prop::bool::ANY`-style paths from

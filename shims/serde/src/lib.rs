@@ -66,7 +66,9 @@ pub struct Error {
 
 impl Error {
     pub fn custom(msg: impl fmt::Display) -> Self {
-        Error { msg: msg.to_string() }
+        Error {
+            msg: msg.to_string(),
+        }
     }
 
     /// Prefixes the error with a location breadcrumb (`Report.findings: …`).
@@ -342,7 +344,11 @@ impl<K: Serialize + fmt::Display + Ord, V: Serialize> Serialize
     for std::collections::BTreeMap<K, V>
 {
     fn to_value(&self) -> Value {
-        Value::Map(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
     }
 }
 

@@ -12,9 +12,18 @@ use std::fmt::Write;
 use std::iter::Peekable;
 
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    Enum { name: String, variants: Vec<(String, VariantShape)> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantShape)>,
+    },
 }
 
 enum VariantShape {
@@ -86,13 +95,22 @@ fn parse(input: TokenStream) -> Result<Shape, String> {
     }
     match (kw.as_str(), it.next()) {
         ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
-            Ok(Shape::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+            Ok(Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            })
         }
         ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
-            Ok(Shape::TupleStruct { name, arity: count_top_level(g.stream()) })
+            Ok(Shape::TupleStruct {
+                name,
+                arity: count_top_level(g.stream()),
+            })
         }
         ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
-            Ok(Shape::Enum { name, variants: parse_variants(g.stream())? })
+            Ok(Shape::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
         }
         (_, other) => Err(format!("unsupported {kw} body for `{name}`: {other:?}")),
     }

@@ -57,9 +57,11 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
         }
         Value::F64(x) => write_f64(out, *x),
         Value::Str(s) => write_escaped(out, s),
-        Value::Seq(items) => write_bracketed(out, '[', ']', items.len(), indent, depth, |out, i| {
-            write_value(out, &items[i], indent, depth + 1);
-        }),
+        Value::Seq(items) => {
+            write_bracketed(out, '[', ']', items.len(), indent, depth, |out, i| {
+                write_value(out, &items[i], indent, depth + 1);
+            })
+        }
         Value::Map(entries) => {
             write_bracketed(out, '{', '}', entries.len(), indent, depth, |out, i| {
                 let (k, v) = &entries[i];
@@ -143,11 +145,17 @@ struct Parser<'a> {
 }
 
 fn parse_value(s: &str) -> Result<Value> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::custom(format!("trailing characters at offset {}", p.pos)));
+        return Err(Error::custom(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
     }
     Ok(v)
 }
@@ -204,7 +212,10 @@ impl<'a> Parser<'a> {
             self.pos += word.len();
             Ok(v)
         } else {
-            Err(Error::custom(format!("invalid literal at offset {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
         }
     }
 

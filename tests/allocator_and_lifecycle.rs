@@ -19,7 +19,11 @@ fn allocator_isolation_prevents_cross_object_false_sharing() {
             scope.spawn(|| {
                 let tid = s.register_thread();
                 let objs: Vec<u64> = (0..32)
-                    .map(|i| s.malloc(tid, 8 + (i % 5) * 8, Callsite::here()).unwrap().start)
+                    .map(|i| {
+                        s.malloc(tid, 8 + (i % 5) * 8, Callsite::here())
+                            .unwrap()
+                            .start
+                    })
                     .collect();
                 for round in 0..500u64 {
                     for &o in &objs {
@@ -66,11 +70,18 @@ fn memory_reuse_does_not_fake_false_sharing() {
         s.write::<u64>(t1, c.start, i);
     }
     let report = s.report();
-    assert!(!report.has_false_sharing(), "reuse faked a report:\n{report}");
+    assert!(
+        !report.has_false_sharing(),
+        "reuse faked a report:\n{report}"
+    );
     // The recycled line's metadata restarted: word 0's stale counts are gone.
     let idx = ((b.start - s.space().base()) / 64) as usize;
     let snap = s.runtime().line_snapshot(idx).unwrap();
-    assert_eq!(snap.words.words()[0].total(), 0, "stale word counts must be cleared");
+    assert_eq!(
+        snap.words.words()[0].total(),
+        0,
+        "stale word counts must be cleared"
+    );
 }
 
 #[test]
@@ -106,7 +117,11 @@ fn attribution_survives_dense_heaps() {
         .map(|_| s.malloc(t0, 32, Callsite::here()).unwrap().start)
         .collect();
     let victim = s
-        .malloc(t0, 64, Callsite::from_frames(vec![predator::Frame::new("victim.rs", 1)]))
+        .malloc(
+            t0,
+            64,
+            Callsite::from_frames(vec![predator::Frame::new("victim.rs", 1)]),
+        )
         .unwrap();
     let more: Vec<u64> = (0..200)
         .map(|_| s.malloc(t0, 32, Callsite::here()).unwrap().start)
@@ -153,6 +168,9 @@ fn concurrent_detection_with_real_threads_is_sound() {
     let fs: Vec<_> = report.false_sharing().collect();
     assert!(!fs.is_empty(), "the shared object must be found:\n{report}");
     for f in &fs {
-        assert_eq!(f.object.start, shared.start, "only the shared object may be flagged");
+        assert_eq!(
+            f.object.start, shared.start,
+            "only the shared object may be flagged"
+        );
     }
 }

@@ -119,15 +119,42 @@ fn configs() -> Vec<(DetectorConfig, &'static str)> {
 #[test]
 fn matrix_of_patterns_and_schedules_agrees() {
     let patterns = [
-        Pattern::PingPong { threads: 4, base: BASE },
-        Pattern::TrueShare { threads: 4, addr: BASE },
-        Pattern::Striped { threads: 4, base: BASE, stride: 8 },
-        Pattern::Striped { threads: 4, base: BASE, stride: 64 },
-        Pattern::ReaderWriter { threads: 3, base: BASE },
-        Pattern::RandomMix { threads: 4, base: BASE, lines: 8, write_pct: 60, seed: 42 },
+        Pattern::PingPong {
+            threads: 4,
+            base: BASE,
+        },
+        Pattern::TrueShare {
+            threads: 4,
+            addr: BASE,
+        },
+        Pattern::Striped {
+            threads: 4,
+            base: BASE,
+            stride: 8,
+        },
+        Pattern::Striped {
+            threads: 4,
+            base: BASE,
+            stride: 64,
+        },
+        Pattern::ReaderWriter {
+            threads: 3,
+            base: BASE,
+        },
+        Pattern::RandomMix {
+            threads: 4,
+            base: BASE,
+            lines: 8,
+            write_pct: 60,
+            seed: 42,
+        },
     ];
-    let schedules =
-        [Schedule::RoundRobin, Schedule::Seeded(7), Schedule::Seeded(229), Schedule::Seeded(9001)];
+    let schedules = [
+        Schedule::RoundRobin,
+        Schedule::Seeded(7),
+        Schedule::Seeded(229),
+        Schedule::Seeded(9001),
+    ];
     for pattern in patterns {
         for schedule in &schedules {
             let feed = interleave(&generate(pattern, 400), schedule);

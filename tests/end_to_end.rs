@@ -14,7 +14,10 @@ use predator::{DetectorConfig, FindingKind, Session, SharingClass};
 /// therefore needs the volume-based threshold the paper's defaults provide.
 fn det_for(name: &str) -> DetectorConfig {
     match name {
-        "streamcluster" => DetectorConfig { report_threshold: 60, ..DetectorConfig::sensitive() },
+        "streamcluster" => DetectorConfig {
+            report_threshold: 60,
+            ..DetectorConfig::sensitive()
+        },
         _ => DetectorConfig::sensitive(),
     }
 }
@@ -27,7 +30,10 @@ fn cfg_for(name: &str) -> WorkloadConfig {
         "matrix_multiply" | "pca" => 400,
         _ => 2_000,
     };
-    WorkloadConfig { iters, ..WorkloadConfig::quick() }
+    WorkloadConfig {
+        iters,
+        ..WorkloadConfig::quick()
+    }
 }
 
 #[test]
@@ -121,19 +127,28 @@ fn figure5_report_shape_for_linear_regression() {
     let report = run_and_report(
         w.as_ref(),
         DetectorConfig::sensitive(),
-        &WorkloadConfig { iters: 600, ..WorkloadConfig::quick() },
+        &WorkloadConfig {
+            iters: 600,
+            ..WorkloadConfig::quick()
+        },
     );
     let f = report.false_sharing().next().expect("a finding");
     let text = f.to_string();
     // The Figure 5 ingredients: classification + object span, counts line,
     // callsite stack, word-level lines with global line indices.
-    assert!(text.contains("FALSE SHARING HEAP OBJECT: start 0x"), "{text}");
+    assert!(
+        text.contains("FALSE SHARING HEAP OBJECT: start 0x"),
+        "{text}"
+    );
     assert!(text.contains("Number of accesses:"), "{text}");
     assert!(text.contains("Number of invalidations:"), "{text}");
     assert!(text.contains("./stddefines.h:53"), "{text}");
     assert!(text.contains("./linear_regression-pthread.c:133"), "{text}");
     assert!(text.contains("Word level information:"), "{text}");
-    assert!(text.contains("(line 1677"), "global line indices like 16777217: {text}");
+    assert!(
+        text.contains("(line 1677"),
+        "global line indices like 16777217: {text}"
+    );
     assert!(text.contains("by thread"), "{text}");
 }
 
@@ -184,7 +199,11 @@ fn true_sharing_never_reported_as_false() {
 #[test]
 fn json_report_roundtrips_across_the_api() {
     let w = by_name("histogram").unwrap();
-    let report = run_and_report(w.as_ref(), DetectorConfig::sensitive(), &WorkloadConfig::quick());
+    let report = run_and_report(
+        w.as_ref(),
+        DetectorConfig::sensitive(),
+        &WorkloadConfig::quick(),
+    );
     let json = report.to_json();
     let back: predator::Report = serde_json::from_str(&json).unwrap();
     assert_eq!(back, report);

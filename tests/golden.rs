@@ -16,13 +16,13 @@
 use std::path::{Path, PathBuf};
 
 use predator::core::{build_report, DetectorConfig, Predator, TrackingMode};
+use predator::core::{ObsSnapshot, Report};
 use predator::instrument::{
     instrument_module, parse_module, InstrumentOptions, Machine, StepSchedule, ThreadSpec,
 };
 use predator::sim::interleave::{interleave, Schedule};
 use predator::sim::patterns::{generate, Pattern};
 use predator::sim::ThreadId;
-use predator::core::{ObsSnapshot, Report};
 use predator_shadow::SimSpace;
 
 const BASE: u64 = 0x4000_0000;
@@ -79,7 +79,10 @@ fn check_golden(name: &str, precise: &Report, relaxed: &Report) {
         precise.findings, relaxed.findings,
         "[{name}] relaxed findings diverge from the precise oracle"
     );
-    assert_eq!(precise.stats, relaxed.stats, "[{name}] relaxed stats diverge");
+    assert_eq!(
+        precise.stats, relaxed.stats,
+        "[{name}] relaxed stats diverge"
+    );
 
     let dir = repo_path("tests/golden");
     let path = dir.join(format!("{name}.json"));
@@ -91,10 +94,14 @@ fn check_golden(name: &str, precise: &Report, relaxed: &Report) {
         return;
     }
     let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!("missing golden file {} ({e}); run scripts/golden.sh --bless", path.display())
+        panic!(
+            "missing golden file {} ({e}); run scripts/golden.sh --bless",
+            path.display()
+        )
     });
     assert_eq!(
-        got, want,
+        got,
+        want,
         "[{name}] report drifted from {}; if intended, run scripts/golden.sh --bless",
         path.display()
     );
@@ -122,7 +129,14 @@ fn ir_false_sharing_stride0_true_sharing() {
 #[test]
 fn pattern_ping_pong_round_robin() {
     run_case("pattern_ping_pong", |m| {
-        pattern_report(Pattern::PingPong { threads: 4, base: BASE }, &Schedule::RoundRobin, m)
+        pattern_report(
+            Pattern::PingPong {
+                threads: 4,
+                base: BASE,
+            },
+            &Schedule::RoundRobin,
+            m,
+        )
     });
 }
 
@@ -130,7 +144,10 @@ fn pattern_ping_pong_round_robin() {
 fn pattern_reader_writer_seeded() {
     run_case("pattern_reader_writer", |m| {
         pattern_report(
-            Pattern::ReaderWriter { threads: 3, base: BASE },
+            Pattern::ReaderWriter {
+                threads: 3,
+                base: BASE,
+            },
             &Schedule::Seeded(229),
             m,
         )
@@ -141,7 +158,11 @@ fn pattern_reader_writer_seeded() {
 fn pattern_striped_predicted_only() {
     run_case("pattern_striped64", |m| {
         pattern_report(
-            Pattern::Striped { threads: 4, base: BASE, stride: 64 },
+            Pattern::Striped {
+                threads: 4,
+                base: BASE,
+                stride: 64,
+            },
             &Schedule::RoundRobin,
             m,
         )

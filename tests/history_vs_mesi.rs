@@ -153,8 +153,7 @@ proptest! {
 /// seed-file handling changes.
 #[test]
 fn regression_seed_229_read_write_braid() {
-    let per_thread: [&[(u64, bool)]; 3] =
-        [&[(0, true)], &[(0, false), (0, true)], &[(0, false)]];
+    let per_thread: [&[(u64, bool)]; 3] = [&[(0, true)], &[(0, false), (0, true)], &[(0, false)]];
     let mut script = Script::new(per_thread.len());
     for (t, ops) in per_thread.iter().enumerate() {
         for &(word, w) in *ops {
@@ -238,7 +237,10 @@ fn doubled_line_prediction_matches_mesi_at_128_bytes() {
     assert!(mesi > 7000, "sanity: the 128B machine thrashes ({mesi})");
     // The unit only starts counting once the prediction threshold triggers
     // the hot-pair analysis, so it lags by a bounded prefix.
-    assert!(doubled <= mesi, "prediction must not overcount: {doubled} vs {mesi}");
+    assert!(
+        doubled <= mesi,
+        "prediction must not overcount: {doubled} vs {mesi}"
+    );
     assert!(
         mesi - doubled < 200,
         "verified invalidations track the real 128B machine: {doubled} vs {mesi}"
@@ -277,7 +279,9 @@ fn remap_prediction_matches_mesi_at_shifted_placement() {
         .into_iter()
         .find(|u| matches!(u.key.kind, UnitKind::Remap { .. }))
         .expect("remap unit");
-    let UnitKind::Remap { delta } = remap.key.kind else { unreachable!() };
+    let UnitKind::Remap { delta } = remap.key.kind else {
+        unreachable!()
+    };
 
     // Re-run the trace on a real 64-byte MESI machine with the object
     // shifted so that the predicted partition becomes the physical one:
@@ -290,7 +294,10 @@ fn remap_prediction_matches_mesi_at_shifted_placement() {
     }
     let shifted_line = (BASE + 56 + shift) >> 6;
     let mesi_inv = mesi.line_invalidations(shifted_line);
-    assert!(mesi_inv > 7000, "sanity: the shifted placement thrashes ({mesi_inv})");
+    assert!(
+        mesi_inv > 7000,
+        "sanity: the shifted placement thrashes ({mesi_inv})"
+    );
     assert!(remap.invalidations <= mesi_inv);
     assert!(
         mesi_inv - remap.invalidations < 200,

@@ -31,7 +31,9 @@ fn rmw_module() -> Module {
     fb.jmp(head);
     fb.select_block(exit);
     fb.ret(Some(Operand::Reg(nv)));
-    Module { functions: vec![fb.finish().unwrap()] }
+    Module {
+        functions: vec![fb.finish().unwrap()],
+    }
 }
 
 fn adjacent_threads(space: &SimSpace, n: i64) -> Vec<ThreadSpec> {
@@ -66,7 +68,11 @@ fn instrumented_execution_detects_false_sharing() {
     let rt = Predator::for_space(sensitive(), &space);
     let machine = Machine::new(&m, &space, &rt).unwrap();
     let results = machine
-        .run(&adjacent_threads(&space, 2_000), StepSchedule::RoundRobin { quantum: 7 }, 10_000_000)
+        .run(
+            &adjacent_threads(&space, 2_000),
+            StepSchedule::RoundRobin { quantum: 7 },
+            10_000_000,
+        )
         .unwrap();
     // Program correctness: final value is sum 0..n-1.
     assert_eq!(results[0], Some((0..2000i64).sum::<i64>()));
@@ -79,13 +85,20 @@ fn write_only_instrumentation_still_detects_write_write_sharing() {
     let mut m = rmw_module();
     instrument_module(
         &mut m,
-        &InstrumentOptions { mode: Some(InstrumentMode::WritesOnly), ..Default::default() },
+        &InstrumentOptions {
+            mode: Some(InstrumentMode::WritesOnly),
+            ..Default::default()
+        },
     );
     let space = SimSpace::new(1 << 16);
     let rt = Predator::for_space(sensitive(), &space);
     let machine = Machine::new(&m, &space, &rt).unwrap();
     machine
-        .run(&adjacent_threads(&space, 2_000), StepSchedule::RoundRobin { quantum: 7 }, 10_000_000)
+        .run(
+            &adjacent_threads(&space, 2_000),
+            StepSchedule::RoundRobin { quantum: 7 },
+            10_000_000,
+        )
         .unwrap();
     let report = build_report(&rt, None);
     assert!(report.has_observed_false_sharing(), "{report}");
@@ -98,13 +111,20 @@ fn uninstrumented_module_detects_nothing() {
     let mut m = rmw_module();
     instrument_module(
         &mut m,
-        &InstrumentOptions { mode: Some(InstrumentMode::None), ..Default::default() },
+        &InstrumentOptions {
+            mode: Some(InstrumentMode::None),
+            ..Default::default()
+        },
     );
     let space = SimSpace::new(1 << 16);
     let rt = Predator::for_space(sensitive(), &space);
     let machine = Machine::new(&m, &space, &rt).unwrap();
     machine
-        .run(&adjacent_threads(&space, 500), StepSchedule::RoundRobin { quantum: 7 }, 10_000_000)
+        .run(
+            &adjacent_threads(&space, 500),
+            StepSchedule::RoundRobin { quantum: 7 },
+            10_000_000,
+        )
         .unwrap();
     assert_eq!(rt.events(), 0);
     assert!(!build_report(&rt, None).has_false_sharing());
@@ -122,7 +142,11 @@ fn schedule_determines_what_is_observed() {
         let rt = Predator::for_space(sensitive(), &space);
         Machine::new(&m, &space, &rt)
             .unwrap()
-            .run(&adjacent_threads(&space, 1_000), StepSchedule::RoundRobin { quantum: 7 }, 10_000_000)
+            .run(
+                &adjacent_threads(&space, 1_000),
+                StepSchedule::RoundRobin { quantum: 7 },
+                10_000_000,
+            )
             .unwrap();
         rt.total_invalidations()
     };
@@ -153,7 +177,11 @@ fn trace_replay_reproduces_the_live_report() {
     let rt_live = Predator::for_space(sensitive(), &space);
     Machine::new(&m, &space, &rt_live)
         .unwrap()
-        .run(&adjacent_threads(&space, 1_000), StepSchedule::Seeded(7), 10_000_000)
+        .run(
+            &adjacent_threads(&space, 1_000),
+            StepSchedule::Seeded(7),
+            10_000_000,
+        )
         .unwrap();
     let live = build_report(&rt_live, None);
 
@@ -162,7 +190,11 @@ fn trace_replay_reproduces_the_live_report() {
     let rec = TraceRecorder::new();
     Machine::new(&m, &space2, &rec)
         .unwrap()
-        .run(&adjacent_threads(&space2, 1_000), StepSchedule::Seeded(7), 10_000_000)
+        .run(
+            &adjacent_threads(&space2, 1_000),
+            StepSchedule::Seeded(7),
+            10_000_000,
+        )
         .unwrap();
 
     // Roundtrip the trace through JSON and replay.
@@ -173,7 +205,10 @@ fn trace_replay_reproduces_the_live_report() {
     replay(&events, &rt_replay);
     let replayed = build_report(&rt_replay, None);
 
-    assert_eq!(live.findings, replayed.findings, "live and replayed reports agree");
+    assert_eq!(
+        live.findings, replayed.findings,
+        "live and replayed reports agree"
+    );
     assert_eq!(live.stats.events, replayed.stats.events);
 }
 
@@ -208,10 +243,17 @@ fn selective_instrumentation_does_not_change_the_verdict() {
             fb.jmp(head);
             fb.select_block(exit);
             fb.ret(None);
-            Module { functions: vec![fb.finish().unwrap()] }
+            Module {
+                functions: vec![fb.finish().unwrap()],
+            }
         };
-        let stats =
-            instrument_module(&mut m, &InstrumentOptions { no_selective, ..Default::default() });
+        let stats = instrument_module(
+            &mut m,
+            &InstrumentOptions {
+                no_selective,
+                ..Default::default()
+            },
+        );
         (m, stats)
     };
 

@@ -36,7 +36,8 @@ impl RawU64 for LoomCell {
     }
 
     fn cas(&self, current: u64, new: u64) -> Result<u64, u64> {
-        self.0.compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
+        self.0
+            .compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
     }
 
     fn fetch_add(&self, val: u64) -> u64 {
@@ -77,7 +78,13 @@ fn enumerate_serial(threads: &[Vec<Op>]) -> HashSet<(u64, u64)> {
         }
     }
     let mut out = HashSet::new();
-    rec(threads, &mut vec![0; threads.len()], packed::EMPTY, 0, &mut out);
+    rec(
+        threads,
+        &mut vec![0; threads.len()],
+        packed::EMPTY,
+        0,
+        &mut out,
+    );
     out
 }
 
@@ -107,7 +114,10 @@ fn model_history(threads: Vec<Vec<Op>>) -> HashSet<(u64, u64)> {
         let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         obs.lock().unwrap().insert((hist.load(), total));
     });
-    std::sync::Arc::try_unwrap(observed).unwrap().into_inner().unwrap()
+    std::sync::Arc::try_unwrap(observed)
+        .unwrap()
+        .into_inner()
+        .unwrap()
 }
 
 fn assert_history_linearizable(threads: Vec<Vec<Op>>) {
@@ -181,7 +191,11 @@ fn promotion_edge_fires_exactly_once_per_multiple() {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(crossings.load(), 2, "threshold 2 over 4 writes fires exactly twice");
+        assert_eq!(
+            crossings.load(),
+            2,
+            "threshold 2 over 4 writes fires exactly twice"
+        );
     });
 }
 
@@ -236,8 +250,15 @@ fn publish_once_has_a_single_winner() {
             })
             .collect();
         let won: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        assert_eq!(won.iter().filter(|&&w| w).count(), 1, "exactly one publisher wins");
+        assert_eq!(
+            won.iter().filter(|&&w| w).count(),
+            1,
+            "exactly one publisher wins"
+        );
         let published = slot.load();
-        assert!(published == 1 || published == 2, "losers leave the winner's value intact");
+        assert!(
+            published == 1 || published == 2,
+            "losers leave the winner's value intact"
+        );
     });
 }

@@ -26,25 +26,50 @@ fn sensitive() -> DetectorConfig {
 
 #[test]
 fn ping_pong_is_observed_false_sharing() {
-    let r = run_pattern(Pattern::PingPong { threads: 4, base: BASE }, 500, sensitive());
+    let r = run_pattern(
+        Pattern::PingPong {
+            threads: 4,
+            base: BASE,
+        },
+        500,
+        sensitive(),
+    );
     assert!(r.has_observed_false_sharing(), "{r}");
     let f = r.false_sharing().next().unwrap();
     assert_eq!(f.class, SharingClass::FalseSharing);
-    assert!(f.invalidations > 1_000, "round-robin thrashes: {}", f.invalidations);
+    assert!(
+        f.invalidations > 1_000,
+        "round-robin thrashes: {}",
+        f.invalidations
+    );
 }
 
 #[test]
 fn true_share_is_never_false_sharing() {
-    let r = run_pattern(Pattern::TrueShare { threads: 4, addr: BASE }, 500, sensitive());
+    let r = run_pattern(
+        Pattern::TrueShare {
+            threads: 4,
+            addr: BASE,
+        },
+        500,
+        sensitive(),
+    );
     assert!(!r.has_false_sharing(), "{r}");
-    assert!(r.findings.iter().any(|f| f.class == SharingClass::TrueSharing));
+    assert!(r
+        .findings
+        .iter()
+        .any(|f| f.class == SharingClass::TrueSharing));
 }
 
 #[test]
 fn striped_detection_depends_on_stride() {
     // Stride 8: four threads in one line → observed.
     let tight = run_pattern(
-        Pattern::Striped { threads: 4, base: BASE, stride: 8 },
+        Pattern::Striped {
+            threads: 4,
+            base: BASE,
+            stride: 8,
+        },
         500,
         sensitive(),
     );
@@ -52,7 +77,11 @@ fn striped_detection_depends_on_stride() {
 
     // Stride 64: clean today, latent for 128-byte lines → predicted only.
     let line = run_pattern(
-        Pattern::Striped { threads: 4, base: BASE, stride: 64 },
+        Pattern::Striped {
+            threads: 4,
+            base: BASE,
+            stride: 64,
+        },
         500,
         sensitive(),
     );
@@ -61,7 +90,11 @@ fn striped_detection_depends_on_stride() {
 
     // Stride 128: robustly clean under the paper's scenarios.
     let wide = run_pattern(
-        Pattern::Striped { threads: 4, base: BASE, stride: 128 },
+        Pattern::Striped {
+            threads: 4,
+            base: BASE,
+            stride: 128,
+        },
         500,
         sensitive(),
     );
@@ -72,7 +105,11 @@ fn striped_detection_depends_on_stride() {
     let mut ext = sensitive();
     ext.max_scale_log2 = 2;
     let wide_ext = run_pattern(
-        Pattern::Striped { threads: 4, base: BASE, stride: 128 },
+        Pattern::Striped {
+            threads: 4,
+            base: BASE,
+            stride: 128,
+        },
         500,
         ext,
     );
@@ -81,7 +118,10 @@ fn striped_detection_depends_on_stride() {
 
 #[test]
 fn reader_writer_false_sharing_needs_read_instrumentation() {
-    let pattern = Pattern::ReaderWriter { threads: 3, base: BASE };
+    let pattern = Pattern::ReaderWriter {
+        threads: 3,
+        base: BASE,
+    };
     // Full instrumentation sees the read-write sharing.
     let full = run_pattern(pattern, 500, sensitive());
     assert!(full.has_observed_false_sharing(), "{full}");
@@ -96,8 +136,13 @@ fn reader_writer_false_sharing_needs_read_instrumentation() {
 
 #[test]
 fn random_mix_never_panics_and_is_deterministic() {
-    let pattern =
-        Pattern::RandomMix { threads: 4, base: BASE, lines: 8, write_pct: 60, seed: 42 };
+    let pattern = Pattern::RandomMix {
+        threads: 4,
+        base: BASE,
+        lines: 8,
+        write_pct: 60,
+        seed: 42,
+    };
     let a = run_pattern(pattern, 2_000, sensitive());
     let b = run_pattern(pattern, 2_000, sensitive());
     assert_eq!(a.findings, b.findings);

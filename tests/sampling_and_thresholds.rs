@@ -19,14 +19,22 @@ fn det(rate: f64) -> DetectorConfig {
 }
 
 fn heavy_cfg() -> WorkloadConfig {
-    WorkloadConfig { iters: 20_000, ..WorkloadConfig::quick() }
+    WorkloadConfig {
+        iters: 20_000,
+        ..WorkloadConfig::quick()
+    }
 }
 
 #[test]
 fn all_paper_problems_survive_low_sampling() {
     // Use a sampling window small enough that a 20k-iteration run spans
     // multiple windows at every rate.
-    for name in ["histogram", "linear_regression", "reverse_index", "word_count"] {
+    for name in [
+        "histogram",
+        "linear_regression",
+        "reverse_index",
+        "word_count",
+    ] {
         let w = by_name(name).unwrap();
         for rate in [0.001, 0.01, 0.1] {
             let mut d = det(rate);
@@ -49,12 +57,19 @@ fn lower_rates_report_fewer_invalidations() {
         d.sample_interval = 10_000;
         d.sample_burst = (10_000.0 * rate) as u64;
         let report = run_and_report(w.as_ref(), d, &heavy_cfg());
-        report.false_sharing().map(|f| f.invalidations).max().unwrap_or(0)
+        report
+            .false_sharing()
+            .map(|f| f.invalidations)
+            .max()
+            .unwrap_or(0)
     };
     let low = inv_at(0.001);
     let mid = inv_at(0.01);
     let high = inv_at(0.1);
-    assert!(low < mid && mid < high, "invalidations must scale with rate: {low} {mid} {high}");
+    assert!(
+        low < mid && mid < high,
+        "invalidations must scale with rate: {low} {mid} {high}"
+    );
     assert!(low > 0);
 }
 
@@ -63,7 +78,10 @@ fn sampling_does_not_create_false_positives() {
     for name in ["blackscholes", "memcached", "pfscan", "string_match"] {
         let w = by_name(name).unwrap();
         let report = run_and_report(w.as_ref(), det(0.01), &heavy_cfg());
-        assert!(!report.has_false_sharing(), "{name} false positive:\n{report}");
+        assert!(
+            !report.has_false_sharing(),
+            "{name} false positive:\n{report}"
+        );
     }
 }
 
@@ -79,7 +97,10 @@ fn tracking_threshold_gates_detection() {
     let report = run_and_report(w.as_ref(), d, &WorkloadConfig::quick());
     assert!(!report.has_false_sharing(), "{report}");
 
-    let d = DetectorConfig { tracking_threshold: 64, ..DetectorConfig::sensitive() };
+    let d = DetectorConfig {
+        tracking_threshold: 64,
+        ..DetectorConfig::sensitive()
+    };
     let report = run_and_report(w.as_ref(), d, &WorkloadConfig::quick());
     assert!(report.has_false_sharing(), "{report}");
 }
@@ -90,16 +111,25 @@ fn report_threshold_filters_insignificant_cases() {
     // reporting these [insignificant] cases." reverse_index's counters are
     // mild; a high bar suppresses them, a low bar keeps them.
     let w = by_name("reverse_index").unwrap();
-    let low = DetectorConfig { report_threshold: 10, ..DetectorConfig::sensitive() };
+    let low = DetectorConfig {
+        report_threshold: 10,
+        ..DetectorConfig::sensitive()
+    };
     assert!(run_and_report(w.as_ref(), low, &WorkloadConfig::quick()).has_false_sharing());
-    let high = DetectorConfig { report_threshold: 1_000_000, ..DetectorConfig::sensitive() };
+    let high = DetectorConfig {
+        report_threshold: 1_000_000,
+        ..DetectorConfig::sensitive()
+    };
     assert!(!run_and_report(w.as_ref(), high, &WorkloadConfig::quick()).has_false_sharing());
 }
 
 #[test]
 fn write_only_mode_still_catches_write_write_sharing() {
     let w = by_name("histogram").unwrap();
-    let d = DetectorConfig { instrument_reads: false, ..DetectorConfig::sensitive() };
+    let d = DetectorConfig {
+        instrument_reads: false,
+        ..DetectorConfig::sensitive()
+    };
     let report = run_and_report(w.as_ref(), d, &WorkloadConfig::quick());
     assert!(report.has_false_sharing(), "{report}");
 }
@@ -109,10 +139,16 @@ fn detection_is_deterministic_across_runs() {
     // The logical round-robin schedule makes tracked runs exactly
     // repeatable: same config → identical reports.
     let w = by_name("linear_regression").unwrap();
-    let cfg = WorkloadConfig { iters: 600, ..WorkloadConfig::quick() };
+    let cfg = WorkloadConfig {
+        iters: 600,
+        ..WorkloadConfig::quick()
+    };
     let a = run_and_report(w.as_ref(), DetectorConfig::sensitive(), &cfg);
     let b = run_and_report(w.as_ref(), DetectorConfig::sensitive(), &cfg);
     assert_eq!(a.findings, b.findings);
     assert_eq!(a.stats.events, b.stats.events);
-    assert_eq!(a.stats.observed_invalidations, b.stats.observed_invalidations);
+    assert_eq!(
+        a.stats.observed_invalidations,
+        b.stats.observed_invalidations
+    );
 }

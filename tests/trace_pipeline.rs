@@ -19,7 +19,10 @@ use predator::trace::{
 use predator::workloads::{by_name, run_and_report, Variant, WorkloadConfig};
 
 fn tmp(name: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("predator-trace-it-{}-{name}.ptrace", std::process::id()))
+    std::env::temp_dir().join(format!(
+        "predator-trace-it-{}-{name}.ptrace",
+        std::process::id()
+    ))
 }
 
 /// Findings + run stats, serialised. The `obs` section is excluded: it
@@ -59,12 +62,22 @@ fn record_then_analyze_reproduces_live_findings() {
     // histogram is one of the two Table-1 bugs the paper was first to
     // report, and its tracked run is deterministic — live and recorded
     // executions see the identical access stream.
-    let cfg = WorkloadConfig { threads: 4, iters: 2_000, seed: 42, variant: Variant::Broken };
+    let cfg = WorkloadConfig {
+        threads: 4,
+        iters: 2_000,
+        seed: 42,
+        variant: Variant::Broken,
+    };
     let det = DetectorConfig::sensitive();
     let live = run_and_report(by_name("histogram").unwrap().as_ref(), det, &cfg);
-    assert!(live.has_observed_false_sharing(), "live run must find the bug:\n{live}");
     assert!(
-        live.findings.iter().any(|f| f.to_string().contains("histogram-pthread.c:213")),
+        live.has_observed_false_sharing(),
+        "live run must find the bug:\n{live}"
+    );
+    assert!(
+        live.findings
+            .iter()
+            .any(|f| f.to_string().contains("histogram-pthread.c:213")),
         "live attribution names the paper's callsite"
     );
 
@@ -87,7 +100,12 @@ fn record_then_analyze_reproduces_live_findings() {
 
 #[test]
 fn ptrace_is_at_least_5x_smaller_than_jsonl() {
-    let cfg = WorkloadConfig { threads: 4, iters: 4_000, seed: 42, variant: Variant::Broken };
+    let cfg = WorkloadConfig {
+        threads: 4,
+        iters: 4_000,
+        seed: 42,
+        variant: Variant::Broken,
+    };
     let path = tmp("size");
     let recorded = record_workload("histogram", &cfg, &path);
     let ptrace_bytes = std::fs::metadata(&path).unwrap().len();
@@ -115,7 +133,11 @@ fn multi_cluster_trace(regions: u64, per_region: u64, base: u64) -> Vec<Access> 
     for i in 0..per_region {
         for r in 0..regions {
             let rbase = base + r * 0x10000;
-            out.push(Access::write(ThreadId((i % 2) as u16), rbase + (i % 2) * 8, 8));
+            out.push(Access::write(
+                ThreadId((i % 2) as u16),
+                rbase + (i % 2) * 8,
+                8,
+            ));
         }
     }
     out
@@ -123,7 +145,11 @@ fn multi_cluster_trace(regions: u64, per_region: u64, base: u64) -> Vec<Access> 
 
 #[test]
 fn sharded_analysis_beats_sequential_on_large_trace() {
-    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 4 {
+    if std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        < 4
+    {
         eprintln!("skipping: needs >= 4 cores");
         return;
     }
@@ -154,7 +180,12 @@ fn sharded_analysis_beats_sequential_on_large_trace() {
 
 #[test]
 fn truncated_trace_analyzes_with_counted_loss() {
-    let cfg = WorkloadConfig { threads: 4, iters: 1_000, seed: 42, variant: Variant::Broken };
+    let cfg = WorkloadConfig {
+        threads: 4,
+        iters: 1_000,
+        seed: 42,
+        variant: Variant::Broken,
+    };
     let path = tmp("trunc");
     record_workload("histogram", &cfg, &path);
     let bytes = std::fs::read(&path).unwrap();
@@ -162,8 +193,13 @@ fn truncated_trace_analyzes_with_counted_loss() {
 
     let cut = tmp("trunc-cut");
     std::fs::write(&cut, &bytes[..bytes.len() * 3 / 5]).unwrap();
-    let out = analyze_file(&cut, &AnalyzeConfig::new(DetectorConfig::sensitive(), 4), 0, 0)
-        .expect("truncation is loss, not an error");
+    let out = analyze_file(
+        &cut,
+        &AnalyzeConfig::new(DetectorConfig::sensitive(), 4),
+        0,
+        0,
+    )
+    .expect("truncation is loss, not an error");
     assert!(out.loss.truncated, "must notice the missing trailer");
     assert!(out.events > 0, "intact prefix still analysed");
     std::fs::remove_file(&cut).ok();
@@ -171,7 +207,12 @@ fn truncated_trace_analyzes_with_counted_loss() {
 
 #[test]
 fn flipped_byte_loses_one_chunk_not_the_file() {
-    let cfg = WorkloadConfig { threads: 4, iters: 1_000, seed: 42, variant: Variant::Broken };
+    let cfg = WorkloadConfig {
+        threads: 4,
+        iters: 1_000,
+        seed: 42,
+        variant: Variant::Broken,
+    };
     let path = tmp("flip");
     let recorded = record_workload("histogram", &cfg, &path);
     let mut bytes = std::fs::read(&path).unwrap();
@@ -182,8 +223,13 @@ fn flipped_byte_loses_one_chunk_not_the_file() {
     bytes[mid] ^= 0xff;
     let damaged = tmp("flip-damaged");
     std::fs::write(&damaged, &bytes).unwrap();
-    let out = analyze_file(&damaged, &AnalyzeConfig::new(DetectorConfig::sensitive(), 2), 0, 0)
-        .expect("a flipped byte is loss, not an error");
+    let out = analyze_file(
+        &damaged,
+        &AnalyzeConfig::new(DetectorConfig::sensitive(), 2),
+        0,
+        0,
+    )
+    .expect("a flipped byte is loss, not an error");
     assert!(out.loss.chunks_skipped >= 1, "the damaged chunk is skipped");
     assert_eq!(
         out.events + out.loss.records_lost,
@@ -195,7 +241,12 @@ fn flipped_byte_loses_one_chunk_not_the_file() {
 
 #[test]
 fn unknown_schema_version_is_a_clean_error() {
-    let cfg = WorkloadConfig { threads: 2, iters: 200, seed: 42, variant: Variant::Broken };
+    let cfg = WorkloadConfig {
+        threads: 2,
+        iters: 200,
+        seed: 42,
+        variant: Variant::Broken,
+    };
     let path = tmp("version");
     record_workload("histogram", &cfg, &path);
     let mut bytes = std::fs::read(&path).unwrap();
@@ -204,8 +255,13 @@ fn unknown_schema_version_is_a_clean_error() {
     bytes[6] = 0x2a; // version word (LE) right after the 6-byte magic
     let future = tmp("version-future");
     std::fs::write(&future, &bytes).unwrap();
-    let err = analyze_file(&future, &AnalyzeConfig::new(DetectorConfig::sensitive(), 1), 0, 0)
-        .expect_err("an unknown version must not be guessed at");
+    let err = analyze_file(
+        &future,
+        &AnalyzeConfig::new(DetectorConfig::sensitive(), 1),
+        0,
+        0,
+    )
+    .expect_err("an unknown version must not be guessed at");
     assert!(err.contains("version"), "error names the problem: {err}");
     std::fs::remove_file(&future).ok();
 }
