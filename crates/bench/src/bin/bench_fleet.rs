@@ -1,0 +1,210 @@
+//! `bench_fleet` — fleet-pipeline telemetry behind `scripts/bench.sh`.
+//!
+//! ```text
+//! bench_fleet [out.json] [--traces N] [--events-per-trace N]
+//! ```
+//!
+//! Builds a synthetic multi-trace corpus (default 8 traces × 1.25M events
+//! = 10M events, the ISSUE's ≥10⁷ bar), deliberately corrupts one member
+//! mid-file so the loss-accounting path is always exercised, then measures
+//! the fleet pipeline end to end:
+//!
+//! * ingest throughput (Mevents/s through the sharded analyzer into the
+//!   corpus store);
+//! * merged cross-run report build time;
+//! * trend-vs-baseline time (first half of the corpus as baseline);
+//! * peak RSS over the whole run.
+//!
+//! The JSON it writes (`BENCH_6.json` by convention) is schema-versioned
+//! (`predator-fleet-bench/1`) and flows through `predator bench-diff`'s
+//! schema-agnostic comparison: `*_mevents_per_s` gates on slowdown,
+//! `*_wall_ms` / `peak_rss_kb` / `records_lost` gate on growth.
+
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use predator_bench::telemetry::peak_rss_kb;
+use predator_core::DetectorConfig;
+use predator_fleet::{build_fleet_report, ingest, trend, Manifest, DEFAULT_TOLERANCE};
+use predator_sim::{Access, ThreadId};
+use predator_trace::{AnalyzeConfig, TraceWriter};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FleetBench {
+    schema: &'static str,
+    traces: u64,
+    events: u64,
+    corrupted_traces: u64,
+    ingest_wall_ms: f64,
+    ingest_mevents_per_s: f64,
+    merge_wall_ms: f64,
+    trend_wall_ms: f64,
+    aggregates: u64,
+    records_lost: u64,
+    chunks_skipped: u64,
+    peak_rss_kb: u64,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+const BASE: u64 = 0x4000_0000;
+const SIZE: u64 = 64 << 20;
+
+/// One synthetic run: two threads ping-pong on adjacent words across
+/// several well-separated regions. `salt` shifts which regions are hot so
+/// different traces overlap on some callsite keys and not others — the
+/// merged report has both fleet-wide and run-local aggregates.
+fn write_trace(path: &PathBuf, events: u64, salt: u64) -> u64 {
+    let f = std::fs::File::create(path).expect("create trace");
+    let mut w = TraceWriter::create(BufWriter::new(f), BASE, SIZE).expect("trace header");
+    let regions = 4 + (salt % 3); // 4..=6 clusters per run
+    let mut batch = Vec::with_capacity(4096);
+    let mut written = 0u64;
+    let mut i = 0u64;
+    while written < events {
+        let r = i % regions;
+        let rbase = BASE + (r + salt) * 0x10000;
+        batch.push(Access::write(
+            ThreadId((i % 2) as u16),
+            rbase + (i % 2) * 8,
+            8,
+        ));
+        written += 1;
+        i += 1;
+        if batch.len() == 4096 {
+            w.write_events(&batch).expect("write events");
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        w.write_events(&batch).expect("write events");
+    }
+    let (summary, _) = w.finish().expect("seal trace");
+    summary.events
+}
+
+/// Flips bytes in the middle of one event chunk so the reader's CRC check
+/// fails there: the corpus must absorb the damage as loss accounting.
+fn corrupt_mid_file(path: &PathBuf) {
+    let mut bytes = std::fs::read(path).expect("read trace");
+    let mid = bytes.len() / 2;
+    let end = (mid + 64).min(bytes.len());
+    for b in &mut bytes[mid..end] {
+        *b ^= 0xA5;
+    }
+    std::fs::write(path, bytes).expect("rewrite trace");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_6.json".to_string();
+    let mut traces: u64 = 8;
+    let mut events_per_trace: u64 = 1_250_000;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--traces" => traces = it.next().and_then(|v| v.parse().ok()).expect("--traces N"),
+            "--events-per-trace" => {
+                events_per_trace = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--events-per-trace N")
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+
+    let work = std::env::temp_dir().join(format!("bench-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).expect("create workdir");
+    let corpus = work.join("corpus");
+    let baseline = work.join("baseline");
+
+    println!("FLEET BENCH — {traces} trace(s) x {events_per_trace} events");
+    let mut paths = Vec::new();
+    let mut generated = 0u64;
+    for t in 0..traces {
+        let p = work.join(format!("run{t}.ptrace"));
+        generated += write_trace(&p, events_per_trace, t);
+        paths.push(p);
+    }
+    // Damage the last trace mid-file: its tail chunk(s) must degrade to
+    // loss accounting, never an ingest error.
+    corrupt_mid_file(paths.last().expect("at least one trace"));
+
+    let det = DetectorConfig::sensitive();
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let cfg = AnalyzeConfig::new(det, shards);
+
+    let t = Instant::now();
+    let outcomes = ingest(&corpus, &paths, &cfg).expect("ingest");
+    let ingest_wall = t.elapsed();
+    assert_eq!(outcomes.len() as u64, traces);
+    assert!(outcomes.iter().all(|o| o.added), "fresh corpus, no dedup");
+
+    let m = Manifest::load_required(&corpus).expect("manifest");
+    let t = Instant::now();
+    let report = build_fleet_report(&m);
+    let merge_wall = t.elapsed();
+    assert!(
+        report.loss.records_lost > 0 || report.loss.chunks_skipped > 0,
+        "the corrupted member must surface as loss accounting"
+    );
+    assert!(!report.aggregates.is_empty(), "ping-pong must be detected");
+
+    // Trend against a baseline of the first half of the runs.
+    let half = &paths[..paths.len().div_ceil(2)];
+    ingest(&baseline, half, &cfg).expect("baseline ingest");
+    let bm = Manifest::load_required(&baseline).expect("baseline manifest");
+    let t = Instant::now();
+    let base_report = build_fleet_report(&bm);
+    let delta = trend(&base_report, &report, DEFAULT_TOLERANCE);
+    let trend_wall = t.elapsed();
+
+    let ingested: u64 = outcomes.iter().map(|o| o.events).sum();
+    let bench = FleetBench {
+        schema: "predator-fleet-bench/1",
+        traces,
+        events: ingested,
+        corrupted_traces: 1,
+        ingest_wall_ms: ms(ingest_wall),
+        ingest_mevents_per_s: ingested as f64 / ingest_wall.as_secs_f64().max(1e-9) / 1e6,
+        merge_wall_ms: ms(merge_wall),
+        trend_wall_ms: ms(trend_wall),
+        aggregates: report.aggregates.len() as u64,
+        records_lost: report.loss.records_lost,
+        chunks_skipped: report.loss.chunks_skipped,
+        peak_rss_kb: peak_rss_kb(),
+    };
+
+    println!(
+        "  ingest:   {} of {} generated event(s) in {:.1} ms ({:.2} Mevents/s, {} shard(s))",
+        bench.events, generated, bench.ingest_wall_ms, bench.ingest_mevents_per_s, shards
+    );
+    println!(
+        "  loss:     {} record(s) lost, {} chunk(s) skipped (1 member corrupted on purpose)",
+        bench.records_lost, bench.chunks_skipped
+    );
+    println!(
+        "  merge:    {} run(s) -> {} aggregate(s) in {:.1} ms",
+        report.runs, bench.aggregates, bench.merge_wall_ms
+    );
+    println!(
+        "  trend:    vs {}-run baseline in {:.1} ms ({} entries)",
+        base_report.runs,
+        bench.trend_wall_ms,
+        delta.entries.len()
+    );
+    println!("  rss:      {} KiB peak", bench.peak_rss_kb);
+
+    let json = serde_json::to_string_pretty(&bench).unwrap();
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("wrote {out_path}");
+    std::fs::remove_dir_all(&work).ok();
+}

@@ -20,6 +20,8 @@ use predator_sim::{AccessKind, ThreadId};
 use predator_workloads::{by_name, WorkloadConfig};
 use serde::{Deserialize, Serialize};
 
+pub use serde::Value;
+
 /// Current schema identifier; bump the suffix on breaking changes.
 pub const SCHEMA: &str = "predator-bench/1";
 
@@ -302,6 +304,125 @@ pub fn diff_reports(old: &BenchReport, new: &BenchReport, tolerance: f64) -> Ben
     diff
 }
 
+/// The `schema` tag of an arbitrary telemetry document, if present.
+pub fn schema_of(v: &Value) -> Option<&str> {
+    match v.field("schema") {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Flattens a telemetry document's numeric leaves into `path -> value`
+/// rows: map keys join with `/`, sequence elements are labelled by their
+/// `name`/`id`/`workload` field when they have one (index otherwise), and
+/// the `schema` tag is skipped. This is how `bench-diff` discovers metrics
+/// in schemas it has no type for.
+pub fn numeric_leaves(v: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
+    let join = |k: &str| {
+        if prefix.is_empty() {
+            k.to_string()
+        } else {
+            format!("{prefix}/{k}")
+        }
+    };
+    match v {
+        Value::I64(n) => out.push((prefix.to_string(), *n as f64)),
+        Value::U64(n) => out.push((prefix.to_string(), *n as f64)),
+        Value::F64(n) => out.push((prefix.to_string(), *n)),
+        Value::Map(m) => {
+            for (k, val) in m {
+                if k == "schema" {
+                    continue;
+                }
+                numeric_leaves(val, &join(k), out);
+            }
+        }
+        Value::Seq(s) => {
+            for (i, val) in s.iter().enumerate() {
+                let label = val
+                    .as_map()
+                    .and_then(|m| {
+                        m.iter()
+                            .find(|(k, _)| matches!(k.as_str(), "name" | "id" | "workload"))
+                            .and_then(|(_, v)| match v {
+                                Value::Str(s) => Some(s.clone()),
+                                _ => None,
+                            })
+                    })
+                    .unwrap_or_else(|| i.to_string());
+                numeric_leaves(val, &join(&label), out);
+            }
+        }
+        Value::Null | Value::Bool(_) | Value::Str(_) => {}
+    }
+}
+
+/// Gating direction for a discovered metric, inferred from its key: time,
+/// memory, and loss counters hurt when they grow; rates and throughputs
+/// hurt when they shrink. Returns the signed regression fraction
+/// (positive = worse), or `None` for metrics that are informational
+/// (counts, sizes of inputs) and never gate.
+fn discovered_regression(path: &str, old: f64, new: f64) -> Option<f64> {
+    let leaf = path.rsplit('/').next().unwrap_or(path);
+    let higher_is_worse = leaf.ends_with("_ns")
+        || leaf.ends_with("_ms")
+        || leaf.ends_with("_kb")
+        || leaf.contains("wall")
+        || leaf.contains("rss")
+        || leaf.contains("lost")
+        || leaf.contains("skipped")
+        || leaf.contains("truncated");
+    let lower_is_worse =
+        leaf.contains("per_s") || leaf.contains("throughput") || leaf.contains("speedup");
+    if higher_is_worse {
+        Some(new / old.max(1e-9) - 1.0)
+    } else if lower_is_worse {
+        Some(1.0 - new / old.max(1e-9))
+    } else {
+        None
+    }
+}
+
+/// Schema-agnostic comparison: discovers numeric metrics in both documents
+/// by key path and gates the ones whose direction is inferable. Used by
+/// `bench-diff` for any schema other than [`SCHEMA`] (whose typed
+/// comparison is kept verbatim).
+pub fn diff_values(old: &Value, new: &Value, tolerance: f64) -> BenchDiff {
+    let mut old_rows = Vec::new();
+    numeric_leaves(old, "", &mut old_rows);
+    let mut new_rows = Vec::new();
+    numeric_leaves(new, "", &mut new_rows);
+    let new_map: std::collections::HashMap<&str, f64> =
+        new_rows.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let old_keys: std::collections::HashSet<&str> =
+        old_rows.iter().map(|(k, _)| k.as_str()).collect();
+    let mut diff = BenchDiff::default();
+    for (path, ov) in &old_rows {
+        let Some(&nv) = new_map.get(path.as_str()) else {
+            diff.unmatched.push(path.clone());
+            continue;
+        };
+        let (regression, failed) = match discovered_regression(path, *ov, nv) {
+            Some(r) => (r, r > tolerance),
+            // Informational metric: show the raw relative change, never gate.
+            None => (nv / ov.max(1e-9) - 1.0, false),
+        };
+        diff.rows.push(DiffRow {
+            metric: path.clone(),
+            old: *ov,
+            new: nv,
+            regression,
+            failed,
+        });
+    }
+    for (path, _) in &new_rows {
+        if !old_keys.contains(path.as_str()) {
+            diff.unmatched.push(path.clone());
+        }
+    }
+    diff
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,5 +521,72 @@ mod tests {
     #[test]
     fn unknown_workload_is_an_error() {
         assert!(BenchReport::measure(&["nope"], 10, 10).is_err());
+    }
+
+    #[test]
+    fn numeric_leaves_flatten_with_named_sequence_elements() {
+        let v: Value = serde_json::from_str(
+            r#"{"schema":"x/1","ingest":{"mevents_per_s":12.5},
+                "traces":[{"name":"a","events":100},{"events":7}],
+                "note":"text"}"#,
+        )
+        .unwrap();
+        let mut rows = Vec::new();
+        numeric_leaves(&v, "", &mut rows);
+        assert_eq!(
+            rows,
+            vec![
+                ("ingest/mevents_per_s".to_string(), 12.5),
+                ("traces/a/events".to_string(), 100.0),
+                ("traces/1/events".to_string(), 7.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn diff_values_gates_by_inferred_direction() {
+        let old: Value = serde_json::from_str(
+            r#"{"schema":"predator-fleet-bench/1","ingest_mevents_per_s":10.0,
+                "merge_wall_ms":100.0,"peak_rss_kb":5000,"events":1000}"#,
+        )
+        .unwrap();
+        // Throughput halved and merge time doubled: both gate. The events
+        // count also doubled, but counts are informational.
+        let worse: Value = serde_json::from_str(
+            r#"{"schema":"predator-fleet-bench/1","ingest_mevents_per_s":5.0,
+                "merge_wall_ms":200.0,"peak_rss_kb":5000,"events":2000}"#,
+        )
+        .unwrap();
+        let d = diff_values(&old, &worse, 0.4);
+        assert!(d.has_regressions());
+        let failed: Vec<&str> = d
+            .rows
+            .iter()
+            .filter(|r| r.failed)
+            .map(|r| r.metric.as_str())
+            .collect();
+        assert_eq!(failed, vec!["ingest_mevents_per_s", "merge_wall_ms"]);
+        // Within tolerance: no gate, and the schema key is never compared.
+        let d = diff_values(&old, &old, 0.4);
+        assert!(!d.has_regressions());
+        assert!(d.rows.iter().all(|r| r.metric != "schema"));
+    }
+
+    #[test]
+    fn diff_values_reports_unmatched_keys() {
+        let old: Value = serde_json::from_str(r#"{"a":1.0,"gone":2.0}"#).unwrap();
+        let new: Value = serde_json::from_str(r#"{"a":1.0,"fresh":3.0}"#).unwrap();
+        let d = diff_values(&old, &new, 0.5);
+        assert!(!d.has_regressions());
+        assert!(d.unmatched.contains(&"gone".to_string()));
+        assert!(d.unmatched.contains(&"fresh".to_string()));
+    }
+
+    #[test]
+    fn schema_of_reads_the_tag() {
+        let v: Value = serde_json::from_str(r#"{"schema":"predator-bench/1"}"#).unwrap();
+        assert_eq!(schema_of(&v), Some("predator-bench/1"));
+        let v: Value = serde_json::from_str(r#"{"other":1}"#).unwrap();
+        assert_eq!(schema_of(&v), None);
     }
 }

@@ -25,8 +25,8 @@ use predator_instrument::{
 use predator_shadow::SimSpace;
 use predator_sim::ThreadId;
 use predator_trace::{
-    analyze_file, read_info, sniff_format, AnalyzeConfig, JsonlIter, LossStats, TraceFormat,
-    TraceMeta, TraceReader, TraceSink,
+    analyze_file, read_info, read_info_scan, sniff_format, AnalyzeConfig, JsonlIter, LossStats,
+    TraceFormat, TraceMeta, TraceReader, TraceSink,
 };
 use predator_workloads::{all, by_name, run_and_report, Variant, WorkloadConfig};
 
@@ -71,14 +71,51 @@ USAGE:
                             (.ptrace headers carry their own)
         --sensitive / --no-prediction / --sampling / --json as above
 
-    predator trace info <trace.ptrace>
+    predator trace info <trace.ptrace> [--deep]
         Summarise a trace file: header, event/chunk counts, attribution
-        metadata, corruption accounting. O(1) via the footer index when the
-        file is intact; falls back to a full scan when damaged.
+        metadata, corruption accounting (chunks skipped, records lost,
+        bytes skipped, truncation — always printed). O(1) via the footer
+        index when the file is intact; falls back to a full scan when
+        damaged. The index cannot see mid-file payload corruption, so
+        --deep forces the CRC-checking full scan regardless.
 
     predator trace cat <trace> [OPTIONS]
         Decode a trace (.ptrace or JSONL) to JSON lines on stdout.
         --limit <N>         stop after N events
+
+    predator fleet ingest <trace.ptrace>... --corpus <dir> [OPTIONS]
+        Ingest recorded traces into a corpus: each file is streamed through
+        the sharded analyzer and its findings recorded in the corpus
+        manifest (corpus.json). Traces are content-addressed, so
+        re-ingesting a file is a no-op; corrupted traces degrade to loss
+        accounting, never errors. The corpus pins the detector
+        configuration of its first ingest and refuses mismatches.
+        --corpus <DIR>      corpus directory (created on first ingest)
+        --shards <N>        worker shards               [default: CPU count]
+        --sensitive / --no-prediction / --sampling as `analyze`
+
+    predator fleet report --corpus <dir> [OPTIONS]
+        Merged cross-run report: findings deduped by stable callsite key
+        across every run in the corpus, ranked by aggregate invalidation
+        impact, with per-run provenance (run count, hit rate, worst run,
+        first/last seen) and corpus-wide loss accounting.
+        --run <ID>          print one member run's report instead
+        --json              machine-readable report
+
+    predator fleet trend --corpus <dir> --baseline <corpus> [OPTIONS]
+        Delta the corpus against a baseline corpus (a directory or its
+        corpus.json): callsites classified as new / fixed / regressed /
+        improved / steady by per-run mean invalidations.
+        --tolerance <F>     relative mean-shift tolerance [default: 0.5]
+        --fail-on-regression  exit nonzero when any callsite is new or
+                            regressed (the CI gate)
+        --json              machine-readable report
+
+    predator fleet compact --corpus <dir> --keep <N>
+        Retention: keep the N newest raw traces (by ingest order), fold
+        older runs into merged aggregates in the manifest, delete their
+        raw files. Merged totals are preserved exactly; per-run provenance
+        of dropped runs is not.
 
     predator replay <trace> [OPTIONS]
         Stream an access trace (.ptrace or JSONL, auto-detected) through a
@@ -178,6 +215,10 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         "--out",
         "--shards",
         "--limit",
+        "--corpus",
+        "--baseline",
+        "--keep",
+        "--run",
     ];
     let mut args = Args {
         positional: Vec::new(),
@@ -612,19 +653,26 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         .get(2)
         .ok_or_else(|| format!("trace {sub}: missing trace path"))?;
     match sub {
-        "info" => cmd_trace_info(path),
+        "info" => cmd_trace_info(args, path),
         "cat" => cmd_trace_cat(args, path),
         other => Err(format!("unknown trace subcommand `{other}` (info|cat)")),
     }
 }
 
-fn cmd_trace_info(path: &str) -> Result<(), String> {
+fn cmd_trace_info(args: &Args, path: &str) -> Result<(), String> {
     if sniff_format(Path::new(path))? != TraceFormat::Ptrace {
         return Err(format!(
             "{path}: not a .ptrace file (JSONL traces have no header; use `trace cat` or `wc -l`)"
         ));
     }
-    let info = read_info(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    // The footer index summarises without CRC-checking event payloads, so
+    // --deep forces the full scan: the only way to surface mid-file
+    // corruption in an otherwise intact-looking file.
+    let info = if args.flags.iter().any(|f| f == "--deep") {
+        read_info_scan(Path::new(path)).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        read_info(Path::new(path)).map_err(|e| format!("{path}: {e}"))?
+    };
     println!("{path}: .ptrace v{}", info.header.version);
     println!(
         "  range:   {:#x} .. {:#x} ({} bytes)",
@@ -658,21 +706,21 @@ fn cmd_trace_info(path: &str) -> Result<(), String> {
         ),
         None => println!("  meta:    absent"),
     }
-    if info.loss.any() {
-        println!(
-            "  loss:    {} chunk(s) skipped, {} record(s) lost, {} byte(s) skipped{}",
-            info.loss.chunks_skipped,
-            info.loss.records_lost,
-            info.loss.bytes_skipped,
-            if info.loss.truncated {
-                ", truncated"
-            } else {
-                ""
-            }
-        );
-    } else {
-        println!("  loss:    none");
-    }
+    // Corruption accounting is always printed in full — a zero is a
+    // statement ("this scan saw no damage"), not an omission. Via the
+    // index, zeros only cover what the index can see.
+    println!(
+        "  loss:    {} chunk(s) skipped, {} record(s) lost, {} byte(s) skipped, truncated: {}{}",
+        info.loss.chunks_skipped,
+        info.loss.records_lost,
+        info.loss.bytes_skipped,
+        if info.loss.truncated { "yes" } else { "no" },
+        if info.via_index {
+            " (index-derived; --deep CRC-checks every chunk)"
+        } else {
+            ""
+        }
+    );
     Ok(())
 }
 
@@ -940,6 +988,161 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `fleet`'s shard count: same default and validation as `analyze`.
+fn shard_count(args: &Args) -> Result<usize, String> {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let shards: usize = num(args, "--shards", default)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(shards)
+}
+
+fn cmd_fleet(args: &Args) -> Result<ExitCode, String> {
+    let sub = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("fleet: missing subcommand (ingest|report|trend|compact)")?;
+    let corpus = args
+        .options
+        .get("--corpus")
+        .ok_or_else(|| format!("fleet {sub}: missing --corpus <dir>"))?;
+    let dir = Path::new(corpus);
+    match sub {
+        "ingest" => cmd_fleet_ingest(args, dir).map(|()| ExitCode::SUCCESS),
+        "report" => cmd_fleet_report(args, dir).map(|()| ExitCode::SUCCESS),
+        "trend" => cmd_fleet_trend(args, dir),
+        "compact" => cmd_fleet_compact(args, dir).map(|()| ExitCode::SUCCESS),
+        other => Err(format!(
+            "unknown fleet subcommand `{other}` (ingest|report|trend|compact)"
+        )),
+    }
+}
+
+fn cmd_fleet_ingest(args: &Args, dir: &Path) -> Result<(), String> {
+    let paths: Vec<std::path::PathBuf> = args.positional[2..]
+        .iter()
+        .map(std::path::PathBuf::from)
+        .collect();
+    if paths.is_empty() {
+        return Err("fleet ingest: no trace files given".into());
+    }
+    let cfg = AnalyzeConfig::new(detector_config(args)?, shard_count(args)?);
+    let outcomes = predator_fleet::ingest(dir, &paths, &cfg)?;
+    for o in &outcomes {
+        if o.added {
+            println!(
+                "ingested {}: {} event(s), {} finding(s), {} bytes",
+                o.id, o.events, o.findings, o.bytes
+            );
+        } else {
+            println!("skipped {}: already in corpus", o.id);
+        }
+    }
+    let m = predator_fleet::Manifest::load_required(dir)?;
+    println!(
+        "corpus {}: {} run(s), {} event(s)",
+        dir.display(),
+        m.runs(),
+        m.events()
+    );
+    Ok(())
+}
+
+fn cmd_fleet_report(args: &Args, dir: &Path) -> Result<(), String> {
+    let m = predator_fleet::Manifest::load_required(dir)?;
+    // --run <id>: one member's stored per-run report, in the same formats
+    // `analyze` emits (the corpus keeps findings+stats verbatim; the obs
+    // section is process-global and freshly captured, as everywhere else).
+    if let Some(id) = args.options.get("--run") {
+        let t = m.find(id).ok_or_else(|| {
+            format!(
+                "fleet report: no run `{id}` in {} (see `fleet report` for member ids)",
+                dir.display()
+            )
+        })?;
+        warn_loss(&dir.join(&t.file).display().to_string(), &t.loss);
+        let report = Report {
+            findings: t.findings.clone(),
+            stats: t.stats,
+            obs: ObsSnapshot::capture(),
+        };
+        emit_report(args, &m.config, &report);
+        return Ok(());
+    }
+    let r = predator_fleet::build_fleet_report(&m);
+    if args.flags.iter().any(|f| f == "--json") {
+        println!("{}", r.to_json());
+    } else {
+        print!("{r}");
+    }
+    Ok(())
+}
+
+fn cmd_fleet_trend(args: &Args, dir: &Path) -> Result<ExitCode, String> {
+    let baseline = args
+        .options
+        .get("--baseline")
+        .ok_or("fleet trend: missing --baseline <corpus dir or corpus.json>")?;
+    // Accept the corpus directory or its manifest file interchangeably.
+    let bpath = Path::new(baseline);
+    let bdir = if bpath.is_file() {
+        bpath
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or(Path::new("."))
+    } else {
+        bpath
+    };
+    let tolerance: f64 = num(args, "--tolerance", predator_fleet::DEFAULT_TOLERANCE)?;
+    if tolerance.is_nan() || tolerance < 0.0 {
+        return Err(format!("--tolerance must be >= 0, got {tolerance}"));
+    }
+    let base = predator_fleet::build_fleet_report(&predator_fleet::Manifest::load_required(bdir)?);
+    let cur = predator_fleet::build_fleet_report(&predator_fleet::Manifest::load_required(dir)?);
+    let t = predator_fleet::trend(&base, &cur, tolerance);
+    if args.flags.iter().any(|f| f == "--json") {
+        println!("{}", t.to_json());
+    } else {
+        print!("{t}");
+    }
+    if args.flags.iter().any(|f| f == "--fail-on-regression") {
+        if t.has_regressions() {
+            // Gate failure, not a usage error: the code travels back through
+            // main so Drop guards still flush (same contract as `diff`).
+            eprintln!(
+                "GATE: FAIL — {} new, {} regressed callsite(s)",
+                t.count(predator_fleet::TrendStatus::New),
+                t.count(predator_fleet::TrendStatus::Regressed)
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("GATE: ok (tolerance {:.0}%)", tolerance * 100.0);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_fleet_compact(args: &Args, dir: &Path) -> Result<(), String> {
+    let keep: usize = args
+        .options
+        .get("--keep")
+        .ok_or("fleet compact: missing --keep <N>")?
+        .parse()
+        .map_err(|_| "invalid value for --keep".to_string())?;
+    let out = predator_fleet::compact(dir, keep)?;
+    println!(
+        "compacted {}: dropped {} raw trace(s), kept {}, reclaimed {} bytes",
+        dir.display(),
+        out.dropped,
+        out.kept,
+        out.bytes_reclaimed
+    );
+    Ok(())
+}
+
 fn cmd_diff(args: &Args) -> Result<ExitCode, String> {
     let load = |idx: usize, what: &str| -> Result<Report, String> {
         let path = args
@@ -968,25 +1171,56 @@ fn cmd_diff(args: &Args) -> Result<ExitCode, String> {
 }
 
 fn cmd_bench_diff(args: &Args) -> Result<ExitCode, String> {
-    use predator_bench::telemetry::{diff_reports, BenchReport};
-    let load = |idx: usize, what: &str| -> Result<BenchReport, String> {
+    use predator_bench::telemetry::{
+        diff_reports, diff_values, schema_of, BenchReport, Value, SCHEMA,
+    };
+    let read = |idx: usize, what: &str| -> Result<(String, String), String> {
         let path = args
             .positional
             .get(idx)
             .ok_or_else(|| format!("bench-diff: missing {what} telemetry path"))?;
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let report: BenchReport =
-            serde_json::from_str(&text).map_err(|e| format!("{path}: not a bench report: {e}"))?;
-        report.check_schema().map_err(|e| format!("{path}: {e}"))?;
-        Ok(report)
+        Ok((path.clone(), text))
     };
-    let old = load(1, "old")?;
-    let new = load(2, "new")?;
+    let (old_path, old_text) = read(1, "old")?;
+    let (new_path, new_text) = read(2, "new")?;
     let tolerance: f64 = num(args, "--tolerance", 0.5f64)?;
     if tolerance.is_nan() || tolerance < 0.0 {
         return Err(format!("--tolerance must be >= 0, got {tolerance}"));
     }
-    let diff = diff_reports(&old, &new, tolerance);
+    let sniff = |path: &str, text: &str| -> Result<(Value, String), String> {
+        let v: Value =
+            serde_json::from_str(text).map_err(|e| format!("{path}: not a telemetry file: {e}"))?;
+        let schema = schema_of(&v)
+            .ok_or_else(|| format!("{path}: no `schema` tag — not a BENCH_*.json telemetry file"))?
+            .to_string();
+        Ok((v, schema))
+    };
+    let (old_value, old_schema) = sniff(&old_path, &old_text)?;
+    let (new_value, new_schema) = sniff(&new_path, &new_text)?;
+    if old_schema != new_schema {
+        return Err(format!(
+            "bench-diff: schema mismatch — cannot compare `{old_schema}` against `{new_schema}`"
+        ));
+    }
+    // The native workload/hot-path schema keeps its exact typed comparison;
+    // every other schema (fleet bench, future emitters) goes through
+    // schema-agnostic numeric key discovery.
+    let diff = if old_schema == SCHEMA {
+        let load = |path: &str, text: &str| -> Result<BenchReport, String> {
+            let report: BenchReport = serde_json::from_str(text)
+                .map_err(|e| format!("{path}: not a bench report: {e}"))?;
+            report.check_schema().map_err(|e| format!("{path}: {e}"))?;
+            Ok(report)
+        };
+        diff_reports(
+            &load(&old_path, &old_text)?,
+            &load(&new_path, &new_text)?,
+            tolerance,
+        )
+    } else {
+        diff_values(&old_value, &new_value, tolerance)
+    };
     print!("{diff}");
     if diff.has_regressions() {
         eprintln!(
@@ -1126,6 +1360,7 @@ fn main() -> ExitCode {
                 Some("record") => cmd_record(&args).map(|()| ExitCode::SUCCESS),
                 Some("analyze") => cmd_analyze(&args).map(|()| ExitCode::SUCCESS),
                 Some("trace") => cmd_trace(&args).map(|()| ExitCode::SUCCESS),
+                Some("fleet") => cmd_fleet(&args),
                 Some("replay") => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
                 Some("ir") => cmd_ir(&args).map(|()| ExitCode::SUCCESS),
                 Some("profile") => cmd_profile(&args).map(|()| ExitCode::SUCCESS),

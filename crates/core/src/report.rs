@@ -132,6 +132,25 @@ pub struct InvalidationTrace {
     pub site: String,
 }
 
+impl SiteKind {
+    /// Stable cross-run identity of this site: heap objects key on their
+    /// full allocation stack, globals on their name. Unattributed memory has
+    /// no identity that survives re-runs, so callers supply the object start
+    /// as a last-resort discriminator (workloads run at fixed bases, which
+    /// keeps even that stable in practice).
+    pub fn stable_key(&self, fallback_addr: u64) -> String {
+        match self {
+            SiteKind::Heap { callsite, .. } if !callsite.frames.is_empty() => {
+                let frames: Vec<String> = callsite.frames.iter().map(|f| f.to_string()).collect();
+                format!("heap:{}", frames.join("<"))
+            }
+            SiteKind::Heap { .. } => format!("heap:{fallback_addr:#x}"),
+            SiteKind::Global { name } => format!("global:{name}"),
+            SiteKind::Unknown => format!("addr:{fallback_addr:#x}"),
+        }
+    }
+}
+
 /// How the problem was established.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FindingKind {
@@ -152,6 +171,23 @@ pub enum FindingKind {
         /// Partition shift that exposes the sharing.
         delta: u64,
     },
+}
+
+impl FindingKind {
+    /// Scenario-family tag used in cross-run aggregation keys. Remap
+    /// findings deliberately drop their `delta`: each run keeps only its
+    /// worst partition shift, and two runs may settle on different shifts
+    /// for the same underlying problem.
+    pub fn family(&self) -> String {
+        match self {
+            FindingKind::Observed => "observed".to_string(),
+            FindingKind::PredictedDoubled => "doubled".to_string(),
+            FindingKind::PredictedScaled { factor_log2 } => {
+                format!("scaled{}", 1u64 << factor_log2)
+            }
+            FindingKind::PredictedRemap { .. } => "remap".to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for FindingKind {
@@ -199,6 +235,19 @@ pub struct Finding {
     /// The last [`MAX_TRACES_PER_FINDING`] invalidation traces, oldest
     /// first — the causal evidence behind `invalidations`.
     pub invalidation_traces: Vec<InvalidationTrace>,
+}
+
+impl Finding {
+    /// Stable cross-run aggregation key: scenario family + site identity.
+    /// Findings from different runs with equal keys describe the same
+    /// problem at the same source location and may be merged.
+    pub fn callsite_key(&self) -> String {
+        format!(
+            "{}|{}",
+            self.kind.family(),
+            self.object.site.stable_key(self.object.start)
+        )
+    }
 }
 
 /// A complete detector report: ranked findings plus run statistics.
@@ -1142,6 +1191,56 @@ mod tests {
         let json = r.to_json();
         let back: Report = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn callsite_keys_identify_sites_across_runs() {
+        use predator_alloc::Frame;
+        let heap_site = SiteKind::Heap {
+            callsite: Callsite::from_frames(vec![Frame::new("a.c", 10), Frame::new("b.c", 20)]),
+            owner: ThreadId(3),
+        };
+        // Owner thread must not leak into the key: the same allocation site
+        // may be reached from different threads in different runs.
+        let heap_site_other_owner = SiteKind::Heap {
+            callsite: Callsite::from_frames(vec![Frame::new("a.c", 10), Frame::new("b.c", 20)]),
+            owner: ThreadId(7),
+        };
+        assert_eq!(heap_site.stable_key(0x40), "heap:a.c:10<b.c:20");
+        assert_eq!(
+            heap_site.stable_key(0x40),
+            heap_site_other_owner.stable_key(0x80)
+        );
+        assert_eq!(
+            SiteKind::Global {
+                name: "hist".into()
+            }
+            .stable_key(0x40),
+            "global:hist"
+        );
+        assert_eq!(SiteKind::Unknown.stable_key(0x40), "addr:0x40");
+
+        // Scenario families: remap drops its delta, scaled keeps its factor.
+        assert_eq!(FindingKind::Observed.family(), "observed");
+        assert_eq!(
+            FindingKind::PredictedRemap { delta: 8 }.family(),
+            FindingKind::PredictedRemap { delta: 24 }.family()
+        );
+        assert_ne!(
+            FindingKind::PredictedScaled { factor_log2: 2 }.family(),
+            FindingKind::PredictedScaled { factor_log2: 3 }.family()
+        );
+    }
+
+    #[test]
+    fn finding_callsite_key_combines_family_and_site() {
+        let rt = rt();
+        rt.register_global("victim", BASE, 64);
+        for i in 0..400u64 {
+            rt.handle_access(ThreadId((i % 2) as u16), BASE + (i % 2) * 8, 8, Write);
+        }
+        let r = build_report(&rt, None);
+        assert_eq!(r.findings[0].callsite_key(), "observed|global:victim");
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Retention: `fleet compact` keeps the newest N raw traces and folds the
+//! rest into the manifest's [`Compacted`] section — merged aggregates stay,
+//! raw `.ptrace` files and per-trace provenance go.
+//!
+//! Because the merge is associative (see [`crate::merge`]), folding dropped
+//! runs into `Compacted` and later merging that section with the surviving
+//! live entries yields exactly the aggregate totals the full corpus would
+//! have produced. What compaction loses is *resolution*, not *mass*: you
+//! can no longer ask which specific dropped run contributed what, or
+//! re-analyze dropped traces under a new detector configuration.
+//!
+//! [`Compacted`]: crate::manifest::Compacted
+
+use std::path::Path;
+
+use crate::manifest::{Manifest, TraceEntry};
+use crate::merge::{aggregate_entry, merge_aggregates};
+
+/// What one `fleet compact` did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Raw traces dropped.
+    pub dropped: u64,
+    /// Raw traces kept.
+    pub kept: u64,
+    /// Bytes of raw trace files reclaimed.
+    pub bytes_reclaimed: u64,
+}
+
+/// Compacts the corpus at `dir` down to its `keep` newest members (by
+/// ingest sequence). Older members' aggregates fold into the manifest's
+/// compacted section; their raw files are deleted.
+pub fn compact(dir: &Path, keep: usize) -> Result<CompactOutcome, String> {
+    let _span = predator_obs::span("fleet_compact");
+    let mut m = Manifest::load_required(dir)?;
+    if m.traces.len() <= keep {
+        m.save(dir)?;
+        return Ok(CompactOutcome {
+            dropped: 0,
+            kept: m.traces.len() as u64,
+            bytes_reclaimed: 0,
+        });
+    }
+    // Newest-first by ingest sequence; everything past `keep` folds away.
+    m.traces.sort_by_key(|t| std::cmp::Reverse(t.seq));
+    let dropped: Vec<TraceEntry> = m.traces.split_off(keep);
+
+    let mut c = m.compacted.take().unwrap_or_default();
+    c.runs += dropped.len() as u64;
+    for t in &dropped {
+        c.events += t.events;
+        c.chunks_skipped += t.loss.chunks_skipped;
+        c.records_lost += t.loss.records_lost;
+        c.bytes_skipped += t.loss.bytes_skipped;
+        c.truncated_runs += t.loss.truncated as u64;
+    }
+    let folded = dropped.iter().flat_map(aggregate_entry);
+    let previous = std::mem::take(&mut c.aggregates);
+    c.aggregates = merge_aggregates(folded.chain(previous));
+    for a in &mut c.aggregates {
+        a.provenance.clear(); // per-run resolution is what compaction spends
+    }
+    m.compacted = Some(c);
+    canonicalize(&mut m);
+
+    // Manifest first: if a file delete fails we have an orphan .ptrace on
+    // disk, not a manifest entry pointing at nothing.
+    m.save(dir)?;
+    let mut bytes_reclaimed = 0;
+    for t in &dropped {
+        let p = dir.join(&t.file);
+        if let Ok(md) = std::fs::metadata(&p) {
+            bytes_reclaimed += md.len();
+        }
+        std::fs::remove_file(&p).map_err(|e| format!("cannot remove {}: {e}", p.display()))?;
+    }
+    Ok(CompactOutcome {
+        dropped: dropped.len() as u64,
+        kept: keep as u64,
+        bytes_reclaimed,
+    })
+}
+
+/// Restores the manifest's canonical member order (by id) after compact's
+/// seq sort. Reports never depend on this order, but a stable file layout
+/// keeps `corpus.json` diffs readable.
+pub fn canonicalize(m: &mut Manifest) {
+    m.traces.sort_by(|a, b| a.id.cmp(&b.id));
+}

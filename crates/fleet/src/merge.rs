@@ -1,0 +1,470 @@
+//! Cross-run merge: dedupe findings by stable callsite key and rank the
+//! merged aggregates by fleet-wide invalidation impact.
+//!
+//! ## Merge soundness
+//!
+//! Per-run findings are first folded into per-run [`CallsiteAggregate`]s
+//! (one per callsite key), then aggregates are merged pairwise. Every field
+//! of the merge is commutative and associative — sums (`total_*`, `runs`),
+//! maxima (`max_invalidations`, `last_seen`), minima (`first_seen`), the
+//! class lattice (equal classes keep their value, differing classes
+//! escalate to `Mixed`), and the representative site (taken from the
+//! lexicographically first trace that saw the key). The merged model is
+//! therefore a pure function of the *set* of member runs: any ingest order,
+//! any merge tree — including folding pre-merged [`Compacted`] aggregates
+//! back in — produces the identical report.
+//!
+//! [`Compacted`]: crate::manifest::Compacted
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use predator_core::{FindingKind, ObsSnapshot, SharingClass, SiteKind};
+
+use crate::manifest::{Manifest, TraceEntry};
+
+/// Fleet report schema tag.
+pub const FLEET_REPORT_SCHEMA: &str = "predator-fleet-report/1";
+
+/// One run's contribution to a merged aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Content id of the contributing trace.
+    pub trace: String,
+    /// Invalidations that run contributed to the key.
+    pub invalidations: u64,
+}
+
+/// One callsite's merged, fleet-wide record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallsiteAggregate {
+    /// Stable cross-run key (`Finding::callsite_key`).
+    pub key: String,
+    /// Representative detection kind (from the first-seen run).
+    pub kind: FindingKind,
+    /// Sharing class; runs that disagree escalate to `Mixed`.
+    pub class: SharingClass,
+    /// Representative source site (from the first-seen run).
+    pub site: SiteKind,
+    /// Representative object size in bytes.
+    pub object_size: u64,
+    /// Invalidations summed across all runs — the ranking key.
+    pub total_invalidations: u64,
+    /// Worst single run's invalidation total.
+    pub max_invalidations: u64,
+    /// Sampled accesses summed across runs.
+    pub total_accesses: u64,
+    /// Sampled writes summed across runs.
+    pub total_writes: u64,
+    /// Runs in which the key appeared.
+    pub runs: u64,
+    /// Fraction of corpus runs that hit the key (recomputed at report time;
+    /// stored values are informational only).
+    pub hit_rate: f64,
+    /// Canonically first trace id that saw the key (corpus members are an
+    /// unordered set, so "first/last" use the canonical id order, keeping
+    /// the merged model independent of ingest order).
+    pub first_seen: String,
+    /// Canonically last trace id that saw the key.
+    pub last_seen: String,
+    /// Per-run contributions, sorted by trace id (empty for runs folded in
+    /// from a compacted corpus section).
+    pub provenance: Vec<Provenance>,
+}
+
+/// Corpus-wide damage accounting (sum over member runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LossTotals {
+    /// Chunks skipped across all runs.
+    pub chunks_skipped: u64,
+    /// Event records known lost across all runs.
+    pub records_lost: u64,
+    /// Raw bytes skipped across all runs.
+    pub bytes_skipped: u64,
+    /// Member runs whose trace was truncated.
+    pub truncated_runs: u64,
+}
+
+impl LossTotals {
+    /// True if any run lost anything.
+    pub fn any(&self) -> bool {
+        self.chunks_skipped > 0
+            || self.records_lost > 0
+            || self.bytes_skipped > 0
+            || self.truncated_runs > 0
+    }
+}
+
+/// The merged fleet-level report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Schema tag ([`FLEET_REPORT_SCHEMA`]).
+    pub schema: String,
+    /// Runs represented (live + compacted).
+    pub runs: u64,
+    /// Events represented.
+    pub events: u64,
+    /// Corpus-wide damage accounting.
+    pub loss: LossTotals,
+    /// Merged aggregates, ranked by total invalidations (ties broken by
+    /// key, so the ranking is total).
+    pub aggregates: Vec<CallsiteAggregate>,
+    /// Observability snapshot captured when the report was built.
+    pub obs: ObsSnapshot,
+}
+
+/// Folds one run's findings into per-key aggregates (a run can report
+/// several findings under one key: two heap objects from the same
+/// allocation site, for example).
+pub fn aggregate_entry(entry: &TraceEntry) -> Vec<CallsiteAggregate> {
+    let mut by_key: BTreeMap<String, CallsiteAggregate> = BTreeMap::new();
+    for f in &entry.findings {
+        let key = f.callsite_key();
+        let agg = by_key
+            .entry(key.clone())
+            .or_insert_with(|| CallsiteAggregate {
+                key,
+                kind: f.kind,
+                class: f.class,
+                site: f.object.site.clone(),
+                object_size: f.object.size,
+                total_invalidations: 0,
+                max_invalidations: 0,
+                total_accesses: 0,
+                total_writes: 0,
+                runs: 1,
+                hit_rate: 0.0,
+                first_seen: entry.id.clone(),
+                last_seen: entry.id.clone(),
+                provenance: Vec::new(),
+            });
+        agg.total_invalidations += f.invalidations;
+        agg.total_accesses += f.accesses;
+        agg.total_writes += f.writes;
+        if agg.class != f.class {
+            agg.class = SharingClass::Mixed;
+        }
+    }
+    by_key
+        .into_values()
+        .map(|mut a| {
+            a.max_invalidations = a.total_invalidations;
+            a.provenance = vec![Provenance {
+                trace: entry.id.clone(),
+                invalidations: a.total_invalidations,
+            }];
+            a
+        })
+        .collect()
+}
+
+/// Merges `b` into `a` (same key). Commutative and associative; see the
+/// module doc for the soundness argument.
+pub fn merge_into(a: &mut CallsiteAggregate, b: CallsiteAggregate) {
+    debug_assert_eq!(a.key, b.key);
+    // Representative identity follows the canonically first run.
+    if b.first_seen < a.first_seen {
+        a.kind = b.kind;
+        a.site = b.site;
+        a.object_size = b.object_size;
+        a.first_seen = b.first_seen;
+    }
+    if b.last_seen > a.last_seen {
+        a.last_seen = b.last_seen;
+    }
+    if a.class != b.class {
+        a.class = SharingClass::Mixed;
+    }
+    a.total_invalidations += b.total_invalidations;
+    a.max_invalidations = a.max_invalidations.max(b.max_invalidations);
+    a.total_accesses += b.total_accesses;
+    a.total_writes += b.total_writes;
+    a.runs += b.runs;
+    a.provenance.extend(b.provenance);
+}
+
+/// Merges any number of aggregates into one record per key, ranked.
+pub fn merge_aggregates(
+    iter: impl IntoIterator<Item = CallsiteAggregate>,
+) -> Vec<CallsiteAggregate> {
+    let mut by_key: BTreeMap<String, CallsiteAggregate> = BTreeMap::new();
+    for agg in iter {
+        match by_key.get_mut(&agg.key) {
+            Some(existing) => merge_into(existing, agg),
+            None => {
+                by_key.insert(agg.key.clone(), agg);
+            }
+        }
+    }
+    let mut merged: Vec<CallsiteAggregate> = by_key.into_values().collect();
+    for a in &mut merged {
+        a.provenance.sort_by(|x, y| x.trace.cmp(&y.trace));
+    }
+    rank(&mut merged);
+    merged
+}
+
+/// Ranks by total invalidation impact, ties broken by key.
+pub fn rank(aggs: &mut [CallsiteAggregate]) {
+    aggs.sort_by(|a, b| {
+        b.total_invalidations
+            .cmp(&a.total_invalidations)
+            .then_with(|| a.key.cmp(&b.key))
+    });
+}
+
+/// Builds the merged fleet report for a corpus.
+pub fn build_fleet_report(m: &Manifest) -> FleetReport {
+    let _span = predator_obs::span("fleet_merge");
+    let live = m.traces.iter().flat_map(aggregate_entry);
+    let compacted = m
+        .compacted
+        .iter()
+        .flat_map(|c| c.aggregates.iter().cloned());
+    let mut aggregates = merge_aggregates(live.chain(compacted));
+    let runs = m.runs();
+    for a in &mut aggregates {
+        a.hit_rate = if runs == 0 {
+            0.0
+        } else {
+            a.runs as f64 / runs as f64
+        };
+    }
+    let mut loss = LossTotals::default();
+    for t in &m.traces {
+        loss.chunks_skipped += t.loss.chunks_skipped;
+        loss.records_lost += t.loss.records_lost;
+        loss.bytes_skipped += t.loss.bytes_skipped;
+        loss.truncated_runs += t.loss.truncated as u64;
+    }
+    if let Some(c) = &m.compacted {
+        loss.chunks_skipped += c.chunks_skipped;
+        loss.records_lost += c.records_lost;
+        loss.bytes_skipped += c.bytes_skipped;
+        loss.truncated_runs += c.truncated_runs;
+    }
+    FleetReport {
+        schema: FLEET_REPORT_SCHEMA.to_string(),
+        runs,
+        events: m.events(),
+        loss,
+        aggregates,
+        obs: ObsSnapshot::capture(),
+    }
+}
+
+impl FleetReport {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fleet report serialization cannot fail")
+    }
+
+    /// Short source label for an aggregate's site.
+    fn site_label(site: &SiteKind) -> String {
+        match site {
+            SiteKind::Heap { callsite, .. } => callsite
+                .frames
+                .first()
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "?".to_string()),
+            SiteKind::Global { name } => name.clone(),
+            SiteKind::Unknown => "(unattributed)".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "FLEET REPORT — {} run(s), {} event(s), {} callsite(s)",
+            self.runs,
+            self.events,
+            self.aggregates.len()
+        )?;
+        if self.loss.any() {
+            writeln!(
+                f,
+                "corpus loss: {} chunk(s) skipped, {} record(s) lost, {} byte(s) skipped, \
+                 {} truncated run(s)",
+                self.loss.chunks_skipped,
+                self.loss.records_lost,
+                self.loss.bytes_skipped,
+                self.loss.truncated_runs
+            )?;
+        }
+        if self.aggregates.is_empty() {
+            writeln!(f, "No sharing problems found in any run.")?;
+            return Ok(());
+        }
+        writeln!(
+            f,
+            "{:>4}  {:>13} {:>13} {:>5} {:>5}  {:<14} {:<10} SITE",
+            "RANK", "TOTAL INVAL", "MAX/RUN", "RUNS", "HIT%", "CLASS", "DETECTION"
+        )?;
+        for (i, a) in self.aggregates.iter().enumerate() {
+            writeln!(
+                f,
+                "{:>4}  {:>13} {:>13} {:>5} {:>4.0}%  {:<14} {:<10} {}",
+                i + 1,
+                a.total_invalidations,
+                a.max_invalidations,
+                a.runs,
+                a.hit_rate * 100.0,
+                a.class.to_string(),
+                a.kind.family(),
+                Self::site_label(&a.site)
+            )?;
+            let span = if a.first_seen == a.last_seen {
+                format!("run {}", a.first_seen)
+            } else {
+                format!("runs {} .. {}", a.first_seen, a.last_seen)
+            };
+            writeln!(f, "      {span} ({})", a.key)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predator_core::{Finding, ObjectReport, RunStats};
+    use predator_trace::LossStats;
+
+    fn finding(name: &str, invalidations: u64, class: SharingClass) -> Finding {
+        Finding {
+            kind: FindingKind::Observed,
+            class,
+            object: ObjectReport {
+                start: 0x1000,
+                end: 0x1040,
+                size: 64,
+                site: SiteKind::Global { name: name.into() },
+            },
+            invalidations,
+            accesses: invalidations * 2,
+            writes: invalidations,
+            words: Vec::new(),
+            virtual_lines: Vec::new(),
+            timeline: Vec::new(),
+            invalidation_traces: Vec::new(),
+        }
+    }
+
+    fn entry(id: &str, findings: Vec<Finding>) -> TraceEntry {
+        TraceEntry {
+            id: id.into(),
+            file: format!("{id}.ptrace"),
+            seq: 0,
+            events: 10,
+            loss: LossStats::default(),
+            findings,
+            stats: RunStats::default(),
+        }
+    }
+
+    fn manifest(entries: Vec<TraceEntry>) -> Manifest {
+        let mut m = Manifest::new(predator_core::DetectorConfig::sensitive());
+        m.traces = entries;
+        m
+    }
+
+    #[test]
+    fn merges_same_key_across_runs_and_ranks_by_total() {
+        let m = manifest(vec![
+            entry("a-1", vec![finding("hot", 100, SharingClass::FalseSharing)]),
+            entry(
+                "b-2",
+                vec![
+                    finding("hot", 50, SharingClass::FalseSharing),
+                    finding("cold", 200, SharingClass::FalseSharing),
+                ],
+            ),
+        ]);
+        let r = build_fleet_report(&m);
+        assert_eq!(r.runs, 2);
+        assert_eq!(r.aggregates.len(), 2);
+        // "cold" has 200 total, "hot" 150 — ranked by total.
+        assert_eq!(r.aggregates[0].key, "observed|global:cold");
+        assert_eq!(r.aggregates[1].key, "observed|global:hot");
+        let hot = &r.aggregates[1];
+        assert_eq!(hot.total_invalidations, 150);
+        assert_eq!(hot.max_invalidations, 100);
+        assert_eq!(hot.runs, 2);
+        assert!((hot.hit_rate - 1.0).abs() < 1e-12);
+        assert_eq!(hot.first_seen, "a-1");
+        assert_eq!(hot.last_seen, "b-2");
+        assert_eq!(hot.provenance.len(), 2);
+        let cold = &r.aggregates[0];
+        assert!((cold.hit_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_run_findings_under_one_key_fold_together() {
+        // Two findings from the same callsite in ONE run count as one run.
+        let m = manifest(vec![entry(
+            "a-1",
+            vec![
+                finding("hot", 10, SharingClass::FalseSharing),
+                finding("hot", 20, SharingClass::FalseSharing),
+            ],
+        )]);
+        let r = build_fleet_report(&m);
+        assert_eq!(r.aggregates.len(), 1);
+        assert_eq!(r.aggregates[0].runs, 1);
+        assert_eq!(r.aggregates[0].total_invalidations, 30);
+        assert_eq!(r.aggregates[0].max_invalidations, 30);
+    }
+
+    #[test]
+    fn class_disagreement_escalates_to_mixed() {
+        let m = manifest(vec![
+            entry("a-1", vec![finding("hot", 10, SharingClass::FalseSharing)]),
+            entry("b-2", vec![finding("hot", 10, SharingClass::TrueSharing)]),
+        ]);
+        let r = build_fleet_report(&m);
+        assert_eq!(r.aggregates[0].class, SharingClass::Mixed);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let e1 = entry("a-1", vec![finding("x", 5, SharingClass::FalseSharing)]);
+        let e2 = entry("b-2", vec![finding("x", 7, SharingClass::FalseSharing)]);
+        let e3 = entry("c-3", vec![finding("y", 9, SharingClass::TrueSharing)]);
+        let fwd = build_fleet_report(&manifest(vec![e1.clone(), e2.clone(), e3.clone()]));
+        let rev = build_fleet_report(&manifest(vec![e3, e2, e1]));
+        assert_eq!(fwd.aggregates, rev.aggregates);
+        assert_eq!(fwd.runs, rev.runs);
+    }
+
+    #[test]
+    fn loss_totals_sum_across_runs() {
+        let mut e1 = entry("a-1", vec![]);
+        e1.loss = LossStats {
+            chunks_skipped: 1,
+            records_lost: 100,
+            bytes_skipped: 64,
+            truncated: true,
+        };
+        let e2 = entry("b-2", vec![]);
+        let r = build_fleet_report(&manifest(vec![e1, e2]));
+        assert_eq!(r.loss.chunks_skipped, 1);
+        assert_eq!(r.loss.records_lost, 100);
+        assert_eq!(r.loss.truncated_runs, 1);
+        assert!(r.loss.any());
+        assert!(r.to_string().contains("corpus loss"));
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let m = manifest(vec![entry(
+            "a-1",
+            vec![finding("hot", 100, SharingClass::FalseSharing)],
+        )]);
+        let r = build_fleet_report(&m);
+        let back: FleetReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+}

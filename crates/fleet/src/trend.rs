@@ -1,0 +1,321 @@
+//! Trend deltas: compare the current corpus against a baseline corpus and
+//! classify every callsite as new, fixed, regressed, improved, or steady.
+//!
+//! Comparisons use the **per-run mean** invalidation count, not the raw
+//! total — a corpus that merely accumulated more runs is not "worse". The
+//! tolerance (default ±50%) bounds run-to-run noise: a callsite regresses
+//! only when its mean grows by more than `tolerance` relative to baseline.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::merge::{CallsiteAggregate, FleetReport};
+
+/// Default relative tolerance before a mean shift counts as a change.
+pub const DEFAULT_TOLERANCE: f64 = 0.5;
+
+/// How a callsite moved between baseline and current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrendStatus {
+    /// Absent from baseline, present now.
+    New,
+    /// Present in baseline, absent now.
+    Fixed,
+    /// Per-run mean grew beyond tolerance.
+    Regressed,
+    /// Per-run mean shrank beyond tolerance.
+    Improved,
+    /// Within tolerance.
+    Steady,
+}
+
+impl std::fmt::Display for TrendStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrendStatus::New => f.write_str("NEW"),
+            TrendStatus::Fixed => f.write_str("FIXED"),
+            TrendStatus::Regressed => f.write_str("REGRESSED"),
+            TrendStatus::Improved => f.write_str("improved"),
+            TrendStatus::Steady => f.write_str("steady"),
+        }
+    }
+}
+
+/// One callsite's movement between the two corpora.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendEntry {
+    /// Stable callsite key.
+    pub key: String,
+    /// Classification.
+    pub status: TrendStatus,
+    /// Baseline per-run mean invalidations (0 when new).
+    pub baseline_mean: f64,
+    /// Current per-run mean invalidations (0 when fixed).
+    pub current_mean: f64,
+    /// `current_mean - baseline_mean`.
+    pub delta: f64,
+}
+
+/// The full delta report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendReport {
+    /// Schema tag.
+    pub schema: String,
+    /// Relative tolerance used.
+    pub tolerance: f64,
+    /// Baseline runs.
+    pub baseline_runs: u64,
+    /// Current runs.
+    pub current_runs: u64,
+    /// Entries, worst movement first (new, then regressed by descending
+    /// delta, then fixed/improved/steady).
+    pub entries: Vec<TrendEntry>,
+}
+
+/// Trend report schema tag.
+pub const TREND_SCHEMA: &str = "predator-fleet-trend/1";
+
+fn mean(a: &CallsiteAggregate) -> f64 {
+    if a.runs == 0 {
+        0.0
+    } else {
+        a.total_invalidations as f64 / a.runs as f64
+    }
+}
+
+fn severity(e: &TrendEntry) -> (u8, f64) {
+    let class = match e.status {
+        TrendStatus::New => 0,
+        TrendStatus::Regressed => 1,
+        TrendStatus::Fixed => 2,
+        TrendStatus::Improved => 3,
+        TrendStatus::Steady => 4,
+    };
+    // Bigger absolute movement first within a class.
+    (class, -e.delta.abs())
+}
+
+/// Computes the delta of `current` against `baseline`.
+pub fn trend(baseline: &FleetReport, current: &FleetReport, tolerance: f64) -> TrendReport {
+    let _span = predator_obs::span("fleet_trend");
+    let base: BTreeMap<&str, f64> = baseline
+        .aggregates
+        .iter()
+        .map(|a| (a.key.as_str(), mean(a)))
+        .collect();
+    let cur: BTreeMap<&str, f64> = current
+        .aggregates
+        .iter()
+        .map(|a| (a.key.as_str(), mean(a)))
+        .collect();
+    let mut entries = Vec::new();
+    for (key, &c) in &cur {
+        let entry = match base.get(key) {
+            None => TrendEntry {
+                key: key.to_string(),
+                status: TrendStatus::New,
+                baseline_mean: 0.0,
+                current_mean: c,
+                delta: c,
+            },
+            Some(&b) => {
+                let status = if c > b * (1.0 + tolerance) {
+                    TrendStatus::Regressed
+                } else if c < b * (1.0 - tolerance) {
+                    TrendStatus::Improved
+                } else {
+                    TrendStatus::Steady
+                };
+                TrendEntry {
+                    key: key.to_string(),
+                    status,
+                    baseline_mean: b,
+                    current_mean: c,
+                    delta: c - b,
+                }
+            }
+        };
+        entries.push(entry);
+    }
+    for (key, &b) in &base {
+        if !cur.contains_key(key) {
+            entries.push(TrendEntry {
+                key: key.to_string(),
+                status: TrendStatus::Fixed,
+                baseline_mean: b,
+                current_mean: 0.0,
+                delta: -b,
+            });
+        }
+    }
+    entries.sort_by(|a, b| {
+        let (ca, da) = severity(a);
+        let (cb, db) = severity(b);
+        ca.cmp(&cb)
+            .then_with(|| da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal))
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    TrendReport {
+        schema: TREND_SCHEMA.to_string(),
+        tolerance,
+        baseline_runs: baseline.runs,
+        current_runs: current.runs,
+        entries,
+    }
+}
+
+impl TrendReport {
+    /// True when any callsite is new or regressed — the `--fail-on-regression`
+    /// gate.
+    pub fn has_regressions(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|e| matches!(e.status, TrendStatus::New | TrendStatus::Regressed))
+    }
+
+    /// Count with a given status.
+    pub fn count(&self, s: TrendStatus) -> usize {
+        self.entries.iter().filter(|e| e.status == s).count()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trend report serialization cannot fail")
+    }
+}
+
+impl std::fmt::Display for TrendReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "FLEET TREND — baseline {} run(s), current {} run(s), tolerance ±{:.0}%",
+            self.baseline_runs,
+            self.current_runs,
+            self.tolerance * 100.0
+        )?;
+        writeln!(
+            f,
+            "{} new, {} regressed, {} fixed, {} improved, {} steady",
+            self.count(TrendStatus::New),
+            self.count(TrendStatus::Regressed),
+            self.count(TrendStatus::Fixed),
+            self.count(TrendStatus::Improved),
+            self.count(TrendStatus::Steady),
+        )?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "{:>10}  {:>12.1} -> {:>12.1} ({:+.1})  {}",
+                e.status.to_string(),
+                e.baseline_mean,
+                e.current_mean,
+                e.delta,
+                e.key
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::{FleetReport, LossTotals, FLEET_REPORT_SCHEMA};
+    use predator_core::{FindingKind, ObsSnapshot, SharingClass, SiteKind};
+
+    fn agg(key: &str, total: u64, runs: u64) -> CallsiteAggregate {
+        CallsiteAggregate {
+            key: key.into(),
+            kind: FindingKind::Observed,
+            class: SharingClass::FalseSharing,
+            site: SiteKind::Unknown,
+            object_size: 64,
+            total_invalidations: total,
+            max_invalidations: total,
+            total_accesses: 0,
+            total_writes: 0,
+            runs,
+            hit_rate: 1.0,
+            first_seen: "a".into(),
+            last_seen: "a".into(),
+            provenance: Vec::new(),
+        }
+    }
+
+    fn report(aggs: Vec<CallsiteAggregate>, runs: u64) -> FleetReport {
+        FleetReport {
+            schema: FLEET_REPORT_SCHEMA.to_string(),
+            runs,
+            events: 0,
+            loss: LossTotals::default(),
+            aggregates: aggs,
+            obs: ObsSnapshot::capture(),
+        }
+    }
+
+    #[test]
+    fn classifies_new_fixed_regressed_improved_steady() {
+        let baseline = report(
+            vec![
+                agg("gone", 100, 1),
+                agg("worse", 100, 1),
+                agg("better", 100, 1),
+                agg("same", 100, 1),
+            ],
+            1,
+        );
+        let current = report(
+            vec![
+                agg("brand-new", 50, 1),
+                agg("worse", 200, 1),
+                agg("better", 10, 1),
+                agg("same", 110, 1),
+            ],
+            1,
+        );
+        let t = trend(&baseline, &current, DEFAULT_TOLERANCE);
+        let status = |k: &str| {
+            t.entries
+                .iter()
+                .find(|e| e.key == k)
+                .map(|e| e.status)
+                .unwrap()
+        };
+        assert_eq!(status("brand-new"), TrendStatus::New);
+        assert_eq!(status("gone"), TrendStatus::Fixed);
+        assert_eq!(status("worse"), TrendStatus::Regressed);
+        assert_eq!(status("better"), TrendStatus::Improved);
+        assert_eq!(status("same"), TrendStatus::Steady);
+        assert!(t.has_regressions());
+        // Worst movement first: new entries lead.
+        assert_eq!(t.entries[0].status, TrendStatus::New);
+    }
+
+    #[test]
+    fn per_run_means_ignore_corpus_growth() {
+        // Same mean (100/run) across 1 vs 3 runs: steady, not regressed.
+        let baseline = report(vec![agg("k", 100, 1)], 1);
+        let current = report(vec![agg("k", 300, 3)], 3);
+        let t = trend(&baseline, &current, DEFAULT_TOLERANCE);
+        assert_eq!(t.entries[0].status, TrendStatus::Steady);
+        assert!(!t.has_regressions());
+    }
+
+    #[test]
+    fn fixed_and_improved_do_not_gate() {
+        let baseline = report(vec![agg("gone", 100, 1), agg("better", 100, 1)], 1);
+        let current = report(vec![agg("better", 10, 1)], 1);
+        let t = trend(&baseline, &current, DEFAULT_TOLERANCE);
+        assert!(!t.has_regressions());
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let baseline = report(vec![agg("k", 100, 1)], 1);
+        let current = report(vec![agg("k", 500, 1)], 1);
+        let t = trend(&baseline, &current, DEFAULT_TOLERANCE);
+        let back: TrendReport = serde_json::from_str(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -307,7 +307,11 @@ fn analyze_ptrace(path: &Path, cfg: &AnalyzeConfig) -> Result<AnalyzeOutcome, St
     pass1.drain();
     let meta = pass1.take_meta();
     let (base, size) = (pass1.base(), pass1.size());
-    let mut pass2 = open_ptrace(path)?;
+    // Recycle pass 1's window and queue for pass 2 instead of reallocating.
+    let f = File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut pass2 = pass1
+        .reuse(BufReader::new(f))
+        .map_err(|e: TraceError| format!("{}: {e}", path.display()))?;
     let (report, delivered, plan) =
         run_sharded(&counts, &mut pass2, base, size, meta.as_ref(), cfg);
     pass2.drain();

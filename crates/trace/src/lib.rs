@@ -34,8 +34,8 @@ pub use analyze::{
     analyze_events, analyze_file, sniff_format, AnalyzeConfig, AnalyzeOutcome, ShardPlan,
     TraceFormat,
 };
-pub use format::{Header, TraceMeta, VERSION};
+pub use format::{Header, MetaFrame, MetaGlobal, MetaObject, TraceMeta, VERSION};
 pub use jsonl::{load_jsonl, save_jsonl, JsonlIter};
-pub use reader::{read_info, LossStats, TraceError, TraceInfo, TraceReader};
+pub use reader::{read_info, read_info_scan, LossStats, TraceError, TraceInfo, TraceReader};
 pub use segment::{BatchSink, SegmentedSink, SEGMENT_CAPACITY};
 pub use writer::{TraceSink, TraceWriter, WriteSummary};

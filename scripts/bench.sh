@@ -65,4 +65,15 @@ SCALING_OUT="${BENCH_SCALING_OUT:-BENCH_scaling_local.json}"
 echo "==> tracked-line scaling bench -> $SCALING_OUT"
 target/release/bench_scaling "$SCALING_OUT" --iters "${BENCH_SCALING_ITERS:-200000}"
 
-echo "BENCH OK — wrote $OUT, $TRACE_OUT and $SCALING_OUT"
+# Fleet pipeline telemetry: corpus ingest throughput, merged-report build
+# time, and trend time over a >=10M-event synthetic multi-trace corpus with
+# one deliberately corrupted member (loss accounting always exercised).
+# Refresh the committed artifact with
+#   BENCH_FLEET_OUT=BENCH_6.json scripts/bench.sh
+FLEET_OUT="${BENCH_FLEET_OUT:-BENCH_fleet_local.json}"
+echo "==> fleet corpus bench -> $FLEET_OUT"
+target/release/bench_fleet "$FLEET_OUT" \
+  --traces "${BENCH_FLEET_TRACES:-8}" \
+  --events-per-trace "${BENCH_FLEET_EVENTS:-1250000}"
+
+echo "BENCH OK — wrote $OUT, $TRACE_OUT, $SCALING_OUT and $FLEET_OUT"

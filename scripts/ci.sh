@@ -12,6 +12,9 @@ cargo test --workspace -q
 echo "==> cargo test -p predator-obs -q --features obs-off"
 cargo test -p predator-obs -q --features obs-off
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -45,6 +48,41 @@ $PRED analyze "$SMOKE/run.ptrace" --sensitive --shards 4 --json > "$SMOKE/offlin
 $PRED diff "$SMOKE/live.json" "$SMOKE/offline.json"
 echo "offline analysis matches the live run"
 
+echo "==> fleet smoke (corpus ingest -> merged report -> trend gate, both exit paths)"
+# Two recordings of one workload form the baseline corpus; adding a second
+# workload introduces new callsites, which must trip --fail-on-regression.
+$PRED record histogram --iters 1000 -o "$SMOKE/f1.ptrace"
+$PRED record histogram --iters 1500 -o "$SMOKE/f2.ptrace"
+$PRED record linear_regression --iters 1000 -o "$SMOKE/f3.ptrace"
+$PRED fleet ingest "$SMOKE/f1.ptrace" "$SMOKE/f2.ptrace" \
+  --corpus "$SMOKE/baseline" --sensitive
+$PRED fleet ingest "$SMOKE/f1.ptrace" "$SMOKE/f2.ptrace" "$SMOKE/f3.ptrace" \
+  --corpus "$SMOKE/current" --sensitive
+# grep a file, not a pipe: `grep -q` closes the pipe at first match and the
+# writer would die on SIGPIPE.
+$PRED fleet report --corpus "$SMOKE/current" > "$SMOKE/fleet-report.txt"
+grep -q "FLEET REPORT" "$SMOKE/fleet-report.txt"
+# A 1-file corpus's stored run must match `analyze` on the same trace.
+$PRED analyze "$SMOKE/f1.ptrace" --sensitive --json > "$SMOKE/f1-direct.json"
+RUN_ID=$($PRED fleet report --corpus "$SMOKE/baseline" --json |
+  grep -o '"trace": "f1-[^"]*"' | head -n 1 | cut -d'"' -f4)
+$PRED fleet report --corpus "$SMOKE/baseline" --run "$RUN_ID" --json > "$SMOKE/f1-stored.json"
+$PRED diff "$SMOKE/f1-direct.json" "$SMOKE/f1-stored.json"
+$PRED diff "$SMOKE/f1-stored.json" "$SMOKE/f1-direct.json"
+# Exit path 1: corpus vs itself is steady — the gate passes.
+$PRED fleet trend --corpus "$SMOKE/baseline" --baseline "$SMOKE/baseline" \
+  --fail-on-regression
+# Exit path 2: the added workload's callsites are NEW — the gate must fail.
+if $PRED fleet trend --corpus "$SMOKE/current" --baseline "$SMOKE/baseline/corpus.json" \
+    --fail-on-regression; then
+  echo "fleet trend gate failed to fail on new callsites" >&2
+  exit 1
+fi
+echo "fleet trend gate correctly rejected the new callsites"
+$PRED fleet compact --corpus "$SMOKE/current" --keep 1
+$PRED fleet report --corpus "$SMOKE/current" > "$SMOKE/fleet-compacted.txt"
+grep -q "3 run(s)" "$SMOKE/fleet-compacted.txt"
+
 echo "==> timeline/profile/bench-diff smoke"
 $PRED ir examples/programs/false_sharing.pir --threads 2 --iters 2000 \
   --trace-timeline "$SMOKE/trace.json" > /dev/null
@@ -60,6 +98,9 @@ fi
 cargo build --release -q -p predator-bench
 target/release/bench_telemetry measure "$SMOKE/bench.json" --iters 100 --hot-iters 50000
 $PRED bench-diff "$SMOKE/bench.json" "$SMOKE/bench.json"
+# bench-diff's schema-agnostic path: fleet telemetry gates against itself.
+target/release/bench_fleet "$SMOKE/bench_fleet.json" --traces 2 --events-per-trace 100000
+$PRED bench-diff "$SMOKE/bench_fleet.json" "$SMOKE/bench_fleet.json"
 
 echo "==> tracked-line scaling bench (2x gate enforced only on >=8 cores)"
 target/release/bench_scaling "$SMOKE/bench_scaling.json" --iters 100000 --reps 2

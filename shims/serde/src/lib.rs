@@ -100,6 +100,21 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+// `Value` round-trips as itself, so schema-agnostic consumers (e.g.
+// `predator bench-diff`'s generic path) can deserialize arbitrary JSON
+// without naming a concrete type.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 fn type_name(v: &Value) -> &'static str {
     match v {
         Value::Null => "null",

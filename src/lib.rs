@@ -22,7 +22,10 @@
 //!   (CRC-framed, delta-encoded, corruption-tolerant) and the sharded
 //!   offline analysis engine;
 //! * [`workloads`] — the paper's Phoenix / PARSEC /
-//!   real-application evaluation workloads.
+//!   real-application evaluation workloads;
+//! * [`fleet`] — the `.ptrace` corpus store: cross-run merged
+//!   reports deduped by stable callsite key, trend/regression deltas
+//!   against a baseline corpus, and retention via compaction.
 //!
 //! ## Quick start
 //!
@@ -48,6 +51,7 @@
 
 pub use predator_alloc as alloc;
 pub use predator_core as core;
+pub use predator_fleet as fleet;
 pub use predator_instrument as instrument;
 pub use predator_shadow as shadow;
 pub use predator_sim as sim;

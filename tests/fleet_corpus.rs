@@ -1,0 +1,336 @@
+//! End-to-end tests of the fleet corpus pipeline: a 1-file corpus must
+//! reproduce `predator analyze` exactly, the merged N-corpus report must be
+//! independent of ingest order, corrupted members must degrade to loss
+//! accounting (never an error), and compaction must preserve merged totals.
+
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use predator::core::{DetectorConfig, Report, Session};
+use predator::fleet::{build_fleet_report, compact, ingest, trend, FleetReport, Manifest};
+use predator::sim::{Access, ThreadId};
+use predator::trace::{analyze_file, AnalyzeConfig, TraceMeta, TraceSink, TraceWriter};
+use predator::workloads::{by_name, Variant, WorkloadConfig};
+
+static DIRS: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory per call (tests and proptest cases run
+/// concurrently in one process).
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "predator-fleet-it-{}-{name}-{}",
+        std::process::id(),
+        DIRS.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Findings + run stats, serialised. The `obs` section is excluded: it
+/// snapshots process-global telemetry that accumulates across tests.
+fn essence(r: &Report) -> String {
+    format!(
+        "{}\n{}",
+        serde_json::to_string(&r.findings).unwrap(),
+        serde_json::to_string(&r.stats).unwrap()
+    )
+}
+
+/// Everything observable about a merged fleet report except the `obs`
+/// snapshot (process-global, accumulates across tests).
+fn fleet_essence(r: &FleetReport) -> String {
+    format!(
+        "{}|{}|{}|{}",
+        r.runs,
+        r.events,
+        serde_json::to_string(&r.loss).unwrap(),
+        serde_json::to_string(&r.aggregates).unwrap()
+    )
+}
+
+/// Records a workload run to `path` the way `predator record` does.
+fn record_workload(name: &str, cfg: &WorkloadConfig, path: &Path) -> u64 {
+    let mut det = DetectorConfig::sensitive();
+    det.enabled = false;
+    let session = Session::with_config(det);
+    let file = std::fs::File::create(path).unwrap();
+    let sink = Arc::new(
+        TraceSink::create(
+            std::io::BufWriter::new(file),
+            session.space().base(),
+            session.space().size(),
+        )
+        .unwrap(),
+    );
+    session.runtime().install_tap(sink.clone()).unwrap();
+    by_name(name).unwrap().run_tracked(&session, cfg);
+    let meta = TraceMeta::capture(session.runtime(), session.heap());
+    sink.finish(&meta).unwrap().events
+}
+
+const BASE: u64 = 0x4000_0000;
+const SIZE: u64 = 1 << 22;
+
+/// Writes a synthetic ping-pong trace: two threads alternate on adjacent
+/// words of `regions` well-separated cache lines, `rounds` writes each.
+fn write_pingpong(path: &Path, regions: u64, rounds: u64, salt: u64) {
+    let f = std::fs::File::create(path).unwrap();
+    let mut w = TraceWriter::create(BufWriter::new(f), BASE, SIZE).unwrap();
+    let mut events = Vec::new();
+    for i in 0..rounds {
+        for r in 0..regions {
+            let rbase = BASE + (r + salt) * 0x8000;
+            events.push(Access::write(
+                ThreadId((i % 2) as u16),
+                rbase + (i % 2) * 8,
+                8,
+            ));
+        }
+    }
+    w.write_events(&events).unwrap();
+    w.finish().unwrap();
+}
+
+#[test]
+fn one_file_corpus_reproduces_analyze_exactly() {
+    let cfg = WorkloadConfig {
+        threads: 4,
+        iters: 2_000,
+        seed: 42,
+        variant: Variant::Broken,
+    };
+    let trace = scratch("identity").with_extension("ptrace");
+    let recorded = record_workload("histogram", &cfg, &trace);
+    assert!(recorded > 0);
+
+    let det = DetectorConfig::sensitive();
+    let acfg = AnalyzeConfig::new(det, 2);
+    let direct = analyze_file(&trace, &acfg, 0, 0).unwrap();
+    assert!(direct.report.has_observed_false_sharing());
+
+    let corpus = scratch("identity-corpus");
+    let outcomes = ingest(&corpus, std::slice::from_ref(&trace), &acfg).unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].added);
+    assert_eq!(outcomes[0].events, direct.events);
+
+    // The stored per-run report is byte-for-byte what `analyze` produced
+    // (modulo the process-global obs section, excluded by convention).
+    let m = Manifest::load_required(&corpus).unwrap();
+    let entry = m.find(&outcomes[0].id).unwrap();
+    let stored = Report {
+        findings: entry.findings.clone(),
+        stats: entry.stats,
+        obs: direct.report.obs.clone(),
+    };
+    assert_eq!(essence(&stored), essence(&direct.report));
+
+    // The merged view of a 1-run corpus ranks exactly the run's findings.
+    let fleet = build_fleet_report(&m);
+    assert_eq!(fleet.runs, 1);
+    assert_eq!(fleet.events, direct.events);
+    assert_eq!(fleet.aggregates.len(), {
+        let mut keys: Vec<String> = direct
+            .report
+            .findings
+            .iter()
+            .map(|f| f.callsite_key())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys.len()
+    });
+    for a in &fleet.aggregates {
+        assert_eq!(a.runs, 1);
+        assert_eq!(a.hit_rate, 1.0);
+        assert_eq!(a.provenance.len(), 1);
+        assert_eq!(a.provenance[0].trace, outcomes[0].id);
+    }
+
+    // Re-ingesting the identical bytes is a no-op: the corpus is a set.
+    let again = ingest(&corpus, std::slice::from_ref(&trace), &acfg).unwrap();
+    assert!(!again[0].added);
+    let m2 = Manifest::load_required(&corpus).unwrap();
+    assert_eq!(m2.runs(), 1);
+    assert_eq!(
+        fleet_essence(&build_fleet_report(&m2)),
+        fleet_essence(&fleet)
+    );
+
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_dir_all(&corpus).ok();
+}
+
+#[test]
+fn corrupted_member_degrades_to_loss_accounting() {
+    let clean = scratch("clean").with_extension("ptrace");
+    let damaged = scratch("damaged").with_extension("ptrace");
+    write_pingpong(&clean, 2, 400, 0);
+    write_pingpong(&damaged, 2, 400, 8);
+
+    // Flip bytes in the middle: a CRC-framed chunk goes bad, the reader
+    // resyncs, and the member ingests with counted loss — no error.
+    let mut bytes = std::fs::read(&damaged).unwrap();
+    let mid = bytes.len() / 2;
+    let end = (mid + 32).min(bytes.len());
+    for b in &mut bytes[mid..end] {
+        *b ^= 0xFF;
+    }
+    std::fs::write(&damaged, bytes).unwrap();
+
+    let corpus = scratch("loss-corpus");
+    let acfg = AnalyzeConfig::new(DetectorConfig::sensitive(), 2);
+    let outcomes = ingest(&corpus, &[clean.clone(), damaged.clone()], &acfg).unwrap();
+    assert!(outcomes.iter().all(|o| o.added));
+
+    let m = Manifest::load_required(&corpus).unwrap();
+    let report = build_fleet_report(&m);
+    assert_eq!(report.runs, 2);
+    assert!(
+        report.loss.any(),
+        "mid-file corruption must surface as corpus loss accounting"
+    );
+    assert!(report.loss.records_lost > 0 || report.loss.chunks_skipped > 0);
+    // The clean member stays pristine in the manifest.
+    let clean_entry = m
+        .traces
+        .iter()
+        .find(|t| t.file.starts_with("predator-fleet-it") && !t.loss.any())
+        .or_else(|| m.traces.iter().find(|t| !t.loss.any()));
+    assert!(clean_entry.is_some(), "one member must be loss-free");
+
+    std::fs::remove_file(&clean).ok();
+    std::fs::remove_file(&damaged).ok();
+    std::fs::remove_dir_all(&corpus).ok();
+}
+
+#[test]
+fn compaction_preserves_merged_totals_and_reclaims_files() {
+    let corpus = scratch("compact-corpus");
+    let acfg = AnalyzeConfig::new(DetectorConfig::sensitive(), 2);
+    let mut paths = Vec::new();
+    for i in 0..3u64 {
+        let p = scratch(&format!("compact-{i}")).with_extension("ptrace");
+        write_pingpong(&p, 2, 300, i); // overlapping + disjoint regions
+        paths.push(p);
+    }
+    ingest(&corpus, &paths, &acfg).unwrap();
+    let before = build_fleet_report(&Manifest::load_required(&corpus).unwrap());
+    assert_eq!(before.runs, 3);
+
+    let out = compact(&corpus, 1).unwrap();
+    assert_eq!(out.dropped, 2);
+    assert_eq!(out.kept, 1);
+    assert!(out.bytes_reclaimed > 0);
+    let raw_left = std::fs::read_dir(&corpus)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "ptrace")
+        })
+        .count();
+    assert_eq!(raw_left, 1, "dropped members' raw files are deleted");
+
+    // Merged mass is exactly preserved; only per-run provenance is spent.
+    let after = build_fleet_report(&Manifest::load_required(&corpus).unwrap());
+    assert_eq!(after.runs, before.runs);
+    assert_eq!(after.events, before.events);
+    let totals = |r: &FleetReport| -> Vec<(String, u64, u64)> {
+        r.aggregates
+            .iter()
+            .map(|a| (a.key.clone(), a.total_invalidations, a.runs))
+            .collect()
+    };
+    assert_eq!(totals(&after), totals(&before));
+
+    // Compacting an already-compacted corpus is idempotent on totals.
+    compact(&corpus, 1).unwrap();
+    let again = build_fleet_report(&Manifest::load_required(&corpus).unwrap());
+    assert_eq!(totals(&again), totals(&before));
+
+    for p in &paths {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_dir_all(&corpus).ok();
+}
+
+#[test]
+fn trend_classifies_against_baseline_corpus() {
+    let acfg = AnalyzeConfig::new(DetectorConfig::sensitive(), 2);
+    let a = scratch("trend-a").with_extension("ptrace");
+    let b = scratch("trend-b").with_extension("ptrace");
+    write_pingpong(&a, 2, 300, 0); // regions 0,1
+    write_pingpong(&b, 2, 300, 1); // regions 1,2 — region 2 is new
+
+    let base_dir = scratch("trend-base");
+    let cur_dir = scratch("trend-cur");
+    ingest(&base_dir, std::slice::from_ref(&a), &acfg).unwrap();
+    ingest(&cur_dir, std::slice::from_ref(&b), &acfg).unwrap();
+
+    let base = build_fleet_report(&Manifest::load_required(&base_dir).unwrap());
+    let cur = build_fleet_report(&Manifest::load_required(&cur_dir).unwrap());
+    let t = trend(&base, &cur, 0.5);
+    assert!(t.has_regressions(), "a new callsite must gate");
+    assert!(t
+        .entries
+        .iter()
+        .any(|e| { matches!(e.status, predator::fleet::TrendStatus::New) }));
+    assert!(t
+        .entries
+        .iter()
+        .any(|e| { matches!(e.status, predator::fleet::TrendStatus::Fixed) }));
+    // Same corpus against itself: all steady, nothing gates.
+    let same = trend(&cur, &cur, 0.5);
+    assert!(!same.has_regressions());
+
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+    std::fs::remove_dir_all(&base_dir).ok();
+    std::fs::remove_dir_all(&cur_dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The merged report is a pure function of the member *set*: any
+    /// ingest-order permutation of the same traces produces the identical
+    /// report (aggregates, ranking, provenance, first/last seen).
+    #[test]
+    fn prop_merged_report_is_ingest_order_independent(
+        specs in proptest::collection::vec((1u64..4, 50u64..200, 0u64..6), 2..5),
+        rotate in 0usize..4,
+    ) {
+        let mut paths = Vec::new();
+        for (i, &(regions, rounds, salt)) in specs.iter().enumerate() {
+            let p = scratch(&format!("perm-{i}")).with_extension("ptrace");
+            write_pingpong(&p, regions, rounds, salt);
+            paths.push(p);
+        }
+        let acfg = AnalyzeConfig::new(DetectorConfig::sensitive(), 2);
+
+        let forward = scratch("perm-fwd");
+        ingest(&forward, &paths, &acfg).unwrap();
+        let fwd = build_fleet_report(&Manifest::load_required(&forward).unwrap());
+
+        // Reverse, then rotate: an arbitrary-looking permutation.
+        let mut shuffled: Vec<_> = paths.iter().rev().cloned().collect();
+        let k = rotate % shuffled.len();
+        shuffled.rotate_left(k);
+        let permuted = scratch("perm-rev");
+        ingest(&permuted, &shuffled, &acfg).unwrap();
+        let rev = build_fleet_report(&Manifest::load_required(&permuted).unwrap());
+
+        prop_assert_eq!(fleet_essence(&fwd), fleet_essence(&rev));
+
+        for p in &paths {
+            std::fs::remove_file(p).ok();
+        }
+        std::fs::remove_dir_all(&forward).ok();
+        std::fs::remove_dir_all(&permuted).ok();
+    }
+}
