@@ -288,6 +288,16 @@ impl TrackedHeap {
         self.allocated_bytes() - self.freed_bytes.load(Ordering::Relaxed)
     }
 
+    /// Bytes of the heap region not yet carved into thread segments or
+    /// handed to large objects — the address space this heap can still
+    /// consume. Segment carving and quarantine are never undone, so this
+    /// only decreases over a heap's lifetime; it is the right exhaustion
+    /// predictor for long-lived sessions (usable-byte counters miss
+    /// carving waste entirely).
+    pub fn uncarved_bytes(&self) -> u64 {
+        self.shared.lock().unwrap().remaining()
+    }
+
     /// Resolves an interned callsite id.
     pub fn resolve_callsite(&self, id: CallsiteId) -> Option<Callsite> {
         self.callsites.resolve(id)
@@ -308,7 +318,7 @@ impl TrackedHeap {
             allocated_bytes: self.allocated_bytes(),
             quarantined: self.quarantine.lock().unwrap().len(),
             cached_blocks,
-            uncarved_bytes: self.shared.lock().unwrap().remaining(),
+            uncarved_bytes: self.uncarved_bytes(),
         }
     }
 }

@@ -10,6 +10,8 @@
 //! predator replay trace.jsonl
 //! ```
 
+mod serve;
+
 use std::io::BufReader;
 use std::path::Path;
 use std::process::ExitCode;
@@ -163,10 +165,36 @@ USAGE:
         regressed beyond tolerance (the nightly CI gate).
         --tolerance <F>     allowed regression fraction   [default: 0.5]
 
+    predator serve [<workload>|<trace.ptrace>] [OPTIONS]
+        Live monitoring: run the source continuously and expose telemetry
+        over HTTP. With a workload name (default: histogram), tracked
+        passes repeat over one long-lived session; with a .ptrace path,
+        the trace is looped through a detector; with --watch, a fleet
+        spool directory is polled and complete traces auto-ingested.
+        Endpoints: /metrics (Prometheus text), /health (liveness JSON),
+        /report (findings JSON, same schema as `analyze`), /snapshot
+        (delta since previous scrape, epoch-tagged). A watchdog thread
+        estimates the detector's own overhead from calibrated per-access
+        costs and sheds sampling through a tiered backoff controller when
+        the budget is violated; new allocation sites re-arm it. SIGINT or
+        SIGTERM shuts the loop down gracefully (observability streams are
+        flushed on the way out).
+        --listen <ADDR>     bind address            [default: 127.0.0.1:0]
+        --overhead-budget <F>  self-overhead budget fraction [default: 0.05]
+        --watchdog-interval-ms <N>  watchdog/poll period [default: 500]
+        --passes <N>        stop driving after N passes (0 = forever);
+                            the server keeps serving until a signal
+        --ready-file <PATH> write the bound address to PATH once listening
+        --watch <DIR>       fleet spool directory to poll (needs --corpus)
+        --corpus <DIR>      fleet corpus directory for --watch
+        (plus `run`'s workload and detector options)
+
     predator stats <snapshot.json>
         Render an observability snapshot (from `--metrics`, or the `obs`
         field of a `--json` report) as a human-readable table. `-` reads
         from stdin.
+        --url <ADDR>        scrape a live `predator serve` instance's
+                            /snapshot instead of reading a file
 
     Common flags:
         --fixes             also print prescriptive fix suggestions
@@ -219,6 +247,13 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         "--baseline",
         "--keep",
         "--run",
+        "--listen",
+        "--overhead-budget",
+        "--watchdog-interval-ms",
+        "--passes",
+        "--ready-file",
+        "--watch",
+        "--url",
     ];
     let mut args = Args {
         positional: Vec::new(),
@@ -343,17 +378,68 @@ impl Drop for FlushGuard {
     fn drop(&mut self) {
         predator_obs::events().flush();
         if let Some(path) = self.timeline_path.take() {
-            let write = || -> std::io::Result<()> {
-                let file = std::fs::File::create(&path)?;
-                let mut out = std::io::BufWriter::new(file);
-                predator_obs::timeline().write_json(&mut out)
-            };
-            match write() {
-                Ok(()) => eprintln!("trace timeline written to {path}"),
-                Err(e) => eprintln!("error: cannot write {path}: {e}"),
-            }
+            write_timeline(&path);
         }
     }
+}
+
+fn write_timeline(path: &str) {
+    let write = || -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut out = std::io::BufWriter::new(file);
+        predator_obs::timeline().write_json(&mut out)
+    };
+    match write() {
+        Ok(()) => eprintln!("trace timeline written to {path}"),
+        Err(e) => eprintln!("error: cannot write {path}: {e}"),
+    }
+}
+
+/// Registers SIGINT/SIGTERM handlers that set the process-wide graceful
+/// shutdown flag ([`predator_core::shutdown`]). The handler body is a
+/// relaxed store to a static atomic — async-signal-safe; everything else
+/// happens on normal threads that notice the flag.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" fn on_signal(_sig: i32) {
+        predator_core::shutdown::request();
+    }
+    // std links libc; declaring `signal` here keeps the CLI dependency-free.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// For commands whose main loop does not poll the shutdown flag (`run`,
+/// `analyze`, ... — everything except `serve`), a detached watcher turns an
+/// interrupt into a flush-then-exit: the event sink gets its `sink_summary`
+/// line and the `--trace-timeline` file is written before the process dies,
+/// exactly as [`FlushGuard`] would have done on a normal exit.
+fn arm_interrupt_watcher(timeline_path: Option<String>) {
+    let _ = std::thread::Builder::new()
+        .name("predator-sigwatch".into())
+        .spawn(move || loop {
+            if predator_core::shutdown::requested() {
+                eprintln!("interrupted — flushing observability streams");
+                predator_obs::events().flush();
+                if let Some(path) = &timeline_path {
+                    write_timeline(path);
+                }
+                // 130 = 128 + SIGINT, the conventional interrupt exit code.
+                std::process::exit(130);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
 }
 
 /// Default flight-recorder ring depth (records kept per cache line).
@@ -1308,10 +1394,41 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
+    // --url scrapes a live `predator serve` instance's /snapshot endpoint
+    // and renders its embedded cumulative ObsSnapshot.
+    if let Some(url) = args.options.get("--url") {
+        let addr = url
+            .trim_start_matches("http://")
+            .trim_end_matches('/')
+            .to_string();
+        let (status, body) =
+            predator_obs::http_get(&addr, "/snapshot", std::time::Duration::from_secs(5))
+                .map_err(|e| format!("cannot scrape {addr}/snapshot: {e}"))?;
+        if status != 200 {
+            return Err(format!("{addr}/snapshot returned HTTP {status}"));
+        }
+        use serde::{Deserialize as _, Value};
+        let v: Value =
+            serde_json::from_str(&body).map_err(|e| format!("{addr}/snapshot: not JSON: {e}"))?;
+        let epoch = match v.field("epoch") {
+            Value::U64(n) => *n,
+            Value::I64(n) => *n as u64,
+            _ => 0,
+        };
+        let cum = v.field("cumulative");
+        if matches!(cum, Value::Null) {
+            return Err(format!("{addr}/snapshot: no `cumulative` section"));
+        }
+        let snap = ObsSnapshot::from_value(cum)
+            .map_err(|e| format!("{addr}/snapshot: bad cumulative snapshot: {e}"))?;
+        println!("live snapshot from {addr} (scrape epoch {epoch})");
+        print!("{}", snap.render_table());
+        return Ok(());
+    }
     let path = args
         .positional
         .get(1)
-        .ok_or("stats: missing snapshot path")?;
+        .ok_or("stats: missing snapshot path (or --url <addr>)")?;
     let text = if path == "-" {
         use std::io::Read as _;
         let mut buf = String::new();
@@ -1344,9 +1461,17 @@ fn main() -> ExitCode {
     // `--trace-timeline` file on every path out of main, including gate
     // failures and panics. Commands must therefore *return* their exit code
     // rather than calling `std::process::exit` (which skips destructors).
+    let timeline_path = install_timeline(&args);
     let _flush = FlushGuard {
-        timeline_path: install_timeline(&args),
+        timeline_path: timeline_path.clone(),
     };
+    install_signal_handlers();
+    // `serve` polls the shutdown flag itself and exits its loop gracefully
+    // (FlushGuard then runs on the normal path); every other command gets
+    // the flush-then-exit watcher.
+    if args.positional.first().map(String::as_str) != Some("serve") {
+        arm_interrupt_watcher(timeline_path);
+    }
     let result = install_trace_sink(&args)
         .and_then(|()| install_recorder(&args))
         .and_then(|()| {
@@ -1367,6 +1492,7 @@ fn main() -> ExitCode {
                 Some("explain") => cmd_explain(&args).map(|()| ExitCode::SUCCESS),
                 Some("diff") => cmd_diff(&args),
                 Some("bench-diff") => cmd_bench_diff(&args),
+                Some("serve") => serve::cmd_serve(&args).map(|()| ExitCode::SUCCESS),
                 Some("stats") => cmd_stats(&args).map(|()| ExitCode::SUCCESS),
                 Some("help") | None => {
                     println!("{USAGE}");

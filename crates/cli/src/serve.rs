@@ -1,0 +1,478 @@
+//! `predator serve` — live monitoring mode.
+//!
+//! Runs a detection source continuously and exposes its state over a
+//! zero-dependency HTTP/1.1 endpoint ([`predator_obs::HttpServer`]):
+//!
+//! * `/metrics` — Prometheus text exposition of the process-global
+//!   registry, prefixed with `predator_build_info` and a fresh
+//!   `predator_uptime_seconds` gauge;
+//! * `/health` — liveness JSON (uptime, pass count, last-analysis age);
+//! * `/report` — the current findings as JSON, same schema as `analyze`;
+//! * `/snapshot` — the delta since the previous scrape
+//!   ([`predator_obs::DeltaTracker`]), tagged with a monotonic epoch.
+//!
+//! Three sources, picked from the arguments:
+//!
+//! * **workload** (default) — repeated tracked passes of an evaluation
+//!   workload over one long-lived [`Session`]; the session is rotated when
+//!   the simulated heap nears capacity (quarantined frees are never
+//!   recycled), carrying the dynamic sampling settings across;
+//! * **replay** — a `.ptrace` file looped through a single detector;
+//! * **watch** (`--watch <dir> --corpus <dir>`) — a fleet spool directory
+//!   polled for complete traces and auto-ingested into a corpus
+//!   ([`predator_fleet::Watcher`]); `/report` serves the merged fleet view.
+//!
+//! A watchdog thread ticks [`Watchdog`] every `--watchdog-interval-ms`:
+//! calibrated per-access costs × hot-path counter deltas give the
+//! detector's own overhead, and sustained violations of
+//! `--overhead-budget` shed sampling through the tiered backoff
+//! controller; new allocation sites re-arm it.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use predator_core::adaptive::Watchdog;
+use predator_core::{
+    build_report, build_report_merged, shutdown, Attribution, DetectorConfig, ObjectDirectory,
+    Predator, Session,
+};
+use predator_obs::{DeltaTracker, HttpServer, Response};
+use predator_trace::{sniff_format, AnalyzeConfig, TraceFormat, TraceReader};
+use predator_workloads::by_name;
+
+use crate::{detector_config, num, shard_count, workload_config, Args};
+
+/// Default watchdog evaluation interval.
+const DEFAULT_WATCHDOG_MS: u64 = 500;
+/// Default self-overhead budget (fraction of wall time).
+const DEFAULT_BUDGET: f64 = 0.05;
+/// Responsiveness granule for interruptible sleeps.
+const POLL_MS: u64 = 20;
+/// Rotate the workload session when this fraction of its address space has
+/// been consumed (carved into thread segments or handed to large objects —
+/// carving is never undone, so consumption only grows).
+const ROTATE_NUM: u64 = 3;
+const ROTATE_DEN: u64 = 4;
+
+/// Sleeps up to `ms`, waking early on shutdown; true when shutdown was
+/// requested.
+fn sleep_poll(ms: u64) -> bool {
+    let mut slept = 0;
+    while slept < ms {
+        if shutdown::requested() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(POLL_MS.min(ms - slept)));
+        slept += POLL_MS;
+    }
+    shutdown::requested()
+}
+
+/// State shared between the drive loop, the watchdog, and HTTP handlers.
+struct ServeState {
+    mode: &'static str,
+    started: Instant,
+    /// Completed drive iterations (workload passes, replay passes, or
+    /// watch polls, by mode).
+    passes: AtomicU64,
+    /// Seconds-since-start of the last completed analysis activity.
+    last_analysis_s: AtomicU64,
+    delta: Mutex<DeltaTracker>,
+}
+
+impl ServeState {
+    fn new(mode: &'static str) -> Arc<Self> {
+        Arc::new(ServeState {
+            mode,
+            started: Instant::now(),
+            passes: AtomicU64::new(0),
+            last_analysis_s: AtomicU64::new(0),
+            delta: Mutex::new(DeltaTracker::new()),
+        })
+    }
+
+    fn mark_activity(&self, passes: u64) {
+        self.passes.store(passes, Ordering::Relaxed);
+        self.last_analysis_s
+            .store(self.started.elapsed().as_secs(), Ordering::Relaxed);
+    }
+}
+
+/// Touches every metric the endpoints promise, so a scrape taken before the
+/// first pass already renders the full namespace at zero — fleet ingest
+/// counters included (they only tick in watch mode, but exist in all).
+fn register_static_metrics() {
+    let g = predator_obs::global();
+    for c in [
+        "fleet_traces_ingested_total",
+        "fleet_events_ingested_total",
+        "fleet_bytes_ingested_total",
+        "serve_requests_total",
+        "serve_request_errors_total",
+        "serve_passes_total",
+        "predator_backoff_transitions_total",
+    ] {
+        g.counter(c);
+    }
+    g.gauge("predator_uptime_seconds").set(0);
+    g.gauge("predator_backoff_tier").set(0);
+}
+
+/// Registers the endpoints every mode shares; `/report` is mode-specific
+/// and added by the caller.
+fn common_routes(srv: HttpServer, state: &Arc<ServeState>) -> HttpServer {
+    let st = state.clone();
+    let srv = srv.route("/metrics", move |_| {
+        predator_obs::static_gauge!("predator_uptime_seconds")
+            .set(st.started.elapsed().as_secs() as i64);
+        let mut body = predator_obs::prom_info_metric(
+            "predator_build_info",
+            &[("version", env!("CARGO_PKG_VERSION")), ("mode", st.mode)],
+        );
+        body.push_str(&predator_obs::global().snapshot().to_prometheus());
+        Response::prometheus(body)
+    });
+    let st = state.clone();
+    let srv = srv.route("/health", move |_| {
+        let uptime = st.started.elapsed().as_secs();
+        let age = uptime.saturating_sub(st.last_analysis_s.load(Ordering::Relaxed));
+        Response::json(format!(
+            "{{\"status\":\"ok\",\"mode\":\"{}\",\"uptime_seconds\":{uptime},\
+             \"passes\":{},\"last_analysis_age_seconds\":{age}}}",
+            st.mode,
+            st.passes.load(Ordering::Relaxed)
+        ))
+    });
+    let st = state.clone();
+    srv.route("/snapshot", move |_| {
+        let snap = predator_obs::global().snapshot();
+        let d = st.delta.lock().unwrap().scrape(snap);
+        Response::json(d.to_json())
+    })
+}
+
+/// Writes the bound address where `--ready-file` asked (tests and scripts
+/// recover ephemeral ports from it), then announces on stderr.
+fn announce(args: &Args, addr: std::net::SocketAddr, mode: &str) -> Result<(), String> {
+    if let Some(path) = args.options.get("--ready-file") {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    eprintln!("serving ({mode}) on http://{addr} — /metrics /health /report /snapshot");
+    Ok(())
+}
+
+struct ServeOpts {
+    listen: String,
+    budget: f64,
+    wd_ms: u64,
+    max_passes: u64,
+}
+
+fn serve_opts(args: &Args) -> Result<ServeOpts, String> {
+    let budget: f64 = num(args, "--overhead-budget", DEFAULT_BUDGET)?;
+    if !(budget > 0.0 && budget < 1.0) {
+        return Err(format!("--overhead-budget must be in (0, 1), got {budget}"));
+    }
+    let wd_ms: u64 = num(args, "--watchdog-interval-ms", DEFAULT_WATCHDOG_MS)?;
+    if wd_ms == 0 {
+        return Err("--watchdog-interval-ms must be at least 1".into());
+    }
+    Ok(ServeOpts {
+        listen: args
+            .options
+            .get("--listen")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        budget,
+        wd_ms,
+        max_passes: num(args, "--passes", 0u64)?,
+    })
+}
+
+pub fn cmd_serve(args: &Args) -> Result<(), String> {
+    let opts = serve_opts(args)?;
+    let det = detector_config(args)?;
+    register_static_metrics();
+    if let Some(watch_dir) = args.options.get("--watch") {
+        return serve_watch(args, det, watch_dir, &opts);
+    }
+    let target = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("histogram");
+    if by_name(target).is_some() {
+        serve_workload(args, det, target, &opts)
+    } else if Path::new(target).is_file() {
+        serve_replay(det, target, &opts, args)
+    } else {
+        Err(format!(
+            "serve: `{target}` is neither a workload (try `list`) nor a trace file"
+        ))
+    }
+}
+
+/// Spawns the watchdog loop against whatever runtime the `current` closure
+/// yields (sessions rotate under workload mode, so the runtime is looked up
+/// fresh each tick).
+fn spawn_watchdog(
+    det: DetectorConfig,
+    opts: &ServeOpts,
+    stop: Arc<AtomicBool>,
+    started: Instant,
+    current: impl Fn() -> (Arc<Session>, u64) + Send + 'static,
+) -> Result<std::thread::JoinHandle<()>, String> {
+    let wd_ms = opts.wd_ms;
+    let budget = opts.budget;
+    std::thread::Builder::new()
+        .name("predator-watchdog".into())
+        .spawn(move || {
+            // Calibration micro-times the hot paths on a scratch runtime —
+            // done on this thread so serving starts immediately.
+            let mut wd = Watchdog::for_detector(&det, budget);
+            while !stop.load(Ordering::Relaxed) && !sleep_poll(wd_ms) {
+                let (sess, callsites) = current();
+                wd.tick(
+                    sess.runtime(),
+                    callsites,
+                    started.elapsed().as_nanos() as u64,
+                );
+            }
+        })
+        .map_err(|e| format!("cannot spawn watchdog: {e}"))
+}
+
+fn serve_workload(
+    args: &Args,
+    det: DetectorConfig,
+    name: &str,
+    opts: &ServeOpts,
+) -> Result<(), String> {
+    let w = by_name(name).expect("caller checked the workload exists");
+    let wcfg = workload_config(args)?;
+    let state = ServeState::new("workload");
+    let session = Arc::new(Mutex::new(Arc::new(Session::with_config(det))));
+
+    let srv =
+        HttpServer::bind(&opts.listen).map_err(|e| format!("cannot bind {}: {e}", opts.listen))?;
+    let addr = srv.local_addr();
+    let srv = common_routes(srv, &state);
+    let sess_for_report = session.clone();
+    let srv = srv.route("/report", move |_| {
+        let sess = sess_for_report.lock().unwrap().clone();
+        Response::json(sess.report().to_json())
+    });
+    let handle = srv.spawn().map_err(|e| format!("cannot serve: {e}"))?;
+    announce(args, addr, "workload")?;
+
+    let stop_wd = Arc::new(AtomicBool::new(false));
+    let sess_for_wd = session.clone();
+    let wd_thread = spawn_watchdog(det, opts, stop_wd.clone(), state.started, move || {
+        let sess = sess_for_wd.lock().unwrap().clone();
+        let callsites = sess.heap().callsites().len() as u64;
+        (sess, callsites)
+    })?;
+
+    let mut done = 0u64;
+    while !shutdown::requested() {
+        if opts.max_passes != 0 && done >= opts.max_passes {
+            // Passes bound the workload driving, not the server: keep
+            // serving scrapes until a signal arrives.
+            sleep_poll(POLL_MS);
+            continue;
+        }
+        let sess = session.lock().unwrap().clone();
+        {
+            let _span = predator_obs::span("interpret");
+            w.run_tracked(&sess, &wcfg);
+        }
+        done += 1;
+        state.mark_activity(done);
+        predator_obs::static_counter!("serve_passes_total").inc();
+
+        // Segment carving and quarantined frees are never undone, so a
+        // long-lived session eventually exhausts its simulated heap: rotate
+        // to a fresh one before that happens, carrying the watchdog's
+        // dynamic settings across. Consumption is measured as address space
+        // no longer available (size − uncarved), not usable bytes handed
+        // out — workloads that register threads every pass burn a 64 KiB
+        // segment per thread that usable-byte counters never see.
+        let space = sess.space().size();
+        let consumed = space - sess.heap().uncarved_bytes();
+        if consumed * ROTATE_DEN >= space * ROTATE_NUM {
+            let rate = sess.runtime().sampling_rate();
+            let stride = sess.runtime().analysis_stride();
+            let fresh = Arc::new(Session::with_config(det));
+            fresh.runtime().set_sampling_rate(rate);
+            fresh.runtime().set_analysis_stride(stride);
+            *session.lock().unwrap() = fresh;
+            predator_obs::static_counter!("serve_session_rotations_total").inc();
+        }
+    }
+    stop_wd.store(true, Ordering::Relaxed);
+    let _ = wd_thread.join();
+    handle.stop();
+    eprintln!("serve: {done} workload pass(es), shutting down");
+    Ok(())
+}
+
+fn serve_replay(
+    det: DetectorConfig,
+    path: &str,
+    opts: &ServeOpts,
+    args: &Args,
+) -> Result<(), String> {
+    if sniff_format(Path::new(path))? != TraceFormat::Ptrace {
+        return Err(format!(
+            "serve: {path}: only .ptrace traces can be served (JSONL has no header)"
+        ));
+    }
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader =
+        TraceReader::new(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    let (base, size) = (reader.base(), reader.size());
+    drop(reader);
+
+    let rt = Arc::new(Predator::new(det, base, size));
+    let directory: Arc<Mutex<Option<ObjectDirectory>>> = Arc::new(Mutex::new(None));
+    let state = ServeState::new("replay");
+
+    let srv =
+        HttpServer::bind(&opts.listen).map_err(|e| format!("cannot bind {}: {e}", opts.listen))?;
+    let addr = srv.local_addr();
+    let srv = common_routes(srv, &state);
+    let rt_for_report = rt.clone();
+    let dir_for_report = directory.clone();
+    let srv = srv.route("/report", move |_| {
+        let report = match &*dir_for_report.lock().unwrap() {
+            Some(dir) => {
+                build_report_merged(&[rt_for_report.as_ref()], Attribution::Directory(dir))
+            }
+            None => build_report(&rt_for_report, None),
+        };
+        Response::json(report.to_json())
+    });
+    let handle = srv.spawn().map_err(|e| format!("cannot serve: {e}"))?;
+    announce(args, addr, "replay")?;
+
+    // No allocator in replay mode: the callsite count stays 0, so the
+    // re-arm signal never fires — backoff is budget-driven only.
+    let stop_wd = Arc::new(AtomicBool::new(false));
+    let wd_thread = {
+        let rt = rt.clone();
+        let budget = opts.budget;
+        let wd_ms = opts.wd_ms;
+        let started = state.started;
+        std::thread::Builder::new()
+            .name("predator-watchdog".into())
+            .spawn({
+                let stop = stop_wd.clone();
+                move || {
+                    let mut wd = Watchdog::for_detector(&det, budget);
+                    while !stop.load(Ordering::Relaxed) && !sleep_poll(wd_ms) {
+                        wd.tick(&rt, 0, started.elapsed().as_nanos() as u64);
+                    }
+                }
+            })
+            .map_err(|e| format!("cannot spawn watchdog: {e}"))?
+    };
+
+    let mut done = 0u64;
+    'serve: while !shutdown::requested() {
+        if opts.max_passes != 0 && done >= opts.max_passes {
+            sleep_poll(POLL_MS);
+            continue;
+        }
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let mut r =
+            TraceReader::new(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+        let mut n = 0u64;
+        for a in &mut r {
+            rt.handle_access(a.tid, a.addr, a.size, a.kind);
+            n += 1;
+            // Stay responsive to signals inside long traces.
+            if n.is_multiple_of(65_536) && shutdown::requested() {
+                break 'serve;
+            }
+        }
+        if directory.lock().unwrap().is_none() {
+            if let Some(meta) = r.take_meta() {
+                meta.apply_globals(&rt);
+                *directory.lock().unwrap() = Some(meta.directory());
+            }
+        }
+        done += 1;
+        state.mark_activity(done);
+        predator_obs::static_counter!("serve_passes_total").inc();
+    }
+    stop_wd.store(true, Ordering::Relaxed);
+    let _ = wd_thread.join();
+    handle.stop();
+    eprintln!("serve: {done} replay pass(es), shutting down");
+    Ok(())
+}
+
+fn serve_watch(
+    args: &Args,
+    det: DetectorConfig,
+    watch_dir: &str,
+    opts: &ServeOpts,
+) -> Result<(), String> {
+    let corpus = args
+        .options
+        .get("--corpus")
+        .ok_or("serve --watch: missing --corpus <dir>")?;
+    let cfg = AnalyzeConfig::new(det, shard_count(args)?);
+    let mut watcher = predator_fleet::Watcher::new(Path::new(watch_dir), Path::new(corpus), cfg);
+    let state = ServeState::new("watch");
+
+    let srv =
+        HttpServer::bind(&opts.listen).map_err(|e| format!("cannot bind {}: {e}", opts.listen))?;
+    let addr = srv.local_addr();
+    let srv = common_routes(srv, &state);
+    let corpus_dir = PathBuf::from(corpus);
+    let srv = srv.route("/report", move |_| {
+        match predator_fleet::Manifest::load(&corpus_dir) {
+            Ok(Some(m)) => Response::json(predator_fleet::build_fleet_report(&m).to_json()),
+            Ok(None) => Response::error(404, "corpus empty (no trace ingested yet)"),
+            Err(e) => Response::error(500, &e),
+        }
+    });
+    let handle = srv.spawn().map_err(|e| format!("cannot serve: {e}"))?;
+    announce(args, addr, "watch")?;
+
+    // Analysis runs inside ingest with per-shard runtimes, so there is no
+    // long-lived detector for the watchdog to throttle in this mode.
+    let mut polls = 0u64;
+    while !shutdown::requested() {
+        match watcher.poll() {
+            Ok(out) => {
+                if out.added() > 0 {
+                    eprintln!(
+                        "watch: ingested {} trace(s) ({} incomplete pending)",
+                        out.added(),
+                        out.incomplete
+                    );
+                }
+                for e in &out.errors {
+                    eprintln!("watch: {e}");
+                }
+                polls += 1;
+                state.mark_activity(polls);
+                if opts.max_passes != 0 && polls >= opts.max_passes {
+                    break;
+                }
+            }
+            Err(e) => eprintln!("watch: {e}"),
+        }
+        if sleep_poll(opts.wd_ms) {
+            break;
+        }
+    }
+    handle.stop();
+    eprintln!("serve: {polls} watch poll(s), shutting down");
+    Ok(())
+}

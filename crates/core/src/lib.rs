@@ -45,8 +45,13 @@
 //! * [`report`] — ranked, source-attributed findings (Figure 5 format);
 //! * [`api`] — [`Session`], bundling simulated memory, the per-thread-heap
 //!   allocator, and the detector;
+//! * [`adaptive`] — the self-overhead watchdog: calibrated cost model plus
+//!   tiered backoff controller driving dynamic sampling (`predator serve`);
+//! * [`shutdown`] — the process-wide graceful-shutdown flag set by signal
+//!   handlers and polled by long-running loops;
 //! * [`registry`], [`stats`] — thread ids and run statistics.
 
+pub mod adaptive;
 pub mod api;
 pub mod config;
 pub mod detect;
@@ -57,9 +62,13 @@ pub mod predict;
 pub mod registry;
 pub mod report;
 pub mod runtime;
+pub mod shutdown;
 pub mod stats;
 pub mod track;
 
+pub use adaptive::{
+    BackoffAction, BackoffConfig, BackoffController, Decision, SelfCostModel, TickOutcome, Watchdog,
+};
 pub use api::Session;
 pub use config::{DetectorConfig, TrackingMode};
 pub use detect::SharingClass;

@@ -74,7 +74,22 @@ pub struct Predator {
     /// pre-filter stream so offline analysis can apply any configuration.
     /// One relaxed-ordering load when unset — negligible on the hot path.
     tap: OnceLock<Arc<dyn AccessSink + Send + Sync>>,
+    /// Dynamic sampling-rate override ([`NO_OVERRIDE`] when inactive): the
+    /// effective `sample_burst` the serve watchdog has dialed in. The hot
+    /// path pays one relaxed load; only when the override is active does it
+    /// build an adjusted config copy for the tracked-line handler.
+    dyn_burst: AtomicU64,
+    /// Dynamic analysis stride: run only every k-th due hot-pair analysis
+    /// (1 = every one, the configured behaviour). The second watchdog knob —
+    /// `analyze()` walks every neighbor track under the unit-registry lock,
+    /// so its frequency matters as much as the sampling rate.
+    analysis_stride: AtomicU64,
+    /// Count of analysis-due edges, for the stride modulus.
+    analysis_ticks: AtomicU64,
 }
+
+/// Sentinel for "no dynamic sampling override installed".
+const NO_OVERRIDE: u64 = u64::MAX;
 
 impl Predator {
     /// Creates a runtime covering the simulated range `[base, base+size)`.
@@ -90,6 +105,9 @@ impl Predator {
             ignored: RwLock::new(Vec::new()),
             events: AtomicU64::new(0),
             tap: OnceLock::new(),
+            dyn_burst: AtomicU64::new(NO_OVERRIDE),
+            analysis_stride: AtomicU64::new(1),
+            analysis_ticks: AtomicU64::new(0),
             layout,
         }
     }
@@ -153,6 +171,64 @@ impl Predator {
         i > 0 && addr < ranges[i - 1].1
     }
 
+    /// Dials the effective per-line sampling rate at runtime — the serve
+    /// watchdog's load-shedding knob. `rate` is the absolute fraction of
+    /// each sampling window recorded, in `(0, 1]`; passing the configured
+    /// [`DetectorConfig::sampling_rate`] (or anything within rounding of it)
+    /// clears the override so the hot path returns to the zero-cost branch.
+    ///
+    /// The override only narrows or widens the `sample_burst` of the
+    /// *existing* window; window length, thresholds, and every other
+    /// configuration field stay fixed, so findings remain comparable across
+    /// rate changes (fewer samples, same semantics).
+    pub fn set_sampling_rate(&self, rate: f64) {
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "sampling rate must be in (0, 1], got {rate}"
+        );
+        let interval = self.cfg.sample_interval;
+        let burst = if rate >= 1.0 {
+            interval
+        } else {
+            (((interval as f64) * rate).round() as u64).clamp(1, interval)
+        };
+        let configured = if self.cfg.sampling {
+            self.cfg.sample_burst
+        } else {
+            interval
+        };
+        let store = if burst == configured {
+            NO_OVERRIDE
+        } else {
+            burst
+        };
+        self.dyn_burst.store(store, Ordering::Relaxed);
+        predator_obs::static_gauge!("predator_sampling_rate_ppm")
+            .set((self.sampling_rate() * 1e6).round() as i64);
+    }
+
+    /// The effective sampling rate: the dynamic override if one is active,
+    /// the configured rate otherwise.
+    pub fn sampling_rate(&self) -> f64 {
+        match self.dyn_burst.load(Ordering::Relaxed) {
+            NO_OVERRIDE => self.cfg.sampling_rate(),
+            burst => (burst as f64 / self.cfg.sample_interval as f64).min(1.0),
+        }
+    }
+
+    /// Sets the analysis stride: run only every `stride`-th due hot-pair
+    /// analysis (1 restores the configured every-time behaviour).
+    pub fn set_analysis_stride(&self, stride: u64) {
+        self.analysis_stride.store(stride.max(1), Ordering::Relaxed);
+        predator_obs::static_gauge!("predator_analysis_stride")
+            .set(stride.max(1).min(i64::MAX as u64) as i64);
+    }
+
+    /// The current analysis stride.
+    pub fn analysis_stride(&self) -> u64 {
+        self.analysis_stride.load(Ordering::Relaxed)
+    }
+
     /// Installs an event tap that sees every `handle_access` call before any
     /// filtering (read suppression, blacklist, the `enabled` switch). At most
     /// one tap per runtime; returns `Err` if one is already installed.
@@ -200,9 +276,27 @@ impl Predator {
                 }
             }
         } else if let Some(track) = self.tracks.get(idx) {
-            let out = track.handle(tid, addr, size, kind, &self.cfg);
+            let burst = self.dyn_burst.load(Ordering::Relaxed);
+            let out = if burst == NO_OVERRIDE {
+                track.handle(tid, addr, size, kind, &self.cfg)
+            } else {
+                let mut cfg = self.cfg;
+                cfg.sampling = burst < cfg.sample_interval;
+                cfg.sample_burst = burst;
+                track.handle(tid, addr, size, kind, &cfg)
+            };
             if out.analysis_due {
-                self.analyze(idx);
+                let stride = self.analysis_stride.load(Ordering::Relaxed).max(1);
+                if stride == 1
+                    || self
+                        .analysis_ticks
+                        .fetch_add(1, Ordering::Relaxed)
+                        .is_multiple_of(stride)
+                {
+                    self.analyze(idx);
+                } else {
+                    predator_obs::static_counter!("runtime_analyses_deferred_total").inc();
+                }
             }
         }
         // A null track with count >= threshold is the benign publish race of
@@ -795,6 +889,58 @@ mod tests {
             "tap sees the pre-filter stream"
         );
         assert_eq!(rt.events(), 0, "detector itself stays off");
+    }
+
+    #[test]
+    fn sampling_override_narrows_the_recorded_fraction() {
+        let mut cfg = DetectorConfig::sensitive();
+        cfg.sample_interval = 10;
+        cfg.prediction = false;
+        let rt = Predator::new(cfg, BASE, 1 << 20);
+        for _ in 0..4 {
+            rt.handle_access(ThreadId(0), BASE, 8, Write);
+        }
+        assert_eq!(rt.sampling_rate(), 1.0, "sensitive config records all");
+        rt.set_sampling_rate(0.1); // 1 recorded per 10-access window
+        assert!((rt.sampling_rate() - 0.1).abs() < 1e-9);
+        for _ in 0..100 {
+            rt.handle_access(ThreadId(0), BASE, 8, Write);
+        }
+        let throttled = rt.line_snapshot(0).unwrap().words.total_accesses();
+        assert!(
+            (1..=20).contains(&throttled),
+            "expected ~10 recorded accesses, got {throttled}"
+        );
+        // Restoring the configured rate clears the override entirely.
+        rt.set_sampling_rate(1.0);
+        assert_eq!(rt.sampling_rate(), 1.0);
+        for _ in 0..100 {
+            rt.handle_access(ThreadId(0), BASE, 8, Write);
+        }
+        let restored = rt.line_snapshot(0).unwrap().words.total_accesses();
+        assert_eq!(restored, throttled + 100, "full recording after re-arm");
+    }
+
+    #[test]
+    fn analysis_stride_defers_hot_pair_analysis() {
+        let run = |stride: u64| {
+            let rt = rt();
+            rt.set_analysis_stride(stride);
+            // Consume the first due analysis (tick 0 always runs) with
+            // single-thread traffic that can never produce a hot pair...
+            for _ in 0..20 {
+                rt.handle_access(ThreadId(0), BASE, 8, Write);
+            }
+            // ...then drive the adjacent-line pattern that *would* spawn
+            // prediction units on every later analysis.
+            for _ in 0..600 {
+                rt.handle_access(ThreadId(0), BASE + 56, 8, Write);
+                rt.handle_access(ThreadId(1), BASE + 64, 8, Write);
+            }
+            rt.unit_snapshots().len()
+        };
+        assert_eq!(run(10_000), 0, "all later analyses deferred");
+        assert!(run(1) > 0, "stride 1 analyzes as configured");
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Directory watcher: periodic auto-ingest for `predator serve --watch`.
+//!
+//! Live-monitoring deployments drop `.ptrace` captures into a spool
+//! directory (from CI jobs, per-machine cron captures, manual runs); the
+//! serve loop polls a [`Watcher`] so new traces flow into the corpus
+//! without an operator running `predator fleet ingest` by hand.
+//!
+//! Two safety properties matter more than latency:
+//!
+//! * **Never ingest a file mid-write.** A complete `.ptrace` ends with the
+//!   fixed [`END_MAGIC`] trailer bytes; a file still being written does
+//!   not. [`is_complete_trace`] checks the tail, and incomplete files are
+//!   simply skipped until a later poll sees them finished.
+//! * **Never ingest the same content twice.** The per-path `(len, mtime)`
+//!   cache skips unchanged files cheaply; renames and copies still land on
+//!   [`ingest_trace`]'s content-addressed dedup, so the corpus stays a set.
+//!
+//! Per-file errors are collected, counted, and reported in the outcome —
+//! one corrupt trace must not stall the fleet pipeline.
+
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+use predator_trace::analyze::AnalyzeConfig;
+use predator_trace::format::{END_MAGIC, TRAILER_LEN};
+
+use crate::ingest::{ingest_trace, IngestOutcome};
+use crate::manifest::Manifest;
+
+/// What one poll of the spool directory did.
+#[derive(Debug, Default)]
+pub struct WatchOutcome {
+    /// Candidate `.ptrace` files seen this poll.
+    pub scanned: usize,
+    /// Traces ingested (or dedup-hit) this poll.
+    pub ingested: Vec<IngestOutcome>,
+    /// Files skipped because their trailer is not complete yet.
+    pub incomplete: usize,
+    /// Per-file errors (path: message); the poll itself still succeeds.
+    pub errors: Vec<String>,
+}
+
+impl WatchOutcome {
+    /// Traces newly added to the corpus this poll (dedup hits excluded).
+    pub fn added(&self) -> usize {
+        self.ingested.iter().filter(|o| o.added).count()
+    }
+}
+
+/// True when `path` is a finished `.ptrace`: long enough to hold a trailer
+/// and ending with the [`END_MAGIC`] bytes the writer appends last.
+pub fn is_complete_trace(path: &Path) -> bool {
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false;
+    };
+    let Ok(len) = f.seek(SeekFrom::End(0)) else {
+        return false;
+    };
+    if (len as usize) < TRAILER_LEN {
+        return false;
+    }
+    let mut tail = [0u8; END_MAGIC.len()];
+    if f.seek(SeekFrom::End(-(END_MAGIC.len() as i64))).is_err() {
+        return false;
+    }
+    f.read_exact(&mut tail).is_ok() && &tail == END_MAGIC
+}
+
+/// Polls a spool directory and ingests complete, not-yet-seen traces into a
+/// corpus directory.
+pub struct Watcher {
+    watch_dir: PathBuf,
+    corpus_dir: PathBuf,
+    cfg: AnalyzeConfig,
+    /// Per-path `(len, mtime)` at last successful handling, so an unchanged
+    /// file costs one `stat` per poll instead of a full read.
+    seen: HashMap<PathBuf, (u64, Option<SystemTime>)>,
+}
+
+impl Watcher {
+    /// A watcher spooling from `watch_dir` into the corpus at `corpus_dir`.
+    pub fn new(watch_dir: &Path, corpus_dir: &Path, cfg: AnalyzeConfig) -> Self {
+        Watcher {
+            watch_dir: watch_dir.to_path_buf(),
+            corpus_dir: corpus_dir.to_path_buf(),
+            cfg,
+            seen: HashMap::new(),
+        }
+    }
+
+    /// The spool directory being watched.
+    pub fn watch_dir(&self) -> &Path {
+        &self.watch_dir
+    }
+
+    /// The corpus directory being filled.
+    pub fn corpus_dir(&self) -> &Path {
+        &self.corpus_dir
+    }
+
+    /// One poll: scan, filter to complete unseen traces, ingest, save the
+    /// manifest once. Returns `Err` only when the directory itself cannot
+    /// be scanned or the corpus manifest cannot be loaded/saved; per-file
+    /// failures ride along in [`WatchOutcome::errors`].
+    pub fn poll(&mut self) -> Result<WatchOutcome, String> {
+        let _span = predator_obs::span("fleet_watch");
+        predator_obs::static_counter!("fleet_watch_scans_total").inc();
+        let mut out = WatchOutcome::default();
+
+        let entries = std::fs::read_dir(&self.watch_dir)
+            .map_err(|e| format!("cannot scan {}: {e}", self.watch_dir.display()))?;
+        let mut candidates: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|s| s.to_str()) == Some("ptrace"))
+            .collect();
+        candidates.sort();
+        out.scanned = candidates.len();
+        if candidates.is_empty() {
+            return Ok(out);
+        }
+
+        let mut manifest: Option<Manifest> = None;
+        for path in candidates {
+            let stamp = match std::fs::metadata(&path) {
+                Ok(md) => (md.len(), md.modified().ok()),
+                Err(e) => {
+                    out.errors.push(format!("{}: {e}", path.display()));
+                    continue;
+                }
+            };
+            if self.seen.get(&path) == Some(&stamp) {
+                continue;
+            }
+            if !is_complete_trace(&path) {
+                out.incomplete += 1;
+                predator_obs::static_counter!("fleet_watch_incomplete_total").inc();
+                continue;
+            }
+            // Lazy-load the manifest on the first actionable file so an
+            // idle poll never touches corpus state.
+            if manifest.is_none() {
+                manifest = Some(match Manifest::load(&self.corpus_dir)? {
+                    Some(m) => {
+                        m.check_config(&self.cfg.det)?;
+                        m
+                    }
+                    None => Manifest::new(self.cfg.det),
+                });
+            }
+            let m = manifest.as_mut().expect("manifest loaded above");
+            match ingest_trace(m, &self.corpus_dir, &path, &self.cfg) {
+                Ok(o) => {
+                    self.seen.insert(path, stamp);
+                    out.ingested.push(o);
+                }
+                Err(e) => {
+                    predator_obs::static_counter!("fleet_watch_errors_total").inc();
+                    out.errors.push(e);
+                }
+            }
+        }
+        if let Some(m) = manifest {
+            if !out.ingested.is_empty() {
+                m.save(&self.corpus_dir)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predator_core::DetectorConfig;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("predator-watch-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn incomplete_trace_is_detected_and_skipped() {
+        let spool = tmpdir("incomplete");
+        let partial = spool.join("partial.ptrace");
+        std::fs::write(&partial, b"PTRC....some bytes, no trailer").unwrap();
+        assert!(!is_complete_trace(&partial));
+
+        let corpus = tmpdir("incomplete-corpus");
+        let cfg = AnalyzeConfig::new(DetectorConfig::sensitive(), 1);
+        let mut w = Watcher::new(&spool, &corpus, cfg);
+        let out = w.poll().unwrap();
+        assert_eq!(out.scanned, 1);
+        assert_eq!(out.incomplete, 1);
+        assert!(out.ingested.is_empty());
+        let _ = std::fs::remove_dir_all(&spool);
+        let _ = std::fs::remove_dir_all(&corpus);
+    }
+
+    #[test]
+    fn empty_spool_polls_clean() {
+        let spool = tmpdir("empty");
+        let corpus = tmpdir("empty-corpus");
+        let cfg = AnalyzeConfig::new(DetectorConfig::sensitive(), 1);
+        let mut w = Watcher::new(&spool, &corpus, cfg);
+        let out = w.poll().unwrap();
+        assert_eq!(out.scanned, 0);
+        assert!(out.errors.is_empty());
+        // An idle poll must not create corpus state.
+        assert!(!corpus.join(crate::MANIFEST_FILE).exists());
+        let _ = std::fs::remove_dir_all(&spool);
+        let _ = std::fs::remove_dir_all(&corpus);
+    }
+}

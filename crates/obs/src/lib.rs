@@ -24,6 +24,11 @@
 //! * [`profile`] — the instruction-count-triggered sampling self-profiler
 //!   behind `predator profile`: collapsed IR call stacks plus runtime
 //!   cost-center attribution (handle-access, tracking, recorder, MESI).
+//! * [`serve`] — a hand-rolled zero-dep HTTP/1.1 server over `std::net`,
+//!   the transport behind `predator serve`'s `/metrics`, `/health`,
+//!   `/report` and `/snapshot` endpoints (plus the matching GET client).
+//! * [`delta`] — snapshot deltas with scrape epochs and wrap-around-safe
+//!   subtraction: what `/snapshot` streams between scrapes.
 //!
 //! Everything hangs off a process-global registry ([`global`]) so call
 //! sites in any crate can grab a handle without plumbing; handles are
@@ -32,14 +37,17 @@
 //! The `obs-off` cargo feature compiles every hook to a no-op so the cost
 //! of the layer itself can be measured (see the `detector_hotpath` bench).
 
+pub mod delta;
 mod events;
 mod metrics;
 pub mod profile;
 pub mod recorder;
+pub mod serve;
 mod snapshot;
 mod span;
 pub mod timeline;
 
+pub use delta::{accumulate, delta_snapshots, DeltaTracker, SnapshotDelta};
 pub use events::{events, EventSink, FieldVal};
 pub use metrics::{
     bucket_index, bucket_lower_bound, global, Counter, Gauge, Histogram, Registry, Timer,
@@ -47,7 +55,8 @@ pub use metrics::{
 };
 pub use profile::{profiler, CostCenter, Profiler};
 pub use recorder::{FlightRecorder, Rec, RecKind};
-pub use snapshot::{escape_label_value, Bucket, HistogramSnapshot, Snapshot};
+pub use serve::{http_get, HttpServer, Request, Response, ServerHandle};
+pub use snapshot::{escape_label_value, prom_info_metric, Bucket, HistogramSnapshot, Snapshot};
 pub use span::{span, Span};
 pub use timeline::{host_lane, timeline, ArgVal, Timeline};
 

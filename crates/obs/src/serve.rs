@@ -1,0 +1,349 @@
+//! A hand-rolled, zero-dependency HTTP/1.1 server over `std::net` — the
+//! transport under `predator serve`.
+//!
+//! Scope is deliberately small: GET-only, one request per connection
+//! (`Connection: close`), exact-path routing, bounded request heads. That
+//! covers every scraper that matters here (Prometheus, `curl`, the
+//! `predator stats --url` client below) without pulling in an async runtime
+//! or an HTTP crate the offline build couldn't vendor anyway.
+//!
+//! The accept loop polls a stop flag between non-blocking accepts, so a
+//! [`ServerHandle`] can shut the thread down promptly — the graceful-exit
+//! path `predator serve` takes on SIGINT/SIGTERM.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest request head (request line + headers) the server reads.
+const MAX_REQUEST_HEAD: usize = 8 * 1024;
+/// Per-connection socket timeout: a stalled scraper cannot wedge the serve
+/// thread for longer than this.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Accept-loop poll interval while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A parsed request: method is always GET by the time a handler runs.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Raw query string after `?`, if any.
+    pub query: Option<String>,
+}
+
+/// A response to serialize back to the client.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with `application/json`.
+    pub fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// 200 with the Prometheus text exposition content type.
+    pub fn prometheus(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// 200 with `text/plain`.
+    pub fn text(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: u16, msg: &str) -> Self {
+        Response {
+            status,
+            content_type: "text/plain",
+            body: format!("{msg}\n").into_bytes(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Error",
+        }
+    }
+}
+
+type Handler = Box<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A bound-but-not-yet-serving HTTP server: register routes, then
+/// [`spawn`](HttpServer::spawn) it onto its own thread.
+pub struct HttpServer {
+    listener: TcpListener,
+    routes: Vec<(String, Handler)>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(HttpServer {
+            listener,
+            routes: Vec::new(),
+        })
+    }
+
+    /// The bound address — the source of truth for ephemeral ports.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// Registers a handler for an exact path (`"/metrics"`).
+    pub fn route(
+        mut self,
+        path: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        self.routes.push((path.to_string(), Box::new(handler)));
+        self
+    }
+
+    /// Starts the accept loop on a background thread and returns its handle.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr();
+        self.listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("predator-serve".into())
+            .spawn(move || self.run(&stop2))?;
+        Ok(ServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    fn run(self, stop: &AtomicBool) {
+        while !stop.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _timer = crate::static_histogram!("serve_request_ns").start_timer();
+                    crate::static_counter!("serve_requests_total").inc();
+                    if self.handle(stream).is_err() {
+                        crate::static_counter!("serve_request_errors_total").inc();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => {
+                    crate::static_counter!("serve_request_errors_total").inc();
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+    }
+
+    fn handle(&self, stream: TcpStream) -> std::io::Result<()> {
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let mut stream = stream;
+        let response = match read_request(&mut stream) {
+            Ok((method, target)) if method == "GET" => {
+                let (path, query) = match target.split_once('?') {
+                    Some((p, q)) => (p.to_string(), Some(q.to_string())),
+                    None => (target, None),
+                };
+                let req = Request { path, query };
+                match self.routes.iter().find(|(p, _)| *p == req.path) {
+                    Some((_, h)) => h(&req),
+                    None => Response::error(404, "no such endpoint"),
+                }
+            }
+            Ok((method, _)) => Response::error(405, &format!("method {method} not allowed")),
+            Err(msg) => Response::error(400, msg),
+        };
+        write_response(&mut stream, &response)
+    }
+}
+
+/// Reads the request head and returns `(method, target)`.
+fn read_request(stream: &mut TcpStream) -> Result<(String, String), &'static str> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf).map_err(|_| "read failed")?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_REQUEST_HEAD {
+            return Err("request head too large");
+        }
+    }
+    let text = std::str::from_utf8(&head).map_err(|_| "request not UTF-8")?;
+    let line = text.lines().next().ok_or("empty request")?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("malformed request line")?;
+    let target = parts.next().ok_or("malformed request line")?;
+    Ok((method.to_string(), target.to_string()))
+}
+
+fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        r.status,
+        r.reason(),
+        r.content_type,
+        r.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&r.body)?;
+    stream.flush()
+}
+
+/// A running server: keeps the accept thread alive until
+/// [`stop`](ServerHandle::stop) (or drop) joins it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to exit and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A minimal blocking HTTP GET client for the server above (and any other
+/// text endpoint): returns `(status, body)`. `addr` is `host:port`.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "response not UTF-8"))?;
+    let (head, body) = text.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header/body split")
+    })?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> ServerHandle {
+        HttpServer::bind("127.0.0.1:0")
+            .unwrap()
+            .route("/ping", |_| Response::text("pong".into()))
+            .route("/echo", |req: &Request| {
+                Response::text(req.query.clone().unwrap_or_default())
+            })
+            .spawn()
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_a_registered_route() {
+        let s = server();
+        let (status, body) = http_get(&s.addr().to_string(), "/ping", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "pong");
+        s.stop();
+    }
+
+    #[test]
+    fn query_strings_reach_the_handler() {
+        let s = server();
+        let (status, body) = http_get(&s.addr().to_string(), "/echo?a=1", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "a=1");
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_post_is_405() {
+        let s = server();
+        let addr = s.addr().to_string();
+        let (status, _) = http_get(&addr, "/nope", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 404);
+
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"POST /ping HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+    }
+
+    #[test]
+    fn stop_joins_the_accept_thread() {
+        let s = server();
+        let addr = s.addr().to_string();
+        s.stop();
+        // The listener is gone: new connections are refused (or time out).
+        assert!(http_get(&addr, "/ping", Duration::from_millis(200)).is_err());
+    }
+}

@@ -82,6 +82,24 @@ pub fn escape_label_value(s: &str) -> String {
     out
 }
 
+/// Renders a Prometheus *info-style* gauge: constant value 1 with the
+/// interesting data carried in labels (`predator_build_info{version="0.1.0"} 1`).
+/// The registry's own gauges are unlabeled, so info metrics — the one place
+/// labels are idiomatic — are rendered by this helper and prepended to
+/// [`Snapshot::to_prometheus`] output by the `/metrics` endpoint.
+pub fn prom_info_metric(name: &str, labels: &[(&str, &str)]) -> String {
+    let n = prom_name(name);
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), escape_label_value(v)))
+        .collect();
+    format!(
+        "# HELP {n} {}\n# TYPE {n} gauge\n{n}{{{}}} 1\n",
+        prom_help(name),
+        pairs.join(",")
+    )
+}
+
 impl Snapshot {
     /// Serializes to a single JSON object. The schema matches the
     /// `ObsSnapshot` mirror embedded in detector reports:
@@ -240,6 +258,16 @@ mod tests {
         assert!(prom.contains("span_detect_ns_bucket{le=\"63\"} 3"));
         assert!(prom.contains("span_detect_ns_bucket{le=\"+Inf\"} 3"));
         assert!(prom.contains("span_detect_ns_sum 70"));
+    }
+
+    #[test]
+    fn info_metric_renders_labels_escaped() {
+        let line = prom_info_metric("predator_build_info", &[("version", "0.1.0\"x")]);
+        assert!(line.contains("# TYPE predator_build_info gauge"));
+        assert!(
+            line.contains("predator_build_info{version=\"0.1.0\\\"x\"} 1"),
+            "{line}"
+        );
     }
 
     #[test]

@@ -76,4 +76,15 @@ target/release/bench_fleet "$FLEET_OUT" \
   --traces "${BENCH_FLEET_TRACES:-8}" \
   --events-per-trace "${BENCH_FLEET_EVENTS:-1250000}"
 
-echo "BENCH OK — wrote $OUT, $TRACE_OUT, $SCALING_OUT and $FLEET_OUT"
+# Live-monitoring overhead: serve-mode passes (HTTP endpoint + scraper +
+# self-overhead watchdog) vs a bare relaxed-tracking baseline, plus scrape
+# latency percentiles. The <=5% overhead gate is enforced on >=4 cores;
+# advisory elsewhere. Refresh the committed artifact with
+#   BENCH_SERVE_OUT=BENCH_7.json scripts/bench.sh
+SERVE_OUT="${BENCH_SERVE_OUT:-BENCH_serve_local.json}"
+echo "==> live-monitoring serve bench -> $SERVE_OUT"
+target/release/bench_serve "$SERVE_OUT" \
+  --passes "${BENCH_SERVE_PASSES:-200}" \
+  --iters "${BENCH_SERVE_ITERS:-20000}"
+
+echo "BENCH OK — wrote $OUT, $TRACE_OUT, $SCALING_OUT, $FLEET_OUT and $SERVE_OUT"

@@ -105,6 +105,24 @@ $PRED bench-diff "$SMOKE/bench_fleet.json" "$SMOKE/bench_fleet.json"
 echo "==> tracked-line scaling bench (2x gate enforced only on >=8 cores)"
 target/release/bench_scaling "$SMOKE/bench_scaling.json" --iters 100000 --reps 2
 
+echo "==> live monitoring smoke (serve on an ephemeral port, scrape, clean shutdown)"
+# The full endpoint matrix (including SIGTERM semantics) is covered by the
+# Rust test client in crates/cli/tests/serve.rs; this exercises the shipped
+# binary end to end: serve a workload, scrape /health + /metrics, render the
+# live /snapshot through `stats --url`, and shut down via SIGTERM.
+cargo test -q -p predator-cli --test serve
+$PRED serve histogram --threads 2 --iters 200 --passes 2 \
+  --listen 127.0.0.1:0 --watchdog-interval-ms 50 \
+  --ready-file "$SMOKE/serve.addr" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -s "$SMOKE/serve.addr" ]] && break; sleep 0.1; done
+ADDR=$(head -n 1 "$SMOKE/serve.addr" | tr -d '[:space:]')
+$PRED stats --url "http://$ADDR" > "$SMOKE/serve-stats.txt"
+grep -q "live snapshot from" "$SMOKE/serve-stats.txt"
+kill "$SERVE_PID"
+wait "$SERVE_PID"
+echo "serve smoke OK"
+
 echo "==> ThreadSanitizer (nightly + rust-src; skipped when unavailable)"
 if rustup toolchain list 2>/dev/null | grep -q '^nightly' &&
   rustup component list --toolchain nightly 2>/dev/null |

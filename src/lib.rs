@@ -25,7 +25,10 @@
 //!   real-application evaluation workloads;
 //! * [`fleet`] — the `.ptrace` corpus store: cross-run merged
 //!   reports deduped by stable callsite key, trend/regression deltas
-//!   against a baseline corpus, and retention via compaction.
+//!   against a baseline corpus, and retention via compaction;
+//! * [`obs`] — the zero-dependency observability layer: metrics
+//!   registry, structured events, snapshot deltas, and the hand-rolled
+//!   HTTP telemetry server behind `predator serve`.
 //!
 //! ## Quick start
 //!
@@ -53,6 +56,7 @@ pub use predator_alloc as alloc;
 pub use predator_core as core;
 pub use predator_fleet as fleet;
 pub use predator_instrument as instrument;
+pub use predator_obs as obs;
 pub use predator_shadow as shadow;
 pub use predator_sim as sim;
 pub use predator_trace as trace;

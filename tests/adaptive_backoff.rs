@@ -1,0 +1,108 @@
+//! End-to-end: the self-overhead watchdog against a live detector runtime.
+//!
+//! The acceptance property for `predator serve`'s adaptive sampling, proven
+//! on real components (a `Session` with its allocator, the runtime's dynamic
+//! hooks, the calibrate/evaluate/apply loop): **sustained budget violations
+//! shed sampling**, and **a new allocation site re-arms the detector to its
+//! full configured rate immediately**.
+//!
+//! The cost model is constructed with synthetic unit costs (1ms per access
+//! against a 1ns wall interval) so every tick that saw any workload access
+//! is a guaranteed violation — the control path under test is the real one,
+//! only the measurement is pinned.
+
+use predator::core::{
+    BackoffAction, BackoffConfig, BackoffController, Callsite, DetectorConfig, SelfCostModel,
+    Session, Watchdog,
+};
+
+#[test]
+fn backoff_sheds_sampling_under_violation_and_rearms_on_new_site() {
+    let det = DetectorConfig::paper();
+    let base_rate = det.sampling_rate();
+    assert!(base_rate > 0.0, "paper config samples");
+
+    let sess = Session::with_config(det);
+    let t0 = sess.register_thread();
+    let obj = sess.malloc(t0, 256, Callsite::here()).expect("malloc");
+    assert_eq!(
+        sess.runtime().sampling_rate(),
+        base_rate,
+        "starts at the configured rate"
+    );
+    assert_eq!(sess.runtime().analysis_stride(), 1);
+
+    let mut wd = Watchdog::new(
+        SelfCostModel::with_costs(1e6, 1e6),
+        BackoffController::new(BackoffConfig::for_detector(&det, 0.05)),
+    );
+    let transitions_before = predator::obs::global()
+        .counter("predator_backoff_transitions_total")
+        .get();
+
+    // Drive workload accesses between ticks; the synthetic cost model turns
+    // each interval into a >100% overhead reading. The first tick sees the
+    // initial malloc as a new site (streak reset, no transition); the
+    // controller's `sustain` violations later it must escalate.
+    let mut wall = 0u64;
+    let mut escalation = None;
+    for _ in 0..32 {
+        for i in 0..64u64 {
+            sess.write::<u64>(t0, obj.start + (i % 16) * 8, i);
+        }
+        wall += 1;
+        let callsites = sess.heap().callsites().len() as u64;
+        let out = wd.tick(sess.runtime(), callsites, wall);
+        if out.decision.tier >= 1 {
+            escalation = Some(out);
+            break;
+        }
+    }
+    let out = escalation.expect("sustained violation escalates within 32 ticks");
+    assert_eq!(out.decision.action, BackoffAction::Escalated);
+    assert!(
+        out.overhead > 0.05,
+        "escalation was driven by a violation: {}",
+        out.overhead
+    );
+    assert!(
+        sess.runtime().sampling_rate() < base_rate,
+        "runtime sampling rate was lowered: {} vs {}",
+        sess.runtime().sampling_rate(),
+        base_rate
+    );
+    assert!(
+        sess.runtime().analysis_stride() > 1,
+        "analysis stride was widened"
+    );
+
+    // A malloc from a *new* callsite re-arms on the very next tick — no
+    // sustain streak, no modulo gate — restoring the configured rate.
+    let _fresh = sess.malloc(t0, 64, Callsite::here()).expect("malloc");
+    wall += 1;
+    let callsites = sess.heap().callsites().len() as u64;
+    let out = wd.tick(sess.runtime(), callsites, wall);
+    assert_eq!(out.decision.action, BackoffAction::Rearmed);
+    assert_eq!(out.decision.tier, 0);
+    assert_eq!(
+        sess.runtime().sampling_rate(),
+        base_rate,
+        "re-arm restores the configured sampling rate"
+    );
+    assert_eq!(sess.runtime().analysis_stride(), 1);
+    assert_eq!(wd.controller().tier(), 0);
+
+    // Both transitions (escalate, re-arm) are observable in the registry.
+    let transitions_after = predator::obs::global()
+        .counter("predator_backoff_transitions_total")
+        .get();
+    assert!(
+        transitions_after >= transitions_before + 2,
+        "transitions counter advanced: {transitions_before} -> {transitions_after}"
+    );
+    assert_eq!(
+        predator::obs::global().gauge("predator_backoff_tier").get(),
+        0,
+        "tier gauge reflects the re-armed state"
+    );
+}
