@@ -1,4 +1,4 @@
-//! `bench_serve` — live-monitoring overhead telemetry (`BENCH_7.json`).
+//! `bench_serve` — live-monitoring overhead telemetry (`BENCH_8.json`).
 //!
 //! ```text
 //! bench_serve [out.json] [--passes N] [--iters N] [--scrape-ms N]
@@ -12,11 +12,16 @@
 //! * **serve mode** — the same passes with the HTTP endpoint up, a
 //!   Prometheus-style scraper hitting `/metrics` + `/snapshot` on a fixed
 //!   cadence, and the self-overhead watchdog ticking its calibrated cost
-//!   model and backoff controller throughout.
+//!   model, the backoff controller, the embedded time-series store
+//!   (every registry metric sampled per tick) and the alert engine over
+//!   the shipped `docs/alerts.rules` pack throughout — the full
+//!   `serve --rules` monitor stack.
 //!
 //! Reported: per-pass wall time for both phases, the serve-mode overhead
-//! percentage, scrape latency percentiles, and the watchdog's end state
-//! (tier, transitions, effective sampling rate) proving it was engaged.
+//! percentage, scrape latency percentiles, monitor-tick (tsdb sample +
+//! alert eval) latency percentiles, tsdb series/sample counts, and the
+//! watchdog's end state (tier, transitions, effective sampling rate)
+//! proving it was engaged.
 //! The ≤5% overhead gate is enforced on machines with ≥4 cores; on smaller
 //! machines the serve threads time-slice against the workload itself, so
 //! the number is reported but advisory (same policy as `bench_scaling`).
@@ -28,7 +33,7 @@ use std::time::{Duration, Instant};
 use predator_bench::telemetry::peak_rss_kb;
 use predator_core::adaptive::Watchdog;
 use predator_core::{DetectorConfig, Session, TrackingMode};
-use predator_obs::{http_get, DeltaTracker, HttpServer, Response};
+use predator_obs::{http_get, parse_rules, AlertEngine, DeltaTracker, HttpServer, Response, Tsdb};
 use predator_workloads::{by_name, Variant, Workload, WorkloadConfig};
 use serde::Serialize;
 
@@ -52,8 +57,19 @@ struct ServeBench {
     backoff_transitions: u64,
     final_tier: i64,
     final_sampling_rate_ppm: i64,
+    alert_rules: u64,
+    alert_transitions: u64,
+    monitor_ticks: u64,
+    monitor_tick_p50_us: u64,
+    monitor_tick_p99_us: u64,
+    tsdb_series: u64,
+    tsdb_samples: u64,
     peak_rss_kb: u64,
 }
+
+/// The default rule pack `predator serve --rules docs/alerts.rules` ships
+/// with — the bench evaluates exactly what production would.
+const RULE_PACK: &str = include_str!("../../../../docs/alerts.rules");
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
@@ -92,7 +108,7 @@ const WATCHDOG_MS: u64 = 500;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_7.json".to_string();
+    let mut out_path = "BENCH_8.json".to_string();
     let mut passes: u64 = 200;
     let mut iters: u64 = 20_000;
     let mut scrape_ms: u64 = 250;
@@ -159,11 +175,18 @@ fn main() {
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
 
+    let rules = parse_rules(RULE_PACK).expect("shipped rule pack parses");
+    let rule_count = rules.len() as u64;
     let wd_thread = {
         let sess = sess.clone();
         let stop = stop.clone();
         std::thread::spawn(move || {
             let mut wd = Watchdog::for_detector(&det, 0.05);
+            // The same monitor stack `serve --rules` runs per tick: sample
+            // the registry into the tsdb, evaluate the rule pack over it.
+            let mut tsdb = Tsdb::default();
+            let mut engine = AlertEngine::new(rules);
+            let mut tick_us: Vec<u64> = Vec::new();
             while !sleep_unless(&stop, WATCHDOG_MS) {
                 let callsites = sess.heap().callsites().len() as u64;
                 wd.tick(
@@ -171,7 +194,16 @@ fn main() {
                     callsites,
                     started.elapsed().as_nanos() as u64,
                 );
+                let t = Instant::now();
+                let now_ms = started.elapsed().as_millis() as u64;
+                let snap = predator_obs::global().snapshot();
+                tsdb.sample(&snap, now_ms);
+                engine.eval(&tsdb, now_ms);
+                tick_us.push(t.elapsed().as_micros() as u64);
             }
+            let series = tsdb.series_names().len() as u64;
+            let samples = tsdb.samples_total();
+            (tick_us, series, samples)
         })
     };
 
@@ -197,10 +229,11 @@ fn main() {
 
     let serve = run_passes(&sess, w.as_ref(), &wcfg, passes);
     stop.store(true, Ordering::Relaxed);
-    let _ = wd_thread.join();
+    let (mut tick_us, tsdb_series, tsdb_samples) = wd_thread.join().expect("watchdog thread");
     let _ = scraper.join();
     handle.stop();
 
+    tick_us.sort_unstable();
     let mut lat = latencies.lock().unwrap().clone();
     lat.sort_unstable();
     let overhead_pct = (ms(serve) - ms(baseline)) / ms(baseline) * 100.0;
@@ -209,7 +242,7 @@ fn main() {
     let effective_rate_ppm = (sess.runtime().sampling_rate() * 1e6).round() as i64;
     let g = predator_obs::global();
     let report = ServeBench {
-        schema: "predator-serve-bench/1",
+        schema: "predator-serve-bench/2",
         workload: "histogram",
         passes,
         threads: wcfg.threads,
@@ -227,6 +260,13 @@ fn main() {
         backoff_transitions: g.counter("predator_backoff_transitions_total").get(),
         final_tier: g.gauge("predator_backoff_tier").get(),
         final_sampling_rate_ppm: effective_rate_ppm,
+        alert_rules: rule_count,
+        alert_transitions: g.counter("predator_alert_transitions_total").get(),
+        monitor_ticks: tick_us.len() as u64,
+        monitor_tick_p50_us: percentile(&tick_us, 0.50),
+        monitor_tick_p99_us: percentile(&tick_us, 0.99),
+        tsdb_series,
+        tsdb_samples,
         peak_rss_kb: peak_rss_kb(),
     };
     println!(
@@ -241,6 +281,16 @@ fn main() {
     println!(
         "  watchdog: tier {} after {} transition(s), sampling {} ppm",
         report.final_tier, report.backoff_transitions, report.final_sampling_rate_ppm
+    );
+    println!(
+        "  monitor:  {} tick(s) over {} series ({} rule(s)) — tick p50 {}us p99 {}us, \
+         {} alert transition(s)",
+        report.monitor_ticks,
+        report.tsdb_series,
+        report.alert_rules,
+        report.monitor_tick_p50_us,
+        report.monitor_tick_p99_us,
+        report.alert_transitions
     );
 
     let json = serde_json::to_string_pretty(&report).expect("serialize");

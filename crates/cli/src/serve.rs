@@ -9,7 +9,15 @@
 //! * `/health` — liveness JSON (uptime, pass count, last-analysis age);
 //! * `/report` — the current findings as JSON, same schema as `analyze`;
 //! * `/snapshot` — the delta since the previous scrape
-//!   ([`predator_obs::DeltaTracker`]), tagged with a monotonic epoch.
+//!   ([`predator_obs::DeltaTracker`]), tagged with a monotonic epoch;
+//! * `/query` — range queries over the embedded time-series store
+//!   ([`predator_obs::Tsdb`]) that samples every metric each watchdog
+//!   tick (`?metric=&range=`; no `metric` lists the series);
+//! * `/alerts` — the rule pack's pending/firing/resolved states
+//!   ([`predator_obs::AlertEngine`], loaded from `--rules <file>`).
+//!
+//! `--auth-token <tok>` gates every endpoint except `/health` behind
+//! `Authorization: Bearer <tok>`.
 //!
 //! Three sources, picked from the arguments:
 //!
@@ -38,7 +46,8 @@ use predator_core::{
     build_report, build_report_merged, shutdown, Attribution, DetectorConfig, ObjectDirectory,
     Predator, Session,
 };
-use predator_obs::{DeltaTracker, HttpServer, Response};
+use predator_obs::alerts::parse_duration_ms;
+use predator_obs::{AlertEngine, DeltaTracker, HttpServer, Response, Rule, Tsdb};
 use predator_trace::{sniff_format, AnalyzeConfig, TraceFormat, TraceReader};
 use predator_workloads::by_name;
 
@@ -100,6 +109,47 @@ impl ServeState {
     }
 }
 
+/// The embedded monitor: the metric time-series store plus (when `--rules`
+/// was given) the alerting engine, ticked together from the watchdog loop
+/// and read by the `/query` and `/alerts` endpoints.
+struct Monitor {
+    started: Instant,
+    tsdb: Mutex<Tsdb>,
+    engine: Option<Mutex<AlertEngine>>,
+}
+
+impl Monitor {
+    fn new(started: Instant, rules: Option<Vec<Rule>>) -> Arc<Self> {
+        Arc::new(Monitor {
+            started,
+            tsdb: Mutex::new(Tsdb::default()),
+            engine: rules.map(|r| Mutex::new(AlertEngine::new(r))),
+        })
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Samples the global registry into the tsdb and evaluates the alert
+    /// rules — one call per watchdog tick (or watch poll).
+    fn tick(&self) {
+        let now = self.now_ms();
+        let snap = predator_obs::global().snapshot();
+        let mut db = self.tsdb.lock().unwrap();
+        db.sample(&snap, now);
+        if let Some(engine) = &self.engine {
+            // Transitions are emitted to the JSONL event sink by eval().
+            engine.lock().unwrap().eval(&db, now);
+        }
+    }
+}
+
+/// `range=` accepts a duration (`90s`, `5m`) or a bare number of seconds.
+fn parse_range_ms(v: &str) -> Option<u64> {
+    parse_duration_ms(v).or_else(|| v.parse::<u64>().ok().and_then(|s| s.checked_mul(1000)))
+}
+
 /// Touches every metric the endpoints promise, so a scrape taken before the
 /// first pass already renders the full namespace at zero — fleet ingest
 /// counters included (they only tick in watch mode, but exist in all).
@@ -113,16 +163,55 @@ fn register_static_metrics() {
         "serve_request_errors_total",
         "serve_passes_total",
         "predator_backoff_transitions_total",
+        "predator_alert_transitions_total",
     ] {
         g.counter(c);
     }
     g.gauge("predator_uptime_seconds").set(0);
     g.gauge("predator_backoff_tier").set(0);
+    g.gauge("predator_alerts_firing").set(0);
+    g.gauge("predator_alerts_pending").set(0);
+    g.gauge("predator_report_findings").set(0);
 }
 
 /// Registers the endpoints every mode shares; `/report` is mode-specific
 /// and added by the caller.
-fn common_routes(srv: HttpServer, state: &Arc<ServeState>) -> HttpServer {
+fn common_routes(srv: HttpServer, state: &Arc<ServeState>, monitor: &Arc<Monitor>) -> HttpServer {
+    let mon = monitor.clone();
+    let srv = srv.route("/alerts", move |_| match &mon.engine {
+        Some(engine) => Response::json(engine.lock().unwrap().to_json(mon.now_ms())),
+        None => Response::error(404, "no alert rules loaded (serve --rules <file>)"),
+    });
+    let mon = monitor.clone();
+    let srv = srv.route("/query", move |req| {
+        let mut metric: Option<String> = None;
+        let mut range_ms = 300_000u64; // default window: 5 minutes
+        for pair in req.query.as_deref().unwrap_or("").split('&') {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            match k {
+                "metric" if !v.is_empty() => metric = Some(v.to_string()),
+                "range" => match parse_range_ms(v) {
+                    Some(ms) => range_ms = ms,
+                    None => {
+                        return Response::error(
+                            400,
+                            &format!("bad range `{v}` (want e.g. 90s, 5m, or seconds)"),
+                        )
+                    }
+                },
+                _ => {}
+            }
+        }
+        let now = mon.now_ms();
+        let db = mon.tsdb.lock().unwrap();
+        match metric {
+            None => Response::json(db.series_json()),
+            Some(m) => match db.query(&m, range_ms, now) {
+                Some(q) => Response::json(q.to_json(now, range_ms, db.loss())),
+                None => Response::error(404, &format!("unknown metric `{m}` (GET /query lists)")),
+            },
+        }
+    });
     let st = state.clone();
     let srv = srv.route("/metrics", move |_| {
         predator_obs::static_gauge!("predator_uptime_seconds")
@@ -160,7 +249,9 @@ fn announce(args: &Args, addr: std::net::SocketAddr, mode: &str) -> Result<(), S
         std::fs::write(path, format!("{addr}\n"))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
-    eprintln!("serving ({mode}) on http://{addr} — /metrics /health /report /snapshot");
+    eprintln!(
+        "serving ({mode}) on http://{addr} — /metrics /health /report /snapshot /alerts /query"
+    );
     Ok(())
 }
 
@@ -169,6 +260,23 @@ struct ServeOpts {
     budget: f64,
     wd_ms: u64,
     max_passes: u64,
+    /// Parsed `--rules` pack; `None` leaves `/alerts` unconfigured.
+    rules: Option<Vec<Rule>>,
+    /// `--auth-token` bearer token; `None` serves unauthenticated.
+    auth: Option<String>,
+}
+
+/// Reads and parses an alert-rules file, rendering every lint error.
+pub(crate) fn load_rules(path: &str) -> Result<Vec<Rule>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read rules {path}: {e}"))?;
+    predator_obs::parse_rules(&text).map_err(|errs| {
+        let mut msg = format!("{path}: {} rule error(s):", errs.len());
+        for e in errs {
+            msg.push_str(&format!("\n  {e}"));
+        }
+        msg
+    })
 }
 
 fn serve_opts(args: &Args) -> Result<ServeOpts, String> {
@@ -180,6 +288,10 @@ fn serve_opts(args: &Args) -> Result<ServeOpts, String> {
     if wd_ms == 0 {
         return Err("--watchdog-interval-ms must be at least 1".into());
     }
+    let rules = match args.options.get("--rules") {
+        Some(path) => Some(load_rules(path)?),
+        None => None,
+    };
     Ok(ServeOpts {
         listen: args
             .options
@@ -189,6 +301,8 @@ fn serve_opts(args: &Args) -> Result<ServeOpts, String> {
         budget,
         wd_ms,
         max_passes: num(args, "--passes", 0u64)?,
+        rules,
+        auth: args.options.get("--auth-token").cloned(),
     })
 }
 
@@ -223,6 +337,7 @@ fn spawn_watchdog(
     opts: &ServeOpts,
     stop: Arc<AtomicBool>,
     started: Instant,
+    monitor: Arc<Monitor>,
     current: impl Fn() -> (Arc<Session>, u64) + Send + 'static,
 ) -> Result<std::thread::JoinHandle<()>, String> {
     let wd_ms = opts.wd_ms;
@@ -240,6 +355,9 @@ fn spawn_watchdog(
                     callsites,
                     started.elapsed().as_nanos() as u64,
                 );
+                // Sample *after* the tick so the overhead/backoff gauges
+                // the alert rules watch are at their freshest.
+                monitor.tick();
             }
         })
         .map_err(|e| format!("cannot spawn watchdog: {e}"))
@@ -254,12 +372,14 @@ fn serve_workload(
     let w = by_name(name).expect("caller checked the workload exists");
     let wcfg = workload_config(args)?;
     let state = ServeState::new("workload");
+    let monitor = Monitor::new(state.started, opts.rules.clone());
     let session = Arc::new(Mutex::new(Arc::new(Session::with_config(det))));
 
-    let srv =
-        HttpServer::bind(&opts.listen).map_err(|e| format!("cannot bind {}: {e}", opts.listen))?;
+    let srv = HttpServer::bind(&opts.listen)
+        .map_err(|e| format!("cannot bind {}: {e}", opts.listen))?
+        .with_auth(opts.auth.clone());
     let addr = srv.local_addr();
-    let srv = common_routes(srv, &state);
+    let srv = common_routes(srv, &state, &monitor);
     let sess_for_report = session.clone();
     let srv = srv.route("/report", move |_| {
         let sess = sess_for_report.lock().unwrap().clone();
@@ -270,11 +390,18 @@ fn serve_workload(
 
     let stop_wd = Arc::new(AtomicBool::new(false));
     let sess_for_wd = session.clone();
-    let wd_thread = spawn_watchdog(det, opts, stop_wd.clone(), state.started, move || {
-        let sess = sess_for_wd.lock().unwrap().clone();
-        let callsites = sess.heap().callsites().len() as u64;
-        (sess, callsites)
-    })?;
+    let wd_thread = spawn_watchdog(
+        det,
+        opts,
+        stop_wd.clone(),
+        state.started,
+        monitor,
+        move || {
+            let sess = sess_for_wd.lock().unwrap().clone();
+            let callsites = sess.heap().callsites().len() as u64;
+            (sess, callsites)
+        },
+    )?;
 
     let mut done = 0u64;
     while !shutdown::requested() {
@@ -339,11 +466,13 @@ fn serve_replay(
     let rt = Arc::new(Predator::new(det, base, size));
     let directory: Arc<Mutex<Option<ObjectDirectory>>> = Arc::new(Mutex::new(None));
     let state = ServeState::new("replay");
+    let monitor = Monitor::new(state.started, opts.rules.clone());
 
-    let srv =
-        HttpServer::bind(&opts.listen).map_err(|e| format!("cannot bind {}: {e}", opts.listen))?;
+    let srv = HttpServer::bind(&opts.listen)
+        .map_err(|e| format!("cannot bind {}: {e}", opts.listen))?
+        .with_auth(opts.auth.clone());
     let addr = srv.local_addr();
-    let srv = common_routes(srv, &state);
+    let srv = common_routes(srv, &state, &monitor);
     let rt_for_report = rt.clone();
     let dir_for_report = directory.clone();
     let srv = srv.route("/report", move |_| {
@@ -370,10 +499,12 @@ fn serve_replay(
             .name("predator-watchdog".into())
             .spawn({
                 let stop = stop_wd.clone();
+                let monitor = monitor.clone();
                 move || {
                     let mut wd = Watchdog::for_detector(&det, budget);
                     while !stop.load(Ordering::Relaxed) && !sleep_poll(wd_ms) {
                         wd.tick(&rt, 0, started.elapsed().as_nanos() as u64);
+                        monitor.tick();
                     }
                 }
             })
@@ -428,11 +559,13 @@ fn serve_watch(
     let cfg = AnalyzeConfig::new(det, shard_count(args)?);
     let mut watcher = predator_fleet::Watcher::new(Path::new(watch_dir), Path::new(corpus), cfg);
     let state = ServeState::new("watch");
+    let monitor = Monitor::new(state.started, opts.rules.clone());
 
-    let srv =
-        HttpServer::bind(&opts.listen).map_err(|e| format!("cannot bind {}: {e}", opts.listen))?;
+    let srv = HttpServer::bind(&opts.listen)
+        .map_err(|e| format!("cannot bind {}: {e}", opts.listen))?
+        .with_auth(opts.auth.clone());
     let addr = srv.local_addr();
-    let srv = common_routes(srv, &state);
+    let srv = common_routes(srv, &state, &monitor);
     let corpus_dir = PathBuf::from(corpus);
     let srv = srv.route("/report", move |_| {
         match predator_fleet::Manifest::load(&corpus_dir) {
@@ -468,6 +601,9 @@ fn serve_watch(
             }
             Err(e) => eprintln!("watch: {e}"),
         }
+        // No watchdog thread in this mode: the poll loop doubles as the
+        // monitor tick (fleet-ingest rates and alert evaluation).
+        monitor.tick();
         if sleep_poll(opts.wd_ms) {
             break;
         }

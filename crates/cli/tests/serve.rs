@@ -10,7 +10,7 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use predator_core::Report;
-use predator_obs::http_get;
+use predator_obs::{http_get, http_get_auth};
 
 fn predator() -> Command {
     Command::new(env!("CARGO_BIN_EXE_predator"))
@@ -168,6 +168,174 @@ fn serve_workload_endpoints_scrape_and_sigterm_is_graceful() {
         "sink_summary missing from:\n{text}"
     );
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The default rule pack shipped in the repo, resolved from the cli crate.
+fn rules_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/alerts.rules")
+}
+
+#[test]
+fn serve_with_rules_and_auth_token_end_to_end() {
+    let dir = temp_dir("serve-auth");
+    let ready = dir.join("addr.txt");
+    let rules = rules_path();
+    const TOKEN: &str = "hunter2";
+
+    let mut child = predator()
+        .args([
+            "serve",
+            "histogram",
+            "--threads",
+            "2",
+            "--iters",
+            "200",
+            "--sensitive",
+            "--listen",
+            "127.0.0.1:0",
+            "--watchdog-interval-ms",
+            "50",
+            "--rules",
+            rules.to_str().unwrap(),
+            "--auth-token",
+            TOKEN,
+            "--ready-file",
+            ready.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn predator serve");
+
+    let addr = wait_for_addr(&ready);
+    let get = |path: &str, token: Option<&str>| {
+        http_get_auth(&addr, path, Duration::from_secs(5), token).expect("scrape")
+    };
+
+    // Everything but /health is gated: 401 without the token, 401 with the
+    // wrong one, 200 with the right one.
+    for path in ["/metrics", "/snapshot", "/report", "/alerts", "/query"] {
+        assert_eq!(get(path, None).0, 401, "{path} served without a token");
+        assert_eq!(get(path, Some("wrong")).0, 401, "{path} took a bad token");
+    }
+    assert_eq!(get("/health", None).0, 200, "/health must stay open");
+
+    // Wait until the monitor has sampled the registry at least once (the
+    // tsdb answers /query for a registered gauge), then /alerts and
+    // /query answer with their schema-tagged documents.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let body = loop {
+        let (status, body) = get("/query?metric=predator_backoff_tier&range=5m", Some(TOKEN));
+        if status == 200 {
+            break body;
+        }
+        assert!(Instant::now() < deadline, "monitor never sampled the tsdb");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        body.starts_with("{\"schema\":\"predator-tsdb/1\""),
+        "{body}"
+    );
+    assert!(
+        body.contains("\"metric\":\"predator_backoff_tier\""),
+        "{body}"
+    );
+    let (status, body) = get("/alerts", Some(TOKEN));
+    assert_eq!(status, 200);
+    assert!(
+        body.starts_with("{\"schema\":\"predator-alerts/1\""),
+        "{body}"
+    );
+    assert!(
+        body.contains("\"name\":\"overhead_budget_breach\""),
+        "{body}"
+    );
+    // The series listing, an unknown metric, and a bad range.
+    let (status, body) = get("/query", Some(TOKEN));
+    assert_eq!(status, 200);
+    assert!(body.contains("\"series\":["), "{body}");
+    assert_eq!(get("/query?metric=no_such_series", Some(TOKEN)).0, 404);
+    assert_eq!(
+        get(
+            "/query?metric=predator_backoff_tier&range=bogus",
+            Some(TOKEN)
+        )
+        .0,
+        400
+    );
+
+    // `stats --url --watch 0` renders one dashboard frame through the
+    // same bearer token: alert states plus sparkline series.
+    let url = format!("http://{addr}");
+    let out = predator()
+        .args([
+            "stats",
+            "--url",
+            &url,
+            "--watch",
+            "0",
+            "--auth-token",
+            TOKEN,
+        ])
+        .output()
+        .expect("spawn stats --watch 0");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let frame = String::from_utf8_lossy(&out.stdout);
+    assert!(frame.contains("predator serve @"), "{frame}");
+    assert!(frame.contains("alerts:"), "{frame}");
+    assert!(frame.contains("predator_backoff_tier"), "{frame}");
+
+    // `alerts eval` against the live instance goes through the token too;
+    // its exit code is the gate (either way is valid here — the tiny
+    // workload may or may not breach the budget at sample time).
+    let out = predator()
+        .args([
+            "alerts",
+            "eval",
+            rules.to_str().unwrap(),
+            &addr,
+            "--auth-token",
+            TOKEN,
+        ])
+        .output()
+        .expect("spawn alerts eval");
+    let eval = String::from_utf8_lossy(&out.stdout);
+    assert!(eval.contains("evaluating 4 rule(s) against live"), "{eval}");
+    assert!(eval.contains("condition(s) met"), "{eval}");
+
+    sigterm(&child);
+    let status = child.wait().expect("wait for serve");
+    assert!(status.success(), "graceful shutdown exits 0: {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn alerts_lint_gates_rule_files() {
+    // The shipped pack lints clean.
+    let out = predator()
+        .args(["alerts", "lint", rules_path().to_str().unwrap()])
+        .output()
+        .expect("spawn alerts lint");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("4 rule(s) ok"));
+
+    // A broken pack exits nonzero with line-numbered findings, not usage.
+    let dir = temp_dir("lint");
+    let bad = dir.join("bad.rules");
+    std::fs::write(&bad, "alert x\n  expr: nonsense\n").unwrap();
+    let out = predator()
+        .args(["alerts", "lint", bad.to_str().unwrap()])
+        .output()
+        .expect("spawn alerts lint");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2:"), "{err}");
+    assert!(!err.contains("USAGE"), "lint failure dumped usage: {err}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

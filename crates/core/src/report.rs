@@ -1009,6 +1009,12 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
             ],
         );
     }
+    // Level, not counter: serve-mode alert rules watch this for findings
+    // appearing (or regressing away) between report builds.
+    predator_obs::global()
+        .gauge("predator_report_findings")
+        .set(findings.len() as i64);
+
     drop(detect_span); // record the detect phase before capturing the snapshot
     Report {
         findings,

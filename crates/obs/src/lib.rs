@@ -29,6 +29,12 @@
 //!   `/report` and `/snapshot` endpoints (plus the matching GET client).
 //! * [`delta`] — snapshot deltas with scrape epochs and wrap-around-safe
 //!   subtraction: what `/snapshot` streams between scrapes.
+//! * [`tsdb`] — the embedded metric time-series store: bounded per-series
+//!   rings of recent samples with 10s/60s downsampling tiers, loss
+//!   accounting, and restart-safe `rate()` — the history behind `/query`.
+//! * [`alerts`] — the rule-driven alerting engine (`docs/alerts.rules`)
+//!   evaluated over the tsdb each watchdog tick, with `for:` hysteresis
+//!   and a pending → firing → resolved lifecycle behind `/alerts`.
 //!
 //! Everything hangs off a process-global registry ([`global`]) so call
 //! sites in any crate can grab a handle without plumbing; handles are
@@ -37,6 +43,7 @@
 //! The `obs-off` cargo feature compiles every hook to a no-op so the cost
 //! of the layer itself can be measured (see the `detector_hotpath` bench).
 
+pub mod alerts;
 pub mod delta;
 mod events;
 mod metrics;
@@ -46,7 +53,9 @@ pub mod serve;
 mod snapshot;
 mod span;
 pub mod timeline;
+pub mod tsdb;
 
+pub use alerts::{parse_rules, AlertEngine, AlertState, LintError, Rule, Severity, Transition};
 pub use delta::{accumulate, delta_snapshots, DeltaTracker, SnapshotDelta};
 pub use events::{events, EventSink, FieldVal};
 pub use metrics::{
@@ -55,10 +64,11 @@ pub use metrics::{
 };
 pub use profile::{profiler, CostCenter, Profiler};
 pub use recorder::{FlightRecorder, Rec, RecKind};
-pub use serve::{http_get, HttpServer, Request, Response, ServerHandle};
+pub use serve::{http_get, http_get_auth, HttpServer, Request, Response, ServerHandle};
 pub use snapshot::{escape_label_value, prom_info_metric, Bucket, HistogramSnapshot, Snapshot};
 pub use span::{span, Span};
 pub use timeline::{host_lane, timeline, ArgVal, Timeline};
+pub use tsdb::{Point, QueryResult, SeriesKind, Tsdb, TsdbConfig, TsdbLoss};
 
 /// True when the crate was compiled with the `obs-off` feature (all hooks
 /// are no-ops and snapshots report zeros).

@@ -44,6 +44,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// Extra headers (name, value), written verbatim after the standard set.
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -53,6 +55,7 @@ impl Response {
             status: 200,
             content_type: "application/json",
             body: body.into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -62,6 +65,7 @@ impl Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
             body: body.into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -71,6 +75,7 @@ impl Response {
             status: 200,
             content_type: "text/plain",
             body: body.into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -80,13 +85,24 @@ impl Response {
             status,
             content_type: "text/plain",
             body: format!("{msg}\n").into_bytes(),
+            headers: Vec::new(),
         }
+    }
+
+    /// 401 with the `WWW-Authenticate: Bearer` challenge the bearer-auth
+    /// gate answers unauthenticated requests with.
+    pub fn unauthorized() -> Self {
+        let mut r = Response::error(401, "missing or invalid bearer token");
+        r.headers
+            .push(("WWW-Authenticate", "Bearer realm=\"predator\"".to_string()));
+        r
     }
 
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
             400 => "Bad Request",
+            401 => "Unauthorized",
             404 => "Not Found",
             405 => "Method Not Allowed",
             _ => "Error",
@@ -101,6 +117,7 @@ type Handler = Box<dyn Fn(&Request) -> Response + Send + Sync>;
 pub struct HttpServer {
     listener: TcpListener,
     routes: Vec<(String, Handler)>,
+    auth_token: Option<String>,
 }
 
 impl HttpServer {
@@ -110,7 +127,16 @@ impl HttpServer {
         Ok(HttpServer {
             listener,
             routes: Vec::new(),
+            auth_token: None,
         })
+    }
+
+    /// Requires `Authorization: Bearer <token>` on every route except
+    /// `/health` (liveness probes stay unauthenticated). `None` disables
+    /// the gate.
+    pub fn with_auth(mut self, token: Option<String>) -> Self {
+        self.auth_token = token;
+        self
     }
 
     /// The bound address — the source of truth for ephemeral ports.
@@ -171,26 +197,54 @@ impl HttpServer {
         stream.set_write_timeout(Some(IO_TIMEOUT))?;
         let mut stream = stream;
         let response = match read_request(&mut stream) {
-            Ok((method, target)) if method == "GET" => {
+            Ok((method, target, auth)) if method == "GET" => {
                 let (path, query) = match target.split_once('?') {
                     Some((p, q)) => (p.to_string(), Some(q.to_string())),
                     None => (target, None),
                 };
+                if !self.authorized(&path, auth.as_deref()) {
+                    write_response(&mut stream, &Response::unauthorized())?;
+                    return Ok(());
+                }
                 let req = Request { path, query };
                 match self.routes.iter().find(|(p, _)| *p == req.path) {
                     Some((_, h)) => h(&req),
                     None => Response::error(404, "no such endpoint"),
                 }
             }
-            Ok((method, _)) => Response::error(405, &format!("method {method} not allowed")),
+            Ok((method, _, _)) => Response::error(405, &format!("method {method} not allowed")),
             Err(msg) => Response::error(400, msg),
         };
         write_response(&mut stream, &response)
     }
+
+    fn authorized(&self, path: &str, auth: Option<&str>) -> bool {
+        let Some(token) = &self.auth_token else {
+            return true;
+        };
+        if path == "/health" {
+            return true;
+        }
+        match auth.and_then(|a| a.strip_prefix("Bearer ")) {
+            Some(presented) => constant_time_eq(presented.trim(), token),
+            None => false,
+        }
+    }
 }
 
-/// Reads the request head and returns `(method, target)`.
-fn read_request(stream: &mut TcpStream) -> Result<(String, String), &'static str> {
+/// Compares token strings without early exit, so response timing does not
+/// leak how many prefix bytes matched.
+fn constant_time_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().min(b.len()) {
+        diff |= (a[i] ^ b[i]) as usize;
+    }
+    diff == 0
+}
+
+/// Reads the request head and returns `(method, target, authorization)`.
+fn read_request(stream: &mut TcpStream) -> Result<(String, String, Option<String>), &'static str> {
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 512];
     loop {
@@ -207,21 +261,34 @@ fn read_request(stream: &mut TcpStream) -> Result<(String, String), &'static str
         }
     }
     let text = std::str::from_utf8(&head).map_err(|_| "request not UTF-8")?;
-    let line = text.lines().next().ok_or("empty request")?;
+    let mut lines = text.lines();
+    let line = lines.next().ok_or("empty request")?;
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or("malformed request line")?;
     let target = parts.next().ok_or("malformed request line")?;
-    Ok((method.to_string(), target.to_string()))
+    let auth = lines.take_while(|l| !l.is_empty()).find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("authorization")
+            .then(|| value.trim().to_string())
+    });
+    Ok((method.to_string(), target.to_string(), auth))
 }
 
 fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         r.status,
         r.reason(),
         r.content_type,
         r.body.len()
     );
+    for (name, value) in &r.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&r.body)?;
     stream.flush()
@@ -263,6 +330,16 @@ impl Drop for ServerHandle {
 /// A minimal blocking HTTP GET client for the server above (and any other
 /// text endpoint): returns `(status, body)`. `addr` is `host:port`.
 pub fn http_get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
+    http_get_auth(addr, path, timeout, None)
+}
+
+/// [`http_get`] with an optional bearer token (`Authorization: Bearer ...`).
+pub fn http_get_auth(
+    addr: &str,
+    path: &str,
+    timeout: Duration,
+    token: Option<&str>,
+) -> std::io::Result<(u16, String)> {
     let sock = addr
         .to_socket_addrs()?
         .next()
@@ -270,9 +347,13 @@ pub fn http_get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<(u
     let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
+    let auth_header = match token {
+        Some(t) => format!("Authorization: Bearer {t}\r\n"),
+        None => String::new(),
+    };
     write!(
         stream,
-        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\n{auth_header}Connection: close\r\n\r\n"
     )?;
     stream.flush()?;
     let mut raw = Vec::new();
@@ -336,6 +417,51 @@ mod tests {
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+    }
+
+    #[test]
+    fn bearer_auth_gates_everything_but_health() {
+        let s = HttpServer::bind("127.0.0.1:0")
+            .unwrap()
+            .with_auth(Some("s3cret".into()))
+            .route("/ping", |_| Response::text("pong".into()))
+            .route("/health", |_| Response::text("ok".into()))
+            .spawn()
+            .unwrap();
+        let addr = s.addr().to_string();
+
+        // No token: 401 with the Bearer challenge.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"GET /ping HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 401"), "{out}");
+        assert!(out.contains("WWW-Authenticate: Bearer"), "{out}");
+
+        // Wrong token: still 401.
+        let (status, _) = http_get_auth(&addr, "/ping", IO_TIMEOUT, Some("nope")).unwrap();
+        assert_eq!(status, 401);
+
+        // Right token: through.
+        let (status, body) = http_get_auth(&addr, "/ping", IO_TIMEOUT, Some("s3cret")).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "pong");
+
+        // /health stays open for liveness probes.
+        let (status, _) = http_get(&addr, "/health", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 200);
+        s.stop();
+    }
+
+    #[test]
+    fn constant_time_eq_compares_exactly() {
+        assert!(constant_time_eq("abc", "abc"));
+        assert!(!constant_time_eq("abc", "abd"));
+        assert!(!constant_time_eq("abc", "ab"));
+        assert!(!constant_time_eq("", "x"));
+        assert!(constant_time_eq("", ""));
     }
 
     #[test]

@@ -77,10 +77,12 @@ target/release/bench_fleet "$FLEET_OUT" \
   --events-per-trace "${BENCH_FLEET_EVENTS:-1250000}"
 
 # Live-monitoring overhead: serve-mode passes (HTTP endpoint + scraper +
-# self-overhead watchdog) vs a bare relaxed-tracking baseline, plus scrape
-# latency percentiles. The <=5% overhead gate is enforced on >=4 cores;
-# advisory elsewhere. Refresh the committed artifact with
-#   BENCH_SERVE_OUT=BENCH_7.json scripts/bench.sh
+# self-overhead watchdog + tsdb sampling + alert-rule evaluation over the
+# shipped docs/alerts.rules pack) vs a bare relaxed-tracking baseline, plus
+# scrape and monitor-tick latency percentiles. The <=5% overhead gate is
+# enforced on >=4 cores; advisory elsewhere. Refresh the committed artifact
+# with
+#   BENCH_SERVE_OUT=BENCH_8.json scripts/bench.sh
 SERVE_OUT="${BENCH_SERVE_OUT:-BENCH_serve_local.json}"
 echo "==> live-monitoring serve bench -> $SERVE_OUT"
 target/release/bench_serve "$SERVE_OUT" \

@@ -106,19 +106,33 @@ echo "==> tracked-line scaling bench (2x gate enforced only on >=8 cores)"
 target/release/bench_scaling "$SMOKE/bench_scaling.json" --iters 100000 --reps 2
 
 echo "==> live monitoring smoke (serve on an ephemeral port, scrape, clean shutdown)"
-# The full endpoint matrix (including SIGTERM semantics) is covered by the
-# Rust test client in crates/cli/tests/serve.rs; this exercises the shipped
-# binary end to end: serve a workload, scrape /health + /metrics, render the
-# live /snapshot through `stats --url`, and shut down via SIGTERM.
+# The full endpoint matrix (including auth + SIGTERM semantics) is covered
+# by the Rust test client in crates/cli/tests/serve.rs; this exercises the
+# shipped binary end to end: lint the default rule pack, serve a workload
+# with it loaded, scrape /health + /metrics + /alerts + /query, render the
+# live /snapshot through `stats --url` and the dashboard through
+# `stats --url --watch 0`, and shut down via SIGTERM.
 cargo test -q -p predator-cli --test serve
+$PRED alerts lint docs/alerts.rules
 $PRED serve histogram --threads 2 --iters 200 --passes 2 \
   --listen 127.0.0.1:0 --watchdog-interval-ms 50 \
+  --rules docs/alerts.rules \
   --ready-file "$SMOKE/serve.addr" &
 SERVE_PID=$!
 for _ in $(seq 1 100); do [[ -s "$SMOKE/serve.addr" ]] && break; sleep 0.1; done
 ADDR=$(head -n 1 "$SMOKE/serve.addr" | tr -d '[:space:]')
 $PRED stats --url "http://$ADDR" > "$SMOKE/serve-stats.txt"
 grep -q "live snapshot from" "$SMOKE/serve-stats.txt"
+# /alerts answers with the schema-tagged document once --rules is loaded,
+# and /query serves history for a registered gauge after the first tick.
+for _ in $(seq 1 100); do
+  $PRED stats --url "http://$ADDR" --watch 0 > "$SMOKE/serve-watch.txt" || true
+  grep -q "predator_backoff_tier" "$SMOKE/serve-watch.txt" && break
+  sleep 0.1
+done
+grep -q "predator serve @" "$SMOKE/serve-watch.txt"
+grep -q "alerts:" "$SMOKE/serve-watch.txt"
+grep -q "predator_backoff_tier" "$SMOKE/serve-watch.txt"
 kill "$SERVE_PID"
 wait "$SERVE_PID"
 echo "serve smoke OK"
