@@ -16,6 +16,7 @@ use std::fmt;
 use std::time::Instant;
 
 use predator_core::{DetectorConfig, Predator, Session};
+use predator_policy::compare::{direction_for_key, gate_metric, Direction};
 use predator_sim::{AccessKind, ThreadId};
 use predator_workloads::{by_name, WorkloadConfig};
 use serde::{Deserialize, Serialize};
@@ -261,26 +262,27 @@ impl fmt::Display for BenchDiff {
 /// CI runners is real).
 pub fn diff_reports(old: &BenchReport, new: &BenchReport, tolerance: f64) -> BenchDiff {
     let mut diff = BenchDiff::default();
-    let mut row = |metric: String, old: f64, new: f64, regression: f64| {
+    let mut row = |metric: String, direction: Direction, old: f64, new: f64| {
+        let (regression, failed) = gate_metric(direction, old, new, tolerance);
         diff.rows.push(DiffRow {
             metric,
             old,
             new,
             regression,
-            failed: regression > tolerance,
+            failed,
         });
     };
     row(
         "hot_path/tracked_write_ns".into(),
+        Direction::HigherIsWorse,
         old.hot_path.tracked_write_ns,
         new.hot_path.tracked_write_ns,
-        new.hot_path.tracked_write_ns / old.hot_path.tracked_write_ns.max(1e-9) - 1.0,
     );
     row(
         "hot_path/untracked_read_ns".into(),
+        Direction::HigherIsWorse,
         old.hot_path.untracked_read_ns,
         new.hot_path.untracked_read_ns,
-        new.hot_path.untracked_read_ns / old.hot_path.untracked_read_ns.max(1e-9) - 1.0,
     );
     for o in &old.workloads {
         match new.workloads.iter().find(|n| n.name == o.name) {
@@ -288,9 +290,9 @@ pub fn diff_reports(old: &BenchReport, new: &BenchReport, tolerance: f64) -> Ben
                 // Throughput: regression is the fractional *loss*.
                 row(
                     format!("workload/{}/throughput_maccess_s", o.name),
+                    Direction::LowerIsWorse,
                     o.throughput_maccess_s,
                     n.throughput_maccess_s,
-                    1.0 - n.throughput_maccess_s / o.throughput_maccess_s.max(1e-9),
                 );
             }
             None => diff.unmatched.push(format!("workload/{}", o.name)),
@@ -357,32 +359,6 @@ pub fn numeric_leaves(v: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
     }
 }
 
-/// Gating direction for a discovered metric, inferred from its key: time,
-/// memory, and loss counters hurt when they grow; rates and throughputs
-/// hurt when they shrink. Returns the signed regression fraction
-/// (positive = worse), or `None` for metrics that are informational
-/// (counts, sizes of inputs) and never gate.
-fn discovered_regression(path: &str, old: f64, new: f64) -> Option<f64> {
-    let leaf = path.rsplit('/').next().unwrap_or(path);
-    let higher_is_worse = leaf.ends_with("_ns")
-        || leaf.ends_with("_ms")
-        || leaf.ends_with("_kb")
-        || leaf.contains("wall")
-        || leaf.contains("rss")
-        || leaf.contains("lost")
-        || leaf.contains("skipped")
-        || leaf.contains("truncated");
-    let lower_is_worse =
-        leaf.contains("per_s") || leaf.contains("throughput") || leaf.contains("speedup");
-    if higher_is_worse {
-        Some(new / old.max(1e-9) - 1.0)
-    } else if lower_is_worse {
-        Some(1.0 - new / old.max(1e-9))
-    } else {
-        None
-    }
-}
-
 /// Schema-agnostic comparison: discovers numeric metrics in both documents
 /// by key path and gates the ones whose direction is inferable. Used by
 /// `bench-diff` for any schema other than [`SCHEMA`] (whose typed
@@ -402,11 +378,10 @@ pub fn diff_values(old: &Value, new: &Value, tolerance: f64) -> BenchDiff {
             diff.unmatched.push(path.clone());
             continue;
         };
-        let (regression, failed) = match discovered_regression(path, *ov, nv) {
-            Some(r) => (r, r > tolerance),
-            // Informational metric: show the raw relative change, never gate.
-            None => (nv / ov.max(1e-9) - 1.0, false),
-        };
+        // Direction inferred from the key's leaf segment (the suffix
+        // heuristics live in the shared engine); informational metrics
+        // show their raw relative change and never gate.
+        let (regression, failed) = gate_metric(direction_for_key(path), *ov, nv, tolerance);
         diff.rows.push(DiffRow {
             metric: path.clone(),
             old: *ov,

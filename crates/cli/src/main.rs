@@ -18,11 +18,15 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use predator_core::{
-    build_report, build_report_merged, diff_reports, suggest_fixes, Attribution, DetectorConfig,
-    ObsSnapshot, Predator, Report, Session, SiteKind, TimelineOp, TimelineRecord,
+    build_report, build_report_merged, suggest_fixes, Attribution, DetectorConfig, ObsSnapshot,
+    Predator, Report, Session, SiteKind, TimelineOp, TimelineRecord,
 };
 use predator_instrument::{
     instrument_module, parse_module, InstrumentOptions, Machine, StepSchedule, ThreadSpec,
+};
+use predator_policy::{
+    diff_reports, evaluate_report, evaluate_views, to_html, to_sarif_string, Baseline, Evaluation,
+    FindingView, PolicyConfig, Suppressions,
 };
 use predator_shadow::SimSpace;
 use predator_sim::ThreadId;
@@ -103,6 +107,8 @@ USAGE:
         first/last seen) and corpus-wide loss accounting.
         --run <ID>          print one member run's report instead
         --json              machine-readable report
+        (--fail-on gates the merged aggregates by per-run mean
+        invalidations; with --run, the full policy pipeline applies)
 
     predator fleet trend --corpus <dir> --baseline <corpus> [OPTIONS]
         Delta the corpus against a baseline corpus (a directory or its
@@ -148,6 +154,18 @@ USAGE:
         new report introduces findings the old one lacked (a CI gate).
         --tolerance <F>     severity-change ratio threshold [default: 0.5]
 
+    predator baseline write <report.json> -o <baseline.json>
+        Snapshot every finding's callsite key from a JSON report into a
+        baseline file. Commit it next to the code: a later
+        `analyze --baseline <file> --fail-on <sev>` reports everything but
+        gates only on findings at keys the baseline has never seen.
+
+    predator baseline diff <baseline.json> <report.json> [OPTIONS]
+        Compare a report against a baseline: each callsite key classifies
+        as NEW / FIXED / WORSE / BETTER / steady. Exits nonzero when any
+        NEW key appears (the CI gate; drift alone never fails).
+        --tolerance <F>     relative drift tolerance      [default: 0.5]
+
     predator profile <program.pir> [OPTIONS]
         Execute a textual-IR program under the instruction-sampling
         self-profiler and print where interpreted instructions went: a
@@ -172,7 +190,8 @@ USAGE:
         the trace is looped through a detector; with --watch, a fleet
         spool directory is polled and complete traces auto-ingested.
         Endpoints: /metrics (Prometheus text), /health (liveness JSON),
-        /report (findings JSON, same schema as `analyze`), /snapshot
+        /report (findings, same schema as `analyze`; ?format=json|sarif|
+        html, HTTP 412 when the --fail-on policy gate fails), /snapshot
         (delta since previous scrape, epoch-tagged), /query (recent
         metric history from the embedded time-series store: bounded
         per-series rings with 10s/60s downsampling tiers), /alerts
@@ -224,6 +243,25 @@ USAGE:
     Common flags:
         --fixes             also print prescriptive fix suggestions
         --markdown          render the report as GitHub-flavoured markdown
+        --format <F>        report output format: text|json|markdown|
+                            sarif|html (--json/--markdown stay as aliases).
+                            SARIF 2.1.0 and self-contained HTML embed fix
+                            suggestions and the policy verdicts; both own
+                            stdout, so redirect to a file
+        --fail-on <SEV>     gate: exit nonzero when any finding classifies
+                            at or above SEV (info|warning|error) after
+                            suppressions and the baseline are applied.
+                            Applies to run/ir/replay/analyze/fleet report;
+                            under serve, a failed gate turns /report into
+                            HTTP 412. The verdict prints to stderr
+        --suppressions <FILE>  suppression list: one callsite key per
+                            line (trailing `*` = prefix match, `#` starts
+                            a comment); suppressed findings are reported
+                            but never gate
+        --baseline <FILE>   known-findings baseline (from `baseline
+                            write`); baselined keys never gate
+        --policy <NAME>     severity classification policy
+                            [default: threshold]
         --metrics <PATH>    write the metrics snapshot as JSON to PATH and
                             Prometheus text to PATH.prom after the run;
                             `-` prints the JSON to stdout (skipped under
@@ -281,6 +319,10 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         "--url",
         "--rules",
         "--auth-token",
+        "--format",
+        "--fail-on",
+        "--suppressions",
+        "--policy",
     ];
     let mut args = Args {
         positional: Vec::new(),
@@ -499,9 +541,10 @@ fn emit_metrics(args: &Args) -> Result<(), String> {
     };
     let snap = predator_obs::global().snapshot();
     if path == "-" {
-        // Under --json the report on stdout already embeds the snapshot;
-        // printing it again would leave two JSON documents on one stream.
-        if !args.flags.iter().any(|f| f == "--json") {
+        // Machine formats own stdout (a --json report already embeds the
+        // snapshot; SARIF/HTML documents must not be followed by stray
+        // JSON), so the inline dump only renders for human formats.
+        if !output_format(args).is_ok_and(Format::is_machine) {
             println!("{}", snap.to_json());
         }
     } else {
@@ -514,14 +557,106 @@ fn emit_metrics(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn emit_report(args: &Args, det: &DetectorConfig, report: &Report) {
-    let _span = predator_obs::span("report");
+/// Report output format: `--format <F>` wins; the legacy `--json` and
+/// `--markdown` flags keep working as aliases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Markdown,
+    Sarif,
+    Html,
+}
+
+impl Format {
+    /// Machine formats own stdout: no preamble lines, no duplicate metrics
+    /// JSON on the same stream.
+    fn is_machine(self) -> bool {
+        matches!(self, Format::Json | Format::Sarif | Format::Html)
+    }
+}
+
+fn output_format(args: &Args) -> Result<Format, String> {
+    if let Some(f) = args.options.get("--format") {
+        return match f.as_str() {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            "markdown" => Ok(Format::Markdown),
+            "sarif" => Ok(Format::Sarif),
+            "html" => Ok(Format::Html),
+            other => Err(format!(
+                "unknown format `{other}` (text|json|markdown|sarif|html)"
+            )),
+        };
+    }
     if args.flags.iter().any(|f| f == "--json") {
-        println!("{}", report.to_json());
+        Ok(Format::Json)
     } else if args.flags.iter().any(|f| f == "--markdown") {
-        println!("{}", report.to_markdown());
+        Ok(Format::Markdown)
     } else {
-        println!("{report}");
+        Ok(Format::Text)
+    }
+}
+
+/// Builds the policy configuration shared by every report-emitting command
+/// (`run`, `ir`, `replay`, `analyze`, `fleet report`, `serve`): the
+/// classifier (`--policy`), suppressions file, baseline file, and the
+/// `--fail-on` gate threshold.
+fn policy_config(args: &Args) -> Result<PolicyConfig, String> {
+    let mut cfg = PolicyConfig::default();
+    if let Some(name) = args.options.get("--policy") {
+        cfg.policy = predator_policy::policy_by_name(name).ok_or_else(|| {
+            format!(
+                "unknown policy `{name}` (available: {})",
+                predator_policy::policy_names().join(", ")
+            )
+        })?;
+    }
+    if let Some(path) = args.options.get("--suppressions") {
+        cfg.suppressions = Suppressions::load(Path::new(path))?;
+    }
+    if let Some(path) = args.options.get("--baseline") {
+        cfg.baseline = Some(Baseline::load(Path::new(path))?);
+    }
+    if let Some(sev) = args.options.get("--fail-on") {
+        cfg.fail_on = Some(sev.parse()?);
+    }
+    Ok(cfg)
+}
+
+/// Applies the `--fail-on` gate verdict: the summary goes to stderr (so
+/// `--format sarif > out.sarif` redirects stay clean) and a failed gate
+/// travels back through main as a nonzero exit code, same contract as
+/// `diff` and `fleet trend`.
+fn gate_exit(eval: &Evaluation) -> ExitCode {
+    if eval.fail_on.is_none() {
+        return ExitCode::SUCCESS;
+    }
+    if eval.gate_failed() {
+        eprintln!("GATE: FAIL — {}", eval.gate_summary());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("GATE: ok — {}", eval.gate_summary());
+    ExitCode::SUCCESS
+}
+
+/// Reads a JSON report (from `run --json` / `analyze --json`).
+fn load_report(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: not a JSON report: {e}"))
+}
+
+fn emit_report(args: &Args, det: &DetectorConfig, report: &Report) -> Result<ExitCode, String> {
+    let _span = predator_obs::span("report");
+    let format = output_format(args)?;
+    let pcfg = policy_config(args)?;
+    let eval = evaluate_report(report, &pcfg);
+    match format {
+        Format::Json => println!("{}", report.to_json()),
+        Format::Markdown => println!("{}", report.to_markdown()),
+        Format::Sarif => println!("{}", to_sarif_string(report, &eval, det.geometry)),
+        Format::Html => println!("{}", to_html(report, &eval, det.geometry)),
+        Format::Text => println!("{report}"),
     }
     if args.flags.iter().any(|f| f == "--fixes") {
         let fixes = suggest_fixes(report, det.geometry);
@@ -534,19 +669,19 @@ fn emit_report(args: &Args, det: &DetectorConfig, report: &Report) {
             }
         }
     }
+    Ok(gate_exit(&eval))
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+fn cmd_run(args: &Args) -> Result<ExitCode, String> {
     let name = args.positional.get(1).ok_or("run: missing workload name")?;
     let w = by_name(name).ok_or_else(|| format!("unknown workload `{name}` (try `list`)"))?;
     let det = detector_config(args)?;
     let cfg = workload_config(args)?;
     let report = run_and_report(w.as_ref(), det, &cfg);
-    emit_report(args, &det, &report);
-    Ok(())
+    emit_report(args, &det, &report)
 }
 
-fn cmd_ir(args: &Args) -> Result<(), String> {
+fn cmd_ir(args: &Args) -> Result<ExitCode, String> {
     let path = args.positional.get(1).ok_or("ir: missing program path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut module = parse_module(&text).map_err(|e| format!("parse error: {e}"))?;
@@ -576,8 +711,7 @@ fn cmd_ir(args: &Args) -> Result<(), String> {
         .run(&specs, StepSchedule::RoundRobin { quantum }, 1 << 32)
         .map_err(|e| e.to_string())?;
     let report = build_report(&rt, None);
-    emit_report(args, &det, &report);
-    Ok(())
+    emit_report(args, &det, &report)
 }
 
 fn cmd_native(args: &Args) -> Result<(), String> {
@@ -630,7 +764,7 @@ fn warn_loss(path: &str, loss: &LossStats) {
     }
 }
 
-fn cmd_replay(args: &Args) -> Result<(), String> {
+fn cmd_replay(args: &Args) -> Result<ExitCode, String> {
     let path = args.positional.get(1).ok_or("replay: missing trace path")?;
     let det = detector_config(args)?;
     // Both branches stream: one event in flight, never the whole trace.
@@ -669,11 +803,10 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
             (build_report(&rt, None), n)
         }
     };
-    if !args.flags.iter().any(|f| f == "--json") {
+    if !output_format(args)?.is_machine() {
         println!("replayed {events} events");
     }
-    emit_report(args, &det, &report);
-    Ok(())
+    emit_report(args, &det, &report)
 }
 
 fn cmd_record(args: &Args) -> Result<(), String> {
@@ -720,7 +853,7 @@ fn cmd_record(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(args: &Args) -> Result<(), String> {
+fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
     let path = args
         .positional
         .get(1)
@@ -737,7 +870,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     let cfg = AnalyzeConfig::new(det, shards);
     let out = analyze_file(Path::new(path), &cfg, base, size)?;
     warn_loss(path, &out.loss);
-    if !args.flags.iter().any(|f| f == "--json") {
+    if !output_format(args)?.is_machine() {
         println!(
             "analyzed {} events on {} of {} shard(s), {} line cluster(s){}",
             out.events,
@@ -751,8 +884,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
             }
         );
     }
-    emit_report(args, &det, &out.report);
-    Ok(())
+    emit_report(args, &det, &out.report)
 }
 
 fn cmd_trace(args: &Args) -> Result<(), String> {
@@ -1126,7 +1258,7 @@ fn cmd_fleet(args: &Args) -> Result<ExitCode, String> {
     let dir = Path::new(corpus);
     match sub {
         "ingest" => cmd_fleet_ingest(args, dir).map(|()| ExitCode::SUCCESS),
-        "report" => cmd_fleet_report(args, dir).map(|()| ExitCode::SUCCESS),
+        "report" => cmd_fleet_report(args, dir),
         "trend" => cmd_fleet_trend(args, dir),
         "compact" => cmd_fleet_compact(args, dir).map(|()| ExitCode::SUCCESS),
         other => Err(format!(
@@ -1165,7 +1297,7 @@ fn cmd_fleet_ingest(args: &Args, dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fleet_report(args: &Args, dir: &Path) -> Result<(), String> {
+fn cmd_fleet_report(args: &Args, dir: &Path) -> Result<ExitCode, String> {
     let m = predator_fleet::Manifest::load_required(dir)?;
     // --run <id>: one member's stored per-run report, in the same formats
     // `analyze` emits (the corpus keeps findings+stats verbatim; the obs
@@ -1183,16 +1315,39 @@ fn cmd_fleet_report(args: &Args, dir: &Path) -> Result<(), String> {
             stats: t.stats,
             obs: ObsSnapshot::capture(),
         };
-        emit_report(args, &m.config, &report);
-        return Ok(());
+        return emit_report(args, &m.config, &report);
     }
     let r = predator_fleet::build_fleet_report(&m);
-    if args.flags.iter().any(|f| f == "--json") {
-        println!("{}", r.to_json());
-    } else {
-        print!("{r}");
+    match output_format(args)? {
+        Format::Json => println!("{}", r.to_json()),
+        Format::Text | Format::Markdown => print!("{r}"),
+        Format::Sarif | Format::Html => {
+            return Err(
+                "fleet report: --format sarif|html renders per-run reports only \
+                 (add --run <id>)"
+                    .into(),
+            )
+        }
     }
-    Ok(())
+    // The merged aggregates gate through the same classify → suppress →
+    // baseline → gate pipeline as live findings; per-run *mean*
+    // invalidations keep the policy thresholds scale-free in corpus size.
+    let pcfg = policy_config(args)?;
+    let eval = evaluate_views(
+        r.aggregates.iter().map(|a| {
+            let runs = a.runs.max(1);
+            FindingView {
+                key: &a.key,
+                kind: &a.kind,
+                class: a.class,
+                invalidations: a.total_invalidations / runs,
+                accesses: a.total_accesses / runs,
+                object_size: a.object_size,
+            }
+        }),
+        &pcfg,
+    );
+    Ok(gate_exit(&eval))
 }
 
 fn cmd_fleet_trend(args: &Args, dir: &Path) -> Result<ExitCode, String> {
@@ -1262,8 +1417,7 @@ fn cmd_diff(args: &Args) -> Result<ExitCode, String> {
             .positional
             .get(idx)
             .ok_or_else(|| format!("diff: missing {what} report path"))?;
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        serde_json::from_str(&text).map_err(|e| format!("{path}: not a JSON report: {e}"))
+        load_report(path)
     };
     let old = load(1, "old")?;
     let new = load(2, "new")?;
@@ -1281,6 +1435,79 @@ fn cmd_diff(args: &Args) -> Result<ExitCode, String> {
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_baseline(args: &Args) -> Result<ExitCode, String> {
+    let sub = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("baseline: missing subcommand (write|diff)")?;
+    match sub {
+        "write" => {
+            let path = args
+                .positional
+                .get(2)
+                .ok_or("baseline write: missing <report.json>")?;
+            let out = args
+                .options
+                .get("--out")
+                .ok_or("baseline write: missing output path (-o <baseline.json>)")?;
+            let b = Baseline::from_report(&load_report(path)?);
+            b.save(Path::new(out))?;
+            println!(
+                "baseline {out}: {} callsite key(s) from {path}",
+                b.entries.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let bpath = args
+                .positional
+                .get(2)
+                .ok_or("baseline diff: missing <baseline.json>")?;
+            let rpath = args
+                .positional
+                .get(3)
+                .ok_or("baseline diff: missing <report.json>")?;
+            let tolerance: f64 = num(args, "--tolerance", 0.5f64)?;
+            if tolerance.is_nan() || tolerance < 0.0 {
+                return Err(format!("--tolerance must be >= 0, got {tolerance}"));
+            }
+            let b = Baseline::load(Path::new(bpath))?;
+            let entries = b.diff(&load_report(rpath)?, tolerance);
+            use predator_policy::Delta;
+            let mut new_keys = 0usize;
+            for e in &entries {
+                let label = match e.delta {
+                    Delta::Added => {
+                        new_keys += 1;
+                        "NEW"
+                    }
+                    Delta::Removed => "FIXED",
+                    Delta::Increased => "WORSE",
+                    Delta::Decreased => "BETTER",
+                    Delta::Steady => "steady",
+                };
+                println!(
+                    "  {label:<7} {:>12} -> {:>12}  {}",
+                    e.before as u64, e.after as u64, e.key
+                );
+            }
+            if entries.is_empty() {
+                println!("  (baseline and report agree: no findings either side)");
+            }
+            if new_keys > 0 {
+                eprintln!("GATE: FAIL — {new_keys} callsite(s) not in baseline");
+                return Ok(ExitCode::FAILURE);
+            }
+            println!("GATE: ok (tolerance {:.0}%)", tolerance * 100.0);
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!(
+            "unknown baseline subcommand `{other}` (write|diff)"
+        )),
+    }
 }
 
 fn cmd_bench_diff(args: &Args) -> Result<ExitCode, String> {
@@ -1879,17 +2106,18 @@ fn main() -> ExitCode {
                     cmd_list();
                     Ok(ExitCode::SUCCESS)
                 }
-                Some("run") => cmd_run(&args).map(|()| ExitCode::SUCCESS),
+                Some("run") => cmd_run(&args),
                 Some("native") => cmd_native(&args).map(|()| ExitCode::SUCCESS),
                 Some("record") => cmd_record(&args).map(|()| ExitCode::SUCCESS),
-                Some("analyze") => cmd_analyze(&args).map(|()| ExitCode::SUCCESS),
+                Some("analyze") => cmd_analyze(&args),
                 Some("trace") => cmd_trace(&args).map(|()| ExitCode::SUCCESS),
                 Some("fleet") => cmd_fleet(&args),
-                Some("replay") => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
-                Some("ir") => cmd_ir(&args).map(|()| ExitCode::SUCCESS),
+                Some("replay") => cmd_replay(&args),
+                Some("ir") => cmd_ir(&args),
                 Some("profile") => cmd_profile(&args).map(|()| ExitCode::SUCCESS),
                 Some("explain") => cmd_explain(&args).map(|()| ExitCode::SUCCESS),
                 Some("diff") => cmd_diff(&args),
+                Some("baseline") => cmd_baseline(&args),
                 Some("bench-diff") => cmd_bench_diff(&args),
                 Some("serve") => serve::cmd_serve(&args).map(|()| ExitCode::SUCCESS),
                 Some("alerts") => cmd_alerts(&args),

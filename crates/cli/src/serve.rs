@@ -7,7 +7,9 @@
 //!   registry, prefixed with `predator_build_info` and a fresh
 //!   `predator_uptime_seconds` gauge;
 //! * `/health` — liveness JSON (uptime, pass count, last-analysis age);
-//! * `/report` — the current findings as JSON, same schema as `analyze`;
+//! * `/report` — the current findings, same schema as `analyze`;
+//!   `?format=json|sarif|html` picks the document, and when `--fail-on`
+//!   is armed a failed policy gate answers HTTP 412;
 //! * `/snapshot` — the delta since the previous scrape
 //!   ([`predator_obs::DeltaTracker`]), tagged with a monotonic epoch;
 //! * `/query` — range queries over the embedded time-series store
@@ -48,10 +50,13 @@ use predator_core::{
 };
 use predator_obs::alerts::parse_duration_ms;
 use predator_obs::{AlertEngine, DeltaTracker, HttpServer, Response, Rule, Tsdb};
+use predator_policy::{
+    evaluate_report, evaluate_views, to_html, to_sarif_string, FindingView, PolicyConfig,
+};
 use predator_trace::{sniff_format, AnalyzeConfig, TraceFormat, TraceReader};
 use predator_workloads::by_name;
 
-use crate::{detector_config, num, shard_count, workload_config, Args};
+use crate::{detector_config, num, policy_config, shard_count, workload_config, Args};
 
 /// Default watchdog evaluation interval.
 const DEFAULT_WATCHDOG_MS: u64 = 500;
@@ -164,6 +169,10 @@ fn register_static_metrics() {
         "serve_passes_total",
         "predator_backoff_transitions_total",
         "predator_alert_transitions_total",
+        "policy_findings_classified_total",
+        "policy_suppressed_total",
+        "policy_baselined_total",
+        "policy_gate_failures_total",
     ] {
         g.counter(c);
     }
@@ -264,6 +273,9 @@ struct ServeOpts {
     rules: Option<Vec<Rule>>,
     /// `--auth-token` bearer token; `None` serves unauthenticated.
     auth: Option<String>,
+    /// Policy configuration (`--policy`, `--suppressions`, `--baseline`,
+    /// `--fail-on`) applied to every `/report` response.
+    policy: PolicyConfig,
 }
 
 /// Reads and parses an alert-rules file, rendering every lint error.
@@ -303,7 +315,45 @@ fn serve_opts(args: &Args) -> Result<ServeOpts, String> {
         max_passes: num(args, "--passes", 0u64)?,
         rules,
         auth: args.options.get("--auth-token").cloned(),
+        policy: policy_config(args)?,
     })
+}
+
+/// `/report`'s `format=` query parameter (`json` when absent).
+fn query_format(query: Option<&str>) -> &str {
+    query
+        .unwrap_or("")
+        .split('&')
+        .find_map(|pair| pair.strip_prefix("format="))
+        .filter(|v| !v.is_empty())
+        .unwrap_or("json")
+}
+
+/// Renders `/report` for the live-`Report` modes (workload, replay):
+/// `?format=json|sarif|html` picks the document, and when `--fail-on` is
+/// armed a failed gate answers HTTP 412 (Precondition Failed) so probes
+/// can alert on the status line without parsing the body.
+fn report_response(
+    report: &predator_core::Report,
+    geom: predator_sim::CacheGeometry,
+    policy: &PolicyConfig,
+    query: Option<&str>,
+) -> Response {
+    let eval = evaluate_report(report, policy);
+    let (content_type, body): (&'static str, String) = match query_format(query) {
+        "json" => ("application/json", report.to_json()),
+        "sarif" => ("application/json", to_sarif_string(report, &eval, geom)),
+        "html" => ("text/html; charset=utf-8", to_html(report, &eval, geom)),
+        other => {
+            return Response::error(400, &format!("unknown format `{other}` (json|sarif|html)"))
+        }
+    };
+    Response {
+        status: if eval.gate_failed() { 412 } else { 200 },
+        content_type,
+        body: body.into_bytes(),
+        headers: Vec::new(),
+    }
 }
 
 pub fn cmd_serve(args: &Args) -> Result<(), String> {
@@ -381,9 +431,10 @@ fn serve_workload(
     let addr = srv.local_addr();
     let srv = common_routes(srv, &state, &monitor);
     let sess_for_report = session.clone();
-    let srv = srv.route("/report", move |_| {
+    let policy = opts.policy.clone();
+    let srv = srv.route("/report", move |req| {
         let sess = sess_for_report.lock().unwrap().clone();
-        Response::json(sess.report().to_json())
+        report_response(&sess.report(), det.geometry, &policy, req.query.as_deref())
     });
     let handle = srv.spawn().map_err(|e| format!("cannot serve: {e}"))?;
     announce(args, addr, "workload")?;
@@ -475,14 +526,15 @@ fn serve_replay(
     let srv = common_routes(srv, &state, &monitor);
     let rt_for_report = rt.clone();
     let dir_for_report = directory.clone();
-    let srv = srv.route("/report", move |_| {
+    let policy = opts.policy.clone();
+    let srv = srv.route("/report", move |req| {
         let report = match &*dir_for_report.lock().unwrap() {
             Some(dir) => {
                 build_report_merged(&[rt_for_report.as_ref()], Attribution::Directory(dir))
             }
             None => build_report(&rt_for_report, None),
         };
-        Response::json(report.to_json())
+        report_response(&report, det.geometry, &policy, req.query.as_deref())
     });
     let handle = srv.spawn().map_err(|e| format!("cannot serve: {e}"))?;
     announce(args, addr, "replay")?;
@@ -567,9 +619,41 @@ fn serve_watch(
     let addr = srv.local_addr();
     let srv = common_routes(srv, &state, &monitor);
     let corpus_dir = PathBuf::from(corpus);
-    let srv = srv.route("/report", move |_| {
+    let policy = opts.policy.clone();
+    let srv = srv.route("/report", move |req| {
+        // The merged fleet view has no per-finding Report to render, so
+        // only JSON is served here; the gate still applies, over per-run
+        // mean invalidations, with the same 412 contract as other modes.
+        if query_format(req.query.as_deref()) != "json" {
+            return Response::error(
+                400,
+                "watch mode serves the merged fleet report as JSON only",
+            );
+        }
         match predator_fleet::Manifest::load(&corpus_dir) {
-            Ok(Some(m)) => Response::json(predator_fleet::build_fleet_report(&m).to_json()),
+            Ok(Some(m)) => {
+                let r = predator_fleet::build_fleet_report(&m);
+                let eval = evaluate_views(
+                    r.aggregates.iter().map(|a| {
+                        let runs = a.runs.max(1);
+                        FindingView {
+                            key: &a.key,
+                            kind: &a.kind,
+                            class: a.class,
+                            invalidations: a.total_invalidations / runs,
+                            accesses: a.total_accesses / runs,
+                            object_size: a.object_size,
+                        }
+                    }),
+                    &policy,
+                );
+                Response {
+                    status: if eval.gate_failed() { 412 } else { 200 },
+                    content_type: "application/json",
+                    body: r.to_json().into_bytes(),
+                    headers: Vec::new(),
+                }
+            }
             Ok(None) => Response::error(404, "corpus empty (no trace ingested yet)"),
             Err(e) => Response::error(500, &e),
         }

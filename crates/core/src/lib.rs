@@ -55,7 +55,6 @@ pub mod adaptive;
 pub mod api;
 pub mod config;
 pub mod detect;
-pub mod diff;
 pub mod fixes;
 pub mod lockfree;
 pub mod predict;
@@ -72,7 +71,6 @@ pub use adaptive::{
 pub use api::Session;
 pub use config::{DetectorConfig, TrackingMode};
 pub use detect::SharingClass;
-pub use diff::{diff_reports, FindingId, ReportDiff};
 pub use fixes::{suggest_fixes, FixSuggestion};
 pub use predict::{HotPair, PredictionUnit, UnitKind, UnitSnapshot};
 pub use report::{

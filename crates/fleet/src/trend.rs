@@ -5,10 +5,16 @@
 //! total — a corpus that merely accumulated more runs is not "worse". The
 //! tolerance (default ±50%) bounds run-to-run noise: a callsite regresses
 //! only when its mean grows by more than `tolerance` relative to baseline.
+//!
+//! Classification routes through the shared comparison engine
+//! ([`predator_policy::compare`]); this module owns the per-run-mean
+//! keying, the severity sort, and the report format.
 
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
+
+use predator_policy::compare::{compare_maps, Delta};
 
 use crate::merge::{CallsiteAggregate, FleetReport};
 
@@ -109,46 +115,22 @@ pub fn trend(baseline: &FleetReport, current: &FleetReport, tolerance: f64) -> T
         .iter()
         .map(|a| (a.key.as_str(), mean(a)))
         .collect();
-    let mut entries = Vec::new();
-    for (key, &c) in &cur {
-        let entry = match base.get(key) {
-            None => TrendEntry {
-                key: key.to_string(),
-                status: TrendStatus::New,
-                baseline_mean: 0.0,
-                current_mean: c,
-                delta: c,
+    let mut entries: Vec<TrendEntry> = compare_maps(&base, &cur, tolerance)
+        .into_iter()
+        .map(|e| TrendEntry {
+            key: e.key.to_string(),
+            status: match e.delta {
+                Delta::Added => TrendStatus::New,
+                Delta::Removed => TrendStatus::Fixed,
+                Delta::Increased => TrendStatus::Regressed,
+                Delta::Decreased => TrendStatus::Improved,
+                Delta::Steady => TrendStatus::Steady,
             },
-            Some(&b) => {
-                let status = if c > b * (1.0 + tolerance) {
-                    TrendStatus::Regressed
-                } else if c < b * (1.0 - tolerance) {
-                    TrendStatus::Improved
-                } else {
-                    TrendStatus::Steady
-                };
-                TrendEntry {
-                    key: key.to_string(),
-                    status,
-                    baseline_mean: b,
-                    current_mean: c,
-                    delta: c - b,
-                }
-            }
-        };
-        entries.push(entry);
-    }
-    for (key, &b) in &base {
-        if !cur.contains_key(key) {
-            entries.push(TrendEntry {
-                key: key.to_string(),
-                status: TrendStatus::Fixed,
-                baseline_mean: b,
-                current_mean: 0.0,
-                delta: -b,
-            });
-        }
-    }
+            baseline_mean: e.before,
+            current_mean: e.after,
+            delta: e.after - e.before,
+        })
+        .collect();
     entries.sort_by(|a, b| {
         let (ca, da) = severity(a);
         let (cb, db) = severity(b);

@@ -1,0 +1,172 @@
+//! Baseline files: a snapshot of today's known findings, so CI gates only
+//! on what is *new*.
+//!
+//! `predator baseline write` records every finding's callsite key (and its
+//! invalidation count, for drift inspection) into a small JSON file meant
+//! to be committed next to the code. A later `analyze --baseline <file>`
+//! then classifies findings as usual but exempts baselined keys from the
+//! `--fail-on` gate: the team sees the full report, yet the merge fails
+//! only when a finding appears at a key the baseline has never seen.
+//!
+//! Baselines are membership sets, not tolerance bands — a baselined site
+//! that got worse still passes the gate (use `predator diff` or
+//! `baseline diff` to watch drift). Deleting the file restores full gating.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use predator_core::Report;
+
+use crate::compare::{compare_maps, DeltaEntry};
+
+/// The baseline file schema tag; bump on incompatible change.
+pub const BASELINE_SCHEMA: &str = "predator-baseline/1";
+
+/// A recorded set of known findings, keyed by callsite key.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Schema tag, always [`BASELINE_SCHEMA`].
+    pub schema: String,
+    /// Callsite key → invalidation count at the time the baseline was
+    /// written. Only the keys gate; counts are kept for drift inspection.
+    pub entries: BTreeMap<String, u64>,
+}
+
+impl Baseline {
+    /// Snapshots every finding of `report` (duplicate keys keep the
+    /// larger count).
+    pub fn from_report(report: &Report) -> Self {
+        let mut entries = BTreeMap::new();
+        for f in &report.findings {
+            let e = entries.entry(f.callsite_key()).or_insert(0u64);
+            *e = (*e).max(f.invalidations);
+        }
+        Baseline {
+            schema: BASELINE_SCHEMA.to_string(),
+            entries,
+        }
+    }
+
+    /// Loads and validates a baseline file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        let b: Baseline = serde_json::from_str(&text)
+            .map_err(|e| format!("malformed baseline {}: {e}", path.display()))?;
+        if b.schema != BASELINE_SCHEMA {
+            return Err(format!(
+                "baseline {} has schema `{}`, expected `{}`",
+                path.display(),
+                b.schema,
+                BASELINE_SCHEMA
+            ));
+        }
+        Ok(b)
+    }
+
+    /// Writes the baseline as pretty JSON.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| format!("cannot serialize baseline: {e}"))?;
+        std::fs::write(path, json)
+            .map_err(|e| format!("cannot write baseline {}: {e}", path.display()))
+    }
+
+    /// True when `key` was present when the baseline was written.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Compares a current report against this baseline through the shared
+    /// comparison engine: added keys are new findings, removed keys are
+    /// fixed ones, increased/decreased are drift beyond `tolerance`.
+    pub fn diff(&self, report: &Report, tolerance: f64) -> Vec<DeltaEntry<String>> {
+        let old: BTreeMap<String, f64> = self
+            .entries
+            .iter()
+            .map(|(k, &v)| (k.clone(), v as f64))
+            .collect();
+        let mut new: BTreeMap<String, f64> = BTreeMap::new();
+        for f in &report.findings {
+            let e = new.entry(f.callsite_key()).or_insert(0.0);
+            *e = e.max(f.invalidations as f64);
+        }
+        compare_maps(&old, &new, tolerance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::Delta;
+    use predator_core::{Callsite, DetectorConfig, Frame, Session};
+
+    fn report(sites: &[(&str, u32)]) -> Report {
+        let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
+        let t0 = s.register_thread();
+        let t1 = s.register_thread();
+        for (file, line) in sites {
+            let obj = s
+                .malloc(
+                    t0,
+                    64,
+                    Callsite::from_frames(vec![Frame::new(*file, *line)]),
+                )
+                .unwrap();
+            for i in 0..500u64 {
+                s.write::<u64>(t0, obj.start, i);
+                s.write::<u64>(t1, obj.start + 8, i);
+            }
+        }
+        s.report()
+    }
+
+    #[test]
+    fn snapshot_then_reload_round_trips() {
+        let r = report(&[("a.rs", 1), ("b.rs", 2)]);
+        let b = Baseline::from_report(&r);
+        assert!(!b.entries.is_empty());
+        let dir = std::env::temp_dir().join("predator-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        b.save(&path).unwrap();
+        let back = Baseline::load(&path).unwrap();
+        assert_eq!(back, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let dir = std::env::temp_dir().join("predator-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad-schema.json");
+        std::fs::write(&path, r#"{"schema":"predator-baseline/99","entries":{}}"#).unwrap();
+        let err = Baseline::load(&path).unwrap_err();
+        assert!(err.contains("predator-baseline/99"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn diff_flags_only_new_sites() {
+        let before = report(&[("a.rs", 1)]);
+        let b = Baseline::from_report(&before);
+        let after = report(&[("a.rs", 1), ("new.rs", 9)]);
+        let entries = b.diff(&after, 0.5);
+        let added: Vec<&str> = entries
+            .iter()
+            .filter(|e| e.delta == Delta::Added)
+            .map(|e| e.key.as_str())
+            .collect();
+        assert!(
+            added.iter().all(|k| k.contains("new.rs:9")),
+            "unexpected additions: {added:?}"
+        );
+        assert!(!added.is_empty());
+        // The pre-existing site is present but not Added.
+        assert!(entries
+            .iter()
+            .any(|e| e.key.contains("a.rs:1") && e.delta != Delta::Added));
+    }
+}

@@ -7,10 +7,16 @@
 //! address when unattributed) plus the detection scenario — so reordering
 //! and count jitter don't produce spurious churn; severity changes beyond a
 //! tolerance are reported separately.
+//!
+//! Classification routes through [`crate::compare`], the same fold that
+//! powers fleet trends and bench gates; this module keeps the
+//! finding-identity keying and the historical output format.
 
 use serde::{Deserialize, Serialize};
 
-use crate::report::{Finding, FindingKind, Report, SiteKind};
+use predator_core::{Finding, FindingKind, Report, SiteKind};
+
+use crate::compare::{compare_maps, Delta};
 
 /// Stable identity of a finding across runs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -123,27 +129,21 @@ pub fn diff_reports(old: &Report, new: &Report, tolerance: f64) -> ReportDiff {
     };
     let old_idx = index(old);
     let new_idx = index(new);
+    let as_f64 = |m: &BTreeMap<FindingId, u64>| -> BTreeMap<FindingId, f64> {
+        m.iter().map(|(k, &v)| (k.clone(), v as f64)).collect()
+    };
 
     let mut out = ReportDiff::default();
-    for (id, &after) in &new_idx {
-        match old_idx.get(id) {
-            None => out.appeared.push(id.clone()),
-            Some(&before) => {
-                let lo = before as f64 * (1.0 - tolerance);
-                let hi = before as f64 * (1.0 + tolerance);
-                if (after as f64) < lo || (after as f64) > hi {
-                    out.severity_changes.push(SeverityChange {
-                        id: id.clone(),
-                        before,
-                        after,
-                    });
-                }
-            }
-        }
-    }
-    for id in old_idx.keys() {
-        if !new_idx.contains_key(id) {
-            out.resolved.push(id.clone());
+    for entry in compare_maps(&as_f64(&old_idx), &as_f64(&new_idx), tolerance) {
+        match entry.delta {
+            Delta::Added => out.appeared.push(entry.key),
+            Delta::Removed => out.resolved.push(entry.key),
+            Delta::Increased | Delta::Decreased => out.severity_changes.push(SeverityChange {
+                before: old_idx[&entry.key],
+                after: new_idx[&entry.key],
+                id: entry.key,
+            }),
+            Delta::Steady => {}
         }
     }
     out
@@ -152,10 +152,7 @@ pub fn diff_reports(old: &Report, new: &Report, tolerance: f64) -> ReportDiff {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::Session;
-    use crate::config::DetectorConfig;
-    use crate::Callsite;
-    use predator_alloc::Frame;
+    use predator_core::{Callsite, DetectorConfig, Frame, Session};
 
     fn run(broken: bool, intensity: u64) -> Report {
         let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
@@ -238,7 +235,7 @@ mod tests {
         let remap = r
             .findings
             .iter()
-            .find(|f| matches!(f.kind, FindingKind::PredictedRemap { .. }))
+            .find(|f| matches!(f.kind, predator_core::FindingKind::PredictedRemap { .. }))
             .unwrap();
         assert_eq!(FindingId::of(remap).kind, a.kind);
     }

@@ -1,0 +1,199 @@
+//! Self-contained HTML reporter: one file, no external assets, suitable
+//! for CI artifact upload and "open in browser" triage.
+//!
+//! The page leads with the policy verdict (gate status, counts by
+//! severity), then renders one card per finding — severity badge,
+//! suppression/baseline flags, the measurements, and the fix suggestions
+//! from [`predator_core::fixes`] — each anchored by its callsite key so
+//! links like `report.html#observed|global:x` land on the finding.
+
+use std::collections::BTreeMap;
+
+use predator_core::{suggest_fixes, CacheGeometry, Report, SiteKind};
+
+use crate::engine::Evaluation;
+use crate::severity::Severity;
+
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const STYLE: &str = "\
+body{font-family:system-ui,sans-serif;margin:2rem auto;max-width:60rem;padding:0 1rem;color:#1a1a1a}\
+h1{font-size:1.4rem}h2{font-size:1.05rem;margin:0 0 .4rem}\
+.gate{padding:.6rem 1rem;border-radius:6px;font-weight:600;margin:1rem 0}\
+.gate.pass{background:#e6f4ea;color:#137333}.gate.fail{background:#fce8e6;color:#a50e0e}\
+.card{border:1px solid #ddd;border-radius:8px;padding:1rem;margin:1rem 0}\
+.badge{display:inline-block;padding:.1rem .55rem;border-radius:999px;font-size:.78rem;font-weight:600;margin-right:.4rem}\
+.badge.error{background:#fce8e6;color:#a50e0e}.badge.warning{background:#fef7e0;color:#b06000}\
+.badge.info{background:#e8f0fe;color:#1a56b4}.badge.flag{background:#eee;color:#555}\
+table{border-collapse:collapse;margin:.5rem 0}td,th{border:1px solid #ddd;padding:.25rem .6rem;text-align:left;font-size:.85rem}\
+.key{font-family:ui-monospace,monospace;font-size:.8rem;color:#666}\
+.fix{background:#f6f8fa;border-left:3px solid #1a56b4;padding:.4rem .7rem;margin:.4rem 0;font-size:.88rem}\
+";
+
+/// Renders the evaluated report as one self-contained HTML page. `eval`
+/// must come from evaluating the same `report`.
+pub fn to_html(report: &Report, eval: &Evaluation, geom: CacheGeometry) -> String {
+    let mut fixes: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (idx, fix) in suggest_fixes(report, geom) {
+        fixes.entry(idx).or_default().push(fix.to_string());
+    }
+
+    let count = |sev: Severity| eval.decisions.iter().filter(|d| d.severity == sev).count();
+    let suppressed = eval.decisions.iter().filter(|d| d.suppressed).count();
+    let baselined = eval.decisions.iter().filter(|d| d.baselined).count();
+
+    let mut page = String::with_capacity(4096);
+    page.push_str("<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    page.push_str("<title>PREDATOR report</title>\n<style>");
+    page.push_str(STYLE);
+    page.push_str("</style>\n</head>\n<body>\n");
+    page.push_str("<h1>PREDATOR false-sharing report</h1>\n");
+
+    let (gate_class, gate_text) = if eval.fail_on.is_none() {
+        (
+            "pass",
+            format!("Gate disabled — {}", escape(&eval.gate_summary())),
+        )
+    } else if eval.gate_failed() {
+        (
+            "fail",
+            format!("GATE FAILED — {}", escape(&eval.gate_summary())),
+        )
+    } else {
+        (
+            "pass",
+            format!("Gate passed — {}", escape(&eval.gate_summary())),
+        )
+    };
+    page.push_str(&format!(
+        "<div class=\"gate {gate_class}\">{gate_text}</div>\n"
+    ));
+    page.push_str(&format!(
+        "<p>{} finding(s) — {} error, {} warning, {} info; {} suppressed, {} baselined. Policy: <code>{}</code>.</p>\n",
+        report.findings.len(),
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Info),
+        suppressed,
+        baselined,
+        escape(&eval.policy_name),
+    ));
+
+    if report.findings.is_empty() {
+        page.push_str("<p>No findings. 🎉</p>\n");
+    }
+
+    for (i, finding) in report.findings.iter().enumerate() {
+        let d = &eval.decisions[i];
+        page.push_str(&format!("<div class=\"card\" id=\"{}\">\n", escape(&d.key)));
+        page.push_str(&format!(
+            "<h2>{} <span class=\"key\">{}</span></h2>\n",
+            escape(&finding.class.to_string()),
+            escape(&d.key),
+        ));
+        page.push_str(&format!(
+            "<p><span class=\"badge {sev}\">{sev}</span>",
+            sev = d.severity.as_str()
+        ));
+        if d.suppressed {
+            page.push_str("<span class=\"badge flag\">suppressed</span>");
+        }
+        if d.baselined {
+            page.push_str("<span class=\"badge flag\">baselined</span>");
+        }
+        if d.gating {
+            page.push_str("<span class=\"badge error\">gating</span>");
+        }
+        page.push_str("</p>\n");
+
+        let site = match &finding.object.site {
+            SiteKind::Heap { callsite, .. } => callsite
+                .frames
+                .first()
+                .map(|fr| format!("heap object allocated at {fr}"))
+                .unwrap_or_else(|| "heap object (no callsite)".to_string()),
+            SiteKind::Global { name } => format!("global variable <code>{}</code>", escape(name)),
+            SiteKind::Unknown => "unattributed memory region".to_string(),
+        };
+        page.push_str(&format!(
+            "<p>{site}, {} bytes at {:#x}. Detection: {}.</p>\n",
+            finding.object.size,
+            finding.object.start,
+            escape(&finding.kind.to_string()),
+        ));
+        page.push_str(&format!(
+            "<table><tr><th>invalidations</th><th>accesses</th><th>writes</th></tr>\
+             <tr><td>{}</td><td>{}</td><td>{}</td></tr></table>\n",
+            finding.invalidations, finding.accesses, finding.writes
+        ));
+        for fix in fixes.get(&i).map(|v| v.as_slice()).unwrap_or(&[]) {
+            page.push_str(&format!("<div class=\"fix\">{}</div>\n", escape(fix)));
+        }
+        page.push_str("</div>\n");
+    }
+
+    page.push_str("</body>\n</html>\n");
+    page
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{evaluate_report, PolicyConfig};
+    use predator_core::{Callsite, DetectorConfig, Frame, Session};
+
+    fn report() -> Report {
+        let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
+        let t0 = s.register_thread();
+        let t1 = s.register_thread();
+        for (file, line) in [("alpha.rs", 3u32), ("beta.rs", 9)] {
+            let obj = s
+                .malloc(t0, 64, Callsite::from_frames(vec![Frame::new(file, line)]))
+                .unwrap();
+            for i in 0..500u64 {
+                s.write::<u64>(t0, obj.start, i);
+                s.write::<u64>(t1, obj.start + 8, i);
+            }
+        }
+        s.report()
+    }
+
+    #[test]
+    fn every_finding_key_renders_as_an_anchor() {
+        let r = report();
+        let eval = evaluate_report(&r, &PolicyConfig::default());
+        let html = to_html(&r, &eval, CacheGeometry::default());
+        assert!(html.starts_with("<!doctype html>"));
+        for d in &eval.decisions {
+            assert!(
+                html.contains(&format!("id=\"{}\"", escape(&d.key))),
+                "missing anchor for {}",
+                d.key
+            );
+        }
+    }
+
+    #[test]
+    fn html_is_self_contained_and_escaped() {
+        let r = report();
+        let eval = evaluate_report(&r, &PolicyConfig::default());
+        let html = to_html(&r, &eval, CacheGeometry::default());
+        // No external assets: no src= or href= pointing off-page.
+        assert!(!html.contains("http://"), "external asset in {html}");
+        assert!(html.contains("<style>"));
+        assert!(escape("<&>\"'") == "&lt;&amp;&gt;&quot;&#39;");
+    }
+}

@@ -1,0 +1,337 @@
+//! SARIF 2.1.0 reporter: findings as a static-analysis interchange log.
+//!
+//! SARIF is what code hosts and CI dashboards ingest (GitHub code
+//! scanning, Azure DevOps, `sarif-tools`): emitting it makes PREDATOR
+//! findings show up as inline annotations on the offending allocation
+//! sites. The log carries the policy engine's full verdict — severity as
+//! the SARIF `level`, suppressions/baselining as `suppressions` entries
+//! and `baselineState`, fix suggestions in the result message and
+//! properties — so the CI side needs no extra logic beyond "ingest file".
+//!
+//! The tree is built by hand on the vendored [`Value`] type because SARIF
+//! needs keys (`$schema`, camelCase) the derive layer cannot spell.
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+
+use predator_core::{
+    suggest_fixes, CacheGeometry, Finding, FindingKind, Report, SharingClass, SiteKind,
+};
+
+use crate::engine::Evaluation;
+
+/// The schema URI SARIF consumers key on.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+/// The SARIF spec version this reporter emits.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// The fixed rule table: (id, short description, full description), in
+/// `ruleIndex` order. Every result cross-references one of these.
+pub const RULES: &[(&str, &str, &str)] = &[
+    (
+        "predator/observed-false-sharing",
+        "Observed false sharing",
+        "Distinct threads update distinct words of one cache line; the line ping-pongs between caches, serializing otherwise independent writes.",
+    ),
+    (
+        "predator/predicted-false-sharing",
+        "Predicted false sharing",
+        "No contention on today's hardware, but invalidations verified on virtual cache lines show the same access pattern causes false sharing under a larger line size or a shifted object placement.",
+    ),
+    (
+        "predator/true-sharing",
+        "True sharing",
+        "Multiple threads contend on the same word. Padding cannot help; restructure the algorithm (per-thread accumulation with a reduction) instead.",
+    ),
+];
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: impl Into<String>) -> Value {
+    Value::Str(text.into())
+}
+
+fn rule_index(f: &Finding) -> usize {
+    if f.class == SharingClass::TrueSharing {
+        2
+    } else if matches!(f.kind, FindingKind::Observed) {
+        0
+    } else {
+        1
+    }
+}
+
+fn site_location(f: &Finding) -> Option<Value> {
+    match &f.object.site {
+        SiteKind::Heap { callsite, .. } => callsite.frames.first().map(|frame| {
+            obj(vec![(
+                "physicalLocation",
+                obj(vec![
+                    ("artifactLocation", obj(vec![("uri", s(&frame.file))])),
+                    (
+                        "region",
+                        obj(vec![("startLine", Value::U64(frame.line.max(1) as u64))]),
+                    ),
+                ]),
+            )])
+        }),
+        SiteKind::Global { name } => Some(obj(vec![(
+            "logicalLocations",
+            Value::Seq(vec![obj(vec![("name", s(name)), ("kind", s("object"))])]),
+        )])),
+        SiteKind::Unknown => None,
+    }
+}
+
+/// Builds the SARIF log for an evaluated report. `eval` must come from
+/// [`crate::engine::evaluate_report`] on the same `report` (decision `i`
+/// describes finding `i`).
+pub fn to_sarif(report: &Report, eval: &Evaluation, geom: CacheGeometry) -> Value {
+    let mut fixes: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (idx, fix) in suggest_fixes(report, geom) {
+        fixes.entry(idx).or_default().push(fix.to_string());
+    }
+
+    // SARIF rule names are conventionally PascalCase identifiers.
+    let pascal = |text: &str| -> String {
+        text.split(' ')
+            .map(|w| {
+                let mut chars = w.chars();
+                match chars.next() {
+                    Some(c) => c.to_uppercase().chain(chars).collect::<String>(),
+                    None => String::new(),
+                }
+            })
+            .collect()
+    };
+    let rules = Value::Seq(
+        RULES
+            .iter()
+            .map(|(id, short, full)| {
+                obj(vec![
+                    ("id", s(*id)),
+                    ("name", s(pascal(short))),
+                    ("shortDescription", obj(vec![("text", s(*short))])),
+                    ("fullDescription", obj(vec![("text", s(*full))])),
+                    ("helpUri", s("https://doi.org/10.1145/2555243.2555244")),
+                ])
+            })
+            .collect(),
+    );
+
+    let mut results = Vec::with_capacity(report.findings.len());
+    for (i, finding) in report.findings.iter().enumerate() {
+        let decision = &eval.decisions[i];
+        let idx = rule_index(finding);
+        let fix_texts = fixes.get(&i).cloned().unwrap_or_default();
+
+        let mut message = format!(
+            "{} on {}: {} invalidations across {} sampled accesses ({}).",
+            finding.class,
+            finding.object.site.stable_key(finding.object.start),
+            finding.invalidations,
+            finding.accesses,
+            finding.kind
+        );
+        for fix in &fix_texts {
+            message.push_str("\nFix: ");
+            message.push_str(fix);
+        }
+
+        let mut suppressions = Vec::new();
+        if decision.suppressed {
+            suppressions.push(obj(vec![
+                ("kind", s("external")),
+                (
+                    "justification",
+                    s("matched a rule in the suppressions file"),
+                ),
+            ]));
+        }
+        if decision.baselined {
+            suppressions.push(obj(vec![
+                ("kind", s("external")),
+                ("justification", s("recorded in the committed baseline")),
+            ]));
+        }
+
+        let mut entries = vec![
+            ("ruleId", s(RULES[idx].0)),
+            ("ruleIndex", Value::U64(idx as u64)),
+            ("level", s(decision.severity.sarif_level())),
+            ("message", obj(vec![("text", s(message))])),
+        ];
+        if let Some(loc) = site_location(finding) {
+            entries.push(("locations", Value::Seq(vec![loc])));
+        }
+        entries.push(("suppressions", Value::Seq(suppressions)));
+        if eval.fail_on.is_some() || decision.baselined {
+            entries.push((
+                "baselineState",
+                s(if decision.baselined {
+                    "unchanged"
+                } else {
+                    "new"
+                }),
+            ));
+        }
+        entries.push((
+            "properties",
+            obj(vec![
+                ("callsiteKey", s(&decision.key)),
+                ("severity", s(decision.severity.as_str())),
+                ("invalidations", Value::U64(finding.invalidations)),
+                ("accesses", Value::U64(finding.accesses)),
+                ("objectSize", Value::U64(finding.object.size)),
+                ("gating", Value::Bool(decision.gating)),
+                ("fixes", Value::Seq(fix_texts.iter().map(s).collect())),
+            ]),
+        ));
+        results.push(obj(entries));
+    }
+
+    obj(vec![
+        ("$schema", s(SARIF_SCHEMA)),
+        ("version", s(SARIF_VERSION)),
+        (
+            "runs",
+            Value::Seq(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", s("predator")),
+                            ("version", s(env!("CARGO_PKG_VERSION"))),
+                            (
+                                "informationUri",
+                                s("https://doi.org/10.1145/2555243.2555244"),
+                            ),
+                            ("rules", rules),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Seq(results)),
+                (
+                    "properties",
+                    obj(vec![
+                        ("policy", s(&eval.policy_name)),
+                        (
+                            "failOn",
+                            match eval.fail_on {
+                                Some(sev) => s(sev.as_str()),
+                                None => Value::Null,
+                            },
+                        ),
+                        ("gateFailed", Value::Bool(eval.gate_failed())),
+                    ]),
+                ),
+            ])]),
+        ),
+    ])
+}
+
+/// Renders the SARIF log as pretty JSON.
+pub fn to_sarif_string(report: &Report, eval: &Evaluation, geom: CacheGeometry) -> String {
+    serde_json::to_string_pretty(&to_sarif(report, eval, geom)).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{evaluate_report, PolicyConfig};
+    use crate::severity::Severity;
+    use crate::suppress::Suppressions;
+    use predator_core::{Callsite, DetectorConfig, Frame, Session};
+
+    fn report() -> Report {
+        let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
+        let t0 = s.register_thread();
+        let t1 = s.register_thread();
+        let obj = s
+            .malloc(
+                t0,
+                64,
+                Callsite::from_frames(vec![Frame::new("worker.rs", 42)]),
+            )
+            .unwrap();
+        for i in 0..500u64 {
+            s.write::<u64>(t0, obj.start, i);
+            s.write::<u64>(t1, obj.start + 8, i);
+        }
+        s.report()
+    }
+
+    #[test]
+    fn results_cross_reference_the_rule_table() {
+        let r = report();
+        let eval = evaluate_report(&r, &PolicyConfig::default());
+        let log = to_sarif(&r, &eval, CacheGeometry::default());
+        let run = &log.field("runs").as_seq().unwrap()[0];
+        let rules = run.field("tool").field("driver").field("rules");
+        let rule_ids: Vec<&str> = rules
+            .as_seq()
+            .unwrap()
+            .iter()
+            .map(|rule| match rule.field("id") {
+                Value::Str(id) => id.as_str(),
+                _ => panic!("rule id must be a string"),
+            })
+            .collect();
+        let results = run.field("results").as_seq().unwrap();
+        assert_eq!(results.len(), r.findings.len());
+        for result in results {
+            let Value::U64(idx) = result.field("ruleIndex") else {
+                panic!("ruleIndex must be an integer");
+            };
+            let Value::Str(id) = result.field("ruleId") else {
+                panic!("ruleId must be a string");
+            };
+            assert_eq!(rule_ids[*idx as usize], id.as_str());
+        }
+    }
+
+    #[test]
+    fn location_points_at_the_allocation_frame() {
+        let r = report();
+        let eval = evaluate_report(&r, &PolicyConfig::default());
+        let log = to_sarif_string(&r, &eval, CacheGeometry::default());
+        assert!(log.contains("\"uri\": \"worker.rs\""), "{log}");
+        assert!(log.contains("\"startLine\": 42"), "{log}");
+    }
+
+    #[test]
+    fn suppressed_findings_carry_suppressions() {
+        let r = report();
+        let key = r.findings[0].callsite_key();
+        let cfg = PolicyConfig {
+            suppressions: Suppressions::parse(&format!("{key}\n")),
+            fail_on: Some(Severity::Warning),
+            ..Default::default()
+        };
+        let eval = evaluate_report(&r, &cfg);
+        let log = to_sarif(&r, &eval, CacheGeometry::default());
+        let run = &log.field("runs").as_seq().unwrap()[0];
+        let first = &run.field("results").as_seq().unwrap()[0];
+        let sups = first.field("suppressions").as_seq().unwrap();
+        assert!(!sups.is_empty());
+        assert_eq!(*first.field("baselineState"), Value::Str("new".to_string()));
+    }
+
+    #[test]
+    fn fix_suggestions_reach_message_and_properties() {
+        let r = report();
+        let eval = evaluate_report(&r, &PolicyConfig::default());
+        let log = to_sarif_string(&r, &eval, CacheGeometry::default());
+        assert!(log.contains("Fix: "), "{log}");
+        assert!(log.contains("\"fixes\""), "{log}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Severity levels and the `--fail-on` threshold they gate against.
+
+use serde::{Deserialize, Serialize};
+
+/// Classified severity of a finding, ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Worth knowing, not actionable as a layout fix (e.g. true sharing).
+    Info,
+    /// Actionable false sharing under the configured thresholds.
+    Warning,
+    /// Severe false sharing: invalidation volume or rate beyond the
+    /// error thresholds.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name (the `--fail-on` argument form).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// The SARIF 2.1.0 `level` value for this severity.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Info => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Severity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "info" => Ok(Severity::Info),
+            "warning" | "warn" => Ok(Severity::Warning),
+            "error" => Ok(Severity::Error),
+            other => Err(format!("unknown severity `{other}` (info|warning|error)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_escalates() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn parses_and_round_trips() {
+        for s in [Severity::Info, Severity::Warning, Severity::Error] {
+            assert_eq!(s.as_str().parse::<Severity>().unwrap(), s);
+        }
+        assert_eq!("warn".parse::<Severity>().unwrap(), Severity::Warning);
+        assert!("fatal".parse::<Severity>().is_err());
+    }
+
+    #[test]
+    fn sarif_levels_match_the_spec_vocabulary() {
+        assert_eq!(Severity::Info.sarif_level(), "note");
+        assert_eq!(Severity::Warning.sarif_level(), "warning");
+        assert_eq!(Severity::Error.sarif_level(), "error");
+    }
+}

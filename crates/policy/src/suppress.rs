@@ -1,0 +1,132 @@
+//! Per-site suppressions: a reviewed list of findings a team has chosen
+//! to silence permanently.
+//!
+//! Suppressions are keyed by [`Finding::callsite_key`] — the same stable
+//! `family|site` identity the fleet store aggregates on — so a suppression
+//! written once holds across runs, hosts, and report formats. A baseline
+//! (see [`crate::baseline`]) silences *what exists today*; a suppression
+//! silences *a specific site forever*, with a recorded reason.
+//!
+//! File format, one rule per line:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! observed|heap:app.rs:10<main.rs:3      # exact callsite key
+//! doubled|global:counters                # exact, with trailing comment
+//! scaled*                                 # trailing * = prefix match
+//! ```
+//!
+//! [`Finding::callsite_key`]: predator_core::Finding::callsite_key
+
+use std::path::Path;
+
+/// One suppression rule: an exact callsite key, or a prefix when the
+/// pattern ends with `*`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressRule {
+    /// The pattern, with any trailing `*` stripped.
+    pub pattern: String,
+    /// True when the original pattern ended with `*`.
+    pub prefix: bool,
+}
+
+impl SuppressRule {
+    /// Parses one pattern string.
+    pub fn parse(pattern: &str) -> Self {
+        match pattern.strip_suffix('*') {
+            Some(prefix) => SuppressRule {
+                pattern: prefix.to_string(),
+                prefix: true,
+            },
+            None => SuppressRule {
+                pattern: pattern.to_string(),
+                prefix: false,
+            },
+        }
+    }
+
+    /// True when `key` matches this rule.
+    pub fn matches(&self, key: &str) -> bool {
+        if self.prefix {
+            key.starts_with(&self.pattern)
+        } else {
+            key == self.pattern
+        }
+    }
+}
+
+/// A parsed suppression list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Suppressions {
+    /// Rules in file order; first match wins (order only matters for
+    /// attribution, every match suppresses).
+    pub rules: Vec<SuppressRule>,
+}
+
+impl Suppressions {
+    /// Parses suppression rules from file text: one pattern per line,
+    /// `#` starts a comment (whole-line or trailing), blank lines ignored.
+    pub fn parse(text: &str) -> Self {
+        let rules = text
+            .lines()
+            .map(|line| line.split('#').next().unwrap_or("").trim())
+            .filter(|line| !line.is_empty())
+            .map(SuppressRule::parse)
+            .collect();
+        Suppressions { rules }
+    }
+
+    /// Loads and parses a suppression file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read suppressions {}: {e}", path.display()))?;
+        Ok(Self::parse(&text))
+    }
+
+    /// Returns the first rule matching `key`, if any.
+    pub fn matching(&self, key: &str) -> Option<&SuppressRule> {
+        self.rules.iter().find(|r| r.matches(key))
+    }
+
+    /// True when `key` is suppressed.
+    pub fn is_suppressed(&self, key: &str) -> bool {
+        self.matching(key).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blanks_and_prefixes() {
+        let s = Suppressions::parse(
+            "# header comment\n\
+             observed|global:victim\n\
+             \n\
+             doubled|heap:app.rs:10<main.rs:3   # reviewed 2026-08\n\
+             scaled*\n",
+        );
+        assert_eq!(s.rules.len(), 3);
+        assert!(s.is_suppressed("observed|global:victim"));
+        assert!(s.is_suppressed("doubled|heap:app.rs:10<main.rs:3"));
+        assert!(s.is_suppressed("scaled4|heap:x.rs:1"));
+        assert!(!s.is_suppressed("observed|global:other"));
+        // Exact rules do not prefix-match.
+        assert!(!s.is_suppressed("observed|global:victim2"));
+    }
+
+    #[test]
+    fn empty_list_suppresses_nothing() {
+        let s = Suppressions::parse("# nothing here\n");
+        assert!(s.rules.is_empty());
+        assert!(!s.is_suppressed("observed|global:x"));
+    }
+
+    #[test]
+    fn matching_reports_the_rule() {
+        let s = Suppressions::parse("remap*\nobserved|global:a\n");
+        assert_eq!(s.matching("remap|addr:0xdead").unwrap().pattern, "remap");
+        assert!(s.matching("doubled|global:a").is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Golden-fixture and schema-shape tests for the SARIF and HTML reporters.
+//!
+//! The SARIF output is pinned byte-for-byte against a committed fixture
+//! (the detector session is fully deterministic) and additionally checked
+//! against the SARIF 2.1.0 schema shape: required top-level keys, run
+//! structure, and rule/result cross-references. Set `UPDATE_GOLDEN=1` to
+//! re-bless the fixture after an intentional format change.
+
+use serde::Value;
+
+use predator_core::{CacheGeometry, Callsite, DetectorConfig, Frame, Report, Session};
+use predator_policy::{
+    evaluate_report, to_html, to_sarif, to_sarif_string, PolicyConfig, Severity, Suppressions,
+    SARIF_SCHEMA, SARIF_VERSION,
+};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.sarif");
+
+/// Two heap sites with false sharing plus one suppressed — deterministic
+/// by construction (fixed seed-free single-interleaving session).
+fn golden_report() -> Report {
+    let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
+    let t0 = s.register_thread();
+    let t1 = s.register_thread();
+    for (file, line) in [("worker.rs", 42u32), ("queue.rs", 7)] {
+        let obj = s
+            .malloc(t0, 64, Callsite::from_frames(vec![Frame::new(file, line)]))
+            .unwrap();
+        for i in 0..500u64 {
+            s.write::<u64>(t0, obj.start, i);
+            s.write::<u64>(t1, obj.start + 8, i);
+        }
+    }
+    s.report()
+}
+
+fn golden_eval(report: &Report) -> predator_policy::Evaluation {
+    let cfg = PolicyConfig {
+        suppressions: Suppressions::parse("observed|heap:queue.rs:7*\n"),
+        fail_on: Some(Severity::Warning),
+        ..Default::default()
+    };
+    evaluate_report(report, &cfg)
+}
+
+#[test]
+fn sarif_matches_the_committed_golden_fixture() {
+    let report = golden_report();
+    let eval = golden_eval(&report);
+    let sarif = to_sarif_string(&report, &eval, CacheGeometry::default()) + "\n";
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &sarif).unwrap();
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("missing golden fixture; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        sarif, golden,
+        "SARIF output drifted from the golden fixture"
+    );
+}
+
+#[test]
+fn sarif_has_the_required_2_1_0_shape() {
+    let report = golden_report();
+    let eval = golden_eval(&report);
+    let log = to_sarif(&report, &eval, CacheGeometry::default());
+
+    // Required top-level keys.
+    assert_eq!(*log.field("$schema"), Value::Str(SARIF_SCHEMA.to_string()));
+    assert_eq!(*log.field("version"), Value::Str(SARIF_VERSION.to_string()));
+    let runs = log.field("runs").as_seq().expect("runs must be an array");
+    assert_eq!(runs.len(), 1);
+
+    // Run structure: tool.driver with name and rules, plus results.
+    let run = &runs[0];
+    let driver = run.field("tool").field("driver");
+    assert_eq!(*driver.field("name"), Value::Str("predator".to_string()));
+    let rules = driver.field("rules").as_seq().expect("driver.rules array");
+    assert!(!rules.is_empty());
+    let rule_ids: Vec<String> = rules
+        .iter()
+        .map(|r| match r.field("id") {
+            Value::Str(id) => id.clone(),
+            other => panic!("rule id must be a string, got {other:?}"),
+        })
+        .collect();
+    for rule in rules {
+        for key in ["shortDescription", "fullDescription"] {
+            assert!(
+                matches!(rule.field(key).field("text"), Value::Str(_)),
+                "rule missing {key}.text"
+            );
+        }
+    }
+
+    // Every result cross-references the rule table consistently and
+    // carries a level plus a message.
+    let results = run.field("results").as_seq().expect("results array");
+    assert_eq!(results.len(), report.findings.len());
+    for result in results {
+        let Value::Str(rule_id) = result.field("ruleId") else {
+            panic!("result.ruleId must be a string");
+        };
+        let Value::U64(idx) = result.field("ruleIndex") else {
+            panic!("result.ruleIndex must be an integer");
+        };
+        assert_eq!(&rule_ids[*idx as usize], rule_id);
+        assert!(matches!(result.field("level"), Value::Str(_)));
+        assert!(matches!(
+            result.field("message").field("text"),
+            Value::Str(_)
+        ));
+    }
+
+    // The suppressed finding surfaces as a SARIF suppression entry.
+    let suppressed = results
+        .iter()
+        .filter(|r| !r.field("suppressions").as_seq().unwrap().is_empty())
+        .count();
+    assert!(suppressed >= 1, "expected at least one suppressed result");
+}
+
+#[test]
+fn html_renders_every_finding_id() {
+    let report = golden_report();
+    let eval = golden_eval(&report);
+    let html = to_html(&report, &eval, CacheGeometry::default());
+    assert!(html.starts_with("<!DOCTYPE html>") || html.starts_with("<!doctype html>"));
+    for decision in &eval.decisions {
+        // Anchors hold the HTML-escaped key (heap keys contain `<`).
+        let escaped = decision
+            .key
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;")
+            .replace('"', "&quot;");
+        assert!(
+            html.contains(&format!("id=\"{escaped}\"")),
+            "finding {} has no anchor in the HTML report",
+            decision.key
+        );
+    }
+}

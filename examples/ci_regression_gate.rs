@@ -10,7 +10,7 @@
 //! cargo run --example ci_regression_gate
 //! ```
 
-use predator::core::diff::diff_reports;
+use predator::policy::diff_reports;
 use predator::{Callsite, DetectorConfig, Frame, Session};
 
 /// "Application" v1: per-thread counters properly padded.

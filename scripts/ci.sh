@@ -48,6 +48,27 @@ $PRED analyze "$SMOKE/run.ptrace" --sensitive --shards 4 --json > "$SMOKE/offlin
 $PRED diff "$SMOKE/live.json" "$SMOKE/offline.json"
 echo "offline analysis matches the live run"
 
+echo "==> policy gate smoke (baseline write -> gated re-analysis, both exit paths)"
+# Baseline the histogram trace's findings: a gated re-analysis of the same
+# trace must pass (everything baselined), while a different workload's trace
+# introduces new warning-severity callsites that must trip the gate. The
+# SARIF documents are what CI uploads as artifacts.
+$PRED baseline write "$SMOKE/offline.json" -o "$SMOKE/policy-baseline.json"
+$PRED analyze "$SMOKE/run.ptrace" --sensitive --format sarif \
+  --baseline "$SMOKE/policy-baseline.json" --fail-on warning > "$SMOKE/predator.sarif"
+grep -q '"\$schema"' "$SMOKE/predator.sarif"
+$PRED record linear_regression --iters 1000 -o "$SMOKE/policy-new.ptrace"
+if $PRED analyze "$SMOKE/policy-new.ptrace" --sensitive --format sarif \
+    --baseline "$SMOKE/policy-baseline.json" --fail-on warning > "$SMOKE/policy-new.sarif"; then
+  echo "policy gate failed to fail on a new finding" >&2
+  exit 1
+fi
+echo "policy gate correctly rejected the new findings"
+# The drift view of the same pair, and the HTML reporter's smoke.
+$PRED baseline diff "$SMOKE/policy-baseline.json" "$SMOKE/offline.json"
+$PRED analyze "$SMOKE/policy-new.ptrace" --sensitive --format html > "$SMOKE/report.html"
+grep -qi '<!doctype html>' "$SMOKE/report.html"
+
 echo "==> fleet smoke (corpus ingest -> merged report -> trend gate, both exit paths)"
 # Two recordings of one workload form the baseline corpus; adding a second
 # workload introduces new callsites, which must trip --fail-on-regression.

@@ -26,6 +26,10 @@
 //! * [`fleet`] — the `.ptrace` corpus store: cross-run merged
 //!   reports deduped by stable callsite key, trend/regression deltas
 //!   against a baseline corpus, and retention via compaction;
+//! * [`policy`] — the policy engine between detection and output:
+//!   severity classification behind a pluggable [`policy::Policy`] trait,
+//!   per-site suppressions, baseline files, `--fail-on` gating, the
+//!   shared comparison engine, and the SARIF/HTML reporters;
 //! * [`obs`] — the zero-dependency observability layer: metrics
 //!   registry, structured events, snapshot deltas, and the hand-rolled
 //!   HTTP telemetry server behind `predator serve`.
@@ -57,6 +61,7 @@ pub use predator_core as core;
 pub use predator_fleet as fleet;
 pub use predator_instrument as instrument;
 pub use predator_obs as obs;
+pub use predator_policy as policy;
 pub use predator_shadow as shadow;
 pub use predator_sim as sim;
 pub use predator_trace as trace;
