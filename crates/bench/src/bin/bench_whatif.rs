@@ -1,0 +1,165 @@
+//! `bench_whatif` — what-if layout-replay telemetry behind `scripts/bench.sh`.
+//!
+//! ```text
+//! bench_whatif [out.json] [--iters N]
+//! ```
+//!
+//! Builds a deterministic false-sharing trace (two threads ping-ponging on
+//! adjacent words in several well-separated regions), then measures the
+//! `predator whatif` machinery end to end:
+//!
+//! * plain sharded analysis throughput (the baseline the replay pays on
+//!   top of);
+//! * full what-if verification time — per-geometry baselines at all four
+//!   portfolio line sizes, MESI ground truth, remap, and the re-analysis
+//!   of the remapped trace — and its overhead factor over plain analysis;
+//! * the measured invalidation delta of the suggested padding fix, which
+//!   must clear the ≥90%-removed acceptance bar at its worst portfolio
+//!   geometry (the ISSUE's headline number, asserted here so the bench
+//!   doubles as a regression gate).
+//!
+//! The JSON it writes (`BENCH_9.json` by convention) is a standalone
+//! schema-versioned artifact; `predator bench-diff` consumes it through
+//! the schema-agnostic numeric-drift path.
+
+use std::time::Instant;
+
+use predator_core::{CacheGeometry, DetectorConfig, FixVerdict};
+use predator_sim::{Access, ThreadId};
+use predator_trace::{analyze_events, whatif_events, AnalyzeConfig, WhatIfFix};
+use serde::Serialize;
+
+const BASE: u64 = 0x4000_0000;
+const SIZE: u64 = 64 << 20;
+
+#[derive(Serialize)]
+struct WhatIfBench {
+    schema: &'static str,
+    events: u64,
+    regions: u64,
+    geometries: usize,
+    analyze_ms: f64,
+    analyze_events_per_s: f64,
+    whatif_ms: f64,
+    whatif_events_per_s: f64,
+    /// whatif time ÷ plain analyze time. The replay runs 4 baseline
+    /// geometry analyses + 4 MESI simulations + the remapped re-analysis,
+    /// so single-digit factors are the expected regime.
+    whatif_overhead_x: f64,
+    findings: usize,
+    verified: usize,
+    /// Best verified fix's worst-geometry percentage removed — the
+    /// acceptance bar is ≥ 90 on this trace.
+    best_pct_removed: u64,
+    fixes_verdicts: usize,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Two threads ping-pong on adjacent words in `regions` well-separated
+/// regions — the canonical false-sharing shape, one cluster per region.
+fn false_sharing_trace(regions: u64, per_region: u64) -> Vec<Access> {
+    let mut out = Vec::with_capacity((regions * per_region) as usize);
+    for i in 0..per_region {
+        for r in 0..regions {
+            let rbase = BASE + r * 0x10000;
+            out.push(Access::write(
+                ThreadId((i % 2) as u16),
+                rbase + (i % 2) * 8,
+                8,
+            ));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_9.json".to_string();
+    let mut iters: u64 = 50_000; // per region; 4 regions ⇒ 200k events
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--iters" {
+            iters = it.next().and_then(|v| v.parse().ok()).expect("--iters N");
+        } else {
+            out_path = a.clone();
+        }
+    }
+
+    let regions = 4u64;
+    let events = false_sharing_trace(regions, iters);
+    let cfg = AnalyzeConfig::new(DetectorConfig::sensitive(), 4);
+
+    println!(
+        "bench_whatif: {} events over {} false-sharing regions",
+        events.len(),
+        regions
+    );
+
+    let t = Instant::now();
+    let plain = analyze_events(&events, BASE, SIZE, None, &cfg);
+    let analyze_d = t.elapsed();
+
+    let t = Instant::now();
+    let out = whatif_events(&events, BASE, SIZE, None, &cfg, &WhatIfFix::Suggested);
+    let whatif_d = t.elapsed();
+
+    let best_pct = out.best_pct().unwrap_or(0);
+    let fixes_verdicts = out
+        .report
+        .findings
+        .iter()
+        .filter_map(|f| f.verified.as_ref())
+        .filter(|v| v.verdict == FixVerdict::Fixes)
+        .count();
+
+    let report = WhatIfBench {
+        schema: "predator-whatif-bench/1",
+        events: plain.events,
+        regions,
+        geometries: CacheGeometry::PORTFOLIO_LINE_SIZES.len(),
+        analyze_ms: ms(analyze_d),
+        analyze_events_per_s: plain.events as f64 / analyze_d.as_secs_f64().max(1e-9),
+        whatif_ms: ms(whatif_d),
+        whatif_events_per_s: out.events as f64 / whatif_d.as_secs_f64().max(1e-9),
+        whatif_overhead_x: whatif_d.as_secs_f64() / analyze_d.as_secs_f64().max(1e-9),
+        findings: out.report.findings.len(),
+        verified: out.verified,
+        best_pct_removed: best_pct,
+        fixes_verdicts,
+    };
+
+    println!(
+        "  analyze:  {:.1} ms ({:.2} Mevents/s)",
+        report.analyze_ms,
+        report.analyze_events_per_s / 1e6
+    );
+    println!(
+        "  whatif:   {:.1} ms ({:.2} Mevents/s) — {:.1}x analyze, {} geometries",
+        report.whatif_ms,
+        report.whatif_events_per_s / 1e6,
+        report.whatif_overhead_x,
+        report.geometries
+    );
+    println!(
+        "  delta:    {}/{} findings verified, {} fix(es) proven, best removes {}%",
+        report.verified, report.findings, report.fixes_verdicts, report.best_pct_removed
+    );
+
+    assert!(
+        report.verified >= 1,
+        "whatif must verify at least one finding"
+    );
+    assert!(
+        report.best_pct_removed >= 90,
+        "suggested padding fix must remove >=90% of invalidations at every \
+         portfolio geometry on a pure false-sharing trace (got {}%)",
+        report.best_pct_removed
+    );
+
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("wrote {out_path}");
+}

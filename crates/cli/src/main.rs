@@ -18,8 +18,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use predator_core::{
-    build_report, build_report_merged, suggest_fixes, Attribution, DetectorConfig, ObsSnapshot,
-    Predator, Report, Session, SiteKind, TimelineOp, TimelineRecord,
+    build_report, build_report_merged, suggest_fixes, Attribution, DetectorConfig, LayoutEdit,
+    ObsSnapshot, Predator, Report, Session, SiteKind, TimelineOp, TimelineRecord,
 };
 use predator_instrument::{
     instrument_module, parse_module, InstrumentOptions, Machine, StepSchedule, ThreadSpec,
@@ -29,10 +29,11 @@ use predator_policy::{
     FindingView, PolicyConfig, Suppressions,
 };
 use predator_shadow::SimSpace;
-use predator_sim::ThreadId;
+use predator_sim::{Access, ThreadId};
 use predator_trace::{
-    analyze_file, read_info, read_info_scan, sniff_format, AnalyzeConfig, JsonlIter, LossStats,
-    TraceFormat, TraceMeta, TraceReader, TraceSink,
+    analyze_events, analyze_file, read_info, read_info_scan, sniff_format, verify_fixes,
+    whatif_events, AnalyzeConfig, JsonlIter, LossStats, TraceFormat, TraceMeta, TraceReader,
+    TraceSink, WhatIfFix,
 };
 use predator_workloads::{all, by_name, run_and_report, Variant, WorkloadConfig};
 
@@ -75,6 +76,28 @@ USAGE:
         --shards <N>        worker shards               [default: CPU count]
         --base <HEX> / --size <N>  address range for JSONL traces
                             (.ptrace headers carry their own)
+        --verify-fixes      annotate each finding with its suggested fix's
+                            measured replay delta (see `whatif`)
+        --sensitive / --no-prediction / --sampling / --json as above
+
+    predator whatif <trace> [OPTIONS]
+        What-if layout replay: prove (or refute) fix suggestions against
+        the recorded trace instead of printing untested advice. Each
+        finding's suggested fix — or one user-supplied edit list — is
+        applied as a pure address remap (injective, order-preserving, so
+        the recorded interleaving is preserved verbatim), the remapped
+        trace is re-analyzed at every portfolio line size (32/64/128/256
+        bytes) and cross-checked against the MESI ground-truth simulator,
+        and every finding is annotated with its measured before/after
+        invalidation delta and a verdict (fixes/partial/ineffective).
+        --pad <AT:BYTES[,AT:BYTES...]>  replay a user layout edit (insert
+                            BYTES of padding before address AT; AT takes a
+                            0x prefix for hex) instead of the per-finding
+                            suggested fixes
+        --min-delta <PCT>   exit nonzero unless the best verified fix
+                            removes at least PCT% of invalidations at its
+                            worst portfolio geometry (a CI gate)
+        --shards <N> / --base <HEX> / --size <N> as `analyze`
         --sensitive / --no-prediction / --sampling / --json as above
 
     predator trace info <trace.ptrace> [--deep]
@@ -323,6 +346,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         "--fail-on",
         "--suppressions",
         "--policy",
+        "--pad",
+        "--min-delta",
     ];
     let mut args = Args {
         positional: Vec::new(),
@@ -859,15 +884,25 @@ fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
         .get(1)
         .ok_or("analyze: missing trace path")?;
     let det = detector_config(args)?;
-    let default_shards = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let shards: usize = num(args, "--shards", default_shards)?;
-    if shards == 0 {
-        return Err("--shards must be at least 1".into());
-    }
+    let shards = shard_count(args)?;
     let (base, size) = jsonl_range(args)?;
     let cfg = AnalyzeConfig::new(det, shards);
+    if args.flags.iter().any(|f| f == "--verify-fixes") {
+        // Verification replays the trace under each suggested fix, so the
+        // events must be resident; the streaming path won't do.
+        let (events, base, size, meta) = load_trace_events(args, path)?;
+        let out = analyze_events(&events, base, size, meta.as_ref(), &cfg);
+        let mut report = out.report;
+        let verified = verify_fixes(&events, base, size, meta.as_ref(), &mut report, &cfg);
+        if !output_format(args)?.is_machine() {
+            println!(
+                "analyzed {} events on {} of {} shard(s), {} line cluster(s); \
+                 {verified} fix(es) verified by replay",
+                out.events, out.shards_used, shards, out.clusters,
+            );
+        }
+        return emit_report(args, &det, &report);
+    }
     let out = analyze_file(Path::new(path), &cfg, base, size)?;
     warn_loss(path, &out.loss);
     if !output_format(args)?.is_machine() {
@@ -885,6 +920,93 @@ fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
         );
     }
     emit_report(args, &det, &out.report)
+}
+
+/// Loads a whole trace (either format) into memory: the what-if replay
+/// re-analyzes the event list several times, so streaming buys nothing.
+fn load_trace_events(
+    args: &Args,
+    path: &str,
+) -> Result<(Vec<Access>, u64, u64, Option<TraceMeta>), String> {
+    match sniff_format(Path::new(path))? {
+        TraceFormat::Ptrace => {
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let mut r =
+                TraceReader::new(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+            let base = r.base();
+            let size = r.size();
+            let events: Vec<Access> = (&mut r).collect();
+            warn_loss(path, &r.stats());
+            let meta = r.take_meta();
+            Ok((events, base, size, meta))
+        }
+        TraceFormat::Jsonl => {
+            let (base, size) = jsonl_range(args)?;
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let mut events = Vec::new();
+            for a in JsonlIter::new(BufReader::new(file)) {
+                events.push(a.map_err(|e| format!("bad trace: {e}"))?);
+            }
+            Ok((events, base, size, None))
+        }
+    }
+}
+
+/// Parses `--pad AT:BYTES[,AT:BYTES...]` into layout edits. `AT` accepts a
+/// `0x` prefix for hex (addresses usually are); `BYTES` is decimal.
+fn parse_pad_edits(spec: &str) -> Result<Vec<LayoutEdit>, String> {
+    spec.split(',')
+        .map(|part| {
+            let (at, pad) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad --pad entry `{part}` (want AT:BYTES)"))?;
+            let at = if let Some(hex) = at.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                at.parse()
+            }
+            .map_err(|e| format!("bad --pad address `{at}`: {e}"))?;
+            let pad: u64 = pad
+                .parse()
+                .map_err(|e| format!("bad --pad byte count `{pad}`: {e}"))?;
+            Ok(LayoutEdit { at, pad })
+        })
+        .collect()
+}
+
+fn cmd_whatif(args: &Args) -> Result<ExitCode, String> {
+    let path = args.positional.get(1).ok_or("whatif: missing trace path")?;
+    let det = detector_config(args)?;
+    let shards = shard_count(args)?;
+    let (events, base, size, meta) = load_trace_events(args, path)?;
+    let cfg = AnalyzeConfig::new(det, shards);
+    let fix = match args.options.get("--pad") {
+        Some(spec) => WhatIfFix::Edits(parse_pad_edits(spec)?),
+        None => WhatIfFix::Suggested,
+    };
+    let out = whatif_events(&events, base, size, meta.as_ref(), &cfg, &fix);
+    let format = output_format(args)?;
+    let pcfg = policy_config(args)?;
+    let eval = evaluate_report(&out.report, &pcfg);
+    match format {
+        Format::Json => println!("{}", out.report.to_json()),
+        Format::Markdown => println!("{}", out.report.to_markdown()),
+        Format::Sarif => println!("{}", to_sarif_string(&out.report, &eval, det.geometry)),
+        Format::Html => println!("{}", to_html(&out.report, &eval, det.geometry)),
+        Format::Text => print!("{}", out.to_text()),
+    }
+    if let Some(min) = args.options.get("--min-delta") {
+        let min: u64 = min
+            .parse()
+            .map_err(|_| format!("invalid value for --min-delta: {min}"))?;
+        let best = out.best_pct().unwrap_or(0);
+        if best < min {
+            eprintln!("WHATIF GATE: FAIL — best fix removes {best}% (< {min}%)");
+            return Ok(ExitCode::FAILURE);
+        }
+        eprintln!("WHATIF GATE: ok — best fix removes {best}% (>= {min}%)");
+    }
+    Ok(gate_exit(&eval))
 }
 
 fn cmd_trace(args: &Args) -> Result<(), String> {
@@ -2110,6 +2232,7 @@ fn main() -> ExitCode {
                 Some("native") => cmd_native(&args).map(|()| ExitCode::SUCCESS),
                 Some("record") => cmd_record(&args).map(|()| ExitCode::SUCCESS),
                 Some("analyze") => cmd_analyze(&args),
+                Some("whatif") => cmd_whatif(&args),
                 Some("trace") => cmd_trace(&args).map(|()| ExitCode::SUCCESS),
                 Some("fleet") => cmd_fleet(&args),
                 Some("replay") => cmd_replay(&args),

@@ -26,8 +26,9 @@ pub enum FixSuggestion {
         /// Distinct threads whose words share lines.
         threads: Vec<ThreadId>,
         /// Bytes of separation required between any two threads' data so no
-        /// predicted scenario (shift, or line scaling up to the analyzed
-        /// factor) can re-merge them.
+        /// predicted scenario — shift, line scaling up to the analyzed
+        /// factor, or any line size in the verification portfolio
+        /// ([`CacheGeometry::PORTFOLIO_LINE_SIZES`]) — can re-merge them.
         min_separation: u64,
     },
     /// The object is placement-sensitive: it is clean at the current
@@ -72,6 +73,70 @@ impl std::fmt::Display for FixSuggestion {
                  help — use per-thread accumulation with a reduction instead"
             ),
         }
+    }
+}
+
+/// A concrete, mechanical layout change: insert `pad` bytes of dead space
+/// immediately before address `at`. Every [`FixSuggestion`] lowers to a list
+/// of these via [`lower_fix`]; the trace layer turns the list into an
+/// injective, order-preserving address remap and replays the recorded trace
+/// through it (`predator whatif`), so suggestions ship with measured
+/// before/after invalidation counts instead of untested advice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayoutEdit {
+    /// First address shifted by the pad: bytes `< at` stay put, bytes
+    /// `>= at` move up by `pad`.
+    pub at: u64,
+    /// Bytes of dead space inserted.
+    pub pad: u64,
+}
+
+/// Lowers one suggestion for one finding into mechanical layout edits.
+///
+/// * [`FixSuggestion::PadPerThread`] walks the finding's words in address
+///   order and inserts `min_separation` bytes at every boundary where the
+///   exclusive owner changes — each thread's block lands at least
+///   `min_separation` bytes from its neighbours.
+/// * [`FixSuggestion::AlignObject`] pads the object's start up to the next
+///   multiple of the requested alignment (a no-op if already aligned).
+/// * [`FixSuggestion::RestructureTrueSharing`] lowers to *no* edits: padding
+///   cannot fix true sharing, and the empty remap makes the what-if replay
+///   prove exactly that (zero delta).
+pub fn lower_fix(finding: &Finding, fix: &FixSuggestion) -> Vec<LayoutEdit> {
+    match fix {
+        FixSuggestion::PadPerThread { min_separation, .. } => {
+            let mut words: Vec<&WordReport> = finding
+                .words
+                .iter()
+                .filter(|w| w.reads + w.writes > 0)
+                .collect();
+            words.sort_by_key(|w| w.addr);
+            let mut edits = Vec::new();
+            let mut last_owner: Option<ThreadId> = None;
+            for w in words {
+                if let Owner::Exclusive(t) = w.owner {
+                    if let Some(prev) = last_owner {
+                        if prev != t {
+                            edits.push(LayoutEdit {
+                                at: w.addr,
+                                pad: *min_separation,
+                            });
+                        }
+                    }
+                    last_owner = Some(t);
+                }
+            }
+            edits
+        }
+        FixSuggestion::AlignObject { object, alignment } => {
+            let pad = (alignment - object % alignment) % alignment;
+            if pad == 0 {
+                Vec::new()
+            } else {
+                vec![LayoutEdit { at: *object, pad }]
+            }
+        }
+        FixSuggestion::RestructureTrueSharing { .. } => Vec::new(),
     }
 }
 
@@ -134,13 +199,20 @@ fn suggest_for(finding: &Finding, geom: CacheGeometry) -> Vec<FixSuggestion> {
 
     // The scenario determines the separation that makes the layout robust:
     // a shifted placement needs a full line between threads; an N-times
-    // line needs N lines.
-    let min_separation = match finding.kind {
+    // line needs N lines. On top of the per-scenario floor, the claim is
+    // verified against the whole prediction portfolio (32..256-byte lines,
+    // shifted placements): two words less than 2x the largest portfolio
+    // line apart can still land in one shifted 256-byte window, so clamp
+    // up to `portfolio_separation()`. That value (512) is a whole-line
+    // multiple of every portfolio geometry, which also keeps the lowered
+    // remap in the invalidation-monotone class (see DESIGN.md).
+    let scenario = match finding.kind {
         FindingKind::Observed => geom.line_size(),
         FindingKind::PredictedRemap { .. } => geom.line_size() * 2,
         FindingKind::PredictedDoubled => geom.line_size() * 2,
         FindingKind::PredictedScaled { factor_log2 } => geom.line_size() << factor_log2,
     };
+    let min_separation = scenario.max(CacheGeometry::portfolio_separation());
     let threads = involved_threads(&finding.words);
     if threads.len() >= 2 {
         out.push(FixSuggestion::PadPerThread {
@@ -193,7 +265,10 @@ mod tests {
             } => {
                 assert_eq!(*object, obj.start);
                 assert_eq!(threads.len(), 2);
-                assert_eq!(*min_separation, 64);
+                // One observed 64-byte line would need 64 bytes, but the
+                // claim is verified across the whole 32..256-byte portfolio,
+                // so the floor is portfolio_separation() = 512.
+                assert_eq!(*min_separation, CacheGeometry::portfolio_separation());
             }
             other => panic!("expected padding advice, got {other:?}"),
         }
@@ -218,14 +293,91 @@ mod tests {
                 .any(|(_, f)| matches!(f, FixSuggestion::AlignObject { alignment: 64, .. })),
             "{fixes:?}"
         );
-        // The remap scenario needs 2-line separation to be robust.
+        // The remap scenario alone needs 2-line separation; the portfolio
+        // clamp raises that to 512.
         assert!(fixes.iter().any(|(_, f)| matches!(
             f,
             FixSuggestion::PadPerThread {
-                min_separation: 128,
+                min_separation: 512,
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn padding_fix_lowers_to_edits_at_owner_boundaries() {
+        let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
+        let t0 = s.register_thread();
+        let t1 = s.register_thread();
+        let obj = s.malloc(t0, 64, Callsite::here()).unwrap();
+        for i in 0..500u64 {
+            s.write::<u64>(t0, obj.start, i);
+            s.write::<u64>(t1, obj.start + 8, i);
+        }
+        let report = s.report();
+        let fixes = suggest_fixes(&report, geom());
+        let (idx, fix) = &fixes[0];
+        let edits = lower_fix(&report.findings[*idx], fix);
+        // One owner change (t0's word -> t1's word): one pad at t1's word.
+        assert_eq!(edits.len(), 1, "{edits:?}");
+        assert_eq!(edits[0].at, obj.start + 8);
+        assert_eq!(edits[0].pad, CacheGeometry::portfolio_separation());
+    }
+
+    #[test]
+    fn true_sharing_fix_lowers_to_no_edits() {
+        let s = Session::new(DetectorConfig::sensitive(), 1 << 20);
+        let t0 = s.register_thread();
+        let t1 = s.register_thread();
+        let ctr = s.global("counter", 8);
+        for _ in 0..500 {
+            s.fetch_add(t0, ctr, 1);
+            s.fetch_add(t1, ctr, 1);
+        }
+        let report = s.report();
+        let fixes = suggest_fixes(&report, geom());
+        let (idx, fix) = &fixes[0];
+        assert!(matches!(fix, FixSuggestion::RestructureTrueSharing { .. }));
+        assert!(lower_fix(&report.findings[*idx], fix).is_empty());
+    }
+
+    #[test]
+    fn align_fix_lowers_to_single_shift_or_nothing() {
+        let finding_stub = |start: u64| Finding {
+            kind: FindingKind::PredictedRemap { delta: 8 },
+            class: SharingClass::FalseSharing,
+            object: crate::report::ObjectReport {
+                start,
+                end: start + 64,
+                size: 64,
+                site: crate::report::SiteKind::Unknown,
+            },
+            invalidations: 0,
+            accesses: 0,
+            writes: 0,
+            words: Vec::new(),
+            virtual_lines: Vec::new(),
+            timeline: Vec::new(),
+            invalidation_traces: Vec::new(),
+            verified: None,
+        };
+        let aligned = FixSuggestion::AlignObject {
+            object: 0x1000,
+            alignment: 64,
+        };
+        assert!(lower_fix(&finding_stub(0x1000), &aligned).is_empty());
+        let misaligned = FixSuggestion::AlignObject {
+            object: 0x1008,
+            alignment: 64,
+        };
+        let edits = lower_fix(&finding_stub(0x1008), &misaligned);
+        assert_eq!(
+            edits,
+            vec![LayoutEdit {
+                at: 0x1008,
+                pad: 56
+            }]
+        );
     }
 
     #[test]

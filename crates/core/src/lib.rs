@@ -71,12 +71,12 @@ pub use adaptive::{
 pub use api::Session;
 pub use config::{DetectorConfig, TrackingMode};
 pub use detect::SharingClass;
-pub use fixes::{suggest_fixes, FixSuggestion};
+pub use fixes::{lower_fix, suggest_fixes, FixSuggestion, LayoutEdit};
 pub use predict::{HotPair, PredictionUnit, UnitKind, UnitSnapshot};
 pub use report::{
-    build_report, build_report_merged, Attribution, Finding, FindingKind, InvalidationTrace,
-    ObjectDirectory, ObjectReport, RecordedObject, Report, SiteKind, TimelineOp, TimelineRecord,
-    WordReport,
+    build_report, build_report_merged, Attribution, Finding, FindingKind, FixVerdict,
+    GeometryDelta, InvalidationTrace, ObjectDirectory, ObjectReport, RecordedObject, Report,
+    SiteKind, TimelineOp, TimelineRecord, VerifiedFix, WordReport,
 };
 pub use runtime::{GlobalInfo, Predator};
 pub use stats::{ObsSnapshot, RunStats};

@@ -208,6 +208,127 @@ impl std::fmt::Display for FindingKind {
     }
 }
 
+/// Invalidation counts for one portfolio geometry, before and after a
+/// proposed layout fix was replayed over the recorded trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeometryDelta {
+    /// Cache-line size of this portfolio entry, in bytes.
+    pub line_size: u64,
+    /// Detector invalidations attributed to the finding before the fix.
+    pub before: u64,
+    /// Detector invalidations after replaying the remapped trace.
+    pub after: u64,
+    /// MESI ground-truth invalidation events on the object's lines, before.
+    pub mesi_before: u64,
+    /// MESI ground-truth invalidation events, after.
+    pub mesi_after: u64,
+}
+
+impl GeometryDelta {
+    /// Percentage of invalidations the fix removed at this geometry
+    /// (integer, 0 when there was nothing to remove).
+    pub fn pct_removed(&self) -> u64 {
+        (self.before.saturating_sub(self.after) * 100)
+            .checked_div(self.before)
+            .unwrap_or(0)
+    }
+}
+
+/// Overall judgement of a replayed fix across the geometry portfolio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FixVerdict {
+    /// ≥ 90% of invalidations removed at every geometry that had any.
+    Fixes,
+    /// Helps somewhere but misses the 90% bar at some geometry.
+    Partial,
+    /// No measurable improvement anywhere (e.g. true sharing, or a no-op
+    /// edit list).
+    Ineffective,
+}
+
+impl std::fmt::Display for FixVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FixVerdict::Fixes => "fixes",
+            FixVerdict::Partial => "partial",
+            FixVerdict::Ineffective => "ineffective",
+        })
+    }
+}
+
+/// The measured outcome of replaying one [`crate::fixes::FixSuggestion`]
+/// through the what-if pipeline: the recorded trace is re-analyzed with the
+/// fix applied as an address remap, at every portfolio geometry, and the
+/// suggestion ships with these numbers instead of untested advice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifiedFix {
+    /// Human-readable description of what was replayed — a rendered
+    /// [`crate::fixes::FixSuggestion`], or the user-supplied layout edit.
+    pub fix: String,
+    /// Total dead-space bytes the lowered edit list inserts (0 = the
+    /// suggestion has no mechanical lowering, e.g. true-sharing advice).
+    pub pad_bytes: u64,
+    /// Before/after counts, one entry per portfolio line size, ascending.
+    pub deltas: Vec<GeometryDelta>,
+    /// Judgement across the portfolio.
+    pub verdict: FixVerdict,
+}
+
+impl VerifiedFix {
+    /// Derives the verdict from a measured delta set: ineffective when no
+    /// geometry improved, fixes when every geometry with invalidations shed
+    /// at least 90% of them, partial otherwise.
+    pub fn classify(deltas: &[GeometryDelta]) -> FixVerdict {
+        let active: Vec<&GeometryDelta> = deltas.iter().filter(|d| d.before > 0).collect();
+        if active.is_empty() {
+            return FixVerdict::Ineffective;
+        }
+        let max = active.iter().map(|d| d.pct_removed()).max().unwrap_or(0);
+        let min = active.iter().map(|d| d.pct_removed()).min().unwrap_or(0);
+        if max == 0 {
+            FixVerdict::Ineffective
+        } else if min >= 90 {
+            FixVerdict::Fixes
+        } else {
+            FixVerdict::Partial
+        }
+    }
+
+    /// Worst-case percentage removed across geometries that had anything to
+    /// remove (100 when none did — a vacuous fix).
+    pub fn min_pct_removed(&self) -> u64 {
+        self.deltas
+            .iter()
+            .filter(|d| d.before > 0)
+            .map(|d| d.pct_removed())
+            .min()
+            .unwrap_or(100)
+    }
+}
+
+impl std::fmt::Display for VerifiedFix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Verified fix ({}, {} pad bytes): {}",
+            self.verdict, self.pad_bytes, self.fix
+        )?;
+        for d in &self.deltas {
+            writeln!(
+                f,
+                "  line {:>3}B: {} -> {} invalidations ({}% removed; MESI {} -> {})",
+                d.line_size,
+                d.before,
+                d.after,
+                d.pct_removed(),
+                d.mesi_before,
+                d.mesi_after
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// One reported problem.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Finding {
@@ -235,6 +356,11 @@ pub struct Finding {
     /// The last [`MAX_TRACES_PER_FINDING`] invalidation traces, oldest
     /// first — the causal evidence behind `invalidations`.
     pub invalidation_traces: Vec<InvalidationTrace>,
+    /// What-if replay result for the finding's primary fix suggestion
+    /// (`analyze --verify-fixes` / `predator whatif`); `None` when
+    /// verification was not requested. `Option` keeps reports from older
+    /// versions decoding (a missing key reads as null).
+    pub verified: Option<VerifiedFix>,
 }
 
 impl Finding {
@@ -386,6 +512,9 @@ impl std::fmt::Display for Finding {
         writeln!(f, "Detection: {}.", self.kind)?;
         for vr in &self.virtual_lines {
             writeln!(f, "Verified virtual line: {vr}")?;
+        }
+        if let Some(v) = &self.verified {
+            write!(f, "{v}")?;
         }
         match &self.object.site {
             SiteKind::Heap { callsite, owner } => {
@@ -797,6 +926,7 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
                 virtual_lines: Vec::new(),
                 timeline,
                 invalidation_traces,
+                verified: None,
             }
         })
         .collect();
@@ -881,6 +1011,7 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
             virtual_lines: a.vlines,
             timeline,
             invalidation_traces,
+            verified: None,
         }
     }));
 
@@ -897,6 +1028,7 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
             virtual_lines: a.vlines,
             timeline,
             invalidation_traces,
+            verified: None,
         }
     }));
 
@@ -923,6 +1055,7 @@ pub fn build_report_merged(rts: &[&Predator], attr: Attribution<'_>) -> Report {
             virtual_lines: a.vlines,
             timeline,
             invalidation_traces,
+            verified: None,
         }
     }));
     drop(predict_span);

@@ -350,6 +350,7 @@ mod tests {
             virtual_lines: Vec::new(),
             timeline: Vec::new(),
             invalidation_traces: Vec::new(),
+            verified: None,
         }
     }
 

@@ -142,6 +142,36 @@ pub fn to_html(report: &Report, eval: &Evaluation, geom: CacheGeometry) -> Strin
         for fix in fixes.get(&i).map(|v| v.as_slice()).unwrap_or(&[]) {
             page.push_str(&format!("<div class=\"fix\">{}</div>\n", escape(fix)));
         }
+        if let Some(v) = &finding.verified {
+            let badge = match v.verdict {
+                predator_core::FixVerdict::Fixes => "info",
+                predator_core::FixVerdict::Partial => "warning",
+                predator_core::FixVerdict::Ineffective => "error",
+            };
+            page.push_str(&format!(
+                "<div class=\"fix\"><span class=\"badge {badge}\">{}</span> \
+                 Verified by replay ({} pad bytes): {}</div>\n",
+                escape(&v.verdict.to_string()),
+                v.pad_bytes,
+                escape(&v.fix),
+            ));
+            page.push_str(
+                "<table><tr><th>line size</th><th>before</th><th>after</th>\
+                 <th>% removed</th><th>MESI before</th><th>MESI after</th></tr>",
+            );
+            for d in &v.deltas {
+                page.push_str(&format!(
+                    "<tr><td>{} B</td><td>{}</td><td>{}</td><td>{}%</td><td>{}</td><td>{}</td></tr>",
+                    d.line_size,
+                    d.before,
+                    d.after,
+                    d.pct_removed(),
+                    d.mesi_before,
+                    d.mesi_after
+                ));
+            }
+            page.push_str("</table>\n");
+        }
         page.push_str("</div>\n");
     }
 
@@ -184,6 +214,32 @@ mod tests {
                 d.key
             );
         }
+    }
+
+    #[test]
+    fn verified_fix_renders_a_delta_table() {
+        use predator_core::{FixVerdict, GeometryDelta, VerifiedFix};
+        let mut r = report();
+        r.findings[0].verified = Some(VerifiedFix {
+            fix: "pad the object".into(),
+            pad_bytes: 512,
+            deltas: vec![GeometryDelta {
+                line_size: 64,
+                before: 100,
+                after: 3,
+                mesi_before: 80,
+                mesi_after: 2,
+            }],
+            verdict: FixVerdict::Fixes,
+        });
+        let eval = evaluate_report(&r, &PolicyConfig::default());
+        let html = to_html(&r, &eval, CacheGeometry::default());
+        assert!(
+            html.contains("Verified by replay (512 pad bytes)"),
+            "{html}"
+        );
+        assert!(html.contains("<th>MESI before</th>"), "{html}");
+        assert!(html.contains("<td>97%</td>"), "{html}");
     }
 
     #[test]

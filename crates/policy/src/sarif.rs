@@ -145,6 +145,15 @@ pub fn to_sarif(report: &Report, eval: &Evaluation, geom: CacheGeometry) -> Valu
             message.push_str("\nFix: ");
             message.push_str(fix);
         }
+        if let Some(v) = &finding.verified {
+            message.push_str(&format!(
+                "\nVerified by replay: {} — removes {}% of invalidations at the \
+                 worst portfolio geometry ({} pad bytes).",
+                v.verdict,
+                v.min_pct_removed(),
+                v.pad_bytes
+            ));
+        }
 
         let mut suppressions = Vec::new();
         if decision.suppressed {
@@ -183,18 +192,45 @@ pub fn to_sarif(report: &Report, eval: &Evaluation, geom: CacheGeometry) -> Valu
                 }),
             ));
         }
-        entries.push((
-            "properties",
-            obj(vec![
-                ("callsiteKey", s(&decision.key)),
-                ("severity", s(decision.severity.as_str())),
-                ("invalidations", Value::U64(finding.invalidations)),
-                ("accesses", Value::U64(finding.accesses)),
-                ("objectSize", Value::U64(finding.object.size)),
-                ("gating", Value::Bool(decision.gating)),
-                ("fixes", Value::Seq(fix_texts.iter().map(s).collect())),
-            ]),
-        ));
+        let mut props = vec![
+            ("callsiteKey", s(&decision.key)),
+            ("severity", s(decision.severity.as_str())),
+            ("invalidations", Value::U64(finding.invalidations)),
+            ("accesses", Value::U64(finding.accesses)),
+            ("objectSize", Value::U64(finding.object.size)),
+            ("gating", Value::Bool(decision.gating)),
+            ("fixes", Value::Seq(fix_texts.iter().map(s).collect())),
+        ];
+        if let Some(v) = &finding.verified {
+            props.push((
+                "verifiedFix",
+                obj(vec![
+                    ("fix", s(&v.fix)),
+                    ("verdict", s(v.verdict.to_string())),
+                    ("padBytes", Value::U64(v.pad_bytes)),
+                    ("minPctRemoved", Value::U64(v.min_pct_removed())),
+                    (
+                        "deltas",
+                        Value::Seq(
+                            v.deltas
+                                .iter()
+                                .map(|d| {
+                                    obj(vec![
+                                        ("lineSize", Value::U64(d.line_size)),
+                                        ("before", Value::U64(d.before)),
+                                        ("after", Value::U64(d.after)),
+                                        ("pctRemoved", Value::U64(d.pct_removed())),
+                                        ("mesiBefore", Value::U64(d.mesi_before)),
+                                        ("mesiAfter", Value::U64(d.mesi_after)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        entries.push(("properties", obj(props)));
         results.push(obj(entries));
     }
 
@@ -324,6 +360,30 @@ mod tests {
         let sups = first.field("suppressions").as_seq().unwrap();
         assert!(!sups.is_empty());
         assert_eq!(*first.field("baselineState"), Value::Str("new".to_string()));
+    }
+
+    #[test]
+    fn verified_fix_reaches_message_and_properties() {
+        use predator_core::{FixVerdict, GeometryDelta, VerifiedFix};
+        let mut r = report();
+        r.findings[0].verified = Some(VerifiedFix {
+            fix: "pad the object".into(),
+            pad_bytes: 512,
+            deltas: vec![GeometryDelta {
+                line_size: 64,
+                before: 100,
+                after: 3,
+                mesi_before: 80,
+                mesi_after: 2,
+            }],
+            verdict: FixVerdict::Fixes,
+        });
+        let eval = evaluate_report(&r, &PolicyConfig::default());
+        let log = to_sarif_string(&r, &eval, CacheGeometry::default());
+        assert!(log.contains("Verified by replay: fixes"), "{log}");
+        assert!(log.contains("\"verifiedFix\""), "{log}");
+        assert!(log.contains("\"minPctRemoved\": 97"), "{log}");
+        assert!(log.contains("\"mesiAfter\": 2"), "{log}");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use predator_obs::recorder::{FlightRecorder, RecKind, WORD_UNKNOWN};
 
 use crate::access::{AccessKind, ThreadId};
-use crate::geometry::CacheGeometry;
+use crate::geometry::{CacheGeometry, SectorGeometry};
 
 /// MESI state of a line present in a private cache. Absence means Invalid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +59,18 @@ pub struct MesiStats {
     pub coherence_misses: u64,
     /// Misses on lines lost to eviction.
     pub capacity_misses: u64,
+    /// Invalidation events that killed at least one copy in a *different*
+    /// domain than the writer (multi-domain mode; always ≤
+    /// `invalidation_events`, and 0 with a single domain).
+    pub cross_domain_events: u64,
+    /// Remote copies invalidated across a domain boundary — the traffic
+    /// that crosses the NUMA interconnect instead of the local bus.
+    pub cross_domain_lines: u64,
+    /// Invalidated copies whose victim had live data in the written sector
+    /// (sectored mode). The remainder of `lines_invalidated` are losses a
+    /// sectored cache would shrug off: the victim never touched the sector
+    /// the writer dirtied.
+    pub sector_conflict_lines: u64,
 }
 
 /// The multi-core MESI simulator.
@@ -82,6 +94,13 @@ pub struct MesiSim {
     coherence_lost: Vec<HashSet<u64>>,
     stats: MesiStats,
     line_invalidations: HashMap<u64, u64>,
+    /// Domain (NUMA node) of each core; all zeros in single-domain mode.
+    domain: Vec<u16>,
+    /// Sub-line sector model, if enabled.
+    sector: Option<SectorGeometry>,
+    /// `touched[core][line] -> sector bitmask` accumulated while the line is
+    /// resident (sectored mode only).
+    touched_sectors: Vec<HashMap<u64, u32>>,
     /// Optional flight-recorder feed: the simulator writes ground-truth
     /// access/invalidation records into *this* instance (never the process
     /// global), so tests can compare it against the detector's own feed.
@@ -122,9 +141,51 @@ impl MesiSim {
             coherence_lost: vec![HashSet::new(); n_cores],
             stats: MesiStats::default(),
             line_invalidations: HashMap::new(),
+            domain: vec![0; n_cores],
+            sector: None,
+            touched_sectors: vec![HashMap::new(); n_cores],
             recorder: None,
             last_word: vec![HashMap::new(); n_cores],
         }
+    }
+
+    /// Multi-domain (NUMA-style) mode: cores are split into `n_domains`
+    /// contiguous equal blocks, and invalidations crossing a block boundary
+    /// are additionally counted as cross-domain traffic
+    /// ([`MesiStats::cross_domain_events`] / `cross_domain_lines`).
+    /// Coherence semantics — and therefore `invalidation_events` — are
+    /// identical to the single-domain simulator; domains change only the
+    /// traffic accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n_domains <= n_cores`.
+    pub fn with_domains(n_cores: usize, geom: CacheGeometry, n_domains: usize) -> Self {
+        assert!(
+            n_domains >= 1 && n_domains <= n_cores,
+            "need 1 <= domains ({n_domains}) <= cores ({n_cores})"
+        );
+        let mut sim = Self::new(n_cores, geom);
+        for core in 0..n_cores {
+            sim.domain[core] = (core * n_domains / n_cores) as u16;
+        }
+        sim
+    }
+
+    /// Sectored-cache mode: invalidations are additionally classified by
+    /// whether the victim had touched the written sector
+    /// ([`MesiStats::sector_conflict_lines`]). With
+    /// [`SectorGeometry::unsectored`] every conflict is same-sector and the
+    /// count equals `lines_invalidated`.
+    pub fn with_sectors(n_cores: usize, sector: SectorGeometry) -> Self {
+        let mut sim = Self::new(n_cores, sector.line());
+        sim.sector = Some(sector);
+        sim
+    }
+
+    /// Domain of a core (0 in single-domain mode).
+    pub fn domain_of(&self, core: ThreadId) -> u16 {
+        self.domain.get(core.index()).copied().unwrap_or(0)
     }
 
     /// Attaches a flight recorder; every subsequent access and invalidation
@@ -172,6 +233,7 @@ impl MesiSim {
                 if let Some(&(victim, _)) = resident.iter().min_by_key(|(_, lru)| *lru) {
                     self.caches[core].remove(&victim);
                     self.coherence_lost[core].remove(&victim);
+                    self.touched_sectors[core].remove(&victim);
                     self.stats.evictions += 1;
                 }
             }
@@ -242,17 +304,31 @@ impl MesiSim {
             } else {
                 0
             };
-            self.access_line(tid, line, kind, word);
+            let smask = match self.sector {
+                // Clip the access to this line before masking (a straddling
+                // access contributes each line's own sector span).
+                Some(sg) => {
+                    let line_start = self.geom.line_start(line);
+                    let start = addr.max(line_start);
+                    let len = (addr + size.max(1) as u64 - start).min(self.geom.line_size()) as u8;
+                    sg.sector_mask(start, len)
+                }
+                None => 0,
+            };
+            self.access_line(tid, line, kind, word, smask);
         }
     }
 
-    fn access_line(&mut self, tid: ThreadId, line: u64, kind: AccessKind, word: u8) {
+    fn access_line(&mut self, tid: ThreadId, line: u64, kind: AccessKind, word: u8, smask: u32) {
         let core = tid.index();
         assert!(
             core < self.caches.len(),
             "thread {tid} exceeds configured core count"
         );
         let own = self.caches[core].get(&line).map(|e| e.state);
+        if self.sector.is_some() {
+            *self.touched_sectors[core].entry(line).or_insert(0) |= smask;
+        }
         if kind == AccessKind::Read {
             self.record_access(core, line, word, RecKind::Read);
         }
@@ -333,6 +409,9 @@ impl MesiSim {
                     }
                 }
                 let mut invalidated = 0u64;
+                let mut cross_lines = 0u64;
+                let mut sector_conflicts = 0u64;
+                let sectored = self.sector.is_some();
                 let mut victims: Vec<(u16, u8)> = Vec::new();
                 let track_victims = self.recorder.is_some();
                 for (i, cache) in self.caches.iter_mut().enumerate() {
@@ -341,6 +420,15 @@ impl MesiSim {
                     }
                     if cache.remove(&line).is_some() {
                         invalidated += 1;
+                        if self.domain[i] != self.domain[core] {
+                            cross_lines += 1;
+                        }
+                        if sectored {
+                            let vmask = self.touched_sectors[i].remove(&line).unwrap_or(0);
+                            if vmask & smask != 0 {
+                                sector_conflicts += 1;
+                            }
+                        }
                         self.coherence_lost[i].insert(line);
                         if track_victims {
                             let w = self.last_word[i]
@@ -354,6 +442,11 @@ impl MesiSim {
                 if invalidated > 0 {
                     self.stats.invalidation_events += 1;
                     self.stats.lines_invalidated += invalidated;
+                    self.stats.cross_domain_lines += cross_lines;
+                    if cross_lines > 0 {
+                        self.stats.cross_domain_events += 1;
+                    }
+                    self.stats.sector_conflict_lines += sector_conflicts;
                     *self.line_invalidations.entry(line).or_insert(0) += 1;
                     predator_obs::static_counter!("mesi_invalidation_events_total").inc();
                     predator_obs::static_counter!("mesi_lines_invalidated_total").add(invalidated);
@@ -587,6 +680,170 @@ mod tests {
         assert_eq!(s.capacity_misses, 0);
         assert_eq!(s.cold_misses, 2);
         assert!(s.coherence_misses > 90, "{s:?}");
+    }
+
+    #[test]
+    fn domains_partition_cores_into_contiguous_blocks() {
+        let m = MesiSim::with_domains(8, CacheGeometry::new(64), 2);
+        let doms: Vec<u16> = (0..8).map(|c| m.domain_of(ThreadId(c))).collect();
+        assert_eq!(doms, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let m = MesiSim::with_domains(4, CacheGeometry::new(64), 4);
+        let doms: Vec<u16> = (0..4).map(|c| m.domain_of(ThreadId(c))).collect();
+        assert_eq!(doms, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "domains")]
+    fn more_domains_than_cores_rejected() {
+        MesiSim::with_domains(2, CacheGeometry::new(64), 3);
+    }
+
+    #[test]
+    fn single_domain_has_zero_cross_traffic() {
+        let mut m = MesiSim::with_domains(2, CacheGeometry::new(64), 1);
+        for i in 0..10u64 {
+            m.access(ThreadId((i % 2) as u16), 0, 8, Write);
+        }
+        assert_eq!(m.stats().invalidation_events, 9);
+        assert_eq!(m.stats().cross_domain_events, 0);
+        assert_eq!(m.stats().cross_domain_lines, 0);
+    }
+
+    #[test]
+    fn one_domain_per_core_makes_every_invalidation_cross() {
+        let mut m = MesiSim::with_domains(2, CacheGeometry::new(64), 2);
+        for i in 0..10u64 {
+            m.access(ThreadId((i % 2) as u16), 0, 8, Write);
+        }
+        assert_eq!(m.stats().invalidation_events, 9);
+        assert_eq!(m.stats().cross_domain_events, 9);
+        assert_eq!(m.stats().cross_domain_lines, 9);
+    }
+
+    #[test]
+    fn intra_domain_ping_pong_stays_local() {
+        // Cores 0 and 1 share domain 0; cores 2 and 3 are domain 1. A
+        // ping-pong confined to one domain produces no cross traffic, while
+        // a 0<->2 ping-pong is all cross.
+        let mut m = MesiSim::with_domains(4, CacheGeometry::new(64), 2);
+        for i in 0..6u64 {
+            m.access(ThreadId((i % 2) as u16), 0, 8, Write);
+        }
+        assert_eq!(m.stats().cross_domain_events, 0);
+        for i in 0..6u64 {
+            m.access(ThreadId(if i % 2 == 0 { 0 } else { 2 }), 64, 8, Write);
+        }
+        let s = m.stats();
+        assert_eq!(s.cross_domain_events, 5);
+        assert!(s.cross_domain_lines <= s.lines_invalidated);
+        assert!(s.cross_domain_events <= s.invalidation_events);
+    }
+
+    #[test]
+    fn sectored_mode_classifies_conflicts() {
+        // 64B line, 16B sectors. T0 writes sector 0; T1 writes sector 3.
+        // The coherence protocol still invalidates, but the victims never
+        // touched the written sector, so no sector conflicts are counted.
+        let sg = SectorGeometry::new(CacheGeometry::new(64), 16);
+        let mut m = MesiSim::with_sectors(2, sg);
+        for i in 0..10u64 {
+            let (tid, addr) = if i % 2 == 0 { (0u16, 0u64) } else { (1, 48) };
+            m.access(ThreadId(tid), addr, 8, Write);
+        }
+        let s = m.stats();
+        assert_eq!(s.invalidation_events, 9);
+        assert_eq!(s.sector_conflict_lines, 0, "{s:?}");
+        // Same-sector ping-pong on another line: every invalidation is a
+        // true sector conflict.
+        for i in 0..10u64 {
+            let (tid, addr) = if i % 2 == 0 { (0u16, 64) } else { (1, 72) };
+            m.access(ThreadId(tid), addr, 8, Write);
+        }
+        let s = m.stats();
+        assert_eq!(s.invalidation_events, 18);
+        assert_eq!(s.sector_conflict_lines, 9, "{s:?}");
+    }
+
+    #[test]
+    fn unsectored_geometry_counts_every_invalidation_as_conflict() {
+        let sg = SectorGeometry::unsectored(CacheGeometry::new(64));
+        let mut m = MesiSim::with_sectors(2, sg);
+        for i in 0..10u64 {
+            let (tid, addr) = if i % 2 == 0 { (0u16, 0u64) } else { (1, 56) };
+            m.access(ThreadId(tid), addr, 8, Write);
+        }
+        let s = m.stats();
+        assert_eq!(s.sector_conflict_lines, s.lines_invalidated);
+    }
+
+    #[test]
+    fn sector_mask_resets_on_reinstall() {
+        // T1's mask must not survive invalidation: after losing the line,
+        // T1 re-touches only sector 3, so T0's sector-0 write conflicts
+        // with nothing.
+        let sg = SectorGeometry::new(CacheGeometry::new(64), 16);
+        let mut m = MesiSim::with_sectors(2, sg);
+        m.access(ThreadId(1), 0, 8, Write); // T1 dirties sector 0
+        m.access(ThreadId(0), 0, 8, Write); // conflict (both sector 0)
+        m.access(ThreadId(1), 48, 8, Write); // T1 back, sector 3 only
+        m.access(ThreadId(0), 0, 8, Write); // sector 0 vs sector 3: no hit
+        let s = m.stats();
+        assert_eq!(s.invalidation_events, 3);
+        assert_eq!(s.sector_conflict_lines, 1, "{s:?}");
+    }
+
+    proptest! {
+        /// Domains never change coherence semantics: invalidation_events and
+        /// lines_invalidated are identical across any domain count, cross
+        /// counts are bounded by totals, and a single domain is all-local.
+        #[test]
+        fn prop_domains_only_relabel_traffic(
+            script in proptest::collection::vec(
+                (0u16..4, 0u64..256, prop::bool::ANY), 0..256),
+            n_domains in 1usize..=4,
+        ) {
+            let mut base = sim(4);
+            let mut multi = MesiSim::with_domains(4, CacheGeometry::new(64), n_domains);
+            for (tid, addr, w) in script {
+                let kind = if w { Write } else { Read };
+                base.access(ThreadId(tid), addr, 8, kind);
+                multi.access(ThreadId(tid), addr, 8, kind);
+            }
+            let (b, m) = (base.stats(), multi.stats());
+            prop_assert_eq!(b.invalidation_events, m.invalidation_events);
+            prop_assert_eq!(b.lines_invalidated, m.lines_invalidated);
+            prop_assert!(m.cross_domain_events <= m.invalidation_events);
+            prop_assert!(m.cross_domain_lines <= m.lines_invalidated);
+            if n_domains == 1 {
+                prop_assert_eq!(m.cross_domain_events, 0);
+            }
+        }
+
+        /// Sector conflicts are bounded by lines invalidated, and the
+        /// unsectored model counts every invalidated copy as a conflict.
+        #[test]
+        fn prop_sector_conflicts_bounded(
+            script in proptest::collection::vec(
+                (0u16..3, 0u64..128, prop::bool::ANY), 0..256),
+            sector_log in 3u32..=6,
+        ) {
+            let sg = SectorGeometry::new(CacheGeometry::new(64), 1 << sector_log);
+            let mut m = MesiSim::with_sectors(3, sg);
+            let mut plain = sim(3);
+            for (tid, addr, w) in script {
+                let kind = if w { Write } else { Read };
+                m.access(ThreadId(tid), addr, 8, kind);
+                plain.access(ThreadId(tid), addr, 8, kind);
+            }
+            let s = m.stats();
+            prop_assert!(s.sector_conflict_lines <= s.lines_invalidated);
+            // The sector model never perturbs the protocol itself.
+            prop_assert_eq!(s.invalidation_events, plain.stats().invalidation_events);
+            if sector_log == 6 {
+                // 64B sectors on a 64B line = unsectored.
+                prop_assert_eq!(s.sector_conflict_lines, s.lines_invalidated);
+            }
+        }
     }
 
     #[test]

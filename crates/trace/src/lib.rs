@@ -20,14 +20,21 @@
 //! * [`analyze`] — the sharded engine: cluster cache lines, run one
 //!   detector per shard, merge into a [`predator_core::Report`] that is
 //!   byte-identical to a sequential replay's.
+//! * [`remap`] — injective, order-preserving address remaps: layout fixes
+//!   (padding, alignment) expressed as pure functions on trace addresses.
+//! * [`whatif`] — fix verification by replay: re-analyze the remapped
+//!   trace at every portfolio geometry, cross-check against MESI, and
+//!   annotate findings with measured before/after invalidation deltas.
 
 pub mod analyze;
 pub mod crc32;
 pub mod format;
 pub mod jsonl;
 pub mod reader;
+pub mod remap;
 pub mod segment;
 pub mod varint;
+pub mod whatif;
 pub mod writer;
 
 pub use analyze::{
@@ -37,5 +44,7 @@ pub use analyze::{
 pub use format::{Header, MetaFrame, MetaGlobal, MetaObject, TraceMeta, VERSION};
 pub use jsonl::{load_jsonl, save_jsonl, JsonlIter};
 pub use reader::{read_info, read_info_scan, LossStats, TraceError, TraceInfo, TraceReader};
+pub use remap::AddressRemap;
 pub use segment::{BatchSink, SegmentedSink, SEGMENT_CAPACITY};
+pub use whatif::{verify_fixes, whatif_events, WhatIfFix, WhatIfOutcome};
 pub use writer::{TraceSink, TraceWriter, WriteSummary};

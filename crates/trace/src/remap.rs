@@ -1,0 +1,256 @@
+//! Pure address remaps: the what-if layer's model of a layout fix.
+//!
+//! A [`predator_core::FixSuggestion`] lowers (via
+//! [`predator_core::lower_fix`]) to a list of [`LayoutEdit`]s — "insert
+//! `pad` bytes of dead space immediately before address `at`". This module
+//! turns that list into an [`AddressRemap`]: a total function on addresses
+//! that is **injective** and **order-preserving** by construction, so
+//! replaying a recorded trace through it is exactly re-running the recorded
+//! execution against the edited layout.
+//!
+//! ## Soundness
+//!
+//! The remap never reorders the event stream and never merges two distinct
+//! addresses, so every happens-before edge of the original execution is
+//! preserved verbatim; only the address → cache-line partition changes. A
+//! *general* injective remap can still make things worse (shifting two
+//! same-offset words from different lines into one line), but remaps whose
+//! pads are all whole-line multiples only ever *split* cache lines, never
+//! merge them — see DESIGN.md for the full argument and the counterexample.
+//! [`predator_core::CacheGeometry::portfolio_separation`] (the floor every
+//! suggested padding uses) is a whole-line multiple of every portfolio
+//! geometry, keeping suggested fixes inside the monotone class.
+
+use predator_core::LayoutEdit;
+use predator_sim::Access;
+
+use crate::format::TraceMeta;
+
+/// An injective, order-preserving address transformation built from
+/// cumulative non-negative pads.
+///
+/// Internally a sorted list of `(at, cumulative_shift)` breakpoints:
+/// `apply(addr) = addr + shift` where `shift` is the cumulative pad of the
+/// last breakpoint at or below `addr` (zero below the first). Shifts are
+/// non-negative and non-decreasing in `at`, which makes `apply` strictly
+/// monotone — hence injective and order-preserving — with no further checks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AddressRemap {
+    /// `(at, cumulative_shift)`, strictly increasing in `at`.
+    breaks: Vec<(u64, u64)>,
+}
+
+impl AddressRemap {
+    /// The identity remap (no edits).
+    pub fn identity() -> Self {
+        AddressRemap::default()
+    }
+
+    /// Builds a remap from layout edits. Edits may arrive unsorted and may
+    /// repeat an address (pads at the same `at` accumulate); zero-pad edits
+    /// are dropped. Saturates rather than wraps if the cumulative shift
+    /// overflows (absurd inputs, but no UB).
+    pub fn from_edits(edits: &[LayoutEdit]) -> Self {
+        let mut sorted: Vec<LayoutEdit> = edits.iter().copied().filter(|e| e.pad > 0).collect();
+        sorted.sort_by_key(|e| e.at);
+        let mut breaks: Vec<(u64, u64)> = Vec::with_capacity(sorted.len());
+        let mut shift = 0u64;
+        for e in sorted {
+            shift = shift.saturating_add(e.pad);
+            match breaks.last_mut() {
+                Some((at, s)) if *at == e.at => *s = shift,
+                _ => breaks.push((e.at, shift)),
+            }
+        }
+        AddressRemap { breaks }
+    }
+
+    /// True when the remap is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.breaks.is_empty()
+    }
+
+    /// Total dead-space bytes inserted (the shift of the last breakpoint).
+    pub fn total_pad(&self) -> u64 {
+        self.breaks.last().map(|&(_, s)| s).unwrap_or(0)
+    }
+
+    /// Maps one address into the edited layout.
+    #[inline]
+    pub fn apply(&self, addr: u64) -> u64 {
+        let shift = match self.breaks.partition_point(|&(at, _)| at <= addr) {
+            0 => 0,
+            i => self.breaks[i - 1].1,
+        };
+        addr.saturating_add(shift)
+    }
+
+    /// Maps one access event: the address moves, thread / size / kind are
+    /// untouched. (An access whose span straddles a breakpoint keeps its
+    /// size — edits are expected at field boundaries, where no recorded
+    /// access straddles.)
+    #[inline]
+    pub fn apply_access(&self, a: Access) -> Access {
+        Access {
+            addr: self.apply(a.addr),
+            ..a
+        }
+    }
+
+    /// Maps a whole event slice.
+    pub fn apply_events(&self, events: &[Access]) -> Vec<Access> {
+        events.iter().map(|&a| self.apply_access(a)).collect()
+    }
+
+    /// Maps attribution metadata into the edited layout: object and global
+    /// starts move, and sizes grow by any pad landing strictly inside them
+    /// (`new_size = apply(start + size − 1) + 1 − apply(start)`), so the
+    /// directory still covers every remapped word it covered before.
+    pub fn apply_meta(&self, meta: &TraceMeta) -> TraceMeta {
+        let span = |start: u64, size: u64| -> (u64, u64) {
+            let new_start = self.apply(start);
+            let new_size = if size == 0 {
+                0
+            } else {
+                self.apply(start + size - 1) + 1 - new_start
+            };
+            (new_start, new_size)
+        };
+        let mut out = meta.clone();
+        for g in &mut out.globals {
+            let (s, z) = span(g.start, g.size);
+            g.start = s;
+            g.size = z;
+        }
+        for o in &mut out.objects {
+            let (s, z) = span(o.start, o.size);
+            o.start = s;
+            o.size = z;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{MetaGlobal, MetaObject};
+    use predator_sim::ThreadId;
+    use proptest::prelude::*;
+
+    fn edit(at: u64, pad: u64) -> LayoutEdit {
+        LayoutEdit { at, pad }
+    }
+
+    #[test]
+    fn identity_maps_everything_to_itself() {
+        let r = AddressRemap::identity();
+        assert!(r.is_identity());
+        assert_eq!(r.total_pad(), 0);
+        for a in [0u64, 1, 63, 64, 0x4000_0000, u64::MAX] {
+            assert_eq!(r.apply(a), a);
+        }
+    }
+
+    #[test]
+    fn single_pad_shifts_suffix_only() {
+        let r = AddressRemap::from_edits(&[edit(100, 64)]);
+        assert_eq!(r.apply(0), 0);
+        assert_eq!(r.apply(99), 99);
+        assert_eq!(r.apply(100), 164);
+        assert_eq!(r.apply(200), 264);
+        assert_eq!(r.total_pad(), 64);
+    }
+
+    #[test]
+    fn pads_accumulate_in_address_order_regardless_of_input_order() {
+        let a = AddressRemap::from_edits(&[edit(200, 32), edit(100, 64)]);
+        let b = AddressRemap::from_edits(&[edit(100, 64), edit(200, 32)]);
+        assert_eq!(a, b);
+        assert_eq!(a.apply(150), 150 + 64);
+        assert_eq!(a.apply(200), 200 + 96);
+        assert_eq!(a.total_pad(), 96);
+    }
+
+    #[test]
+    fn duplicate_ats_merge_and_zero_pads_vanish() {
+        let r = AddressRemap::from_edits(&[edit(100, 8), edit(100, 8), edit(50, 0)]);
+        assert_eq!(r.apply(100), 116);
+        assert_eq!(r.apply(50), 50);
+        assert!(AddressRemap::from_edits(&[edit(5, 0)]).is_identity());
+    }
+
+    #[test]
+    fn access_keeps_everything_but_the_address() {
+        let r = AddressRemap::from_edits(&[edit(0x1000, 512)]);
+        let a = Access::write(ThreadId(3), 0x1008, 8);
+        let m = r.apply_access(a);
+        assert_eq!(m.addr, 0x1008 + 512);
+        assert_eq!(m.tid, a.tid);
+        assert_eq!(m.size, a.size);
+        assert_eq!(m.kind, a.kind);
+    }
+
+    #[test]
+    fn meta_objects_move_and_grow_over_interior_pads() {
+        let meta = TraceMeta {
+            globals: vec![MetaGlobal {
+                name: "g".into(),
+                start: 0x2000,
+                size: 64,
+            }],
+            objects: vec![MetaObject {
+                start: 0x1000,
+                size: 64,
+                owner: 0,
+                frames: Vec::new(),
+            }],
+            app_live_bytes: 128,
+        };
+        // Pad inside the object (at 0x1008) and before the global.
+        let r = AddressRemap::from_edits(&[edit(0x1008, 512)]);
+        let m = r.apply_meta(&meta);
+        assert_eq!(m.objects[0].start, 0x1000, "prefix stays put");
+        assert_eq!(m.objects[0].size, 64 + 512, "interior pad grows the span");
+        assert_eq!(m.globals[0].start, 0x2000 + 512, "suffix shifts");
+        assert_eq!(m.globals[0].size, 64, "no interior pad, same size");
+        assert_eq!(m.app_live_bytes, 128);
+    }
+
+    proptest! {
+        /// apply() is strictly monotone — therefore injective and
+        /// order-preserving — for any edit list.
+        #[test]
+        fn prop_remap_is_strictly_monotone(
+            edits in proptest::collection::vec((0u64..10_000, 0u64..1_000), 0..16),
+            mut addrs in proptest::collection::vec(0u64..20_000, 2..64),
+        ) {
+            let edits: Vec<LayoutEdit> =
+                edits.into_iter().map(|(at, pad)| edit(at, pad)).collect();
+            let r = AddressRemap::from_edits(&edits);
+            addrs.sort_unstable();
+            addrs.dedup();
+            for w in addrs.windows(2) {
+                prop_assert!(r.apply(w[0]) < r.apply(w[1]),
+                    "order violated: {} -> {}, {} -> {}",
+                    w[0], r.apply(w[0]), w[1], r.apply(w[1]));
+            }
+        }
+
+        /// The shift at any address equals the sum of pads at or below it.
+        #[test]
+        fn prop_shift_is_prefix_sum_of_pads(
+            edits in proptest::collection::vec((0u64..5_000, 1u64..500), 1..12),
+            addr in 0u64..6_000,
+        ) {
+            let list: Vec<LayoutEdit> =
+                edits.iter().map(|&(at, pad)| edit(at, pad)).collect();
+            let r = AddressRemap::from_edits(&list);
+            let expect: u64 = list.iter()
+                .filter(|e| e.at <= addr)
+                .map(|e| e.pad)
+                .sum();
+            prop_assert_eq!(r.apply(addr), addr + expect);
+        }
+    }
+}

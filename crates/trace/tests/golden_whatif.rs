@@ -1,0 +1,108 @@
+//! Golden-fixture tests for `predator whatif` output: the text rendering
+//! and the annotated JSON report are pinned byte-for-byte against committed
+//! fixtures. The scenario set covers the three verdicts the command can
+//! hand down: a padding fix that works (100% of invalidations removed at
+//! every portfolio geometry), a fix that cannot work (true sharing), and a
+//! no-op user edit (zero delta). Set `UPDATE_GOLDEN=1` to re-bless after an
+//! intentional format change — same convention as the policy reporters'
+//! golden tests.
+
+use predator_core::{DetectorConfig, ObsSnapshot, Report};
+use predator_sim::{Access, ThreadId};
+use predator_trace::{whatif_events, AnalyzeConfig, WhatIfFix, WhatIfOutcome};
+
+const GOLDEN_TEXT: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_whatif.txt"
+);
+const GOLDEN_JSON: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_whatif.json"
+);
+
+const BASE: u64 = 0x4000_0000;
+const SIZE: u64 = 1 << 20;
+
+fn cfg() -> AnalyzeConfig {
+    AnalyzeConfig::new(DetectorConfig::sensitive(), 2)
+}
+
+/// Deterministic trace with both failure modes on distinct lines: words 0/1
+/// of line 0 ping-pong between two threads (false sharing — padding fixes
+/// it), and one word of line 16 is hammered by both threads (true sharing —
+/// padding cannot help).
+fn golden_events() -> Vec<Access> {
+    let mut events = Vec::new();
+    for i in 0..400u64 {
+        let t = (i % 2) as u16;
+        events.push(Access::write(ThreadId(t), BASE + (i % 2) * 8, 8));
+        events.push(Access::write(ThreadId(t), BASE + 1024, 8));
+    }
+    events
+}
+
+/// Golden bytes must not depend on process-global observability counters,
+/// which other tests in the same process mutate freely.
+fn normalized(mut report: Report) -> Report {
+    report.obs = ObsSnapshot::default();
+    report
+}
+
+fn run(fix: &WhatIfFix) -> WhatIfOutcome {
+    whatif_events(&golden_events(), BASE, SIZE, None, &cfg(), fix)
+}
+
+fn check(path: &str, actual: &str, what: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, actual).unwrap();
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("missing golden fixture; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(actual, golden, "{what} drifted from the golden fixture");
+}
+
+#[test]
+fn whatif_text_matches_the_committed_golden_fixture() {
+    // All three verdicts in one fixture: the suggested fixes (padding works
+    // on the false-sharing finding, nothing helps the true-sharing one) and
+    // a no-op user edit.
+    let mut text = String::from("=== suggested fixes ===\n");
+    text.push_str(&run(&WhatIfFix::Suggested).to_text());
+    text.push_str("=== no-op user edit ===\n");
+    text.push_str(&run(&WhatIfFix::Edits(Vec::new())).to_text());
+    check(GOLDEN_TEXT, &text, "whatif text output");
+}
+
+#[test]
+fn whatif_json_matches_the_committed_golden_fixture() {
+    let out = run(&WhatIfFix::Suggested);
+    let json = normalized(out.report).to_json() + "\n";
+    check(GOLDEN_JSON, &json, "whatif JSON report");
+}
+
+#[test]
+fn golden_scenario_covers_all_three_verdicts() {
+    let out = run(&WhatIfFix::Suggested);
+    let verdicts: Vec<String> = out
+        .report
+        .findings
+        .iter()
+        .filter_map(|f| f.verified.as_ref())
+        .map(|v| v.verdict.to_string())
+        .collect();
+    assert!(
+        verdicts.iter().any(|v| v == "fixes"),
+        "expected a working fix, got {verdicts:?}"
+    );
+    assert!(
+        verdicts.iter().any(|v| v == "ineffective"),
+        "expected an ineffective fix, got {verdicts:?}"
+    );
+    let noop = run(&WhatIfFix::Edits(Vec::new()));
+    assert!(noop
+        .report
+        .findings
+        .iter()
+        .filter_map(|f| f.verified.as_ref())
+        .all(|v| v.pad_bytes == 0 && v.verdict.to_string() == "ineffective"));
+}

@@ -89,4 +89,13 @@ target/release/bench_serve "$SERVE_OUT" \
   --passes "${BENCH_SERVE_PASSES:-200}" \
   --iters "${BENCH_SERVE_ITERS:-20000}"
 
-echo "BENCH OK — wrote $OUT, $TRACE_OUT, $SCALING_OUT, $FLEET_OUT and $SERVE_OUT"
+# What-if layout-replay telemetry: plain-analyze vs full portfolio replay
+# throughput, plus the measured ≥90%-removed delta of the suggested padding
+# fix (asserted inside the bin, so this step is also a correctness gate).
+# Refresh the committed artifact with
+#   BENCH_WHATIF_OUT=BENCH_9.json scripts/bench.sh
+WHATIF_OUT="${BENCH_WHATIF_OUT:-BENCH_whatif_local.json}"
+echo "==> what-if replay bench -> $WHATIF_OUT"
+target/release/bench_whatif "$WHATIF_OUT" --iters "${BENCH_WHATIF_ITERS:-50000}"
+
+echo "BENCH OK — wrote $OUT, $TRACE_OUT, $SCALING_OUT, $FLEET_OUT, $SERVE_OUT and $WHATIF_OUT"

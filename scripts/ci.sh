@@ -69,6 +69,25 @@ $PRED baseline diff "$SMOKE/policy-baseline.json" "$SMOKE/offline.json"
 $PRED analyze "$SMOKE/policy-new.ptrace" --sensitive --format html > "$SMOKE/report.html"
 grep -qi '<!doctype html>' "$SMOKE/report.html"
 
+echo "==> whatif smoke (record -> verified padding fix -> delta gate, both exit paths)"
+# The recorded histogram run has an observed false-sharing finding whose
+# suggested padding fix must verify with a measured >=90% invalidation
+# reduction at every portfolio geometry; a deliberately useless user edit
+# (1 byte of padding far outside the hot object) must trip --min-delta.
+$PRED whatif "$SMOKE/run.ptrace" --sensitive > "$SMOKE/whatif.txt"
+grep -q "WHAT-IF REPLAY" "$SMOKE/whatif.txt"
+grep -q "% removed" "$SMOKE/whatif.txt"
+$PRED whatif "$SMOKE/run.ptrace" --sensitive --min-delta 90 > /dev/null
+if $PRED whatif "$SMOKE/run.ptrace" --sensitive --pad 0x7f000000:1 \
+    --min-delta 90 > /dev/null; then
+  echo "whatif gate failed to fail on a useless fix" >&2
+  exit 1
+fi
+echo "whatif gate correctly rejected the useless fix"
+# analyze --verify-fixes annotates the same findings inline.
+$PRED analyze "$SMOKE/run.ptrace" --sensitive --verify-fixes > "$SMOKE/verify.txt"
+grep -q "Verified fix" "$SMOKE/verify.txt"
+
 echo "==> fleet smoke (corpus ingest -> merged report -> trend gate, both exit paths)"
 # Two recordings of one workload form the baseline corpus; adding a second
 # workload introduces new callsites, which must trip --fail-on-regression.
@@ -122,6 +141,9 @@ $PRED bench-diff "$SMOKE/bench.json" "$SMOKE/bench.json"
 # bench-diff's schema-agnostic path: fleet telemetry gates against itself.
 target/release/bench_fleet "$SMOKE/bench_fleet.json" --traces 2 --events-per-trace 100000
 $PRED bench-diff "$SMOKE/bench_fleet.json" "$SMOKE/bench_fleet.json"
+# What-if replay telemetry (asserts the >=90% delta bar internally).
+target/release/bench_whatif "$SMOKE/bench_whatif.json" --iters 10000
+$PRED bench-diff "$SMOKE/bench_whatif.json" "$SMOKE/bench_whatif.json"
 
 echo "==> tracked-line scaling bench (2x gate enforced only on >=8 cores)"
 target/release/bench_scaling "$SMOKE/bench_scaling.json" --iters 100000 --reps 2

@@ -13,7 +13,8 @@ use proptest::prelude::*;
 
 use predator::core::{DetectorConfig, Predator};
 use predator::sim::interleave::{interleave, Schedule, Script};
-use predator::sim::mesi::MesiSim;
+use predator::sim::mesi::{MesiSim, MesiStats};
+use predator::sim::patterns::{generate, Pattern};
 use predator::sim::{Access, AccessKind, CacheGeometry, ThreadId};
 
 const BASE: u64 = 0x4000_0000;
@@ -245,6 +246,190 @@ fn doubled_line_prediction_matches_mesi_at_128_bytes() {
         mesi - doubled < 200,
         "verified invalidations track the real 128B machine: {doubled} vs {mesi}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Cross-geometry differential suite: the detector/MESI agreement must hold
+// at every portfolio line size (32/64/128/256 bytes), and splitting the MESI
+// cores into NUMA-style coherence domains must leave the invalidation ground
+// truth untouched (domains only relabel traffic as local or cross-domain).
+
+fn exact_config_at(geom: CacheGeometry) -> DetectorConfig {
+    DetectorConfig {
+        geometry: geom,
+        ..exact_config()
+    }
+}
+
+/// Replays `accesses` through the unthresholded detector and a MESI system
+/// at `geom`, with the MESI cores split into `domains` coherence domains.
+/// Returns (detector invalidation total, MESI stats).
+fn run_both_at(
+    accesses: &[Access],
+    cores: usize,
+    geom: CacheGeometry,
+    domains: usize,
+) -> (u64, MesiStats) {
+    let rt = Predator::new(exact_config_at(geom), BASE, 1 << 20);
+    let mut mesi = MesiSim::with_domains(cores, geom, domains);
+    for a in accesses {
+        rt.handle_access(a.tid, a.addr, a.size, a.kind);
+        mesi.access(a.tid, a.addr, a.size, a.kind);
+    }
+    (rt.total_invalidations(), mesi.stats())
+}
+
+fn threads_of(p: &Pattern) -> usize {
+    match *p {
+        Pattern::PingPong { threads, .. }
+        | Pattern::TrueShare { threads, .. }
+        | Pattern::Striped { threads, .. }
+        | Pattern::ReaderWriter { threads, .. }
+        | Pattern::RandomMix { threads, .. } => threads,
+    }
+}
+
+/// The canonical pattern matrix as a proptest strategy: every synthetic
+/// sharing shape from `predator::sim::patterns`, with randomized knobs.
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        (2usize..=4).prop_map(|threads| Pattern::PingPong {
+            threads,
+            base: BASE
+        }),
+        (2usize..=4).prop_map(|threads| Pattern::TrueShare {
+            threads,
+            addr: BASE
+        }),
+        (
+            2usize..=4,
+            prop_oneof![
+                Just(8u64),
+                Just(16),
+                Just(32),
+                Just(64),
+                Just(128),
+                Just(256)
+            ]
+        )
+            .prop_map(|(threads, stride)| Pattern::Striped {
+                threads,
+                base: BASE,
+                stride
+            }),
+        (2usize..=4).prop_map(|threads| Pattern::ReaderWriter {
+            threads,
+            base: BASE
+        }),
+        (2usize..=4, 1u64..8, 0u8..=100, 0u64..1000).prop_map(
+            |(threads, lines, write_pct, seed)| Pattern::RandomMix {
+                threads,
+                base: BASE,
+                lines,
+                write_pct,
+                seed
+            }
+        ),
+    ]
+}
+
+/// Striped writers at stride 64: every thread owns its own 64-byte line, so
+/// 32- and 64-byte machines are silent — but 128- and 256-byte lines fold
+/// two (or four) writers onto one line and thrash. The detector must agree
+/// with MESI on both sides of the boundary.
+#[test]
+fn striped_stride_64_is_clean_below_128_byte_lines_and_thrashes_above() {
+    let script = generate(
+        Pattern::Striped {
+            threads: 4,
+            base: BASE,
+            stride: 64,
+        },
+        500,
+    );
+    let merged = interleave(&script, &Schedule::RoundRobin);
+    for ls in [32u64, 64] {
+        let (det, mesi) = run_both_at(&merged, 4, CacheGeometry::new(ls), 1);
+        assert_eq!(mesi.invalidation_events, 0, "{ls}B lines must be clean");
+        assert_eq!(det, 0, "{ls}B lines must be clean for the detector too");
+    }
+    for ls in [128u64, 256] {
+        let (det, mesi) = run_both_at(&merged, 4, CacheGeometry::new(ls), 1);
+        assert!(
+            mesi.invalidation_events > 500,
+            "{ls}B lines must thrash: {}",
+            mesi.invalidation_events
+        );
+        assert!(det <= mesi.invalidation_events, "detector overcounts");
+        assert!(
+            mesi.invalidation_events - det <= 4,
+            "{ls}B: detector {det} vs MESI {} beyond the startup window",
+            mesi.invalidation_events
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every pattern in the matrix and every portfolio geometry, the
+    /// unthresholded detector never overcounts MESI, and its undercount is
+    /// bounded by the per-line startup window (2 per touched line).
+    #[test]
+    fn prop_portfolio_geometries_bracket_mesi(
+        pattern in arb_pattern(),
+        per_thread in 20usize..120,
+        seed in 0u64..500,
+    ) {
+        let script = generate(pattern, per_thread);
+        let merged = interleave(&script, &Schedule::Seeded(seed));
+        let cores = threads_of(&pattern);
+        for ls in CacheGeometry::PORTFOLIO_LINE_SIZES {
+            let geom = CacheGeometry::new(ls);
+            let (det, mesi) = run_both_at(&merged, cores, geom, 1);
+            let lines: std::collections::HashSet<u64> =
+                merged.iter().map(|a| geom.line_index(a.addr)).collect();
+            prop_assert!(
+                det <= mesi.invalidation_events,
+                "detector {det} overcounts MESI {} at {ls}B lines",
+                mesi.invalidation_events
+            );
+            prop_assert!(
+                mesi.invalidation_events - det <= 2 * lines.len() as u64,
+                "detector {det} vs MESI {} at {ls}B lines over {} line(s)",
+                mesi.invalidation_events, lines.len()
+            );
+        }
+    }
+
+    /// Splitting the cores into coherence domains is pure accounting: the
+    /// invalidation ground truth is bit-identical at every portfolio
+    /// geometry, and the cross-domain tallies stay within the totals.
+    #[test]
+    fn prop_multi_domain_mesi_preserves_ground_truth(
+        pattern in arb_pattern(),
+        per_thread in 20usize..120,
+        seed in 0u64..500,
+        domains in 1usize..=4,
+    ) {
+        let script = generate(pattern, per_thread);
+        let merged = interleave(&script, &Schedule::Seeded(seed));
+        let cores = threads_of(&pattern);
+        let domains = domains.min(cores);
+        for ls in CacheGeometry::PORTFOLIO_LINE_SIZES {
+            let geom = CacheGeometry::new(ls);
+            let (det, flat) = run_both_at(&merged, cores, geom, 1);
+            let (_, split) = run_both_at(&merged, cores, geom, domains);
+            prop_assert_eq!(flat.invalidation_events, split.invalidation_events);
+            prop_assert_eq!(flat.lines_invalidated, split.lines_invalidated);
+            prop_assert!(split.cross_domain_events <= split.invalidation_events);
+            prop_assert!(split.cross_domain_lines <= split.lines_invalidated);
+            if domains == 1 {
+                prop_assert_eq!(split.cross_domain_lines, 0);
+            }
+            prop_assert!(det <= split.invalidation_events);
+        }
+    }
 }
 
 /// Same idea for the remap scenario: shift the whole trace by the predicted

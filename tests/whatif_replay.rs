@@ -1,0 +1,161 @@
+//! Property tests for the what-if remap layer (the `predator whatif`
+//! foundation): identity remaps change nothing, line-multiple padding never
+//! makes the MESI ground truth worse, and remapped traces survive the
+//! `.ptrace` encode/decode round trip losslessly.
+
+use std::io::{BufReader, Cursor};
+
+use proptest::prelude::*;
+
+use predator::core::{DetectorConfig, LayoutEdit, Report};
+use predator::sim::mesi::MesiSim;
+use predator::sim::{Access, CacheGeometry, ThreadId};
+use predator::trace::{analyze_events, AddressRemap, AnalyzeConfig, TraceReader, TraceWriter};
+
+const BASE: u64 = 0x4000_0000;
+const SIZE: u64 = 1 << 20;
+
+/// Findings + run stats, serialised. The `obs` section is excluded: it
+/// snapshots process-global telemetry that accumulates across tests.
+fn essence(r: &Report) -> String {
+    format!(
+        "{}\n{}",
+        serde_json::to_string(&r.findings).unwrap(),
+        serde_json::to_string(&r.stats).unwrap()
+    )
+}
+
+fn cfg() -> AnalyzeConfig {
+    AnalyzeConfig::new(DetectorConfig::sensitive(), 2)
+}
+
+/// Word-granular traffic from a handful of threads over a small region:
+/// distinct threads on distinct words of shared lines — false-sharing-heavy
+/// by construction.
+fn arb_events() -> impl Strategy<Value = Vec<Access>> {
+    proptest::collection::vec((0u16..4, 0u64..64, prop::bool::ANY), 1..400).prop_map(|ops| {
+        ops.into_iter()
+            .map(|(tid, word, w)| {
+                let addr = BASE + word * 8;
+                if w {
+                    Access::write(ThreadId(tid), addr, 8)
+                } else {
+                    Access::read(ThreadId(tid), addr, 8)
+                }
+            })
+            .collect()
+    })
+}
+
+/// Layout edits at word-aligned spots whose pads are multiples of 256 —
+/// a whole-line multiple of every portfolio geometry, so the remap only
+/// ever splits cache lines, never merges them.
+fn arb_line_multiple_edits() -> impl Strategy<Value = Vec<LayoutEdit>> {
+    proptest::collection::vec((0u64..64, 1u64..4), 0..6).prop_map(|pads| {
+        pads.into_iter()
+            .map(|(word, k)| LayoutEdit {
+                at: BASE + word * 8,
+                pad: k * 256,
+            })
+            .collect()
+    })
+}
+
+/// Total remote copies killed — the MESI quantity that is provably monotone
+/// under line-splitting remaps. (Distinct invalidation *events* are not:
+/// splitting a line can spread the same — or fewer — copy kills over more
+/// distinct writes, so the event count may go up while total damage drops.)
+fn mesi_copies_killed(events: &[Access], geom: CacheGeometry) -> u64 {
+    let mut sim = MesiSim::new(4, geom);
+    for a in events {
+        sim.access(a.tid, a.addr, a.size, a.kind);
+    }
+    sim.stats().lines_invalidated
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The identity remap is a no-op end to end: re-analyzing the remapped
+    /// event stream produces a byte-identical report to plain `analyze`.
+    #[test]
+    fn prop_identity_remap_reanalysis_is_byte_identical(events in arb_events()) {
+        let remap = AddressRemap::identity();
+        let mapped = remap.apply_events(&events);
+        prop_assert_eq!(&mapped, &events);
+        let plain = analyze_events(&events, BASE, SIZE, None, &cfg());
+        let replay = analyze_events(&mapped, BASE, SIZE, None, &cfg());
+        prop_assert_eq!(essence(&plain.report), essence(&replay.report));
+    }
+
+    /// A padding-fix remap on a false-sharing-only trace never makes MESI
+    /// worse. "False-sharing-only" means every word is touched by exactly
+    /// one thread (here: word owner = word index mod 4); the fix pads every
+    /// ownership boundary by a whole-line multiple ≥ 512 bytes, separating
+    /// any two different-owner words past the largest portfolio line. After
+    /// the remap every cache line is single-threaded, so sharing traffic is
+    /// not just non-increasing — it is zero at every geometry. (Arbitrary
+    /// line-splitting remaps are NOT monotone: a coarse-line kill destroys
+    /// a multi-sub-line copy in one event, where the split layout pays one
+    /// kill per sub-line — see DESIGN.md for the counterexample.)
+    #[test]
+    fn prop_padding_fix_never_increases_mesi_on_false_sharing_trace(
+        ops in proptest::collection::vec((0u64..64, prop::bool::ANY), 1..400),
+        ks in proptest::collection::vec(1u64..3, 64),
+    ) {
+        let events: Vec<Access> = ops
+            .into_iter()
+            .map(|(word, w)| {
+                let tid = ThreadId((word % 4) as u16); // owner-partitioned words
+                let addr = BASE + word * 8;
+                if w {
+                    Access::write(tid, addr, 8)
+                } else {
+                    Access::read(tid, addr, 8)
+                }
+            })
+            .collect();
+        // Owners alternate every word, so every word boundary is an
+        // ownership boundary: pad each one by k × 512 bytes.
+        let edits: Vec<LayoutEdit> = (1..64)
+            .map(|w| LayoutEdit { at: BASE + w * 8, pad: ks[w as usize] * 512 })
+            .collect();
+        let remap = AddressRemap::from_edits(&edits);
+        let mapped = remap.apply_events(&events);
+        for ls in CacheGeometry::PORTFOLIO_LINE_SIZES {
+            let geom = CacheGeometry::new(ls);
+            let before = mesi_copies_killed(&events, geom);
+            let after = mesi_copies_killed(&mapped, geom);
+            prop_assert_eq!(
+                after, 0,
+                "{}B lines: separated footprints still share ({} kills)",
+                ls, after
+            );
+            prop_assert!(after <= before);
+        }
+    }
+
+    /// A remapped trace written to `.ptrace` decodes back to exactly the
+    /// remapped events, with the (grown) address range intact.
+    #[test]
+    fn prop_remapped_traces_round_trip_ptrace(
+        events in arb_events(),
+        edits in arb_line_multiple_edits(),
+    ) {
+        let remap = AddressRemap::from_edits(&edits);
+        let mapped = remap.apply_events(&events);
+        let new_size = SIZE + remap.total_pad();
+
+        let mut w = TraceWriter::create(Vec::new(), BASE, new_size).unwrap();
+        w.write_events(&mapped).unwrap();
+        let (summary, bytes) = w.finish().unwrap();
+        prop_assert_eq!(summary.events, mapped.len() as u64);
+
+        let mut r = TraceReader::new(BufReader::new(Cursor::new(bytes))).unwrap();
+        prop_assert_eq!(r.base(), BASE);
+        prop_assert_eq!(r.size(), new_size);
+        let decoded: Vec<Access> = (&mut r).collect();
+        prop_assert!(!r.stats().any(), "lossless round trip");
+        prop_assert_eq!(decoded, mapped);
+    }
+}
